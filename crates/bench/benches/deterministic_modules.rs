@@ -1,0 +1,75 @@
+//! Benchmarks of the deterministic function modules: evaluation cost of the
+//! linear, exponentiation, logarithm and power modules at representative
+//! inputs, plus the cost sensitivity to the band separation (an ablation on
+//! the accuracy/cost trade-off called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synthesis::modules::{
+    exponentiation::exponentiation, linear::linear, logarithm::logarithm, power::power,
+};
+
+fn bench_module_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deterministic_modules/evaluate");
+
+    let lin = linear(6, 1, "x", "y", 100.0).expect("linear");
+    group.bench_function("linear_x60", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            lin.evaluate(&[("x", 60)], seed).expect("evaluation")
+        });
+    });
+
+    let exp = exponentiation("x", "y", 100.0).expect("exponentiation");
+    group.bench_function("exponentiation_x5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            exp.evaluate(&[("x", 5)], seed).expect("evaluation")
+        });
+    });
+
+    let log = logarithm("x", "y", 100.0).expect("logarithm");
+    group.bench_function("logarithm_x64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            log.evaluate(&[("x", 64)], seed).expect("evaluation")
+        });
+    });
+
+    let pow = power("x", "p", "y", 25.0).expect("power");
+    group.bench_function("power_3_pow_2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            pow.evaluate(&[("x", 3), ("p", 2)], seed).expect("evaluation")
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_separation_ablation(c: &mut Criterion) {
+    // Cost of the logarithm module as the band separation grows: larger
+    // separation means more intermediate events per useful step.
+    let mut group = c.benchmark_group("deterministic_modules/log_separation");
+    for &separation in &[10.0, 50.0, 200.0] {
+        let module = logarithm("x", "y", separation).expect("logarithm");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(separation as u64),
+            &separation,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    module.evaluate(&[("x", 64)], seed).expect("evaluation")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_module_evaluation, bench_separation_ablation);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation benchmark: thread-scaling of the Monte-Carlo ensemble runner.
+//! Every figure of the paper is an ensemble estimate, so the wall-clock cost
+//! of a full reproduction is dominated by how well trials parallelise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gillespie::{Ensemble, EnsembleOptions};
+use synthesis::{StochasticModule, TargetDistribution};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("distribution");
+    let initial = module.initial_state(&dist).expect("state");
+
+    let mut group = c.benchmark_group("ensemble_scaling/threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                Ensemble::new(
+                    module.crn(),
+                    initial.clone(),
+                    module.classifier().expect("classifier"),
+                )
+                .options(
+                    EnsembleOptions::new()
+                        .trials(200)
+                        .master_seed(1)
+                        .threads(threads)
+                        .simulation(module.simulation_options()),
+                )
+                .run()
+                .expect("ensemble")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssa_method_in_ensemble(c: &mut Criterion) {
+    // The same ensemble executed with each SSA variant: the per-event cost
+    // differences measured in `ssa_methods` should carry over.
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("distribution");
+    let initial = module.initial_state(&dist).expect("state");
+
+    let mut group = c.benchmark_group("ensemble_scaling/method");
+    group.sample_size(10);
+    for method in gillespie::SsaMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    Ensemble::new(
+                        module.crn(),
+                        initial.clone(),
+                        module.classifier().expect("classifier"),
+                    )
+                    .options(
+                        EnsembleOptions::new()
+                            .trials(200)
+                            .master_seed(1)
+                            .method(method)
+                            .simulation(module.simulation_options()),
+                    )
+                    .run()
+                    .expect("ensemble")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_ssa_method_in_ensemble);
+criterion_main!(benches);

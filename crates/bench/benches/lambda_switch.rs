@@ -1,0 +1,77 @@
+//! Benchmarks of the lambda-phage case study: per-trajectory cost of the
+//! natural surrogate and of the synthesized model at representative MOI
+//! values. Together with `fig5_lambda_response` (accuracy) this quantifies
+//! the "reduced-order modelling" claim: the synthetic model is far smaller
+//! than the natural one, at the price of longer simulated trajectories
+//! through its extreme rate separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gillespie::{DirectMethod, NextReactionMethod, Simulation};
+use lambda::{LambdaModel, NaturalLambdaModel, SyntheticLambdaModel};
+
+fn bench_natural_model(c: &mut Criterion) {
+    let model = NaturalLambdaModel::new().expect("natural model");
+    let mut group = c.benchmark_group("lambda/natural");
+    for &moi in &[1u64, 5, 10] {
+        let initial = model.initial_state(moi).expect("state");
+        group.bench_with_input(BenchmarkId::from_parameter(moi), &moi, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(LambdaModel::crn(&model), DirectMethod::new())
+                    .options(model.simulation_options().seed(seed))
+                    .run(&initial)
+                    .expect("trajectory")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_model(c: &mut Criterion) {
+    let model = SyntheticLambdaModel::paper().expect("synthetic model");
+    let mut group = c.benchmark_group("lambda/synthetic");
+    group.sample_size(10);
+    for &moi in &[1u64, 5, 10] {
+        let initial = model.initial_state(moi).expect("state");
+        group.bench_with_input(BenchmarkId::from_parameter(moi), &moi, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(LambdaModel::crn(&model), DirectMethod::new())
+                    .options(model.simulation_options().seed(seed))
+                    .run(&initial)
+                    .expect("trajectory")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_model_next_reaction(c: &mut Criterion) {
+    // Ablation: does the Gibson–Bruck method pay off on the synthesized
+    // network (20 reactions, strongly separated rates)?
+    let model = SyntheticLambdaModel::paper().expect("synthetic model");
+    let initial = model.initial_state(5).expect("state");
+    let mut group = c.benchmark_group("lambda/synthetic_next_reaction");
+    group.sample_size(10);
+    group.bench_function("moi_5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Simulation::new(LambdaModel::crn(&model), NextReactionMethod::new())
+                .options(model.simulation_options().seed(seed))
+                .run(&initial)
+                .expect("trajectory")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_natural_model,
+    bench_synthetic_model,
+    bench_synthetic_model_next_reaction
+);
+criterion_main!(benches);

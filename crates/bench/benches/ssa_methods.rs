@@ -1,0 +1,89 @@
+//! Ablation benchmark: Gillespie direct vs first-reaction vs Gibson–Bruck
+//! next-reaction method, on networks of increasing size. The next-reaction
+//! method is expected to win once the number of reactions is large relative
+//! to the dependency-graph out-degree.
+
+use crn::{Crn, CrnBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gillespie::{
+    Simulation, SimulationOptions, SsaMethod, SsaStepper, StopCondition,
+};
+
+/// Builds a linear chain of isomerisations `s0 -> s1 -> … -> sN` plus the
+/// reverse reactions: 2N reactions whose dependency graph has out-degree ≤ 4.
+fn chain_network(length: usize) -> Crn {
+    let mut b = CrnBuilder::new();
+    let species: Vec<_> = (0..=length).map(|i| b.species(format!("s{i}"))).collect();
+    for i in 0..length {
+        b.reaction()
+            .reactant(species[i], 1)
+            .product(species[i + 1], 1)
+            .rate(1.0)
+            .add()
+            .expect("forward reaction");
+        b.reaction()
+            .reactant(species[i + 1], 1)
+            .product(species[i], 1)
+            .rate(0.5)
+            .add()
+            .expect("backward reaction");
+    }
+    b.build().expect("chain network")
+}
+
+/// Adapter so boxed steppers can drive `Simulation`, which is generic.
+struct Boxed(Box<dyn SsaStepper + Send>);
+
+impl SsaStepper for Boxed {
+    fn initialize(&mut self, crn: &Crn, state: &crn::State, rng: &mut rand::rngs::StdRng) {
+        self.0.initialize(crn, state, rng);
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut crn::State,
+        time: &mut f64,
+        rng: &mut rand::rngs::StdRng,
+    ) -> gillespie::StepOutcome {
+        self.0.step(crn, state, time, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+fn bench_methods(c: &mut Criterion) {
+    for &length in &[10usize, 50, 200] {
+        let crn = chain_network(length);
+        let initial = crn
+            .state_from_counts([("s0", 200)])
+            .expect("initial state");
+        let mut group = c.benchmark_group(format!("ssa_methods/chain_{length}"));
+        for method in SsaMethod::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &method,
+                |b, &method| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        Simulation::new(&crn, Boxed(method.stepper()))
+                            .options(
+                                SimulationOptions::new()
+                                    .seed(seed)
+                                    .stop(StopCondition::events(5_000)),
+                            )
+                            .run(&initial)
+                            .expect("trajectory")
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the stochastic (winner-take-all) module: single-trajectory
+//! decision cost as a function of the rate separation γ and the number of
+//! outcomes. This is the ablation study for the module's central design
+//! parameter (experiment E1 measures its *accuracy*; this bench measures its
+//! *cost*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gillespie::{DirectMethod, Simulation};
+use synthesis::{StochasticModule, TargetDistribution};
+
+fn bench_gamma_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_module/gamma");
+    for &gamma in &[10.0, 100.0, 1_000.0, 10_000.0] {
+        let module = StochasticModule::builder()
+            .outcomes(["T1", "T2", "T3"])
+            .gamma(gamma)
+            .build()
+            .expect("module");
+        let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("distribution");
+        let initial = module.initial_state(&dist).expect("state");
+        group.bench_with_input(BenchmarkId::from_parameter(gamma as u64), &gamma, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(module.crn(), DirectMethod::new())
+                    .options(module.simulation_options().seed(seed))
+                    .run(&initial)
+                    .expect("trajectory")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_outcome_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_module/outcomes");
+    for &n in &[2usize, 3, 5, 8] {
+        let outcomes: Vec<String> = (1..=n).map(|i| format!("T{i}")).collect();
+        let module = StochasticModule::builder()
+            .outcomes(outcomes)
+            .gamma(1_000.0)
+            .build()
+            .expect("module");
+        let dist = TargetDistribution::uniform(n).expect("distribution");
+        let initial = module.initial_state(&dist).expect("state");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(module.crn(), DirectMethod::new())
+                    .options(module.simulation_options().seed(seed))
+                    .run(&initial)
+                    .expect("trajectory")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_trial(c: &mut Criterion) {
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .input_total(300)
+        .build()
+        .expect("module");
+    let dist = TargetDistribution::uniform(3).expect("distribution");
+    let initial = module.initial_state(&dist).expect("state");
+    c.bench_function("stochastic_module/error_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            module.error_trial(&initial, seed).expect("trial")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gamma_sweep,
+    bench_outcome_count,
+    bench_error_trial
+);
+criterion_main!(benches);

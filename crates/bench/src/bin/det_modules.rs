@@ -1,0 +1,126 @@
+//! Experiment E6 — characterises the deterministic function modules of
+//! Section 2.2.1: linear, exponentiation, logarithm, power and isolation.
+//!
+//! The paper defines these modules but reports no dedicated figure for them;
+//! this harness produces the accuracy tables that substantiate the claims
+//! `Y∞ = (β/α)X₀`, `Y∞ = 2^X₀`, `Y∞ = log2 X₀`, `Y∞ = X₀^P₀` and `Y∞ = 1`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin det_modules -- --repeats 20
+//! ```
+
+use bench::{Args, Table};
+use numerics::summary;
+use synthesis::modules::{
+    exponentiation::exponentiation, isolation::isolation, linear::linear, logarithm::logarithm,
+    power::power, FunctionModule,
+};
+
+fn main() {
+    let args = Args::parse(&["repeats", "seed", "separation"]).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
+    let repeats = args.get_u64("repeats", 20);
+    let seed = args.get_u64("seed", 1);
+    let separation = args.get_f64("separation", 100.0);
+
+    println!("Deterministic function modules (Section 2.2.1)");
+    println!("{repeats} repetitions per input, band separation {separation}, seed {seed}\n");
+
+    // Linear: Y = X/6 and Y = 2X.
+    println!("linear module  (α x -> β y)");
+    let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
+    let sixth = linear(6, 1, "x", "y", separation).expect("linear module");
+    let double = linear(1, 2, "x", "y", separation).expect("linear module");
+    for &x in &[6u64, 30, 60, 120] {
+        add_row(&mut table, "X/6", &sixth, &[("x", x)], (x / 6) as f64, repeats, seed);
+    }
+    for &x in &[5u64, 25, 100] {
+        add_row(&mut table, "2X", &double, &[("x", x)], (2 * x) as f64, repeats, seed);
+    }
+    table.print();
+
+    // Exponentiation: Y = 2^X.
+    println!("\nexponentiation module  (Y = 2^X)");
+    let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
+    let exp = exponentiation("x", "y", separation).expect("exponentiation module");
+    for &x in &[0u64, 1, 2, 3, 4, 5, 6] {
+        add_row(&mut table, "2^X", &exp, &[("x", x)], (1u64 << x) as f64, repeats, seed);
+    }
+    table.print();
+
+    // Logarithm: Y = log2 X.
+    println!("\nlogarithm module  (Y = log2 X)");
+    let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
+    let log = logarithm("x", "y", separation).expect("logarithm module");
+    for &x in &[1u64, 2, 4, 8, 16, 32, 64, 100] {
+        add_row(
+            &mut table,
+            "log2 X",
+            &log,
+            &[("x", x)],
+            (x as f64).log2().floor(),
+            repeats,
+            seed,
+        );
+    }
+    table.print();
+
+    // Power: Y = X^P.
+    println!("\npower module  (Y = X^P)");
+    let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
+    let pow = power("x", "p", "y", separation).expect("power module");
+    for &(x, p) in &[(2u64, 2u64), (2, 3), (3, 2), (4, 2), (5, 1)] {
+        add_row(
+            &mut table,
+            &format!("X^{p}"),
+            &pow,
+            &[("x", x), ("p", p)],
+            (x as f64).powi(p as i32),
+            repeats,
+            seed,
+        );
+    }
+    table.print();
+
+    // Isolation: Y = 1.
+    println!("\nisolation module  (Y = 1)");
+    let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
+    let iso = isolation("y", "c", separation * 10.0).expect("isolation module");
+    for &y0 in &[1u64, 10, 100, 1000] {
+        add_row(&mut table, "1", &iso, &[("y", y0), ("c", 3)], 1.0, repeats, seed);
+    }
+    table.print();
+}
+
+fn add_row(
+    table: &mut Table,
+    label: &str,
+    module: &FunctionModule,
+    inputs: &[(&str, u64)],
+    expected: f64,
+    repeats: u64,
+    seed: u64,
+) {
+    let samples: Vec<f64> = (0..repeats)
+        .map(|r| {
+            module
+                .evaluate(inputs, seed.wrapping_add(r))
+                .expect("module evaluation") as f64
+        })
+        .collect();
+    let stats = summary(&samples);
+    let input_text = inputs
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    table.row(&[
+        label.to_string(),
+        input_text,
+        format!("{expected:.0}"),
+        format!("{:.2}", stats.mean),
+        format!("{:.2}", stats.std_dev),
+    ]);
+}

@@ -1,0 +1,69 @@
+//! Experiment E4 — reproduces **Example 1** of the paper: programming the
+//! fixed distribution {0.3, 0.4, 0.3} over three outcomes and checking the
+//! empirical outcome frequencies against the target.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ex1_fixed_distribution -- --trials 10000
+//! ```
+
+use bench::{Args, Table};
+use gillespie::{Ensemble, EnsembleOptions};
+use numerics::wilson_interval;
+use synthesis::{StochasticModule, TargetDistribution};
+
+fn main() {
+    let args = Args::parse(&["trials", "seed", "gamma"]).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
+    let trials = args.get_u64("trials", 10_000);
+    let seed = args.get_u64("seed", 3);
+    let gamma = args.get_f64("gamma", 1_000.0);
+
+    // The paper's Example 1: initializing rates 1, reinforcing/stabilizing
+    // 10^3, purifying 10^6, with E = (30, 40, 30).
+    let module = StochasticModule::builder()
+        .outcomes(["d1", "d2", "d3"])
+        .gamma(gamma)
+        .input_total(100)
+        .build()
+        .expect("valid module");
+    let target = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("valid distribution");
+    let initial = module.initial_state(&target).expect("valid initial state");
+
+    println!("Example 1 — programming the distribution {{0.3, 0.4, 0.3}}");
+    println!(
+        "E = (30, 40, 30), rates 1 / {} / {} (γ = {gamma}), {trials} trials, seed {seed}\n",
+        gamma,
+        gamma * gamma
+    );
+
+    let report = Ensemble::new(module.crn(), initial, module.classifier().expect("classifier"))
+        .options(
+            EnsembleOptions::new()
+                .trials(trials)
+                .master_seed(seed)
+                .simulation(module.simulation_options()),
+        )
+        .run()
+        .expect("ensemble");
+
+    let mut table = Table::new(&["outcome", "target", "empirical", "95% CI", "count"]);
+    let mut total_abs_error = 0.0;
+    for (i, outcome) in module.outcomes().iter().enumerate() {
+        let p = report.probability(outcome);
+        let ci = wilson_interval(report.count(outcome), trials, 0.95).expect("interval");
+        total_abs_error += (p - target.probability(i)).abs();
+        table.row(&[
+            outcome.clone(),
+            format!("{:.3}", target.probability(i)),
+            format!("{p:.4}"),
+            format!("[{:.4}, {:.4}]", ci.lower, ci.upper),
+            report.count(outcome).to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nundecided trajectories: {}", report.undecided);
+    println!("total variation distance to target: {:.4}", total_abs_error / 2.0);
+    println!("mean reaction events per trajectory: {:.0}", report.mean_events);
+}

@@ -1,0 +1,105 @@
+//! Experiment E1 — reproduces **Figure 3** of the paper: the percentage of
+//! trajectories in error as a function of the rate separation γ.
+//!
+//! Setup (matching Section 2.1.3): a three-outcome stochastic module with
+//! `k_i = 1`, initial input quantities `E_i = 100` each, and an outcome
+//! declared after 10 working firings. A trial is an *error* when the final
+//! outcome differs from the outcome selected by the first initializing
+//! reaction.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig3_error_vs_gamma -- --trials 10000
+//! ```
+//!
+//! The paper uses 100,000 trials per point; pass `--trials 100000` for the
+//! full-fidelity run (slower, especially at γ = 1 where errors are common
+//! and trajectories are long).
+
+use std::thread;
+
+use bench::{Args, Table};
+use numerics::wilson_interval;
+use synthesis::{StochasticModule, TargetDistribution};
+
+fn main() {
+    let args = Args::parse(&["trials", "seed", "threads", "gammas"]).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
+    let trials = args.get_u64("trials", 10_000);
+    let seed = args.get_u64("seed", 1);
+    let threads = args.get_u64("threads", 0) as usize;
+    let threads = if threads == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let gammas: Vec<f64> = args
+        .get_str("gammas", "1,10,100,1000,10000,100000")
+        .split(',')
+        .filter_map(|g| g.trim().parse().ok())
+        .collect();
+
+    println!("Figure 3 — error analysis of the stochastic module");
+    println!("three outcomes, E_i = 100, decision after 10 working firings");
+    println!("{trials} trials per γ, master seed {seed}, {threads} threads\n");
+
+    let mut table = Table::new(&["gamma", "errors", "trials", "error %", "95% CI"]);
+    for &gamma in &gammas {
+        let errors = error_count(gamma, trials, seed, threads);
+        let ci = wilson_interval(errors, trials, 0.95).expect("valid interval");
+        table.row(&[
+            format!("{gamma:.0}"),
+            errors.to_string(),
+            trials.to_string(),
+            format!("{:.4}", 100.0 * errors as f64 / trials as f64),
+            format!("[{:.4}, {:.4}]", 100.0 * ci.lower, 100.0 * ci.upper),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape (paper, Figure 3): the error percentage falls roughly");
+    println!("as 1/γ, from tens of percent at γ = 1 to below 0.01 % at γ = 10⁵.");
+}
+
+/// Counts error trials for one γ value, spreading trials across threads.
+/// Trial `i` always uses seed `seed + i`, so results are independent of the
+/// thread count.
+fn error_count(gamma: f64, trials: u64, seed: u64, threads: usize) -> u64 {
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(gamma)
+        .input_total(300) // E_i = 100 each, as in the paper's setup
+        .food(100)
+        .decision_threshold(10)
+        .build()
+        .expect("valid module");
+    let distribution = TargetDistribution::uniform(3).expect("uniform distribution");
+    let initial = module.initial_state(&distribution).expect("valid initial state");
+
+    let chunk = trials.div_ceil(threads as u64);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads as u64 {
+            let start = worker * chunk;
+            let end = (start + chunk).min(trials);
+            if start >= end {
+                continue;
+            }
+            let module = &module;
+            let initial = &initial;
+            handles.push(scope.spawn(move || {
+                let mut errors = 0u64;
+                for trial in start..end {
+                    let (_, _, is_error) = module
+                        .error_trial(initial, seed.wrapping_add(trial))
+                        .expect("error trial");
+                    if is_error {
+                        errors += 1;
+                    }
+                }
+                errors
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+}

@@ -1,0 +1,101 @@
+//! Experiments E2/E3/E7 — reproduces **Figure 5** and **Equation 14** of the
+//! paper: the probability of reaching the cI2 threshold as a function of
+//! MOI, for the natural model (surrogate), its log-linear curve fit, and the
+//! synthesized model.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5_lambda_response -- --trials 1000
+//! cargo run --release -p bench --bin fig5_lambda_response -- --print-model true
+//! ```
+
+use bench::{Args, Table};
+use lambda::{
+    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel,
+    SyntheticLambdaModel,
+};
+
+fn main() {
+    let args = Args::parse(&["trials", "seed", "threads", "print-model", "moi-max"])
+        .unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        });
+    let trials = args.get_u64("trials", 1_000);
+    let seed = args.get_u64("seed", 7);
+    let threads = args.get_u64("threads", 0) as usize;
+    let moi_max = args.get_u64("moi-max", 10).max(3);
+
+    if args.get_str("print-model", "false") == "true" {
+        println!("Figure 4 — the synthesized model exactly as printed in the paper:\n");
+        println!("{}", figure4_verbatim().to_text());
+    }
+
+    println!("Figure 5 — probabilistic response of the lambda lysis/lysogeny switch");
+    println!("{trials} trials per MOI, master seed {seed}\n");
+
+    // 1. Natural surrogate sweep.
+    let natural = NaturalLambdaModel::new().expect("natural model");
+    let natural_curve = MoiSweep::new(1..=moi_max)
+        .trials(trials)
+        .master_seed(seed)
+        .threads(threads)
+        .run(&natural)
+        .expect("natural sweep");
+
+    // 2. Curve fit of the natural response (the analogue of Equation 14).
+    let fit = natural_curve.fit_log_linear().expect("curve fit");
+    println!("fit to the natural surrogate:  P(cI2 threshold) ≈ {fit}  (percent)");
+    println!("paper's Equation 14:           P(cI2 threshold) ≈ 15.000 + 6.000·log2(x) + 0.1667·x\n");
+
+    // 3. Synthesize from the fit and sweep the synthesized model.
+    let synthetic = SyntheticLambdaModel::from_fit(&fit).expect("synthesized model");
+    let synthetic_curve = MoiSweep::new(1..=moi_max)
+        .trials(trials)
+        .master_seed(seed ^ 0xABCD)
+        .threads(threads)
+        .run(&synthetic)
+        .expect("synthetic sweep");
+
+    // 4. Also sweep the model synthesized directly from Equation 14.
+    let paper_model = SyntheticLambdaModel::paper().expect("paper model");
+    let paper_curve = MoiSweep::new(1..=moi_max)
+        .trials(trials)
+        .master_seed(seed ^ 0x1234)
+        .threads(threads)
+        .run(&paper_model)
+        .expect("paper-model sweep");
+
+    let eq14 = equation_14();
+    let mut table = Table::new(&[
+        "MOI",
+        "natural %",
+        "fit %",
+        "synthetic(fit) %",
+        "synthetic(Eq14) %",
+        "Eq14 %",
+    ]);
+    for (i, point) in natural_curve.points().iter().enumerate() {
+        let moi = point.moi;
+        table.row(&[
+            moi.to_string(),
+            format!("{:.1}", 100.0 * point.probability),
+            format!("{:.1}", fit.evaluate(moi as f64)),
+            format!("{:.1}", 100.0 * synthetic_curve.points()[i].probability),
+            format!("{:.1}", 100.0 * paper_curve.points()[i].probability),
+            format!("{:.1}", eq14.evaluate(moi as f64)),
+        ]);
+    }
+    table.print();
+
+    let gap = natural_curve
+        .max_absolute_difference(&synthetic_curve)
+        .expect("curves cover the same MOI values");
+    println!("\nmax |natural − synthetic(fit)| = {:.1} percentage points", 100.0 * gap);
+    println!("network sizes: natural {} reactions / {} species, synthetic {} reactions / {} species",
+        LambdaModel::crn(&natural).reactions().len(),
+        LambdaModel::crn(&natural).species_len(),
+        LambdaModel::crn(&synthetic).reactions().len(),
+        LambdaModel::crn(&synthetic).species_len(),
+    );
+    println!("(the paper's natural model has 117 reactions / 61 species; its synthesized model 19 / 17)");
+}

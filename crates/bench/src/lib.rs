@@ -1,0 +1,239 @@
+//! Shared harness utilities for the experiment binaries and benchmarks.
+//!
+//! The `bench` crate regenerates every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index):
+//!
+//! | experiment | binary | paper artefact |
+//! |---|---|---|
+//! | E1 | `fig3_error_vs_gamma` | Figure 3: error rate vs rate separation γ |
+//! | E2/E3 | `fig5_lambda_response` | Figure 5 + Equation 14: MOI response curves |
+//! | E4 | `ex1_fixed_distribution` | Example 1: fixed distribution {0.3, 0.4, 0.3} |
+//! | E5 | `ex2_affine_distribution` | Example 2: programmable affine distribution |
+//! | E6 | `det_modules` | Deterministic module accuracy sweeps |
+//!
+//! Criterion benchmarks (`cargo bench`) cover simulator performance and the
+//! ablations listed in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A tiny command-line argument reader for the experiment binaries.
+///
+/// Arguments are `--key value` pairs; unknown keys are rejected so typos do
+/// not silently fall back to defaults.
+///
+/// # Example
+///
+/// ```
+/// let args = bench::Args::parse_from(
+///     ["--trials", "500", "--seed", "7"].iter().map(|s| s.to_string()),
+///     &["trials", "seed", "gamma"],
+/// ).unwrap();
+/// assert_eq!(args.get_u64("trials", 1000), 500);
+/// assert_eq!(args.get_u64("gamma", 42), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs from the process arguments (skipping the
+    /// binary name), validating keys against `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error for unknown keys or missing values.
+    pub fn parse(allowed: &[&str]) -> Result<Self, String> {
+        Args::parse_from(std::env::args().skip(1), allowed)
+    }
+
+    /// Parses from an explicit iterator (used by tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error for unknown keys or missing values.
+    pub fn parse_from<I>(args: I, allowed: &[&str]) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{key}` (expected `--name value`)"));
+            };
+            if !allowed.contains(&name) {
+                return Err(format!(
+                    "unknown option `--{name}`; known options: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("missing value for `--{name}`"))?;
+            values.insert(name.to_string(), value);
+        }
+        Ok(Args { values })
+    }
+
+    /// Returns an integer option or its default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Returns a float option or its default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Returns a string option or its default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Returns whether the option was supplied at all.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// A minimal fixed-width table printer for experiment output.
+///
+/// # Example
+///
+/// ```
+/// let mut table = bench::Table::new(&["gamma", "error %"]);
+/// table.row(&["10".to_string(), "12.5".to_string()]);
+/// let text = table.render();
+/// assert!(text.contains("gamma"));
+/// assert!(text.contains("12.5"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same number of cells as headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to standard output.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_known_options() {
+        let args = Args::parse_from(
+            ["--trials", "50", "--gamma", "1e3"].iter().map(|s| s.to_string()),
+            &["trials", "gamma"],
+        )
+        .unwrap();
+        assert_eq!(args.get_u64("trials", 0), 50);
+        assert_eq!(args.get_f64("gamma", 0.0), 1000.0);
+        assert!(args.contains("trials"));
+        assert!(!args.contains("seed"));
+        assert_eq!(args.get_str("missing", "x"), "x");
+    }
+
+    #[test]
+    fn args_reject_unknown_and_malformed_options() {
+        assert!(Args::parse_from(
+            ["--nope", "1"].iter().map(|s| s.to_string()),
+            &["trials"]
+        )
+        .is_err());
+        assert!(Args::parse_from(
+            ["trials", "1"].iter().map(|s| s.to_string()),
+            &["trials"]
+        )
+        .is_err());
+        assert!(Args::parse_from(
+            ["--trials"].iter().map(|s| s.to_string()),
+            &["trials"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = Table::new(&["a", "long header"]);
+        table.row(&["1".to_string(), "2".to_string()]);
+        table.row(&["100".to_string(), "2000".to_string()]);
+        let text = table.render();
+        assert!(text.lines().count() >= 4);
+        assert!(text.contains("long header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut table = Table::new(&["a", "b"]);
+        table.row(&["only one".to_string()]);
+    }
+}

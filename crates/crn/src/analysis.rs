@@ -1,0 +1,454 @@
+//! Structural analysis of reaction networks.
+//!
+//! These tools are not needed to *simulate* a network, but they are useful
+//! when synthesising one: the stoichiometry matrix and its conservation laws
+//! reveal which totals a module preserves (for instance, the stochastic
+//! module of the DAC'07 scheme conserves `e_i + d_i`-style totals only
+//! approximately, which is why its purifying reactions must dominate), and
+//! the dependency graph drives the Gibson–Bruck next-reaction simulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::Crn;
+use crate::species::SpeciesId;
+
+/// The stoichiometry matrix `S` of a network: `S[s][r]` is the net change in
+/// species `s` caused by one firing of reaction `r`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoichiometryMatrix {
+    species_len: usize,
+    reactions_len: usize,
+    /// Row-major storage: `entries[s * reactions_len + r]`.
+    entries: Vec<i64>,
+}
+
+impl StoichiometryMatrix {
+    /// Builds the stoichiometry matrix of `crn`.
+    pub fn from_crn(crn: &Crn) -> Self {
+        let species_len = crn.species_len();
+        let reactions_len = crn.reactions().len();
+        let mut entries = vec![0i64; species_len * reactions_len];
+        for (r, reaction) in crn.reactions().iter().enumerate() {
+            for term in reaction.reactants() {
+                entries[term.species.index() * reactions_len + r] -= i64::from(term.coefficient);
+            }
+            for term in reaction.products() {
+                entries[term.species.index() * reactions_len + r] += i64::from(term.coefficient);
+            }
+        }
+        StoichiometryMatrix { species_len, reactions_len, entries }
+    }
+
+    /// Returns the number of species (rows).
+    pub fn species_len(&self) -> usize {
+        self.species_len
+    }
+
+    /// Returns the number of reactions (columns).
+    pub fn reactions_len(&self) -> usize {
+        self.reactions_len
+    }
+
+    /// Returns the net change of `species` under `reaction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn net_change(&self, species: SpeciesId, reaction: usize) -> i64 {
+        assert!(reaction < self.reactions_len, "reaction index out of range");
+        self.entries[species.index() * self.reactions_len + reaction]
+    }
+
+    /// Returns the row of net changes for a species across all reactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the species index is out of range.
+    pub fn row(&self, species: SpeciesId) -> &[i64] {
+        let start = species.index() * self.reactions_len;
+        &self.entries[start..start + self.reactions_len]
+    }
+
+    /// Computes a basis of integer-weighted conservation laws: vectors `w`
+    /// with `wᵀ·S = 0`, meaning the weighted species total `Σ w_s · X_s` is
+    /// invariant under every reaction.
+    ///
+    /// The basis is found by Gaussian elimination over the rationals on the
+    /// transposed stoichiometry matrix and scaled back to small integers.
+    /// Only laws with non-negative weights after sign normalisation are
+    /// returned in general position; the basis is not unique.
+    pub fn conservation_laws(&self) -> Vec<ConservationLaw> {
+        // Solve wᵀ S = 0  ⇔  Sᵀ w = 0. Build Sᵀ as f64 and find the null
+        // space via Gaussian elimination with partial pivoting.
+        let rows = self.reactions_len; // equations
+        let cols = self.species_len; // unknowns
+        let mut m = vec![0f64; rows * cols];
+        for s in 0..cols {
+            for r in 0..rows {
+                m[r * cols + s] = self.entries[s * self.reactions_len + r] as f64;
+            }
+        }
+        let mut pivot_cols = Vec::new();
+        let mut row = 0usize;
+        for col in 0..cols {
+            // find pivot
+            let mut best = row;
+            let mut best_val = 0.0f64;
+            for r in row..rows {
+                let v = m[r * cols + col].abs();
+                if v > best_val {
+                    best_val = v;
+                    best = r;
+                }
+            }
+            if best_val < 1e-9 {
+                continue;
+            }
+            // swap rows
+            if best != row {
+                for c in 0..cols {
+                    m.swap(row * cols + c, best * cols + c);
+                }
+            }
+            // eliminate
+            let pivot = m[row * cols + col];
+            for r in 0..rows {
+                if r != row {
+                    let factor = m[r * cols + col] / pivot;
+                    if factor != 0.0 {
+                        for c in 0..cols {
+                            m[r * cols + c] -= factor * m[row * cols + c];
+                        }
+                    }
+                }
+            }
+            pivot_cols.push((row, col));
+            row += 1;
+            if row == rows {
+                break;
+            }
+        }
+        let pivot_col_set: Vec<usize> = pivot_cols.iter().map(|&(_, c)| c).collect();
+        let mut laws = Vec::new();
+        for free_col in 0..cols {
+            if pivot_col_set.contains(&free_col) {
+                continue;
+            }
+            // Back-substitute with the free variable set to 1.
+            let mut w = vec![0f64; cols];
+            w[free_col] = 1.0;
+            for &(prow, pcol) in pivot_cols.iter().rev() {
+                let pivot = m[prow * cols + pcol];
+                let mut acc = 0.0;
+                for c in 0..cols {
+                    if c != pcol {
+                        acc += m[prow * cols + c] * w[c];
+                    }
+                }
+                w[pcol] = -acc / pivot;
+            }
+            if let Some(law) = ConservationLaw::from_weights(&w) {
+                laws.push(law);
+            }
+        }
+        laws
+    }
+}
+
+/// A weighted conservation law: `Σ weight_s · X_s` is constant under every
+/// reaction of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConservationLaw {
+    weights: BTreeMap<usize, i64>,
+}
+
+impl ConservationLaw {
+    /// Builds a law from a dense floating-point weight vector, scaling to
+    /// small integers. Returns `None` if the weights cannot be represented
+    /// with reasonable integers (denominator > 10⁶).
+    fn from_weights(weights: &[f64]) -> Option<Self> {
+        // Scale so the smallest non-zero |weight| becomes 1-ish, then round.
+        let min_nonzero = weights
+            .iter()
+            .map(|w| w.abs())
+            .filter(|w| *w > 1e-9)
+            .fold(f64::INFINITY, f64::min);
+        if !min_nonzero.is_finite() {
+            return None;
+        }
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w / min_nonzero).collect();
+        // Try small multipliers to clear fractions.
+        'mult: for mult in 1..=24i64 {
+            let candidate: Vec<f64> = scaled.iter().map(|w| w * mult as f64).collect();
+            if candidate.iter().all(|w| (w - w.round()).abs() < 1e-6) {
+                scaled = candidate;
+                let map: BTreeMap<usize, i64> = scaled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.round().abs() > 0.5)
+                    .map(|(i, w)| (i, w.round() as i64))
+                    .collect();
+                if map.is_empty() {
+                    return None;
+                }
+                return Some(ConservationLaw { weights: map });
+            }
+            if mult == 24 {
+                break 'mult;
+            }
+        }
+        None
+    }
+
+    /// Returns the (species index, weight) pairs of the law, sorted by
+    /// species index.
+    pub fn weights(&self) -> impl Iterator<Item = (SpeciesId, i64)> + '_ {
+        self.weights.iter().map(|(&i, &w)| (SpeciesId::from_index(i), w))
+    }
+
+    /// Evaluates the conserved quantity in the given state counts.
+    pub fn evaluate(&self, counts: &[u64]) -> i64 {
+        self.weights
+            .iter()
+            .map(|(&i, &w)| w * counts.get(i).copied().unwrap_or(0) as i64)
+            .sum()
+    }
+}
+
+impl fmt::Display for ConservationLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (&sp, &w)) in self.weights.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            if w != 1 {
+                write!(f, "{w}·")?;
+            }
+            write!(f, "s{sp}")?;
+        }
+        f.write_str(" = const")
+    }
+}
+
+/// The reaction dependency graph used by the Gibson–Bruck next-reaction
+/// method: `dependents(r)` lists every reaction whose propensity may change
+/// after reaction `r` fires (including `r` itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    dependents: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `crn`.
+    pub fn from_crn(crn: &Crn) -> Self {
+        let reactions = crn.reactions();
+        // For each species, which reactions have it as a reactant?
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); crn.species_len()];
+        for (idx, r) in reactions.iter().enumerate() {
+            for term in r.reactants() {
+                consumers[term.species.index()].push(idx);
+            }
+        }
+        let mut dependents = Vec::with_capacity(reactions.len());
+        for (idx, r) in reactions.iter().enumerate() {
+            let mut deps: Vec<usize> = vec![idx];
+            for sp in r.species() {
+                if r.net_change(sp) != 0 {
+                    deps.extend(consumers[sp.index()].iter().copied());
+                }
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            dependents.push(deps);
+        }
+        DependencyGraph { dependents }
+    }
+
+    /// Returns the reactions whose propensities must be refreshed after
+    /// reaction `reaction` fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reaction` is out of range.
+    pub fn dependents(&self, reaction: usize) -> &[usize] {
+        &self.dependents[reaction]
+    }
+
+    /// Returns the number of reactions covered by the graph.
+    pub fn len(&self) -> usize {
+        self.dependents.len()
+    }
+
+    /// Returns `true` if the graph covers no reactions.
+    pub fn is_empty(&self) -> bool {
+        self.dependents.is_empty()
+    }
+
+    /// Returns the mean out-degree of the graph — a measure of how coupled
+    /// the network is and therefore how much the next-reaction method can
+    /// save over the direct method.
+    pub fn mean_out_degree(&self) -> f64 {
+        if self.dependents.is_empty() {
+            return 0.0;
+        }
+        self.dependents.iter().map(|d| d.len()).sum::<usize>() as f64 / self.dependents.len() as f64
+    }
+}
+
+/// A compact structural summary of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Number of species.
+    pub species: usize,
+    /// Number of reactions.
+    pub reactions: usize,
+    /// Histogram of reaction orders (order → count).
+    pub order_histogram: BTreeMap<u32, usize>,
+    /// Smallest rate constant in the network.
+    pub min_rate: f64,
+    /// Largest rate constant in the network.
+    pub max_rate: f64,
+    /// Ratio `max_rate / min_rate` — the total rate separation, which for the
+    /// DAC'07 stochastic module is `γ²`.
+    pub rate_span: f64,
+}
+
+impl NetworkSummary {
+    /// Builds the summary of `crn`.
+    pub fn from_crn(crn: &Crn) -> Self {
+        let mut order_histogram = BTreeMap::new();
+        let mut min_rate = f64::INFINITY;
+        let mut max_rate = 0.0f64;
+        for r in crn.reactions() {
+            *order_histogram.entry(r.order()).or_insert(0) += 1;
+            min_rate = min_rate.min(r.rate());
+            max_rate = max_rate.max(r.rate());
+        }
+        if crn.reactions().is_empty() {
+            min_rate = 0.0;
+        }
+        let rate_span = if min_rate > 0.0 { max_rate / min_rate } else { 0.0 };
+        NetworkSummary {
+            species: crn.species_len(),
+            reactions: crn.reactions().len(),
+            order_histogram,
+            min_rate,
+            max_rate,
+            rate_span,
+        }
+    }
+}
+
+impl fmt::Display for NetworkSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} species, {} reactions, rates in [{:.3e}, {:.3e}] (span {:.3e})",
+            self.species, self.reactions, self.min_rate, self.max_rate, self.rate_span
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dimer_crn() -> Crn {
+        // a + b -> c, c -> a + b : conserves a+c and b+c.
+        "a + b -> c @ 1\nc -> a + b @ 2".parse().unwrap()
+    }
+
+    #[test]
+    fn stoichiometry_matrix_entries() {
+        let crn = dimer_crn();
+        let s = crn.stoichiometry();
+        let a = crn.species_id("a").unwrap();
+        let c = crn.species_id("c").unwrap();
+        assert_eq!(s.net_change(a, 0), -1);
+        assert_eq!(s.net_change(a, 1), 1);
+        assert_eq!(s.net_change(c, 0), 1);
+        assert_eq!(s.row(c), &[1, -1]);
+        assert_eq!(s.species_len(), 3);
+        assert_eq!(s.reactions_len(), 2);
+    }
+
+    #[test]
+    fn conservation_laws_of_dimerisation() {
+        let crn = dimer_crn();
+        let laws = crn.stoichiometry().conservation_laws();
+        // Expect a 2-dimensional conservation space (3 species, rank-1 S).
+        assert_eq!(laws.len(), 2);
+        // Every law must indeed be conserved by both reactions.
+        let s = crn.stoichiometry();
+        for law in &laws {
+            for r in 0..s.reactions_len() {
+                let delta: i64 = law
+                    .weights()
+                    .map(|(sp, w)| w * s.net_change(sp, r))
+                    .sum();
+                assert_eq!(delta, 0, "law {law} violated by reaction {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_law_evaluation() {
+        let crn = dimer_crn();
+        let laws = crn.stoichiometry().conservation_laws();
+        let state0 = crn.state_from_counts([("a", 5), ("b", 3), ("c", 0)]).unwrap();
+        let mut state1 = state0.clone();
+        state1.apply(&crn.reactions()[0]).unwrap();
+        for law in &laws {
+            assert_eq!(law.evaluate(state0.counts()), law.evaluate(state1.counts()));
+        }
+    }
+
+    #[test]
+    fn open_network_has_fewer_laws() {
+        // a -> 0 destroys molecules: only species untouched by reactions are conserved.
+        let crn: Crn = "a -> 0 @ 1".parse().unwrap();
+        let laws = crn.stoichiometry().conservation_laws();
+        assert!(laws.is_empty());
+    }
+
+    #[test]
+    fn dependency_graph_links_consumers_of_changed_species() {
+        // r0: a -> b, r1: b -> c, r2: c -> a
+        let crn: Crn = "a -> b @ 1\nb -> c @ 1\nc -> a @ 1".parse().unwrap();
+        let dg = crn.dependency_graph();
+        assert_eq!(dg.len(), 3);
+        // Firing r0 changes a and b, so r0 (a consumer of a) and r1 (consumer
+        // of b) must be refreshed; r2 is unaffected.
+        assert_eq!(dg.dependents(0), &[0, 1]);
+        assert_eq!(dg.dependents(1), &[1, 2]);
+        assert_eq!(dg.dependents(2), &[0, 2]);
+        assert!(dg.mean_out_degree() > 1.9 && dg.mean_out_degree() < 2.1);
+        assert!(!dg.is_empty());
+    }
+
+    #[test]
+    fn catalytic_reactions_do_not_propagate_through_catalyst() {
+        // r0: cat + x -> cat + y. The catalyst count never changes, so a
+        // reaction consuming only `cat` (r1) does not depend on r0.
+        let crn: Crn = "cat + x -> cat + y @ 1\ncat + z -> w @ 1".parse().unwrap();
+        let dg = crn.dependency_graph();
+        assert_eq!(dg.dependents(0), &[0]);
+    }
+
+    #[test]
+    fn summary_reports_rate_span() {
+        let crn: Crn = "e1 -> d1 @ 1\nd1 + d2 -> 0 @ 1e6".parse().unwrap();
+        let summary = crn.summary();
+        assert_eq!(summary.species, 3);
+        assert_eq!(summary.reactions, 2);
+        assert_eq!(summary.min_rate, 1.0);
+        assert_eq!(summary.max_rate, 1e6);
+        assert_eq!(summary.rate_span, 1e6);
+        assert_eq!(summary.order_histogram[&1], 1);
+        assert_eq!(summary.order_histogram[&2], 1);
+        assert!(!summary.to_string().is_empty());
+    }
+}

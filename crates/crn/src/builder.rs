@@ -1,0 +1,247 @@
+//! Builders for networks and reactions.
+
+use std::collections::HashMap;
+
+use crate::error::CrnError;
+use crate::network::Crn;
+use crate::reaction::{Reaction, ReactionTerm};
+use crate::species::{Species, SpeciesId};
+
+/// Incremental builder for a [`Crn`].
+///
+/// Species are registered on demand with [`CrnBuilder::species`]; declaring
+/// the same name twice returns the same id, which makes it easy for several
+/// code paths (or module generators) to collaborate on one network.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), crn::CrnError> {
+/// use crn::CrnBuilder;
+///
+/// let mut b = CrnBuilder::new();
+/// let e1 = b.species("e1");
+/// let d1 = b.species("d1");
+/// b.reaction().reactant(e1, 1).product(d1, 1).rate(1.0).label("initializing").add()?;
+/// b.reaction().reactant(e1, 1).reactant(d1, 1).product(d1, 2).rate(1e3).label("reinforcing").add()?;
+/// let crn = b.build()?;
+/// assert_eq!(crn.reactions().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CrnBuilder {
+    species: Vec<Species>,
+    name_index: HashMap<String, SpeciesId>,
+    reactions: Vec<Reaction>,
+}
+
+impl CrnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CrnBuilder::default()
+    }
+
+    /// Registers a species by name, returning its id. Registering an
+    /// already-known name returns the existing id.
+    pub fn species(&mut self, name: impl AsRef<str>) -> SpeciesId {
+        let name = name.as_ref();
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = SpeciesId::from_index(self.species.len());
+        self.species.push(Species::new(id, name));
+        self.name_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Returns the id of an already-registered species, if any.
+    pub fn lookup(&self, name: &str) -> Option<SpeciesId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Returns the number of species registered so far.
+    pub fn species_len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Returns the number of reactions added so far.
+    pub fn reactions_len(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Starts building a reaction attached to this network.
+    pub fn reaction(&mut self) -> ReactionBuilder<'_> {
+        ReactionBuilder {
+            builder: self,
+            reactants: Vec::new(),
+            products: Vec::new(),
+            rate: None,
+            label: None,
+        }
+    }
+
+    /// Adds an already-constructed reaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::SpeciesOutOfRange`] if the reaction references a
+    /// species id that has not been registered with this builder.
+    pub fn push_reaction(&mut self, reaction: Reaction) -> Result<(), CrnError> {
+        if let Some(max) = reaction
+            .reactants()
+            .iter()
+            .chain(reaction.products())
+            .map(|t| t.species.index())
+            .max()
+        {
+            if max >= self.species.len() {
+                return Err(CrnError::SpeciesOutOfRange { index: max, len: self.species.len() });
+            }
+        }
+        self.reactions.push(reaction);
+        Ok(())
+    }
+
+    /// Finalises the builder into an immutable [`Crn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::Validation`] if the accumulated parts are
+    /// inconsistent (this cannot happen when using only the builder API).
+    pub fn build(self) -> Result<Crn, CrnError> {
+        Crn::from_parts(self.species, self.reactions)
+    }
+}
+
+/// Builder for a single reaction, obtained from [`CrnBuilder::reaction`].
+///
+/// Call [`ReactionBuilder::add`] to validate the reaction and append it to
+/// the parent network builder.
+#[derive(Debug)]
+pub struct ReactionBuilder<'a> {
+    builder: &'a mut CrnBuilder,
+    reactants: Vec<ReactionTerm>,
+    products: Vec<ReactionTerm>,
+    rate: Option<f64>,
+    label: Option<String>,
+}
+
+impl ReactionBuilder<'_> {
+    /// Adds a reactant term (`coefficient` copies of `species`).
+    pub fn reactant(mut self, species: SpeciesId, coefficient: u32) -> Self {
+        self.reactants.push(ReactionTerm::new(species, coefficient));
+        self
+    }
+
+    /// Adds a product term (`coefficient` copies of `species`).
+    pub fn product(mut self, species: SpeciesId, coefficient: u32) -> Self {
+        self.products.push(ReactionTerm::new(species, coefficient));
+        self
+    }
+
+    /// Adds a reactant by name, registering the species if needed.
+    pub fn reactant_named(mut self, name: &str, coefficient: u32) -> Self {
+        let id = self.builder.species(name);
+        self.reactants.push(ReactionTerm::new(id, coefficient));
+        self
+    }
+
+    /// Adds a product by name, registering the species if needed.
+    pub fn product_named(mut self, name: &str, coefficient: u32) -> Self {
+        let id = self.builder.species(name);
+        self.products.push(ReactionTerm::new(id, coefficient));
+        self
+    }
+
+    /// Sets the stochastic rate constant of the reaction.
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Attaches an informational label (e.g. the paper's reaction category).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Validates the reaction and appends it to the parent builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InvalidRate`] if no valid rate was supplied and
+    /// [`CrnError::EmptyReaction`] if the reaction has no terms at all.
+    pub fn add(self) -> Result<(), CrnError> {
+        let rate = self.rate.ok_or(CrnError::InvalidRate { rate: f64::NAN })?;
+        let reaction = match self.label {
+            Some(label) => Reaction::with_label(self.reactants, self.products, rate, label)?,
+            None => Reaction::new(self.reactants, self.products, rate)?,
+        };
+        self.builder.reactions.push(reaction);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_registration_is_idempotent() {
+        let mut b = CrnBuilder::new();
+        let a1 = b.species("a");
+        let a2 = b.species("a");
+        assert_eq!(a1, a2);
+        assert_eq!(b.species_len(), 1);
+        assert_eq!(b.lookup("a"), Some(a1));
+        assert_eq!(b.lookup("b"), None);
+    }
+
+    #[test]
+    fn reaction_builder_requires_rate() {
+        let mut b = CrnBuilder::new();
+        let a = b.species("a");
+        let err = b.reaction().reactant(a, 1).add().unwrap_err();
+        assert!(matches!(err, CrnError::InvalidRate { .. }));
+    }
+
+    #[test]
+    fn named_terms_register_species() {
+        let mut b = CrnBuilder::new();
+        b.reaction()
+            .reactant_named("x", 2)
+            .product_named("y", 1)
+            .rate(4.0)
+            .add()
+            .unwrap();
+        assert_eq!(b.species_len(), 2);
+        let crn = b.build().unwrap();
+        assert_eq!(crn.reactions()[0].order(), 2);
+    }
+
+    #[test]
+    fn push_reaction_checks_species_range() {
+        let mut b = CrnBuilder::new();
+        b.species("a");
+        let foreign = Reaction::new(
+            vec![ReactionTerm::new(SpeciesId::from_index(5), 1)],
+            vec![],
+            1.0,
+        )
+        .unwrap();
+        assert!(b.push_reaction(foreign).is_err());
+    }
+
+    #[test]
+    fn build_produces_consistent_network() {
+        let mut b = CrnBuilder::new();
+        let e = b.species("e1");
+        let d = b.species("d1");
+        b.reaction().reactant(e, 1).product(d, 1).rate(1.0).add().unwrap();
+        assert_eq!(b.reactions_len(), 1);
+        let crn = b.build().unwrap();
+        assert_eq!(crn.species_len(), 2);
+        assert_eq!(crn.reactions().len(), 1);
+    }
+}

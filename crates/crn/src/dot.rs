@@ -1,0 +1,154 @@
+//! Graphviz (DOT) export of reaction networks.
+//!
+//! Synthesized networks are easiest to review as a bipartite species/reaction
+//! graph. [`Crn::to_dot`] renders one: species are ellipses, reactions are
+//! boxes labelled with their rate (and category label when present), and
+//! edges carry stoichiometric coefficients greater than one.
+
+use std::fmt::Write as _;
+
+use crate::network::Crn;
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Include the reaction's informational label (category) in its node.
+    pub show_labels: bool,
+    /// Include the rate constant in the reaction node.
+    pub show_rates: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { show_labels: true, show_rates: true }
+    }
+}
+
+impl Crn {
+    /// Renders the network as a Graphviz DOT bipartite graph with default
+    /// options.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), crn::CrnError> {
+    /// let crn: crn::Crn = "a + b -> 2 c @ 10".parse()?;
+    /// let dot = crn.to_dot();
+    /// assert!(dot.starts_with("digraph crn {"));
+    /// assert!(dot.contains("\"a\" -> \"r0\""));
+    /// assert!(dot.contains("label=\"2\""));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        self.to_dot_with(DotOptions::default())
+    }
+
+    /// Renders the network as a Graphviz DOT bipartite graph.
+    pub fn to_dot_with(&self, options: DotOptions) -> String {
+        let mut out = String::from("digraph crn {\n");
+        out.push_str("  rankdir=LR;\n");
+        out.push_str("  node [fontsize=10];\n");
+        for species in self.species() {
+            let _ = writeln!(out, "  \"{}\" [shape=ellipse];", species.name());
+        }
+        for (idx, reaction) in self.reactions().iter().enumerate() {
+            let mut label_parts: Vec<String> = Vec::new();
+            if options.show_rates {
+                label_parts.push(format!("k={}", reaction.rate()));
+            }
+            if options.show_labels {
+                if let Some(label) = reaction.label() {
+                    label_parts.push(label.to_string());
+                }
+            }
+            let label = if label_parts.is_empty() {
+                format!("r{idx}")
+            } else {
+                label_parts.join("\\n")
+            };
+            let _ = writeln!(
+                out,
+                "  \"r{idx}\" [shape=box, style=filled, fillcolor=lightgrey, label=\"{label}\"];"
+            );
+            for term in reaction.reactants() {
+                let coefficient = if term.coefficient > 1 {
+                    format!(" [label=\"{}\"]", term.coefficient)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"r{idx}\"{coefficient};",
+                    self.species_name(term.species)
+                );
+            }
+            for term in reaction.products() {
+                let coefficient = if term.coefficient > 1 {
+                    format!(" [label=\"{}\"]", term.coefficient)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"r{idx}\" -> \"{}\"{coefficient};",
+                    self.species_name(term.species)
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_crn() -> Crn {
+        "e1 -> d1 @ 1 # initializing\nd1 + d2 -> 0 @ 1e6 # purifying"
+            .parse()
+            .expect("valid network")
+    }
+
+    #[test]
+    fn dot_contains_every_species_and_reaction() {
+        let crn = example_crn();
+        let dot = crn.to_dot();
+        for name in ["e1", "d1", "d2"] {
+            assert!(dot.contains(&format!("\"{name}\" [shape=ellipse]")), "missing {name}");
+        }
+        assert!(dot.contains("\"r0\""));
+        assert!(dot.contains("\"r1\""));
+        assert!(dot.contains("initializing"));
+        assert!(dot.contains("purifying"));
+        assert!(dot.contains("k=1000000"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn options_can_hide_rates_and_labels() {
+        let crn = example_crn();
+        let bare = crn.to_dot_with(DotOptions { show_labels: false, show_rates: false });
+        assert!(!bare.contains("initializing"));
+        assert!(!bare.contains("k=1"));
+        assert!(bare.contains("label=\"r0\""));
+    }
+
+    #[test]
+    fn coefficients_appear_on_edges() {
+        let crn: Crn = "2 a -> 3 b @ 1".parse().expect("network");
+        let dot = crn.to_dot();
+        assert!(dot.contains("\"a\" -> \"r0\" [label=\"2\"]"));
+        assert!(dot.contains("\"r0\" -> \"b\" [label=\"3\"]"));
+    }
+
+    #[test]
+    fn empty_sides_render_without_edges() {
+        let crn: Crn = "0 -> a @ 1\nb -> 0 @ 2".parse().expect("network");
+        let dot = crn.to_dot();
+        // Source reaction has no incoming species edge, sink no outgoing.
+        assert!(dot.contains("\"r0\" -> \"a\""));
+        assert!(dot.contains("\"b\" -> \"r1\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for CRN construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or manipulating a reaction
+/// network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrnError {
+    /// A reaction was given a rate constant that is not finite and positive.
+    InvalidRate {
+        /// The offending rate value.
+        rate: f64,
+    },
+    /// A reaction with no reactants and no products was constructed.
+    EmptyReaction,
+    /// A species name was declared twice with conflicting metadata, or a
+    /// reaction referenced a species unknown to the network.
+    UnknownSpecies {
+        /// The unknown species name.
+        name: String,
+    },
+    /// A species index exceeded the number of species in the network/state.
+    SpeciesOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of species available.
+        len: usize,
+    },
+    /// A reaction could not fire because reactants were missing.
+    InsufficientReactants {
+        /// Rendered form of the reaction that failed to fire.
+        reaction: String,
+    },
+    /// The textual reaction notation could not be parsed.
+    Parse {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The network failed validation (e.g. a reaction references a species
+    /// id that does not exist in the species table).
+    Validation {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrnError::InvalidRate { rate } => {
+                write!(f, "reaction rate must be finite and positive, got {rate}")
+            }
+            CrnError::EmptyReaction => {
+                write!(f, "reaction has neither reactants nor products")
+            }
+            CrnError::UnknownSpecies { name } => write!(f, "unknown species `{name}`"),
+            CrnError::SpeciesOutOfRange { index, len } => {
+                write!(f, "species index {index} out of range for {len} species")
+            }
+            CrnError::InsufficientReactants { reaction } => {
+                write!(f, "insufficient reactants to fire reaction `{reaction}`")
+            }
+            CrnError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CrnError::Validation { message } => write!(f, "invalid network: {message}"),
+        }
+    }
+}
+
+impl Error for CrnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<CrnError> = vec![
+            CrnError::InvalidRate { rate: -1.0 },
+            CrnError::EmptyReaction,
+            CrnError::UnknownSpecies { name: "zz".into() },
+            CrnError::SpeciesOutOfRange { index: 9, len: 3 },
+            CrnError::InsufficientReactants { reaction: "a -> b".into() },
+            CrnError::Parse { line: 2, message: "missing `->`".into() },
+            CrnError::Validation { message: "dangling species".into() },
+        ];
+        for err in cases {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrnError>();
+    }
+}

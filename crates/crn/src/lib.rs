@@ -1,0 +1,64 @@
+//! Chemical reaction network (CRN) data model.
+//!
+//! This crate provides the structural substrate used throughout the
+//! workspace: species tables, mass-action reactions, discrete states and the
+//! tooling to build, parse, validate and analyse reaction networks.
+//!
+//! A [`Crn`] is a set of named species together with a list of
+//! [`Reaction`]s. Reactions are written in the discrete, stochastic
+//! interpretation of chemical kinetics used by the paper *"Synthesizing
+//! Stochasticity in Biochemical Systems"* (Fett, Bruck & Riedel, DAC 2007):
+//! the state of the system is a vector of non-negative integer molecule
+//! counts and every reaction firing consumes its reactant multiset and
+//! produces its product multiset.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), crn::CrnError> {
+//! use crn::CrnBuilder;
+//!
+//! let mut builder = CrnBuilder::new();
+//! let a = builder.species("a");
+//! let b = builder.species("b");
+//! let c = builder.species("c");
+//! builder.reaction().reactant(a, 1).reactant(b, 1).product(c, 2).rate(10.0).add()?;
+//! let crn = builder.build()?;
+//!
+//! assert_eq!(crn.species_len(), 3);
+//! assert_eq!(crn.reactions().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Networks can also be parsed from a compact text notation:
+//!
+//! ```
+//! # fn main() -> Result<(), crn::CrnError> {
+//! let crn: crn::Crn = "a + b -> 2 c @ 10\nc -> 0 @ 1".parse()?;
+//! assert_eq!(crn.reactions().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod builder;
+mod dot;
+mod error;
+mod network;
+mod parse;
+mod reaction;
+mod species;
+mod state;
+
+pub use analysis::{ConservationLaw, DependencyGraph, NetworkSummary, StoichiometryMatrix};
+pub use builder::{CrnBuilder, ReactionBuilder};
+pub use dot::DotOptions;
+pub use error::CrnError;
+pub use network::Crn;
+pub use reaction::{Reaction, ReactionTerm};
+pub use species::{Species, SpeciesId};
+pub use state::State;

@@ -1,0 +1,405 @@
+//! The [`Crn`] network type.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{DependencyGraph, NetworkSummary, StoichiometryMatrix};
+use crate::error::CrnError;
+use crate::reaction::Reaction;
+use crate::species::{Species, SpeciesId};
+use crate::state::State;
+
+/// A chemical reaction network: a species table plus a list of reactions.
+///
+/// `Crn` values are immutable; construct them with
+/// [`CrnBuilder`](crate::CrnBuilder), by parsing the textual notation with
+/// [`str::parse`], or by [`Crn::merge`]-ing existing networks.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), crn::CrnError> {
+/// let crn: crn::Crn = "
+///     e1 -> d1 @ 1
+///     e2 -> d2 @ 1
+///     e3 -> d3 @ 1
+/// ".parse()?;
+/// assert_eq!(crn.species_len(), 6);
+/// assert_eq!(crn.reactions().len(), 3);
+/// assert!(crn.species_id("d2").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crn {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+    #[serde(skip)]
+    name_index: HashMap<String, SpeciesId>,
+}
+
+impl Crn {
+    /// Creates a network from parts, validating consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::Validation`] if any reaction references a species
+    /// id outside the species table or if two species share a name.
+    pub fn from_parts(species: Vec<Species>, reactions: Vec<Reaction>) -> Result<Self, CrnError> {
+        let mut name_index = HashMap::with_capacity(species.len());
+        for (i, sp) in species.iter().enumerate() {
+            if sp.id().index() != i {
+                return Err(CrnError::Validation {
+                    message: format!(
+                        "species `{}` has id {} but sits at position {i}",
+                        sp.name(),
+                        sp.id().index()
+                    ),
+                });
+            }
+            if name_index.insert(sp.name().to_string(), sp.id()).is_some() {
+                return Err(CrnError::Validation {
+                    message: format!("duplicate species name `{}`", sp.name()),
+                });
+            }
+        }
+        for r in &reactions {
+            if let Some(max) = r.max_species_index() {
+                if max >= species.len() {
+                    return Err(CrnError::Validation {
+                        message: format!(
+                            "reaction `{r}` references species index {max} but only {} species exist",
+                            species.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Crn { species, reactions, name_index })
+    }
+
+    /// Returns the number of species in the network.
+    pub fn species_len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Returns the species table.
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// Returns the species with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    pub fn species_by_id(&self, id: SpeciesId) -> &Species {
+        &self.species[id.index()]
+    }
+
+    /// Looks up a species id by name.
+    pub fn species_id(&self, name: &str) -> Option<SpeciesId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Looks up a species id by name, returning an error naming the missing
+    /// species. Convenient inside `?`-style pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::UnknownSpecies`] if no species has that name.
+    pub fn require_species(&self, name: &str) -> Result<SpeciesId, CrnError> {
+        self.species_id(name)
+            .ok_or_else(|| CrnError::UnknownSpecies { name: name.to_string() })
+    }
+
+    /// Returns the name of the species with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this network.
+    pub fn species_name(&self, id: SpeciesId) -> &str {
+        self.species[id.index()].name()
+    }
+
+    /// Returns the reactions of the network.
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Returns a fresh all-zero state sized for this network.
+    pub fn zero_state(&self) -> State {
+        State::zero(self.species.len())
+    }
+
+    /// Builds a state from `(species name, count)` pairs; species not
+    /// mentioned start at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::UnknownSpecies`] if a name is not present in the
+    /// network.
+    pub fn state_from_counts<'a, I>(&self, counts: I) -> Result<State, CrnError>
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut state = self.zero_state();
+        for (name, count) in counts {
+            let id = self.require_species(name)?;
+            state.set(id, count);
+        }
+        Ok(state)
+    }
+
+    /// Computes the stoichiometry matrix of the network.
+    pub fn stoichiometry(&self) -> StoichiometryMatrix {
+        StoichiometryMatrix::from_crn(self)
+    }
+
+    /// Computes the reaction dependency graph used by the Gibson–Bruck
+    /// next-reaction method: which reaction propensities must be recomputed
+    /// after each firing.
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        DependencyGraph::from_crn(self)
+    }
+
+    /// Produces a structural summary of the network (species/reaction counts,
+    /// order histogram, rate extremes).
+    pub fn summary(&self) -> NetworkSummary {
+        NetworkSummary::from_crn(self)
+    }
+
+    /// Merges another network into this one, returning a new network.
+    ///
+    /// Species are matched by *name*: a species named `"x"` in both networks
+    /// becomes a single species in the result, which is how modules are glued
+    /// together (shared species carry counts between modules). Reactions from
+    /// both networks are concatenated (in `self`-then-`other` order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::Validation`] only in the pathological case where
+    /// the merged species table cannot be constructed (this does not happen
+    /// for well-formed inputs).
+    pub fn merge(&self, other: &Crn) -> Result<Crn, CrnError> {
+        let mut species = self.species.clone();
+        let mut name_index = self.name_index.clone();
+        // Map other's species ids into the merged id space.
+        let mut remap = Vec::with_capacity(other.species.len());
+        for sp in &other.species {
+            let id = match name_index.get(sp.name()) {
+                Some(&existing) => existing,
+                None => {
+                    let id = SpeciesId::from_index(species.len());
+                    species.push(Species::new(id, sp.name()));
+                    name_index.insert(sp.name().to_string(), id);
+                    id
+                }
+            };
+            remap.push(id);
+        }
+        let mut reactions = self.reactions.clone();
+        for r in &other.reactions {
+            let remap_terms = |terms: &[crate::reaction::ReactionTerm]| {
+                terms
+                    .iter()
+                    .map(|t| crate::reaction::ReactionTerm::new(remap[t.species.index()], t.coefficient))
+                    .collect::<Vec<_>>()
+            };
+            let new = match r.label() {
+                Some(label) => Reaction::with_label(
+                    remap_terms(r.reactants()),
+                    remap_terms(r.products()),
+                    r.rate(),
+                    label,
+                )?,
+                None => Reaction::new(remap_terms(r.reactants()), remap_terms(r.products()), r.rate())?,
+            };
+            reactions.push(new);
+        }
+        Crn::from_parts(species, reactions)
+    }
+
+    /// Returns a copy of this network with every species renamed through
+    /// `rename`. Useful for namespacing module instances before merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::Validation`] if the renaming maps two species to
+    /// the same name.
+    pub fn rename_species<F>(&self, mut rename: F) -> Result<Crn, CrnError>
+    where
+        F: FnMut(&str) -> String,
+    {
+        let species: Vec<Species> = self
+            .species
+            .iter()
+            .map(|sp| Species::new(sp.id(), rename(sp.name())))
+            .collect();
+        Crn::from_parts(species, self.reactions.clone())
+    }
+
+    /// Serialises the network to the textual notation accepted by
+    /// [`str::parse`]. The output lists one reaction per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reactions {
+            out.push_str(&self.render_reaction(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a single reaction with species *names* rather than ids.
+    pub fn render_reaction(&self, reaction: &Reaction) -> String {
+        fn side(crn: &Crn, terms: &[crate::reaction::ReactionTerm], out: &mut String) {
+            if terms.is_empty() {
+                out.push('0');
+                return;
+            }
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" + ");
+                }
+                if t.coefficient != 1 {
+                    out.push_str(&format!("{} ", t.coefficient));
+                }
+                out.push_str(crn.species_name(t.species));
+            }
+        }
+        let mut out = String::new();
+        side(self, reaction.reactants(), &mut out);
+        out.push_str(" -> ");
+        side(self, reaction.products(), &mut out);
+        out.push_str(&format!(" @ {}", reaction.rate()));
+        if let Some(label) = reaction.label() {
+            out.push_str(&format!("  # {label}"));
+        }
+        out
+    }
+
+    /// Rebuilds the internal name index; used after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.name_index = self
+            .species
+            .iter()
+            .map(|sp| (sp.name().to_string(), sp.id()))
+            .collect();
+    }
+}
+
+impl FromStr for Crn {
+    type Err = CrnError;
+
+    fn from_str(text: &str) -> Result<Self, CrnError> {
+        crate::parse::parse_network(text)
+    }
+}
+
+impl fmt::Display for Crn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CrnBuilder;
+
+    fn simple_crn() -> Crn {
+        let mut b = CrnBuilder::new();
+        let a = b.species("a");
+        let c = b.species("c");
+        b.reaction().reactant(a, 1).product(c, 2).rate(10.0).add().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let crn = simple_crn();
+        let a = crn.species_id("a").unwrap();
+        assert_eq!(crn.species_name(a), "a");
+        assert_eq!(crn.species_by_id(a).name(), "a");
+        assert!(crn.species_id("zz").is_none());
+        assert!(crn.require_species("zz").is_err());
+    }
+
+    #[test]
+    fn state_from_counts_validates_names() {
+        let crn = simple_crn();
+        let state = crn.state_from_counts([("a", 5)]).unwrap();
+        assert_eq!(state.count(crn.species_id("a").unwrap()), 5);
+        assert!(crn.state_from_counts([("nope", 1)]).is_err());
+    }
+
+    #[test]
+    fn merge_unifies_species_by_name() {
+        let left: Crn = "a -> b @ 1".parse().unwrap();
+        let right: Crn = "b -> c @ 2".parse().unwrap();
+        let merged = left.merge(&right).unwrap();
+        assert_eq!(merged.species_len(), 3);
+        assert_eq!(merged.reactions().len(), 2);
+        // The shared species `b` appears exactly once.
+        let names: Vec<_> = merged.species().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names.iter().filter(|n| n.as_str() == "b").count(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_rates_and_labels() {
+        let left: Crn = "a -> b @ 1".parse().unwrap();
+        let mut b = CrnBuilder::new();
+        let x = b.species("b");
+        let y = b.species("z");
+        b.reaction()
+            .reactant(x, 1)
+            .product(y, 1)
+            .rate(1e6)
+            .label("purifying")
+            .add()
+            .unwrap();
+        let right = b.build().unwrap();
+        let merged = left.merge(&right).unwrap();
+        assert_eq!(merged.reactions()[1].rate(), 1e6);
+        assert_eq!(merged.reactions()[1].label(), Some("purifying"));
+    }
+
+    #[test]
+    fn rename_species_detects_collisions() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        let renamed = crn.rename_species(|n| format!("m1_{n}")).unwrap();
+        assert!(renamed.species_id("m1_a").is_some());
+        let err = crn.rename_species(|_| "same".to_string()).unwrap_err();
+        assert!(matches!(err, CrnError::Validation { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_reaction() {
+        let species = vec![Species::new(SpeciesId::from_index(0), "a")];
+        let r = Reaction::new(
+            vec![crate::reaction::ReactionTerm::new(SpeciesId::from_index(3), 1)],
+            vec![],
+            1.0,
+        )
+        .unwrap();
+        assert!(Crn::from_parts(species, vec![r]).is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let crn = simple_crn();
+        let text = crn.to_text();
+        let reparsed: Crn = text.parse().unwrap();
+        assert_eq!(reparsed.reactions().len(), crn.reactions().len());
+        assert_eq!(reparsed.species_len(), crn.species_len());
+    }
+
+    #[test]
+    fn display_matches_to_text() {
+        let crn = simple_crn();
+        assert_eq!(crn.to_string(), crn.to_text());
+    }
+}

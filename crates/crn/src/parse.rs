@@ -1,0 +1,222 @@
+//! Textual reaction notation.
+//!
+//! The notation is one reaction per line:
+//!
+//! ```text
+//! # comments start with `#`
+//! a + 2 b -> 3 c @ 1.5e3      # trailing comments become the reaction label
+//! e1 -> d1 @ 1
+//! d1 + d2 -> 0 @ 1e6          # `0`, `∅` or an empty side mean "no species"
+//! ```
+//!
+//! Coefficients may be written either as a separate token (`2 b`) or glued to
+//! the species name (`2b`). Rates follow `@` and accept any `f64` literal.
+
+use crate::builder::CrnBuilder;
+use crate::error::CrnError;
+use crate::network::Crn;
+
+/// Parses a whole network from text (one reaction per line).
+///
+/// # Errors
+///
+/// Returns [`CrnError::Parse`] describing the first offending line.
+pub fn parse_network(text: &str) -> Result<Crn, CrnError> {
+    let mut builder = CrnBuilder::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line_number = lineno + 1;
+        let (content, comment) = split_comment(raw_line);
+        let content = content.trim();
+        if content.is_empty() {
+            continue;
+        }
+        parse_reaction_into(&mut builder, content, comment, line_number)?;
+    }
+    builder.build()
+}
+
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    match line.find('#') {
+        Some(pos) => (&line[..pos], Some(line[pos + 1..].trim()).filter(|c| !c.is_empty())),
+        None => (line, None),
+    }
+}
+
+fn parse_reaction_into(
+    builder: &mut CrnBuilder,
+    content: &str,
+    comment: Option<&str>,
+    line: usize,
+) -> Result<(), CrnError> {
+    let err = |message: String| CrnError::Parse { line, message };
+
+    let (lhs_rhs, rate_text) = content
+        .rsplit_once('@')
+        .ok_or_else(|| err("missing `@ rate`".to_string()))?;
+    let rate: f64 = rate_text
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("invalid rate `{}`", rate_text.trim())))?;
+
+    let (lhs, rhs) = lhs_rhs
+        .split_once("->")
+        .ok_or_else(|| err("missing `->`".to_string()))?;
+
+    let reactants = parse_side(lhs).map_err(&err)?;
+    let products = parse_side(rhs).map_err(&err)?;
+
+    let mut rb = builder.reaction().rate(rate);
+    for (name, coeff) in &reactants {
+        rb = rb.reactant_named(name, *coeff);
+    }
+    for (name, coeff) in &products {
+        rb = rb.product_named(name, *coeff);
+    }
+    if let Some(label) = comment {
+        rb = rb.label(label);
+    }
+    rb.add().map_err(|e| err(e.to_string()))
+}
+
+/// Parses one side of a reaction into `(species name, coefficient)` pairs.
+fn parse_side(side: &str) -> Result<Vec<(String, u32)>, String> {
+    let side = side.trim();
+    if side.is_empty() || side == "0" || side == "∅" {
+        return Ok(Vec::new());
+    }
+    side.split('+')
+        .map(|term| parse_term(term.trim()))
+        .collect()
+}
+
+fn parse_term(term: &str) -> Result<(String, u32), String> {
+    if term.is_empty() {
+        return Err("empty term".to_string());
+    }
+    // Either "2 b", "2b", or "b".
+    let mut parts = term.split_whitespace();
+    let first = parts.next().ok_or_else(|| "empty term".to_string())?;
+    if let Some(second) = parts.next() {
+        if parts.next().is_some() {
+            return Err(format!("too many tokens in term `{term}`"));
+        }
+        let coeff: u32 = first
+            .parse()
+            .map_err(|_| format!("invalid coefficient `{first}` in term `{term}`"))?;
+        if coeff == 0 {
+            return Err(format!("zero coefficient in term `{term}`"));
+        }
+        validate_name(second)?;
+        return Ok((second.to_string(), coeff));
+    }
+    // Single token: split leading digits from the name if any.
+    let digits_end = first.find(|c: char| !c.is_ascii_digit()).unwrap_or(first.len());
+    let (digits, name) = first.split_at(digits_end);
+    if name.is_empty() {
+        return Err(format!("term `{term}` has no species name"));
+    }
+    validate_name(name)?;
+    let coeff = if digits.is_empty() {
+        1
+    } else {
+        let c: u32 = digits
+            .parse()
+            .map_err(|_| format!("invalid coefficient `{digits}`"))?;
+        if c == 0 {
+            return Err(format!("zero coefficient in term `{term}`"));
+        }
+        c
+    };
+    Ok((name.to_string(), coeff))
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    let valid = name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'');
+    let starts_ok = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if valid && starts_ok {
+        Ok(())
+    } else {
+        Err(format!("invalid species name `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_reaction() {
+        let crn = parse_network("a + b -> 2 c @ 10").unwrap();
+        assert_eq!(crn.species_len(), 3);
+        let r = &crn.reactions()[0];
+        assert_eq!(r.rate(), 10.0);
+        assert_eq!(r.order(), 2);
+        assert_eq!(r.product_coefficient(crn.species_id("c").unwrap()), 2);
+    }
+
+    #[test]
+    fn parses_glued_coefficients() {
+        let crn = parse_network("2e3 + x1 -> 2e1 @ 1e3").unwrap();
+        // NOTE: `2e3` is the species `e3` with coefficient 2, not a float.
+        let e3 = crn.species_id("e3").unwrap();
+        assert_eq!(crn.reactions()[0].reactant_coefficient(e3), 2);
+        assert_eq!(crn.reactions()[0].rate(), 1000.0);
+    }
+
+    #[test]
+    fn parses_empty_product_side() {
+        for notation in ["d1 + d2 -> 0 @ 1e6", "d1 + d2 -> ∅ @ 1e6", "d1 + d2 ->  @ 1e6"] {
+            let crn = parse_network(notation).unwrap();
+            assert!(crn.reactions()[0].products().is_empty(), "notation: {notation}");
+        }
+    }
+
+    #[test]
+    fn parses_source_reactions() {
+        let crn = parse_network("0 -> a @ 0.5").unwrap();
+        assert!(crn.reactions()[0].reactants().is_empty());
+        assert_eq!(crn.reactions()[0].order(), 0);
+    }
+
+    #[test]
+    fn comments_become_labels() {
+        let crn = parse_network("e1 -> d1 @ 1 # initializing\n# a full-line comment\n").unwrap();
+        assert_eq!(crn.reactions()[0].label(), Some("initializing"));
+    }
+
+    #[test]
+    fn primed_species_names_are_accepted() {
+        let crn = parse_network("x' -> x @ 1").unwrap();
+        assert!(crn.species_id("x'").is_some());
+    }
+
+    #[test]
+    fn reports_line_numbers_on_error() {
+        let err = parse_network("a -> b @ 1\nc -> d\n").unwrap_err();
+        match err {
+            CrnError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rate_and_bad_names() {
+        assert!(parse_network("a -> b @ fast").is_err());
+        assert!(parse_network("a -> 3 @ 1").is_err());
+        assert!(parse_network("a -> b- @ 1").is_err());
+        assert!(parse_network("0 b -> c @ 1").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_to_text() {
+        let source = "a + 2 b -> 3 c @ 1500\nc -> 0 @ 1\n";
+        let crn = parse_network(source).unwrap();
+        let reparsed = parse_network(&crn.to_text()).unwrap();
+        assert_eq!(crn, reparsed);
+    }
+}

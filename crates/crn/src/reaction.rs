@@ -1,0 +1,344 @@
+//! Reactions and reaction terms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CrnError;
+use crate::species::SpeciesId;
+
+/// A single term of a reaction: a species together with its stoichiometric
+/// coefficient.
+///
+/// For example in `2 a + b -> 3 c`, the reactant terms are `(a, 2)` and
+/// `(b, 1)` and the single product term is `(c, 3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReactionTerm {
+    /// The species taking part in the reaction.
+    pub species: SpeciesId,
+    /// Its stoichiometric coefficient (always ≥ 1).
+    pub coefficient: u32,
+}
+
+impl ReactionTerm {
+    /// Creates a new term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficient` is zero; zero-coefficient terms are
+    /// meaningless and are rejected during reaction validation anyway.
+    pub fn new(species: SpeciesId, coefficient: u32) -> Self {
+        assert!(coefficient > 0, "stoichiometric coefficients must be positive");
+        ReactionTerm { species, coefficient }
+    }
+}
+
+/// A mass-action reaction with a stochastic rate constant.
+///
+/// The reaction `2 a + b --k--> c` is represented with reactant terms
+/// `[(a, 2), (b, 1)]`, product terms `[(c, 1)]` and rate `k`. The propensity
+/// (stochastic rate) of the reaction in a state with counts `A`, `B` is
+/// `k · C(A, 2) · C(B, 1)` where `C(n, m)` is the binomial coefficient — the
+/// number of distinct reactant combinations, following Gillespie's exact
+/// formulation.
+///
+/// Reactions are immutable once constructed; use
+/// [`ReactionBuilder`](crate::ReactionBuilder) or [`Reaction::new`] to create
+/// them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reaction {
+    reactants: Vec<ReactionTerm>,
+    products: Vec<ReactionTerm>,
+    rate: f64,
+    label: Option<String>,
+}
+
+impl Reaction {
+    /// Creates a new reaction from reactant and product term lists.
+    ///
+    /// Terms mentioning the same species more than once are merged by summing
+    /// their coefficients, so `[(a,1), (a,1)]` is equivalent to `[(a,2)]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InvalidRate`] if `rate` is not a finite,
+    /// strictly-positive number, and [`CrnError::EmptyReaction`] if both the
+    /// reactant and product lists are empty.
+    pub fn new(
+        reactants: Vec<ReactionTerm>,
+        products: Vec<ReactionTerm>,
+        rate: f64,
+    ) -> Result<Self, CrnError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CrnError::InvalidRate { rate });
+        }
+        if reactants.is_empty() && products.is_empty() {
+            return Err(CrnError::EmptyReaction);
+        }
+        Ok(Reaction {
+            reactants: merge_terms(reactants),
+            products: merge_terms(products),
+            rate,
+            label: None,
+        })
+    }
+
+    /// Creates a labelled reaction. The label is purely informational (for
+    /// example the paper's reaction categories: `"initializing"`,
+    /// `"purifying"`, …) and has no kinetic meaning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Reaction::new`].
+    pub fn with_label(
+        reactants: Vec<ReactionTerm>,
+        products: Vec<ReactionTerm>,
+        rate: f64,
+        label: impl Into<String>,
+    ) -> Result<Self, CrnError> {
+        let mut r = Reaction::new(reactants, products, rate)?;
+        r.label = Some(label.into());
+        Ok(r)
+    }
+
+    /// Returns the reactant terms, sorted by species id, with duplicate
+    /// species merged.
+    pub fn reactants(&self) -> &[ReactionTerm] {
+        &self.reactants
+    }
+
+    /// Returns the product terms, sorted by species id, with duplicate
+    /// species merged.
+    pub fn products(&self) -> &[ReactionTerm] {
+        &self.products
+    }
+
+    /// Returns the stochastic rate constant of the reaction.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Returns the informational label of this reaction, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Returns a copy of this reaction with the rate replaced by `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InvalidRate`] if `rate` is not finite and positive.
+    pub fn with_rate(&self, rate: f64) -> Result<Self, CrnError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CrnError::InvalidRate { rate });
+        }
+        let mut r = self.clone();
+        r.rate = rate;
+        Ok(r)
+    }
+
+    /// Returns the order of the reaction (the total reactant stoichiometry).
+    ///
+    /// A reaction with no reactants (a source such as `∅ -> a`) has order 0,
+    /// `a -> …` has order 1, `a + b -> …` and `2a -> …` have order 2, etc.
+    pub fn order(&self) -> u32 {
+        self.reactants.iter().map(|t| t.coefficient).sum()
+    }
+
+    /// Returns the stoichiometric coefficient of `species` among the
+    /// reactants (0 if the species is not consumed).
+    pub fn reactant_coefficient(&self, species: SpeciesId) -> u32 {
+        term_coefficient(&self.reactants, species)
+    }
+
+    /// Returns the stoichiometric coefficient of `species` among the
+    /// products (0 if the species is not produced).
+    pub fn product_coefficient(&self, species: SpeciesId) -> u32 {
+        term_coefficient(&self.products, species)
+    }
+
+    /// Returns the net change in the count of `species` caused by one firing
+    /// of this reaction (products minus reactants).
+    pub fn net_change(&self, species: SpeciesId) -> i64 {
+        i64::from(self.product_coefficient(species)) - i64::from(self.reactant_coefficient(species))
+    }
+
+    /// Returns `true` if firing the reaction changes the count of `species`.
+    pub fn affects(&self, species: SpeciesId) -> bool {
+        self.net_change(species) != 0
+    }
+
+    /// Returns an iterator over every species mentioned by the reaction
+    /// (reactants and products, deduplicated).
+    pub fn species(&self) -> impl Iterator<Item = SpeciesId> + '_ {
+        let mut seen: Vec<SpeciesId> = self
+            .reactants
+            .iter()
+            .chain(self.products.iter())
+            .map(|t| t.species)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+
+    /// Returns the largest species index referenced by this reaction, or
+    /// `None` for a reaction with no terms on either side.
+    pub(crate) fn max_species_index(&self) -> Option<usize> {
+        self.reactants
+            .iter()
+            .chain(self.products.iter())
+            .map(|t| t.species.index())
+            .max()
+    }
+}
+
+fn merge_terms(mut terms: Vec<ReactionTerm>) -> Vec<ReactionTerm> {
+    terms.sort_unstable_by_key(|t| t.species);
+    let mut merged: Vec<ReactionTerm> = Vec::with_capacity(terms.len());
+    for term in terms {
+        if term.coefficient == 0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last) if last.species == term.species => last.coefficient += term.coefficient,
+            _ => merged.push(term),
+        }
+    }
+    merged
+}
+
+fn term_coefficient(terms: &[ReactionTerm], species: SpeciesId) -> u32 {
+    terms
+        .iter()
+        .find(|t| t.species == species)
+        .map(|t| t.coefficient)
+        .unwrap_or(0)
+}
+
+impl fmt::Display for Reaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side(terms: &[ReactionTerm], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if terms.is_empty() {
+                return f.write_str("0");
+            }
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" + ")?;
+                }
+                if t.coefficient != 1 {
+                    write!(f, "{} ", t.coefficient)?;
+                }
+                write!(f, "{}", t.species)?;
+            }
+            Ok(())
+        }
+        side(&self.reactants, f)?;
+        f.write_str(" -> ")?;
+        side(&self.products, f)?;
+        write!(f, " @ {}", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::from_index(i)
+    }
+
+    #[test]
+    fn rejects_non_positive_rate() {
+        let err = Reaction::new(vec![ReactionTerm::new(s(0), 1)], vec![], 0.0).unwrap_err();
+        assert!(matches!(err, CrnError::InvalidRate { .. }));
+        let err = Reaction::new(vec![ReactionTerm::new(s(0), 1)], vec![], -1.0).unwrap_err();
+        assert!(matches!(err, CrnError::InvalidRate { .. }));
+        let err = Reaction::new(vec![ReactionTerm::new(s(0), 1)], vec![], f64::NAN).unwrap_err();
+        assert!(matches!(err, CrnError::InvalidRate { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_reaction() {
+        let err = Reaction::new(vec![], vec![], 1.0).unwrap_err();
+        assert!(matches!(err, CrnError::EmptyReaction));
+    }
+
+    #[test]
+    fn merges_duplicate_terms() {
+        let r = Reaction::new(
+            vec![ReactionTerm::new(s(0), 1), ReactionTerm::new(s(0), 1)],
+            vec![ReactionTerm::new(s(1), 2)],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(r.reactants(), &[ReactionTerm::new(s(0), 2)]);
+        assert_eq!(r.order(), 2);
+    }
+
+    #[test]
+    fn net_change_accounts_for_catalysts() {
+        // a + b -> a + 2c : a is a catalyst.
+        let r = Reaction::new(
+            vec![ReactionTerm::new(s(0), 1), ReactionTerm::new(s(1), 1)],
+            vec![ReactionTerm::new(s(0), 1), ReactionTerm::new(s(2), 2)],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(r.net_change(s(0)), 0);
+        assert_eq!(r.net_change(s(1)), -1);
+        assert_eq!(r.net_change(s(2)), 2);
+        assert!(!r.affects(s(0)));
+        assert!(r.affects(s(1)));
+    }
+
+    #[test]
+    fn order_of_source_reaction_is_zero() {
+        let r = Reaction::new(vec![], vec![ReactionTerm::new(s(0), 1)], 2.0).unwrap();
+        assert_eq!(r.order(), 0);
+    }
+
+    #[test]
+    fn display_round_trips_sensibly() {
+        let r = Reaction::new(
+            vec![ReactionTerm::new(s(0), 2), ReactionTerm::new(s(1), 1)],
+            vec![],
+            1000.0,
+        )
+        .unwrap();
+        assert_eq!(r.to_string(), "2 s0 + s1 -> 0 @ 1000");
+    }
+
+    #[test]
+    fn with_rate_replaces_rate_only() {
+        let r = Reaction::new(vec![ReactionTerm::new(s(0), 1)], vec![], 1.0).unwrap();
+        let r2 = r.with_rate(5.0).unwrap();
+        assert_eq!(r2.rate(), 5.0);
+        assert_eq!(r2.reactants(), r.reactants());
+        assert!(r.with_rate(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn label_is_carried() {
+        let r = Reaction::with_label(
+            vec![ReactionTerm::new(s(0), 1)],
+            vec![ReactionTerm::new(s(1), 1)],
+            1.0,
+            "initializing",
+        )
+        .unwrap();
+        assert_eq!(r.label(), Some("initializing"));
+    }
+
+    #[test]
+    fn species_iterator_deduplicates() {
+        let r = Reaction::new(
+            vec![ReactionTerm::new(s(3), 1), ReactionTerm::new(s(1), 1)],
+            vec![ReactionTerm::new(s(3), 2)],
+            1.0,
+        )
+        .unwrap();
+        let all: Vec<_> = r.species().collect();
+        assert_eq!(all, vec![s(1), s(3)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Species identifiers and metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A handle identifying a species within a [`Crn`](crate::Crn).
+///
+/// Species identifiers are small integers assigned densely in the order the
+/// species were declared, which makes them suitable as indices into
+/// per-species arrays such as [`State`](crate::State) vectors or rows of a
+/// [`StoichiometryMatrix`](crate::StoichiometryMatrix).
+///
+/// # Example
+///
+/// ```
+/// use crn::CrnBuilder;
+///
+/// let mut builder = CrnBuilder::new();
+/// let a = builder.species("a");
+/// let b = builder.species("b");
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(b.index(), 1);
+/// // Declaring the same name twice returns the same id.
+/// assert_eq!(builder.species("a"), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpeciesId(pub(crate) u32);
+
+impl SpeciesId {
+    /// Creates a species id from a raw dense index.
+    ///
+    /// This is primarily useful for tests and for code that reconstructs ids
+    /// from serialized data; in normal use ids are produced by
+    /// [`CrnBuilder::species`](crate::CrnBuilder::species).
+    pub fn from_index(index: usize) -> Self {
+        SpeciesId(index as u32)
+    }
+
+    /// Returns the dense index of this species within its network.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SpeciesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Metadata describing a single molecular species.
+///
+/// A species is identified within its network by a [`SpeciesId`] and carries
+/// a human-readable name (e.g. `"cro2"`, `"e1"`). Names are unique within a
+/// network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Species {
+    id: SpeciesId,
+    name: String,
+}
+
+impl Species {
+    /// Creates a new species record.
+    pub(crate) fn new(id: SpeciesId, name: impl Into<String>) -> Self {
+        Species { id, name: name.into() }
+    }
+
+    /// Returns the identifier of this species.
+    pub fn id(&self) -> SpeciesId {
+        self.id
+    }
+
+    /// Returns the name of this species.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Species {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_id_round_trips_through_index() {
+        let id = SpeciesId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "s7");
+    }
+
+    #[test]
+    fn species_carries_name_and_id() {
+        let sp = Species::new(SpeciesId::from_index(3), "cro2");
+        assert_eq!(sp.name(), "cro2");
+        assert_eq!(sp.id().index(), 3);
+        assert_eq!(sp.to_string(), "cro2");
+    }
+
+    #[test]
+    fn species_ids_are_ordered_by_index() {
+        assert!(SpeciesId::from_index(1) < SpeciesId::from_index(2));
+    }
+}

@@ -1,0 +1,266 @@
+//! Discrete system state: molecule counts per species.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CrnError;
+use crate::reaction::Reaction;
+use crate::species::SpeciesId;
+
+/// The discrete state of a reaction network: one non-negative molecule count
+/// per species, indexed by [`SpeciesId`].
+///
+/// A state is just a dense vector of counts; it does not hold a reference to
+/// the network it belongs to, so the caller is responsible for using it with
+/// a network of compatible size (checked operations return
+/// [`CrnError::SpeciesOutOfRange`] when they can detect a mismatch).
+///
+/// # Example
+///
+/// ```
+/// use crn::{SpeciesId, State};
+///
+/// let mut state = State::zero(3);
+/// state.set(SpeciesId::from_index(0), 15);
+/// state.set(SpeciesId::from_index(1), 25);
+/// assert_eq!(state.count(SpeciesId::from_index(0)), 15);
+/// assert_eq!(state.total(), 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct State {
+    counts: Vec<u64>,
+}
+
+impl State {
+    /// Creates a state with `species_len` species, all at count zero.
+    pub fn zero(species_len: usize) -> Self {
+        State { counts: vec![0; species_len] }
+    }
+
+    /// Creates a state from an explicit vector of counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        State { counts }
+    }
+
+    /// Returns the number of species tracked by this state.
+    pub fn species_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns the count of the given species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is out of range for this state.
+    pub fn count(&self, species: SpeciesId) -> u64 {
+        self.counts[species.index()]
+    }
+
+    /// Returns the count of the given species, or `None` if the species
+    /// index is out of range.
+    pub fn try_count(&self, species: SpeciesId) -> Option<u64> {
+        self.counts.get(species.index()).copied()
+    }
+
+    /// Sets the count of the given species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is out of range for this state.
+    pub fn set(&mut self, species: SpeciesId, count: u64) {
+        self.counts[species.index()] = count;
+    }
+
+    /// Adds `delta` to the count of the given species, saturating at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is out of range for this state.
+    pub fn add(&mut self, species: SpeciesId, delta: i64) {
+        let slot = &mut self.counts[species.index()];
+        if delta >= 0 {
+            *slot = slot.saturating_add(delta as u64);
+        } else {
+            *slot = slot.saturating_sub(delta.unsigned_abs());
+        }
+    }
+
+    /// Returns the counts as a slice indexed by species index.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Returns the total number of molecules across all species.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns `true` if the reaction's reactant multiset is available in
+    /// this state (i.e. the reaction could fire).
+    pub fn can_fire(&self, reaction: &Reaction) -> bool {
+        reaction.reactants().iter().all(|t| {
+            self.counts
+                .get(t.species.index())
+                .is_some_and(|&c| c >= u64::from(t.coefficient))
+        })
+    }
+
+    /// Applies one firing of `reaction` to this state in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InsufficientReactants`] if some reactant is not
+    /// present in sufficient quantity and [`CrnError::SpeciesOutOfRange`] if
+    /// the reaction references species beyond this state's length. On error
+    /// the state is left unmodified.
+    pub fn apply(&mut self, reaction: &Reaction) -> Result<(), CrnError> {
+        for term in reaction.reactants().iter().chain(reaction.products()) {
+            if term.species.index() >= self.counts.len() {
+                return Err(CrnError::SpeciesOutOfRange {
+                    index: term.species.index(),
+                    len: self.counts.len(),
+                });
+            }
+        }
+        for term in reaction.reactants() {
+            if self.counts[term.species.index()] < u64::from(term.coefficient) {
+                return Err(CrnError::InsufficientReactants {
+                    reaction: reaction.to_string(),
+                });
+            }
+        }
+        for term in reaction.reactants() {
+            self.counts[term.species.index()] -= u64::from(term.coefficient);
+        }
+        for term in reaction.products() {
+            self.counts[term.species.index()] += u64::from(term.coefficient);
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of this state with one firing of `reaction` applied.
+    ///
+    /// # Errors
+    ///
+    /// See [`State::apply`].
+    pub fn after(&self, reaction: &Reaction) -> Result<State, CrnError> {
+        let mut next = self.clone();
+        next.apply(reaction)?;
+        Ok(next)
+    }
+}
+
+impl Index<SpeciesId> for State {
+    type Output = u64;
+
+    fn index(&self, species: SpeciesId) -> &u64 {
+        &self.counts[species.index()]
+    }
+}
+
+impl FromIterator<u64> for State {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        State { counts: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<u64> for State {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.counts.extend(iter);
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaction::ReactionTerm;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::from_index(i)
+    }
+
+    fn reaction(reactants: &[(usize, u32)], products: &[(usize, u32)], rate: f64) -> Reaction {
+        Reaction::new(
+            reactants.iter().map(|&(i, c)| ReactionTerm::new(s(i), c)).collect(),
+            products.iter().map(|&(i, c)| ReactionTerm::new(s(i), c)).collect(),
+            rate,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_state_transition() {
+        // S1 = [15, 25, 0]; firing a + b -> 2c gives S2 = [14, 24, 2].
+        let mut state = State::from_counts(vec![15, 25, 0]);
+        let r = reaction(&[(0, 1), (1, 1)], &[(2, 2)], 10.0);
+        state.apply(&r).unwrap();
+        assert_eq!(state.counts(), &[14, 24, 2]);
+    }
+
+    #[test]
+    fn apply_fails_without_reactants_and_leaves_state_unchanged() {
+        let mut state = State::from_counts(vec![1, 0]);
+        let r = reaction(&[(0, 1), (1, 1)], &[], 1.0);
+        assert!(!state.can_fire(&r));
+        let err = state.apply(&r).unwrap_err();
+        assert!(matches!(err, CrnError::InsufficientReactants { .. }));
+        assert_eq!(state.counts(), &[1, 0]);
+    }
+
+    #[test]
+    fn apply_detects_out_of_range_species() {
+        let mut state = State::from_counts(vec![5]);
+        let r = reaction(&[(0, 1)], &[(3, 1)], 1.0);
+        let err = state.apply(&r).unwrap_err();
+        assert!(matches!(err, CrnError::SpeciesOutOfRange { .. }));
+        assert_eq!(state.counts(), &[5]);
+    }
+
+    #[test]
+    fn after_returns_new_state() {
+        let state = State::from_counts(vec![2, 0]);
+        let r = reaction(&[(0, 2)], &[(1, 1)], 1.0);
+        let next = state.after(&r).unwrap();
+        assert_eq!(state.counts(), &[2, 0]);
+        assert_eq!(next.counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn add_saturates_at_zero() {
+        let mut state = State::zero(1);
+        state.add(s(0), -5);
+        assert_eq!(state.count(s(0)), 0);
+        state.add(s(0), 3);
+        assert_eq!(state.count(s(0)), 3);
+    }
+
+    #[test]
+    fn indexing_and_totals() {
+        let state: State = vec![1u64, 2, 3].into_iter().collect();
+        assert_eq!(state[s(1)], 2);
+        assert_eq!(state.total(), 6);
+        assert_eq!(state.to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn try_count_handles_out_of_range() {
+        let state = State::zero(2);
+        assert_eq!(state.try_count(s(1)), Some(0));
+        assert_eq!(state.try_count(s(5)), None);
+    }
+}

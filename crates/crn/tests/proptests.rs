@@ -1,0 +1,172 @@
+//! Property-based tests of the CRN data model.
+
+use crn::{Crn, CrnBuilder, Reaction, ReactionTerm, SpeciesId, State};
+use proptest::prelude::*;
+
+/// Strategy: a small species index.
+fn species_index() -> impl Strategy<Value = usize> {
+    0usize..6
+}
+
+/// Strategy: a list of reaction terms over a small species universe.
+fn terms() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    prop::collection::vec((species_index(), 1u32..4), 0..4)
+}
+
+/// Strategy: a valid reaction (at least one term overall, positive rate).
+fn reaction() -> impl Strategy<Value = Reaction> {
+    (terms(), terms(), 1e-6f64..1e6)
+        .prop_filter("reaction must have at least one term", |(r, p, _)| {
+            !r.is_empty() || !p.is_empty()
+        })
+        .prop_map(|(reactants, products, rate)| {
+            Reaction::new(
+                reactants
+                    .into_iter()
+                    .map(|(s, c)| ReactionTerm::new(SpeciesId::from_index(s), c))
+                    .collect(),
+                products
+                    .into_iter()
+                    .map(|(s, c)| ReactionTerm::new(SpeciesId::from_index(s), c))
+                    .collect(),
+                rate,
+            )
+            .expect("valid reaction")
+        })
+}
+
+/// Strategy: a state over the same species universe with generous counts.
+fn state() -> impl Strategy<Value = State> {
+    prop::collection::vec(0u64..50, 6).prop_map(State::from_counts)
+}
+
+proptest! {
+    /// The order of a reaction equals the sum of its reactant coefficients,
+    /// even after duplicate-term merging.
+    #[test]
+    fn order_equals_total_reactant_stoichiometry(r in reaction()) {
+        let total: u32 = r.reactants().iter().map(|t| t.coefficient).sum();
+        prop_assert_eq!(r.order(), total);
+    }
+
+    /// Reactant terms are sorted by species and mention each species at most
+    /// once after merging.
+    #[test]
+    fn terms_are_sorted_and_deduplicated(r in reaction()) {
+        for side in [r.reactants(), r.products()] {
+            for pair in side.windows(2) {
+                prop_assert!(pair[0].species < pair[1].species);
+            }
+        }
+    }
+
+    /// `can_fire` exactly predicts whether `apply` succeeds, and a successful
+    /// apply changes every species by exactly its net change.
+    #[test]
+    fn apply_agrees_with_can_fire_and_net_change(r in reaction(), s in state()) {
+        let can = s.can_fire(&r);
+        let mut next = s.clone();
+        match next.apply(&r) {
+            Ok(()) => {
+                prop_assert!(can);
+                for idx in 0..s.species_len() {
+                    let sp = SpeciesId::from_index(idx);
+                    let delta = next.count(sp) as i64 - s.count(sp) as i64;
+                    prop_assert_eq!(delta, r.net_change(sp));
+                }
+            }
+            Err(_) => {
+                prop_assert!(!can);
+                prop_assert_eq!(&next, &s, "failed apply must not modify the state");
+            }
+        }
+    }
+
+    /// Rendering a reaction through a network and re-parsing it preserves
+    /// the structure (species counts, coefficients, rates).
+    #[test]
+    fn network_text_round_trips(reactions in prop::collection::vec(reaction(), 1..6)) {
+        let mut builder = CrnBuilder::new();
+        for i in 0..6 {
+            builder.species(format!("sp{i}"));
+        }
+        let mut kept = 0usize;
+        for r in &reactions {
+            if builder.push_reaction(r.clone()).is_ok() {
+                kept += 1;
+            }
+        }
+        prop_assume!(kept > 0);
+        let crn = builder.build().expect("valid network");
+        let reparsed: Crn = crn.to_text().parse().expect("round trip parse");
+        prop_assert_eq!(reparsed.reactions().len(), crn.reactions().len());
+        for (a, b) in crn.reactions().iter().zip(reparsed.reactions()) {
+            prop_assert_eq!(a.order(), b.order());
+            prop_assert!((a.rate() - b.rate()).abs() <= a.rate() * 1e-12);
+            prop_assert_eq!(a.reactants().len(), b.reactants().len());
+            prop_assert_eq!(a.products().len(), b.products().len());
+        }
+    }
+
+    /// Every conservation law reported by the stoichiometry analysis is
+    /// genuinely invariant under every reaction of the network.
+    #[test]
+    fn conservation_laws_are_invariant(reactions in prop::collection::vec(reaction(), 1..5)) {
+        let mut builder = CrnBuilder::new();
+        for i in 0..6 {
+            builder.species(format!("sp{i}"));
+        }
+        for r in &reactions {
+            let _ = builder.push_reaction(r.clone());
+        }
+        let crn = builder.build().expect("valid network");
+        let stoichiometry = crn.stoichiometry();
+        for law in stoichiometry.conservation_laws() {
+            for idx in 0..crn.reactions().len() {
+                let delta: i64 = law
+                    .weights()
+                    .map(|(sp, w)| w * stoichiometry.net_change(sp, idx))
+                    .sum();
+                prop_assert_eq!(delta, 0, "law {} violated by reaction {}", law, idx);
+            }
+        }
+    }
+
+    /// Merging a network with itself never loses reactions and never
+    /// duplicates species.
+    #[test]
+    fn merge_with_self_preserves_species(reactions in prop::collection::vec(reaction(), 1..5)) {
+        let mut builder = CrnBuilder::new();
+        for i in 0..6 {
+            builder.species(format!("sp{i}"));
+        }
+        for r in &reactions {
+            let _ = builder.push_reaction(r.clone());
+        }
+        let crn = builder.build().expect("valid network");
+        let merged = crn.merge(&crn).expect("merge");
+        prop_assert_eq!(merged.species_len(), crn.species_len());
+        prop_assert_eq!(merged.reactions().len(), 2 * crn.reactions().len());
+    }
+
+    /// The dependency graph always lists the fired reaction among its own
+    /// dependents and never points outside the reaction set.
+    #[test]
+    fn dependency_graph_is_well_formed(reactions in prop::collection::vec(reaction(), 1..6)) {
+        let mut builder = CrnBuilder::new();
+        for i in 0..6 {
+            builder.species(format!("sp{i}"));
+        }
+        for r in &reactions {
+            let _ = builder.push_reaction(r.clone());
+        }
+        let crn = builder.build().expect("valid network");
+        let graph = crn.dependency_graph();
+        prop_assert_eq!(graph.len(), crn.reactions().len());
+        for idx in 0..graph.len() {
+            let deps = graph.dependents(idx);
+            prop_assert!(deps.contains(&idx), "reaction {} must depend on itself", idx);
+            prop_assert!(deps.iter().all(|&d| d < graph.len()));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Gillespie's direct method.
+
+use crn::{Crn, State};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::propensity::propensities;
+use crate::simulator::{SsaStepper, StepOutcome};
+
+/// Gillespie's direct method (Gillespie 1977).
+///
+/// At each step the method draws the waiting time to the next reaction from
+/// an exponential distribution with rate equal to the total propensity, and
+/// then picks *which* reaction fires with probability proportional to each
+/// reaction's propensity. Both draws use a single pass over the propensity
+/// vector, so each step costs `O(R)` in the number of reactions.
+///
+/// This is the reference algorithm used by the paper's Monte-Carlo
+/// experiments; see [`NextReactionMethod`](crate::NextReactionMethod) for a
+/// variant that scales better with network size.
+#[derive(Debug, Default, Clone)]
+pub struct DirectMethod {
+    propensities: Vec<f64>,
+}
+
+impl DirectMethod {
+    /// Creates a new direct-method stepper.
+    pub fn new() -> Self {
+        DirectMethod::default()
+    }
+}
+
+impl SsaStepper for DirectMethod {
+    fn initialize(&mut self, crn: &Crn, _state: &State, _rng: &mut StdRng) {
+        self.propensities.clear();
+        self.propensities.reserve(crn.reactions().len());
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total = propensities(crn, state, &mut self.propensities);
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        // Exponential waiting time with rate `total`.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+
+        // Select the firing reaction by inverting the discrete CDF.
+        let target: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut chosen = self.propensities.len() - 1;
+        for (idx, &a) in self.propensities.iter().enumerate() {
+            acc += a;
+            if target < acc {
+                chosen = idx;
+                break;
+            }
+        }
+        // Floating-point round-off can select a reaction with zero
+        // propensity at the very end of the CDF; walk back to a fireable one.
+        while self.propensities[chosen] <= 0.0 && chosen > 0 {
+            chosen -= 1;
+        }
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable: propensity was positive");
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Simulation, SimulationOptions};
+    use crate::stop::StopCondition;
+
+    #[test]
+    fn conserves_mass_in_closed_network() {
+        let crn: Crn = "a + b -> c @ 0.1\nc -> a + b @ 0.2".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 50), ("b", 40)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(11).stop(StopCondition::events(5_000)))
+            .run(&initial)
+            .unwrap();
+        let a = crn.species_id("a").unwrap();
+        let b = crn.species_id("b").unwrap();
+        let c = crn.species_id("c").unwrap();
+        let s = &result.final_state;
+        assert_eq!(s.count(a) + s.count(c), 50);
+        assert_eq!(s.count(b) + s.count(c), 40);
+    }
+
+    #[test]
+    fn two_competing_reactions_fire_proportionally_to_rates() {
+        // x -> y @ 3 and x -> z @ 1: roughly 75% of x should become y.
+        let crn: Crn = "x -> y @ 3\nx -> z @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 10_000)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(7))
+            .run(&initial)
+            .unwrap();
+        let y = result.final_state.count(crn.species_id("y").unwrap()) as f64;
+        let frac = y / 10_000.0;
+        assert!(
+            (frac - 0.75).abs() < 0.02,
+            "expected ~75% routed to y, got {frac}"
+        );
+    }
+
+    #[test]
+    fn exponential_waiting_times_have_correct_mean() {
+        // Single reaction a -> b with 1 molecule and rate k: mean waiting
+        // time is 1/k. Average over many one-step trajectories.
+        let crn: Crn = "a -> b @ 4".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let trials = 4000;
+        let mut total_time = 0.0;
+        for seed in 0..trials {
+            let result = Simulation::new(&crn, DirectMethod::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            total_time += result.final_time;
+        }
+        let mean = total_time / trials as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean waiting time {mean}, expected 0.25");
+    }
+
+    #[test]
+    fn exhausts_when_no_reaction_possible() {
+        let crn: Crn = "a + b -> c @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 3)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(5))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.events, 0);
+        assert_eq!(result.final_time, 0.0);
+    }
+}

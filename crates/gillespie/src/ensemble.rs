@@ -1,0 +1,450 @@
+//! Multi-trial Monte-Carlo ensembles.
+//!
+//! Every figure in the paper is a Monte-Carlo estimate: run many independent
+//! trajectories of the same network, classify each one, and report the
+//! empirical outcome distribution. [`Ensemble`] does exactly that, spreading
+//! trials across threads while keeping results *independent of the thread
+//! count*: trial `i` always uses the seed `master_seed + i`, so a report is
+//! reproducible from its seed alone.
+
+use std::collections::BTreeMap;
+
+use crn::{Crn, State};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimulationError;
+use crate::outcome::{Outcome, OutcomeClassifier};
+use crate::simulator::{run_with, SimulationOptions, SsaMethod};
+
+/// Options controlling an ensemble run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleOptions {
+    /// Number of independent trajectories.
+    pub trials: u64,
+    /// Master seed; trial `i` uses `master_seed + i`.
+    pub master_seed: u64,
+    /// Number of worker threads (`0` means "one per available CPU").
+    pub threads: usize,
+    /// Which SSA variant to use.
+    pub method: SsaMethod,
+    /// Per-trajectory options (stop condition, recording, event limit). The
+    /// per-trajectory seed is overridden by the ensemble.
+    pub simulation: SimulationOptions,
+}
+
+impl Default for EnsembleOptions {
+    fn default() -> Self {
+        EnsembleOptions {
+            trials: 1_000,
+            master_seed: 0,
+            threads: 0,
+            method: SsaMethod::Direct,
+            simulation: SimulationOptions::default(),
+        }
+    }
+}
+
+impl EnsembleOptions {
+    /// Creates default options (1000 trials, direct method, auto threads).
+    pub fn new() -> Self {
+        EnsembleOptions::default()
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads (0 = one per CPU).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the SSA variant.
+    pub fn method(mut self, method: SsaMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the per-trajectory simulation options.
+    pub fn simulation(mut self, simulation: SimulationOptions) -> Self {
+        self.simulation = simulation;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// The number of trajectories assigned to one outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCount {
+    /// The outcome label.
+    pub outcome: Outcome,
+    /// How many trajectories ended in this outcome.
+    pub count: u64,
+}
+
+/// Aggregated results of an ensemble run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleReport {
+    /// Total number of trajectories run.
+    pub trials: u64,
+    /// Outcome counts, sorted by outcome label.
+    pub counts: Vec<OutcomeCount>,
+    /// Number of trajectories the classifier could not assign.
+    pub undecided: u64,
+    /// Mean number of reaction events per trajectory.
+    pub mean_events: f64,
+    /// Mean simulated end time per trajectory.
+    pub mean_final_time: f64,
+}
+
+impl EnsembleReport {
+    /// Returns the number of trajectories that ended in `outcome`.
+    pub fn count(&self, outcome: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|c| c.outcome.as_str() == outcome)
+            .map(|c| c.count)
+            .unwrap_or(0)
+    }
+
+    /// Returns the empirical probability of `outcome`.
+    pub fn probability(&self, outcome: &str) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.count(outcome) as f64 / self.trials as f64
+    }
+
+    /// Returns the empirical probability of `outcome` among *decided*
+    /// trajectories only.
+    pub fn conditional_probability(&self, outcome: &str) -> f64 {
+        let decided = self.trials - self.undecided;
+        if decided == 0 {
+            return 0.0;
+        }
+        self.count(outcome) as f64 / decided as f64
+    }
+
+    /// Returns the fraction of undecided trajectories.
+    pub fn undecided_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.undecided as f64 / self.trials as f64
+    }
+}
+
+/// A Monte-Carlo ensemble of one network, one initial state and one outcome
+/// classifier.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gillespie::{Ensemble, EnsembleOptions, SpeciesThresholdClassifier};
+///
+/// // A coin flip: whichever of the two decay channels fires first wins.
+/// let crn: crn::Crn = "x -> h @ 1\nx -> t @ 1".parse()?;
+/// let initial = crn.state_from_counts([("x", 1)])?;
+/// let classifier = SpeciesThresholdClassifier::new()
+///     .rule_named(&crn, "h", 1, "heads")?
+///     .rule_named(&crn, "t", 1, "tails")?;
+/// let report = Ensemble::new(&crn, initial, classifier)
+///     .options(EnsembleOptions::new().trials(2000).master_seed(1))
+///     .run()?;
+/// assert!((report.probability("heads") - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Ensemble<'a, C> {
+    crn: &'a Crn,
+    initial: State,
+    classifier: C,
+    options: EnsembleOptions,
+}
+
+impl<'a, C> Ensemble<'a, C>
+where
+    C: OutcomeClassifier + Sync,
+{
+    /// Creates an ensemble over `crn` starting from `initial`.
+    pub fn new(crn: &'a Crn, initial: State, classifier: C) -> Self {
+        Ensemble { crn, initial, classifier, options: EnsembleOptions::default() }
+    }
+
+    /// Replaces the ensemble options.
+    pub fn options(mut self, options: EnsembleOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidEnsembleConfig`] for zero trials and
+    /// propagates the first per-trajectory error encountered (for example an
+    /// exceeded event limit).
+    pub fn run(&self) -> Result<EnsembleReport, SimulationError> {
+        if self.options.trials == 0 {
+            return Err(SimulationError::InvalidEnsembleConfig {
+                message: "trials must be positive".to_string(),
+            });
+        }
+        if self.initial.species_len() != self.crn.species_len() {
+            return Err(SimulationError::StateSizeMismatch {
+                network: self.crn.species_len(),
+                state: self.initial.species_len(),
+            });
+        }
+
+        let threads = self.options.effective_threads().max(1);
+        let trials = self.options.trials;
+        let chunk = trials.div_ceil(threads as u64);
+
+        struct Partial {
+            counts: BTreeMap<Outcome, u64>,
+            undecided: u64,
+            total_events: u64,
+            total_time: f64,
+        }
+
+        let aggregate: Mutex<Partial> = Mutex::new(Partial {
+            counts: BTreeMap::new(),
+            undecided: 0,
+            total_events: 0,
+            total_time: 0.0,
+        });
+        let error: Mutex<Option<SimulationError>> = Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            for worker in 0..threads as u64 {
+                let start = worker * chunk;
+                let end = (start + chunk).min(trials);
+                if start >= end {
+                    continue;
+                }
+                let aggregate = &aggregate;
+                let error = &error;
+                let crn = self.crn;
+                let initial = &self.initial;
+                let classifier = &self.classifier;
+                let options = &self.options;
+                scope.spawn(move |_| {
+                    let mut stepper = options.method.stepper();
+                    let mut local_counts: BTreeMap<Outcome, u64> = BTreeMap::new();
+                    let mut local_undecided = 0u64;
+                    let mut local_events = 0u64;
+                    let mut local_time = 0.0f64;
+                    for trial in start..end {
+                        if error.lock().is_some() {
+                            return;
+                        }
+                        let sim_options = options
+                            .simulation
+                            .clone()
+                            .seed(options.master_seed.wrapping_add(trial));
+                        match run_with(crn, stepper.as_mut(), &sim_options, initial) {
+                            Ok(result) => {
+                                local_events += result.events;
+                                local_time += result.final_time;
+                                match classifier.classify(&result) {
+                                    Some(outcome) => {
+                                        *local_counts.entry(outcome).or_insert(0) += 1
+                                    }
+                                    None => local_undecided += 1,
+                                }
+                            }
+                            Err(err) => {
+                                *error.lock() = Some(err);
+                                return;
+                            }
+                        }
+                    }
+                    let mut agg = aggregate.lock();
+                    for (outcome, count) in local_counts {
+                        *agg.counts.entry(outcome).or_insert(0) += count;
+                    }
+                    agg.undecided += local_undecided;
+                    agg.total_events += local_events;
+                    agg.total_time += local_time;
+                });
+            }
+        })
+        .expect("ensemble worker threads must not panic");
+
+        if let Some(err) = error.into_inner() {
+            return Err(err);
+        }
+        let partial = aggregate.into_inner();
+        let mut counts: BTreeMap<Outcome, u64> = partial.counts;
+        for outcome in self.classifier.outcomes() {
+            counts.entry(outcome).or_insert(0);
+        }
+        Ok(EnsembleReport {
+            trials,
+            counts: counts
+                .into_iter()
+                .map(|(outcome, count)| OutcomeCount { outcome, count })
+                .collect(),
+            undecided: partial.undecided,
+            mean_events: partial.total_events as f64 / trials as f64,
+            mean_final_time: partial.total_time / trials as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::SpeciesThresholdClassifier;
+    use crate::stop::StopCondition;
+
+    fn coin_crn() -> Crn {
+        "x -> h @ 3\nx -> t @ 1".parse().unwrap()
+    }
+
+    fn coin_classifier(crn: &Crn) -> SpeciesThresholdClassifier {
+        SpeciesThresholdClassifier::new()
+            .rule_named(crn, "h", 1, "heads")
+            .unwrap()
+            .rule_named(crn, "t", 1, "tails")
+            .unwrap()
+    }
+
+    #[test]
+    fn biased_coin_probabilities_converge() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let report = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(4_000).master_seed(17))
+            .run()
+            .unwrap();
+        assert_eq!(report.trials, 4_000);
+        assert_eq!(report.undecided, 0);
+        assert!((report.probability("heads") - 0.75).abs() < 0.03);
+        assert!((report.probability("tails") - 0.25).abs() < 0.03);
+        assert_eq!(report.count("heads") + report.count("tails"), 4_000);
+    }
+
+    #[test]
+    fn reports_are_independent_of_thread_count() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let run = |threads| {
+            Ensemble::new(&crn, initial.clone(), coin_classifier(&crn))
+                .options(
+                    EnsembleOptions::new()
+                        .trials(500)
+                        .master_seed(42)
+                        .threads(threads),
+                )
+                .run()
+                .unwrap()
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(single.counts, multi.counts);
+        assert_eq!(single.undecided, multi.undecided);
+    }
+
+    #[test]
+    fn undecided_trajectories_are_reported() {
+        // The classifier wants a species that never appears above threshold.
+        let crn: Crn = "x -> y @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "y", 100, "many")
+            .unwrap();
+        let report = Ensemble::new(&crn, initial, classifier)
+            .options(EnsembleOptions::new().trials(50).master_seed(3))
+            .run()
+            .unwrap();
+        assert_eq!(report.undecided, 50);
+        assert_eq!(report.count("many"), 0);
+        assert_eq!(report.undecided_fraction(), 1.0);
+        assert_eq!(report.conditional_probability("many"), 0.0);
+    }
+
+    #[test]
+    fn zero_trials_is_an_error() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let err = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(0))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::InvalidEnsembleConfig { .. }));
+    }
+
+    #[test]
+    fn per_trial_errors_propagate() {
+        let crn: Crn = "0 -> a @ 1".parse().unwrap();
+        let initial = crn.zero_state();
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "a", 1_000_000, "huge")
+            .unwrap();
+        let err = Ensemble::new(&crn, initial, classifier)
+            .options(
+                EnsembleOptions::new()
+                    .trials(4)
+                    .simulation(SimulationOptions::new().max_events(10)),
+            )
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::EventLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn all_methods_agree_on_the_coin() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        for method in SsaMethod::ALL {
+            let report = Ensemble::new(&crn, initial.clone(), coin_classifier(&crn))
+                .options(
+                    EnsembleOptions::new()
+                        .trials(2_000)
+                        .master_seed(7)
+                        .method(method)
+                        .simulation(SimulationOptions::new().stop(StopCondition::exhaustion())),
+                )
+                .run()
+                .unwrap();
+            assert!(
+                (report.probability("heads") - 0.75).abs() < 0.05,
+                "{method:?} disagrees: {}",
+                report.probability("heads")
+            );
+        }
+    }
+
+    #[test]
+    fn mean_statistics_are_populated() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let report = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(100).master_seed(5))
+            .run()
+            .unwrap();
+        assert!((report.mean_events - 1.0).abs() < 1e-9);
+        assert!(report.mean_final_time > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for simulations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a stochastic simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimulationError {
+    /// The initial state has a different number of species than the network.
+    StateSizeMismatch {
+        /// Species in the network.
+        network: usize,
+        /// Species in the supplied state.
+        state: usize,
+    },
+    /// An underlying CRN operation failed.
+    Crn(crn::CrnError),
+    /// The simulation exceeded the configured hard limit on the number of
+    /// reaction events without satisfying its stop condition.
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The ensemble runner was configured with zero trials or zero threads.
+    InvalidEnsembleConfig {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::StateSizeMismatch { network, state } => write!(
+                f,
+                "initial state has {state} species but the network has {network}"
+            ),
+            SimulationError::Crn(err) => write!(f, "network error: {err}"),
+            SimulationError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the hard event limit of {limit} reactions")
+            }
+            SimulationError::InvalidEnsembleConfig { message } => {
+                write!(f, "invalid ensemble configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimulationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulationError::Crn(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<crn::CrnError> for SimulationError {
+    fn from(err: crn::CrnError) -> Self {
+        SimulationError::Crn(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errors = vec![
+            SimulationError::StateSizeMismatch { network: 3, state: 2 },
+            SimulationError::Crn(crn::CrnError::EmptyReaction),
+            SimulationError::EventLimitExceeded { limit: 100 },
+            SimulationError::InvalidEnsembleConfig { message: "zero trials".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crn_errors_convert() {
+        let err: SimulationError = crn::CrnError::EmptyReaction.into();
+        assert!(matches!(err, SimulationError::Crn(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulationError>();
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text (CSV) export of trajectories and ensemble reports.
+//!
+//! The experiment binaries print aligned tables for humans; these helpers
+//! produce machine-readable CSV for plotting Figure-3/Figure-5-style graphs
+//! with external tools. No CSV crate is used — the values are numbers and
+//! species names, which never need quoting.
+
+use std::fmt::Write as _;
+
+use crn::Crn;
+
+use crate::ensemble::EnsembleReport;
+use crate::trajectory::Trajectory;
+
+impl Trajectory {
+    /// Renders the trajectory as CSV with a `time` column followed by one
+    /// column per species (named from `crn`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use gillespie::{DirectMethod, RecordingMode, Simulation, SimulationOptions};
+    ///
+    /// let crn: crn::Crn = "a -> b @ 1".parse()?;
+    /// let initial = crn.state_from_counts([("a", 3)])?;
+    /// let result = Simulation::new(&crn, DirectMethod::new())
+    ///     .options(SimulationOptions::new().seed(1).recording(RecordingMode::EveryEvent))
+    ///     .run(&initial)?;
+    /// let csv = result.trajectory.to_csv(&crn);
+    /// assert!(csv.starts_with("time,a,b\n"));
+    /// assert_eq!(csv.lines().count(), 1 + 4); // header + initial + 3 events
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_csv(&self, crn: &Crn) -> String {
+        let mut out = String::from("time");
+        for species in crn.species() {
+            let _ = write!(out, ",{}", species.name());
+        }
+        out.push('\n');
+        for point in self.points() {
+            let _ = write!(out, "{}", point.time);
+            for count in point.state.counts() {
+                let _ = write!(out, ",{count}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EnsembleReport {
+    /// Renders the outcome counts as CSV with columns
+    /// `outcome,count,probability`.
+    ///
+    /// Undecided trajectories appear as a final `undecided` row so that the
+    /// counts always sum to the number of trials.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use gillespie::{Ensemble, EnsembleOptions, SpeciesThresholdClassifier};
+    ///
+    /// let crn: crn::Crn = "x -> h @ 1\nx -> t @ 1".parse()?;
+    /// let initial = crn.state_from_counts([("x", 1)])?;
+    /// let classifier = SpeciesThresholdClassifier::new()
+    ///     .rule_named(&crn, "h", 1, "heads")?
+    ///     .rule_named(&crn, "t", 1, "tails")?;
+    /// let report = Ensemble::new(&crn, initial, classifier)
+    ///     .options(EnsembleOptions::new().trials(100).master_seed(1))
+    ///     .run()?;
+    /// let csv = report.to_csv();
+    /// assert!(csv.starts_with("outcome,count,probability\n"));
+    /// assert!(csv.contains("heads,"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("outcome,count,probability\n");
+        for entry in &self.counts {
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                entry.outcome.as_str(),
+                entry.count,
+                self.probability(entry.outcome.as_str())
+            );
+        }
+        let _ = writeln!(out, "undecided,{},{}", self.undecided, self.undecided_fraction());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::OutcomeCount;
+    use crate::outcome::Outcome;
+    use crate::trajectory::TrajectoryPoint;
+    use crn::State;
+
+    #[test]
+    fn trajectory_csv_has_one_row_per_point() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        let trajectory: Trajectory = vec![
+            TrajectoryPoint { time: 0.0, state: State::from_counts(vec![2, 0]) },
+            TrajectoryPoint { time: 1.5, state: State::from_counts(vec![1, 1]) },
+        ]
+        .into_iter()
+        .collect();
+        let csv = trajectory.to_csv(&crn);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["time,a,b", "0,2,0", "1.5,1,1"]);
+    }
+
+    #[test]
+    fn empty_trajectory_renders_header_only() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        assert_eq!(Trajectory::new().to_csv(&crn), "time,a,b\n");
+    }
+
+    #[test]
+    fn report_csv_includes_undecided_row() {
+        let report = EnsembleReport {
+            trials: 10,
+            counts: vec![
+                OutcomeCount { outcome: Outcome::new("win"), count: 7 },
+                OutcomeCount { outcome: Outcome::new("lose"), count: 2 },
+            ],
+            undecided: 1,
+            mean_events: 3.0,
+            mean_final_time: 1.0,
+        };
+        let csv = report.to_csv();
+        assert!(csv.contains("win,7,0.7"));
+        assert!(csv.contains("lose,2,0.2"));
+        assert!(csv.contains("undecided,1,0.1"));
+    }
+}

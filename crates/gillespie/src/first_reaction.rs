@@ -1,0 +1,120 @@
+//! Gillespie's first-reaction method.
+
+use crn::{Crn, State};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::propensity::propensities;
+use crate::simulator::{SsaStepper, StepOutcome};
+
+/// Gillespie's first-reaction method.
+///
+/// At each step the method draws an independent putative firing time for
+/// *every* reaction (exponential with that reaction's propensity) and fires
+/// the earliest one. It is statistically identical to the
+/// [`DirectMethod`](crate::DirectMethod) but draws `R` random numbers per
+/// step instead of two, so it is mainly of historical and testing interest —
+/// it provides an independent implementation against which the other methods
+/// are cross-validated.
+#[derive(Debug, Default, Clone)]
+pub struct FirstReactionMethod {
+    propensities: Vec<f64>,
+}
+
+impl FirstReactionMethod {
+    /// Creates a new first-reaction stepper.
+    pub fn new() -> Self {
+        FirstReactionMethod::default()
+    }
+}
+
+impl SsaStepper for FirstReactionMethod {
+    fn initialize(&mut self, crn: &Crn, _state: &State, _rng: &mut StdRng) {
+        self.propensities.clear();
+        self.propensities.reserve(crn.reactions().len());
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total = propensities(crn, state, &mut self.propensities);
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &a) in self.propensities.iter().enumerate() {
+            if a <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let tau = -u.ln() / a;
+            if best.map_or(true, |(_, t)| tau < t) {
+                best = Some((idx, tau));
+            }
+        }
+        let (chosen, tau) = best.expect("total propensity positive implies a candidate exists");
+        *time += tau;
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable: propensity was positive");
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn name(&self) -> &'static str {
+        "first-reaction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Simulation, SimulationOptions};
+
+    #[test]
+    fn agrees_with_direct_method_on_branching_probabilities() {
+        let crn: Crn = "x -> y @ 2\nx -> z @ 8".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 20_000)]).unwrap();
+        let result = Simulation::new(&crn, FirstReactionMethod::new())
+            .options(SimulationOptions::new().seed(123))
+            .run(&initial)
+            .unwrap();
+        let z = result.final_state.count(crn.species_id("z").unwrap()) as f64;
+        let frac = z / 20_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "expected ~80% routed to z, got {frac}");
+    }
+
+    #[test]
+    fn waiting_time_matches_total_propensity() {
+        // Two unit-rate decay channels on a single molecule behave like one
+        // channel at rate 2: the mean completion time of the single firing
+        // is 1/2.
+        let crn: Crn = "a -> b @ 1\na -> c @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let trials = 4000;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let r = Simulation::new(&crn, FirstReactionMethod::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            total += r.final_time;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean completion {mean}, expected 0.5");
+    }
+
+    #[test]
+    fn exhausts_cleanly() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        let initial = crn.zero_state();
+        let r = Simulation::new(&crn, FirstReactionMethod::new())
+            .options(SimulationOptions::new().seed(1))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(r.events, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Exact stochastic simulation of chemical reaction networks.
+//!
+//! This crate implements the standard exact stochastic simulation algorithms
+//! (SSA) over the [`crn`] data model:
+//!
+//! * [`DirectMethod`] — Gillespie's direct method (Gillespie 1977),
+//! * [`FirstReactionMethod`] — Gillespie's first-reaction method,
+//! * [`NextReactionMethod`] — the Gibson–Bruck next-reaction method
+//!   (Gibson & Bruck 2000) with a dependency graph and an indexed priority
+//!   queue.
+//!
+//! All three produce statistically identical trajectories; they differ only
+//! in performance characteristics, which the `bench` crate's `ssa_methods`
+//! benchmark quantifies.
+//!
+//! On top of the single-trajectory simulators, the [`Ensemble`] runner
+//! executes Monte-Carlo ensembles across threads and classifies trajectory
+//! outcomes, which is how all of the paper's figures are produced.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use gillespie::{DirectMethod, Simulation, SimulationOptions, StopCondition};
+//!
+//! let crn: crn::Crn = "a + b -> 2 c @ 0.01".parse()?;
+//! let initial = crn.state_from_counts([("a", 100), ("b", 100)])?;
+//! let options = SimulationOptions::new()
+//!     .seed(7)
+//!     .stop(StopCondition::exhaustion());
+//! let result = Simulation::new(&crn, DirectMethod::new())
+//!     .options(options)
+//!     .run(&initial)?;
+//! // Every a/b pair eventually reacts.
+//! assert_eq!(result.final_state.count(crn.require_species("c")?), 200);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod direct;
+mod ensemble;
+mod error;
+mod export;
+mod first_reaction;
+mod next_reaction;
+mod outcome;
+mod propensity;
+mod simulator;
+mod stats;
+mod stop;
+mod trajectory;
+
+pub use direct::DirectMethod;
+pub use ensemble::{Ensemble, EnsembleOptions, EnsembleReport, OutcomeCount};
+pub use error::SimulationError;
+pub use first_reaction::FirstReactionMethod;
+pub use next_reaction::NextReactionMethod;
+pub use outcome::{Outcome, OutcomeClassifier, SpeciesThresholdClassifier, ThresholdRule};
+pub use propensity::{propensities, propensity, total_propensity};
+pub use simulator::{
+    Simulation, SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepOutcome,
+};
+pub use stats::{SpeciesStatistics, TrajectorySummary};
+pub use stop::StopCondition;
+pub use trajectory::{RecordingMode, Trajectory, TrajectoryPoint};

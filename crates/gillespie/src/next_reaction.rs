@@ -1,0 +1,291 @@
+//! Gibson–Bruck next-reaction method.
+
+use crn::{Crn, DependencyGraph, State};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::propensity::propensity;
+use crate::simulator::{SsaStepper, StepOutcome};
+
+/// The Gibson–Bruck next-reaction method (Gibson & Bruck 2000).
+///
+/// Each reaction carries an absolute putative firing time stored in an
+/// indexed binary min-heap. After a reaction fires, only the reactions that
+/// depend on the changed species (per the network's
+/// [`DependencyGraph`]) have their putative times refreshed — reused via the
+/// scaling rule for unchanged-but-rescaled channels, redrawn otherwise. Each
+/// step therefore costs `O(D log R)` where `D` is the out-degree of the
+/// dependency graph, instead of the direct method's `O(R)`.
+///
+/// The paper cites this algorithm (its reference \[7\]) as the efficient
+/// simulator for systems with many species and channels; the
+/// `ssa_methods` benchmark in the `bench` crate compares it against the
+/// direct method on the paper's networks.
+#[derive(Debug, Default, Clone)]
+pub struct NextReactionMethod {
+    propensities: Vec<f64>,
+    heap: IndexedMinHeap,
+    dependencies: Option<DependencyGraph>,
+}
+
+impl NextReactionMethod {
+    /// Creates a new next-reaction stepper.
+    pub fn new() -> Self {
+        NextReactionMethod::default()
+    }
+
+    fn draw_time(now: f64, a: f64, rng: &mut StdRng) -> f64 {
+        if a <= 0.0 {
+            f64::INFINITY
+        } else {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            now + (-u.ln() / a)
+        }
+    }
+}
+
+impl SsaStepper for NextReactionMethod {
+    fn initialize(&mut self, crn: &Crn, state: &State, rng: &mut StdRng) {
+        let n = crn.reactions().len();
+        self.propensities.clear();
+        self.propensities.resize(n, 0.0);
+        self.heap.reset(n);
+        self.dependencies = Some(crn.dependency_graph());
+        for (idx, reaction) in crn.reactions().iter().enumerate() {
+            let a = propensity(reaction, state);
+            self.propensities[idx] = a;
+            self.heap.set(idx, Self::draw_time(0.0, a, rng));
+        }
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let Some((chosen, firing_time)) = self.heap.peek_min() else {
+            return StepOutcome::Exhausted;
+        };
+        if !firing_time.is_finite() {
+            return StepOutcome::Exhausted;
+        }
+        let now = firing_time;
+        *time = now;
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("reaction with finite putative time must be fireable");
+
+        let deps = self
+            .dependencies
+            .as_ref()
+            .expect("initialize() must be called before step()");
+        for &alpha in deps.dependents(chosen) {
+            let a_new = propensity(&crn.reactions()[alpha], state);
+            let a_old = self.propensities[alpha];
+            let t_alpha = self.heap.time(alpha);
+            let t_new = if alpha == chosen {
+                Self::draw_time(now, a_new, rng)
+            } else if a_old > 0.0 && a_new > 0.0 && t_alpha.is_finite() {
+                // Reuse the remaining exponential, rescaled to the new rate.
+                now + (a_old / a_new) * (t_alpha - now)
+            } else {
+                Self::draw_time(now, a_new, rng)
+            };
+            self.propensities[alpha] = a_new;
+            self.heap.set(alpha, t_new);
+        }
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn name(&self) -> &'static str {
+        "next-reaction"
+    }
+}
+
+/// A binary min-heap over reaction indices keyed by putative firing time,
+/// with an index-to-position map so that arbitrary keys can be updated in
+/// `O(log n)`.
+#[derive(Debug, Default, Clone)]
+struct IndexedMinHeap {
+    /// Heap array of reaction indices.
+    heap: Vec<usize>,
+    /// `positions[reaction]` = index of the reaction within `heap`.
+    positions: Vec<usize>,
+    /// Current key (putative time) per reaction.
+    times: Vec<f64>,
+}
+
+impl IndexedMinHeap {
+    fn reset(&mut self, n: usize) {
+        self.heap = (0..n).collect();
+        self.positions = (0..n).collect();
+        self.times = vec![f64::INFINITY; n];
+    }
+
+    fn time(&self, reaction: usize) -> f64 {
+        self.times[reaction]
+    }
+
+    fn peek_min(&self) -> Option<(usize, f64)> {
+        self.heap.first().map(|&r| (r, self.times[r]))
+    }
+
+    fn set(&mut self, reaction: usize, time: f64) {
+        let old = self.times[reaction];
+        self.times[reaction] = time;
+        let pos = self.positions[reaction];
+        if time < old {
+            self.sift_up(pos);
+        } else {
+            self.sift_down(pos);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key(pos) < self.key(parent) {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut smallest = pos;
+            if left < n && self.key(left) < self.key(smallest) {
+                smallest = left;
+            }
+            if right < n && self.key(right) < self.key(smallest) {
+                smallest = right;
+            }
+            if smallest == pos {
+                break;
+            }
+            self.swap(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    fn key(&self, pos: usize) -> f64 {
+        self.times[self.heap[pos]]
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a]] = a;
+        self.positions[self.heap[b]] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectMethod;
+    use crate::simulator::{Simulation, SimulationOptions};
+    use crate::stop::StopCondition;
+
+    #[test]
+    fn indexed_heap_maintains_min() {
+        let mut h = IndexedMinHeap::default();
+        h.reset(4);
+        h.set(0, 5.0);
+        h.set(1, 2.0);
+        h.set(2, 9.0);
+        h.set(3, 3.0);
+        assert_eq!(h.peek_min(), Some((1, 2.0)));
+        h.set(1, 10.0);
+        assert_eq!(h.peek_min(), Some((3, 3.0)));
+        h.set(2, 0.5);
+        assert_eq!(h.peek_min(), Some((2, 0.5)));
+    }
+
+    #[test]
+    fn branching_probabilities_match_rates() {
+        let crn: Crn = "x -> y @ 1\nx -> z @ 3".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 20_000)]).unwrap();
+        let result = Simulation::new(&crn, NextReactionMethod::new())
+            .options(SimulationOptions::new().seed(5))
+            .run(&initial)
+            .unwrap();
+        let z = result.final_state.count(crn.species_id("z").unwrap()) as f64;
+        assert!((z / 20_000.0 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn agrees_with_direct_method_on_mean_final_counts() {
+        // Reversible dimerisation; compare the equilibrium mean of c between
+        // the two algorithms over many trajectories.
+        let crn: Crn = "a + b -> c @ 0.05\nc -> a + b @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 40), ("b", 40)]).unwrap();
+        let c = crn.species_id("c").unwrap();
+        let trials = 200;
+        let mean = |use_next: bool| -> f64 {
+            let mut sum = 0.0;
+            for seed in 0..trials {
+                let opts = SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::events(2_000));
+                let final_count = if use_next {
+                    Simulation::new(&crn, NextReactionMethod::new())
+                        .options(opts)
+                        .run(&initial)
+                        .unwrap()
+                        .final_state
+                        .count(c)
+                } else {
+                    Simulation::new(&crn, DirectMethod::new())
+                        .options(opts)
+                        .run(&initial)
+                        .unwrap()
+                        .final_state
+                        .count(c)
+                };
+                sum += final_count as f64;
+            }
+            sum / trials as f64
+        };
+        let m_direct = mean(false);
+        let m_next = mean(true);
+        assert!(
+            (m_direct - m_next).abs() < 3.0,
+            "direct {m_direct} vs next-reaction {m_next}"
+        );
+    }
+
+    #[test]
+    fn exhausts_when_nothing_can_fire() {
+        let crn: Crn = "a + b -> c @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("b", 2)]).unwrap();
+        let result = Simulation::new(&crn, NextReactionMethod::new())
+            .options(SimulationOptions::new().seed(9))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.events, 0);
+    }
+
+    #[test]
+    fn waiting_time_mean_is_correct() {
+        let crn: Crn = "a -> b @ 5".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let trials = 4000;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let r = Simulation::new(&crn, NextReactionMethod::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            total += r.final_time;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 0.2).abs() < 0.02, "mean waiting time {mean}, expected 0.2");
+    }
+}

@@ -1,0 +1,232 @@
+//! Outcome classification of trajectories.
+//!
+//! The paper's experiments all reduce a trajectory to a *discrete outcome*:
+//! which working pathway fired enough times (Figure 3), or which of the two
+//! output proteins crossed its threshold first (Figure 5). An
+//! [`OutcomeClassifier`] maps a finished
+//! [`SimulationResult`](crate::SimulationResult) to such an outcome label;
+//! the [`Ensemble`](crate::Ensemble) runner then aggregates labels into an
+//! empirical distribution.
+
+use std::fmt;
+
+use crn::{Crn, SpeciesId};
+use serde::{Deserialize, Serialize};
+
+use crate::simulator::SimulationResult;
+
+/// A discrete outcome label (e.g. `"lysis"`, `"T1"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Outcome(String);
+
+impl Outcome {
+    /// Creates an outcome label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Outcome(name.into())
+    }
+
+    /// Returns the label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Outcome {
+    fn from(name: &str) -> Self {
+        Outcome::new(name)
+    }
+}
+
+impl From<String> for Outcome {
+    fn from(name: String) -> Self {
+        Outcome(name)
+    }
+}
+
+/// Maps a finished trajectory to a discrete outcome.
+///
+/// Returning `None` marks the trajectory as *undecided*; the ensemble runner
+/// reports undecided trajectories separately so they are never silently
+/// folded into a real outcome.
+pub trait OutcomeClassifier {
+    /// Classifies one trajectory.
+    fn classify(&self, result: &SimulationResult) -> Option<Outcome>;
+
+    /// Lists every outcome this classifier can produce, used to present
+    /// zero-count outcomes in reports.
+    fn outcomes(&self) -> Vec<Outcome>;
+}
+
+/// One rule of a [`SpeciesThresholdClassifier`]: if the final count of
+/// `species` is at least `threshold`, the trajectory is assigned `outcome`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdRule {
+    /// The species whose final count is inspected.
+    pub species: SpeciesId,
+    /// The threshold (inclusive).
+    pub threshold: u64,
+    /// The outcome assigned when the threshold is met.
+    pub outcome: Outcome,
+}
+
+/// Classifies trajectories by final species counts against thresholds.
+///
+/// Rules are evaluated in order; when several rules are satisfied
+/// simultaneously the rule whose species *exceeds its threshold by the
+/// largest margin (relative to the threshold)* wins. This matches the
+/// paper's usage where the simulation is stopped as soon as the first output
+/// crosses its threshold, so ties are rare and benign.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gillespie::SpeciesThresholdClassifier;
+///
+/// let crn: crn::Crn = "d1 + f1 -> d1 + cro2 @ 1\nd2 + f2 -> d2 + ci2 @ 1".parse()?;
+/// let classifier = SpeciesThresholdClassifier::new()
+///     .rule_named(&crn, "cro2", 55, "lysis")?
+///     .rule_named(&crn, "ci2", 145, "lysogeny")?;
+/// assert_eq!(classifier.rules().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesThresholdClassifier {
+    rules: Vec<ThresholdRule>,
+}
+
+impl SpeciesThresholdClassifier {
+    /// Creates a classifier with no rules.
+    pub fn new() -> Self {
+        SpeciesThresholdClassifier::default()
+    }
+
+    /// Adds a rule by species id.
+    pub fn rule(mut self, species: SpeciesId, threshold: u64, outcome: impl Into<Outcome>) -> Self {
+        self.rules.push(ThresholdRule { species, threshold, outcome: outcome.into() });
+        self
+    }
+
+    /// Adds a rule by species name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crn::CrnError::UnknownSpecies`] if the species does not
+    /// exist in `crn`.
+    pub fn rule_named(
+        self,
+        crn: &Crn,
+        species: &str,
+        threshold: u64,
+        outcome: impl Into<Outcome>,
+    ) -> Result<Self, crn::CrnError> {
+        let id = crn.require_species(species)?;
+        Ok(self.rule(id, threshold, outcome))
+    }
+
+    /// Returns the configured rules.
+    pub fn rules(&self) -> &[ThresholdRule] {
+        &self.rules
+    }
+}
+
+impl OutcomeClassifier for SpeciesThresholdClassifier {
+    fn classify(&self, result: &SimulationResult) -> Option<Outcome> {
+        let mut best: Option<(f64, &Outcome)> = None;
+        for rule in &self.rules {
+            let count = result.final_state.try_count(rule.species)?;
+            if count >= rule.threshold {
+                let margin = if rule.threshold == 0 {
+                    count as f64
+                } else {
+                    count as f64 / rule.threshold as f64
+                };
+                if best.map_or(true, |(m, _)| margin > m) {
+                    best = Some((margin, &rule.outcome));
+                }
+            }
+        }
+        best.map(|(_, outcome)| outcome.clone())
+    }
+
+    fn outcomes(&self) -> Vec<Outcome> {
+        let mut outcomes: Vec<Outcome> = self.rules.iter().map(|r| r.outcome.clone()).collect();
+        outcomes.dedup();
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{SimulationResult, StopReason};
+    use crate::trajectory::Trajectory;
+    use crn::State;
+
+    fn result_with_counts(counts: Vec<u64>) -> SimulationResult {
+        SimulationResult {
+            final_state: State::from_counts(counts),
+            final_time: 1.0,
+            events: 10,
+            stop_reason: StopReason::ConditionMet,
+            trajectory: Trajectory::new(),
+        }
+    }
+
+    fn classifier() -> SpeciesThresholdClassifier {
+        SpeciesThresholdClassifier::new()
+            .rule(SpeciesId::from_index(0), 55, "lysis")
+            .rule(SpeciesId::from_index(1), 145, "lysogeny")
+    }
+
+    #[test]
+    fn classifies_by_threshold() {
+        let c = classifier();
+        assert_eq!(c.classify(&result_with_counts(vec![60, 0])), Some(Outcome::new("lysis")));
+        assert_eq!(
+            c.classify(&result_with_counts(vec![0, 150])),
+            Some(Outcome::new("lysogeny"))
+        );
+        assert_eq!(c.classify(&result_with_counts(vec![10, 10])), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_largest_relative_margin() {
+        let c = classifier();
+        // 60/55 ≈ 1.09 < 300/145 ≈ 2.07, so lysogeny wins.
+        assert_eq!(
+            c.classify(&result_with_counts(vec![60, 300])),
+            Some(Outcome::new("lysogeny"))
+        );
+    }
+
+    #[test]
+    fn out_of_range_species_is_undecided() {
+        let c = classifier();
+        assert_eq!(c.classify(&result_with_counts(vec![60])), None);
+    }
+
+    #[test]
+    fn outcome_listing_and_display() {
+        let c = classifier();
+        let names: Vec<String> = c.outcomes().iter().map(|o| o.to_string()).collect();
+        assert_eq!(names, vec!["lysis", "lysogeny"]);
+        assert_eq!(Outcome::from("x").as_str(), "x");
+        assert_eq!(Outcome::from(String::from("y")).as_str(), "y");
+    }
+
+    #[test]
+    fn rule_named_validates_species() {
+        let crn: Crn = "cro2 -> 0 @ 1".parse().unwrap();
+        assert!(SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "missing", 1, "x")
+            .is_err());
+    }
+}

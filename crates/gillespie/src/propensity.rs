@@ -1,0 +1,152 @@
+//! Mass-action propensity (stochastic rate) evaluation.
+//!
+//! In Gillespie's formulation the propensity `a_r(x)` of reaction `r` in
+//! state `x` is its stochastic rate constant multiplied by the number of
+//! distinct combinations of reactant molecules available:
+//!
+//! * `∅ -> …` (order 0): `a = k`
+//! * `s -> …`: `a = k · X_s`
+//! * `s + t -> …`: `a = k · X_s · X_t`
+//! * `2s -> …`: `a = k · X_s · (X_s − 1) / 2`
+//!
+//! and in general `a = k · Π_s C(X_s, ν_s)` where `ν_s` is the reactant
+//! stoichiometry of species `s` and `C` is the binomial coefficient.
+
+use crn::{Crn, Reaction, State};
+
+/// Computes the propensity of a single reaction in the given state.
+///
+/// Returns `0.0` whenever any reactant is present in insufficient quantity.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn: crn::Crn = "2 a -> b @ 3".parse()?;
+/// let state = crn.state_from_counts([("a", 4)])?;
+/// // C(4, 2) = 6 distinct pairs, so the propensity is 3 · 6 = 18.
+/// assert_eq!(gillespie::propensity(&crn.reactions()[0], &state), 18.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn propensity(reaction: &Reaction, state: &State) -> f64 {
+    let mut combinations = 1.0f64;
+    for term in reaction.reactants() {
+        let count = match state.try_count(term.species) {
+            Some(c) => c,
+            None => return 0.0,
+        };
+        if count < u64::from(term.coefficient) {
+            return 0.0;
+        }
+        combinations *= falling_factorial(count, term.coefficient)
+            / factorial(term.coefficient);
+    }
+    reaction.rate() * combinations
+}
+
+/// Computes the propensities of every reaction of `crn` in `state`, writing
+/// them into `out` (which is resized as needed) and returning the total.
+pub fn propensities(crn: &Crn, state: &State, out: &mut Vec<f64>) -> f64 {
+    out.clear();
+    out.reserve(crn.reactions().len());
+    let mut total = 0.0;
+    for reaction in crn.reactions() {
+        let a = propensity(reaction, state);
+        out.push(a);
+        total += a;
+    }
+    total
+}
+
+/// Computes only the total propensity of the network in `state`.
+pub fn total_propensity(crn: &Crn, state: &State) -> f64 {
+    crn.reactions().iter().map(|r| propensity(r, state)).sum()
+}
+
+fn falling_factorial(n: u64, k: u32) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..u64::from(k) {
+        acc *= (n - i) as f64;
+    }
+    acc
+}
+
+fn factorial(k: u32) -> f64 {
+    (1..=u64::from(k)).map(|i| i as f64).product::<f64>().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crn_of(text: &str) -> Crn {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn zeroth_order_propensity_is_the_rate() {
+        let crn = crn_of("0 -> a @ 2.5");
+        let state = crn.zero_state();
+        assert_eq!(propensity(&crn.reactions()[0], &state), 2.5);
+    }
+
+    #[test]
+    fn first_order_scales_with_count() {
+        let crn = crn_of("a -> b @ 0.1");
+        let state = crn.state_from_counts([("a", 30)]).unwrap();
+        assert!((propensity(&crn.reactions()[0], &state) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimolecular_distinct_species() {
+        let crn = crn_of("a + b -> c @ 10");
+        let state = crn.state_from_counts([("a", 15), ("b", 25)]).unwrap();
+        assert_eq!(propensity(&crn.reactions()[0], &state), 10.0 * 15.0 * 25.0);
+    }
+
+    #[test]
+    fn bimolecular_same_species_uses_combinations() {
+        let crn = crn_of("2 a -> b @ 1");
+        let state = crn.state_from_counts([("a", 5)]).unwrap();
+        // C(5,2) = 10
+        assert_eq!(propensity(&crn.reactions()[0], &state), 10.0);
+        // With fewer molecules than required, propensity is exactly zero.
+        let state1 = crn.state_from_counts([("a", 1)]).unwrap();
+        assert_eq!(propensity(&crn.reactions()[0], &state1), 0.0);
+    }
+
+    #[test]
+    fn trimolecular_combination_counting() {
+        let crn = crn_of("3 a -> b @ 2");
+        let state = crn.state_from_counts([("a", 6)]).unwrap();
+        // C(6,3) = 20 -> propensity 40.
+        assert_eq!(propensity(&crn.reactions()[0], &state), 40.0);
+    }
+
+    #[test]
+    fn mixed_high_order_reaction() {
+        let crn = crn_of("2 a + b -> c @ 0.5");
+        let state = crn.state_from_counts([("a", 4), ("b", 3)]).unwrap();
+        // C(4,2)·C(3,1) = 6·3 = 18 -> 9.0.
+        assert_eq!(propensity(&crn.reactions()[0], &state), 9.0);
+    }
+
+    #[test]
+    fn totals_sum_over_reactions() {
+        let crn = crn_of("a -> b @ 1\nb -> a @ 2");
+        let state = crn.state_from_counts([("a", 10), ("b", 5)]).unwrap();
+        let mut buf = Vec::new();
+        let total = propensities(&crn, &state, &mut buf);
+        assert_eq!(buf, vec![10.0, 10.0]);
+        assert_eq!(total, 20.0);
+        assert_eq!(total_propensity(&crn, &state), 20.0);
+    }
+
+    #[test]
+    fn missing_reactants_give_zero() {
+        let crn = crn_of("a + b -> c @ 1");
+        let state = crn.state_from_counts([("a", 10)]).unwrap();
+        assert_eq!(propensity(&crn.reactions()[0], &state), 0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The simulation driver shared by all SSA variants.
+
+use crn::{Crn, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimulationError;
+use crate::stop::StopCondition;
+use crate::trajectory::{Recorder, RecordingMode, Trajectory};
+
+/// The outcome of asking a stepper for the next reaction event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A reaction fired; its index within the network is reported.
+    Fired {
+        /// Index of the reaction that fired.
+        reaction: usize,
+    },
+    /// No reaction can fire (total propensity is zero).
+    Exhausted,
+}
+
+/// A single-step kernel of an exact SSA variant.
+///
+/// Implementations own whatever per-run caches they need (propensity
+/// vectors, putative-time queues, …); [`SsaStepper::initialize`] is called
+/// once per trajectory before the first [`SsaStepper::step`].
+///
+/// The three provided implementations are [`DirectMethod`](crate::DirectMethod),
+/// [`FirstReactionMethod`](crate::FirstReactionMethod) and
+/// [`NextReactionMethod`](crate::NextReactionMethod); they are statistically
+/// equivalent.
+pub trait SsaStepper {
+    /// Prepares internal caches for a fresh trajectory of `crn` starting in
+    /// `state`.
+    fn initialize(&mut self, crn: &Crn, state: &State, rng: &mut StdRng);
+
+    /// Selects the next reaction, applies it to `state`, advances `time` and
+    /// reports what happened.
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome;
+
+    /// A short human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Identifies one of the built-in SSA variants; useful when the algorithm is
+/// chosen at run time (CLI flags, benchmark sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SsaMethod {
+    /// Gillespie's direct method.
+    #[default]
+    Direct,
+    /// Gillespie's first-reaction method.
+    FirstReaction,
+    /// Gibson–Bruck next-reaction method.
+    NextReaction,
+}
+
+impl SsaMethod {
+    /// All built-in methods, convenient for sweeps.
+    pub const ALL: [SsaMethod; 3] =
+        [SsaMethod::Direct, SsaMethod::FirstReaction, SsaMethod::NextReaction];
+
+    /// Instantiates a fresh stepper for this method.
+    pub fn stepper(self) -> Box<dyn SsaStepper + Send> {
+        match self {
+            SsaMethod::Direct => Box::new(crate::DirectMethod::new()),
+            SsaMethod::FirstReaction => Box::new(crate::FirstReactionMethod::new()),
+            SsaMethod::NextReaction => Box::new(crate::NextReactionMethod::new()),
+        }
+    }
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SsaMethod::Direct => "direct",
+            SsaMethod::FirstReaction => "first-reaction",
+            SsaMethod::NextReaction => "next-reaction",
+        }
+    }
+}
+
+/// Options controlling a single stochastic trajectory.
+///
+/// The builder-style setters return `self`, so options are typically
+/// constructed inline:
+///
+/// ```
+/// use gillespie::{RecordingMode, SimulationOptions, StopCondition};
+///
+/// let options = SimulationOptions::new()
+///     .seed(42)
+///     .stop(StopCondition::time(100.0))
+///     .recording(RecordingMode::Interval(1.0))
+///     .max_events(1_000_000);
+/// assert_eq!(options.seed_value(), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOptions {
+    seed: Option<u64>,
+    stop: StopCondition,
+    recording: RecordingMode,
+    max_events: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            seed: None,
+            stop: StopCondition::Exhaustion,
+            recording: RecordingMode::FinalOnly,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl SimulationOptions {
+    /// Creates default options: run to exhaustion, record only the final
+    /// state, seed from system entropy, no event limit.
+    pub fn new() -> Self {
+        SimulationOptions::default()
+    }
+
+    /// Uses a fixed RNG seed, making the trajectory reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Sets the trajectory recording mode.
+    pub fn recording(mut self, recording: RecordingMode) -> Self {
+        self.recording = recording;
+        self
+    }
+
+    /// Sets a hard limit on the number of reaction events; exceeding it is
+    /// reported as [`SimulationError::EventLimitExceeded`]. This is a safety
+    /// net against networks that never satisfy their stop condition.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Returns the configured seed, if any.
+    pub fn seed_value(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Returns the configured stop condition.
+    pub fn stop_condition(&self) -> &StopCondition {
+        &self.stop
+    }
+
+    pub(crate) fn make_rng(&self) -> StdRng {
+        match self.seed {
+            Some(seed) => StdRng::seed_from_u64(seed),
+            None => StdRng::from_entropy(),
+        }
+    }
+}
+
+/// Why a trajectory terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The configured [`StopCondition`] was satisfied.
+    ConditionMet,
+    /// No reaction could fire any more.
+    Exhausted,
+}
+
+/// The result of a single stochastic trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// The state at the end of the trajectory.
+    pub final_state: State,
+    /// The simulated time at the end of the trajectory.
+    pub final_time: f64,
+    /// The number of reaction events that fired.
+    pub events: u64,
+    /// Why the trajectory stopped.
+    pub stop_reason: StopReason,
+    /// Recorded snapshots (depends on [`RecordingMode`]).
+    pub trajectory: Trajectory,
+}
+
+/// A single-trajectory simulation of a network with a chosen SSA kernel.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct Simulation<'a, S> {
+    crn: &'a Crn,
+    stepper: S,
+    options: SimulationOptions,
+}
+
+impl<'a, S: SsaStepper> Simulation<'a, S> {
+    /// Creates a simulation of `crn` using the given stepper.
+    pub fn new(crn: &'a Crn, stepper: S) -> Self {
+        Simulation { crn, stepper, options: SimulationOptions::default() }
+    }
+
+    /// Replaces the simulation options.
+    pub fn options(mut self, options: SimulationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Returns the network being simulated.
+    pub fn crn(&self) -> &Crn {
+        self.crn
+    }
+
+    /// Runs one trajectory from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::StateSizeMismatch`] if the state does not
+    /// match the network and [`SimulationError::EventLimitExceeded`] if the
+    /// configured hard event limit is hit.
+    pub fn run(&mut self, initial: &State) -> Result<SimulationResult, SimulationError> {
+        run_with(self.crn, &mut self.stepper, &self.options, initial)
+    }
+}
+
+/// Runs one trajectory with an explicit stepper; this is the function both
+/// [`Simulation::run`] and the ensemble runner share.
+pub(crate) fn run_with(
+    crn: &Crn,
+    stepper: &mut dyn SsaStepper,
+    options: &SimulationOptions,
+    initial: &State,
+) -> Result<SimulationResult, SimulationError> {
+    if initial.species_len() != crn.species_len() {
+        return Err(SimulationError::StateSizeMismatch {
+            network: crn.species_len(),
+            state: initial.species_len(),
+        });
+    }
+    let mut rng = options.make_rng();
+    run_with_rng(crn, stepper, options, initial, &mut rng)
+}
+
+/// Runs one trajectory with an explicit RNG (used by the ensemble runner to
+/// derive per-trial seeds from a master seed).
+pub(crate) fn run_with_rng(
+    crn: &Crn,
+    stepper: &mut dyn SsaStepper,
+    options: &SimulationOptions,
+    initial: &State,
+    rng: &mut StdRng,
+) -> Result<SimulationResult, SimulationError> {
+    if initial.species_len() != crn.species_len() {
+        return Err(SimulationError::StateSizeMismatch {
+            network: crn.species_len(),
+            state: initial.species_len(),
+        });
+    }
+    let mut state = initial.clone();
+    let mut time = 0.0f64;
+    let mut events = 0u64;
+    let mut recorder = Recorder::new(options.recording);
+    recorder.record_initial(&state);
+    stepper.initialize(crn, &state, rng);
+
+    let stop_reason = loop {
+        if options.stop.is_met(time, events, &state) {
+            break StopReason::ConditionMet;
+        }
+        if events >= options.max_events {
+            return Err(SimulationError::EventLimitExceeded { limit: options.max_events });
+        }
+        match stepper.step(crn, &mut state, &mut time, rng) {
+            StepOutcome::Fired { .. } => {
+                events += 1;
+                recorder.record(time, &state);
+            }
+            StepOutcome::Exhausted => break StopReason::Exhausted,
+        }
+    };
+
+    Ok(SimulationResult {
+        final_state: state,
+        final_time: time,
+        events,
+        stop_reason,
+        trajectory: recorder.trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectMethod;
+
+    fn isomerisation() -> Crn {
+        "a -> b @ 1".parse().unwrap()
+    }
+
+    #[test]
+    fn runs_to_exhaustion() {
+        let crn = isomerisation();
+        let initial = crn.state_from_counts([("a", 50)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(1))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.events, 50);
+        assert_eq!(result.stop_reason, StopReason::Exhausted);
+        assert_eq!(result.final_state.count(crn.species_id("b").unwrap()), 50);
+        assert!(result.final_time > 0.0);
+    }
+
+    #[test]
+    fn stops_on_event_count() {
+        let crn = isomerisation();
+        let initial = crn.state_from_counts([("a", 50)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(1).stop(StopCondition::events(10)))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.events, 10);
+        assert_eq!(result.stop_reason, StopReason::ConditionMet);
+    }
+
+    #[test]
+    fn enforces_event_limit() {
+        // A source reaction never exhausts.
+        let crn: Crn = "0 -> a @ 1".parse().unwrap();
+        let initial = crn.zero_state();
+        let err = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(1).max_events(100))
+            .run(&initial)
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::EventLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn rejects_mismatched_state() {
+        let crn = isomerisation();
+        let err = Simulation::new(&crn, DirectMethod::new())
+            .run(&State::zero(5))
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::StateSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_trajectory() {
+        let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 100)]).unwrap();
+        let opts = SimulationOptions::new().seed(99).stop(StopCondition::events(1000));
+        let r1 = Simulation::new(&crn, DirectMethod::new()).options(opts.clone()).run(&initial).unwrap();
+        let r2 = Simulation::new(&crn, DirectMethod::new()).options(opts).run(&initial).unwrap();
+        assert_eq!(r1.final_state, r2.final_state);
+        assert_eq!(r1.final_time, r2.final_time);
+    }
+
+    #[test]
+    fn recording_every_event_captures_all_states() {
+        let crn = isomerisation();
+        let initial = crn.state_from_counts([("a", 10)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(3).recording(RecordingMode::EveryEvent))
+            .run(&initial)
+            .unwrap();
+        // initial snapshot + one per event
+        assert_eq!(result.trajectory.len() as u64, result.events + 1);
+    }
+
+    #[test]
+    fn ssa_method_enum_creates_steppers() {
+        for method in SsaMethod::ALL {
+            let stepper = method.stepper();
+            assert_eq!(stepper.name(), method.name());
+        }
+        assert_eq!(SsaMethod::default(), SsaMethod::Direct);
+    }
+}

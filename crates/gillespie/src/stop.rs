@@ -1,0 +1,190 @@
+//! Stop conditions for simulations.
+
+use crn::{Crn, SpeciesId, State};
+use serde::{Deserialize, Serialize};
+
+/// When to terminate a stochastic trajectory.
+///
+/// Stop conditions are checked after every reaction event (and before the
+/// first). Independently of any condition, a trajectory always stops when no
+/// reaction can fire (the total propensity is zero); [`StopCondition::exhaustion`]
+/// requests *only* that behaviour.
+///
+/// Conditions compose with [`StopCondition::any_of`] and
+/// [`StopCondition::all_of`].
+///
+/// # Example
+///
+/// ```
+/// use gillespie::StopCondition;
+/// use crn::SpeciesId;
+///
+/// // Stop when either output crosses its threshold, or at t = 1000.
+/// let stop = StopCondition::any_of(vec![
+///     StopCondition::species_at_least(SpeciesId::from_index(3), 55),
+///     StopCondition::species_at_least(SpeciesId::from_index(4), 145),
+///     StopCondition::time(1000.0),
+/// ]);
+/// assert!(format!("{stop:?}").contains("AnyOf"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum StopCondition {
+    /// Stop only when no reaction can fire any more.
+    Exhaustion,
+    /// Stop once simulated time reaches the given value.
+    Time(f64),
+    /// Stop once the given number of reaction events has fired.
+    Events(u64),
+    /// Stop once the count of a species reaches at least the given value.
+    SpeciesAtLeast {
+        /// The species to watch.
+        species: SpeciesId,
+        /// The threshold count (inclusive).
+        count: u64,
+    },
+    /// Stop once the count of a species drops to at most the given value.
+    SpeciesAtMost {
+        /// The species to watch.
+        species: SpeciesId,
+        /// The threshold count (inclusive).
+        count: u64,
+    },
+    /// Stop when any of the nested conditions holds.
+    AnyOf(Vec<StopCondition>),
+    /// Stop when all of the nested conditions hold.
+    AllOf(Vec<StopCondition>),
+}
+
+impl Default for StopCondition {
+    fn default() -> Self {
+        StopCondition::Exhaustion
+    }
+}
+
+impl StopCondition {
+    /// Runs until no reaction can fire.
+    pub fn exhaustion() -> Self {
+        StopCondition::Exhaustion
+    }
+
+    /// Stops at the given simulated time.
+    pub fn time(t: f64) -> Self {
+        StopCondition::Time(t)
+    }
+
+    /// Stops after the given number of reaction events.
+    pub fn events(n: u64) -> Self {
+        StopCondition::Events(n)
+    }
+
+    /// Stops once `species` reaches at least `count` molecules.
+    pub fn species_at_least(species: SpeciesId, count: u64) -> Self {
+        StopCondition::SpeciesAtLeast { species, count }
+    }
+
+    /// Stops once `species` drops to at most `count` molecules.
+    pub fn species_at_most(species: SpeciesId, count: u64) -> Self {
+        StopCondition::SpeciesAtMost { species, count }
+    }
+
+    /// Stops when any of `conditions` holds.
+    pub fn any_of(conditions: Vec<StopCondition>) -> Self {
+        StopCondition::AnyOf(conditions)
+    }
+
+    /// Stops when all of `conditions` hold.
+    pub fn all_of(conditions: Vec<StopCondition>) -> Self {
+        StopCondition::AllOf(conditions)
+    }
+
+    /// Convenience constructor looking a species up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crn::CrnError::UnknownSpecies`] if the name is not present.
+    pub fn named_species_at_least(
+        crn: &Crn,
+        name: &str,
+        count: u64,
+    ) -> Result<Self, crn::CrnError> {
+        Ok(StopCondition::SpeciesAtLeast { species: crn.require_species(name)?, count })
+    }
+
+    /// Evaluates the condition.
+    pub fn is_met(&self, time: f64, events: u64, state: &State) -> bool {
+        match self {
+            StopCondition::Exhaustion => false,
+            StopCondition::Time(t) => time >= *t,
+            StopCondition::Events(n) => events >= *n,
+            StopCondition::SpeciesAtLeast { species, count } => {
+                state.try_count(*species).is_some_and(|c| c >= *count)
+            }
+            StopCondition::SpeciesAtMost { species, count } => {
+                state.try_count(*species).is_some_and(|c| c <= *count)
+            }
+            StopCondition::AnyOf(conditions) => {
+                conditions.iter().any(|c| c.is_met(time, events, state))
+            }
+            StopCondition::AllOf(conditions) => {
+                !conditions.is_empty() && conditions.iter().all(|c| c.is_met(time, events, state))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::from_index(i)
+    }
+
+    #[test]
+    fn exhaustion_never_triggers_explicitly() {
+        let state = State::zero(1);
+        assert!(!StopCondition::exhaustion().is_met(1e9, u64::MAX, &state));
+    }
+
+    #[test]
+    fn time_and_event_conditions() {
+        let state = State::zero(1);
+        assert!(StopCondition::time(10.0).is_met(10.0, 0, &state));
+        assert!(!StopCondition::time(10.0).is_met(9.99, 0, &state));
+        assert!(StopCondition::events(5).is_met(0.0, 5, &state));
+        assert!(!StopCondition::events(5).is_met(0.0, 4, &state));
+    }
+
+    #[test]
+    fn species_thresholds() {
+        let state = State::from_counts(vec![3, 7]);
+        assert!(StopCondition::species_at_least(s(1), 7).is_met(0.0, 0, &state));
+        assert!(!StopCondition::species_at_least(s(1), 8).is_met(0.0, 0, &state));
+        assert!(StopCondition::species_at_most(s(0), 3).is_met(0.0, 0, &state));
+        assert!(!StopCondition::species_at_most(s(0), 2).is_met(0.0, 0, &state));
+        // Out-of-range species is simply "not met" rather than a panic.
+        assert!(!StopCondition::species_at_least(s(9), 1).is_met(0.0, 0, &state));
+    }
+
+    #[test]
+    fn any_and_all_compose() {
+        let state = State::from_counts(vec![10]);
+        let a = StopCondition::species_at_least(s(0), 5);
+        let b = StopCondition::time(100.0);
+        assert!(StopCondition::any_of(vec![a.clone(), b.clone()]).is_met(0.0, 0, &state));
+        assert!(!StopCondition::all_of(vec![a.clone(), b.clone()]).is_met(0.0, 0, &state));
+        assert!(StopCondition::all_of(vec![a, b]).is_met(100.0, 0, &state));
+        // Empty AllOf never triggers (avoids accidental immediate stop).
+        assert!(!StopCondition::all_of(vec![]).is_met(100.0, 100, &state));
+    }
+
+    #[test]
+    fn named_species_lookup() {
+        let crn: Crn = "cro2 -> 0 @ 1".parse().unwrap();
+        let cond = StopCondition::named_species_at_least(&crn, "cro2", 55).unwrap();
+        let state = crn.state_from_counts([("cro2", 60)]).unwrap();
+        assert!(cond.is_met(0.0, 0, &state));
+        assert!(StopCondition::named_species_at_least(&crn, "nope", 1).is_err());
+    }
+}

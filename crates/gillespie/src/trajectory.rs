@@ -1,0 +1,201 @@
+//! Trajectory recording.
+
+use crn::State;
+use serde::{Deserialize, Serialize};
+
+/// What to record while a trajectory unfolds.
+///
+/// Recording every event of a stiff network (the DAC'07 stochastic module
+/// with γ = 10⁵ fires millions of fast reactions) is expensive; most users
+/// only need the final state or sparse snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RecordingMode {
+    /// Record nothing but the final state (the default).
+    #[default]
+    FinalOnly,
+    /// Record the state after every reaction event.
+    EveryEvent,
+    /// Record the state at most once per `interval` of simulated time.
+    Interval(f64),
+}
+
+/// A single recorded point of a trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Simulated time of the snapshot.
+    pub time: f64,
+    /// Species counts at that time.
+    pub state: State,
+}
+
+/// A recorded stochastic trajectory.
+///
+/// Construct trajectories through
+/// [`Simulation::run`](crate::Simulation::run); the recording density is
+/// controlled by [`RecordingMode`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends a snapshot.
+    pub fn push(&mut self, time: f64, state: State) {
+        self.points.push(TrajectoryPoint { time, state });
+    }
+
+    /// Returns the recorded points in chronological order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Returns the number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the last recorded point, if any.
+    pub fn last(&self) -> Option<&TrajectoryPoint> {
+        self.points.last()
+    }
+
+    /// Returns the count of `species` over time as `(time, count)` pairs.
+    pub fn series(&self, species: crn::SpeciesId) -> Vec<(f64, u64)> {
+        self.points
+            .iter()
+            .map(|p| (p.time, p.state.count(species)))
+            .collect()
+    }
+
+    /// Returns the state recorded at or immediately before `time`
+    /// (zero-order hold), if any point precedes it.
+    pub fn state_at(&self, time: f64) -> Option<&State> {
+        self.points
+            .iter()
+            .take_while(|p| p.time <= time)
+            .last()
+            .map(|p| &p.state)
+    }
+}
+
+impl FromIterator<TrajectoryPoint> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = TrajectoryPoint>>(iter: I) -> Self {
+        Trajectory { points: iter.into_iter().collect() }
+    }
+}
+
+/// Internal helper deciding whether a snapshot should be recorded.
+#[derive(Debug, Clone)]
+pub(crate) struct Recorder {
+    mode: RecordingMode,
+    next_sample_time: f64,
+    pub(crate) trajectory: Trajectory,
+}
+
+impl Recorder {
+    pub(crate) fn new(mode: RecordingMode) -> Self {
+        Recorder { mode, next_sample_time: 0.0, trajectory: Trajectory::new() }
+    }
+
+    /// Records the initial state unconditionally (except in `FinalOnly` mode).
+    pub(crate) fn record_initial(&mut self, state: &State) {
+        match self.mode {
+            RecordingMode::FinalOnly => {}
+            RecordingMode::EveryEvent => self.trajectory.push(0.0, state.clone()),
+            RecordingMode::Interval(interval) => {
+                self.trajectory.push(0.0, state.clone());
+                self.next_sample_time = interval;
+            }
+        }
+    }
+
+    /// Possibly records the state reached at `time`.
+    pub(crate) fn record(&mut self, time: f64, state: &State) {
+        match self.mode {
+            RecordingMode::FinalOnly => {}
+            RecordingMode::EveryEvent => self.trajectory.push(time, state.clone()),
+            RecordingMode::Interval(interval) => {
+                if time >= self.next_sample_time {
+                    self.trajectory.push(time, state.clone());
+                    // Skip forward past any empty sampling intervals.
+                    while self.next_sample_time <= time {
+                        self.next_sample_time += interval;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn::SpeciesId;
+
+    fn state(counts: &[u64]) -> State {
+        State::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn final_only_records_nothing() {
+        let mut rec = Recorder::new(RecordingMode::FinalOnly);
+        rec.record_initial(&state(&[1]));
+        rec.record(1.0, &state(&[2]));
+        assert!(rec.trajectory.is_empty());
+    }
+
+    #[test]
+    fn every_event_records_all() {
+        let mut rec = Recorder::new(RecordingMode::EveryEvent);
+        rec.record_initial(&state(&[1]));
+        rec.record(0.5, &state(&[2]));
+        rec.record(0.7, &state(&[3]));
+        assert_eq!(rec.trajectory.len(), 3);
+        assert_eq!(rec.trajectory.last().unwrap().time, 0.7);
+    }
+
+    #[test]
+    fn interval_mode_subsamples() {
+        let mut rec = Recorder::new(RecordingMode::Interval(1.0));
+        rec.record_initial(&state(&[0]));
+        for i in 1..=10 {
+            rec.record(i as f64 * 0.25, &state(&[i]));
+        }
+        // Samples at t=0 plus one per unit interval crossed (t=1.0, 2.0, 2.5).
+        assert!(rec.trajectory.len() >= 3 && rec.trajectory.len() <= 4);
+        // Times are non-decreasing.
+        let times: Vec<f64> = rec.trajectory.points().iter().map(|p| p.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn series_and_state_at() {
+        let mut t = Trajectory::new();
+        t.push(0.0, state(&[5, 0]));
+        t.push(1.0, state(&[4, 1]));
+        t.push(2.0, state(&[3, 2]));
+        let s0 = SpeciesId::from_index(0);
+        assert_eq!(t.series(s0), vec![(0.0, 5), (1.0, 4), (2.0, 3)]);
+        assert_eq!(t.state_at(1.5).unwrap().count(s0), 4);
+        assert_eq!(t.state_at(5.0).unwrap().count(s0), 3);
+        assert!(Trajectory::new().state_at(1.0).is_none());
+    }
+
+    #[test]
+    fn collect_from_points() {
+        let t: Trajectory = vec![TrajectoryPoint { time: 0.0, state: state(&[1]) }]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 1);
+    }
+}

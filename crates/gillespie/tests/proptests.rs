@@ -1,0 +1,166 @@
+//! Property-based tests of the stochastic simulators.
+
+use crn::Crn;
+use gillespie::{
+    propensity, DirectMethod, FirstReactionMethod, NextReactionMethod, Simulation,
+    SimulationOptions, SsaStepper, StopCondition,
+};
+use proptest::prelude::*;
+
+/// Strategy: a reversible conversion network `a <-> b <-> c` with arbitrary
+/// positive rates — closed, so the total molecule count is conserved.
+fn conversion_network() -> impl Strategy<Value = Crn> {
+    prop::collection::vec(0.01f64..100.0, 4).prop_map(|rates| {
+        format!(
+            "a -> b @ {}\nb -> a @ {}\nb -> c @ {}\nc -> b @ {}",
+            rates[0], rates[1], rates[2], rates[3]
+        )
+        .parse()
+        .expect("valid network")
+    })
+}
+
+proptest! {
+    /// First-order propensities are exactly `rate · count`.
+    #[test]
+    fn first_order_propensity_is_linear(rate in 0.001f64..1e4, count in 0u64..10_000) {
+        let crn: Crn = format!("a -> b @ {rate}").parse().expect("network");
+        let state = crn.state_from_counts([("a", count)]).expect("state");
+        let expected = rate * count as f64;
+        let actual = propensity(&crn.reactions()[0], &state);
+        prop_assert!((actual - expected).abs() <= expected.abs() * 1e-12);
+    }
+
+    /// Homodimerisation propensities use the combinatorial count
+    /// `rate · n(n−1)/2` and are never negative.
+    #[test]
+    fn dimerisation_propensity_uses_combinations(rate in 0.001f64..100.0, count in 0u64..2_000) {
+        let crn: Crn = format!("2 a -> b @ {rate}").parse().expect("network");
+        let state = crn.state_from_counts([("a", count)]).expect("state");
+        let expected = if count >= 2 {
+            rate * (count * (count - 1)) as f64 / 2.0
+        } else {
+            0.0
+        };
+        let actual = propensity(&crn.reactions()[0], &state);
+        prop_assert!(actual >= 0.0);
+        prop_assert!((actual - expected).abs() <= expected.abs() * 1e-12 + 1e-12);
+    }
+
+    /// Total molecule count is conserved along every trajectory of a closed
+    /// conversion network, for every SSA variant.
+    #[test]
+    fn closed_networks_conserve_mass(
+        crn in conversion_network(),
+        a0 in 1u64..200,
+        b0 in 0u64..200,
+        seed in 0u64..1_000,
+    ) {
+        let initial = crn.state_from_counts([("a", a0), ("b", b0)]).expect("state");
+        let total = a0 + b0;
+        let options = SimulationOptions::new()
+            .seed(seed)
+            .stop(StopCondition::events(500));
+        let run = |stepper: Box<dyn SsaStepper + Send>| {
+            struct Adapter(Box<dyn SsaStepper + Send>);
+            impl SsaStepper for Adapter {
+                fn initialize(&mut self, crn: &Crn, state: &crn::State, rng: &mut rand::rngs::StdRng) {
+                    self.0.initialize(crn, state, rng);
+                }
+                fn step(
+                    &mut self,
+                    crn: &Crn,
+                    state: &mut crn::State,
+                    time: &mut f64,
+                    rng: &mut rand::rngs::StdRng,
+                ) -> gillespie::StepOutcome {
+                    self.0.step(crn, state, time, rng)
+                }
+                fn name(&self) -> &'static str {
+                    self.0.name()
+                }
+            }
+            Simulation::new(&crn, Adapter(stepper))
+                .options(options.clone())
+                .run(&initial)
+                .expect("trajectory")
+        };
+        for result in [
+            run(Box::new(DirectMethod::new())),
+            run(Box::new(FirstReactionMethod::new())),
+            run(Box::new(NextReactionMethod::new())),
+        ] {
+            prop_assert_eq!(result.final_state.total(), total);
+            prop_assert!(result.final_time >= 0.0);
+        }
+    }
+
+    /// The same seed always reproduces the same trajectory.
+    #[test]
+    fn trajectories_are_deterministic_given_a_seed(
+        crn in conversion_network(),
+        seed in 0u64..10_000,
+    ) {
+        let initial = crn.state_from_counts([("a", 50)]).expect("state");
+        let options = SimulationOptions::new().seed(seed).stop(StopCondition::events(200));
+        let first = Simulation::new(&crn, DirectMethod::new())
+            .options(options.clone())
+            .run(&initial)
+            .expect("trajectory");
+        let second = Simulation::new(&crn, DirectMethod::new())
+            .options(options)
+            .run(&initial)
+            .expect("trajectory");
+        prop_assert_eq!(first.final_state, second.final_state);
+        prop_assert!((first.final_time - second.final_time).abs() < 1e-12);
+        prop_assert_eq!(first.events, second.events);
+    }
+
+    /// Simulated time never decreases and the event count never exceeds the
+    /// configured stop bound.
+    #[test]
+    fn event_counts_respect_stop_conditions(
+        crn in conversion_network(),
+        limit in 1u64..400,
+        seed in 0u64..1_000,
+    ) {
+        let initial = crn.state_from_counts([("a", 100)]).expect("state");
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::events(limit)),
+            )
+            .run(&initial)
+            .expect("trajectory");
+        prop_assert!(result.events <= limit);
+        prop_assert!(result.final_time >= 0.0);
+    }
+
+    /// `StopCondition::any_of` and `all_of` behave exactly like logical OR
+    /// and AND of their parts.
+    #[test]
+    fn composite_stop_conditions_are_boolean_algebra(
+        time in 0.0f64..100.0,
+        events in 0u64..100,
+        counts in prop::collection::vec(0u64..50, 3),
+        time_bound in 0.0f64..100.0,
+        event_bound in 0u64..100,
+        threshold in 0u64..50,
+    ) {
+        let state = crn::State::from_counts(counts);
+        let parts = vec![
+            StopCondition::time(time_bound),
+            StopCondition::events(event_bound),
+            StopCondition::species_at_least(crn::SpeciesId::from_index(1), threshold),
+        ];
+        let individually: Vec<bool> = parts
+            .iter()
+            .map(|c| c.is_met(time, events, &state))
+            .collect();
+        let any = StopCondition::any_of(parts.clone()).is_met(time, events, &state);
+        let all = StopCondition::all_of(parts).is_met(time, events, &state);
+        prop_assert_eq!(any, individually.iter().any(|&b| b));
+        prop_assert_eq!(all, individually.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,148 @@
+//! Statistical validation of the exact simulators against closed-form
+//! results from stochastic chemical kinetics. These tests are the ground
+//! truth behind every Monte-Carlo figure in the reproduction: if the SSA
+//! kernels are biased, every downstream probability estimate is wrong.
+
+use crn::Crn;
+use gillespie::{
+    DirectMethod, Ensemble, EnsembleOptions, FirstReactionMethod, NextReactionMethod, Simulation,
+    SimulationOptions, SpeciesThresholdClassifier, SsaMethod, StopCondition, TrajectorySummary,
+};
+
+/// Immigration–death process `∅ -> a` (rate λ), `a -> ∅` (rate μ per
+/// molecule): the stationary distribution is Poisson(λ/μ), so the long-run
+/// mean count is λ/μ.
+#[test]
+fn immigration_death_process_reaches_poisson_mean() {
+    let lambda = 20.0;
+    let mu = 2.0;
+    let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}").parse().expect("network");
+    let a = crn.species_id("a").expect("species");
+
+    let mut summary = TrajectorySummary::for_crn(&crn);
+    let trajectories = 300;
+    for seed in 0..trajectories {
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(20.0))
+                    .max_events(1_000_000),
+            )
+            .run(&crn.zero_state())
+            .expect("trajectory");
+        summary.push(&result);
+    }
+    let mean = summary.species(a).mean();
+    let expected = lambda / mu;
+    assert!(
+        (mean - expected).abs() < 0.6,
+        "stationary mean {mean} should be close to {expected}"
+    );
+    // Poisson: variance equals the mean.
+    let variance = summary.species(a).variance();
+    assert!(
+        (variance - expected).abs() < 3.0,
+        "stationary variance {variance} should be close to {expected}"
+    );
+}
+
+/// Reversible isomerisation `a <-> b` with rates k₁, k₂ starting from N
+/// molecules of `a`: at equilibrium each molecule is independently in state
+/// `b` with probability k₁/(k₁+k₂).
+#[test]
+fn reversible_isomerisation_reaches_binomial_equilibrium() {
+    let k1 = 3.0;
+    let k2 = 1.0;
+    let n = 600u64;
+    let crn: Crn = format!("a -> b @ {k1}\nb -> a @ {k2}").parse().expect("network");
+    let b = crn.species_id("b").expect("species");
+    let initial = crn.state_from_counts([("a", n)]).expect("state");
+
+    for method in SsaMethod::ALL {
+        let mut summary = TrajectorySummary::for_crn(&crn);
+        for seed in 0..60u64 {
+            // Drive the chain long enough to forget the initial condition.
+            let result = match method {
+                SsaMethod::Direct => Simulation::new(&crn, DirectMethod::new())
+                    .options(equilibration_options(seed))
+                    .run(&initial),
+                SsaMethod::FirstReaction => Simulation::new(&crn, FirstReactionMethod::new())
+                    .options(equilibration_options(seed))
+                    .run(&initial),
+                SsaMethod::NextReaction => Simulation::new(&crn, NextReactionMethod::new())
+                    .options(equilibration_options(seed))
+                    .run(&initial),
+            }
+            .expect("trajectory");
+            summary.push(&result);
+        }
+        let mean = summary.species(b).mean();
+        let expected = n as f64 * k1 / (k1 + k2);
+        assert!(
+            (mean - expected).abs() < 12.0,
+            "{method:?}: equilibrium mean {mean} should be close to {expected}"
+        );
+    }
+}
+
+fn equilibration_options(seed: u64) -> SimulationOptions {
+    SimulationOptions::new()
+        .seed(seed)
+        .stop(StopCondition::time(5.0))
+        .max_events(1_000_000)
+}
+
+/// A pure death process starting from N molecules: the completion time has
+/// mean `Σ_{i=1..N} 1/(i·k)` (a coupon-collector-like sum).
+#[test]
+fn pure_death_completion_time_matches_theory() {
+    let k = 0.5;
+    let n = 40u64;
+    let crn: Crn = format!("a -> 0 @ {k}").parse().expect("network");
+    let initial = crn.state_from_counts([("a", n)]).expect("state");
+
+    let trials = 800u64;
+    let mut total_time = 0.0;
+    for seed in 0..trials {
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(seed))
+            .run(&initial)
+            .expect("trajectory");
+        assert_eq!(result.events, n);
+        total_time += result.final_time;
+    }
+    let measured = total_time / trials as f64;
+    let expected: f64 = (1..=n).map(|i| 1.0 / (i as f64 * k)).sum();
+    assert!(
+        (measured - expected).abs() / expected < 0.05,
+        "mean extinction time {measured} should be within 5% of {expected}"
+    );
+}
+
+/// Competing exponential clocks: with propensities a and b for two
+/// irreversible channels from a shared single molecule, the first channel
+/// wins with probability a/(a+b). Checked through the full ensemble +
+/// classifier stack at several rate ratios.
+#[test]
+fn competing_channels_split_by_propensity_ratio() {
+    for &(ka, kb) in &[(1.0f64, 1.0f64), (2.0, 6.0), (9.0, 1.0)] {
+        let crn: Crn = format!("x -> a @ {ka}\nx -> b @ {kb}").parse().expect("network");
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "a", 1, "first")
+            .expect("rule")
+            .rule_named(&crn, "b", 1, "second")
+            .expect("rule");
+        let initial = crn.state_from_counts([("x", 1)]).expect("state");
+        let report = Ensemble::new(&crn, initial, classifier)
+            .options(EnsembleOptions::new().trials(3_000).master_seed(7))
+            .run()
+            .expect("ensemble");
+        let expected = ka / (ka + kb);
+        let measured = report.probability("first");
+        assert!(
+            (measured - expected).abs() < 0.03,
+            "ka={ka}, kb={kb}: measured {measured}, expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the lambda case study.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the lambda-phage models and sweeps.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LambdaError {
+    /// A model or sweep was configured inconsistently.
+    InvalidConfig {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Building a reaction network failed.
+    Crn(crn::CrnError),
+    /// Synthesizing the response network failed.
+    Synthesis(synthesis::SynthesisError),
+    /// Running a Monte-Carlo ensemble failed.
+    Simulation(gillespie::SimulationError),
+    /// Fitting the response curve failed.
+    Fit(numerics::NumericsError),
+}
+
+impl fmt::Display for LambdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LambdaError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            LambdaError::Crn(err) => write!(f, "network error: {err}"),
+            LambdaError::Synthesis(err) => write!(f, "synthesis error: {err}"),
+            LambdaError::Simulation(err) => write!(f, "simulation error: {err}"),
+            LambdaError::Fit(err) => write!(f, "curve fit error: {err}"),
+        }
+    }
+}
+
+impl Error for LambdaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LambdaError::Crn(err) => Some(err),
+            LambdaError::Synthesis(err) => Some(err),
+            LambdaError::Simulation(err) => Some(err),
+            LambdaError::Fit(err) => Some(err),
+            LambdaError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<crn::CrnError> for LambdaError {
+    fn from(err: crn::CrnError) -> Self {
+        LambdaError::Crn(err)
+    }
+}
+
+impl From<synthesis::SynthesisError> for LambdaError {
+    fn from(err: synthesis::SynthesisError) -> Self {
+        LambdaError::Synthesis(err)
+    }
+}
+
+impl From<gillespie::SimulationError> for LambdaError {
+    fn from(err: gillespie::SimulationError) -> Self {
+        LambdaError::Simulation(err)
+    }
+}
+
+impl From<numerics::NumericsError> for LambdaError {
+    fn from(err: numerics::NumericsError) -> Self {
+        LambdaError::Fit(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let cases: Vec<LambdaError> = vec![
+            LambdaError::InvalidConfig { message: "no MOI values".into() },
+            crn::CrnError::EmptyReaction.into(),
+            synthesis::SynthesisError::InvalidDistribution { message: "x".into() }.into(),
+            gillespie::SimulationError::EventLimitExceeded { limit: 1 }.into(),
+            numerics::NumericsError::SingularSystem.into(),
+        ];
+        for err in &cases {
+            assert!(!err.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&cases[1]).is_some());
+        assert!(std::error::Error::source(&cases[0]).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LambdaError>();
+    }
+}

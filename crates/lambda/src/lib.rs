@@ -1,0 +1,81 @@
+//! Lambda bacteriophage lysis/lysogeny case study (Section 3 of the paper).
+//!
+//! The paper demonstrates its synthesis methodology by fitting the
+//! probabilistic lysis/lysogeny response of the lambda bacteriophage and
+//! re-implementing it with a synthesized 19-reaction network. This crate
+//! contains both sides of that comparison:
+//!
+//! * [`NaturalLambdaModel`] — a reduced-order mechanistic *surrogate* for the
+//!   Arkin/Ross/McAdams natural model (117 reactions, 61 species), whose
+//!   parameters are not available in machine-readable form. The surrogate
+//!   reproduces the same input/output behaviour the paper extracts from the
+//!   natural model: an MOI-dependent probability of reaching the cI2
+//!   threshold that rises from roughly 15 % at MOI 1 to roughly 37 % at
+//!   MOI 10 (the paper's Equation 14).
+//! * [`SyntheticLambdaModel`] — the synthesized response network built with
+//!   [`synthesis::LogLinearSynthesizer`], plus [`figure4_verbatim`], the
+//!   19-reaction network exactly as printed in the paper's Figure 4 for
+//!   structural comparison.
+//! * [`MoiSweep`] / [`ResponseCurve`] — the Monte-Carlo sweep over MOI used
+//!   to produce Figure 5, including the Equation-14-style curve fit.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use lambda::{LambdaModel, MoiSweep, NaturalLambdaModel};
+//!
+//! let natural = NaturalLambdaModel::new()?;
+//! let curve = MoiSweep::new(1..=10)
+//!     .trials(500)
+//!     .master_seed(7)
+//!     .run(&natural)?;
+//! let fit = curve.fit_log_linear()?;
+//! println!("natural response ≈ {fit}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod natural;
+mod response;
+mod synthetic;
+
+pub use error::LambdaError;
+pub use natural::{NaturalLambdaModel, NaturalParameters};
+pub use response::{LambdaModel, MoiSweep, ResponseCurve, ResponsePoint};
+pub use synthetic::{figure4_verbatim, SyntheticLambdaModel};
+
+use numerics::LogLinearFit;
+
+/// The cro2 count above which a trajectory is classified as lysis (paper
+/// value: 55).
+pub const CRO2_THRESHOLD: u64 = 55;
+
+/// The cI2 count above which a trajectory is classified as lysogeny (paper
+/// value: 145).
+pub const CI2_THRESHOLD: u64 = 145;
+
+/// The outcome label used for lysis throughout this crate.
+pub const LYSIS: &str = "lysis";
+
+/// The outcome label used for lysogeny throughout this crate.
+pub const LYSOGENY: &str = "lysogeny";
+
+/// The paper's Equation 14: the probability (in percent) of reaching the cI2
+/// threshold as a function of MOI,
+/// `P = 15 + 6·log2(MOI) + MOI/6`.
+///
+/// # Example
+///
+/// ```
+/// let eq14 = lambda::equation_14();
+/// assert!((eq14.evaluate(1.0) - 15.1667).abs() < 1e-3);
+/// assert!((eq14.evaluate(10.0) - 36.6).abs() < 0.2);
+/// ```
+pub fn equation_14() -> LogLinearFit {
+    LogLinearFit::from_coefficients(15.0, 6.0, 1.0 / 6.0)
+}

@@ -1,0 +1,298 @@
+//! Reduced-order surrogate for the natural lambda-phage switch.
+
+use crn::{Crn, CrnBuilder, State};
+use gillespie::{SimulationOptions, SpeciesThresholdClassifier, StopCondition};
+use serde::{Deserialize, Serialize};
+
+use crate::error::LambdaError;
+use crate::response::LambdaModel;
+use crate::{CI2_THRESHOLD, CRO2_THRESHOLD, LYSIS, LYSOGENY};
+
+/// Rate parameters of the surrogate natural model.
+///
+/// The defaults are calibrated so that the probability of reaching the cI2
+/// threshold rises from roughly 15 % at MOI 1 to roughly 37 % at MOI 10,
+/// matching the response the paper extracts from the Arkin natural model
+/// (its Equation 14). See [`NaturalLambdaModel`] for the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaturalParameters {
+    /// Production rate of the cII-like signal per genome copy.
+    pub signal_production: f64,
+    /// Pairwise annihilation rate of the signal (protease/dimerisation),
+    /// which makes the steady-state signal level scale like `√MOI`.
+    pub signal_annihilation: f64,
+    /// Rate at which the signal captures the host decision machinery and
+    /// commits the cell to lysogeny.
+    pub lysogenic_commitment: f64,
+    /// Rate at which the host decision machinery commits to lysis on its
+    /// own.
+    pub lytic_commitment: f64,
+    /// Rate of the readout (amplification) reactions producing cro2/ci2
+    /// after commitment.
+    pub readout: f64,
+    /// Initial quantity of the cro2 precursor pool.
+    pub cro2_pool: u64,
+    /// Initial quantity of the ci2 precursor pool.
+    pub ci2_pool: u64,
+}
+
+impl Default for NaturalParameters {
+    fn default() -> Self {
+        NaturalParameters {
+            signal_production: 10.0,
+            signal_annihilation: 1.0,
+            lysogenic_commitment: 0.00275,
+            lytic_commitment: 0.05,
+            readout: 10.0,
+            cro2_pool: 2 * CRO2_THRESHOLD,
+            ci2_pool: 2 * CI2_THRESHOLD,
+        }
+    }
+}
+
+/// A reduced-order mechanistic surrogate for the natural lambda-phage
+/// lysis/lysogeny switch.
+///
+/// ## Why a surrogate
+///
+/// The paper's "natural model" is the Arkin/Ross/McAdams stochastic kinetic
+/// model: 117 reactions over 61 species whose full parameterisation is not
+/// available in machine-readable form. The paper, however, uses that model
+/// *only* as an input/output reference — it sweeps the MOI, records the
+/// probability of reaching the cI2 threshold and fits Equation 14 to it.
+/// This surrogate reproduces that input/output behaviour with a small
+/// mechanistic switch so that every downstream step of the paper (Monte
+/// Carlo sweep, curve fit, synthesis, comparison) exercises the same code
+/// path against a meaningful reference.
+///
+/// ## Mechanism
+///
+/// ```text
+/// g           -> g + m          (signal production: one cII-like burst per genome)
+/// 2 m         -> ∅              (pairwise removal ⇒ steady state M ≈ √(k·MOI))
+/// m + h       -> m + dlys       (the signal captures the single decision token h)
+/// h           -> dlyt           (the host defaults to lysis at a constant rate)
+/// dlys + pci  -> dlys + ci2     (readout amplification after commitment)
+/// dlyt + pcro -> dlyt + cro2
+/// ```
+///
+/// Because the host decision token `h` starts at exactly one molecule, each
+/// trajectory commits exactly once; the probability of the lysogenic
+/// commitment is `k_lys·M / (k_lys·M + k_lyt)`, which grows roughly like
+/// `√MOI` — a concave, saturating response of the same shape as the natural
+/// model's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaturalLambdaModel {
+    crn: Crn,
+    parameters: NaturalParameters,
+}
+
+impl NaturalLambdaModel {
+    /// Builds the surrogate with the default calibrated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::Crn`] if network construction fails (it cannot
+    /// for the default parameters).
+    pub fn new() -> Result<Self, LambdaError> {
+        NaturalLambdaModel::with_parameters(NaturalParameters::default())
+    }
+
+    /// Builds the surrogate with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::InvalidConfig`] for non-positive rates and
+    /// [`LambdaError::Crn`] if network construction fails.
+    pub fn with_parameters(parameters: NaturalParameters) -> Result<Self, LambdaError> {
+        let rates = [
+            parameters.signal_production,
+            parameters.signal_annihilation,
+            parameters.lysogenic_commitment,
+            parameters.lytic_commitment,
+            parameters.readout,
+        ];
+        if rates.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
+            return Err(LambdaError::InvalidConfig {
+                message: "all natural-model rates must be finite and positive".into(),
+            });
+        }
+        if parameters.cro2_pool < CRO2_THRESHOLD || parameters.ci2_pool < CI2_THRESHOLD {
+            return Err(LambdaError::InvalidConfig {
+                message: "precursor pools must be at least the outcome thresholds".into(),
+            });
+        }
+
+        let mut b = CrnBuilder::new();
+        let g = b.species("g");
+        let m = b.species("m");
+        let h = b.species("h");
+        let dlys = b.species("dlys");
+        let dlyt = b.species("dlyt");
+        let pci = b.species("pci");
+        let pcro = b.species("pcro");
+        let ci2 = b.species("ci2");
+        let cro2 = b.species("cro2");
+
+        b.reaction()
+            .reactant(g, 1)
+            .product(g, 1)
+            .product(m, 1)
+            .rate(parameters.signal_production)
+            .label("signal production")
+            .add()?;
+        b.reaction()
+            .reactant(m, 2)
+            .rate(parameters.signal_annihilation)
+            .label("signal annihilation")
+            .add()?;
+        b.reaction()
+            .reactant(m, 1)
+            .reactant(h, 1)
+            .product(m, 1)
+            .product(dlys, 1)
+            .rate(parameters.lysogenic_commitment)
+            .label("lysogenic commitment")
+            .add()?;
+        b.reaction()
+            .reactant(h, 1)
+            .product(dlyt, 1)
+            .rate(parameters.lytic_commitment)
+            .label("lytic commitment")
+            .add()?;
+        b.reaction()
+            .reactant(dlys, 1)
+            .reactant(pci, 1)
+            .product(dlys, 1)
+            .product(ci2, 1)
+            .rate(parameters.readout)
+            .label("ci2 readout")
+            .add()?;
+        b.reaction()
+            .reactant(dlyt, 1)
+            .reactant(pcro, 1)
+            .product(dlyt, 1)
+            .product(cro2, 1)
+            .rate(parameters.readout)
+            .label("cro2 readout")
+            .add()?;
+
+        Ok(NaturalLambdaModel { crn: b.build()?, parameters })
+    }
+
+    /// Returns the model's parameters.
+    pub fn parameters(&self) -> &NaturalParameters {
+        &self.parameters
+    }
+
+    /// Returns the model's reaction network.
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+}
+
+impl LambdaModel for NaturalLambdaModel {
+    fn name(&self) -> &str {
+        "natural (surrogate)"
+    }
+
+    fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    fn initial_state(&self, moi: u64) -> Result<State, LambdaError> {
+        if moi == 0 {
+            return Err(LambdaError::InvalidConfig {
+                message: "MOI must be at least 1".into(),
+            });
+        }
+        Ok(self.crn.state_from_counts([
+            ("g", moi),
+            ("h", 1),
+            ("pci", self.parameters.ci2_pool),
+            ("pcro", self.parameters.cro2_pool),
+        ])?)
+    }
+
+    fn classifier(&self) -> Result<SpeciesThresholdClassifier, LambdaError> {
+        Ok(SpeciesThresholdClassifier::new()
+            .rule_named(&self.crn, "cro2", CRO2_THRESHOLD, LYSIS)?
+            .rule_named(&self.crn, "ci2", CI2_THRESHOLD, LYSOGENY)?)
+    }
+
+    fn simulation_options(&self) -> SimulationOptions {
+        let cro2 = self.crn.species_id("cro2").expect("cro2 exists");
+        let ci2 = self.crn.species_id("ci2").expect("ci2 exists");
+        SimulationOptions::new()
+            .stop(StopCondition::any_of(vec![
+                StopCondition::species_at_least(cro2, CRO2_THRESHOLD),
+                StopCondition::species_at_least(ci2, CI2_THRESHOLD),
+            ]))
+            .max_events(5_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::MoiSweep;
+
+    #[test]
+    fn network_structure() {
+        let model = NaturalLambdaModel::new().unwrap();
+        assert_eq!(model.crn().reactions().len(), 6);
+        assert_eq!(model.crn().species_len(), 9);
+        assert_eq!(LambdaModel::name(&model), "natural (surrogate)");
+    }
+
+    #[test]
+    fn initial_state_scales_with_moi() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let state = model.initial_state(7).unwrap();
+        assert_eq!(state.count(model.crn().species_id("g").unwrap()), 7);
+        assert_eq!(state.count(model.crn().species_id("h").unwrap()), 1);
+        assert!(model.initial_state(0).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = NaturalParameters::default();
+        p.readout = 0.0;
+        assert!(NaturalLambdaModel::with_parameters(p).is_err());
+        let mut p = NaturalParameters::default();
+        p.ci2_pool = 10;
+        assert!(NaturalLambdaModel::with_parameters(p).is_err());
+    }
+
+    #[test]
+    fn every_trajectory_decides_one_outcome() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let curve = MoiSweep::new(3..=3)
+            .trials(40)
+            .master_seed(11)
+            .run(&model)
+            .unwrap();
+        let point = &curve.points()[0];
+        assert_eq!(point.undecided, 0);
+        assert!(point.probability > 0.0 && point.probability < 1.0);
+    }
+
+    #[test]
+    fn lysogeny_probability_increases_with_moi() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let curve = MoiSweep::new([1u64, 10])
+            .trials(250)
+            .master_seed(3)
+            .run(&model)
+            .unwrap();
+        let p1 = curve.points()[0].probability;
+        let p10 = curve.points()[1].probability;
+        assert!(
+            p10 > p1 + 0.08,
+            "expected a clear increase from MOI 1 ({p1:.3}) to MOI 10 ({p10:.3})"
+        );
+        // Rough calibration check against Equation 14 (15% and 37%).
+        assert!((p1 - 0.15).abs() < 0.08, "MOI 1 probability {p1:.3}");
+        assert!((p10 - 0.37).abs() < 0.10, "MOI 10 probability {p10:.3}");
+    }
+}

@@ -1,0 +1,298 @@
+//! MOI sweeps and response curves (the machinery behind Figure 5).
+
+use crn::{Crn, State};
+use gillespie::{
+    Ensemble, EnsembleOptions, SimulationOptions, SpeciesThresholdClassifier, SsaMethod,
+};
+use numerics::{wilson_interval, ConfidenceInterval, LogLinearFit};
+use serde::{Deserialize, Serialize};
+
+use crate::error::LambdaError;
+use crate::LYSOGENY;
+
+/// A lambda-phage model that can be swept over MOI values.
+///
+/// Both the [`NaturalLambdaModel`](crate::NaturalLambdaModel) surrogate and
+/// the [`SyntheticLambdaModel`](crate::SyntheticLambdaModel) implement this
+/// trait, which is what lets [`MoiSweep`] produce the two curves of Figure 5
+/// with the same code.
+pub trait LambdaModel {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// The model's reaction network.
+    fn crn(&self) -> &Crn;
+
+    /// The initial state for a given multiplicity of infection.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject MOI values they cannot represent (e.g. zero).
+    fn initial_state(&self, moi: u64) -> Result<State, LambdaError>;
+
+    /// The outcome classifier (lysis vs lysogeny).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error only if their own species are
+    /// missing.
+    fn classifier(&self) -> Result<SpeciesThresholdClassifier, LambdaError>;
+
+    /// Per-trajectory simulation options (stop condition, event limit).
+    fn simulation_options(&self) -> SimulationOptions;
+}
+
+/// One point of a response curve: the estimated probability of the tracked
+/// outcome at a given MOI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponsePoint {
+    /// The multiplicity of infection.
+    pub moi: u64,
+    /// Estimated probability of the tracked outcome.
+    pub probability: f64,
+    /// 95 % Wilson confidence interval of the estimate.
+    pub confidence: ConfidenceInterval,
+    /// Number of trajectories run.
+    pub trials: u64,
+    /// Number of trajectories that decided neither outcome.
+    pub undecided: u64,
+}
+
+/// A Monte-Carlo response curve: tracked-outcome probability vs MOI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseCurve {
+    model: String,
+    outcome: String,
+    points: Vec<ResponsePoint>,
+}
+
+impl ResponseCurve {
+    /// Returns the name of the model that produced the curve.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Returns the tracked outcome label.
+    pub fn outcome(&self) -> &str {
+        &self.outcome
+    }
+
+    /// Returns the points of the curve, in MOI order.
+    pub fn points(&self) -> &[ResponsePoint] {
+        &self.points
+    }
+
+    /// Returns the `(moi, probability)` pairs of the curve.
+    pub fn series(&self) -> Vec<(u64, f64)> {
+        self.points.iter().map(|p| (p.moi, p.probability)).collect()
+    }
+
+    /// Fits the paper's Equation-14 form `a + b·log2(MOI) + c·MOI` (in
+    /// percent) to the curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::Fit`] if the curve has fewer than three points
+    /// or the fit is singular.
+    pub fn fit_log_linear(&self) -> Result<LogLinearFit, LambdaError> {
+        let xs: Vec<f64> = self.points.iter().map(|p| p.moi as f64).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| p.probability * 100.0).collect();
+        Ok(LogLinearFit::fit(&xs, &ys)?)
+    }
+
+    /// Returns the maximum absolute difference (in probability) between this
+    /// curve and another curve evaluated at the same MOI values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::InvalidConfig`] if the curves cover different
+    /// MOI values.
+    pub fn max_absolute_difference(&self, other: &ResponseCurve) -> Result<f64, LambdaError> {
+        if self.points.len() != other.points.len()
+            || self
+                .points
+                .iter()
+                .zip(&other.points)
+                .any(|(a, b)| a.moi != b.moi)
+        {
+            return Err(LambdaError::InvalidConfig {
+                message: "curves cover different MOI values".into(),
+            });
+        }
+        Ok(self
+            .points
+            .iter()
+            .zip(&other.points)
+            .map(|(a, b)| (a.probability - b.probability).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+/// A Monte-Carlo sweep over MOI values.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoiSweep {
+    moi_values: Vec<u64>,
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+    method: SsaMethod,
+    outcome: String,
+}
+
+impl MoiSweep {
+    /// Creates a sweep over the given MOI values, tracking the lysogeny
+    /// outcome (the quantity plotted in Figure 5).
+    pub fn new<I>(moi_values: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        MoiSweep {
+            moi_values: moi_values.into_iter().collect(),
+            trials: 1_000,
+            master_seed: 0,
+            threads: 0,
+            method: SsaMethod::Direct,
+            outcome: LYSOGENY.to_string(),
+        }
+    }
+
+    /// Sets the number of trajectories per MOI value (default 1000).
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    pub fn master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the number of worker threads (0 = one per CPU).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the SSA variant (default: direct method).
+    pub fn method(mut self, method: SsaMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Tracks a different outcome label (default: `"lysogeny"`).
+    pub fn outcome(mut self, outcome: impl Into<String>) -> Self {
+        self.outcome = outcome.into();
+        self
+    }
+
+    /// Runs the sweep against a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::InvalidConfig`] for an empty MOI list and
+    /// propagates model and simulation errors.
+    pub fn run<M: LambdaModel>(&self, model: &M) -> Result<ResponseCurve, LambdaError> {
+        if self.moi_values.is_empty() {
+            return Err(LambdaError::InvalidConfig {
+                message: "the MOI sweep needs at least one MOI value".into(),
+            });
+        }
+        if self.trials == 0 {
+            return Err(LambdaError::InvalidConfig {
+                message: "the MOI sweep needs at least one trial per point".into(),
+            });
+        }
+        let mut points = Vec::with_capacity(self.moi_values.len());
+        for (index, &moi) in self.moi_values.iter().enumerate() {
+            let initial = model.initial_state(moi)?;
+            let report = Ensemble::new(model.crn(), initial, model.classifier()?)
+                .options(
+                    EnsembleOptions::new()
+                        .trials(self.trials)
+                        .master_seed(self.master_seed.wrapping_add((index as u64) << 32))
+                        .threads(self.threads)
+                        .method(self.method)
+                        .simulation(model.simulation_options()),
+                )
+                .run()?;
+            let successes = report.count(&self.outcome);
+            let confidence = wilson_interval(successes, self.trials, 0.95)?;
+            points.push(ResponsePoint {
+                moi,
+                probability: report.probability(&self.outcome),
+                confidence,
+                trials: self.trials,
+                undecided: report.undecided,
+            });
+        }
+        Ok(ResponseCurve {
+            model: model.name().to_string(),
+            outcome: self.outcome.clone(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natural::NaturalLambdaModel;
+
+    #[test]
+    fn sweep_produces_one_point_per_moi() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let curve = MoiSweep::new([1u64, 2, 4])
+            .trials(60)
+            .master_seed(5)
+            .run(&model)
+            .unwrap();
+        assert_eq!(curve.points().len(), 3);
+        assert_eq!(curve.series().len(), 3);
+        assert_eq!(curve.outcome(), LYSOGENY);
+        assert_eq!(curve.model(), "natural (surrogate)");
+        for point in curve.points() {
+            assert_eq!(point.trials, 60);
+            assert!(point.confidence.contains(point.probability));
+        }
+    }
+
+    #[test]
+    fn empty_or_trivial_sweeps_are_rejected() {
+        let model = NaturalLambdaModel::new().unwrap();
+        assert!(MoiSweep::new(Vec::<u64>::new()).run(&model).is_err());
+        assert!(MoiSweep::new([1u64]).trials(0).run(&model).is_err());
+    }
+
+    #[test]
+    fn curves_over_different_moi_sets_cannot_be_compared() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let a = MoiSweep::new([1u64, 2]).trials(20).run(&model).unwrap();
+        let b = MoiSweep::new([1u64, 3]).trials(20).run(&model).unwrap();
+        assert!(a.max_absolute_difference(&b).is_err());
+        assert_eq!(a.max_absolute_difference(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fit_requires_enough_points() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let curve = MoiSweep::new([1u64, 2]).trials(20).run(&model).unwrap();
+        assert!(curve.fit_log_linear().is_err());
+    }
+
+    #[test]
+    fn tracking_lysis_complements_lysogeny() {
+        let model = NaturalLambdaModel::new().unwrap();
+        let lysogeny = MoiSweep::new([4u64]).trials(120).master_seed(9).run(&model).unwrap();
+        let lysis = MoiSweep::new([4u64])
+            .trials(120)
+            .master_seed(9)
+            .outcome(crate::LYSIS)
+            .run(&model)
+            .unwrap();
+        let total = lysogeny.points()[0].probability + lysis.points()[0].probability;
+        assert!((total - 1.0).abs() < 1e-9, "outcomes should partition trials, got {total}");
+    }
+}

@@ -1,0 +1,236 @@
+//! The synthesized lambda-phage response model (Figure 4 of the paper).
+
+use crn::{Crn, State};
+use gillespie::{SimulationOptions, SpeciesThresholdClassifier};
+use numerics::LogLinearFit;
+use serde::{Deserialize, Serialize};
+use synthesis::{LogLinearSynthesizer, SynthesizedResponse};
+
+use crate::error::LambdaError;
+use crate::response::LambdaModel;
+use crate::{equation_14, CI2_THRESHOLD, CRO2_THRESHOLD, LYSIS, LYSOGENY};
+
+/// Returns the 19-reaction, 17-species network exactly as printed in the
+/// paper's Figure 4.
+///
+/// This network is provided for *structural* comparison (experiment E7 in
+/// `DESIGN.md`): species and reaction counts, rate bands and reaction
+/// categories. Note two quirks of the printed figure that are reproduced
+/// verbatim here:
+///
+/// * the reinforcing reactions are printed as `e_i + d_i -> d_i` (they do
+///   not double the catalyst as the generic stochastic module of Section 2.1
+///   does), and
+/// * the assimilation reactions move probability mass *away* from `e1`
+///   (whose initial value encodes the constant 15 of Equation 14) as the
+///   computed `log2`/linear terms grow, which is the opposite direction from
+///   Equation 14 itself.
+///
+/// The behavioural model used for the Figure 5 reproduction is
+/// [`SyntheticLambdaModel`], which follows Equation 14.
+///
+/// # Panics
+///
+/// Never panics; the network text is a compile-time constant that parses.
+///
+/// # Example
+///
+/// ```
+/// let crn = lambda::figure4_verbatim();
+/// assert_eq!(crn.reactions().len(), 19);
+/// assert_eq!(crn.species_len(), 17);
+/// ```
+pub fn figure4_verbatim() -> Crn {
+    const FIGURE_4: &str = "
+        moi -> x1 + x2 @ 1e9          # fan-out
+        6 x2 -> y1 @ 1e9              # linear
+        b -> b + a @ 1e-3             # logarithm
+        a + 2 x1 -> a + x1' + c @ 1e6 # logarithm
+        2 c -> c @ 1e6                # logarithm
+        a -> 0 @ 1e3                  # logarithm
+        x1' -> x1 @ 1                 # logarithm
+        c -> 6 y2 @ 1                 # linear
+        e1 + y2 -> e2 @ 1e9           # assimilation
+        e2 + y1 -> e1 @ 1e9           # assimilation
+        e1 -> d1 @ 1e-9               # initializing
+        e2 -> d2 @ 1e-9               # initializing
+        e1 + d1 -> d1 @ 1             # reinforcing
+        e2 + d2 -> d2 @ 1             # reinforcing
+        e2 + d1 -> d1 @ 1             # stabilizing
+        e1 + d2 -> d2 @ 1             # stabilizing
+        d1 + d2 -> 0 @ 1e9            # purifying
+        d1 + f1 -> d1 + cro2 @ 1e-9   # working
+        d2 + f2 -> d2 + ci2 @ 1e-9    # working
+    ";
+    FIGURE_4
+        .parse()
+        .expect("the Figure 4 network text is well-formed")
+}
+
+/// The synthesized lambda-phage response model.
+///
+/// The model is produced by [`synthesis::LogLinearSynthesizer`] from a
+/// log-linear response (by default the paper's Equation 14) with the
+/// lysogeny outcome tracked: `P(cI2 ≥ 145) = a + b·log2(MOI) + c·MOI`
+/// percent. Thresholds and food pools follow Section 3.2 of the paper
+/// (cro2 ≥ 55 for lysis, cI2 ≥ 145 for lysogeny, food pools above the
+/// thresholds).
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use lambda::{LambdaModel, MoiSweep, SyntheticLambdaModel};
+///
+/// let model = SyntheticLambdaModel::paper()?;
+/// let curve = MoiSweep::new(1..=10).trials(500).run(&model)?;
+/// println!("{:?}", curve.series());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticLambdaModel {
+    response: SynthesizedResponse,
+}
+
+impl SyntheticLambdaModel {
+    /// Synthesizes the model for the paper's Equation 14.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::Synthesis`] if synthesis fails (it cannot for
+    /// the paper's coefficients).
+    pub fn paper() -> Result<Self, LambdaError> {
+        SyntheticLambdaModel::from_fit(&equation_14())
+    }
+
+    /// Synthesizes the model for an arbitrary log-linear response (for
+    /// example one fitted to the natural surrogate's Monte-Carlo data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LambdaError::Synthesis`] if the coefficients cannot be
+    /// realised (constant outside `[0, 100]`, unrealisable ratios).
+    pub fn from_fit(fit: &LogLinearFit) -> Result<Self, LambdaError> {
+        let response = LogLinearSynthesizer::new("moi", fit.clone())
+            .outcomes(LYSOGENY, LYSIS)
+            .outputs("ci2", "cro2")
+            .thresholds(CI2_THRESHOLD, CRO2_THRESHOLD)
+            .food(2 * CI2_THRESHOLD, 2 * CRO2_THRESHOLD)
+            .synthesize()?;
+        Ok(SyntheticLambdaModel { response })
+    }
+
+    /// Returns the underlying synthesized response.
+    pub fn response(&self) -> &SynthesizedResponse {
+        &self.response
+    }
+
+    /// Returns the probability of lysogeny predicted by the target response
+    /// at the given MOI.
+    pub fn predicted_probability(&self, moi: u64) -> f64 {
+        self.response.predicted_probability(moi)
+    }
+}
+
+impl LambdaModel for SyntheticLambdaModel {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn crn(&self) -> &Crn {
+        self.response.crn()
+    }
+
+    fn initial_state(&self, moi: u64) -> Result<State, LambdaError> {
+        if moi == 0 {
+            return Err(LambdaError::InvalidConfig {
+                message: "MOI must be at least 1".into(),
+            });
+        }
+        Ok(self.response.initial_state(moi)?)
+    }
+
+    fn classifier(&self) -> Result<SpeciesThresholdClassifier, LambdaError> {
+        Ok(self.response.classifier()?)
+    }
+
+    fn simulation_options(&self) -> SimulationOptions {
+        self.response.simulation_options()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::MoiSweep;
+
+    #[test]
+    fn figure_4_structure_matches_the_paper() {
+        let crn = figure4_verbatim();
+        assert_eq!(crn.reactions().len(), 19);
+        assert_eq!(crn.species_len(), 17);
+        // Category counts as printed.
+        let count = |label: &str| {
+            crn.reactions()
+                .iter()
+                .filter(|r| r.label() == Some(label))
+                .count()
+        };
+        assert_eq!(count("fan-out"), 1);
+        assert_eq!(count("linear"), 2);
+        assert_eq!(count("logarithm"), 5);
+        assert_eq!(count("assimilation"), 2);
+        assert_eq!(count("initializing"), 2);
+        assert_eq!(count("reinforcing"), 2);
+        assert_eq!(count("stabilizing"), 2);
+        assert_eq!(count("purifying"), 1);
+        assert_eq!(count("working"), 2);
+        // Rate span 1e-9 .. 1e9.
+        let summary = crn.summary();
+        assert_eq!(summary.min_rate, 1e-9);
+        assert_eq!(summary.max_rate, 1e9);
+    }
+
+    #[test]
+    fn paper_model_predicts_equation_14() {
+        let model = SyntheticLambdaModel::paper().unwrap();
+        assert!((model.predicted_probability(1) - 0.1517).abs() < 0.01);
+        assert!((model.predicted_probability(10) - 0.366).abs() < 0.01);
+        assert_eq!(LambdaModel::name(&model), "synthetic");
+        // Initial quantities follow Section 3.2: e1 = 15, e2 = 85.
+        assert_eq!(model.response().initial_input_counts(), (15, 85));
+    }
+
+    #[test]
+    fn initial_state_rejects_zero_moi() {
+        let model = SyntheticLambdaModel::paper().unwrap();
+        assert!(model.initial_state(0).is_err());
+        assert!(model.initial_state(5).is_ok());
+    }
+
+    #[test]
+    fn simulated_probability_tracks_the_prediction_at_low_moi() {
+        // Keep this test cheap: a single MOI value and a modest trial count.
+        let model = SyntheticLambdaModel::paper().unwrap();
+        let curve = MoiSweep::new([1u64])
+            .trials(120)
+            .master_seed(21)
+            .run(&model)
+            .unwrap();
+        let simulated = curve.points()[0].probability;
+        let predicted = model.predicted_probability(1);
+        assert!(
+            (simulated - predicted).abs() < 0.12,
+            "simulated {simulated:.3} vs predicted {predicted:.3}"
+        );
+    }
+
+    #[test]
+    fn custom_fit_changes_the_programmed_constant() {
+        let fit = LogLinearFit::from_coefficients(40.0, 2.0, 0.5);
+        let model = SyntheticLambdaModel::from_fit(&fit).unwrap();
+        assert_eq!(model.response().initial_input_counts(), (40, 60));
+        assert!((model.predicted_probability(1) - 0.405).abs() < 0.01);
+    }
+}

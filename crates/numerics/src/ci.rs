@@ -1,0 +1,189 @@
+//! Binomial confidence intervals for Monte-Carlo probability estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+
+/// A two-sided confidence interval for a probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level of the interval (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Returns the half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Returns `true` if `p` lies within the interval (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lower && p <= self.upper
+    }
+}
+
+/// Computes the Wilson score interval for a binomial proportion.
+///
+/// The Wilson interval behaves well even for proportions near 0 or 1 with
+/// few trials, which matters for the paper's Figure 3 where error rates drop
+/// to 10⁻⁵.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if `trials` is zero,
+/// `successes > trials`, or `confidence` is outside `(0, 1)`.
+pub fn wilson_interval(
+    successes: u64,
+    trials: u64,
+    confidence: f64,
+) -> Result<ConfidenceInterval, NumericsError> {
+    if trials == 0 {
+        return Err(NumericsError::InvalidInput { message: "trials must be positive".into() });
+    }
+    if successes > trials {
+        return Err(NumericsError::InvalidInput {
+            message: format!("successes ({successes}) exceed trials ({trials})"),
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(NumericsError::InvalidInput {
+            message: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Ok(ConfidenceInterval {
+        estimate: p,
+        lower: (centre - half).max(0.0),
+        upper: (centre + half).min(1.0),
+        confidence,
+    })
+}
+
+/// Convenience wrapper: the 95% Wilson interval.
+///
+/// # Errors
+///
+/// See [`wilson_interval`].
+pub fn binomial_confidence_interval(
+    successes: u64,
+    trials: u64,
+) -> Result<ConfidenceInterval, NumericsError> {
+    wilson_interval(successes, trials, 0.95)
+}
+
+/// Approximates the standard normal quantile function (inverse CDF) using
+/// the Acklam/Beasley–Springer–Moro rational approximation, accurate to
+/// about 1e-9 over (0, 1).
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // Coefficients of the rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_estimate() {
+        let ci = wilson_interval(300, 1000, 0.95).unwrap();
+        assert!((ci.estimate - 0.3).abs() < 1e-12);
+        assert!(ci.lower < 0.3 && ci.upper > 0.3);
+        assert!(ci.contains(0.3));
+        assert!(!ci.contains(0.5));
+        // Known reference value: Wilson 95% CI for 300/1000 ≈ (0.2722, 0.3292).
+        assert!((ci.lower - 0.2722).abs() < 0.002);
+        assert!((ci.upper - 0.3292).abs() < 0.002);
+    }
+
+    #[test]
+    fn extreme_proportions_stay_in_bounds() {
+        let ci0 = wilson_interval(0, 50, 0.95).unwrap();
+        assert_eq!(ci0.estimate, 0.0);
+        assert_eq!(ci0.lower, 0.0);
+        assert!(ci0.upper > 0.0 && ci0.upper < 0.15);
+        let ci1 = wilson_interval(50, 50, 0.95).unwrap();
+        assert!(ci1.upper > 1.0 - 1e-9);
+        assert!(ci1.lower > 0.85);
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let small = wilson_interval(30, 100, 0.95).unwrap();
+        let large = wilson_interval(30_000, 100_000, 0.95).unwrap();
+        assert!(large.half_width() < small.half_width() / 10.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(wilson_interval(1, 0, 0.95).is_err());
+        assert!(wilson_interval(5, 2, 0.95).is_err());
+        assert!(wilson_interval(1, 2, 1.5).is_err());
+        assert!(binomial_confidence_interval(1, 2).is_ok());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// Input slices had mismatched or insufficient lengths.
+    InvalidInput {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A linear system was singular (or numerically close to singular).
+    SingularSystem,
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            NumericsError::SingularSystem => {
+                write!(f, "linear system is singular or ill-conditioned")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(NumericsError::SingularSystem.to_string().contains("singular"));
+        assert!(NumericsError::InvalidInput { message: "empty".into() }
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,233 @@
+//! Curve fitting with user-supplied basis functions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+use crate::linalg::Matrix;
+use crate::lsq::least_squares;
+
+/// A least-squares fit of `y ≈ Σ_k coeff_k · basis_k(x)` for arbitrary basis
+/// functions of a scalar input.
+///
+/// This generalises the paper's Equation 14 fit; [`LogLinearFit`] is the
+/// concrete three-basis instance (constant, `log2(x)`, `x`) used for the
+/// lambda-phage response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasisFit {
+    coefficients: Vec<f64>,
+    residual_sum_of_squares: f64,
+    r_squared: f64,
+}
+
+impl BasisFit {
+    /// Fits coefficients for the given basis functions to `(xs, ys)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if `xs` and `ys` have
+    /// different lengths or fewer samples than basis functions, and
+    /// [`NumericsError::SingularSystem`] if the basis columns are linearly
+    /// dependent on the given samples.
+    pub fn fit(
+        xs: &[f64],
+        ys: &[f64],
+        basis: &[&dyn Fn(f64) -> f64],
+    ) -> Result<Self, NumericsError> {
+        if xs.len() != ys.len() {
+            return Err(NumericsError::InvalidInput {
+                message: format!("xs has {} samples but ys has {}", xs.len(), ys.len()),
+            });
+        }
+        if basis.is_empty() {
+            return Err(NumericsError::InvalidInput {
+                message: "at least one basis function is required".into(),
+            });
+        }
+        let mut design = Matrix::zeros(xs.len(), basis.len());
+        for (i, &x) in xs.iter().enumerate() {
+            for (k, f) in basis.iter().enumerate() {
+                design[(i, k)] = f(x);
+            }
+        }
+        let coefficients = least_squares(&design, ys)?;
+        let predictions = design.matvec(&coefficients);
+        let rss: f64 = predictions
+            .iter()
+            .zip(ys)
+            .map(|(p, y)| (p - y).powi(2))
+            .sum();
+        let mean_y = crate::stats::mean(ys);
+        let tss: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+        Ok(BasisFit { coefficients, residual_sum_of_squares: rss, r_squared })
+    }
+
+    /// Returns the fitted coefficients, one per basis function.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Returns the residual sum of squares of the fit.
+    pub fn residual_sum_of_squares(&self) -> f64 {
+        self.residual_sum_of_squares
+    }
+
+    /// Returns the coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+}
+
+/// A fit of the paper's Equation 14 form:
+/// `y = constant + log_coefficient · log2(x) + linear_coefficient · x`.
+///
+/// The paper fits `P(lysis) = 15 + 6·log2(MOI) + MOI/6` (in percent) to the
+/// natural lambda-phage model's Monte-Carlo response.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), numerics::NumericsError> {
+/// let xs = [1.0f64, 2.0, 4.0, 8.0];
+/// let ys: Vec<f64> = xs.iter().map(|&x| 15.0 + 6.0 * x.log2() + x / 6.0).collect();
+/// let fit = numerics::LogLinearFit::fit(&xs, &ys)?;
+/// assert!((fit.evaluate(3.0) - (15.0 + 6.0 * 3.0f64.log2() + 0.5)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogLinearFit {
+    constant: f64,
+    log_coefficient: f64,
+    linear_coefficient: f64,
+    r_squared: f64,
+}
+
+impl LogLinearFit {
+    /// Fits the three coefficients to `(xs, ys)` samples. All `xs` must be
+    /// strictly positive (they appear inside `log2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] for non-positive inputs or
+    /// fewer than three samples, and [`NumericsError::SingularSystem`] if the
+    /// samples cannot distinguish the basis functions (e.g. all `xs` equal).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, NumericsError> {
+        if xs.iter().any(|&x| x <= 0.0) {
+            return Err(NumericsError::InvalidInput {
+                message: "log-linear fit requires strictly positive x samples".into(),
+            });
+        }
+        let fit = BasisFit::fit(xs, ys, &[&|_| 1.0, &|x: f64| x.log2(), &|x| x])?;
+        Ok(LogLinearFit {
+            constant: fit.coefficients()[0],
+            log_coefficient: fit.coefficients()[1],
+            linear_coefficient: fit.coefficients()[2],
+            r_squared: fit.r_squared(),
+        })
+    }
+
+    /// Creates a fit directly from known coefficients (used to express the
+    /// paper's Equation 14 without refitting).
+    pub fn from_coefficients(constant: f64, log_coefficient: f64, linear_coefficient: f64) -> Self {
+        LogLinearFit { constant, log_coefficient, linear_coefficient, r_squared: 1.0 }
+    }
+
+    /// The constant term `a`.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient `b` of `log2(x)`.
+    pub fn log_coefficient(&self) -> f64 {
+        self.log_coefficient
+    }
+
+    /// The coefficient `c` of `x`.
+    pub fn linear_coefficient(&self) -> f64 {
+        self.linear_coefficient
+    }
+
+    /// The coefficient of determination R² of the fit (1.0 for fits created
+    /// with [`LogLinearFit::from_coefficients`]).
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Evaluates the fitted curve at `x`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.constant + self.log_coefficient * x.log2() + self.linear_coefficient * x
+    }
+}
+
+impl fmt::Display for LogLinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} + {:.3}·log2(x) + {:.4}·x  (R² = {:.4})",
+            self.constant, self.log_coefficient, self.linear_coefficient, self.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_fit_recovers_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+        let fit = BasisFit::fit(&xs, &ys, &[&|_| 1.0, &|x| x, &|x| x * x]).unwrap();
+        assert!((fit.coefficients()[0] - 1.0).abs() < 1e-8);
+        assert!((fit.coefficients()[1] + 2.0).abs() < 1e-8);
+        assert!((fit.coefficients()[2] - 0.5).abs() < 1e-8);
+        assert!(fit.residual_sum_of_squares() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_linear_fit_recovers_equation_14() {
+        let xs: Vec<f64> = (1..=10).map(|m| m as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 15.0 + 6.0 * x.log2() + x / 6.0).collect();
+        let fit = LogLinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.constant() - 15.0).abs() < 1e-8);
+        assert!((fit.log_coefficient() - 6.0).abs() < 1e-8);
+        assert!((fit.linear_coefficient() - 1.0 / 6.0).abs() < 1e-8);
+        assert!(fit.r_squared() > 0.999_999);
+        assert!(fit.to_string().contains("log2"));
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let xs: Vec<f64> = (1..=10).map(|m| m as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 15.0 + 6.0 * x.log2() + x / 6.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = LogLinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.constant() - 15.0).abs() < 2.0);
+        assert!((fit.log_coefficient() - 6.0).abs() < 2.0);
+        assert!(fit.r_squared() > 0.97);
+    }
+
+    #[test]
+    fn from_coefficients_evaluates_equation_14() {
+        let eq14 = LogLinearFit::from_coefficients(15.0, 6.0, 1.0 / 6.0);
+        assert!((eq14.evaluate(1.0) - (15.0 + 1.0 / 6.0)).abs() < 1e-12);
+        assert!((eq14.evaluate(8.0) - (15.0 + 18.0 + 8.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(eq14.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(LogLinearFit::fit(&[0.0, 1.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+        assert!(LogLinearFit::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(BasisFit::fit(&[1.0], &[1.0], &[]).is_err());
+        // All-equal xs cannot distinguish the three basis functions.
+        assert!(LogLinearFit::fit(&[2.0, 2.0, 2.0, 2.0], &[1.0, 1.0, 1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-width histograms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over a closed interval.
+///
+/// Values below the range land in the first bin; values above land in the
+/// last bin (so no sample is ever dropped). This is convenient for Monte
+/// Carlo output where a handful of outliers should not panic a report.
+///
+/// # Example
+///
+/// ```
+/// let mut h = numerics::Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.5, 2.5, 2.6, 9.9] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = ((value - self.lo) / width).floor();
+        let idx = if idx.is_nan() { 0 } else { idx as i64 };
+        let idx = idx.clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Returns the per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Returns the total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns the number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `(bin centre, count)` pairs.
+    pub fn centres(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Returns the fraction of samples in each bin (empty histogram gives
+    /// all zeros).
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (centre, count) in self.centres() {
+            let bar_len = (count * 40 / max) as usize;
+            writeln!(f, "{centre:>10.3} | {:<40} {count}", "#".repeat(bar_len))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_assigned_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.1, 0.3, 0.6, 0.9, 0.99]);
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.bins(), 4);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(7.0);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn centres_and_densities() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 1.6, 3.5]);
+        let centres: Vec<f64> = h.centres().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centres, vec![0.5, 1.5, 2.5, 3.5]);
+        let d = h.densities();
+        assert_eq!(d, vec![0.25, 0.5, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn empty_histogram_density_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

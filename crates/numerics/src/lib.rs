@@ -1,0 +1,44 @@
+//! Small numerics toolkit for the stochastic-synthesis workspace.
+//!
+//! The paper's evaluation needs only a handful of numerical tools: summary
+//! statistics of Monte-Carlo estimates, binomial confidence intervals for
+//! outcome probabilities, histograms for error analysis, and linear least
+//! squares to fit the lambda-phage response curve
+//! `P = a + b·log2(MOI) + c·MOI` (Equation 14). This crate provides exactly
+//! those, with no external dependencies beyond `serde`.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), numerics::NumericsError> {
+//! use numerics::LogLinearFit;
+//!
+//! // Noiseless data generated from 15 + 6·log2(x) + x/6.
+//! let xs: Vec<f64> = (1..=10).map(|m| m as f64).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 15.0 + 6.0 * x.log2() + x / 6.0).collect();
+//! let fit = LogLinearFit::fit(&xs, &ys)?;
+//! assert!((fit.constant() - 15.0).abs() < 1e-9);
+//! assert!((fit.log_coefficient() - 6.0).abs() < 1e-9);
+//! assert!((fit.linear_coefficient() - 1.0 / 6.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ci;
+mod error;
+mod fit;
+mod histogram;
+mod linalg;
+mod lsq;
+mod stats;
+
+pub use ci::{binomial_confidence_interval, wilson_interval, ConfidenceInterval};
+pub use error::NumericsError;
+pub use fit::{BasisFit, LogLinearFit};
+pub use histogram::Histogram;
+pub use linalg::Matrix;
+pub use lsq::least_squares;
+pub use stats::{mean, std_dev, summary, variance, Summary};

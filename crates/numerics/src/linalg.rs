@@ -1,0 +1,261 @@
+//! Minimal dense-matrix linear algebra.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericsError;
+
+/// A small dense row-major matrix of `f64`.
+///
+/// This is intentionally minimal: the workspace only needs to assemble and
+/// solve the (tiny) normal equations of a least-squares fit, so the matrix
+/// offers construction, element access, multiplication, transposition and a
+/// Gaussian-elimination solver with partial pivoting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows * cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Multiplies `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let v = self[(r, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += v * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiplies the matrix by a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal matrix columns");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect()
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if the matrix is not square or
+    /// `b` has the wrong length, and [`NumericsError::SingularSystem`] if a
+    /// pivot is (numerically) zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::InvalidInput {
+                message: format!("matrix is {}x{}, expected square", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(NumericsError::InvalidInput {
+                message: format!("rhs has length {}, expected {}", b.len(), self.rows),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(NumericsError::SingularSystem);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in (col + 1)..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.5} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.transpose();
+        let p = a.matmul(&b);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p[(0, 0)], 14.0);
+        assert_eq!(p[(0, 1)], 32.0);
+        assert_eq!(p[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 0.0, 3.0]);
+        assert_eq!(a.matvec(&[1.0, 2.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot would be zero without row swapping.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_system_is_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularSystem);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = Matrix::from_rows(2, 3, vec![0.0; 6]);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        let b = Matrix::identity(2);
+        assert!(b.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_rows_checks_length() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0]);
+    }
+}

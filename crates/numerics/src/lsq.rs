@@ -1,0 +1,107 @@
+//! Linear least squares.
+
+use crate::error::NumericsError;
+use crate::linalg::Matrix;
+
+/// Solves the linear least-squares problem `min ‖A·x − y‖²` via the normal
+/// equations `AᵀA·x = Aᵀy`.
+///
+/// `design` is the design matrix `A` with one row per observation and one
+/// column per coefficient; `observations` is `y`.
+///
+/// The normal-equation approach is numerically adequate for the tiny,
+/// well-conditioned systems that arise in this workspace (at most a handful
+/// of basis functions).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if the dimensions are
+/// inconsistent or there are fewer observations than coefficients, and
+/// [`NumericsError::SingularSystem`] if the normal equations are singular
+/// (e.g. two identical basis columns).
+pub fn least_squares(design: &Matrix, observations: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    if design.rows() != observations.len() {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "design matrix has {} rows but {} observations were given",
+                design.rows(),
+                observations.len()
+            ),
+        });
+    }
+    if design.rows() < design.cols() {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "need at least {} observations to fit {} coefficients, got {}",
+                design.cols(),
+                design.cols(),
+                design.rows()
+            ),
+        });
+    }
+    let at = design.transpose();
+    let ata = at.matmul(design);
+    let aty = at.matvec(observations);
+    ata.solve(&aty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_of_a_line() {
+        // y = 2 + 3x sampled exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let mut design = Matrix::zeros(xs.len(), 2);
+        for (i, &x) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x;
+        }
+        let coeffs = least_squares(&design, &ys).unwrap();
+        assert!((coeffs[0] - 2.0).abs() < 1e-10);
+        assert!((coeffs[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_overdetermined_fit_minimises_residual() {
+        // y = 1 + 0.5x with symmetric noise: the fit should land close.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let noise = [0.1, -0.1];
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 1.0 + 0.5 * x + noise[i % 2])
+            .collect();
+        let mut design = Matrix::zeros(xs.len(), 2);
+        for (i, &x) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x;
+        }
+        let coeffs = least_squares(&design, &ys).unwrap();
+        assert!((coeffs[0] - 1.0).abs() < 0.1);
+        assert!((coeffs[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let design = Matrix::zeros(3, 2);
+        assert!(least_squares(&design, &[1.0, 2.0]).is_err());
+        let underdetermined = Matrix::zeros(1, 2);
+        assert!(least_squares(&underdetermined, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn collinear_columns_are_singular() {
+        let mut design = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = 2.0; // identical up to scale -> singular AᵀA
+        }
+        assert_eq!(
+            least_squares(&design, &[1.0, 2.0, 3.0, 4.0]).unwrap_err(),
+            NumericsError::SingularSystem
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the numerics toolkit.
+
+use numerics::{
+    least_squares, mean, std_dev, summary, variance, wilson_interval, Histogram, LogLinearFit,
+    Matrix,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The mean always lies between the minimum and maximum of the sample,
+    /// and the variance is never negative.
+    #[test]
+    fn mean_and_variance_are_well_behaved(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let m = mean(&values);
+        let s = summary(&values);
+        prop_assert!(m >= s.min - 1e-6 && m <= s.max + 1e-6);
+        prop_assert!(variance(&values) >= 0.0);
+        prop_assert!(std_dev(&values) >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    /// The Wilson interval always contains the point estimate and stays
+    /// within [0, 1]; more trials at the same proportion never widen it.
+    #[test]
+    fn wilson_interval_is_sound(successes in 0u64..1_000, extra in 0u64..1_000) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let ci = wilson_interval(successes, trials, 0.95).expect("interval");
+        prop_assert!(ci.lower >= 0.0 && ci.upper <= 1.0);
+        prop_assert!(ci.lower <= ci.estimate + 1e-12 && ci.estimate <= ci.upper + 1e-12);
+        prop_assert!(ci.contains(ci.estimate));
+
+        let bigger = wilson_interval(successes * 10, trials * 10, 0.95).expect("interval");
+        prop_assert!(bigger.half_width() <= ci.half_width() + 1e-12);
+    }
+
+    /// A histogram never loses samples, no matter how far outside its range
+    /// they fall.
+    #[test]
+    fn histograms_conserve_samples(
+        values in prop::collection::vec(-1e3f64..1e3, 0..200),
+        bins in 1usize..20,
+    ) {
+        let mut h = Histogram::new(0.0, 10.0, bins);
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.bins(), bins);
+        let density_sum: f64 = h.densities().iter().sum();
+        if values.is_empty() {
+            prop_assert_eq!(density_sum, 0.0);
+        } else {
+            prop_assert!((density_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Least squares exactly recovers coefficients from noiseless linear
+    /// data (up to numerical precision).
+    #[test]
+    fn least_squares_recovers_exact_lines(
+        intercept in -100.0f64..100.0,
+        slope in -100.0f64..100.0,
+        n in 3usize..30,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let mut design = Matrix::zeros(n, 2);
+        for (i, &x) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x;
+        }
+        let coeffs = least_squares(&design, &ys).expect("fit");
+        prop_assert!((coeffs[0] - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        prop_assert!((coeffs[1] - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+    }
+
+    /// Solving `A·x = b` for a well-conditioned diagonal-dominant matrix and
+    /// multiplying back recovers `b`.
+    #[test]
+    fn solve_round_trips_through_matvec(
+        entries in prop::collection::vec(-10.0f64..10.0, 9),
+        rhs in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let mut a = Matrix::from_rows(3, 3, entries);
+        // Make the matrix strictly diagonally dominant so it is invertible.
+        for i in 0..3 {
+            let row_sum: f64 = (0..3).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let x = a.solve(&rhs).expect("solvable system");
+        let back = a.matvec(&x);
+        for (computed, expected) in back.iter().zip(&rhs) {
+            prop_assert!((computed - expected).abs() < 1e-6);
+        }
+    }
+
+    /// The log-linear fit recovers its own coefficients from noiseless data
+    /// generated anywhere in the paper's coefficient range.
+    #[test]
+    fn log_linear_fit_recovers_known_coefficients(
+        constant in 0.0f64..50.0,
+        log_coefficient in -10.0f64..10.0,
+        linear_coefficient in -2.0f64..2.0,
+    ) {
+        let xs: Vec<f64> = (1..=12).map(|x| x as f64).collect();
+        let reference = LogLinearFit::from_coefficients(constant, log_coefficient, linear_coefficient);
+        let ys: Vec<f64> = xs.iter().map(|&x| reference.evaluate(x)).collect();
+        let fit = LogLinearFit::fit(&xs, &ys).expect("fit");
+        prop_assert!((fit.constant() - constant).abs() < 1e-5);
+        prop_assert!((fit.log_coefficient() - log_coefficient).abs() < 1e-5);
+        prop_assert!((fit.linear_coefficient() - linear_coefficient).abs() < 1e-5);
+        prop_assert!(fit.r_squared() > 0.999);
+    }
+}

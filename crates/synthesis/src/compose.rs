@@ -1,0 +1,221 @@
+//! Composition of reaction fragments into one network.
+
+use crn::Crn;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+
+/// Merges reaction fragments (modules, glue, the stochastic module) into a
+/// single network.
+///
+/// Species are unified *by name*: fragments that should share a species
+/// (e.g. a module output feeding an assimilation reaction) simply use the
+/// same name, and fragments that must stay independent should be namespaced
+/// first (see [`FunctionModule::namespaced`] and
+/// [`Composer::add_namespaced`]).
+///
+/// Rates can be rescaled per fragment with [`Composer::add_scaled`], which is
+/// how the relative "slow/fast" bands of one module are positioned below or
+/// above those of another when they are chained (Section 2.2.2 of the
+/// paper).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::{glue, Composer};
+///
+/// let fan = glue::fan_out("moi", &["x1", "x2"], 1e9)?;
+/// let lin = synthesis::modules::linear::linear(6, 1, "x2", "y1", 1e9)?;
+/// let crn = Composer::new()
+///     .add(&fan)
+///     .add(lin.crn())
+///     .build()?;
+/// assert_eq!(crn.reactions().len(), 2);
+/// // `x2` appears once: the fan-out output is the linear module's input.
+/// assert_eq!(crn.species_len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Composer {
+    parts: Vec<Crn>,
+}
+
+impl Composer {
+    /// Creates an empty composer.
+    pub fn new() -> Self {
+        Composer::default()
+    }
+
+    /// Adds a fragment as-is.
+    #[must_use]
+    pub fn add(mut self, fragment: &Crn) -> Self {
+        self.parts.push(fragment.clone());
+        self
+    }
+
+    /// Adds a fragment with every rate multiplied by `factor`. Use this to
+    /// shift a whole module's rate bands up or down relative to its
+    /// neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidRateParameter`] if `factor` is not
+    /// finite and positive.
+    pub fn add_scaled(mut self, fragment: &Crn, factor: f64) -> Result<Self, SynthesisError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(SynthesisError::InvalidRateParameter {
+                parameter: "factor",
+                value: factor,
+            });
+        }
+        let mut scaled = crn::CrnBuilder::new();
+        for sp in fragment.species() {
+            scaled.species(sp.name());
+        }
+        for r in fragment.reactions() {
+            let reactants = r
+                .reactants()
+                .iter()
+                .map(|t| crn::ReactionTerm::new(t.species, t.coefficient))
+                .collect();
+            let products = r
+                .products()
+                .iter()
+                .map(|t| crn::ReactionTerm::new(t.species, t.coefficient))
+                .collect();
+            let new = match r.label() {
+                Some(label) => {
+                    crn::Reaction::with_label(reactants, products, r.rate() * factor, label)?
+                }
+                None => crn::Reaction::new(reactants, products, r.rate() * factor)?,
+            };
+            scaled.push_reaction(new)?;
+        }
+        self.parts.push(scaled.build()?);
+        Ok(self)
+    }
+
+    /// Adds a fragment with all species renamed by `prefix` except the ones
+    /// listed in `public` (which keep their names so they can connect to the
+    /// rest of the network).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Crn`] if the renaming creates a collision.
+    pub fn add_namespaced(
+        mut self,
+        fragment: &Crn,
+        prefix: &str,
+        public: &[&str],
+    ) -> Result<Self, SynthesisError> {
+        let renamed = fragment.rename_species(|name| {
+            if public.contains(&name) {
+                name.to_string()
+            } else {
+                format!("{prefix}{name}")
+            }
+        })?;
+        self.parts.push(renamed);
+        Ok(self)
+    }
+
+    /// Adds a [`FunctionModule`]'s reactions (an alias for
+    /// `add(module.crn())` that reads better at call sites).
+    #[must_use]
+    pub fn add_module(self, module: &FunctionModule) -> Self {
+        self.add(module.crn())
+    }
+
+    /// Returns the number of fragments added so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Returns `true` if no fragments have been added.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Merges all fragments into one network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if no fragments were
+    /// added and [`SynthesisError::Crn`] if the merge fails.
+    pub fn build(&self) -> Result<Crn, SynthesisError> {
+        let mut parts = self.parts.iter();
+        let first = parts.next().ok_or_else(|| SynthesisError::InvalidSpecification {
+            message: "cannot compose an empty set of fragments".into(),
+        })?;
+        let mut merged = first.clone();
+        for part in parts {
+            merged = merged.merge(part)?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glue;
+    use crate::modules::linear::linear;
+
+    #[test]
+    fn merges_fragments_sharing_species() {
+        let a: Crn = "x -> y @ 1".parse().unwrap();
+        let b: Crn = "y -> z @ 2".parse().unwrap();
+        let crn = Composer::new().add(&a).add(&b).build().unwrap();
+        assert_eq!(crn.species_len(), 3);
+        assert_eq!(crn.reactions().len(), 2);
+    }
+
+    #[test]
+    fn scaling_multiplies_all_rates() {
+        let a: Crn = "x -> y @ 2\ny -> x @ 4".parse().unwrap();
+        let crn = Composer::new().add_scaled(&a, 10.0).unwrap().build().unwrap();
+        let rates: Vec<f64> = crn.reactions().iter().map(|r| r.rate()).collect();
+        assert_eq!(rates, vec![20.0, 40.0]);
+        assert!(Composer::new().add_scaled(&a, 0.0).is_err());
+    }
+
+    #[test]
+    fn namespacing_keeps_public_species_connectable() {
+        let module = linear(1, 2, "x", "y", 1.0).unwrap();
+        let crn = Composer::new()
+            .add_namespaced(module.crn(), "m1_", &["y"])
+            .unwrap()
+            .add_namespaced(module.crn(), "m2_", &["y"])
+            .unwrap()
+            .build()
+            .unwrap();
+        // Private species are duplicated, the public one is shared.
+        assert!(crn.species_id("m1_x").is_some());
+        assert!(crn.species_id("m2_x").is_some());
+        assert_eq!(
+            crn.species().iter().filter(|s| s.name() == "y").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_composition_is_an_error() {
+        assert!(Composer::new().build().is_err());
+        assert!(Composer::new().is_empty());
+    }
+
+    #[test]
+    fn figure_4_style_front_end_composes() {
+        let fan = glue::fan_out("moi", &["x1", "x2"], 1e9).unwrap();
+        let lin = linear(6, 1, "x2", "y1", 1e9).unwrap();
+        let assim = glue::assimilation("y1", "e2", "e1", 1e9).unwrap();
+        let composer = Composer::new().add(&fan).add_module(&lin).add(&assim);
+        assert_eq!(composer.len(), 3);
+        let crn = composer.build().unwrap();
+        assert_eq!(crn.reactions().len(), 3);
+        assert!(crn.species_id("moi").is_some());
+        assert!(crn.species_id("e1").is_some());
+    }
+}

@@ -1,0 +1,226 @@
+//! Target probability distributions over discrete outcomes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthesisError;
+
+/// A normalised probability distribution over `n` discrete outcomes.
+///
+/// The stochastic module programs outcome probabilities through the initial
+/// quantities of its input species: `p_i = E_i·k_i / Σ_j E_j·k_j`. With
+/// equal rates this reduces to choosing the `E_i` in the ratio of the target
+/// probabilities, which is what [`TargetDistribution::to_counts`] computes.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), synthesis::SynthesisError> {
+/// let dist = synthesis::TargetDistribution::new(vec![0.3, 0.4, 0.3])?;
+/// assert_eq!(dist.to_counts(100), vec![30, 40, 30]);
+/// assert_eq!(dist.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetDistribution {
+    probabilities: Vec<f64>,
+}
+
+impl TargetDistribution {
+    /// Creates a distribution from probabilities or unnormalised weights
+    /// (they are normalised to sum to one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidDistribution`] if the vector is
+    /// empty, contains a negative or non-finite weight, or sums to zero.
+    pub fn new(weights: Vec<f64>) -> Result<Self, SynthesisError> {
+        if weights.is_empty() {
+            return Err(SynthesisError::InvalidDistribution {
+                message: "distribution must have at least one outcome".into(),
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(SynthesisError::InvalidDistribution {
+                message: "weights must be finite and non-negative".into(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(SynthesisError::InvalidDistribution {
+                message: "weights must not all be zero".into(),
+            });
+        }
+        Ok(TargetDistribution {
+            probabilities: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// Creates the uniform distribution over `n` outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidDistribution`] if `n` is zero.
+    pub fn uniform(n: usize) -> Result<Self, SynthesisError> {
+        TargetDistribution::new(vec![1.0; n.max(0)])
+    }
+
+    /// Returns the number of outcomes.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Returns `true` if the distribution has no outcomes (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// Returns the normalised probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Returns the probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.probabilities[i]
+    }
+
+    /// Converts the distribution into integer molecule counts summing to
+    /// `total`, using largest-remainder rounding so the counts are as close
+    /// as possible to `p_i · total`.
+    pub fn to_counts(&self, total: u64) -> Vec<u64> {
+        let exact: Vec<f64> = self.probabilities.iter().map(|p| p * total as f64).collect();
+        let mut counts: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+        let assigned: u64 = counts.iter().sum();
+        let mut remainder: Vec<(usize, f64)> = exact
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e - e.floor()))
+            .collect();
+        remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut leftover = total.saturating_sub(assigned);
+        for (i, _) in remainder {
+            if leftover == 0 {
+                break;
+            }
+            counts[i] += 1;
+            leftover -= 1;
+        }
+        counts
+    }
+
+    /// Computes the total-variation distance to another distribution of the
+    /// same length: `½ Σ |p_i − q_i|`. Useful for comparing an empirical
+    /// Monte-Carlo distribution against the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if the lengths
+    /// differ.
+    pub fn total_variation(&self, other: &TargetDistribution) -> Result<f64, SynthesisError> {
+        if self.len() != other.len() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "cannot compare distributions of length {} and {}",
+                    self.len(),
+                    other.len()
+                ),
+            });
+        }
+        Ok(self
+            .probabilities
+            .iter()
+            .zip(&other.probabilities)
+            .map(|(p, q)| (p - q).abs())
+            .sum::<f64>()
+            / 2.0)
+    }
+}
+
+impl fmt::Display for TargetDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, p) in self.probabilities.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "p{} = {:.4}", i + 1, p)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_weights() {
+        let dist = TargetDistribution::new(vec![3.0, 4.0, 3.0]).unwrap();
+        assert_eq!(dist.probabilities(), &[0.3, 0.4, 0.3]);
+        assert_eq!(dist.probability(1), 0.4);
+        assert!(!dist.is_empty());
+    }
+
+    #[test]
+    fn example_1_counts() {
+        // The paper's Example 1: p = {0.3, 0.4, 0.3} with 100 molecules total
+        // gives E = (30, 40, 30).
+        let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).unwrap();
+        assert_eq!(dist.to_counts(100), vec![30, 40, 30]);
+    }
+
+    #[test]
+    fn largest_remainder_rounding_sums_to_total() {
+        let dist = TargetDistribution::new(vec![1.0, 1.0, 1.0]).unwrap();
+        for total in [1u64, 2, 7, 100, 101] {
+            let counts = dist.to_counts(total);
+            assert_eq!(counts.iter().sum::<u64>(), total, "total {total}");
+        }
+        // 1/3 each over 7 molecules: 3/2/2 in some order with the largest
+        // remainders served first.
+        let counts = dist.to_counts(7);
+        assert_eq!(counts.iter().sum::<u64>(), 7);
+        assert!(counts.iter().all(|&c| c == 2 || c == 3));
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let dist = TargetDistribution::uniform(4).unwrap();
+        assert_eq!(dist.probabilities(), &[0.25, 0.25, 0.25, 0.25]);
+        assert!(TargetDistribution::uniform(0).is_err());
+    }
+
+    #[test]
+    fn invalid_distributions_are_rejected() {
+        assert!(TargetDistribution::new(vec![]).is_err());
+        assert!(TargetDistribution::new(vec![0.5, -0.1]).is_err());
+        assert!(TargetDistribution::new(vec![0.0, 0.0]).is_err());
+        assert!(TargetDistribution::new(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn total_variation_distance() {
+        let p = TargetDistribution::new(vec![0.3, 0.7]).unwrap();
+        let q = TargetDistribution::new(vec![0.5, 0.5]).unwrap();
+        assert!((p.total_variation(&q).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(p.total_variation(&p).unwrap(), 0.0);
+        let r = TargetDistribution::uniform(3).unwrap();
+        assert!(p.total_variation(&r).is_err());
+    }
+
+    #[test]
+    fn display_lists_probabilities() {
+        let dist = TargetDistribution::new(vec![0.3, 0.7]).unwrap();
+        let text = dist.to_string();
+        assert!(text.contains("p1 = 0.3000"));
+        assert!(text.contains("p2 = 0.7000"));
+    }
+}

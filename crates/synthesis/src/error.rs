@@ -1,0 +1,103 @@
+//! Error type for synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while synthesising reaction networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// A target distribution was empty, contained negative weights, or
+    /// summed to zero.
+    InvalidDistribution {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A module or synthesizer was configured inconsistently.
+    InvalidSpecification {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A rate parameter (γ, base rate, separation) was not finite/positive.
+    InvalidRateParameter {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An underlying CRN operation failed while assembling the network.
+    Crn(crn::CrnError),
+    /// A requested functional coefficient could not be realised with small
+    /// integer stoichiometry.
+    UnrealizableCoefficient {
+        /// The coefficient that could not be approximated.
+        coefficient: f64,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidDistribution { message } => {
+                write!(f, "invalid target distribution: {message}")
+            }
+            SynthesisError::InvalidSpecification { message } => {
+                write!(f, "invalid specification: {message}")
+            }
+            SynthesisError::InvalidRateParameter { parameter, value } => {
+                write!(f, "rate parameter `{parameter}` must be finite and positive, got {value}")
+            }
+            SynthesisError::Crn(err) => write!(f, "network construction failed: {err}"),
+            SynthesisError::UnrealizableCoefficient { coefficient } => write!(
+                f,
+                "coefficient {coefficient} cannot be approximated by small integer stoichiometry"
+            ),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Crn(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<crn::CrnError> for SynthesisError {
+    fn from(err: crn::CrnError) -> Self {
+        SynthesisError::Crn(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases = vec![
+            SynthesisError::InvalidDistribution { message: "empty".into() },
+            SynthesisError::InvalidSpecification { message: "no outcomes".into() },
+            SynthesisError::InvalidRateParameter { parameter: "gamma", value: -1.0 },
+            SynthesisError::Crn(crn::CrnError::EmptyReaction),
+            SynthesisError::UnrealizableCoefficient { coefficient: 0.333333 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crn_errors_convert_and_chain() {
+        let err: SynthesisError = crn::CrnError::EmptyReaction.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Glue reactions: fan-out and assimilation.
+//!
+//! The paper's Figure 4 uses two small "glue" constructions to wire
+//! deterministic modules into the stochastic module:
+//!
+//! * **fan-out** copies an input quantity into several species so that
+//!   independent modules can each consume their own copy
+//!   (`moi -> x1 + x2`), and
+//! * **assimilation** folds a computed quantity into the stochastic module's
+//!   input species, converting molecules of one input `e` type into another
+//!   (`e2 + y -> e1`), thereby shifting probability mass between outcomes by
+//!   exactly the computed amount.
+
+use crn::{Crn, CrnBuilder};
+
+use crate::error::SynthesisError;
+
+/// Builds a fan-out fragment: `input -> copy₁ + copy₂ + …` at the given
+/// (fast) rate. Every copy receives the full input quantity.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] if no copies are
+/// requested or a copy name equals the input name, and
+/// [`SynthesisError::InvalidRateParameter`] for a non-positive rate.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn = synthesis::glue::fan_out("moi", &["x1", "x2"], 1e9)?;
+/// assert_eq!(crn.reactions().len(), 1);
+/// assert_eq!(crn.species_len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fan_out(input: &str, copies: &[&str], rate: f64) -> Result<Crn, SynthesisError> {
+    if copies.is_empty() {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "fan-out needs at least one copy".into(),
+        });
+    }
+    if copies.iter().any(|c| *c == input) {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "fan-out copies must differ from the input".into(),
+        });
+    }
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+    }
+    let mut b = CrnBuilder::new();
+    let mut reaction = b.reaction().rate(rate).label("fan-out");
+    reaction = reaction.reactant_named(input, 1);
+    for copy in copies {
+        reaction = reaction.product_named(copy, 1);
+    }
+    reaction.add()?;
+    Ok(b.build()?)
+}
+
+/// Builds an assimilation fragment: `from + trigger -> to` at the given
+/// (fast) rate. Each trigger molecule converts one `from` molecule into a
+/// `to` molecule, consuming the trigger.
+///
+/// In the synthesized lambda-phage model the triggers are the outputs of the
+/// deterministic modules and `from`/`to` are the stochastic module's input
+/// species, so the outcome probability shifts by one percentage point per
+/// trigger molecule (with an input total of 100).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] if the species names are
+/// not distinct, and [`SynthesisError::InvalidRateParameter`] for a
+/// non-positive rate.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn = synthesis::glue::assimilation("y2", "e2", "e1", 1e9)?;
+/// assert_eq!(crn.to_text().trim(), "e2 + y2 -> e1 @ 1000000000  # assimilation");
+/// # Ok(())
+/// # }
+/// ```
+pub fn assimilation(trigger: &str, from: &str, to: &str, rate: f64) -> Result<Crn, SynthesisError> {
+    let mut names = vec![trigger, from, to];
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != 3 {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "assimilation trigger, source and destination must be distinct".into(),
+        });
+    }
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+    }
+    let mut b = CrnBuilder::new();
+    b.reaction()
+        .reactant_named(from, 1)
+        .reactant_named(trigger, 1)
+        .product_named(to, 1)
+        .rate(rate)
+        .label("assimilation")
+        .add()?;
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::{DirectMethod, Simulation, SimulationOptions};
+
+    #[test]
+    fn fan_out_duplicates_the_input_quantity() {
+        let crn = fan_out("moi", &["x1", "x2"], 1e6).unwrap();
+        let initial = crn.state_from_counts([("moi", 7)]).unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(1))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.final_state.count(crn.species_id("x1").unwrap()), 7);
+        assert_eq!(result.final_state.count(crn.species_id("x2").unwrap()), 7);
+        assert_eq!(result.final_state.count(crn.species_id("moi").unwrap()), 0);
+    }
+
+    #[test]
+    fn assimilation_moves_one_molecule_per_trigger() {
+        let crn = assimilation("y", "e2", "e1", 1e6).unwrap();
+        let initial = crn
+            .state_from_counts([("e2", 85), ("e1", 15), ("y", 20)])
+            .unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(2))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.final_state.count(crn.species_id("e1").unwrap()), 35);
+        assert_eq!(result.final_state.count(crn.species_id("e2").unwrap()), 65);
+        assert_eq!(result.final_state.count(crn.species_id("y").unwrap()), 0);
+    }
+
+    #[test]
+    fn assimilation_is_limited_by_the_source_pool() {
+        let crn = assimilation("y", "e2", "e1", 1e6).unwrap();
+        let initial = crn
+            .state_from_counts([("e2", 5), ("e1", 0), ("y", 20)])
+            .unwrap();
+        let result = Simulation::new(&crn, DirectMethod::new())
+            .options(SimulationOptions::new().seed(2))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.final_state.count(crn.species_id("e1").unwrap()), 5);
+        assert_eq!(result.final_state.count(crn.species_id("y").unwrap()), 15);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(fan_out("x", &[], 1.0).is_err());
+        assert!(fan_out("x", &["x"], 1.0).is_err());
+        assert!(fan_out("x", &["a"], 0.0).is_err());
+        assert!(assimilation("y", "y", "e1", 1.0).is_err());
+        assert!(assimilation("y", "e2", "e2", 1.0).is_err());
+        assert!(assimilation("y", "e2", "e1", -1.0).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Synthesis of stochastic behaviour in biochemical systems.
+//!
+//! This crate is the core contribution of the workspace: a Rust
+//! implementation of the synthesis methodology of *"Synthesizing
+//! Stochasticity in Biochemical Systems"* (Fett, Bruck & Riedel, DAC 2007).
+//! Given a target probability distribution over discrete outcomes —
+//! optionally a programmable function of input molecular quantities — it
+//! constructs a chemical reaction network that realises that distribution
+//! under exact stochastic (Gillespie) kinetics.
+//!
+//! The scheme is modular:
+//!
+//! * [`StochasticModule`] — the winner-take-all core. Five categories of
+//!   reactions (initializing, reinforcing, stabilizing, purifying, working)
+//!   arranged in a rate hierarchy parameterised by the separation factor γ.
+//!   The first initializing reaction to fire selects the outcome, and the
+//!   outcome probabilities are programmed by the initial quantities of the
+//!   input species.
+//! * [`modules`] — the deterministic function library: [`modules::linear`],
+//!   [`modules::exponentiation`], [`modules::logarithm`], [`modules::power`]
+//!   and [`modules::isolation`] compute functions of molecular counts with
+//!   reactions alone.
+//! * [`Preprocessor`] and [`glue`] — preprocessing reactions that make the
+//!   outcome distribution an affine function of input quantities (the
+//!   paper's Example 2), plus fan-out and assimilation reactions that wire
+//!   deterministic modules into the stochastic module.
+//! * [`LogLinearSynthesizer`] — the end-to-end flow of the paper's Section 3:
+//!   synthesize a network whose outcome probability follows
+//!   `a + b·log2(X) + c·X` (in percent) for an input quantity `X`, as used
+//!   for the lambda-phage lysis/lysogeny response.
+//!
+//! # Example: a fixed distribution (the paper's Example 1)
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use gillespie::{Ensemble, EnsembleOptions};
+//! use synthesis::{StochasticModule, TargetDistribution};
+//!
+//! let module = StochasticModule::builder()
+//!     .outcomes(["T1", "T2", "T3"])
+//!     .gamma(1000.0)
+//!     .build()?;
+//! let distribution = TargetDistribution::new(vec![0.3, 0.4, 0.3])?;
+//! let initial = module.initial_state(&distribution)?;
+//!
+//! let report = Ensemble::new(module.crn(), initial, module.classifier()?)
+//!     .options(
+//!         EnsembleOptions::new()
+//!             .trials(400)
+//!             .master_seed(7)
+//!             .simulation(module.simulation_options()),
+//!     )
+//!     .run()?;
+//! assert!((report.probability("T2") - 0.4).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod distribution;
+mod error;
+pub mod glue;
+pub mod modules;
+mod preprocess;
+mod rates;
+mod stochastic;
+mod synthesizer;
+
+pub use compose::Composer;
+pub use distribution::TargetDistribution;
+pub use error::SynthesisError;
+pub use preprocess::{AffineTerm, Preprocessor};
+pub use rates::{RateBand, RateSchedule};
+pub use stochastic::{StochasticModule, StochasticModuleBuilder};
+pub use synthesizer::{LogLinearSynthesizer, SynthesizedResponse};

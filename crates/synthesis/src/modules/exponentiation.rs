@@ -1,0 +1,175 @@
+//! Exponentiation module: `Y∞ = 2^X₀`.
+
+use crn::CrnBuilder;
+use gillespie::StopCondition;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+use crate::rates::RateBand;
+
+/// Builds the exponentiation module `Y∞ = 2^X₀`.
+///
+/// The module consumes input molecules one at a time; each one doubles the
+/// output quantity. The reactions (with their relative speed bands) are:
+///
+/// ```text
+/// x           --slow-->    a          (consume one input, start an iteration)
+/// a + y       --faster-->  a + 2 y'   (double the output into a staging species)
+/// a           --fast-->    ∅          (end the iteration)
+/// y'          --medium-->  y          (release the staged output)
+/// ```
+///
+/// The output species `y` must start at 1 (the module's seed count), which
+/// the [`isolation`](crate::modules::isolation) module can enforce.
+///
+/// `separation` is the multiplicative rate gap between adjacent bands; the
+/// computation becomes exact in the limit of large separation.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] for colliding species
+/// names and [`SynthesisError::InvalidRateParameter`] if `separation` is not
+/// finite and greater than 1.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::exponentiation::exponentiation;
+///
+/// let module = exponentiation("x", "y", 100.0)?;
+/// let y = module.evaluate(&[("x", 4)], 7)?;
+/// assert!((y as f64 - 16.0).abs() <= 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exponentiation(
+    input: &str,
+    output: &str,
+    separation: f64,
+) -> Result<FunctionModule, SynthesisError> {
+    if input == output {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "exponentiation input and output must be distinct species".into(),
+        });
+    }
+    if !(separation.is_finite() && separation > 1.0) {
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "separation",
+            value: separation,
+        });
+    }
+    let rate = |band: RateBand| band.rate(1.0, separation);
+    let staged = format!("{output}_staged");
+    let loop_species = format!("{output}_loop");
+
+    let mut b = CrnBuilder::new();
+    let x = b.species(input);
+    let y = b.species(output);
+    let y_staged = b.species(&staged);
+    let a = b.species(&loop_species);
+
+    // x -> a  (slow)
+    b.reaction()
+        .reactant(x, 1)
+        .product(a, 1)
+        .rate(rate(RateBand::Slow))
+        .label("exponentiation: start iteration")
+        .add()?;
+    // a + y -> a + 2 y'  (faster)
+    b.reaction()
+        .reactant(a, 1)
+        .reactant(y, 1)
+        .product(a, 1)
+        .product(y_staged, 2)
+        .rate(rate(RateBand::Faster))
+        .label("exponentiation: double")
+        .add()?;
+    // a -> ∅  (fast)
+    b.reaction()
+        .reactant(a, 1)
+        .rate(rate(RateBand::Fast))
+        .label("exponentiation: end iteration")
+        .add()?;
+    // y' -> y  (medium)
+    b.reaction()
+        .reactant(y_staged, 1)
+        .product(y, 1)
+        .rate(rate(RateBand::Medium))
+        .label("exponentiation: release")
+        .add()?;
+
+    Ok(FunctionModule::new(
+        "exponentiation",
+        b.build()?,
+        vec![input.to_string()],
+        output,
+        vec![(output.to_string(), 1)],
+        StopCondition::Exhaustion,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_paper() {
+        let module = exponentiation("x", "y", 100.0).unwrap();
+        assert_eq!(module.crn().reactions().len(), 4);
+        assert_eq!(module.crn().species_len(), 4);
+        assert_eq!(module.seed_counts(), &[("y".to_string(), 1)]);
+    }
+
+    #[test]
+    fn two_to_the_zero_is_one() {
+        let module = exponentiation("x", "y", 100.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 0)], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn small_powers_of_two_are_computed() {
+        let module = exponentiation("x", "y", 200.0).unwrap();
+        for (x, expected) in [(1u64, 2.0f64), (2, 4.0), (3, 8.0), (5, 32.0)] {
+            let mut total = 0.0;
+            let trials = 5;
+            for seed in 0..trials {
+                total += module.evaluate(&[("x", x)], seed).unwrap() as f64;
+            }
+            let mean = total / trials as f64;
+            let tolerance = (expected * 0.25).max(1.0);
+            assert!(
+                (mean - expected).abs() <= tolerance,
+                "2^{x}: expected ≈{expected}, got mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_separation() {
+        let expected = 64.0;
+        let error_with = |separation: f64| {
+            let module = exponentiation("x", "y", separation).unwrap();
+            let mut total = 0.0;
+            let trials = 8;
+            for seed in 0..trials {
+                total += module.evaluate(&[("x", 6)], seed).unwrap() as f64;
+            }
+            (total / trials as f64 - expected).abs() / expected
+        };
+        let coarse = error_with(4.0);
+        let fine = error_with(300.0);
+        assert!(
+            fine <= coarse + 0.05,
+            "expected error to not grow with separation: coarse {coarse:.3}, fine {fine:.3}"
+        );
+        assert!(fine < 0.25, "fine separation should be reasonably accurate, got {fine:.3}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(exponentiation("x", "x", 10.0).is_err());
+        assert!(exponentiation("x", "y", 1.0).is_err());
+        assert!(exponentiation("x", "y", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Isolation module: `Y∞ = 1`.
+
+use crn::CrnBuilder;
+use gillespie::StopCondition;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+use crate::rates::RateBand;
+
+/// Builds the isolation module `Y∞ = 1`.
+///
+/// Exponentiation and raising-to-a-power both require an initial state with
+/// *exactly one* molecule of their output species. The isolation module
+/// enforces that precondition from any non-zero starting quantity using two
+/// reactions (the paper's Reactions 12–13):
+///
+/// ```text
+/// c + 2 y  --fast--> c + y   (12: while the control species is present, pare y down)
+/// c        --slow--> ∅       (13: eventually remove the control species)
+/// ```
+///
+/// Both `y` and the control species `c` must be non-zero at the outset; on
+/// completion exactly one `y` remains and `c` is gone, so downstream modules
+/// can consume `y` freely.
+///
+/// `separation` is the rate gap between the fast paring reaction and the
+/// slow removal of the control species; the module errs (leaves more than
+/// one `y`) only when the control decays before paring completes, which
+/// becomes vanishingly unlikely as the separation grows.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] for colliding species
+/// names and [`SynthesisError::InvalidRateParameter`] if `separation` is not
+/// finite and greater than 1.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::isolation::isolation;
+///
+/// let module = isolation("y", "ctl", 1000.0)?;
+/// assert_eq!(module.evaluate(&[("y", 50), ("ctl", 5)], 3)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn isolation(
+    target: &str,
+    control: &str,
+    separation: f64,
+) -> Result<FunctionModule, SynthesisError> {
+    if target == control {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "isolation target and control must be distinct species".into(),
+        });
+    }
+    if !(separation.is_finite() && separation > 1.0) {
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "separation",
+            value: separation,
+        });
+    }
+    let mut b = CrnBuilder::new();
+    let y = b.species(target);
+    let c = b.species(control);
+    // c + 2y -> c + y  (fast)
+    b.reaction()
+        .reactant(c, 1)
+        .reactant(y, 2)
+        .product(c, 1)
+        .product(y, 1)
+        .rate(RateBand::Fast.rate(1.0, separation))
+        .label("isolation: pare down")
+        .add()?;
+    // c -> ∅  (slow)
+    b.reaction()
+        .reactant(c, 1)
+        .rate(RateBand::Slow.rate(1.0, separation))
+        .label("isolation: release")
+        .add()?;
+    Ok(FunctionModule::new(
+        "isolation",
+        b.build()?,
+        vec![target.to_string(), control.to_string()],
+        target,
+        Vec::new(),
+        StopCondition::Exhaustion,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_paper() {
+        let module = isolation("y", "c", 100.0).unwrap();
+        assert_eq!(module.crn().reactions().len(), 2);
+        assert_eq!(module.crn().species_len(), 2);
+    }
+
+    #[test]
+    fn reduces_any_quantity_to_one() {
+        let module = isolation("y", "c", 1000.0).unwrap();
+        for y0 in [1u64, 2, 7, 100, 500] {
+            let y = module.evaluate(&[("y", y0), ("c", 3)], y0).unwrap();
+            assert_eq!(y, 1, "starting from {y0}");
+        }
+    }
+
+    #[test]
+    fn consumes_all_control_molecules() {
+        let module = isolation("y", "c", 1000.0).unwrap();
+        let initial = module.initial_state(&[("y", 20), ("c", 4)]).unwrap();
+        let result = gillespie::Simulation::new(module.crn(), gillespie::DirectMethod::new())
+            .options(
+                gillespie::SimulationOptions::new()
+                    .seed(9)
+                    .stop(module.stop_condition().clone()),
+            )
+            .run(&initial)
+            .unwrap();
+        assert_eq!(
+            result.final_state.count(module.crn().species_id("c").unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn small_separation_occasionally_fails() {
+        // With almost no separation, the control species often decays before
+        // the paring completes: the output stays above one in at least some
+        // trials. This documents *why* the separation matters.
+        let module = isolation("y", "c", 1.5).unwrap();
+        let failures = (0..20)
+            .filter(|&seed| module.evaluate(&[("y", 200), ("c", 1)], seed).unwrap() > 1)
+            .count();
+        assert!(failures > 0, "expected at least one failure at tiny separation");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(isolation("y", "y", 10.0).is_err());
+        assert!(isolation("y", "c", 1.0).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Linear module: `α·Y∞ = β·X₀`.
+
+use crn::CrnBuilder;
+use gillespie::StopCondition;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+
+/// Builds the linear module `α·Y∞ = β·X₀`, realised by the single reaction
+/// `α x -> β y`.
+///
+/// Each firing consumes `α` input molecules and produces `β` output
+/// molecules, so the final output quantity is `⌊X₀/α⌋·β` — the exact scaling
+/// `(β/α)·X₀` when `α` divides `X₀`.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] if `α` or `β` is zero or
+/// the input and output names collide, and
+/// [`SynthesisError::InvalidRateParameter`] for a non-positive rate.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::linear::linear;
+///
+/// // Y = X/6, as used in the lambda-phage model for the MOI/6 term.
+/// let module = linear(6, 1, "x2", "y1", 1e9)?;
+/// assert_eq!(module.evaluate(&[("x2", 60)], 0)?, 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn linear(
+    alpha: u32,
+    beta: u32,
+    input: &str,
+    output: &str,
+    rate: f64,
+) -> Result<FunctionModule, SynthesisError> {
+    if alpha == 0 || beta == 0 {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "linear module coefficients must be positive".into(),
+        });
+    }
+    if input == output {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "linear module input and output must be distinct species".into(),
+        });
+    }
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+    }
+    let mut b = CrnBuilder::new();
+    let x = b.species(input);
+    let y = b.species(output);
+    b.reaction()
+        .reactant(x, alpha)
+        .product(y, beta)
+        .rate(rate)
+        .label("linear")
+        .add()?;
+    Ok(FunctionModule::new(
+        "linear",
+        b.build()?,
+        vec![input.to_string()],
+        output,
+        Vec::new(),
+        StopCondition::Exhaustion,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling() {
+        let module = linear(1, 1, "x", "y", 1.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 25)], 3).unwrap(), 25);
+    }
+
+    #[test]
+    fn scaling_up_and_down() {
+        let double = linear(1, 2, "x", "y", 1.0).unwrap();
+        assert_eq!(double.evaluate(&[("x", 10)], 0).unwrap(), 20);
+        let sixth = linear(6, 1, "x", "y", 1.0).unwrap();
+        assert_eq!(sixth.evaluate(&[("x", 60)], 0).unwrap(), 10);
+        // Non-divisible inputs floor: 64/6 = 10 remainder 4.
+        assert_eq!(sixth.evaluate(&[("x", 64)], 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let module = linear(2, 3, "x", "y", 1.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 0)], 0).unwrap(), 0);
+        assert_eq!(module.evaluate(&[("x", 1)], 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn rational_scaling() {
+        // Y = (3/2)·X for even X.
+        let module = linear(2, 3, "x", "y", 1.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 8)], 0).unwrap(), 12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(linear(0, 1, "x", "y", 1.0).is_err());
+        assert!(linear(1, 0, "x", "y", 1.0).is_err());
+        assert!(linear(1, 1, "x", "x", 1.0).is_err());
+        assert!(linear(1, 1, "x", "y", 0.0).is_err());
+        assert!(linear(1, 1, "x", "y", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Logarithm module: `Y∞ = ⌊log₂ X₀⌋`.
+
+use crn::CrnBuilder;
+use gillespie::StopCondition;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+use crate::rates::RateBand;
+
+/// Builds the logarithm module `Y∞ = ⌊log₂ X₀⌋`.
+///
+/// The input population is repeatedly halved; each halving increments the
+/// output by one. The reactions (with their relative speed bands) are:
+///
+/// ```text
+/// b           --slow-->    a + b        (the iteration clock; b is never consumed)
+/// a + 2 x     --faster-->  c + x' + a   (halve: two inputs become one carry and one saved input)
+/// 2 c         --faster-->  c            (collapse the carries down to one)
+/// a           --fast-->    ∅            (end the halving phase)
+/// x'          --medium-->  x            (restore the halved population)
+/// c           --medium-->  y            (emit one output per iteration)
+/// ```
+///
+/// The clock species `b` must start at 1 (the module's seed count). Because
+/// `b -> a + b` never exhausts, the module's stop condition is explicit:
+/// the computation is finished once at most one input molecule remains and
+/// both intermediates (`x'`, `c`) have been drained.
+///
+/// `separation` is the multiplicative rate gap between adjacent bands.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] for colliding species
+/// names and [`SynthesisError::InvalidRateParameter`] if `separation` is not
+/// finite and greater than 1.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::logarithm::logarithm;
+///
+/// let module = logarithm("x", "y", 30.0)?;
+/// let y = module.evaluate(&[("x", 32)], 3)?;
+/// assert!((y as i64 - 5).abs() <= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn logarithm(
+    input: &str,
+    output: &str,
+    separation: f64,
+) -> Result<FunctionModule, SynthesisError> {
+    if input == output {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "logarithm input and output must be distinct species".into(),
+        });
+    }
+    if !(separation.is_finite() && separation > 1.0) {
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "separation",
+            value: separation,
+        });
+    }
+    let rate = |band: RateBand| band.rate(1.0, separation);
+    let clock = format!("{output}_clock");
+    let loop_species = format!("{output}_loop");
+    let carry = format!("{output}_carry");
+    let saved = format!("{input}_saved");
+
+    let mut builder = CrnBuilder::new();
+    let x = builder.species(input);
+    let y = builder.species(output);
+    let b = builder.species(&clock);
+    let a = builder.species(&loop_species);
+    let c = builder.species(&carry);
+    let x_saved = builder.species(&saved);
+
+    // b -> a + b  (slow clock)
+    builder
+        .reaction()
+        .reactant(b, 1)
+        .product(a, 1)
+        .product(b, 1)
+        .rate(rate(RateBand::Slow))
+        .label("logarithm: clock")
+        .add()?;
+    // a + 2x -> c + x' + a  (faster)
+    builder
+        .reaction()
+        .reactant(a, 1)
+        .reactant(x, 2)
+        .product(c, 1)
+        .product(x_saved, 1)
+        .product(a, 1)
+        .rate(rate(RateBand::Faster))
+        .label("logarithm: halve")
+        .add()?;
+    // 2c -> c  (faster)
+    builder
+        .reaction()
+        .reactant(c, 2)
+        .product(c, 1)
+        .rate(rate(RateBand::Faster))
+        .label("logarithm: collapse carries")
+        .add()?;
+    // a -> ∅  (fast)
+    builder
+        .reaction()
+        .reactant(a, 1)
+        .rate(rate(RateBand::Fast))
+        .label("logarithm: end iteration")
+        .add()?;
+    // x' -> x  (medium)
+    builder
+        .reaction()
+        .reactant(x_saved, 1)
+        .product(x, 1)
+        .rate(rate(RateBand::Medium))
+        .label("logarithm: restore input")
+        .add()?;
+    // c -> y  (medium)
+    builder
+        .reaction()
+        .reactant(c, 1)
+        .product(y, 1)
+        .rate(rate(RateBand::Medium))
+        .label("logarithm: emit output")
+        .add()?;
+
+    let crn = builder.build()?;
+    let stop = StopCondition::all_of(vec![
+        StopCondition::species_at_most(x, 1),
+        StopCondition::species_at_most(x_saved, 0),
+        StopCondition::species_at_most(c, 0),
+        StopCondition::species_at_most(a, 0),
+    ]);
+
+    Ok(FunctionModule::new(
+        "logarithm",
+        crn,
+        vec![input.to_string()],
+        output,
+        vec![(clock, 1)],
+        stop,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_paper() {
+        let module = logarithm("x", "y", 30.0).unwrap();
+        assert_eq!(module.crn().reactions().len(), 6);
+        assert_eq!(module.crn().species_len(), 6);
+        assert_eq!(module.seed_counts().len(), 1);
+    }
+
+    #[test]
+    fn log_of_one_is_zero() {
+        let module = logarithm("x", "y", 30.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 1)], 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn exact_powers_of_two() {
+        let module = logarithm("x", "y", 50.0).unwrap();
+        for (x, expected) in [(2u64, 1i64), (4, 2), (8, 3), (16, 4), (64, 6)] {
+            let y = module.evaluate(&[("x", x)], 11).unwrap() as i64;
+            assert!(
+                (y - expected).abs() <= 1,
+                "log2({x}): expected ≈{expected}, got {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_powers_of_two_floor() {
+        let module = logarithm("x", "y", 50.0).unwrap();
+        let y = module.evaluate(&[("x", 10)], 5).unwrap() as i64;
+        // floor(log2(10)) = 3.
+        assert!((y - 3).abs() <= 1, "log2(10) ≈ 3, got {y}");
+    }
+
+    #[test]
+    fn monotone_in_the_input_on_average() {
+        let module = logarithm("x", "y", 50.0).unwrap();
+        let mean = |x: u64| {
+            let trials = 5;
+            (0..trials)
+                .map(|seed| module.evaluate(&[("x", x)], seed).unwrap() as f64)
+                .sum::<f64>()
+                / trials as f64
+        };
+        assert!(mean(64) > mean(8));
+        assert!(mean(8) > mean(2));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(logarithm("x", "x", 10.0).is_err());
+        assert!(logarithm("x", "y", 0.5).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Deterministic function modules — Section 2.2 of the paper.
+//!
+//! Each module computes a function of molecular *counts* using reactions
+//! alone: the input is the initial quantity of some species and the output
+//! is the eventual quantity of another. The available modules are:
+//!
+//! | module | function | constructor |
+//! |---|---|---|
+//! | linear | `Y∞ = (β/α)·X₀` | [`linear::linear`] |
+//! | exponentiation | `Y∞ = 2^X₀` | [`exponentiation::exponentiation`] |
+//! | logarithm | `Y∞ = ⌊log₂ X₀⌋` | [`logarithm::logarithm`] |
+//! | power | `Y∞ = X₀^P₀` | [`power::power`] |
+//! | isolation | `Y∞ = 1` | [`isolation::isolation`] |
+//!
+//! All constructors return a [`FunctionModule`]: the reaction fragment plus
+//! the names of its input/output species, the auxiliary species that must
+//! start at a non-zero count, and the stop condition under which the
+//! computation is considered finished. Modules are *approximate* in the
+//! stochastic setting — their accuracy improves with the rate separation
+//! between their bands, exactly as for the stochastic module.
+
+pub mod exponentiation;
+pub mod isolation;
+pub mod linear;
+pub mod logarithm;
+pub mod power;
+
+use crn::{Crn, State};
+use gillespie::{DirectMethod, Simulation, SimulationOptions, StopCondition};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthesisError;
+
+/// A deterministic function module: a reaction fragment computing an output
+/// quantity from input quantities.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::logarithm::logarithm;
+///
+/// let module = logarithm("x", "y", 10.0)?;
+/// // log2(64) = 6; the stochastic computation may be off by a little.
+/// let y = module.evaluate(&[("x", 64)], 1)?;
+/// assert!((y as i64 - 6).abs() <= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionModule {
+    name: String,
+    crn: Crn,
+    inputs: Vec<String>,
+    output: String,
+    /// Auxiliary species that must start at a fixed non-zero quantity
+    /// (e.g. `y = 1` for exponentiation, `b = 1` for the logarithm clock).
+    seed_counts: Vec<(String, u64)>,
+    stop: StopCondition,
+}
+
+impl FunctionModule {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        crn: Crn,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        seed_counts: Vec<(String, u64)>,
+        stop: StopCondition,
+    ) -> Self {
+        FunctionModule {
+            name: name.into(),
+            crn,
+            inputs,
+            output: output.into(),
+            seed_counts,
+            stop,
+        }
+    }
+
+    /// Returns the module's descriptive name (`"linear"`, `"logarithm"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the module's reaction fragment.
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Returns the names of the module's input species.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Returns the name of the module's output species.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Returns the auxiliary species (and counts) that must be present at
+    /// the start of the computation.
+    pub fn seed_counts(&self) -> &[(String, u64)] {
+        &self.seed_counts
+    }
+
+    /// Returns the stop condition under which the computation is complete.
+    pub fn stop_condition(&self) -> &StopCondition {
+        &self.stop
+    }
+
+    /// Builds the initial state for the given input quantities (auxiliary
+    /// seed species are filled in automatically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if an unknown input
+    /// name is given or a declared input is missing.
+    pub fn initial_state(&self, inputs: &[(&str, u64)]) -> Result<State, SynthesisError> {
+        for (name, _) in inputs {
+            if !self.inputs.iter().any(|i| i == name) {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!("`{name}` is not an input of the {} module", self.name),
+                });
+            }
+        }
+        let mut state = self.crn.zero_state();
+        for input in &self.inputs {
+            let count = inputs
+                .iter()
+                .find(|(name, _)| name == input)
+                .map(|&(_, c)| c)
+                .ok_or_else(|| SynthesisError::InvalidSpecification {
+                    message: format!("missing quantity for input `{input}`"),
+                })?;
+            state.set(self.crn.require_species(input)?, count);
+        }
+        for (name, count) in &self.seed_counts {
+            state.set(self.crn.require_species(name)?, *count);
+        }
+        Ok(state)
+    }
+
+    /// Runs the module once and returns the final output quantity.
+    ///
+    /// This is a convenience for tests, examples and characterization
+    /// sweeps; production compositions embed the module's reactions in a
+    /// larger network instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-construction and simulation errors.
+    pub fn evaluate(&self, inputs: &[(&str, u64)], seed: u64) -> Result<u64, SynthesisError> {
+        let initial = self.initial_state(inputs)?;
+        let options = SimulationOptions::new()
+            .seed(seed)
+            .stop(self.stop.clone())
+            .max_events(20_000_000);
+        let result = Simulation::new(&self.crn, DirectMethod::new())
+            .options(options)
+            .run(&initial)
+            .map_err(|err| SynthesisError::InvalidSpecification {
+                message: format!("evaluating the {} module failed: {err}", self.name),
+            })?;
+        Ok(result.final_state.count(self.crn.require_species(&self.output)?))
+    }
+
+    /// Returns a copy of the module with every species renamed by prefixing
+    /// `prefix` (inputs, output and seed species included). Useful to avoid
+    /// name clashes when instantiating the same module twice in one network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Crn`] if the renaming fails (it cannot for
+    /// well-formed prefixes).
+    pub fn namespaced(&self, prefix: &str) -> Result<FunctionModule, SynthesisError> {
+        let crn = self.crn.rename_species(|name| format!("{prefix}{name}"))?;
+        let rename_stop = namespace_stop(&self.stop, &self.crn, &crn, prefix);
+        Ok(FunctionModule {
+            name: self.name.clone(),
+            crn,
+            inputs: self.inputs.iter().map(|i| format!("{prefix}{i}")).collect(),
+            output: format!("{prefix}{}", self.output),
+            seed_counts: self
+                .seed_counts
+                .iter()
+                .map(|(n, c)| (format!("{prefix}{n}"), *c))
+                .collect(),
+            stop: rename_stop,
+        })
+    }
+}
+
+/// Rewrites species ids inside a stop condition after a renaming that
+/// preserves indices (renaming keeps ids stable, so this is the identity —
+/// kept as a function for clarity and future-proofing).
+fn namespace_stop(stop: &StopCondition, _old: &Crn, _new: &Crn, _prefix: &str) -> StopCondition {
+    stop.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::linear::linear;
+    use super::*;
+
+    #[test]
+    fn initial_state_fills_inputs_and_seeds() {
+        let module = linear(1, 2, "x", "y", 5.0).unwrap();
+        let state = module.initial_state(&[("x", 7)]).unwrap();
+        assert_eq!(state.count(module.crn().species_id("x").unwrap()), 7);
+        assert_eq!(state.count(module.crn().species_id("y").unwrap()), 0);
+        assert!(module.initial_state(&[("z", 7)]).is_err());
+        assert!(module.initial_state(&[]).is_err());
+    }
+
+    #[test]
+    fn namespacing_renames_everything() {
+        let module = linear(1, 2, "x", "y", 5.0).unwrap();
+        let spaced = module.namespaced("m1_").unwrap();
+        assert_eq!(spaced.inputs(), &["m1_x".to_string()]);
+        assert_eq!(spaced.output(), "m1_y");
+        assert!(spaced.crn().species_id("m1_x").is_some());
+        assert!(spaced.crn().species_id("x").is_none());
+        assert_eq!(spaced.name(), module.name());
+    }
+
+    #[test]
+    fn accessors_expose_metadata() {
+        let module = linear(2, 3, "x", "y", 1.0).unwrap();
+        assert_eq!(module.name(), "linear");
+        assert_eq!(module.inputs(), &["x".to_string()]);
+        assert_eq!(module.output(), "y");
+        assert!(module.seed_counts().is_empty());
+        assert_eq!(module.stop_condition(), &StopCondition::Exhaustion);
+    }
+}

@@ -1,0 +1,235 @@
+//! Power module: `Y∞ = X₀^P₀`.
+
+use crn::CrnBuilder;
+use gillespie::StopCondition;
+
+use crate::error::SynthesisError;
+use crate::modules::FunctionModule;
+use crate::rates::RateBand;
+
+/// Builds the power module `Y∞ = X₀^P₀`.
+///
+/// The module implements the double loop `for each p { for each x { D += Y };
+/// Y = D; D = 0 }` with the paper's ten reactions (numbers refer to the
+/// paper's Reactions 2–11):
+///
+/// ```text
+/// p        --slowest--> a              (2: outer-loop trigger)
+/// a + x    --medium-->  b + a + x'     (3: inner-loop trigger per input)
+/// b + y    --fastest--> y' + d + b     (4: D += Y, copying through y')
+/// b        --faster-->  ∅              (5)
+/// y'       --fast-->    y              (6)
+/// a        --slow-->    e              (7: end of inner loop)
+/// e + y    --faster-->  e              (8: clear Y)
+/// e + x'   --faster-->  e + x          (9: restore X)
+/// e        --fast-->    ∅              (10)
+/// d        --slower-->  y              (11: Y = D)
+/// ```
+///
+/// The output species `y` must start at 1 (the module's seed count).
+/// `separation` is the multiplicative rate gap between adjacent bands; the
+/// module uses all seven bands, so its total rate span is `separation⁶`.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::InvalidSpecification`] for colliding species
+/// names and [`SynthesisError::InvalidRateParameter`] if `separation` is not
+/// finite and greater than 1.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::modules::power::power;
+///
+/// let module = power("x", "p", "y", 25.0)?;
+/// let y = module.evaluate(&[("x", 3), ("p", 2)], 1)?;
+/// assert!((y as f64 - 9.0).abs() <= 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power(
+    base_input: &str,
+    exponent_input: &str,
+    output: &str,
+    separation: f64,
+) -> Result<FunctionModule, SynthesisError> {
+    let mut names = vec![base_input, exponent_input, output];
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != 3 {
+        return Err(SynthesisError::InvalidSpecification {
+            message: "power module species names must be distinct".into(),
+        });
+    }
+    if !(separation.is_finite() && separation > 1.0) {
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "separation",
+            value: separation,
+        });
+    }
+    let rate = |band: RateBand| band.rate(1.0, separation);
+    let outer = format!("{output}_outer");
+    let inner = format!("{output}_inner");
+    let staged = format!("{output}_staged");
+    let accum = format!("{output}_accum");
+    let reset = format!("{output}_reset");
+    let saved = format!("{base_input}_saved");
+
+    let mut builder = CrnBuilder::new();
+    let p = builder.species(exponent_input);
+    let x = builder.species(base_input);
+    let y = builder.species(output);
+    let a = builder.species(&outer);
+    let b = builder.species(&inner);
+    let y_staged = builder.species(&staged);
+    let d = builder.species(&accum);
+    let e = builder.species(&reset);
+    let x_saved = builder.species(&saved);
+
+    // (2) p -> a  (slowest)
+    builder
+        .reaction()
+        .reactant(p, 1)
+        .product(a, 1)
+        .rate(rate(RateBand::Slowest))
+        .label("power: outer loop")
+        .add()?;
+    // (3) a + x -> b + a + x'  (medium)
+    builder
+        .reaction()
+        .reactant(a, 1)
+        .reactant(x, 1)
+        .product(b, 1)
+        .product(a, 1)
+        .product(x_saved, 1)
+        .rate(rate(RateBand::Medium))
+        .label("power: inner loop")
+        .add()?;
+    // (4) b + y -> y' + d + b  (fastest)
+    builder
+        .reaction()
+        .reactant(b, 1)
+        .reactant(y, 1)
+        .product(y_staged, 1)
+        .product(d, 1)
+        .product(b, 1)
+        .rate(rate(RateBand::Fastest))
+        .label("power: accumulate")
+        .add()?;
+    // (5) b -> ∅  (faster)
+    builder
+        .reaction()
+        .reactant(b, 1)
+        .rate(rate(RateBand::Faster))
+        .label("power: end inner iteration")
+        .add()?;
+    // (6) y' -> y  (fast)
+    builder
+        .reaction()
+        .reactant(y_staged, 1)
+        .product(y, 1)
+        .rate(rate(RateBand::Fast))
+        .label("power: restore output")
+        .add()?;
+    // (7) a -> e  (slow)
+    builder
+        .reaction()
+        .reactant(a, 1)
+        .product(e, 1)
+        .rate(rate(RateBand::Slow))
+        .label("power: end outer iteration")
+        .add()?;
+    // (8) e + y -> e  (faster)
+    builder
+        .reaction()
+        .reactant(e, 1)
+        .reactant(y, 1)
+        .product(e, 1)
+        .rate(rate(RateBand::Faster))
+        .label("power: clear output")
+        .add()?;
+    // (9) e + x' -> e + x  (faster)
+    builder
+        .reaction()
+        .reactant(e, 1)
+        .reactant(x_saved, 1)
+        .product(e, 1)
+        .product(x, 1)
+        .rate(rate(RateBand::Faster))
+        .label("power: restore input")
+        .add()?;
+    // (10) e -> ∅  (fast)
+    builder
+        .reaction()
+        .reactant(e, 1)
+        .rate(rate(RateBand::Fast))
+        .label("power: end reset")
+        .add()?;
+    // (11) d -> y  (slower)
+    builder
+        .reaction()
+        .reactant(d, 1)
+        .product(y, 1)
+        .rate(rate(RateBand::Slower))
+        .label("power: commit accumulator")
+        .add()?;
+
+    Ok(FunctionModule::new(
+        "power",
+        builder.build()?,
+        vec![base_input.to_string(), exponent_input.to_string()],
+        output,
+        vec![(output.to_string(), 1)],
+        StopCondition::Exhaustion,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_paper() {
+        let module = power("x", "p", "y", 20.0).unwrap();
+        assert_eq!(module.crn().reactions().len(), 10);
+        assert_eq!(module.crn().species_len(), 9);
+        assert_eq!(module.seed_counts(), &[("y".to_string(), 1)]);
+        assert_eq!(module.inputs().len(), 2);
+    }
+
+    #[test]
+    fn anything_to_the_zeroth_power_is_one() {
+        let module = power("x", "p", "y", 20.0).unwrap();
+        assert_eq!(module.evaluate(&[("x", 5), ("p", 0)], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn first_power_is_the_input() {
+        let module = power("x", "p", "y", 40.0).unwrap();
+        let trials = 6;
+        let mean: f64 = (0..trials)
+            .map(|seed| module.evaluate(&[("x", 5), ("p", 1)], seed).unwrap() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 5.0).abs() <= 1.5, "5^1 ≈ 5, got mean {mean}");
+    }
+
+    #[test]
+    fn small_squares_are_computed() {
+        let module = power("x", "p", "y", 40.0).unwrap();
+        let trials = 6;
+        let mean: f64 = (0..trials)
+            .map(|seed| module.evaluate(&[("x", 3), ("p", 2)], seed).unwrap() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 9.0).abs() <= 3.0, "3^2 ≈ 9, got mean {mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(power("x", "x", "y", 10.0).is_err());
+        assert!(power("x", "p", "p", 10.0).is_err());
+        assert!(power("x", "p", "y", 1.0).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Preprocessing reactions for affine probability dependences (Example 2).
+//!
+//! The stochastic module's outcome probabilities are set by the initial
+//! quantities of its input species `e_i`. To make those probabilities a
+//! *function* of external input quantities `X_k`, the paper adds
+//! preprocessing reactions that convert molecules of one `e` type into
+//! another, catalysed by the external inputs. Example 2 realises
+//!
+//! ```text
+//! p1 = 0.3 + 0.02·X1 − 0.03·X2
+//! p2 = 0.4 + 0.03·X2
+//! p3 = 0.3 − 0.02·X1
+//! ```
+//!
+//! with the reactions `2 e3 + x1 -> 2 e1` and `3 e1 + x2 -> 3 e2`: each
+//! molecule of `x1` moves two molecules of probability mass (2 % with an
+//! input total of 100) from outcome 3 to outcome 1, and each molecule of
+//! `x2` moves three from outcome 1 to outcome 2.
+
+use crn::{Crn, CrnBuilder};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthesisError;
+
+/// One affine term: every molecule of `input` moves `molecules_per_input`
+/// units of probability mass (molecules of `e`) from outcome `from` to
+/// outcome `to`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffineTerm {
+    /// Name of the external input species (e.g. `"x1"`).
+    pub input: String,
+    /// Zero-based index of the outcome losing probability mass.
+    pub from: usize,
+    /// Zero-based index of the outcome gaining probability mass.
+    pub to: usize,
+    /// How many `e` molecules move per input molecule.
+    pub molecules_per_input: u32,
+}
+
+/// Builder for the preprocessing reactions of an affine probabilistic
+/// response.
+///
+/// # Example
+///
+/// The paper's Example 2 (with an input total of 100 molecules):
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use synthesis::Preprocessor;
+///
+/// let crn = Preprocessor::new(3)
+///     .term("x1", 2, 0, 2)? // 2e3 + x1 -> 2e1
+///     .term("x2", 0, 1, 3)? // 3e1 + x2 -> 3e2
+///     .build(1e3)?;
+/// assert_eq!(crn.reactions().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessor {
+    outcomes: usize,
+    terms: Vec<AffineTerm>,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor for a stochastic module with `outcomes`
+    /// outcomes.
+    pub fn new(outcomes: usize) -> Self {
+        Preprocessor { outcomes, terms: Vec::new() }
+    }
+
+    /// Adds an affine term: each molecule of `input` moves
+    /// `molecules_per_input` molecules of `e_{from+1}` to `e_{to+1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if the outcome
+    /// indices are out of range or equal, or the weight is zero.
+    pub fn term(
+        mut self,
+        input: &str,
+        from: usize,
+        to: usize,
+        molecules_per_input: u32,
+    ) -> Result<Self, SynthesisError> {
+        if from >= self.outcomes || to >= self.outcomes {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "term indices ({from}, {to}) out of range for {} outcomes",
+                    self.outcomes
+                ),
+            });
+        }
+        if from == to {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "a term must move probability mass between two distinct outcomes".into(),
+            });
+        }
+        if molecules_per_input == 0 {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "a term must move at least one molecule per input".into(),
+            });
+        }
+        self.terms.push(AffineTerm {
+            input: input.to_string(),
+            from,
+            to,
+            molecules_per_input,
+        });
+        Ok(self)
+    }
+
+    /// Returns the accumulated terms.
+    pub fn terms(&self) -> &[AffineTerm] {
+        &self.terms
+    }
+
+    /// Builds the preprocessing reaction fragment. All reactions run at
+    /// `rate`, which should be much faster than the stochastic module's
+    /// initializing reactions so the probability adjustment completes before
+    /// any outcome is chosen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidRateParameter`] for a non-positive
+    /// rate and [`SynthesisError::InvalidSpecification`] if no terms were
+    /// added.
+    pub fn build(&self, rate: f64) -> Result<Crn, SynthesisError> {
+        if self.terms.is_empty() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "preprocessor has no terms".into(),
+            });
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+        }
+        let mut b = CrnBuilder::new();
+        for term in &self.terms {
+            let from = b.species(format!("e{}", term.from + 1));
+            let to = b.species(format!("e{}", term.to + 1));
+            let input = b.species(&term.input);
+            b.reaction()
+                .reactant(from, term.molecules_per_input)
+                .reactant(input, 1)
+                .product(to, term.molecules_per_input)
+                .rate(rate)
+                .label("preprocessing")
+                .add()?;
+        }
+        Ok(b.build()?)
+    }
+
+    /// Predicts the programmed probabilities for base input counts `base`
+    /// (molecules of each `e_i`) and external input quantities `inputs`,
+    /// assuming every preprocessing reaction runs to completion in order and
+    /// the source pools do not run dry. This is the affine function the
+    /// preprocessing reactions implement.
+    pub fn predicted_probabilities(&self, base: &[u64], inputs: &[(&str, u64)]) -> Vec<f64> {
+        let mut counts: Vec<i64> = base.iter().map(|&c| c as i64).collect();
+        counts.resize(self.outcomes, 0);
+        for term in &self.terms {
+            let amount = inputs
+                .iter()
+                .find(|(name, _)| *name == term.input)
+                .map(|&(_, x)| x)
+                .unwrap_or(0) as i64
+                * i64::from(term.molecules_per_input);
+            let moved = amount.min(counts[term.from].max(0));
+            counts[term.from] -= moved;
+            counts[term.to] += moved;
+        }
+        let total: i64 = counts.iter().sum();
+        if total <= 0 {
+            return vec![0.0; self.outcomes];
+        }
+        counts.iter().map(|&c| c.max(0) as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_2() -> Preprocessor {
+        Preprocessor::new(3)
+            .term("x1", 2, 0, 2)
+            .unwrap()
+            .term("x2", 0, 1, 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn example_2_reactions_match_the_paper() {
+        let crn = example_2().build(1e3).unwrap();
+        let rendered = crn.to_text();
+        assert!(rendered.contains("2 e3 + x1 -> 2 e1 @ 1000"));
+        assert!(rendered.contains("3 e1 + x2 -> 3 e2 @ 1000"));
+    }
+
+    #[test]
+    fn predicted_probabilities_follow_the_affine_law() {
+        let pre = example_2();
+        // Base distribution {0.3, 0.4, 0.3} on 100 molecules.
+        let base = [30u64, 40, 30];
+        // X1 = 5, X2 = 0: p1 = 0.3 + 0.02·5 = 0.4, p3 = 0.3 − 0.02·5 = 0.2.
+        let p = pre.predicted_probabilities(&base, &[("x1", 5), ("x2", 0)]);
+        assert!((p[0] - 0.4).abs() < 1e-12);
+        assert!((p[1] - 0.4).abs() < 1e-12);
+        assert!((p[2] - 0.2).abs() < 1e-12);
+        // X1 = 0, X2 = 10: p1 = 0.0, p2 = 0.7.
+        let p = pre.predicted_probabilities(&base, &[("x2", 10)]);
+        assert!((p[0] - 0.0).abs() < 1e-12);
+        assert!((p[1] - 0.7).abs() < 1e-12);
+        assert!((p[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_saturates_when_a_pool_is_empty() {
+        let pre = example_2();
+        let base = [30u64, 40, 30];
+        // X1 = 100 would want to move 200 molecules but only 30 exist in e3.
+        let p = pre.predicted_probabilities(&base, &[("x1", 100)]);
+        assert!((p[0] - 0.6).abs() < 1e-12);
+        assert!((p[2] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_terms_are_rejected() {
+        assert!(Preprocessor::new(3).term("x", 0, 3, 1).is_err());
+        assert!(Preprocessor::new(3).term("x", 1, 1, 1).is_err());
+        assert!(Preprocessor::new(3).term("x", 0, 1, 0).is_err());
+        assert!(Preprocessor::new(3).build(1.0).is_err());
+        assert!(example_2().build(0.0).is_err());
+    }
+
+    #[test]
+    fn terms_are_reported() {
+        let pre = example_2();
+        assert_eq!(pre.terms().len(), 2);
+        assert_eq!(pre.terms()[0].input, "x1");
+        assert_eq!(pre.terms()[0].molecules_per_input, 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Rate bands and the γ-parameterised rate schedule.
+//!
+//! The correctness of every synthesized network rests on *rate separation*:
+//! reactions belonging to faster categories must outpace slower ones by a
+//! large factor so that a decision taken by a slow reaction is locked in by
+//! the fast ones before a competing slow reaction can fire. The paper
+//! quantifies this with a single separation factor γ (its Equation 1):
+//!
+//! ```text
+//! γ·k_init = k_reinforce = k_stabilize = k_purify / γ = γ·k_work
+//! ```
+//!
+//! [`RateSchedule`] captures exactly that relation for the stochastic
+//! module, while [`RateBand`] provides a more general ladder of relative
+//! speeds ("slowest" … "fastest") used by the deterministic function modules
+//! of Section 2.2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthesisError;
+
+/// A relative speed class for reactions within one module.
+///
+/// Adjacent bands are separated by a configurable multiplicative factor (the
+/// module's *band separation*); see [`RateBand::rate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RateBand {
+    /// The slowest band (e.g. the outer-loop clock of the power module).
+    Slowest,
+    /// Slower than [`RateBand::Slow`].
+    Slower,
+    /// The paper's "slow" reactions (module clocks).
+    Slow,
+    /// Intermediate reactions (state restoration such as `x' -> x`).
+    Medium,
+    /// Fast reactions (loop-type degradation).
+    Fast,
+    /// Faster reactions (the work done within one loop iteration).
+    Faster,
+    /// The fastest band (inner-loop bookkeeping that must win every race).
+    Fastest,
+}
+
+impl RateBand {
+    /// All bands, from slowest to fastest.
+    pub const ALL: [RateBand; 7] = [
+        RateBand::Slowest,
+        RateBand::Slower,
+        RateBand::Slow,
+        RateBand::Medium,
+        RateBand::Fast,
+        RateBand::Faster,
+        RateBand::Fastest,
+    ];
+
+    /// The integer level of the band: `Slowest` is 0, `Fastest` is 6.
+    pub fn level(self) -> u32 {
+        match self {
+            RateBand::Slowest => 0,
+            RateBand::Slower => 1,
+            RateBand::Slow => 2,
+            RateBand::Medium => 3,
+            RateBand::Fast => 4,
+            RateBand::Faster => 5,
+            RateBand::Fastest => 6,
+        }
+    }
+
+    /// Returns the absolute rate of this band given a `base` rate for the
+    /// `Slow` band and a multiplicative `separation` between adjacent bands.
+    ///
+    /// Bands below `Slow` are slower than `base` by the same factor, so the
+    /// full ladder spans `separation⁻² · base` to `separation⁴ · base`.
+    pub fn rate(self, base: f64, separation: f64) -> f64 {
+        base * separation.powi(self.level() as i32 - RateBand::Slow.level() as i32)
+    }
+}
+
+/// The γ-parameterised rate schedule of the stochastic module (Equation 1 of
+/// the paper).
+///
+/// With a base rate `k` (the initializing rate), the five categories run at:
+///
+/// | category      | rate      |
+/// |---------------|-----------|
+/// | initializing  | `k`       |
+/// | working       | `k`       |
+/// | reinforcing   | `k·γ`     |
+/// | stabilizing   | `k·γ`     |
+/// | purifying     | `k·γ²`    |
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), synthesis::SynthesisError> {
+/// let schedule = synthesis::RateSchedule::new(1.0, 1000.0)?;
+/// assert_eq!(schedule.initializing(), 1.0);
+/// assert_eq!(schedule.reinforcing(), 1000.0);
+/// assert_eq!(schedule.purifying(), 1_000_000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    base: f64,
+    gamma: f64,
+}
+
+impl RateSchedule {
+    /// Creates a schedule with the given base (initializing) rate and
+    /// separation factor γ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidRateParameter`] if either parameter
+    /// is not finite and positive, or if γ < 1 (a separation below one would
+    /// invert the hierarchy).
+    pub fn new(base: f64, gamma: f64) -> Result<Self, SynthesisError> {
+        if !(base.is_finite() && base > 0.0) {
+            return Err(SynthesisError::InvalidRateParameter { parameter: "base", value: base });
+        }
+        if !(gamma.is_finite() && gamma >= 1.0) {
+            return Err(SynthesisError::InvalidRateParameter { parameter: "gamma", value: gamma });
+        }
+        Ok(RateSchedule { base, gamma })
+    }
+
+    /// The schedule used throughout the paper's examples: base rate 1, γ as
+    /// given.
+    ///
+    /// # Errors
+    ///
+    /// See [`RateSchedule::new`].
+    pub fn with_gamma(gamma: f64) -> Result<Self, SynthesisError> {
+        RateSchedule::new(1.0, gamma)
+    }
+
+    /// The base (initializing) rate `k`.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The separation factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Rate of the initializing reactions `e_i -> d_i`.
+    pub fn initializing(&self) -> f64 {
+        self.base
+    }
+
+    /// Rate of the reinforcing reactions `d_i + e_i -> 2 d_i`.
+    pub fn reinforcing(&self) -> f64 {
+        self.base * self.gamma
+    }
+
+    /// Rate of the stabilizing reactions `d_i + e_j -> d_i`.
+    pub fn stabilizing(&self) -> f64 {
+        self.base * self.gamma
+    }
+
+    /// Rate of the purifying reactions `d_i + d_j -> ∅`.
+    pub fn purifying(&self) -> f64 {
+        self.base * self.gamma * self.gamma
+    }
+
+    /// Rate of the working reactions `d_i + f -> d_i + o`.
+    pub fn working(&self) -> f64 {
+        self.base
+    }
+
+    /// The total rate span of the module (`purifying / initializing = γ²`),
+    /// useful for sanity checks against a network summary.
+    pub fn span(&self) -> f64 {
+        self.gamma * self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_1_relations_hold() {
+        let s = RateSchedule::new(2.0, 100.0).unwrap();
+        // γ·k_init = k_reinforce
+        assert_eq!(s.gamma() * s.initializing(), s.reinforcing());
+        // k_reinforce = k_stabilize
+        assert_eq!(s.reinforcing(), s.stabilizing());
+        // k_stabilize = k_purify / γ
+        assert_eq!(s.stabilizing(), s.purifying() / s.gamma());
+        // k_purify / γ = γ·k_work
+        assert_eq!(s.purifying() / s.gamma(), s.gamma() * s.working());
+        assert_eq!(s.span(), 10_000.0);
+        assert_eq!(s.base(), 2.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(RateSchedule::new(0.0, 10.0).is_err());
+        assert!(RateSchedule::new(1.0, 0.5).is_err());
+        assert!(RateSchedule::new(f64::NAN, 10.0).is_err());
+        assert!(RateSchedule::new(1.0, f64::INFINITY).is_err());
+        assert!(RateSchedule::with_gamma(1.0).is_ok());
+    }
+
+    #[test]
+    fn rate_bands_are_ordered_and_separated() {
+        let base = 1.0;
+        let sep = 10.0;
+        let rates: Vec<f64> = RateBand::ALL.iter().map(|b| b.rate(base, sep)).collect();
+        assert!(rates.windows(2).all(|w| w[1] / w[0] > 9.99));
+        assert_eq!(RateBand::Slow.rate(base, sep), 1.0);
+        assert_eq!(RateBand::Medium.rate(base, sep), 10.0);
+        assert_eq!(RateBand::Slowest.rate(base, sep), 0.01);
+        assert_eq!(RateBand::Fastest.rate(base, sep), 10_000.0);
+        assert!(RateBand::Slowest < RateBand::Fastest);
+        assert_eq!(RateBand::Fastest.level(), 6);
+    }
+}

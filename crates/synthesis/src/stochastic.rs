@@ -1,0 +1,801 @@
+//! The stochastic (winner-take-all) module — Section 2.1 of the paper.
+
+use crn::{Crn, CrnBuilder, State};
+use gillespie::{Simulation, SimulationOptions, SpeciesThresholdClassifier, StopCondition};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::TargetDistribution;
+use crate::error::SynthesisError;
+use crate::rates::RateSchedule;
+
+/// Default number of input molecules distributed among the `e_i`.
+const DEFAULT_INPUT_TOTAL: u64 = 100;
+/// Default initial quantity of each food species `f_i`.
+const DEFAULT_FOOD: u64 = 100;
+/// Default number of working firings required to declare an outcome (the
+/// paper's error analysis uses 10).
+const DEFAULT_DECISION_THRESHOLD: u64 = 10;
+/// Default rate-separation factor γ.
+const DEFAULT_GAMMA: f64 = 1_000.0;
+
+/// Builder for a [`StochasticModule`].
+///
+/// Obtained from [`StochasticModule::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticModuleBuilder {
+    outcomes: Vec<String>,
+    gamma: f64,
+    base_rate: f64,
+    input_total: u64,
+    food: u64,
+    decision_threshold: u64,
+    extra_working_products: Vec<(usize, String, u32)>,
+}
+
+impl Default for StochasticModuleBuilder {
+    fn default() -> Self {
+        StochasticModuleBuilder {
+            outcomes: Vec::new(),
+            gamma: DEFAULT_GAMMA,
+            base_rate: 1.0,
+            input_total: DEFAULT_INPUT_TOTAL,
+            food: DEFAULT_FOOD,
+            decision_threshold: DEFAULT_DECISION_THRESHOLD,
+            extra_working_products: Vec::new(),
+        }
+    }
+}
+
+impl StochasticModuleBuilder {
+    /// Sets the outcome names (one winner-take-all branch per outcome).
+    pub fn outcomes<I, S>(mut self, outcomes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.outcomes = outcomes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the rate-separation factor γ (default 1000).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the base (initializing/working) rate (default 1.0).
+    pub fn base_rate(mut self, base_rate: f64) -> Self {
+        self.base_rate = base_rate;
+        self
+    }
+
+    /// Sets the total number of input molecules distributed among the `e_i`
+    /// (default 100).
+    pub fn input_total(mut self, input_total: u64) -> Self {
+        self.input_total = input_total;
+        self
+    }
+
+    /// Sets the initial quantity of every food species `f_i` (default 100).
+    pub fn food(mut self, food: u64) -> Self {
+        self.food = food;
+        self
+    }
+
+    /// Sets how many working firings declare an outcome (default 10, as in
+    /// the paper's error analysis).
+    pub fn decision_threshold(mut self, decision_threshold: u64) -> Self {
+        self.decision_threshold = decision_threshold;
+        self
+    }
+
+    /// Adds an extra product to the working reaction of outcome `outcome`
+    /// (zero-based): every working firing then produces `coefficient`
+    /// molecules of `species` alongside the standard output `o_{i+1}`.
+    ///
+    /// This is the paper's "several output types in differing proportions
+    /// can be created for each catalyst type" — a single working reaction
+    /// with multiple output types (Section 2.1.1, working reactions).
+    pub fn working_product(
+        mut self,
+        outcome: usize,
+        species: impl Into<String>,
+        coefficient: u32,
+    ) -> Self {
+        self.extra_working_products.push((outcome, species.into(), coefficient));
+        self
+    }
+
+    /// Builds the module, generating its five categories of reactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if no outcomes were
+    /// given, outcome names collide, or quantities are inconsistent (zero
+    /// input total, food below the decision threshold), and
+    /// [`SynthesisError::InvalidRateParameter`] for invalid γ or base rate.
+    pub fn build(self) -> Result<StochasticModule, SynthesisError> {
+        if self.outcomes.is_empty() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "at least one outcome is required".into(),
+            });
+        }
+        let mut deduped = self.outcomes.clone();
+        deduped.sort();
+        deduped.dedup();
+        if deduped.len() != self.outcomes.len() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "outcome names must be unique".into(),
+            });
+        }
+        if self.input_total == 0 {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "input total must be positive".into(),
+            });
+        }
+        if self.decision_threshold == 0 {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "decision threshold must be positive".into(),
+            });
+        }
+        if self.food < self.decision_threshold {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "food quantity ({}) must be at least the decision threshold ({})",
+                    self.food, self.decision_threshold
+                ),
+            });
+        }
+        for (outcome, species, coefficient) in &self.extra_working_products {
+            if *outcome >= self.outcomes.len() {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!(
+                        "working product refers to outcome {outcome} but only {} outcomes exist",
+                        self.outcomes.len()
+                    ),
+                });
+            }
+            if *coefficient == 0 {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: "working product coefficients must be positive".into(),
+                });
+            }
+            let reserved = |prefix: char| {
+                species.starts_with(prefix)
+                    && species[1..].chars().all(|c| c.is_ascii_digit())
+                    && species.len() > 1
+            };
+            if reserved('e') || reserved('d') || reserved('f') || reserved('o') {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!(
+                        "working product species `{species}` collides with the module's reserved names"
+                    ),
+                });
+            }
+        }
+        let rates = RateSchedule::new(self.base_rate, self.gamma)?;
+        let crn = build_reactions(&self.outcomes, &rates, &self.extra_working_products)?;
+        Ok(StochasticModule {
+            crn,
+            outcomes: self.outcomes,
+            rates,
+            input_total: self.input_total,
+            food: self.food,
+            decision_threshold: self.decision_threshold,
+        })
+    }
+}
+
+fn build_reactions(
+    outcomes: &[String],
+    rates: &RateSchedule,
+    extra_working_products: &[(usize, String, u32)],
+) -> Result<Crn, SynthesisError> {
+    let n = outcomes.len();
+    let mut b = CrnBuilder::new();
+    let e: Vec<_> = (1..=n).map(|i| b.species(format!("e{i}"))).collect();
+    let d: Vec<_> = (1..=n).map(|i| b.species(format!("d{i}"))).collect();
+    let f: Vec<_> = (1..=n).map(|i| b.species(format!("f{i}"))).collect();
+    let o: Vec<_> = (1..=n).map(|i| b.species(format!("o{i}"))).collect();
+
+    for i in 0..n {
+        // Initializing: e_i -> d_i
+        b.reaction()
+            .reactant(e[i], 1)
+            .product(d[i], 1)
+            .rate(rates.initializing())
+            .label("initializing")
+            .add()?;
+        // Reinforcing: d_i + e_i -> 2 d_i
+        b.reaction()
+            .reactant(d[i], 1)
+            .reactant(e[i], 1)
+            .product(d[i], 2)
+            .rate(rates.reinforcing())
+            .label("reinforcing")
+            .add()?;
+        // Stabilizing: d_i + e_j -> d_i for j != i
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            b.reaction()
+                .reactant(d[i], 1)
+                .reactant(e[j], 1)
+                .product(d[i], 1)
+                .rate(rates.stabilizing())
+                .label("stabilizing")
+                .add()?;
+        }
+        // Working: d_i + f_i -> d_i + o_i (+ any extra output types in the
+        // requested proportions).
+        let mut working = b
+            .reaction()
+            .reactant(d[i], 1)
+            .reactant(f[i], 1)
+            .product(d[i], 1)
+            .product(o[i], 1);
+        for (outcome, species, coefficient) in extra_working_products {
+            if *outcome == i {
+                working = working.product_named(species, *coefficient);
+            }
+        }
+        working.rate(rates.working()).label("working").add()?;
+    }
+    // Purifying: d_i + d_j -> ∅ for i < j
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.reaction()
+                .reactant(d[i], 1)
+                .reactant(d[j], 1)
+                .rate(rates.purifying())
+                .label("purifying")
+                .add()?;
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// A synthesized winner-take-all module (Section 2.1 of the paper).
+///
+/// For each outcome the module contains an input species `e_i`, a catalyst
+/// `d_i`, a food species `f_i` and an output species `o_i`, wired by the five
+/// reaction categories. The outcome distribution is programmed by the
+/// initial quantities of the `e_i`; see
+/// [`StochasticModule::initial_state`].
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticModule {
+    crn: Crn,
+    outcomes: Vec<String>,
+    rates: RateSchedule,
+    input_total: u64,
+    food: u64,
+    decision_threshold: u64,
+}
+
+impl StochasticModule {
+    /// Starts building a module.
+    pub fn builder() -> StochasticModuleBuilder {
+        StochasticModuleBuilder::default()
+    }
+
+    /// Returns the synthesized reaction network.
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Returns the outcome names, in order.
+    pub fn outcomes(&self) -> &[String] {
+        &self.outcomes
+    }
+
+    /// Returns the number of outcomes.
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Returns the rate schedule used by the module.
+    pub fn rates(&self) -> &RateSchedule {
+        &self.rates
+    }
+
+    /// Returns the decision threshold (working firings per outcome).
+    pub fn decision_threshold(&self) -> u64 {
+        self.decision_threshold
+    }
+
+    /// Returns the total number of input molecules used by
+    /// [`StochasticModule::initial_state`].
+    pub fn input_total(&self) -> u64 {
+        self.input_total
+    }
+
+    /// Returns the name of the input species for outcome `i` (`"e1"`,
+    /// `"e2"`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input_species(&self, i: usize) -> String {
+        assert!(i < self.outcomes.len(), "outcome index out of range");
+        format!("e{}", i + 1)
+    }
+
+    /// Returns the name of the output species for outcome `i` (`"o1"`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn output_species(&self, i: usize) -> String {
+        assert!(i < self.outcomes.len(), "outcome index out of range");
+        format!("o{}", i + 1)
+    }
+
+    /// Returns the name of the catalyst species for outcome `i` (`"d1"`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn catalyst_species(&self, i: usize) -> String {
+        assert!(i < self.outcomes.len(), "outcome index out of range");
+        format!("d{}", i + 1)
+    }
+
+    /// Builds the initial state programming the module for `distribution`:
+    /// input counts `E_i = p_i · input_total` (largest-remainder rounded),
+    /// food counts at the configured level, everything else zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if the distribution's
+    /// length does not match the number of outcomes.
+    pub fn initial_state(
+        &self,
+        distribution: &TargetDistribution,
+    ) -> Result<State, SynthesisError> {
+        if distribution.len() != self.outcomes.len() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "distribution has {} outcomes but the module has {}",
+                    distribution.len(),
+                    self.outcomes.len()
+                ),
+            });
+        }
+        self.initial_state_from_counts(&distribution.to_counts(self.input_total))
+    }
+
+    /// Builds the initial state from explicit input counts `E_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if the number of
+    /// counts does not match the number of outcomes or all counts are zero.
+    pub fn initial_state_from_counts(&self, counts: &[u64]) -> Result<State, SynthesisError> {
+        if counts.len() != self.outcomes.len() {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "{} input counts given but the module has {} outcomes",
+                    counts.len(),
+                    self.outcomes.len()
+                ),
+            });
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "at least one input count must be positive".into(),
+            });
+        }
+        let mut state = self.crn.zero_state();
+        for (i, &count) in counts.iter().enumerate() {
+            state.set(self.crn.require_species(&self.input_species(i))?, count);
+            state.set(
+                self.crn.require_species(&format!("f{}", i + 1))?,
+                self.food,
+            );
+        }
+        Ok(state)
+    }
+
+    /// Returns the implied outcome probabilities for explicit input counts:
+    /// `p_i = E_i·k_i / Σ_j E_j·k_j` (all `k_i` are equal here, so this is a
+    /// simple normalisation).
+    pub fn programmed_probabilities(&self, counts: &[u64]) -> Vec<f64> {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; counts.len()];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Returns a classifier mapping trajectories to outcome names based on
+    /// the output species reaching the decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Crn`] only if the module's own species are
+    /// missing, which cannot happen for a built module.
+    pub fn classifier(&self) -> Result<SpeciesThresholdClassifier, SynthesisError> {
+        let mut classifier = SpeciesThresholdClassifier::new();
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            classifier = classifier.rule_named(
+                &self.crn,
+                &self.output_species(i),
+                self.decision_threshold,
+                outcome.as_str(),
+            )?;
+        }
+        Ok(classifier)
+    }
+
+    /// Returns the stop condition "any output reached the decision
+    /// threshold".
+    pub fn stop_condition(&self) -> StopCondition {
+        let conditions = (0..self.outcomes.len())
+            .map(|i| {
+                StopCondition::species_at_least(
+                    self.crn
+                        .species_id(&self.output_species(i))
+                        .expect("module species exist by construction"),
+                    self.decision_threshold,
+                )
+            })
+            .collect();
+        StopCondition::any_of(conditions)
+    }
+
+    /// Returns per-trajectory simulation options suited to the module: stop
+    /// at the first decided outcome, with a generous event-limit safety net.
+    pub fn simulation_options(&self) -> SimulationOptions {
+        SimulationOptions::new()
+            .stop(self.stop_condition())
+            .max_events(50_000_000)
+    }
+
+    /// Runs a single *error-analysis* trial (the experiment behind the
+    /// paper's Figure 3).
+    ///
+    /// The trial first simulates exactly one reaction event. Because every
+    /// non-initializing reaction requires a catalyst `d_i` and the initial
+    /// state contains none, that first event is always an initializing
+    /// reaction; the catalyst it produces identifies the outcome "chosen" at
+    /// the outset. The trial then continues until some output reaches the
+    /// decision threshold and reports whether the final outcome *differs*
+    /// from the initial choice (an error, in the paper's terminology).
+    ///
+    /// Returns `(initial_choice, final_outcome, is_error)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures ([`SynthesisError::InvalidSpecification`]
+    /// wraps them with context).
+    pub fn error_trial(
+        &self,
+        initial: &State,
+        seed: u64,
+    ) -> Result<(usize, usize, bool), SynthesisError> {
+        let first = Simulation::new(&self.crn, gillespie::DirectMethod::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::events(1))
+                    .max_events(10),
+            )
+            .run(initial)
+            .map_err(|err| SynthesisError::InvalidSpecification {
+                message: format!("error trial failed during the first event: {err}"),
+            })?;
+        let chosen = (0..self.outcomes.len())
+            .find(|&i| {
+                first
+                    .final_state
+                    .try_count(
+                        self.crn
+                            .species_id(&self.catalyst_species(i))
+                            .expect("catalyst exists"),
+                    )
+                    .unwrap_or(0)
+                    > 0
+            })
+            .ok_or_else(|| SynthesisError::InvalidSpecification {
+                message: "the first reaction event did not produce a catalyst".into(),
+            })?;
+
+        let rest = Simulation::new(&self.crn, gillespie::DirectMethod::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+                    .stop(self.stop_condition())
+                    .max_events(50_000_000),
+            )
+            .run(&first.final_state)
+            .map_err(|err| SynthesisError::InvalidSpecification {
+                message: format!("error trial failed during the decision phase: {err}"),
+            })?;
+        let winner = (0..self.outcomes.len())
+            .find(|&i| {
+                rest.final_state
+                    .try_count(
+                        self.crn
+                            .species_id(&self.output_species(i))
+                            .expect("output exists"),
+                    )
+                    .unwrap_or(0)
+                    >= self.decision_threshold
+            })
+            .ok_or_else(|| SynthesisError::InvalidSpecification {
+                message: "no outcome reached the decision threshold".into(),
+            })?;
+        Ok((chosen, winner, chosen != winner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::{Ensemble, EnsembleOptions};
+
+    fn three_outcome_module(gamma: f64) -> StochasticModule {
+        StochasticModule::builder()
+            .outcomes(["T1", "T2", "T3"])
+            .gamma(gamma)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_the_expected_reaction_inventory() {
+        // For n outcomes: n initializing + n reinforcing + n(n-1) stabilizing
+        // + n(n-1)/2 purifying + n working reactions.
+        let module = three_outcome_module(1000.0);
+        let crn = module.crn();
+        assert_eq!(crn.species_len(), 12); // 4 species per outcome
+        assert_eq!(crn.reactions().len(), 3 + 3 + 6 + 3 + 3);
+        let count_label = |label: &str| {
+            crn.reactions()
+                .iter()
+                .filter(|r| r.label() == Some(label))
+                .count()
+        };
+        assert_eq!(count_label("initializing"), 3);
+        assert_eq!(count_label("reinforcing"), 3);
+        assert_eq!(count_label("stabilizing"), 6);
+        assert_eq!(count_label("purifying"), 3);
+        assert_eq!(count_label("working"), 3);
+    }
+
+    #[test]
+    fn rate_hierarchy_matches_equation_1() {
+        let module = three_outcome_module(100.0);
+        for r in module.crn().reactions() {
+            let expected = match r.label().unwrap() {
+                "initializing" | "working" => 1.0,
+                "reinforcing" | "stabilizing" => 100.0,
+                "purifying" => 10_000.0,
+                other => panic!("unexpected label {other}"),
+            };
+            assert_eq!(r.rate(), expected, "reaction {r}");
+        }
+        assert_eq!(module.crn().summary().rate_span, module.rates().span());
+    }
+
+    #[test]
+    fn initial_state_programs_the_distribution() {
+        let module = three_outcome_module(1000.0);
+        let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).unwrap();
+        let state = module.initial_state(&dist).unwrap();
+        let crn = module.crn();
+        assert_eq!(state.count(crn.species_id("e1").unwrap()), 30);
+        assert_eq!(state.count(crn.species_id("e2").unwrap()), 40);
+        assert_eq!(state.count(crn.species_id("e3").unwrap()), 30);
+        assert_eq!(state.count(crn.species_id("f1").unwrap()), 100);
+        assert_eq!(state.count(crn.species_id("d1").unwrap()), 0);
+        assert_eq!(state.count(crn.species_id("o1").unwrap()), 0);
+    }
+
+    #[test]
+    fn wrong_distribution_length_is_rejected() {
+        let module = three_outcome_module(1000.0);
+        let dist = TargetDistribution::new(vec![0.5, 0.5]).unwrap();
+        assert!(module.initial_state(&dist).is_err());
+        assert!(module.initial_state_from_counts(&[10, 20]).is_err());
+        assert!(module.initial_state_from_counts(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(StochasticModule::builder().build().is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a", "a"])
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .gamma(0.1)
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .input_total(0)
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .decision_threshold(0)
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .food(5)
+            .decision_threshold(10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn programmed_probabilities_normalise_counts() {
+        let module = three_outcome_module(1000.0);
+        assert_eq!(
+            module.programmed_probabilities(&[30, 40, 30]),
+            vec![0.3, 0.4, 0.3]
+        );
+        assert_eq!(module.programmed_probabilities(&[0, 0, 0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn example_1_distribution_is_reproduced_by_simulation() {
+        // The paper's Example 1: p = {0.3, 0.4, 0.3}. With γ = 1000 the
+        // empirical distribution should match within Monte-Carlo noise.
+        let module = three_outcome_module(1000.0);
+        let dist = TargetDistribution::new(vec![0.3, 0.4, 0.3]).unwrap();
+        let initial = module.initial_state(&dist).unwrap();
+        let report = Ensemble::new(module.crn(), initial, module.classifier().unwrap())
+            .options(
+                EnsembleOptions::new()
+                    .trials(600)
+                    .master_seed(2024)
+                    .simulation(module.simulation_options()),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.undecided, 0);
+        assert!((report.probability("T1") - 0.3).abs() < 0.07);
+        assert!((report.probability("T2") - 0.4).abs() < 0.07);
+        assert!((report.probability("T3") - 0.3).abs() < 0.07);
+    }
+
+    #[test]
+    fn error_trial_reports_initial_choice_and_winner() {
+        let module = three_outcome_module(1000.0);
+        let dist = TargetDistribution::uniform(3).unwrap();
+        let initial = module.initial_state(&dist).unwrap();
+        let mut errors = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let (chosen, winner, is_error) = module.error_trial(&initial, seed).unwrap();
+            assert!(chosen < 3 && winner < 3);
+            assert_eq!(is_error, chosen != winner);
+            if is_error {
+                errors += 1;
+            }
+        }
+        // With γ = 1000 errors should be rare.
+        assert!(errors <= 2, "unexpectedly many errors: {errors}/{trials}");
+    }
+
+    #[test]
+    fn low_gamma_produces_more_errors_than_high_gamma() {
+        let dist = TargetDistribution::uniform(3).unwrap();
+        let error_count = |gamma: f64| {
+            let module = three_outcome_module(gamma);
+            let initial = module.initial_state(&dist).unwrap();
+            (0..60)
+                .filter(|&seed| module.error_trial(&initial, seed).unwrap().2)
+                .count()
+        };
+        let low = error_count(1.0);
+        let high = error_count(10_000.0);
+        assert!(
+            low > high,
+            "expected more errors at γ=1 ({low}) than at γ=10000 ({high})"
+        );
+    }
+
+    #[test]
+    fn species_name_accessors() {
+        let module = three_outcome_module(1000.0);
+        assert_eq!(module.input_species(0), "e1");
+        assert_eq!(module.output_species(2), "o3");
+        assert_eq!(module.catalyst_species(1), "d2");
+        assert_eq!(module.outcome_count(), 3);
+        assert_eq!(module.outcomes()[1], "T2");
+        assert_eq!(module.decision_threshold(), 10);
+        assert_eq!(module.input_total(), 100);
+    }
+
+    #[test]
+    fn extra_working_products_appear_in_the_working_reactions() {
+        let module = StochasticModule::builder()
+            .outcomes(["T1", "T2"])
+            .gamma(1_000.0)
+            .working_product(0, "drug", 3)
+            .working_product(1, "marker", 1)
+            .build()
+            .unwrap();
+        let crn = module.crn();
+        let drug = crn.species_id("drug").unwrap();
+        let marker = crn.species_id("marker").unwrap();
+        let working: Vec<_> = crn
+            .reactions()
+            .iter()
+            .filter(|r| r.label() == Some("working"))
+            .collect();
+        assert_eq!(working.len(), 2);
+        assert_eq!(working[0].product_coefficient(drug), 3);
+        assert_eq!(working[0].product_coefficient(marker), 0);
+        assert_eq!(working[1].product_coefficient(marker), 1);
+    }
+
+    #[test]
+    fn extra_working_products_are_produced_in_proportion() {
+        // Every working firing of outcome T1 produces one o1 and three drug
+        // molecules, so after the decision threshold is reached the drug
+        // count is three times the o1 count.
+        let module = StochasticModule::builder()
+            .outcomes(["T1"])
+            .gamma(1_000.0)
+            .working_product(0, "drug", 3)
+            .build()
+            .unwrap();
+        let initial = module.initial_state_from_counts(&[50]).unwrap();
+        let result = Simulation::new(module.crn(), gillespie::DirectMethod::new())
+            .options(module.simulation_options().seed(4))
+            .run(&initial)
+            .unwrap();
+        let o1 = result.final_state.count(module.crn().species_id("o1").unwrap());
+        let drug = result.final_state.count(module.crn().species_id("drug").unwrap());
+        assert_eq!(o1, module.decision_threshold());
+        assert_eq!(drug, 3 * o1);
+    }
+
+    #[test]
+    fn invalid_working_products_are_rejected() {
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .working_product(3, "x", 1)
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a"])
+            .working_product(0, "x", 0)
+            .build()
+            .is_err());
+        assert!(StochasticModule::builder()
+            .outcomes(["a", "b"])
+            .working_product(0, "e2", 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn single_outcome_module_always_decides_that_outcome() {
+        let module = StochasticModule::builder()
+            .outcomes(["only"])
+            .build()
+            .unwrap();
+        assert_eq!(module.crn().reactions().len(), 3); // init + reinforce + work
+        let initial = module.initial_state_from_counts(&[100]).unwrap();
+        let report = Ensemble::new(module.crn(), initial, module.classifier().unwrap())
+            .options(
+                EnsembleOptions::new()
+                    .trials(20)
+                    .master_seed(1)
+                    .simulation(module.simulation_options()),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.probability("only"), 1.0);
+    }
+}

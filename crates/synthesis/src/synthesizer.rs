@@ -1,0 +1,609 @@
+//! End-to-end synthesis of a log-linear probabilistic response.
+//!
+//! This is the flow of Section 3.2 of the paper: given a target response
+//!
+//! ```text
+//! P(outcome₁) = a + b·log2(X) + c·X      (in percent, X = input quantity)
+//! ```
+//!
+//! build a reaction network made of a fan-out stage, a linear module, a
+//! logarithm module, assimilation glue and a two-outcome stochastic module,
+//! so that Monte-Carlo simulation of the network reproduces the response.
+//!
+//! ## Note on the direction of the assimilation reactions
+//!
+//! The paper's Figure 4 prints the assimilation reactions as
+//! `e1 + y2 -> e2` and `e2 + y1 -> e1`, which *removes* probability mass
+//! from the outcome whose initial quantity encodes the constant term 15 as
+//! the log term grows — the opposite of Equation 14, where both the `log2`
+//! and linear terms are added to the constant 15. This implementation
+//! follows Equation 14 (and Figure 5): positive coefficients move
+//! probability mass *towards* the tracked outcome, negative coefficients
+//! move it away. The verbatim Figure 4 network is still available in the
+//! `lambda` crate for structural comparison.
+
+use crn::{Crn, State};
+use gillespie::{SimulationOptions, SpeciesThresholdClassifier, StopCondition};
+use numerics::LogLinearFit;
+use serde::{Deserialize, Serialize};
+
+use crate::compose::Composer;
+use crate::error::SynthesisError;
+use crate::glue;
+use crate::modules::{linear::linear, logarithm::logarithm};
+use crate::stochastic::StochasticModule;
+
+/// Default fast rate for glue and linear stages (Figure 4 uses 10⁹).
+const DEFAULT_FAST_RATE: f64 = 1e9;
+/// Default base rate of the logarithm module's slow clock (Figure 4: 10⁻³).
+const DEFAULT_LOG_BASE: f64 = 1e-3;
+/// Default band separation inside the logarithm module (Figure 4: 10³).
+const DEFAULT_LOG_SEPARATION: f64 = 1e3;
+/// Default base rate of the stochastic module (Figure 4: 10⁻⁹).
+const DEFAULT_STOCHASTIC_BASE: f64 = 1e-9;
+/// Default γ of the stochastic module (Figure 4: 10⁹).
+const DEFAULT_STOCHASTIC_GAMMA: f64 = 1e9;
+/// Default total number of `e` molecules (percent granularity).
+const DEFAULT_INPUT_TOTAL: u64 = 100;
+
+/// Builder for a synthesized log-linear probabilistic response.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use numerics::LogLinearFit;
+/// use synthesis::LogLinearSynthesizer;
+///
+/// // The paper's Equation 14: P(tracked) = 15 + 6·log2(MOI) + MOI/6 percent.
+/// let response = LogLinearFit::from_coefficients(15.0, 6.0, 1.0 / 6.0);
+/// let synthesized = LogLinearSynthesizer::new("moi", response)
+///     .outcomes("lysis", "lysogeny")
+///     .outputs("cro2", "ci2")
+///     .thresholds(55, 145)
+///     .food(200, 300)
+///     .synthesize()?;
+/// assert!(synthesized.crn().reactions().len() >= 19);
+/// assert!((synthesized.predicted_probability(4) - 0.2767).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogLinearSynthesizer {
+    input: String,
+    response: LogLinearFit,
+    outcome_names: (String, String),
+    output_names: (String, String),
+    thresholds: (u64, u64),
+    food: (u64, u64),
+    input_total: u64,
+    input_range: (u64, u64),
+    fast_rate: f64,
+    log_base: f64,
+    log_separation: f64,
+    stochastic_base: f64,
+    stochastic_gamma: f64,
+}
+
+impl LogLinearSynthesizer {
+    /// Creates a synthesizer for the given input species and target
+    /// response (coefficients in percent).
+    pub fn new(input: impl Into<String>, response: LogLinearFit) -> Self {
+        LogLinearSynthesizer {
+            input: input.into(),
+            response,
+            outcome_names: ("T1".to_string(), "T2".to_string()),
+            output_names: ("out1".to_string(), "out2".to_string()),
+            thresholds: (10, 10),
+            food: (100, 100),
+            input_total: DEFAULT_INPUT_TOTAL,
+            input_range: (1, 10),
+            fast_rate: DEFAULT_FAST_RATE,
+            log_base: DEFAULT_LOG_BASE,
+            log_separation: DEFAULT_LOG_SEPARATION,
+            stochastic_base: DEFAULT_STOCHASTIC_BASE,
+            stochastic_gamma: DEFAULT_STOCHASTIC_GAMMA,
+        }
+    }
+
+    /// Names the two outcomes; the response describes the probability of the
+    /// *first*.
+    pub fn outcomes(mut self, tracked: impl Into<String>, complement: impl Into<String>) -> Self {
+        self.outcome_names = (tracked.into(), complement.into());
+        self
+    }
+
+    /// Names the two output species produced by the working reactions.
+    pub fn outputs(mut self, tracked: impl Into<String>, complement: impl Into<String>) -> Self {
+        self.output_names = (tracked.into(), complement.into());
+        self
+    }
+
+    /// Sets the output thresholds that declare each outcome.
+    pub fn thresholds(mut self, tracked: u64, complement: u64) -> Self {
+        self.thresholds = (tracked, complement);
+        self
+    }
+
+    /// Sets the initial food quantities feeding each working reaction.
+    pub fn food(mut self, tracked: u64, complement: u64) -> Self {
+        self.food = (tracked, complement);
+        self
+    }
+
+    /// Sets the total number of probability-carrying `e` molecules
+    /// (default 100, i.e. one molecule per percentage point).
+    pub fn input_total(mut self, input_total: u64) -> Self {
+        self.input_total = input_total;
+        self
+    }
+
+    /// Sets the γ of the embedded stochastic module (default 10⁹).
+    pub fn stochastic_gamma(mut self, gamma: f64) -> Self {
+        self.stochastic_gamma = gamma;
+        self
+    }
+
+    /// Sets the expected range of input quantities (default `1..=10`, the
+    /// paper's MOI sweep). The range guides the choice of stoichiometric
+    /// coefficients: a coefficient like `1/6` is realised as `6 x -> y`,
+    /// which only makes sense if inputs of six or more molecules actually
+    /// occur.
+    pub fn input_range(mut self, min: u64, max: u64) -> Self {
+        self.input_range = (min, max);
+        self
+    }
+
+    /// Synthesizes the reaction network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidSpecification`] if the constant term
+    /// is outside `[0, 100]`, names collide, food is below the threshold, or
+    /// the coefficients cannot be realised with small integer stoichiometry.
+    pub fn synthesize(self) -> Result<SynthesizedResponse, SynthesisError> {
+        let a = self.response.constant();
+        if !(0.0..=self.input_total as f64).contains(&a) {
+            return Err(SynthesisError::InvalidSpecification {
+                message: format!(
+                    "constant term {a} must lie within [0, {}] percent",
+                    self.input_total
+                ),
+            });
+        }
+        if self.food.0 < self.thresholds.0 || self.food.1 < self.thresholds.1 {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "food quantities must be at least the outcome thresholds".into(),
+            });
+        }
+        let mut names = vec![
+            self.input.clone(),
+            self.output_names.0.clone(),
+            self.output_names.1.clone(),
+        ];
+        names.sort();
+        names.dedup();
+        if names.len() != 3 || self.outcome_names.0 == self.outcome_names.1 {
+            return Err(SynthesisError::InvalidSpecification {
+                message: "input, output and outcome names must be distinct".into(),
+            });
+        }
+
+        // --- deterministic front end -------------------------------------
+        let linear_copy = format!("{}_lin", self.input);
+        let log_copy = format!("{}_log", self.input);
+        let b_coeff = self.response.log_coefficient();
+        let c_coeff = self.response.linear_coefficient();
+        let needs_linear = c_coeff.abs() > 1e-9;
+        let needs_log = b_coeff.abs() > 1e-9;
+
+        let mut composer = Composer::new();
+        let mut log_clock_species = None;
+
+        // Fan the input out to one copy per deterministic branch.
+        let mut copies: Vec<&str> = Vec::new();
+        if needs_linear {
+            copies.push(&linear_copy);
+        }
+        if needs_log {
+            copies.push(&log_copy);
+        }
+        if !copies.is_empty() {
+            composer = composer.add(&glue::fan_out(&self.input, &copies, self.fast_rate)?);
+        }
+
+        // Linear branch: α x_lin -> β y_lin, then assimilation.
+        if needs_linear {
+            let (alpha, beta) = best_integer_ratio(c_coeff.abs(), self.input_range)?;
+            let module = linear(alpha, beta, &linear_copy, "y_lin", self.fast_rate)?;
+            composer = composer.add_module(&module);
+            composer = composer.add(&assimilation_for_sign(
+                c_coeff,
+                "y_lin",
+                self.fast_rate,
+            )?);
+        }
+
+        // Logarithm branch: log2 into a raw count, scale it, assimilate.
+        if needs_log {
+            let module = logarithm(&log_copy, "y_log_raw", self.log_separation)?;
+            log_clock_species = Some(
+                module
+                    .seed_counts()
+                    .first()
+                    .expect("logarithm module has a clock seed")
+                    .0
+                    .clone(),
+            );
+            composer = composer.add_scaled(module.crn(), self.log_base)?;
+            // The raw logarithm count spans roughly log2 of the input range.
+            let log_range = (
+                (self.input_range.0.max(1) as f64).log2().floor() as u64,
+                (self.input_range.1.max(1) as f64).log2().ceil() as u64,
+            );
+            let (alpha, beta) = best_integer_ratio(b_coeff.abs(), log_range)?;
+            let scale = linear(alpha, beta, "y_log_raw", "y_log", self.fast_rate)?;
+            composer = composer.add_module(&scale);
+            composer = composer.add(&assimilation_for_sign(
+                b_coeff,
+                "y_log",
+                self.fast_rate,
+            )?);
+        }
+
+        // --- stochastic back end ------------------------------------------
+        let stochastic = StochasticModule::builder()
+            .outcomes([self.outcome_names.0.clone(), self.outcome_names.1.clone()])
+            .base_rate(self.stochastic_base)
+            .gamma(self.stochastic_gamma)
+            .input_total(self.input_total)
+            .food(self.food.0.max(self.food.1))
+            .decision_threshold(self.thresholds.0.min(self.thresholds.1))
+            .build()?;
+        // Rename the generic outputs o1/o2 to the requested output names.
+        let stochastic_crn = stochastic.crn().rename_species(|name| match name {
+            "o1" => self.output_names.0.clone(),
+            "o2" => self.output_names.1.clone(),
+            other => other.to_string(),
+        })?;
+        composer = composer.add(&stochastic_crn);
+
+        let crn = composer.build()?;
+        let e1_initial = a.round() as u64;
+        Ok(SynthesizedResponse {
+            crn,
+            input: self.input,
+            response: self.response,
+            outcome_names: self.outcome_names,
+            output_names: self.output_names,
+            thresholds: self.thresholds,
+            food: self.food,
+            input_total: self.input_total,
+            e1_initial,
+            log_clock_species,
+        })
+    }
+}
+
+/// Builds the assimilation reaction moving probability mass towards the
+/// tracked outcome for positive coefficients and away from it for negative
+/// ones.
+fn assimilation_for_sign(
+    coefficient: f64,
+    trigger: &str,
+    rate: f64,
+) -> Result<Crn, SynthesisError> {
+    if coefficient >= 0.0 {
+        glue::assimilation(trigger, "e2", "e1", rate)
+    } else {
+        glue::assimilation(trigger, "e1", "e2", rate)
+    }
+}
+
+/// Approximates `value` (must be positive) by a fraction `β/α` with small
+/// integer stoichiometry `α x -> β y`, chosen to minimise the realised error
+/// over the *integer* inputs the module will actually see.
+///
+/// A reaction `α x -> β y` produces `⌊x/α⌋·β` output molecules, so large
+/// denominators are only useful when the input quantity is large: for inputs
+/// of a handful of molecules the floor dominates and a denominator of 1 or 2
+/// is almost always best. The search therefore scores each candidate by the
+/// total absolute deviation `Σ_x |⌊x/α⌋·β − value·x|` over the expected input
+/// range.
+fn best_integer_ratio(
+    value: f64,
+    input_range: (u64, u64),
+) -> Result<(u32, u32), SynthesisError> {
+    if !(value.is_finite() && value > 0.0) || value > 1000.0 {
+        return Err(SynthesisError::UnrealizableCoefficient { coefficient: value });
+    }
+    let (lo, hi) = (input_range.0.min(input_range.1), input_range.0.max(input_range.1));
+    let max_alpha = 16u64.min(hi.max(1)) as u32;
+    let mut best: Option<(u32, u32, f64)> = None;
+    for alpha in 1..=max_alpha {
+        let beta = (value * f64::from(alpha)).round().clamp(1.0, 10_000.0);
+        let mut error = 0.0;
+        for x in lo..=hi {
+            let realised = (x / u64::from(alpha)) as f64 * beta;
+            error += (realised - value * x as f64).abs();
+        }
+        if best.map_or(true, |(_, _, e)| error < e - 1e-12) {
+            best = Some((alpha, beta as u32, error));
+        }
+    }
+    best.map(|(alpha, beta, _)| (alpha, beta))
+        .ok_or(SynthesisError::UnrealizableCoefficient { coefficient: value })
+}
+
+/// A fully synthesized probabilistic response network.
+///
+/// Produced by [`LogLinearSynthesizer::synthesize`]; see there for an
+/// example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesizedResponse {
+    crn: Crn,
+    input: String,
+    response: LogLinearFit,
+    outcome_names: (String, String),
+    output_names: (String, String),
+    thresholds: (u64, u64),
+    food: (u64, u64),
+    input_total: u64,
+    e1_initial: u64,
+    log_clock_species: Option<String>,
+}
+
+impl SynthesizedResponse {
+    /// Returns the synthesized reaction network.
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Returns the input species name.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Returns the target response the network was synthesized for.
+    pub fn response(&self) -> &LogLinearFit {
+        &self.response
+    }
+
+    /// Returns the two outcome names `(tracked, complement)`.
+    pub fn outcome_names(&self) -> (&str, &str) {
+        (&self.outcome_names.0, &self.outcome_names.1)
+    }
+
+    /// Returns the two output species names `(tracked, complement)`.
+    pub fn output_names(&self) -> (&str, &str) {
+        (&self.output_names.0, &self.output_names.1)
+    }
+
+    /// Returns the initial quantities of the probability-carrying species
+    /// `(E1, E2)` before preprocessing.
+    pub fn initial_input_counts(&self) -> (u64, u64) {
+        (self.e1_initial, self.input_total - self.e1_initial)
+    }
+
+    /// Builds the initial state for an input quantity `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Crn`] only if the network is missing its own
+    /// species, which cannot happen for a synthesized value.
+    pub fn initial_state(&self, x: u64) -> Result<State, SynthesisError> {
+        let mut state = self.crn.zero_state();
+        // A response with zero log/linear coefficients never references the
+        // input species; the quantity is then simply irrelevant.
+        if let Some(input) = self.crn.species_id(&self.input) {
+            state.set(input, x);
+        }
+        state.set(self.crn.require_species("e1")?, self.e1_initial);
+        state.set(
+            self.crn.require_species("e2")?,
+            self.input_total - self.e1_initial,
+        );
+        state.set(self.crn.require_species("f1")?, self.food.0);
+        state.set(self.crn.require_species("f2")?, self.food.1);
+        if let Some(clock) = &self.log_clock_species {
+            state.set(self.crn.require_species(clock)?, 1);
+        }
+        Ok(state)
+    }
+
+    /// Returns the probability of the tracked outcome predicted by the
+    /// target response at input `x` (clamped to `[0, 1]`).
+    pub fn predicted_probability(&self, x: u64) -> f64 {
+        (self.response.evaluate(x.max(1) as f64) / 100.0).clamp(0.0, 1.0)
+    }
+
+    /// Returns a classifier assigning trajectories to the two outcomes based
+    /// on the output thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Crn`] only if the network is missing its own
+    /// species.
+    pub fn classifier(&self) -> Result<SpeciesThresholdClassifier, SynthesisError> {
+        Ok(SpeciesThresholdClassifier::new()
+            .rule_named(
+                &self.crn,
+                &self.output_names.0,
+                self.thresholds.0,
+                self.outcome_names.0.as_str(),
+            )?
+            .rule_named(
+                &self.crn,
+                &self.output_names.1,
+                self.thresholds.1,
+                self.outcome_names.1.as_str(),
+            )?)
+    }
+
+    /// Returns the stop condition: either output reaches its threshold, or
+    /// (as a safety net) the probability-carrying species and catalysts are
+    /// fully depleted so that no outcome can ever be declared.
+    pub fn stop_condition(&self) -> StopCondition {
+        let species = |name: &str| {
+            self.crn
+                .species_id(name)
+                .expect("synthesized species exist by construction")
+        };
+        StopCondition::any_of(vec![
+            StopCondition::species_at_least(species(&self.output_names.0), self.thresholds.0),
+            StopCondition::species_at_least(species(&self.output_names.1), self.thresholds.1),
+            StopCondition::all_of(vec![
+                StopCondition::species_at_most(species("e1"), 0),
+                StopCondition::species_at_most(species("e2"), 0),
+                StopCondition::species_at_most(species("d1"), 0),
+                StopCondition::species_at_most(species("d2"), 0),
+            ]),
+        ])
+    }
+
+    /// Returns per-trajectory simulation options suited to this network.
+    pub fn simulation_options(&self) -> SimulationOptions {
+        SimulationOptions::new()
+            .stop(self.stop_condition())
+            .max_events(50_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillespie::{Ensemble, EnsembleOptions};
+
+    fn eq14() -> LogLinearFit {
+        LogLinearFit::from_coefficients(15.0, 6.0, 1.0 / 6.0)
+    }
+
+    fn lambda_synthesizer() -> LogLinearSynthesizer {
+        LogLinearSynthesizer::new("moi", eq14())
+            .outcomes("lysis", "lysogeny")
+            .outputs("cro2", "ci2")
+            .thresholds(55, 145)
+            .food(200, 300)
+    }
+
+    #[test]
+    fn ratio_approximation_finds_small_fractions() {
+        // Over the paper's MOI range 1..=10, 1/6 is realised as one output
+        // molecule per five or six inputs (both are within one molecule of
+        // the exact value everywhere in the range).
+        let (alpha, beta) = best_integer_ratio(1.0 / 6.0, (1, 10)).unwrap();
+        assert!(beta == 1 && (4..=6).contains(&alpha), "got {alpha}/{beta}");
+        assert_eq!(best_integer_ratio(6.0, (0, 4)).unwrap(), (1, 6));
+        assert_eq!(best_integer_ratio(1.5, (1, 10)).unwrap(), (2, 3));
+        // A coefficient that needs a large denominator is cut off by the
+        // range: inputs of at most 10 molecules can never trigger `50 x -> y`,
+        // so the best realisable choice is simply the largest usable one.
+        let (alpha, _) = best_integer_ratio(0.02, (1, 10)).unwrap();
+        assert!(alpha <= 10);
+        // Small raw counts (the logarithm branch) force a denominator of 1.
+        assert_eq!(best_integer_ratio(4.09, (0, 4)).unwrap(), (1, 4));
+        assert!(best_integer_ratio(0.0, (1, 10)).is_err());
+        assert!(best_integer_ratio(f64::NAN, (1, 10)).is_err());
+        assert!(best_integer_ratio(1e6, (1, 10)).is_err());
+    }
+
+    #[test]
+    fn synthesized_network_has_the_expected_shape() {
+        let synthesized = lambda_synthesizer().synthesize().unwrap();
+        let crn = synthesized.crn();
+        // fan-out (1) + linear (1) + linear assimilation (1) + logarithm (6)
+        // + log scaling (1) + log assimilation (1) + stochastic module (2
+        // outcomes: 2 init + 2 reinforce + 2 stabilize + 1 purify + 2 work = 9)
+        assert_eq!(crn.reactions().len(), 20);
+        assert!(crn.species_id("moi").is_some());
+        assert!(crn.species_id("cro2").is_some());
+        assert!(crn.species_id("ci2").is_some());
+        assert!(crn.species_id("o1").is_none());
+        let summary = crn.summary();
+        assert!(summary.rate_span >= 1e17, "rate span {:.2e}", summary.rate_span);
+    }
+
+    #[test]
+    fn initial_state_sets_up_figure_4_quantities() {
+        let synthesized = lambda_synthesizer().synthesize().unwrap();
+        let state = synthesized.initial_state(7).unwrap();
+        let crn = synthesized.crn();
+        assert_eq!(state.count(crn.species_id("moi").unwrap()), 7);
+        assert_eq!(state.count(crn.species_id("e1").unwrap()), 15);
+        assert_eq!(state.count(crn.species_id("e2").unwrap()), 85);
+        assert_eq!(state.count(crn.species_id("f1").unwrap()), 200);
+        assert_eq!(state.count(crn.species_id("f2").unwrap()), 300);
+        assert_eq!(synthesized.initial_input_counts(), (15, 85));
+    }
+
+    #[test]
+    fn predicted_probability_follows_equation_14() {
+        let synthesized = lambda_synthesizer().synthesize().unwrap();
+        assert!((synthesized.predicted_probability(1) - 0.1517).abs() < 0.01);
+        assert!((synthesized.predicted_probability(10) - 0.3660).abs() < 0.01);
+        // Clamped at zero input.
+        assert!(synthesized.predicted_probability(0) >= 0.0);
+    }
+
+    #[test]
+    fn invalid_specifications_are_rejected() {
+        let bad_constant = LogLinearSynthesizer::new(
+            "moi",
+            LogLinearFit::from_coefficients(150.0, 0.0, 0.0),
+        )
+        .synthesize();
+        assert!(bad_constant.is_err());
+
+        let bad_food = lambda_synthesizer().food(10, 10).synthesize();
+        assert!(bad_food.is_err());
+
+        let clash = lambda_synthesizer().outputs("moi", "ci2").synthesize();
+        assert!(clash.is_err());
+
+        let same_outcomes = lambda_synthesizer().outcomes("x", "x").synthesize();
+        assert!(same_outcomes.is_err());
+    }
+
+    #[test]
+    fn constant_only_response_reproduces_a_bernoulli_choice() {
+        // P(tracked) = 30% with no input dependence: a plain two-outcome
+        // stochastic module.
+        let response = LogLinearFit::from_coefficients(30.0, 0.0, 0.0);
+        let synthesized = LogLinearSynthesizer::new("x", response)
+            .outcomes("T1", "T2")
+            .outputs("w1", "w2")
+            .thresholds(5, 5)
+            .food(20, 20)
+            .stochastic_gamma(1e6)
+            .synthesize()
+            .unwrap();
+        let initial = synthesized.initial_state(1).unwrap();
+        let report = Ensemble::new(
+            synthesized.crn(),
+            initial,
+            synthesized.classifier().unwrap(),
+        )
+        .options(
+            EnsembleOptions::new()
+                .trials(300)
+                .master_seed(5)
+                .simulation(synthesized.simulation_options()),
+        )
+        .run()
+        .unwrap();
+        assert!(
+            (report.probability("T1") - 0.3).abs() < 0.09,
+            "got {}",
+            report.probability("T1")
+        );
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let synthesized = lambda_synthesizer().synthesize().unwrap();
+        assert_eq!(synthesized.input(), "moi");
+        assert_eq!(synthesized.outcome_names(), ("lysis", "lysogeny"));
+        assert_eq!(synthesized.output_names(), ("cro2", "ci2"));
+        assert_eq!(synthesized.response().constant(), 15.0);
+    }
+}

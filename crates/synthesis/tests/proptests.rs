@@ -1,0 +1,136 @@
+//! Property-based tests of the synthesis layer.
+
+use proptest::prelude::*;
+use synthesis::modules::linear::linear;
+use synthesis::{Preprocessor, RateSchedule, StochasticModule, TargetDistribution};
+
+proptest! {
+    /// Converting a distribution to integer counts always sums to the
+    /// requested total and never deviates from the exact value by a whole
+    /// molecule or more.
+    #[test]
+    fn distribution_rounding_is_faithful(
+        weights in prop::collection::vec(0.01f64..100.0, 1..8),
+        total in 1u64..10_000,
+    ) {
+        let dist = TargetDistribution::new(weights).expect("distribution");
+        let counts = dist.to_counts(total);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        for (i, &count) in counts.iter().enumerate() {
+            let exact = dist.probability(i) * total as f64;
+            prop_assert!(
+                (count as f64 - exact).abs() < 1.0,
+                "outcome {}: count {} vs exact {}", i, count, exact
+            );
+        }
+    }
+
+    /// Normalised probabilities always sum to one and respect the input
+    /// weight ordering.
+    #[test]
+    fn distribution_probabilities_are_normalised(
+        weights in prop::collection::vec(0.0f64..100.0, 2..8),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let dist = TargetDistribution::new(weights.clone()).expect("distribution");
+        let sum: f64 = dist.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (i, w_i) in weights.iter().enumerate() {
+            for (j, w_j) in weights.iter().enumerate() {
+                if w_i > w_j {
+                    prop_assert!(dist.probability(i) >= dist.probability(j));
+                }
+            }
+        }
+    }
+
+    /// Equation 1's rate relations hold for every base rate and γ.
+    #[test]
+    fn rate_schedule_satisfies_equation_1(base in 1e-9f64..1e3, gamma in 1.0f64..1e7) {
+        let schedule = RateSchedule::new(base, gamma).expect("schedule");
+        let relative = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs());
+        prop_assert!(relative(schedule.gamma() * schedule.initializing(), schedule.reinforcing()));
+        prop_assert!(relative(schedule.reinforcing(), schedule.stabilizing()));
+        prop_assert!(relative(schedule.stabilizing(), schedule.purifying() / schedule.gamma()));
+        prop_assert!(relative(schedule.purifying() / schedule.gamma(), schedule.gamma() * schedule.working()));
+    }
+
+    /// The stochastic module always contains exactly the reaction inventory
+    /// prescribed by Section 2.1.1: n initializing, n reinforcing, n(n−1)
+    /// stabilizing, n(n−1)/2 purifying and n working reactions over 4n
+    /// species.
+    #[test]
+    fn stochastic_module_inventory_matches_the_paper(n in 1usize..7, gamma in 1.0f64..1e6) {
+        let outcomes: Vec<String> = (1..=n).map(|i| format!("T{i}")).collect();
+        let module = StochasticModule::builder()
+            .outcomes(outcomes)
+            .gamma(gamma)
+            .build()
+            .expect("module");
+        let crn = module.crn();
+        prop_assert_eq!(crn.species_len(), 4 * n);
+        let count = |label: &str| {
+            crn.reactions().iter().filter(|r| r.label() == Some(label)).count()
+        };
+        prop_assert_eq!(count("initializing"), n);
+        prop_assert_eq!(count("reinforcing"), n);
+        prop_assert_eq!(count("stabilizing"), n * (n - 1));
+        prop_assert_eq!(count("purifying"), n * (n - 1) / 2);
+        prop_assert_eq!(count("working"), n);
+        prop_assert_eq!(
+            crn.reactions().len(),
+            n + n + n * (n - 1) + n * (n - 1) / 2 + n
+        );
+    }
+
+    /// The module's programmed probabilities are exactly the normalised
+    /// input counts (all initializing rates are equal).
+    #[test]
+    fn programmed_probabilities_match_counts(counts in prop::collection::vec(0u64..1_000, 2..6)) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let outcomes: Vec<String> = (1..=counts.len()).map(|i| format!("T{i}")).collect();
+        let module = StochasticModule::builder()
+            .outcomes(outcomes)
+            .build()
+            .expect("module");
+        let probabilities = module.programmed_probabilities(&counts);
+        let total: u64 = counts.iter().sum();
+        for (p, &count) in probabilities.iter().zip(&counts) {
+            prop_assert!((p - count as f64 / total as f64).abs() < 1e-12);
+        }
+    }
+
+    /// The linear module computes exactly `⌊X/α⌋·β` for every α, β and X —
+    /// the discrete form of the paper's `α·Y∞ = β·X₀`.
+    #[test]
+    fn linear_module_is_exact_integer_scaling(
+        alpha in 1u32..6,
+        beta in 1u32..6,
+        x in 0u64..120,
+        seed in 0u64..50,
+    ) {
+        let module = linear(alpha, beta, "x", "y", 10.0).expect("module");
+        let y = module.evaluate(&[("x", x)], seed).expect("evaluation");
+        prop_assert_eq!(y, (x / u64::from(alpha)) * u64::from(beta));
+    }
+
+    /// Preprocessing predictions always form a probability distribution and
+    /// conserve the total probability mass.
+    #[test]
+    fn preprocessing_predictions_remain_distributions(
+        x1 in 0u64..60,
+        x2 in 0u64..60,
+        moved1 in 1u32..4,
+        moved2 in 1u32..4,
+    ) {
+        let preprocessor = Preprocessor::new(3)
+            .term("x1", 2, 0, moved1)
+            .expect("term")
+            .term("x2", 0, 1, moved2)
+            .expect("term");
+        let predicted = preprocessor.predicted_probabilities(&[30, 40, 30], &[("x1", x1), ("x2", x2)]);
+        let sum: f64 = predicted.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(predicted.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Computing with molecule counts: the deterministic function modules of
+//! Section 2.2 (linear scaling, exponentiation, logarithm, raising to a
+//! power, isolation).
+//!
+//! Each module is a handful of reactions whose *final* molecule counts equal
+//! a function of the *initial* counts. They are approximate — accuracy
+//! improves with the rate separation between their internal speed bands —
+//! and they compose: the lambda-phage model chains fan-out, linear and
+//! logarithm modules in front of a stochastic module.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example function_modules
+//! ```
+
+use synthesis::modules::{
+    exponentiation::exponentiation, isolation::isolation, linear::linear, logarithm::logarithm,
+    power::power,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let separation = 100.0;
+
+    println!("linear:  y = x / 6");
+    let sixth = linear(6, 1, "x", "y", separation)?;
+    for x in [6u64, 24, 60] {
+        println!("  x = {x:>3}  ->  y = {}", sixth.evaluate(&[("x", x)], 1)?);
+    }
+
+    println!("\nexponentiation:  y = 2^x");
+    let exp = exponentiation("x", "y", separation)?;
+    for x in [0u64, 1, 3, 5] {
+        println!("  x = {x:>3}  ->  y = {}", exp.evaluate(&[("x", x)], 2)?);
+    }
+
+    println!("\nlogarithm:  y = log2(x)");
+    let log = logarithm("x", "y", separation)?;
+    for x in [1u64, 4, 16, 64] {
+        println!("  x = {x:>3}  ->  y = {}", log.evaluate(&[("x", x)], 3)?);
+    }
+
+    println!("\npower:  y = x^p");
+    let pow = power("x", "p", "y", separation)?;
+    for (x, p) in [(2u64, 2u64), (3, 2), (2, 3)] {
+        println!("  x = {x}, p = {p}  ->  y = {}", pow.evaluate(&[("x", x), ("p", p)], 4)?);
+    }
+
+    println!("\nisolation:  y = 1 (from any starting quantity)");
+    let iso = isolation("y", "c", separation * 10.0)?;
+    for y0 in [5u64, 50, 500] {
+        println!("  y0 = {y0:>3}  ->  y = {}", iso.evaluate(&[("y", y0), ("c", 3)], 5)?);
+    }
+
+    println!("\nThe exact results would be x/6, 2^x, log2(x), x^p and 1; deviations are the");
+    println!("price of computing with stochastic chemistry at finite rate separation.");
+    Ok(())
+}

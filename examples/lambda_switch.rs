@@ -1,0 +1,60 @@
+//! The lambda bacteriophage lysis/lysogeny switch (Section 3 of the paper):
+//! fit the natural model's probabilistic response and synthesize a compact
+//! network that reproduces it.
+//!
+//! The full reproduction of Figure 5 lives in the benchmark harness
+//! (`cargo run --release -p bench --bin fig5_lambda_response`); this example
+//! is a smaller, faster version of the same flow.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example lambda_switch
+//! ```
+
+use lambda::{equation_14, LambdaModel, MoiSweep, NaturalLambdaModel, SyntheticLambdaModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = 400;
+    let moi_values = [1u64, 2, 4, 6, 8, 10];
+
+    // 1. Characterise the natural model (surrogate) by Monte-Carlo sweep.
+    let natural = NaturalLambdaModel::new()?;
+    let natural_curve = MoiSweep::new(moi_values)
+        .trials(trials)
+        .master_seed(11)
+        .run(&natural)?;
+
+    // 2. Fit the log-linear response (the analogue of the paper's Eq. 14).
+    let fit = natural_curve.fit_log_linear()?;
+    println!("fitted response:   {fit}");
+    println!("paper Equation 14: 15.000 + 6.000·log2(x) + 0.1667·x\n");
+
+    // 3. Synthesize a compact model from the fit and simulate it.
+    let synthetic = SyntheticLambdaModel::from_fit(&fit)?;
+    let synthetic_curve = MoiSweep::new(moi_values)
+        .trials(trials)
+        .master_seed(13)
+        .run(&synthetic)?;
+
+    println!("MOI   natural %   synthetic %   Eq14 %");
+    let eq14 = equation_14();
+    for (n, s) in natural_curve.points().iter().zip(synthetic_curve.points()) {
+        println!(
+            "{:>3}   {:>9.1}   {:>11.1}   {:>6.1}",
+            n.moi,
+            100.0 * n.probability,
+            100.0 * s.probability,
+            eq14.evaluate(n.moi as f64)
+        );
+    }
+
+    println!(
+        "\nnatural surrogate: {} reactions / {} species;  synthesized model: {} reactions / {} species",
+        LambdaModel::crn(&natural).reactions().len(),
+        LambdaModel::crn(&natural).species_len(),
+        LambdaModel::crn(&synthetic).reactions().len(),
+        LambdaModel::crn(&synthetic).species_len(),
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! The paper's motivating scenario (Section 1.2): engineered bacteria that
+//! invade a tumour and must release a drug *probabilistically*, so that only
+//! a fraction of the population responds and the total dose stays on target.
+//!
+//! Each bacterium carries the same synthesized network. The probability of
+//! responding is programmed as an affine function of the injected compound
+//! quantity `X`:
+//!
+//! ```text
+//! P(respond) = 0.10 + 0.02·X
+//! ```
+//!
+//! so the clinician can raise the responding fraction by injecting more of
+//! the compound. The example sweeps the compound quantity and reports the
+//! responding fraction of a simulated population.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example tumor_dosing
+//! ```
+
+use gillespie::{Ensemble, EnsembleOptions};
+use synthesis::{Composer, Preprocessor, StochasticModule, TargetDistribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two outcomes per bacterium: release the drug, or stay inert.
+    let module = StochasticModule::builder()
+        .outcomes(["respond", "inert"])
+        .gamma(1_000.0)
+        .input_total(100)
+        .build()?;
+
+    // Base response: 10 % of bacteria respond with no compound present.
+    let base = TargetDistribution::new(vec![0.10, 0.90])?;
+    let base_counts = base.to_counts(100);
+
+    // Preprocessing: every compound molecule moves 2 molecules of
+    // probability mass (2 %) from "inert" to "respond".
+    let preprocessor = Preprocessor::new(2).term("compound", 1, 0, 2)?;
+    let crn = Composer::new()
+        .add(module.crn())
+        .add(&preprocessor.build(1_000.0)?)
+        .build()?;
+
+    println!("engineered response: P(respond) = 0.10 + 0.02 * X (compound molecules)\n");
+    println!("compound X   predicted   simulated   responders out of 10000");
+
+    for &compound in &[0u64, 5, 10, 20, 30, 45] {
+        let predicted =
+            preprocessor.predicted_probabilities(&base_counts, &[("compound", compound)])[0];
+
+        let mut initial = crn.zero_state();
+        for (i, &count) in base_counts.iter().enumerate() {
+            initial.set(crn.require_species(&format!("e{}", i + 1))?, count);
+            initial.set(crn.require_species(&format!("f{}", i + 1))?, 100);
+        }
+        initial.set(crn.require_species("compound")?, compound);
+
+        // Each trial is one bacterium; the population is the ensemble.
+        let population = 10_000;
+        let report = Ensemble::new(&crn, initial, module.classifier()?)
+            .options(
+                EnsembleOptions::new()
+                    .trials(population)
+                    .master_seed(7 + compound)
+                    .simulation(module.simulation_options()),
+            )
+            .run()?;
+
+        println!(
+            "{compound:>10}   {predicted:>9.3}   {:>9.4}   {}",
+            report.probability("respond"),
+            report.count("respond")
+        );
+    }
+
+    println!("\nEvery bacterium runs the same reactions; the dose is set by chemistry, not by addressing individual cells.");
+    Ok(())
+}

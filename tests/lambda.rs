@@ -1,0 +1,125 @@
+//! Cross-crate integration tests of the lambda-phage case study: natural
+//! surrogate → Monte-Carlo sweep → curve fit → synthesis → comparison, the
+//! full flow behind Figure 5.
+
+use gillespie::OutcomeClassifier;
+use lambda::{
+    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel,
+    SyntheticLambdaModel, CI2_THRESHOLD, CRO2_THRESHOLD, LYSOGENY,
+};
+
+/// The natural surrogate's response is increasing in MOI and lives in the
+/// same band as the paper's Equation 14 (roughly 15 % to 37 %).
+#[test]
+fn natural_surrogate_response_matches_the_papers_band() {
+    let natural = NaturalLambdaModel::new().expect("natural model");
+    let curve = MoiSweep::new([1u64, 4, 10])
+        .trials(400)
+        .master_seed(31)
+        .run(&natural)
+        .expect("sweep");
+    let p: Vec<f64> = curve.points().iter().map(|pt| pt.probability).collect();
+    assert!(p[0] < p[1] && p[1] < p[2], "response must increase with MOI: {p:?}");
+    assert!((p[0] - 0.15).abs() < 0.08, "MOI 1 response {p:?}");
+    assert!((p[2] - 0.37).abs() < 0.10, "MOI 10 response {p:?}");
+    let eq14 = equation_14();
+    for point in curve.points() {
+        let predicted = eq14.evaluate(point.moi as f64) / 100.0;
+        assert!(
+            (point.probability - predicted).abs() < 0.12,
+            "MOI {}: surrogate {} vs Equation 14 {}",
+            point.moi,
+            point.probability,
+            predicted
+        );
+    }
+}
+
+/// The full reduced-order-modelling loop: fit the natural surrogate, build
+/// the synthetic model from the fit, and check that the synthetic response
+/// stays close to the natural one (the paper's Figure 5 claim).
+#[test]
+fn synthesized_model_reproduces_the_natural_response_shape() {
+    // Enough MOI values and trials that the three-coefficient fit is well
+    // conditioned; with too few points the interpolating fit can have wild
+    // coefficients that the integer encoding then distorts.
+    let moi_values = [1u64, 2, 4, 6, 8, 10];
+    let trials = 400;
+
+    let natural = NaturalLambdaModel::new().expect("natural model");
+    let natural_curve = MoiSweep::new(moi_values)
+        .trials(trials)
+        .master_seed(41)
+        .run(&natural)
+        .expect("natural sweep");
+
+    // Fitting needs at least three points; use the paper's Equation 14 form.
+    let fit = natural_curve.fit_log_linear().expect("fit");
+    let synthetic = SyntheticLambdaModel::from_fit(&fit).expect("synthesis");
+    let synthetic_curve = MoiSweep::new(moi_values)
+        .trials(trials)
+        .master_seed(43)
+        .run(&synthetic)
+        .expect("synthetic sweep");
+
+    // Both responses increase with MOI.
+    let natural_p: Vec<f64> = natural_curve.points().iter().map(|p| p.probability).collect();
+    let synthetic_p: Vec<f64> = synthetic_curve.points().iter().map(|p| p.probability).collect();
+    assert!(natural_p[0] < natural_p[2], "natural response not increasing: {natural_p:?}");
+    assert!(synthetic_p[0] < synthetic_p[2], "synthetic response not increasing: {synthetic_p:?}");
+
+    // The curves agree point-wise within Monte-Carlo noise plus the integer
+    // granularity of the synthesized encoding.
+    let gap = natural_curve
+        .max_absolute_difference(&synthetic_curve)
+        .expect("comparable curves");
+    assert!(gap < 0.15, "max gap between natural and synthetic is {gap}");
+}
+
+/// The synthesized model tracks its own target response across MOI.
+#[test]
+fn paper_synthetic_model_tracks_equation_14() {
+    let model = SyntheticLambdaModel::paper().expect("model");
+    let curve = MoiSweep::new([2u64, 6])
+        .trials(300)
+        .master_seed(53)
+        .run(&model)
+        .expect("sweep");
+    for point in curve.points() {
+        let predicted = model.predicted_probability(point.moi);
+        assert!(
+            (point.probability - predicted).abs() < 0.1,
+            "MOI {}: simulated {} vs predicted {}",
+            point.moi,
+            point.probability,
+            predicted
+        );
+    }
+}
+
+/// Structural reproduction of Figure 4 (experiment E7): 19 reactions over 17
+/// species, rates spanning 10⁻⁹ to 10⁹, with the outputs and thresholds used
+/// by the classifier.
+#[test]
+fn figure_4_network_and_thresholds_match_the_paper() {
+    let crn = figure4_verbatim();
+    assert_eq!(crn.reactions().len(), 19);
+    assert_eq!(crn.species_len(), 17);
+    assert!(crn.species_id("moi").is_some());
+    assert!(crn.species_id("cro2").is_some());
+    assert!(crn.species_id("ci2").is_some());
+    assert_eq!(crn.summary().rate_span, 1e18);
+    assert_eq!(CRO2_THRESHOLD, 55);
+    assert_eq!(CI2_THRESHOLD, 145);
+
+    // The behavioural synthetic model exposes the same outputs.
+    let model = SyntheticLambdaModel::paper().expect("model");
+    let classifier = model.classifier().expect("classifier");
+    let outcomes: Vec<String> = classifier
+        .outcomes()
+        .iter()
+        .map(|o| o.as_str().to_string())
+        .collect();
+    assert!(outcomes.contains(&LYSOGENY.to_string()));
+    assert_eq!(model.crn().species_len(), 18);
+}

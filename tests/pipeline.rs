@@ -1,0 +1,161 @@
+//! Cross-crate integration tests of the synthesis pipeline: deterministic
+//! modules feeding preprocessing and stochastic stages, text round-trips of
+//! synthesized networks, and end-to-end programmable responses.
+
+use gillespie::{Ensemble, EnsembleOptions};
+use synthesis::modules::{linear::linear, logarithm::logarithm};
+use synthesis::{Composer, LogLinearSynthesizer, Preprocessor, StochasticModule, TargetDistribution};
+
+/// Example 2 end to end: the affine programmable distribution implemented by
+/// preprocessing reactions matches its predicted probabilities.
+#[test]
+fn example_2_affine_response_matches_prediction() {
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let preprocessor = Preprocessor::new(3)
+        .term("x1", 2, 0, 2)
+        .expect("term")
+        .term("x2", 0, 1, 3)
+        .expect("term");
+    let crn = Composer::new()
+        .add(module.crn())
+        .add(&preprocessor.build(1_000.0).expect("preprocessing"))
+        .build()
+        .expect("composition");
+    let base = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("base");
+    let base_counts = base.to_counts(100);
+
+    for &(x1, x2) in &[(5u64, 0u64), (0, 5), (10, 10)] {
+        let predicted =
+            preprocessor.predicted_probabilities(&base_counts, &[("x1", x1), ("x2", x2)]);
+        let mut initial = crn.zero_state();
+        for (i, &count) in base_counts.iter().enumerate() {
+            initial.set(crn.require_species(&format!("e{}", i + 1)).expect("e"), count);
+            initial.set(crn.require_species(&format!("f{}", i + 1)).expect("f"), 100);
+        }
+        initial.set(crn.require_species("x1").expect("x1"), x1);
+        initial.set(crn.require_species("x2").expect("x2"), x2);
+
+        let report = Ensemble::new(&crn, initial, module.classifier().expect("classifier"))
+            .options(
+                EnsembleOptions::new()
+                    .trials(1_200)
+                    .master_seed(100 + x1 * 13 + x2)
+                    .simulation(module.simulation_options()),
+            )
+            .run()
+            .expect("ensemble");
+        for (i, outcome) in module.outcomes().iter().enumerate() {
+            assert!(
+                (report.probability(outcome) - predicted[i]).abs() < 0.06,
+                "X1={x1}, X2={x2}, outcome {outcome}: simulated {} vs predicted {}",
+                report.probability(outcome),
+                predicted[i]
+            );
+        }
+    }
+}
+
+/// Deterministic modules compose through shared species names: a logarithm
+/// module's output can feed a linear module, computing `6·log2(x)`.
+#[test]
+fn chained_logarithm_and_linear_modules_compute_a_scaled_logarithm() {
+    let log = logarithm("x", "mid", 100.0).expect("log module");
+    let scale = linear(1, 6, "mid", "y", 1_000.0).expect("linear module");
+    let crn = Composer::new()
+        .add_module(&log)
+        .add_module(&scale)
+        .build()
+        .expect("composition");
+
+    let mut initial = crn.zero_state();
+    initial.set(crn.require_species("x").expect("x"), 64);
+    for (name, count) in log.seed_counts() {
+        initial.set(crn.require_species(name).expect("seed"), *count);
+    }
+    let result = gillespie::Simulation::new(&crn, gillespie::DirectMethod::new())
+        .options(
+            gillespie::SimulationOptions::new()
+                .seed(7)
+                .stop(log.stop_condition().clone())
+                .max_events(5_000_000),
+        )
+        .run(&initial)
+        .expect("trajectory");
+    // There can be one trailing `mid` molecule still unscaled at the instant
+    // the stop condition triggers; accept 6·log2(64) = 36 within one step.
+    let y = result.final_state.count(crn.require_species("y").expect("y"));
+    let mid = result.final_state.count(crn.require_species("mid").expect("mid"));
+    let total = y + 6 * mid;
+    assert!(
+        (total as i64 - 36).abs() <= 6,
+        "expected ≈36 output molecules for 6·log2(64), got y={y}, mid={mid}"
+    );
+}
+
+/// A synthesized response network round-trips through its textual notation:
+/// parsing the rendered text yields a network with identical structure.
+#[test]
+fn synthesized_network_round_trips_through_text() {
+    let response = numerics::LogLinearFit::from_coefficients(20.0, 5.0, 0.5);
+    let synthesized = LogLinearSynthesizer::new("x", response)
+        .outcomes("hi", "lo")
+        .outputs("up", "down")
+        .thresholds(10, 10)
+        .food(30, 30)
+        .synthesize()
+        .expect("synthesis");
+    let text = synthesized.crn().to_text();
+    let reparsed: crn::Crn = text.parse().expect("reparse");
+    assert_eq!(reparsed.reactions().len(), synthesized.crn().reactions().len());
+    assert_eq!(reparsed.species_len(), synthesized.crn().species_len());
+    // Reaction rates survive the round trip.
+    let original_rates: Vec<f64> = synthesized.crn().reactions().iter().map(|r| r.rate()).collect();
+    let reparsed_rates: Vec<f64> = reparsed.reactions().iter().map(|r| r.rate()).collect();
+    assert_eq!(original_rates, reparsed_rates);
+}
+
+/// The synthesizer honours its programmable-response contract for a response
+/// with a negative linear coefficient (probability mass moves away from the
+/// tracked outcome as the input grows).
+#[test]
+fn negative_coefficients_reduce_the_tracked_probability() {
+    let response = numerics::LogLinearFit::from_coefficients(60.0, 0.0, -2.0);
+    let synthesized = LogLinearSynthesizer::new("x", response)
+        .outcomes("keep", "drop")
+        .outputs("kout", "dout")
+        .thresholds(5, 5)
+        .food(20, 20)
+        .stochastic_gamma(1e6)
+        .synthesize()
+        .expect("synthesis");
+
+    let probability_at = |x: u64, seed: u64| {
+        let initial = synthesized.initial_state(x).expect("state");
+        Ensemble::new(
+            synthesized.crn(),
+            initial,
+            synthesized.classifier().expect("classifier"),
+        )
+        .options(
+            EnsembleOptions::new()
+                .trials(500)
+                .master_seed(seed)
+                .simulation(synthesized.simulation_options()),
+        )
+        .run()
+        .expect("ensemble")
+        .probability("keep")
+    };
+    let at_1 = probability_at(1, 7);
+    let at_15 = probability_at(15, 9);
+    assert!(
+        at_1 > at_15 + 0.15,
+        "probability should fall with the input: P(1) = {at_1}, P(15) = {at_15}"
+    );
+    assert!((at_1 - 0.58).abs() < 0.1, "P(1) should be near 58%, got {at_1}");
+    assert!((at_15 - 0.30).abs() < 0.1, "P(15) should be near 30%, got {at_15}");
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the stochastic module synthesized by the
+//! `synthesis` crate, simulated with the `gillespie` crate and checked with
+//! the `numerics` crate.
+
+use gillespie::{Ensemble, EnsembleOptions, SsaMethod};
+use numerics::wilson_interval;
+use synthesis::{StochasticModule, TargetDistribution};
+
+/// The paper's Example 1 end to end: the programmed distribution
+/// {0.3, 0.4, 0.3} is reproduced within tight confidence intervals.
+#[test]
+fn example_1_distribution_is_reproduced_within_confidence_intervals() {
+    let module = StochasticModule::builder()
+        .outcomes(["d1", "d2", "d3"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let target = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("target");
+    let initial = module.initial_state(&target).expect("initial state");
+    let trials = 3_000;
+    let report = Ensemble::new(module.crn(), initial, module.classifier().expect("classifier"))
+        .options(
+            EnsembleOptions::new()
+                .trials(trials)
+                .master_seed(99)
+                .simulation(module.simulation_options()),
+        )
+        .run()
+        .expect("ensemble");
+
+    assert_eq!(report.undecided, 0, "every trajectory must decide an outcome");
+    for (i, outcome) in module.outcomes().iter().enumerate() {
+        let ci = wilson_interval(report.count(outcome), trials, 0.99).expect("interval");
+        assert!(
+            ci.contains(target.probability(i)),
+            "outcome {outcome}: target {} outside 99% CI [{}, {}]",
+            target.probability(i),
+            ci.lower,
+            ci.upper
+        );
+    }
+}
+
+/// The decision is insensitive to the SSA algorithm used: all three methods
+/// estimate the same distribution.
+#[test]
+fn all_ssa_methods_agree_on_the_programmed_distribution() {
+    let module = StochasticModule::builder()
+        .outcomes(["a", "b"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let target = TargetDistribution::new(vec![0.25, 0.75]).expect("target");
+    let initial = module.initial_state(&target).expect("initial state");
+
+    let mut estimates = Vec::new();
+    for method in SsaMethod::ALL {
+        let report = Ensemble::new(
+            module.crn(),
+            initial.clone(),
+            module.classifier().expect("classifier"),
+        )
+        .options(
+            EnsembleOptions::new()
+                .trials(1_200)
+                .master_seed(5)
+                .method(method)
+                .simulation(module.simulation_options()),
+        )
+        .run()
+        .expect("ensemble");
+        estimates.push(report.probability("a"));
+    }
+    for p in &estimates {
+        assert!((p - 0.25).abs() < 0.05, "estimate {p} too far from 0.25");
+    }
+    let spread = estimates
+        .iter()
+        .fold(0.0f64, |acc, p| acc.max((p - estimates[0]).abs()));
+    assert!(spread < 0.07, "methods disagree: {estimates:?}");
+}
+
+/// The paper's central robustness claim (Figure 3): the probability that the
+/// final outcome differs from the initially selected outcome falls as the
+/// rate separation γ grows.
+#[test]
+fn error_rate_decreases_monotonically_in_gamma() {
+    let error_rate = |gamma: f64, trials: u64| -> f64 {
+        let module = StochasticModule::builder()
+            .outcomes(["T1", "T2", "T3"])
+            .gamma(gamma)
+            .input_total(300)
+            .build()
+            .expect("module");
+        let dist = TargetDistribution::uniform(3).expect("uniform");
+        let initial = module.initial_state(&dist).expect("state");
+        let errors = (0..trials)
+            .filter(|&seed| module.error_trial(&initial, seed).expect("trial").2)
+            .count();
+        errors as f64 / trials as f64
+    };
+    let at_1 = error_rate(1.0, 150);
+    let at_100 = error_rate(100.0, 150);
+    let at_10000 = error_rate(10_000.0, 150);
+    assert!(
+        at_1 > at_100,
+        "γ=1 error rate ({at_1}) should exceed γ=100 ({at_100})"
+    );
+    assert!(
+        at_100 >= at_10000,
+        "γ=100 error rate ({at_100}) should not be below γ=10000 ({at_10000})"
+    );
+    assert!(at_1 > 0.15, "γ=1 should misassign a sizeable fraction, got {at_1}");
+    assert!(at_10000 < 0.03, "γ=10000 should almost never err, got {at_10000}");
+}
+
+/// Reprogramming the same network with different initial counts changes the
+/// outcome distribution without touching any reaction.
+#[test]
+fn the_same_network_supports_multiple_programs() {
+    let module = StochasticModule::builder()
+        .outcomes(["x", "y"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let run = |p: f64| {
+        let dist = TargetDistribution::new(vec![p, 1.0 - p]).expect("target");
+        let initial = module.initial_state(&dist).expect("state");
+        Ensemble::new(
+            module.crn(),
+            initial,
+            module.classifier().expect("classifier"),
+        )
+        .options(
+            EnsembleOptions::new()
+                .trials(800)
+                .master_seed(17)
+                .simulation(module.simulation_options()),
+        )
+        .run()
+        .expect("ensemble")
+        .probability("x")
+    };
+    assert!((run(0.1) - 0.1).abs() < 0.05);
+    assert!((run(0.5) - 0.5).abs() < 0.06);
+    assert!((run(0.9) - 0.9).abs() < 0.05);
+}
