@@ -43,7 +43,8 @@ fn bench_module_evaluation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            pow.evaluate(&[("x", 3), ("p", 2)], seed).expect("evaluation")
+            pow.evaluate(&[("x", 3), ("p", 2)], seed)
+                .expect("evaluation")
         });
     });
 

@@ -18,24 +18,28 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ensemble_scaling/threads");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                Ensemble::new(
-                    module.crn(),
-                    initial.clone(),
-                    module.classifier().expect("classifier"),
-                )
-                .options(
-                    EnsembleOptions::new()
-                        .trials(200)
-                        .master_seed(1)
-                        .threads(threads)
-                        .simulation(module.simulation_options()),
-                )
-                .run()
-                .expect("ensemble")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Ensemble::new(
+                        module.crn(),
+                        initial.clone(),
+                        module.classifier().expect("classifier"),
+                    )
+                    .options(
+                        EnsembleOptions::new()
+                            .trials(200)
+                            .master_seed(1)
+                            .threads(threads)
+                            .simulation(module.simulation_options()),
+                    )
+                    .run()
+                    .expect("ensemble")
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,11 +3,9 @@
 //! method is expected to win once the number of reactions is large relative
 //! to the dependency-graph out-degree.
 
-use crn::{Crn, CrnBuilder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gillespie::{
-    Simulation, SimulationOptions, SsaMethod, SsaStepper, StopCondition,
-};
+use crn::{Crn, CrnBuilder};
+use gillespie::{Simulation, SimulationOptions, SsaMethod, SsaStepper, StopCondition};
 
 /// Builds a linear chain of isomerisations `s0 -> s1 -> … -> sN` plus the
 /// reverse reactions: 2N reactions whose dependency graph has out-degree ≤ 4.
@@ -57,9 +55,7 @@ impl SsaStepper for Boxed {
 fn bench_methods(c: &mut Criterion) {
     for &length in &[10usize, 50, 200] {
         let crn = chain_network(length);
-        let initial = crn
-            .state_from_counts([("s0", 200)])
-            .expect("initial state");
+        let initial = crn.state_from_counts([("s0", 200)]).expect("initial state");
         let mut group = c.benchmark_group(format!("ssa_methods/chain_{length}"));
         for method in SsaMethod::ALL {
             group.bench_with_input(

@@ -34,10 +34,26 @@ fn main() {
     let sixth = linear(6, 1, "x", "y", separation).expect("linear module");
     let double = linear(1, 2, "x", "y", separation).expect("linear module");
     for &x in &[6u64, 30, 60, 120] {
-        add_row(&mut table, "X/6", &sixth, &[("x", x)], (x / 6) as f64, repeats, seed);
+        add_row(
+            &mut table,
+            "X/6",
+            &sixth,
+            &[("x", x)],
+            (x / 6) as f64,
+            repeats,
+            seed,
+        );
     }
     for &x in &[5u64, 25, 100] {
-        add_row(&mut table, "2X", &double, &[("x", x)], (2 * x) as f64, repeats, seed);
+        add_row(
+            &mut table,
+            "2X",
+            &double,
+            &[("x", x)],
+            (2 * x) as f64,
+            repeats,
+            seed,
+        );
     }
     table.print();
 
@@ -46,7 +62,15 @@ fn main() {
     let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
     let exp = exponentiation("x", "y", separation).expect("exponentiation module");
     for &x in &[0u64, 1, 2, 3, 4, 5, 6] {
-        add_row(&mut table, "2^X", &exp, &[("x", x)], (1u64 << x) as f64, repeats, seed);
+        add_row(
+            &mut table,
+            "2^X",
+            &exp,
+            &[("x", x)],
+            (1u64 << x) as f64,
+            repeats,
+            seed,
+        );
     }
     table.print();
 
@@ -89,7 +113,15 @@ fn main() {
     let mut table = Table::new(&["function", "X", "expected", "mean Y", "std dev"]);
     let iso = isolation("y", "c", separation * 10.0).expect("isolation module");
     for &y0 in &[1u64, 10, 100, 1000] {
-        add_row(&mut table, "1", &iso, &[("y", y0), ("c", 3)], 1.0, repeats, seed);
+        add_row(
+            &mut table,
+            "1",
+            &iso,
+            &[("y", y0), ("c", 3)],
+            1.0,
+            repeats,
+            seed,
+        );
     }
     table.print();
 }

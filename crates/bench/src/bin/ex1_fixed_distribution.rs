@@ -38,15 +38,19 @@ fn main() {
         gamma * gamma
     );
 
-    let report = Ensemble::new(module.crn(), initial, module.classifier().expect("classifier"))
-        .options(
-            EnsembleOptions::new()
-                .trials(trials)
-                .master_seed(seed)
-                .simulation(module.simulation_options()),
-        )
-        .run()
-        .expect("ensemble");
+    let report = Ensemble::new(
+        module.crn(),
+        initial,
+        module.classifier().expect("classifier"),
+    )
+    .options(
+        EnsembleOptions::new()
+            .trials(trials)
+            .master_seed(seed)
+            .simulation(module.simulation_options()),
+    )
+    .run()
+    .expect("ensemble");
 
     let mut table = Table::new(&["outcome", "target", "empirical", "95% CI", "count"]);
     let mut total_abs_error = 0.0;
@@ -64,6 +68,12 @@ fn main() {
     }
     table.print();
     println!("\nundecided trajectories: {}", report.undecided);
-    println!("total variation distance to target: {:.4}", total_abs_error / 2.0);
-    println!("mean reaction events per trajectory: {:.0}", report.mean_events);
+    println!(
+        "total variation distance to target: {:.4}",
+        total_abs_error / 2.0
+    );
+    println!(
+        "mean reaction events per trajectory: {:.0}",
+        report.mean_events
+    );
 }

@@ -56,13 +56,28 @@ fn main() {
     let mut table = Table::new(&[
         "X1", "X2", "p1 pred", "p1 sim", "p2 pred", "p2 sim", "p3 pred", "p3 sim",
     ]);
-    for &(x1, x2) in &[(0u64, 0u64), (5, 0), (10, 0), (0, 5), (0, 10), (5, 5), (10, 10)] {
-        let predicted = preprocessor.predicted_probabilities(&base_counts, &[("x1", x1), ("x2", x2)]);
+    for &(x1, x2) in &[
+        (0u64, 0u64),
+        (5, 0),
+        (10, 0),
+        (0, 5),
+        (0, 10),
+        (5, 5),
+        (10, 10),
+    ] {
+        let predicted =
+            preprocessor.predicted_probabilities(&base_counts, &[("x1", x1), ("x2", x2)]);
 
         let mut initial = crn.zero_state();
         for (i, &count) in base_counts.iter().enumerate() {
-            initial.set(crn.species_id(&format!("e{}", i + 1)).expect("species"), count);
-            initial.set(crn.species_id(&format!("f{}", i + 1)).expect("species"), 100);
+            initial.set(
+                crn.species_id(&format!("e{}", i + 1)).expect("species"),
+                count,
+            );
+            initial.set(
+                crn.species_id(&format!("f{}", i + 1)).expect("species"),
+                100,
+            );
         }
         initial.set(crn.species_id("x1").expect("x1"), x1);
         initial.set(crn.species_id("x2").expect("x2"), x2);

@@ -15,9 +15,8 @@
 //! full-fidelity run (slower, especially at γ = 1 where errors are common
 //! and trajectories are long).
 
-use std::thread;
-
 use bench::{Args, Table};
+use gillespie::engine::run_chunked;
 use numerics::wilson_interval;
 use synthesis::{StochasticModule, TargetDistribution};
 
@@ -30,7 +29,9 @@ fn main() {
     let seed = args.get_u64("seed", 1);
     let threads = args.get_u64("threads", 0) as usize;
     let threads = if threads == 0 {
-        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -74,32 +75,22 @@ fn error_count(gamma: f64, trials: u64, seed: u64, threads: usize) -> u64 {
         .build()
         .expect("valid module");
     let distribution = TargetDistribution::uniform(3).expect("uniform distribution");
-    let initial = module.initial_state(&distribution).expect("valid initial state");
+    let initial = module
+        .initial_state(&distribution)
+        .expect("valid initial state");
 
-    let chunk = trials.div_ceil(threads as u64);
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker in 0..threads as u64 {
-            let start = worker * chunk;
-            let end = (start + chunk).min(trials);
-            if start >= end {
-                continue;
+    let partials = run_chunked(threads, trials, |range, _cancel| {
+        let mut errors = 0u64;
+        for trial in range.trials() {
+            let (_, _, is_error) = module
+                .error_trial(&initial, seed.wrapping_add(trial))
+                .map_err(|err| err.to_string())?;
+            if is_error {
+                errors += 1;
             }
-            let module = &module;
-            let initial = &initial;
-            handles.push(scope.spawn(move || {
-                let mut errors = 0u64;
-                for trial in start..end {
-                    let (_, _, is_error) = module
-                        .error_trial(initial, seed.wrapping_add(trial))
-                        .expect("error trial");
-                    if is_error {
-                        errors += 1;
-                    }
-                }
-                errors
-            }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        Ok::<_, String>(errors)
     })
+    .expect("error trial");
+    partials.into_iter().sum()
 }

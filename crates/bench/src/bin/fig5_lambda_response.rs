@@ -10,8 +10,7 @@
 
 use bench::{Args, Table};
 use lambda::{
-    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel,
-    SyntheticLambdaModel,
+    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel, SyntheticLambdaModel,
 };
 
 fn main() {
@@ -45,7 +44,9 @@ fn main() {
     // 2. Curve fit of the natural response (the analogue of Equation 14).
     let fit = natural_curve.fit_log_linear().expect("curve fit");
     println!("fit to the natural surrogate:  P(cI2 threshold) ≈ {fit}  (percent)");
-    println!("paper's Equation 14:           P(cI2 threshold) ≈ 15.000 + 6.000·log2(x) + 0.1667·x\n");
+    println!(
+        "paper's Equation 14:           P(cI2 threshold) ≈ 15.000 + 6.000·log2(x) + 0.1667·x\n"
+    );
 
     // 3. Synthesize from the fit and sweep the synthesized model.
     let synthetic = SyntheticLambdaModel::from_fit(&fit).expect("synthesized model");
@@ -90,12 +91,18 @@ fn main() {
     let gap = natural_curve
         .max_absolute_difference(&synthetic_curve)
         .expect("curves cover the same MOI values");
-    println!("\nmax |natural − synthetic(fit)| = {:.1} percentage points", 100.0 * gap);
-    println!("network sizes: natural {} reactions / {} species, synthetic {} reactions / {} species",
+    println!(
+        "\nmax |natural − synthetic(fit)| = {:.1} percentage points",
+        100.0 * gap
+    );
+    println!(
+        "network sizes: natural {} reactions / {} species, synthetic {} reactions / {} species",
         LambdaModel::crn(&natural).reactions().len(),
         LambdaModel::crn(&natural).species_len(),
         LambdaModel::crn(&synthetic).reactions().len(),
         LambdaModel::crn(&synthetic).species_len(),
     );
-    println!("(the paper's natural model has 117 reactions / 61 species; its synthesized model 19 / 17)");
+    println!(
+        "(the paper's natural model has 117 reactions / 61 species; its synthesized model 19 / 17)"
+    );
 }

@@ -63,7 +63,9 @@ impl Args {
         let mut iter = args.into_iter();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
-                return Err(format!("unexpected argument `{key}` (expected `--name value`)"));
+                return Err(format!(
+                    "unexpected argument `{key}` (expected `--name value`)"
+                ));
             };
             if !allowed.contains(&name) {
                 return Err(format!(
@@ -145,7 +147,11 @@ impl Table {
     ///
     /// Panics if the row length differs from the header length.
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells.to_vec());
     }
 
@@ -190,7 +196,9 @@ mod tests {
     #[test]
     fn args_parse_known_options() {
         let args = Args::parse_from(
-            ["--trials", "50", "--gamma", "1e3"].iter().map(|s| s.to_string()),
+            ["--trials", "50", "--gamma", "1e3"]
+                .iter()
+                .map(|s| s.to_string()),
             &["trials", "gamma"],
         )
         .unwrap();
@@ -203,21 +211,13 @@ mod tests {
 
     #[test]
     fn args_reject_unknown_and_malformed_options() {
-        assert!(Args::parse_from(
-            ["--nope", "1"].iter().map(|s| s.to_string()),
-            &["trials"]
-        )
-        .is_err());
-        assert!(Args::parse_from(
-            ["trials", "1"].iter().map(|s| s.to_string()),
-            &["trials"]
-        )
-        .is_err());
-        assert!(Args::parse_from(
-            ["--trials"].iter().map(|s| s.to_string()),
-            &["trials"]
-        )
-        .is_err());
+        assert!(
+            Args::parse_from(["--nope", "1"].iter().map(|s| s.to_string()), &["trials"]).is_err()
+        );
+        assert!(
+            Args::parse_from(["trials", "1"].iter().map(|s| s.to_string()), &["trials"]).is_err()
+        );
+        assert!(Args::parse_from(["--trials"].iter().map(|s| s.to_string()), &["trials"]).is_err());
     }
 
     #[test]

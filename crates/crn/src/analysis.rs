@@ -39,7 +39,11 @@ impl StoichiometryMatrix {
                 entries[term.species.index() * reactions_len + r] += i64::from(term.coefficient);
             }
         }
-        StoichiometryMatrix { species_len, reactions_len, entries }
+        StoichiometryMatrix {
+            species_len,
+            reactions_len,
+            entries,
+        }
     }
 
     /// Returns the number of species (rows).
@@ -206,7 +210,9 @@ impl ConservationLaw {
     /// Returns the (species index, weight) pairs of the law, sorted by
     /// species index.
     pub fn weights(&self) -> impl Iterator<Item = (SpeciesId, i64)> + '_ {
-        self.weights.iter().map(|(&i, &w)| (SpeciesId::from_index(i), w))
+        self.weights
+            .iter()
+            .map(|(&i, &w)| (SpeciesId::from_index(i), w))
     }
 
     /// Evaluates the conserved quantity in the given state counts.
@@ -330,7 +336,11 @@ impl NetworkSummary {
         if crn.reactions().is_empty() {
             min_rate = 0.0;
         }
-        let rate_span = if min_rate > 0.0 { max_rate / min_rate } else { 0.0 };
+        let rate_span = if min_rate > 0.0 {
+            max_rate / min_rate
+        } else {
+            0.0
+        };
         NetworkSummary {
             species: crn.species_len(),
             reactions: crn.reactions().len(),
@@ -385,10 +395,7 @@ mod tests {
         let s = crn.stoichiometry();
         for law in &laws {
             for r in 0..s.reactions_len() {
-                let delta: i64 = law
-                    .weights()
-                    .map(|(sp, w)| w * s.net_change(sp, r))
-                    .sum();
+                let delta: i64 = law.weights().map(|(sp, w)| w * s.net_change(sp, r)).sum();
                 assert_eq!(delta, 0, "law {law} violated by reaction {r}");
             }
         }
@@ -398,7 +405,9 @@ mod tests {
     fn conservation_law_evaluation() {
         let crn = dimer_crn();
         let laws = crn.stoichiometry().conservation_laws();
-        let state0 = crn.state_from_counts([("a", 5), ("b", 3), ("c", 0)]).unwrap();
+        let state0 = crn
+            .state_from_counts([("a", 5), ("b", 3), ("c", 0)])
+            .unwrap();
         let mut state1 = state0.clone();
         state1.apply(&crn.reactions()[0]).unwrap();
         for law in &laws {

@@ -96,7 +96,10 @@ impl CrnBuilder {
             .max()
         {
             if max >= self.species.len() {
-                return Err(CrnError::SpeciesOutOfRange { index: max, len: self.species.len() });
+                return Err(CrnError::SpeciesOutOfRange {
+                    index: max,
+                    len: self.species.len(),
+                });
             }
         }
         self.reactions.push(reaction);
@@ -238,7 +241,12 @@ mod tests {
         let mut b = CrnBuilder::new();
         let e = b.species("e1");
         let d = b.species("d1");
-        b.reaction().reactant(e, 1).product(d, 1).rate(1.0).add().unwrap();
+        b.reaction()
+            .reactant(e, 1)
+            .product(d, 1)
+            .rate(1.0)
+            .add()
+            .unwrap();
         assert_eq!(b.reactions_len(), 1);
         let crn = b.build().unwrap();
         assert_eq!(crn.species_len(), 2);

@@ -20,7 +20,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { show_labels: true, show_rates: true }
+        DotOptions {
+            show_labels: true,
+            show_rates: true,
+        }
     }
 }
 
@@ -116,7 +119,10 @@ mod tests {
         let crn = example_crn();
         let dot = crn.to_dot();
         for name in ["e1", "d1", "d2"] {
-            assert!(dot.contains(&format!("\"{name}\" [shape=ellipse]")), "missing {name}");
+            assert!(
+                dot.contains(&format!("\"{name}\" [shape=ellipse]")),
+                "missing {name}"
+            );
         }
         assert!(dot.contains("\"r0\""));
         assert!(dot.contains("\"r1\""));
@@ -129,7 +135,10 @@ mod tests {
     #[test]
     fn options_can_hide_rates_and_labels() {
         let crn = example_crn();
-        let bare = crn.to_dot_with(DotOptions { show_labels: false, show_rates: false });
+        let bare = crn.to_dot_with(DotOptions {
+            show_labels: false,
+            show_rates: false,
+        });
         assert!(!bare.contains("initializing"));
         assert!(!bare.contains("k=1"));
         assert!(bare.contains("label=\"r0\""));

@@ -85,9 +85,16 @@ mod tests {
             CrnError::EmptyReaction,
             CrnError::UnknownSpecies { name: "zz".into() },
             CrnError::SpeciesOutOfRange { index: 9, len: 3 },
-            CrnError::InsufficientReactants { reaction: "a -> b".into() },
-            CrnError::Parse { line: 2, message: "missing `->`".into() },
-            CrnError::Validation { message: "dangling species".into() },
+            CrnError::InsufficientReactants {
+                reaction: "a -> b".into(),
+            },
+            CrnError::Parse {
+                line: 2,
+                message: "missing `->`".into(),
+            },
+            CrnError::Validation {
+                message: "dangling species".into(),
+            },
         ];
         for err in cases {
             let text = err.to_string();

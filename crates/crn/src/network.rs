@@ -78,7 +78,11 @@ impl Crn {
                 }
             }
         }
-        Ok(Crn { species, reactions, name_index })
+        Ok(Crn {
+            species,
+            reactions,
+            name_index,
+        })
     }
 
     /// Returns the number of species in the network.
@@ -113,7 +117,9 @@ impl Crn {
     /// Returns [`CrnError::UnknownSpecies`] if no species has that name.
     pub fn require_species(&self, name: &str) -> Result<SpeciesId, CrnError> {
         self.species_id(name)
-            .ok_or_else(|| CrnError::UnknownSpecies { name: name.to_string() })
+            .ok_or_else(|| CrnError::UnknownSpecies {
+                name: name.to_string(),
+            })
     }
 
     /// Returns the name of the species with the given id.
@@ -206,7 +212,9 @@ impl Crn {
             let remap_terms = |terms: &[crate::reaction::ReactionTerm]| {
                 terms
                     .iter()
-                    .map(|t| crate::reaction::ReactionTerm::new(remap[t.species.index()], t.coefficient))
+                    .map(|t| {
+                        crate::reaction::ReactionTerm::new(remap[t.species.index()], t.coefficient)
+                    })
                     .collect::<Vec<_>>()
             };
             let new = match r.label() {
@@ -216,7 +224,11 @@ impl Crn {
                     r.rate(),
                     label,
                 )?,
-                None => Reaction::new(remap_terms(r.reactants()), remap_terms(r.products()), r.rate())?,
+                None => Reaction::new(
+                    remap_terms(r.reactants()),
+                    remap_terms(r.products()),
+                    r.rate(),
+                )?,
             };
             reactions.push(new);
         }
@@ -314,7 +326,12 @@ mod tests {
         let mut b = CrnBuilder::new();
         let a = b.species("a");
         let c = b.species("c");
-        b.reaction().reactant(a, 1).product(c, 2).rate(10.0).add().unwrap();
+        b.reaction()
+            .reactant(a, 1)
+            .product(c, 2)
+            .rate(10.0)
+            .add()
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -344,7 +361,11 @@ mod tests {
         assert_eq!(merged.species_len(), 3);
         assert_eq!(merged.reactions().len(), 2);
         // The shared species `b` appears exactly once.
-        let names: Vec<_> = merged.species().iter().map(|s| s.name().to_string()).collect();
+        let names: Vec<_> = merged
+            .species()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
         assert_eq!(names.iter().filter(|n| n.as_str() == "b").count(), 1);
     }
 
@@ -380,7 +401,10 @@ mod tests {
     fn from_parts_rejects_out_of_range_reaction() {
         let species = vec![Species::new(SpeciesId::from_index(0), "a")];
         let r = Reaction::new(
-            vec![crate::reaction::ReactionTerm::new(SpeciesId::from_index(3), 1)],
+            vec![crate::reaction::ReactionTerm::new(
+                SpeciesId::from_index(3),
+                1,
+            )],
             vec![],
             1.0,
         )

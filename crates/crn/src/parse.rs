@@ -37,7 +37,10 @@ pub fn parse_network(text: &str) -> Result<Crn, CrnError> {
 
 fn split_comment(line: &str) -> (&str, Option<&str>) {
     match line.find('#') {
-        Some(pos) => (&line[..pos], Some(line[pos + 1..].trim()).filter(|c| !c.is_empty())),
+        Some(pos) => (
+            &line[..pos],
+            Some(line[pos + 1..].trim()).filter(|c| !c.is_empty()),
+        ),
         None => (line, None),
     }
 }
@@ -110,7 +113,9 @@ fn parse_term(term: &str) -> Result<(String, u32), String> {
         return Ok((second.to_string(), coeff));
     }
     // Single token: split leading digits from the name if any.
-    let digits_end = first.find(|c: char| !c.is_ascii_digit()).unwrap_or(first.len());
+    let digits_end = first
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(first.len());
     let (digits, name) = first.split_at(digits_end);
     if name.is_empty() {
         return Err(format!("term `{term}` has no species name"));
@@ -170,9 +175,16 @@ mod tests {
 
     #[test]
     fn parses_empty_product_side() {
-        for notation in ["d1 + d2 -> 0 @ 1e6", "d1 + d2 -> ∅ @ 1e6", "d1 + d2 ->  @ 1e6"] {
+        for notation in [
+            "d1 + d2 -> 0 @ 1e6",
+            "d1 + d2 -> ∅ @ 1e6",
+            "d1 + d2 ->  @ 1e6",
+        ] {
             let crn = parse_network(notation).unwrap();
-            assert!(crn.reactions()[0].products().is_empty(), "notation: {notation}");
+            assert!(
+                crn.reactions()[0].products().is_empty(),
+                "notation: {notation}"
+            );
         }
     }
 

@@ -28,8 +28,14 @@ impl ReactionTerm {
     /// Panics if `coefficient` is zero; zero-coefficient terms are
     /// meaningless and are rejected during reaction validation anyway.
     pub fn new(species: SpeciesId, coefficient: u32) -> Self {
-        assert!(coefficient > 0, "stoichiometric coefficients must be positive");
-        ReactionTerm { species, coefficient }
+        assert!(
+            coefficient > 0,
+            "stoichiometric coefficients must be positive"
+        );
+        ReactionTerm {
+            species,
+            coefficient,
+        }
     }
 }
 

@@ -63,7 +63,10 @@ pub struct Species {
 impl Species {
     /// Creates a new species record.
     pub(crate) fn new(id: SpeciesId, name: impl Into<String>) -> Self {
-        Species { id, name: name.into() }
+        Species {
+            id,
+            name: name.into(),
+        }
     }
 
     /// Returns the identifier of this species.

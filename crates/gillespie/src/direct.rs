@@ -4,23 +4,40 @@ use crn::{Crn, State};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::propensity::propensities;
+use crate::engine::ReactionDependencyGraph;
+use crate::propensity::{propensities, propensity};
 use crate::simulator::{SsaStepper, StepOutcome};
 
-/// Gillespie's direct method (Gillespie 1977).
+/// Gillespie's direct method (Gillespie 1977), with incremental propensity
+/// maintenance.
 ///
 /// At each step the method draws the waiting time to the next reaction from
 /// an exponential distribution with rate equal to the total propensity, and
 /// then picks *which* reaction fires with probability proportional to each
-/// reaction's propensity. Both draws use a single pass over the propensity
-/// vector, so each step costs `O(R)` in the number of reactions.
+/// reaction's propensity.
+///
+/// The classic formulation recomputes every propensity from the state on
+/// every step, costing `O(R · terms)` per event. This implementation instead
+/// keeps the propensity vector up to date through the engine's
+/// [`ReactionDependencyGraph`]: after reaction `r` fires, only the
+/// propensities of `dependents(r)` are re-evaluated, so the per-event cost
+/// drops to `O(R)` cheap additions (for the total and the CDF scan) plus
+/// `O(D)` propensity evaluations, where `D` is the dependency out-degree.
+///
+/// Because a propensity is a pure function of the state, the incrementally
+/// maintained vector is *bitwise identical* to a full recompute, and the
+/// total is summed in index order exactly as the full path does — so the
+/// trajectory (every chosen reaction, every waiting time) is bit-for-bit the
+/// same as the textbook implementation on the same seed. A regression test
+/// in `tests/determinism.rs` pins this equivalence event-for-event.
 ///
 /// This is the reference algorithm used by the paper's Monte-Carlo
 /// experiments; see [`NextReactionMethod`](crate::NextReactionMethod) for a
-/// variant that scales better with network size.
+/// variant that also avoids the `O(R)` scan.
 #[derive(Debug, Default, Clone)]
 pub struct DirectMethod {
     propensities: Vec<f64>,
+    deps: ReactionDependencyGraph,
 }
 
 impl DirectMethod {
@@ -31,9 +48,9 @@ impl DirectMethod {
 }
 
 impl SsaStepper for DirectMethod {
-    fn initialize(&mut self, crn: &Crn, _state: &State, _rng: &mut StdRng) {
-        self.propensities.clear();
-        self.propensities.reserve(crn.reactions().len());
+    fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
+        propensities(crn, state, &mut self.propensities);
+        self.deps.rebuild(crn);
     }
 
     fn step(
@@ -43,7 +60,9 @@ impl SsaStepper for DirectMethod {
         time: &mut f64,
         rng: &mut StdRng,
     ) -> StepOutcome {
-        let total = propensities(crn, state, &mut self.propensities);
+        // Sum in index order: bitwise identical to the full-recompute path,
+        // which accumulates the total while filling the vector.
+        let total: f64 = self.propensities.iter().sum();
         if total <= 0.0 {
             return StepOutcome::Exhausted;
         }
@@ -70,6 +89,10 @@ impl SsaStepper for DirectMethod {
         state
             .apply(&crn.reactions()[chosen])
             .expect("selected reaction must be fireable: propensity was positive");
+        // Refresh only the propensities the firing could have changed.
+        for &dep in self.deps.dependents(chosen) {
+            self.propensities[dep] = propensity(&crn.reactions()[dep], state);
+        }
         StepOutcome::Fired { reaction: chosen }
     }
 
@@ -89,7 +112,11 @@ mod tests {
         let crn: Crn = "a + b -> c @ 0.1\nc -> a + b @ 0.2".parse().unwrap();
         let initial = crn.state_from_counts([("a", 50), ("b", 40)]).unwrap();
         let result = Simulation::new(&crn, DirectMethod::new())
-            .options(SimulationOptions::new().seed(11).stop(StopCondition::events(5_000)))
+            .options(
+                SimulationOptions::new()
+                    .seed(11)
+                    .stop(StopCondition::events(5_000)),
+            )
             .run(&initial)
             .unwrap();
         let a = crn.species_id("a").unwrap();
@@ -133,7 +160,10 @@ mod tests {
             total_time += result.final_time;
         }
         let mean = total_time / trials as f64;
-        assert!((mean - 0.25).abs() < 0.02, "mean waiting time {mean}, expected 0.25");
+        assert!(
+            (mean - 0.25).abs() < 0.02,
+            "mean waiting time {mean}, expected 0.25"
+        );
     }
 
     #[test]
@@ -146,5 +176,33 @@ mod tests {
             .unwrap();
         assert_eq!(result.events, 0);
         assert_eq!(result.final_time, 0.0);
+    }
+
+    #[test]
+    fn incremental_propensities_track_the_state() {
+        // Drive a coupled network for many steps and verify the maintained
+        // vector equals a fresh full recompute after every event.
+        let crn: Crn = "a + b -> c @ 0.05\nc -> a + b @ 1\nb -> d @ 0.1\nd -> b @ 0.2"
+            .parse()
+            .unwrap();
+        let initial = crn.state_from_counts([("a", 30), ("b", 25)]).unwrap();
+        let mut rng = {
+            use rand::SeedableRng;
+            StdRng::seed_from_u64(99)
+        };
+        let mut method = DirectMethod::new();
+        let mut state = initial.clone();
+        let mut time = 0.0;
+        method.initialize(&crn, &state, &mut rng);
+        for event in 0..2_000 {
+            match method.step(&crn, &mut state, &mut time, &mut rng) {
+                StepOutcome::Fired { .. } => {
+                    let mut fresh = Vec::new();
+                    propensities(&crn, &state, &mut fresh);
+                    assert_eq!(method.propensities, fresh, "drift after event {event}");
+                }
+                StepOutcome::Exhausted => break,
+            }
+        }
     }
 }

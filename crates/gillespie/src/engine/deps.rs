@@ -1,0 +1,192 @@
+//! The shared reaction dependency graph of the execution engine.
+
+use crn::Crn;
+
+/// Which reaction propensities change when a given reaction fires.
+///
+/// This is the Gibson–Bruck dependency graph in a flat CSR (compressed
+/// sparse row) layout tuned for the simulation hot path: one contiguous
+/// `targets` array plus per-reaction offsets, so `dependents(r)` is a slice
+/// lookup with no pointer chasing. The analysis-oriented
+/// [`crn::DependencyGraph`] remains the right type for structural queries;
+/// this one is what the steppers use every event.
+///
+/// A graph is owned by a stepper and [rebuilt](Self::rebuild) at the start
+/// of each trajectory. Rebuilding reuses all internal allocations, so a
+/// stepper that runs thousands of ensemble trials of the same network
+/// allocates only on its first trial.
+///
+/// Reaction `r` depends on reaction `f` when `f` changes the count of at
+/// least one reactant of `r`; every reaction depends on itself (its own
+/// reactant counts change when it fires, and even a catalytic self-loop
+/// must redraw its waiting time).
+#[derive(Debug, Default, Clone)]
+pub struct ReactionDependencyGraph {
+    /// `targets[offsets[r]..offsets[r + 1]]` = sorted dependents of `r`.
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    /// Scratch: CSR of consumers per species, reused across rebuilds.
+    consumer_offsets: Vec<usize>,
+    consumer_targets: Vec<usize>,
+    /// Scratch: per-species fill cursor while building `consumer_targets`.
+    cursor: Vec<usize>,
+    /// Scratch: dependents of the reaction currently being built.
+    row: Vec<usize>,
+}
+
+impl ReactionDependencyGraph {
+    /// Creates an empty graph; call [`rebuild`](Self::rebuild) before use.
+    pub fn new() -> Self {
+        ReactionDependencyGraph::default()
+    }
+
+    /// Builds the graph of `crn` in one pass, reusing prior allocations.
+    pub fn rebuild(&mut self, crn: &Crn) {
+        let reactions = crn.reactions();
+        let species_len = crn.species_len();
+
+        // Pass 1: CSR of "which reactions consume species s".
+        self.consumer_offsets.clear();
+        self.consumer_offsets.resize(species_len + 1, 0);
+        for r in reactions {
+            for term in r.reactants() {
+                self.consumer_offsets[term.species.index() + 1] += 1;
+            }
+        }
+        for s in 0..species_len {
+            self.consumer_offsets[s + 1] += self.consumer_offsets[s];
+        }
+        self.consumer_targets.clear();
+        self.consumer_targets
+            .resize(*self.consumer_offsets.last().unwrap_or(&0), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.consumer_offsets);
+        for (idx, r) in reactions.iter().enumerate() {
+            for term in r.reactants() {
+                let slot = &mut self.cursor[term.species.index()];
+                self.consumer_targets[*slot] = idx;
+                *slot += 1;
+            }
+        }
+
+        // Pass 2: dependents of each reaction = itself plus every consumer
+        // of a species whose count the firing actually changes.
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+        for (idx, r) in reactions.iter().enumerate() {
+            self.row.clear();
+            self.row.push(idx);
+            // Walk the raw term lists rather than `Reaction::species()`,
+            // which allocates a deduplicated Vec per call; a species present
+            // on both sides is visited twice, but the sort+dedup below
+            // already absorbs that.
+            for term in r.reactants().iter().chain(r.products()) {
+                if r.net_change(term.species) != 0 {
+                    let s = term.species.index();
+                    let consumers = &self.consumer_targets
+                        [self.consumer_offsets[s]..self.consumer_offsets[s + 1]];
+                    self.row.extend_from_slice(consumers);
+                }
+            }
+            self.row.sort_unstable();
+            self.row.dedup();
+            self.targets.extend_from_slice(&self.row);
+            self.offsets.push(self.targets.len());
+        }
+    }
+
+    /// Returns the reactions whose propensities must be refreshed after
+    /// `reaction` fires, sorted ascending and including `reaction` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reaction` is out of range for the network this graph was
+    /// last rebuilt for.
+    #[inline]
+    pub fn dependents(&self, reaction: usize) -> &[usize] {
+        &self.targets[self.offsets[reaction]..self.offsets[reaction + 1]]
+    }
+
+    /// Returns the number of reactions covered by the graph.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if the graph covers no reactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the mean out-degree — how many propensities an average firing
+    /// invalidates, and therefore how much incremental steppers save.
+    pub fn mean_out_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.targets.len() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(text: &str) -> ReactionDependencyGraph {
+        let crn: Crn = text.parse().unwrap();
+        let mut g = ReactionDependencyGraph::new();
+        g.rebuild(&crn);
+        g
+    }
+
+    #[test]
+    fn matches_the_analysis_graph_on_a_cycle() {
+        let text = "a -> b @ 1\nb -> c @ 1\nc -> a @ 1";
+        let g = graph_of(text);
+        let reference: Crn = text.parse().unwrap();
+        let analysis = reference.dependency_graph();
+        assert_eq!(g.len(), analysis.len());
+        for r in 0..g.len() {
+            assert_eq!(g.dependents(r), analysis.dependents(r), "reaction {r}");
+        }
+    }
+
+    #[test]
+    fn catalysts_do_not_propagate() {
+        let g = graph_of("cat + x -> cat + y @ 1\ncat + z -> w @ 1");
+        // The catalyst count never changes, so reaction 1 is unaffected by 0.
+        assert_eq!(g.dependents(0), &[0]);
+        assert_eq!(g.dependents(1), &[0, 1]);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_replaces() {
+        let small: Crn = "a -> b @ 1".parse().unwrap();
+        let big: Crn = "a -> b @ 1\nb -> a @ 1\nb -> c @ 1".parse().unwrap();
+        let mut g = ReactionDependencyGraph::new();
+        g.rebuild(&big);
+        assert_eq!(g.len(), 3);
+        g.rebuild(&small);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.dependents(0), &[0]);
+        g.rebuild(&big);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.dependents(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_network_yields_empty_graph() {
+        let crn = crn::CrnBuilder::new().build().unwrap();
+        let mut g = ReactionDependencyGraph::new();
+        g.rebuild(&crn);
+        assert!(g.is_empty());
+        assert_eq!(g.mean_out_degree(), 0.0);
+    }
+
+    #[test]
+    fn mean_out_degree_counts_edges() {
+        let g = graph_of("a -> b @ 1\nb -> a @ 1");
+        // Each reaction invalidates both.
+        assert!((g.mean_out_degree() - 2.0).abs() < 1e-12);
+    }
+}

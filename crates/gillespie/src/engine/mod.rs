@@ -1,0 +1,27 @@
+//! The reusable execution engine underneath the SSA steppers and ensembles.
+//!
+//! This layer owns the machinery every exact-SSA variant shares, so that the
+//! steppers themselves stay small:
+//!
+//! * [`ReactionDependencyGraph`] — which propensities a firing invalidates,
+//!   in a flat CSR layout rebuilt allocation-free per trajectory. Both the
+//!   incremental [`DirectMethod`](crate::DirectMethod) and the Gibson–Bruck
+//!   [`NextReactionMethod`](crate::NextReactionMethod) drive their updates
+//!   from it.
+//! * [`run_chunked`] — deterministic fan-out of independent trials over
+//!   scoped worker threads with cooperative cancellation ([`CancelToken`]),
+//!   returning per-worker partial results in worker order. The Monte-Carlo
+//!   [`Ensemble`](crate::Ensemble) runner is a thin client of this function,
+//!   and new parallel workloads (parameter sweeps, distribution fitting)
+//!   can reuse it directly.
+//!
+//! Determinism contract: trial `i` always derives its RNG from
+//! `master_seed + i`, partitioning is a pure function of `(threads, trials)`
+//! and partials merge in worker order — so every ensemble statistic is
+//! bit-identical regardless of thread count.
+
+mod deps;
+mod pool;
+
+pub use deps::ReactionDependencyGraph;
+pub use pool::{run_chunked, CancelToken, TrialRange};

@@ -1,0 +1,182 @@
+//! Deterministic chunked fan-out of independent trials over scoped threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A cooperative cancellation flag shared by the workers of one fan-out.
+///
+/// Workers poll [`is_cancelled`](Self::is_cancelled) between trials and stop
+/// early once any worker has failed; [`run_chunked`] raises the flag
+/// automatically when a worker returns an error.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// Creates an un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once any party has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The contiguous block of trial indices assigned to one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRange {
+    /// First trial index (inclusive).
+    pub start: u64,
+    /// One past the last trial index.
+    pub end: u64,
+    /// Index of the worker executing this range.
+    pub worker: usize,
+}
+
+impl TrialRange {
+    /// Returns the trial indices of the range in ascending order.
+    pub fn trials(&self) -> std::ops::Range<u64> {
+        self.start..self.end
+    }
+
+    /// Returns the number of trials in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Runs `trials` independent tasks across up to `threads` scoped workers and
+/// returns each worker's partial result **in worker order**.
+///
+/// The partitioning is a pure function of `(threads, trials)`: worker `w`
+/// owns the contiguous range `[w·⌈trials/threads⌉, (w+1)·⌈trials/threads⌉)`
+/// clamped to `trials`. Because every trial seeds its own RNG from the trial
+/// index, and because callers merge the returned partials in the worker
+/// order this function guarantees, results are bit-identical for any thread
+/// count — the foundation of the ensemble's determinism contract.
+///
+/// Error handling: if any worker returns an error, the shared [`CancelToken`]
+/// is raised so the remaining workers finish their current trial and stop,
+/// and the error of the lowest-indexed failed worker is returned.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn run_chunked<P, E, F>(threads: usize, trials: u64, worker: F) -> Result<Vec<P>, E>
+where
+    P: Send,
+    E: Send,
+    F: Fn(TrialRange, &CancelToken) -> Result<P, E> + Sync,
+{
+    if trials == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1);
+    let chunk = trials.div_ceil(threads as u64);
+    let cancel = CancelToken::new();
+
+    let outcomes: Vec<Result<P, E>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads as u64 {
+            let start = w * chunk;
+            let end = (start + chunk).min(trials);
+            if start >= end {
+                break;
+            }
+            let range = TrialRange {
+                start,
+                end,
+                worker: w as usize,
+            };
+            let worker = &worker;
+            let cancel = &cancel;
+            handles.push(scope.spawn(move || {
+                let outcome = worker(range, cancel);
+                if outcome.is_err() {
+                    cancel.cancel();
+                }
+                outcome
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ensemble worker must not panic"))
+            .collect()
+    });
+
+    let mut partials = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        partials.push(outcome?);
+    }
+    Ok(partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_all_trials_exactly_once() {
+        for threads in [1usize, 2, 3, 8, 16] {
+            for trials in [1u64, 2, 7, 16, 100] {
+                let partials: Vec<Vec<u64>> = run_chunked(threads, trials, |range, _| {
+                    Ok::<_, ()>(range.trials().collect())
+                })
+                .unwrap();
+                let flat: Vec<u64> = partials.into_iter().flatten().collect();
+                // Worker-order concatenation is exactly trial order.
+                assert_eq!(flat, (0..trials).collect::<Vec<_>>(), "{threads}x{trials}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trials_spawns_nothing() {
+        let partials = run_chunked(8, 0, |_, _| -> Result<u64, ()> {
+            unreachable!("no range to run")
+        })
+        .unwrap();
+        assert!(partials.is_empty());
+    }
+
+    #[test]
+    fn errors_cancel_and_propagate() {
+        let err = run_chunked(4, 100, |range, cancel| {
+            if range.worker == 0 {
+                Err(format!("worker {} failed", range.worker))
+            } else {
+                // Cooperative workers observe the cancellation quickly.
+                for _ in range.trials() {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                Ok(range.len())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "worker 0 failed");
+    }
+
+    #[test]
+    fn single_thread_runs_everything_inline_order() {
+        let partials = run_chunked(1, 10, |range, _| {
+            Ok::<_, ()>((range.worker, range.start, range.end))
+        })
+        .unwrap();
+        assert_eq!(partials, vec![(0, 0, 10)]);
+    }
+}

@@ -2,20 +2,32 @@
 //!
 //! Every figure in the paper is a Monte-Carlo estimate: run many independent
 //! trajectories of the same network, classify each one, and report the
-//! empirical outcome distribution. [`Ensemble`] does exactly that, spreading
-//! trials across threads while keeping results *independent of the thread
-//! count*: trial `i` always uses the seed `master_seed + i`, so a report is
-//! reproducible from its seed alone.
+//! empirical outcome distribution. [`Ensemble`] does exactly that on top of
+//! the engine's [`run_chunked`](crate::engine::run_chunked) fan-out, keeping
+//! results *bit-identical regardless of the thread count*:
+//!
+//! * trial `i` always seeds its RNG with `master_seed + i`;
+//! * every worker owns a contiguous trial range and a private accumulator —
+//!   no locks anywhere on the hot path;
+//! * partial results merge in worker order, and floating-point statistics
+//!   are reduced in trial order, so even `mean_final_time` is the same to
+//!   the last bit for `threads = 1` and `threads = 64`.
+//!
+//! Each worker also recycles its stepper and state allocations across all of
+//! its trials, so an `N`-trial ensemble performs `O(threads)` setup
+//! allocations rather than `O(N)`.
 
 use std::collections::BTreeMap;
 
 use crn::{Crn, State};
-use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::run_chunked;
 use crate::error::SimulationError;
 use crate::outcome::{Outcome, OutcomeClassifier};
-use crate::simulator::{run_with, SimulationOptions, SsaMethod};
+use crate::simulator::{run_trial, SimulationOptions, SsaMethod};
 
 /// Options controlling an ensemble run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -85,7 +97,9 @@ impl EnsembleOptions {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -151,6 +165,20 @@ impl EnsembleReport {
     }
 }
 
+/// One worker's private accumulator: merged into the report in worker order
+/// after every worker has finished.
+struct WorkerPartial {
+    counts: BTreeMap<Outcome, u64>,
+    undecided: u64,
+    total_events: u64,
+    /// Final simulated time of each trial in the worker's range, in trial
+    /// order. Kept per-trial (rather than pre-summed) so the global
+    /// reduction happens in trial order: floating-point addition is not
+    /// associative, and summing per-worker subtotals would make
+    /// `mean_final_time` depend on the thread count.
+    final_times: Vec<f64>,
+}
+
 /// A Monte-Carlo ensemble of one network, one initial state and one outcome
 /// classifier.
 ///
@@ -187,7 +215,12 @@ where
 {
     /// Creates an ensemble over `crn` starting from `initial`.
     pub fn new(crn: &'a Crn, initial: State, classifier: C) -> Self {
-        Ensemble { crn, initial, classifier, options: EnsembleOptions::default() }
+        Ensemble {
+            crn,
+            initial,
+            classifier,
+            options: EnsembleOptions::default(),
+        }
     }
 
     /// Replaces the ensemble options.
@@ -216,86 +249,62 @@ where
             });
         }
 
-        let threads = self.options.effective_threads().max(1);
+        let threads = self.options.effective_threads();
         let trials = self.options.trials;
-        let chunk = trials.div_ceil(threads as u64);
 
-        struct Partial {
-            counts: BTreeMap<Outcome, u64>,
-            undecided: u64,
-            total_events: u64,
-            total_time: f64,
-        }
-
-        let aggregate: Mutex<Partial> = Mutex::new(Partial {
-            counts: BTreeMap::new(),
-            undecided: 0,
-            total_events: 0,
-            total_time: 0.0,
-        });
-        let error: Mutex<Option<SimulationError>> = Mutex::new(None);
-
-        crossbeam::scope(|scope| {
-            for worker in 0..threads as u64 {
-                let start = worker * chunk;
-                let end = (start + chunk).min(trials);
-                if start >= end {
-                    continue;
+        let partials = run_chunked(threads, trials, |range, cancel| {
+            let mut stepper = self.options.method.stepper();
+            // One state buffer per worker, re-primed from the initial state
+            // each trial; `run_trial` hands the allocation back through the
+            // result's `final_state`.
+            let mut scratch = self.initial.clone();
+            let mut partial = WorkerPartial {
+                counts: BTreeMap::new(),
+                undecided: 0,
+                total_events: 0,
+                final_times: Vec::with_capacity(range.len() as usize),
+            };
+            for trial in range.trials() {
+                if cancel.is_cancelled() {
+                    // Another worker failed; this partial will be discarded.
+                    break;
                 }
-                let aggregate = &aggregate;
-                let error = &error;
-                let crn = self.crn;
-                let initial = &self.initial;
-                let classifier = &self.classifier;
-                let options = &self.options;
-                scope.spawn(move |_| {
-                    let mut stepper = options.method.stepper();
-                    let mut local_counts: BTreeMap<Outcome, u64> = BTreeMap::new();
-                    let mut local_undecided = 0u64;
-                    let mut local_events = 0u64;
-                    let mut local_time = 0.0f64;
-                    for trial in start..end {
-                        if error.lock().is_some() {
-                            return;
-                        }
-                        let sim_options = options
-                            .simulation
-                            .clone()
-                            .seed(options.master_seed.wrapping_add(trial));
-                        match run_with(crn, stepper.as_mut(), &sim_options, initial) {
-                            Ok(result) => {
-                                local_events += result.events;
-                                local_time += result.final_time;
-                                match classifier.classify(&result) {
-                                    Some(outcome) => {
-                                        *local_counts.entry(outcome).or_insert(0) += 1
-                                    }
-                                    None => local_undecided += 1,
-                                }
-                            }
-                            Err(err) => {
-                                *error.lock() = Some(err);
-                                return;
-                            }
-                        }
-                    }
-                    let mut agg = aggregate.lock();
-                    for (outcome, count) in local_counts {
-                        *agg.counts.entry(outcome).or_insert(0) += count;
-                    }
-                    agg.undecided += local_undecided;
-                    agg.total_events += local_events;
-                    agg.total_time += local_time;
-                });
+                let mut rng = StdRng::seed_from_u64(self.options.master_seed.wrapping_add(trial));
+                scratch.clone_from(&self.initial);
+                let result = run_trial(
+                    self.crn,
+                    stepper.as_mut(),
+                    &self.options.simulation,
+                    scratch,
+                    &mut rng,
+                )?;
+                partial.total_events += result.events;
+                partial.final_times.push(result.final_time);
+                match self.classifier.classify(&result) {
+                    Some(outcome) => *partial.counts.entry(outcome).or_insert(0) += 1,
+                    None => partial.undecided += 1,
+                }
+                scratch = result.final_state;
             }
-        })
-        .expect("ensemble worker threads must not panic");
+            Ok::<_, SimulationError>(partial)
+        })?;
 
-        if let Some(err) = error.into_inner() {
-            return Err(err);
+        // Merge in worker order == trial order (ranges are contiguous and
+        // ascending), so every statistic is thread-count independent.
+        let mut counts: BTreeMap<Outcome, u64> = BTreeMap::new();
+        let mut undecided = 0u64;
+        let mut total_events = 0u64;
+        let mut total_time = 0.0f64;
+        for partial in partials {
+            for (outcome, count) in partial.counts {
+                *counts.entry(outcome).or_insert(0) += count;
+            }
+            undecided += partial.undecided;
+            total_events += partial.total_events;
+            for t in partial.final_times {
+                total_time += t;
+            }
         }
-        let partial = aggregate.into_inner();
-        let mut counts: BTreeMap<Outcome, u64> = partial.counts;
         for outcome in self.classifier.outcomes() {
             counts.entry(outcome).or_insert(0);
         }
@@ -305,9 +314,9 @@ where
                 .into_iter()
                 .map(|(outcome, count)| OutcomeCount { outcome, count })
                 .collect(),
-            undecided: partial.undecided,
-            mean_events: partial.total_events as f64 / trials as f64,
-            mean_final_time: partial.total_time / trials as f64,
+            undecided,
+            mean_events: total_events as f64 / trials as f64,
+            mean_final_time: total_time / trials as f64,
         })
     }
 }
@@ -362,8 +371,8 @@ mod tests {
         };
         let single = run(1);
         let multi = run(4);
-        assert_eq!(single.counts, multi.counts);
-        assert_eq!(single.undecided, multi.undecided);
+        // The whole report — including floating-point means — is identical.
+        assert_eq!(single, multi);
     }
 
     #[test]

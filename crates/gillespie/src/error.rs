@@ -38,7 +38,10 @@ impl fmt::Display for SimulationError {
             ),
             SimulationError::Crn(err) => write!(f, "network error: {err}"),
             SimulationError::EventLimitExceeded { limit } => {
-                write!(f, "simulation exceeded the hard event limit of {limit} reactions")
+                write!(
+                    f,
+                    "simulation exceeded the hard event limit of {limit} reactions"
+                )
             }
             SimulationError::InvalidEnsembleConfig { message } => {
                 write!(f, "invalid ensemble configuration: {message}")
@@ -69,10 +72,15 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let errors = vec![
-            SimulationError::StateSizeMismatch { network: 3, state: 2 },
+            SimulationError::StateSizeMismatch {
+                network: 3,
+                state: 2,
+            },
             SimulationError::Crn(crn::CrnError::EmptyReaction),
             SimulationError::EventLimitExceeded { limit: 100 },
-            SimulationError::InvalidEnsembleConfig { message: "zero trials".into() },
+            SimulationError::InvalidEnsembleConfig {
+                message: "zero trials".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -88,7 +88,12 @@ impl EnsembleReport {
                 self.probability(entry.outcome.as_str())
             );
         }
-        let _ = writeln!(out, "undecided,{},{}", self.undecided, self.undecided_fraction());
+        let _ = writeln!(
+            out,
+            "undecided,{},{}",
+            self.undecided,
+            self.undecided_fraction()
+        );
         out
     }
 }
@@ -105,8 +110,14 @@ mod tests {
     fn trajectory_csv_has_one_row_per_point() {
         let crn: Crn = "a -> b @ 1".parse().unwrap();
         let trajectory: Trajectory = vec![
-            TrajectoryPoint { time: 0.0, state: State::from_counts(vec![2, 0]) },
-            TrajectoryPoint { time: 1.5, state: State::from_counts(vec![1, 1]) },
+            TrajectoryPoint {
+                time: 0.0,
+                state: State::from_counts(vec![2, 0]),
+            },
+            TrajectoryPoint {
+                time: 1.5,
+                state: State::from_counts(vec![1, 1]),
+            },
         ]
         .into_iter()
         .collect();
@@ -126,8 +137,14 @@ mod tests {
         let report = EnsembleReport {
             trials: 10,
             counts: vec![
-                OutcomeCount { outcome: Outcome::new("win"), count: 7 },
-                OutcomeCount { outcome: Outcome::new("lose"), count: 2 },
+                OutcomeCount {
+                    outcome: Outcome::new("win"),
+                    count: 7,
+                },
+                OutcomeCount {
+                    outcome: Outcome::new("lose"),
+                    count: 2,
+                },
             ],
             undecided: 1,
             mean_events: 3.0,

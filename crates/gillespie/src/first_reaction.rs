@@ -52,7 +52,7 @@ impl SsaStepper for FirstReactionMethod {
             }
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let tau = -u.ln() / a;
-            if best.map_or(true, |(_, t)| tau < t) {
+            if best.is_none_or(|(_, t)| tau < t) {
                 best = Some((idx, tau));
             }
         }
@@ -84,7 +84,10 @@ mod tests {
             .unwrap();
         let z = result.final_state.count(crn.species_id("z").unwrap()) as f64;
         let frac = z / 20_000.0;
-        assert!((frac - 0.8).abs() < 0.02, "expected ~80% routed to z, got {frac}");
+        assert!(
+            (frac - 0.8).abs() < 0.02,
+            "expected ~80% routed to z, got {frac}"
+        );
     }
 
     #[test]
@@ -104,7 +107,10 @@ mod tests {
             total += r.final_time;
         }
         let mean = total / trials as f64;
-        assert!((mean - 0.5).abs() < 0.03, "mean completion {mean}, expected 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.03,
+            "mean completion {mean}, expected 0.5"
+        );
     }
 
     #[test]

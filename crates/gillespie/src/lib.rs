@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod direct;
+pub mod engine;
 mod ensemble;
 mod error;
 mod export;
@@ -54,6 +55,7 @@ mod stop;
 mod trajectory;
 
 pub use direct::DirectMethod;
+pub use engine::ReactionDependencyGraph;
 pub use ensemble::{Ensemble, EnsembleOptions, EnsembleReport, OutcomeCount};
 pub use error::SimulationError;
 pub use first_reaction::FirstReactionMethod;

@@ -1,9 +1,10 @@
 //! Gibson–Bruck next-reaction method.
 
-use crn::{Crn, DependencyGraph, State};
+use crn::{Crn, State};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::engine::ReactionDependencyGraph;
 use crate::propensity::propensity;
 use crate::simulator::{SsaStepper, StepOutcome};
 
@@ -11,11 +12,12 @@ use crate::simulator::{SsaStepper, StepOutcome};
 ///
 /// Each reaction carries an absolute putative firing time stored in an
 /// indexed binary min-heap. After a reaction fires, only the reactions that
-/// depend on the changed species (per the network's
-/// [`DependencyGraph`]) have their putative times refreshed — reused via the
-/// scaling rule for unchanged-but-rescaled channels, redrawn otherwise. Each
-/// step therefore costs `O(D log R)` where `D` is the out-degree of the
-/// dependency graph, instead of the direct method's `O(R)`.
+/// depend on the changed species (per the engine's shared
+/// [`ReactionDependencyGraph`]) have their putative times refreshed — reused
+/// via the scaling rule for unchanged-but-rescaled channels, redrawn
+/// otherwise. Each step therefore costs `O(D log R)` where `D` is the
+/// out-degree of the dependency graph, instead of the direct method's
+/// `O(R)`.
 ///
 /// The paper cites this algorithm (its reference \[7\]) as the efficient
 /// simulator for systems with many species and channels; the
@@ -25,7 +27,7 @@ use crate::simulator::{SsaStepper, StepOutcome};
 pub struct NextReactionMethod {
     propensities: Vec<f64>,
     heap: IndexedMinHeap,
-    dependencies: Option<DependencyGraph>,
+    deps: ReactionDependencyGraph,
 }
 
 impl NextReactionMethod {
@@ -50,7 +52,7 @@ impl SsaStepper for NextReactionMethod {
         self.propensities.clear();
         self.propensities.resize(n, 0.0);
         self.heap.reset(n);
-        self.dependencies = Some(crn.dependency_graph());
+        self.deps.rebuild(crn);
         for (idx, reaction) in crn.reactions().iter().enumerate() {
             let a = propensity(reaction, state);
             self.propensities[idx] = a;
@@ -77,11 +79,7 @@ impl SsaStepper for NextReactionMethod {
             .apply(&crn.reactions()[chosen])
             .expect("reaction with finite putative time must be fireable");
 
-        let deps = self
-            .dependencies
-            .as_ref()
-            .expect("initialize() must be called before step()");
-        for &alpha in deps.dependents(chosen) {
+        for &alpha in self.deps.dependents(chosen) {
             let a_new = propensity(&crn.reactions()[alpha], state);
             let a_old = self.propensities[alpha];
             let t_alpha = self.heap.time(alpha);
@@ -286,6 +284,9 @@ mod tests {
             total += r.final_time;
         }
         let mean = total / trials as f64;
-        assert!((mean - 0.2).abs() < 0.02, "mean waiting time {mean}, expected 0.2");
+        assert!(
+            (mean - 0.2).abs() < 0.02,
+            "mean waiting time {mean}, expected 0.2"
+        );
     }
 }

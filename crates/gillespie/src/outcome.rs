@@ -110,7 +110,11 @@ impl SpeciesThresholdClassifier {
 
     /// Adds a rule by species id.
     pub fn rule(mut self, species: SpeciesId, threshold: u64, outcome: impl Into<Outcome>) -> Self {
-        self.rules.push(ThresholdRule { species, threshold, outcome: outcome.into() });
+        self.rules.push(ThresholdRule {
+            species,
+            threshold,
+            outcome: outcome.into(),
+        });
         self
     }
 
@@ -148,7 +152,7 @@ impl OutcomeClassifier for SpeciesThresholdClassifier {
                 } else {
                     count as f64 / rule.threshold as f64
                 };
-                if best.map_or(true, |(m, _)| margin > m) {
+                if best.is_none_or(|(m, _)| margin > m) {
                     best = Some((margin, &rule.outcome));
                 }
             }
@@ -189,7 +193,10 @@ mod tests {
     #[test]
     fn classifies_by_threshold() {
         let c = classifier();
-        assert_eq!(c.classify(&result_with_counts(vec![60, 0])), Some(Outcome::new("lysis")));
+        assert_eq!(
+            c.classify(&result_with_counts(vec![60, 0])),
+            Some(Outcome::new("lysis"))
+        );
         assert_eq!(
             c.classify(&result_with_counts(vec![0, 150])),
             Some(Outcome::new("lysogeny"))

@@ -39,8 +39,7 @@ pub fn propensity(reaction: &Reaction, state: &State) -> f64 {
         if count < u64::from(term.coefficient) {
             return 0.0;
         }
-        combinations *= falling_factorial(count, term.coefficient)
-            / factorial(term.coefficient);
+        combinations *= falling_factorial(count, term.coefficient) / factorial(term.coefficient);
     }
     reaction.rate() * combinations
 }
@@ -73,7 +72,10 @@ fn falling_factorial(n: u64, k: u32) -> f64 {
 }
 
 fn factorial(k: u32) -> f64 {
-    (1..=u64::from(k)).map(|i| i as f64).product::<f64>().max(1.0)
+    (1..=u64::from(k))
+        .map(|i| i as f64)
+        .product::<f64>()
+        .max(1.0)
 }
 
 #[cfg(test)]

@@ -65,8 +65,11 @@ pub enum SsaMethod {
 
 impl SsaMethod {
     /// All built-in methods, convenient for sweeps.
-    pub const ALL: [SsaMethod; 3] =
-        [SsaMethod::Direct, SsaMethod::FirstReaction, SsaMethod::NextReaction];
+    pub const ALL: [SsaMethod; 3] = [
+        SsaMethod::Direct,
+        SsaMethod::FirstReaction,
+        SsaMethod::NextReaction,
+    ];
 
     /// Instantiates a fresh stepper for this method.
     pub fn stepper(self) -> Box<dyn SsaStepper + Send> {
@@ -209,7 +212,11 @@ pub struct Simulation<'a, S> {
 impl<'a, S: SsaStepper> Simulation<'a, S> {
     /// Creates a simulation of `crn` using the given stepper.
     pub fn new(crn: &'a Crn, stepper: S) -> Self {
-        Simulation { crn, stepper, options: SimulationOptions::default() }
+        Simulation {
+            crn,
+            stepper,
+            options: SimulationOptions::default(),
+        }
     }
 
     /// Replaces the simulation options.
@@ -250,25 +257,24 @@ pub(crate) fn run_with(
         });
     }
     let mut rng = options.make_rng();
-    run_with_rng(crn, stepper, options, initial, &mut rng)
+    run_trial(crn, stepper, options, initial.clone(), &mut rng)
 }
 
-/// Runs one trajectory with an explicit RNG (used by the ensemble runner to
-/// derive per-trial seeds from a master seed).
-pub(crate) fn run_with_rng(
+/// Runs one trajectory on an owned, already-primed state with an explicit
+/// RNG. The state's allocation travels into the returned
+/// [`SimulationResult::final_state`], which is how the ensemble engine
+/// recycles one state buffer across thousands of trials (it takes the buffer
+/// back out of the result and re-primes it with `clone_from`). The caller is
+/// responsible for size-checking `state` against `crn`.
+pub(crate) fn run_trial(
     crn: &Crn,
     stepper: &mut dyn SsaStepper,
     options: &SimulationOptions,
-    initial: &State,
+    state: State,
     rng: &mut StdRng,
 ) -> Result<SimulationResult, SimulationError> {
-    if initial.species_len() != crn.species_len() {
-        return Err(SimulationError::StateSizeMismatch {
-            network: crn.species_len(),
-            state: initial.species_len(),
-        });
-    }
-    let mut state = initial.clone();
+    debug_assert_eq!(state.species_len(), crn.species_len());
+    let mut state = state;
     let mut time = 0.0f64;
     let mut events = 0u64;
     let mut recorder = Recorder::new(options.recording);
@@ -280,7 +286,9 @@ pub(crate) fn run_with_rng(
             break StopReason::ConditionMet;
         }
         if events >= options.max_events {
-            return Err(SimulationError::EventLimitExceeded { limit: options.max_events });
+            return Err(SimulationError::EventLimitExceeded {
+                limit: options.max_events,
+            });
         }
         match stepper.step(crn, &mut state, &mut time, rng) {
             StepOutcome::Fired { .. } => {
@@ -328,7 +336,11 @@ mod tests {
         let crn = isomerisation();
         let initial = crn.state_from_counts([("a", 50)]).unwrap();
         let result = Simulation::new(&crn, DirectMethod::new())
-            .options(SimulationOptions::new().seed(1).stop(StopCondition::events(10)))
+            .options(
+                SimulationOptions::new()
+                    .seed(1)
+                    .stop(StopCondition::events(10)),
+            )
             .run(&initial)
             .unwrap();
         assert_eq!(result.events, 10);
@@ -344,7 +356,10 @@ mod tests {
             .options(SimulationOptions::new().seed(1).max_events(100))
             .run(&initial)
             .unwrap_err();
-        assert!(matches!(err, SimulationError::EventLimitExceeded { limit: 100 }));
+        assert!(matches!(
+            err,
+            SimulationError::EventLimitExceeded { limit: 100 }
+        ));
     }
 
     #[test]
@@ -360,9 +375,17 @@ mod tests {
     fn fixed_seed_reproduces_trajectory() {
         let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
         let initial = crn.state_from_counts([("a", 100)]).unwrap();
-        let opts = SimulationOptions::new().seed(99).stop(StopCondition::events(1000));
-        let r1 = Simulation::new(&crn, DirectMethod::new()).options(opts.clone()).run(&initial).unwrap();
-        let r2 = Simulation::new(&crn, DirectMethod::new()).options(opts).run(&initial).unwrap();
+        let opts = SimulationOptions::new()
+            .seed(99)
+            .stop(StopCondition::events(1000));
+        let r1 = Simulation::new(&crn, DirectMethod::new())
+            .options(opts.clone())
+            .run(&initial)
+            .unwrap();
+        let r2 = Simulation::new(&crn, DirectMethod::new())
+            .options(opts)
+            .run(&initial)
+            .unwrap();
         assert_eq!(r1.final_state, r2.final_state);
         assert_eq!(r1.final_time, r2.final_time);
     }
@@ -372,7 +395,11 @@ mod tests {
         let crn = isomerisation();
         let initial = crn.state_from_counts([("a", 10)]).unwrap();
         let result = Simulation::new(&crn, DirectMethod::new())
-            .options(SimulationOptions::new().seed(3).recording(RecordingMode::EveryEvent))
+            .options(
+                SimulationOptions::new()
+                    .seed(3)
+                    .recording(RecordingMode::EveryEvent),
+            )
             .run(&initial)
             .unwrap();
         // initial snapshot + one per event

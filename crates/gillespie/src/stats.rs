@@ -21,7 +21,13 @@ pub struct SpeciesStatistics {
 impl SpeciesStatistics {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        SpeciesStatistics { samples: 0, mean: 0.0, m2: 0.0, min: u64::MAX, max: 0 }
+        SpeciesStatistics {
+            samples: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Adds one observed final count.

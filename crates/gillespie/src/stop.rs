@@ -29,8 +29,10 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum StopCondition {
     /// Stop only when no reaction can fire any more.
+    #[default]
     Exhaustion,
     /// Stop once simulated time reaches the given value.
     Time(f64),
@@ -54,12 +56,6 @@ pub enum StopCondition {
     AnyOf(Vec<StopCondition>),
     /// Stop when all of the nested conditions hold.
     AllOf(Vec<StopCondition>),
-}
-
-impl Default for StopCondition {
-    fn default() -> Self {
-        StopCondition::Exhaustion
-    }
 }
 
 impl StopCondition {
@@ -108,7 +104,10 @@ impl StopCondition {
         name: &str,
         count: u64,
     ) -> Result<Self, crn::CrnError> {
-        Ok(StopCondition::SpeciesAtLeast { species: crn.require_species(name)?, count })
+        Ok(StopCondition::SpeciesAtLeast {
+            species: crn.require_species(name)?,
+            count,
+        })
     }
 
     /// Evaluates the condition.

@@ -90,7 +90,9 @@ impl Trajectory {
 
 impl FromIterator<TrajectoryPoint> for Trajectory {
     fn from_iter<I: IntoIterator<Item = TrajectoryPoint>>(iter: I) -> Self {
-        Trajectory { points: iter.into_iter().collect() }
+        Trajectory {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -104,7 +106,11 @@ pub(crate) struct Recorder {
 
 impl Recorder {
     pub(crate) fn new(mode: RecordingMode) -> Self {
-        Recorder { mode, next_sample_time: 0.0, trajectory: Trajectory::new() }
+        Recorder {
+            mode,
+            next_sample_time: 0.0,
+            trajectory: Trajectory::new(),
+        }
     }
 
     /// Records the initial state unconditionally (except in `FinalOnly` mode).
@@ -193,9 +199,12 @@ mod tests {
 
     #[test]
     fn collect_from_points() {
-        let t: Trajectory = vec![TrajectoryPoint { time: 0.0, state: state(&[1]) }]
-            .into_iter()
-            .collect();
+        let t: Trajectory = vec![TrajectoryPoint {
+            time: 0.0,
+            state: state(&[1]),
+        }]
+        .into_iter()
+        .collect();
         assert_eq!(t.len(), 1);
     }
 }

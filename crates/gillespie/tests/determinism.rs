@@ -1,0 +1,218 @@
+//! Determinism contracts of the parallel execution engine.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Thread-count independence** — an [`Ensemble`] run with a fixed
+//!    master seed produces a bit-identical [`EnsembleReport`] (outcome
+//!    counts *and* floating-point means) for `threads ∈ {1, 2, 8}`.
+//! 2. **Incremental ≡ full recompute** — the dependency-graph-driven
+//!    [`DirectMethod`] reproduces the classic full-recompute direct method
+//!    event for event: same reaction sequence, bitwise-same times and
+//!    states, on the same seed.
+
+use crn::{Crn, State};
+use gillespie::{
+    propensities, DirectMethod, Ensemble, EnsembleOptions, EnsembleReport, RecordingMode,
+    Simulation, SimulationOptions, SpeciesThresholdClassifier, SsaMethod, SsaStepper, StepOutcome,
+    StopCondition,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The textbook direct method, recomputing every propensity from scratch on
+/// every step. This is the seed repository's original implementation, kept
+/// here as the reference the incremental `DirectMethod` must match bit for
+/// bit. It must consume the RNG stream identically (two draws per event).
+#[derive(Debug, Default)]
+struct FullRecomputeDirect {
+    propensities: Vec<f64>,
+}
+
+impl SsaStepper for FullRecomputeDirect {
+    fn initialize(&mut self, crn: &Crn, _state: &State, _rng: &mut StdRng) {
+        self.propensities.clear();
+        self.propensities.reserve(crn.reactions().len());
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total = propensities(crn, state, &mut self.propensities);
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+        let target: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut chosen = self.propensities.len() - 1;
+        for (idx, &a) in self.propensities.iter().enumerate() {
+            acc += a;
+            if target < acc {
+                chosen = idx;
+                break;
+            }
+        }
+        while self.propensities[chosen] <= 0.0 && chosen > 0 {
+            chosen -= 1;
+        }
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable");
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn name(&self) -> &'static str {
+        "direct-full-recompute"
+    }
+}
+
+/// A moderately coupled network exercising competing channels, catalysis and
+/// a reversible dimerisation — enough structure for the dependency graph to
+/// be non-trivial.
+fn coupled_network() -> Crn {
+    "a + b -> c @ 0.05\n\
+     c -> a + b @ 1\n\
+     b -> d @ 0.3\n\
+     d -> b @ 0.7\n\
+     cat + a -> cat + d @ 0.02\n\
+     2 d -> e @ 0.01"
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn incremental_direct_matches_full_recompute_event_for_event() {
+    let crn = coupled_network();
+    let initial = crn
+        .state_from_counts([("a", 40), ("b", 35), ("cat", 3)])
+        .unwrap();
+    for seed in [0u64, 1, 7, 42, 1234, 99999] {
+        let options = SimulationOptions::new()
+            .seed(seed)
+            .stop(StopCondition::events(3_000))
+            .recording(RecordingMode::EveryEvent);
+        let incremental = Simulation::new(&crn, DirectMethod::new())
+            .options(options.clone())
+            .run(&initial)
+            .unwrap();
+        let reference = Simulation::new(&crn, FullRecomputeDirect::default())
+            .options(options)
+            .run(&initial)
+            .unwrap();
+        assert_eq!(incremental.events, reference.events, "seed {seed}");
+        assert_eq!(
+            incremental.stop_reason, reference.stop_reason,
+            "seed {seed}"
+        );
+        assert_eq!(
+            incremental.final_state, reference.final_state,
+            "seed {seed}"
+        );
+        // Bitwise: no tolerance. The incremental path must produce the very
+        // same floating-point trajectory, not a statistically equivalent one.
+        assert_eq!(
+            incremental.final_time.to_bits(),
+            reference.final_time.to_bits(),
+            "seed {seed}"
+        );
+        let inc_points = incremental.trajectory.points();
+        let ref_points = reference.trajectory.points();
+        assert_eq!(inc_points.len(), ref_points.len(), "seed {seed}");
+        for (event, (i, r)) in inc_points.iter().zip(ref_points).enumerate() {
+            assert_eq!(
+                i.time.to_bits(),
+                r.time.to_bits(),
+                "seed {seed}: time diverged at event {event}"
+            );
+            assert_eq!(
+                i.state, r.state,
+                "seed {seed}: state diverged at event {event}"
+            );
+        }
+    }
+}
+
+fn run_coin_ensemble(threads: usize) -> EnsembleReport {
+    let crn: Crn = "x -> h @ 3\nx -> t @ 1".parse().unwrap();
+    let initial = crn.state_from_counts([("x", 1)]).unwrap();
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "h", 1, "heads")
+        .unwrap()
+        .rule_named(&crn, "t", 1, "tails")
+        .unwrap();
+    Ensemble::new(&crn, initial, classifier)
+        .options(
+            EnsembleOptions::new()
+                .trials(2_003) // deliberately not a multiple of any thread count
+                .master_seed(20_260_728)
+                .threads(threads),
+        )
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn ensemble_reports_are_bit_identical_across_thread_counts() {
+    let single = run_coin_ensemble(1);
+    for threads in [2usize, 8] {
+        let multi = run_coin_ensemble(threads);
+        assert_eq!(
+            single.counts, multi.counts,
+            "{threads} threads: counts differ"
+        );
+        assert_eq!(single.undecided, multi.undecided, "{threads} threads");
+        // Floating-point statistics must match to the last bit: the engine
+        // reduces per-trial values in trial order regardless of chunking.
+        assert_eq!(
+            single.mean_events.to_bits(),
+            multi.mean_events.to_bits(),
+            "{threads} threads: mean_events differs"
+        );
+        assert_eq!(
+            single.mean_final_time.to_bits(),
+            multi.mean_final_time.to_bits(),
+            "{threads} threads: mean_final_time differs"
+        );
+    }
+}
+
+#[test]
+fn ensemble_determinism_holds_for_every_ssa_method() {
+    let crn = coupled_network();
+    let initial = crn
+        .state_from_counts([("a", 20), ("b", 20), ("cat", 2)])
+        .unwrap();
+    for method in SsaMethod::ALL {
+        let run = |threads: usize| {
+            let classifier = SpeciesThresholdClassifier::new()
+                .rule_named(&crn, "e", 1, "dimerised")
+                .unwrap();
+            Ensemble::new(&crn, initial.clone(), classifier)
+                .options(
+                    EnsembleOptions::new()
+                        .trials(301)
+                        .master_seed(9)
+                        .threads(threads)
+                        .method(method)
+                        .simulation(SimulationOptions::new().stop(StopCondition::events(500))),
+                )
+                .run()
+                .unwrap()
+        };
+        let single = run(1);
+        let multi = run(8);
+        assert_eq!(single, multi, "{method:?} is not thread-count independent");
+    }
+}
+
+#[test]
+fn master_seed_alone_reproduces_a_report() {
+    let first = run_coin_ensemble(3);
+    let second = run_coin_ensemble(5);
+    assert_eq!(first, second);
+}

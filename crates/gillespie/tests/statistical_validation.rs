@@ -16,7 +16,9 @@ use gillespie::{
 fn immigration_death_process_reaches_poisson_mean() {
     let lambda = 20.0;
     let mu = 2.0;
-    let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}").parse().expect("network");
+    let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}")
+        .parse()
+        .expect("network");
     let a = crn.species_id("a").expect("species");
 
     let mut summary = TrajectorySummary::for_crn(&crn);
@@ -55,7 +57,9 @@ fn reversible_isomerisation_reaches_binomial_equilibrium() {
     let k1 = 3.0;
     let k2 = 1.0;
     let n = 600u64;
-    let crn: Crn = format!("a -> b @ {k1}\nb -> a @ {k2}").parse().expect("network");
+    let crn: Crn = format!("a -> b @ {k1}\nb -> a @ {k2}")
+        .parse()
+        .expect("network");
     let b = crn.species_id("b").expect("species");
     let initial = crn.state_from_counts([("a", n)]).expect("state");
 
@@ -127,7 +131,9 @@ fn pure_death_completion_time_matches_theory() {
 #[test]
 fn competing_channels_split_by_propensity_ratio() {
     for &(ka, kb) in &[(1.0f64, 1.0f64), (2.0, 6.0), (9.0, 1.0)] {
-        let crn: Crn = format!("x -> a @ {ka}\nx -> b @ {kb}").parse().expect("network");
+        let crn: Crn = format!("x -> a @ {ka}\nx -> b @ {kb}")
+            .parse()
+            .expect("network");
         let classifier = SpeciesThresholdClassifier::new()
             .rule_named(&crn, "a", 1, "first")
             .expect("rule")

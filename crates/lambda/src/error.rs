@@ -77,9 +77,14 @@ mod tests {
     #[test]
     fn displays_and_sources() {
         let cases: Vec<LambdaError> = vec![
-            LambdaError::InvalidConfig { message: "no MOI values".into() },
+            LambdaError::InvalidConfig {
+                message: "no MOI values".into(),
+            },
             crn::CrnError::EmptyReaction.into(),
-            synthesis::SynthesisError::InvalidDistribution { message: "x".into() }.into(),
+            synthesis::SynthesisError::InvalidDistribution {
+                message: "x".into(),
+            }
+            .into(),
             gillespie::SimulationError::EventLimitExceeded { limit: 1 }.into(),
             numerics::NumericsError::SingularSystem.into(),
         ];

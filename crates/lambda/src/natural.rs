@@ -177,7 +177,10 @@ impl NaturalLambdaModel {
             .label("cro2 readout")
             .add()?;
 
-        Ok(NaturalLambdaModel { crn: b.build()?, parameters })
+        Ok(NaturalLambdaModel {
+            crn: b.build()?,
+            parameters,
+        })
     }
 
     /// Returns the model's parameters.
@@ -256,11 +259,15 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        let mut p = NaturalParameters::default();
-        p.readout = 0.0;
+        let p = NaturalParameters {
+            readout: 0.0,
+            ..NaturalParameters::default()
+        };
         assert!(NaturalLambdaModel::with_parameters(p).is_err());
-        let mut p = NaturalParameters::default();
-        p.ci2_pool = 10;
+        let p = NaturalParameters {
+            ci2_pool: 10,
+            ..NaturalParameters::default()
+        };
         assert!(NaturalLambdaModel::with_parameters(p).is_err());
     }
 

@@ -285,7 +285,11 @@ mod tests {
     #[test]
     fn tracking_lysis_complements_lysogeny() {
         let model = NaturalLambdaModel::new().unwrap();
-        let lysogeny = MoiSweep::new([4u64]).trials(120).master_seed(9).run(&model).unwrap();
+        let lysogeny = MoiSweep::new([4u64])
+            .trials(120)
+            .master_seed(9)
+            .run(&model)
+            .unwrap();
         let lysis = MoiSweep::new([4u64])
             .trials(120)
             .master_seed(9)
@@ -293,6 +297,9 @@ mod tests {
             .run(&model)
             .unwrap();
         let total = lysogeny.points()[0].probability + lysis.points()[0].probability;
-        assert!((total - 1.0).abs() < 1e-9, "outcomes should partition trials, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "outcomes should partition trials, got {total}"
+        );
     }
 }

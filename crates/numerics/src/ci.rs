@@ -45,7 +45,9 @@ pub fn wilson_interval(
     confidence: f64,
 ) -> Result<ConfidenceInterval, NumericsError> {
     if trials == 0 {
-        return Err(NumericsError::InvalidInput { message: "trials must be positive".into() });
+        return Err(NumericsError::InvalidInput {
+            message: "trials must be positive".into(),
+        });
     }
     if successes > trials {
         return Err(NumericsError::InvalidInput {
@@ -94,7 +96,7 @@ fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

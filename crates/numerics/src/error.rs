@@ -35,10 +35,14 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(NumericsError::SingularSystem.to_string().contains("singular"));
-        assert!(NumericsError::InvalidInput { message: "empty".into() }
+        assert!(NumericsError::SingularSystem
             .to_string()
-            .contains("empty"));
+            .contains("singular"));
+        assert!(NumericsError::InvalidInput {
+            message: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl BasisFit {
         let mean_y = crate::stats::mean(ys);
         let tss: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
         let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
-        Ok(BasisFit { coefficients, residual_sum_of_squares: rss, r_squared })
+        Ok(BasisFit {
+            coefficients,
+            residual_sum_of_squares: rss,
+            r_squared,
+        })
     }
 
     /// Returns the fitted coefficients, one per basis function.
@@ -132,7 +136,12 @@ impl LogLinearFit {
     /// Creates a fit directly from known coefficients (used to express the
     /// paper's Equation 14 without refitting).
     pub fn from_coefficients(constant: f64, log_coefficient: f64, linear_coefficient: f64) -> Self {
-        LogLinearFit { constant, log_coefficient, linear_coefficient, r_squared: 1.0 }
+        LogLinearFit {
+            constant,
+            log_coefficient,
+            linear_coefficient,
+            r_squared: 1.0,
+        }
     }
 
     /// The constant term `a`.

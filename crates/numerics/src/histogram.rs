@@ -36,7 +36,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Adds one sample.
@@ -88,7 +92,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 }
 

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -41,7 +45,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length must equal rows * cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length must equal rows * cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -94,7 +102,11 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "vector length must equal matrix columns");
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "vector length must equal matrix columns"
+        );
         (0..self.rows)
             .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
             .collect()
@@ -242,7 +254,10 @@ mod tests {
     #[test]
     fn singular_system_is_detected() {
         let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
-        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularSystem);
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            NumericsError::SingularSystem
+        );
     }
 
     #[test]

@@ -43,7 +43,13 @@ pub struct Summary {
 /// Summarises a sample. Returns a zeroed summary for empty input.
 pub fn summary(values: &[f64]) -> Summary {
     if values.is_empty() {
-        return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;

@@ -1,0 +1,76 @@
+//! Offline std-backed subset of
+//! [`parking_lot`](https://crates.io/crates/parking_lot).
+//!
+//! Provides [`Mutex`] with parking_lot's panic-free `lock()` signature,
+//! implemented over `std::sync::Mutex` (poisoning is ignored, matching
+//! parking_lot semantics). The SSA ensemble engine is lock-free these days,
+//! but the shim stays available for future shared-state features and so the
+//! `[workspace.dependencies]` entry can be swapped for the real crate
+//! without source changes.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// A mutual-exclusion lock with parking_lot's API shape: `lock()` returns the
+/// guard directly instead of a `Result`.
+///
+/// # Example
+///
+/// ```
+/// let m = parking_lot::Mutex::new(3);
+/// *m.lock() += 4;
+/// assert_eq!(m.into_inner(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex`, a panic in another thread never poisons the lock.
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn survives_panicking_holder() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is usable after a holder panicked.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,487 @@
+//! Offline mini property-testing harness with the API shape of
+//! [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The workspace builds without crates.io access, so its property tests run
+//! against this shim. It implements the subset the test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter`, implemented for
+//!   numeric ranges, tuples of strategies and [`Just`];
+//! * [`collection::vec`] with fixed or ranged lengths;
+//! * the [`proptest!`] macro plus [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its generated inputs (all
+//!   strategies produce `Debug` values here) and the case index instead;
+//! * **deterministic runs** — case `i` of test `t` always uses the seed
+//!   `hash(t) + i`, so failures reproduce exactly in CI and locally;
+//! * case count defaults to 64, overridable with the `PROPTEST_CASES`
+//!   environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// The random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An explicit `prop_assert!`-style failure, with its message.
+    Fail(String),
+    /// A `prop_assume!` rejection: the case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of test values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `predicate`, retrying the generator.
+    /// Panics after 1000 consecutive rejections (`whence` names the filter).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        predicate: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            predicate,
+        }
+    }
+}
+
+/// A strategy mapped through a function; see [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy filtered by a predicate; see [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u64, u32, usize, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// A length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// A length drawn uniformly from `[start, end)`.
+        Ranged(Range<usize>),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Ranged(r)
+        }
+    }
+
+    /// A strategy producing vectors of values from an element strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match &self.size {
+                SizeRange::Fixed(n) => *n,
+                SizeRange::Ranged(r) => {
+                    if r.start >= r.end {
+                        r.start
+                    } else {
+                        rng.gen_range(r.clone())
+                    }
+                }
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError,
+    };
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Returns the number of cases per property: `PROPTEST_CASES` or 64.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Derives the deterministic base seed for a named property test.
+pub fn base_seed(test_name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms (DefaultHasher is not).
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: runs up to [`cases`] accepted cases, retrying
+/// rejected ones (up to 16× the case budget) and panicking on the first
+/// failure. Used by the [`proptest!`] macro; not part of proptest's API.
+pub fn run_cases<F>(test_name: &str, mut one_case: F)
+where
+    F: FnMut(&mut TestRng, u64) -> Result<(), TestCaseError>,
+{
+    let budget = cases();
+    let max_attempts = u64::from(budget) * 16;
+    let base = base_seed(test_name);
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    while accepted < budget {
+        if attempt >= max_attempts {
+            panic!(
+                "property `{test_name}`: only {accepted}/{budget} cases accepted \
+                 after {attempt} attempts (prop_assume rejects too much input)"
+            );
+        }
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(attempt));
+        match one_case(&mut rng, attempt) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{test_name}` failed at case seed offset {attempt}: {msg}\n\
+                     (reproduce deterministically: the case seed is \
+                     base_seed(\"{test_name}\") + {attempt})"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Declares property tests, mirroring proptest's `proptest!` macro: each
+/// item is a `#[test]` function whose arguments are drawn from strategies.
+///
+/// In real code each function carries `#[test]`; the example below omits the
+/// attribute (doctests cannot execute nested unit tests) and drives the
+/// generated function directly instead.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng, _attempt| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                    // Render the inputs up front: the body may consume them,
+                    // and they are only printed if the case fails.
+                    let rendered_inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    let outcome = case();
+                    if let ::std::result::Result::Err($crate::TestCaseError::Fail(_)) = &outcome {
+                        eprint!("{rendered_inputs}");
+                    }
+                    outcome
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = (5u64..10).generate(&mut rng);
+            assert!((5..10).contains(&x));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_and_vec_compose() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = collection::vec((0u32..10).prop_map(|x| x * 2), 3usize)
+            .prop_filter("non-empty", |v| !v.is_empty());
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|x| x % 2 == 0 && *x < 20));
+        }
+    }
+
+    #[test]
+    fn base_seed_is_stable() {
+        // Frozen FNV-1a value: determinism across platforms and releases.
+        assert_eq!(base_seed(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(base_seed("abc"), base_seed("abc"));
+        assert_ne!(base_seed("abc"), base_seed("abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assume rejects too much input")]
+    fn impossible_assumption_exhausts_budget() {
+        run_cases("impossible", |_rng, _i| Err(TestCaseError::reject("never")));
+    }
+
+    proptest! {
+        #[test]
+        fn shim_self_test(a in 0u64..100, b in 0u64..100, v in prop::collection::vec(0u32..5, 0..4)) {
+            prop_assume!(a + b < 199);
+            prop_assert!(a + b < 200);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(v.len(), 100);
+        }
+    }
+}

@@ -49,6 +49,8 @@ impl Composer {
     }
 
     /// Adds a fragment as-is.
+    // Builder vocabulary, not arithmetic: `Composer::new().add(a).add(b)`.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(mut self, fragment: &Crn) -> Self {
         self.parts.push(fragment.clone());
@@ -146,9 +148,11 @@ impl Composer {
     /// added and [`SynthesisError::Crn`] if the merge fails.
     pub fn build(&self) -> Result<Crn, SynthesisError> {
         let mut parts = self.parts.iter();
-        let first = parts.next().ok_or_else(|| SynthesisError::InvalidSpecification {
-            message: "cannot compose an empty set of fragments".into(),
-        })?;
+        let first = parts
+            .next()
+            .ok_or_else(|| SynthesisError::InvalidSpecification {
+                message: "cannot compose an empty set of fragments".into(),
+            })?;
         let mut merged = first.clone();
         for part in parts {
             merged = merged.merge(part)?;
@@ -175,7 +179,11 @@ mod tests {
     #[test]
     fn scaling_multiplies_all_rates() {
         let a: Crn = "x -> y @ 2\ny -> x @ 4".parse().unwrap();
-        let crn = Composer::new().add_scaled(&a, 10.0).unwrap().build().unwrap();
+        let crn = Composer::new()
+            .add_scaled(&a, 10.0)
+            .unwrap()
+            .build()
+            .unwrap();
         let rates: Vec<f64> = crn.reactions().iter().map(|r| r.rate()).collect();
         assert_eq!(rates, vec![20.0, 40.0]);
         assert!(Composer::new().add_scaled(&a, 0.0).is_err());
@@ -194,10 +202,7 @@ mod tests {
         // Private species are duplicated, the public one is shared.
         assert!(crn.species_id("m1_x").is_some());
         assert!(crn.species_id("m2_x").is_some());
-        assert_eq!(
-            crn.species().iter().filter(|s| s.name() == "y").count(),
-            1
-        );
+        assert_eq!(crn.species().iter().filter(|s| s.name() == "y").count(), 1);
     }
 
     #[test]

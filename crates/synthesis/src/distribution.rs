@@ -64,7 +64,7 @@ impl TargetDistribution {
     ///
     /// Returns [`SynthesisError::InvalidDistribution`] if `n` is zero.
     pub fn uniform(n: usize) -> Result<Self, SynthesisError> {
-        TargetDistribution::new(vec![1.0; n.max(0)])
+        TargetDistribution::new(vec![1.0; n])
     }
 
     /// Returns the number of outcomes.
@@ -96,7 +96,11 @@ impl TargetDistribution {
     /// `total`, using largest-remainder rounding so the counts are as close
     /// as possible to `p_i · total`.
     pub fn to_counts(&self, total: u64) -> Vec<u64> {
-        let exact: Vec<f64> = self.probabilities.iter().map(|p| p * total as f64).collect();
+        let exact: Vec<f64> = self
+            .probabilities
+            .iter()
+            .map(|p| p * total as f64)
+            .collect();
         let mut counts: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
         let assigned: u64 = counts.iter().sum();
         let mut remainder: Vec<(usize, f64)> = exact

@@ -45,7 +45,10 @@ impl fmt::Display for SynthesisError {
                 write!(f, "invalid specification: {message}")
             }
             SynthesisError::InvalidRateParameter { parameter, value } => {
-                write!(f, "rate parameter `{parameter}` must be finite and positive, got {value}")
+                write!(
+                    f,
+                    "rate parameter `{parameter}` must be finite and positive, got {value}"
+                )
             }
             SynthesisError::Crn(err) => write!(f, "network construction failed: {err}"),
             SynthesisError::UnrealizableCoefficient { coefficient } => write!(
@@ -78,11 +81,20 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let cases = vec![
-            SynthesisError::InvalidDistribution { message: "empty".into() },
-            SynthesisError::InvalidSpecification { message: "no outcomes".into() },
-            SynthesisError::InvalidRateParameter { parameter: "gamma", value: -1.0 },
+            SynthesisError::InvalidDistribution {
+                message: "empty".into(),
+            },
+            SynthesisError::InvalidSpecification {
+                message: "no outcomes".into(),
+            },
+            SynthesisError::InvalidRateParameter {
+                parameter: "gamma",
+                value: -1.0,
+            },
             SynthesisError::Crn(crn::CrnError::EmptyReaction),
-            SynthesisError::UnrealizableCoefficient { coefficient: 0.333333 },
+            SynthesisError::UnrealizableCoefficient {
+                coefficient: 0.333333,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

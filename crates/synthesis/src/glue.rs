@@ -40,13 +40,16 @@ pub fn fan_out(input: &str, copies: &[&str], rate: f64) -> Result<Crn, Synthesis
             message: "fan-out needs at least one copy".into(),
         });
     }
-    if copies.iter().any(|c| *c == input) {
+    if copies.contains(&input) {
         return Err(SynthesisError::InvalidSpecification {
             message: "fan-out copies must differ from the input".into(),
         });
     }
     if !(rate.is_finite() && rate > 0.0) {
-        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "rate",
+            value: rate,
+        });
     }
     let mut b = CrnBuilder::new();
     let mut reaction = b.reaction().rate(rate).label("fan-out");
@@ -92,7 +95,10 @@ pub fn assimilation(trigger: &str, from: &str, to: &str, rate: f64) -> Result<Cr
         });
     }
     if !(rate.is_finite() && rate > 0.0) {
-        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "rate",
+            value: rate,
+        });
     }
     let mut b = CrnBuilder::new();
     b.reaction()

@@ -163,7 +163,10 @@ mod tests {
             fine <= coarse + 0.05,
             "expected error to not grow with separation: coarse {coarse:.3}, fine {fine:.3}"
         );
-        assert!(fine < 0.25, "fine separation should be reasonably accurate, got {fine:.3}");
+        assert!(
+            fine < 0.25,
+            "fine separation should be reasonably accurate, got {fine:.3}"
+        );
     }
 
     #[test]

@@ -122,7 +122,9 @@ mod tests {
             .run(&initial)
             .unwrap();
         assert_eq!(
-            result.final_state.count(module.crn().species_id("c").unwrap()),
+            result
+                .final_state
+                .count(module.crn().species_id("c").unwrap()),
             0
         );
     }
@@ -136,7 +138,10 @@ mod tests {
         let failures = (0..20)
             .filter(|&seed| module.evaluate(&[("y", 200), ("c", 1)], seed).unwrap() > 1)
             .count();
-        assert!(failures > 0, "expected at least one failure at tiny separation");
+        assert!(
+            failures > 0,
+            "expected at least one failure at tiny separation"
+        );
     }
 
     #[test]

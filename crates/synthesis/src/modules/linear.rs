@@ -49,7 +49,10 @@ pub fn linear(
         });
     }
     if !(rate.is_finite() && rate > 0.0) {
-        return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+        return Err(SynthesisError::InvalidRateParameter {
+            parameter: "rate",
+            value: rate,
+        });
     }
     let mut b = CrnBuilder::new();
     let x = b.species(input);

@@ -162,7 +162,9 @@ impl FunctionModule {
             .map_err(|err| SynthesisError::InvalidSpecification {
                 message: format!("evaluating the {} module failed: {err}", self.name),
             })?;
-        Ok(result.final_state.count(self.crn.require_species(&self.output)?))
+        Ok(result
+            .final_state
+            .count(self.crn.require_species(&self.output)?))
     }
 
     /// Returns a copy of the module with every species renamed by prefixing

@@ -66,7 +66,10 @@ impl Preprocessor {
     /// Creates a preprocessor for a stochastic module with `outcomes`
     /// outcomes.
     pub fn new(outcomes: usize) -> Self {
-        Preprocessor { outcomes, terms: Vec::new() }
+        Preprocessor {
+            outcomes,
+            terms: Vec::new(),
+        }
     }
 
     /// Adds an affine term: each molecule of `input` moves
@@ -132,7 +135,10 @@ impl Preprocessor {
             });
         }
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(SynthesisError::InvalidRateParameter { parameter: "rate", value: rate });
+            return Err(SynthesisError::InvalidRateParameter {
+                parameter: "rate",
+                value: rate,
+            });
         }
         let mut b = CrnBuilder::new();
         for term in &self.terms {
@@ -173,7 +179,10 @@ impl Preprocessor {
         if total <= 0 {
             return vec![0.0; self.outcomes];
         }
-        counts.iter().map(|&c| c.max(0) as f64 / total as f64).collect()
+        counts
+            .iter()
+            .map(|&c| c.max(0) as f64 / total as f64)
+            .collect()
     }
 }
 

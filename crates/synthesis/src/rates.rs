@@ -117,10 +117,16 @@ impl RateSchedule {
     /// invert the hierarchy).
     pub fn new(base: f64, gamma: f64) -> Result<Self, SynthesisError> {
         if !(base.is_finite() && base > 0.0) {
-            return Err(SynthesisError::InvalidRateParameter { parameter: "base", value: base });
+            return Err(SynthesisError::InvalidRateParameter {
+                parameter: "base",
+                value: base,
+            });
         }
         if !(gamma.is_finite() && gamma >= 1.0) {
-            return Err(SynthesisError::InvalidRateParameter { parameter: "gamma", value: gamma });
+            return Err(SynthesisError::InvalidRateParameter {
+                parameter: "gamma",
+                value: gamma,
+            });
         }
         Ok(RateSchedule { base, gamma })
     }

@@ -102,7 +102,8 @@ impl StochasticModuleBuilder {
         species: impl Into<String>,
         coefficient: u32,
     ) -> Self {
-        self.extra_working_products.push((outcome, species.into(), coefficient));
+        self.extra_working_products
+            .push((outcome, species.into(), coefficient));
         self
     }
 
@@ -215,13 +216,13 @@ fn build_reactions(
             .label("reinforcing")
             .add()?;
         // Stabilizing: d_i + e_j -> d_i for j != i
-        for j in 0..n {
+        for (j, &e_j) in e.iter().enumerate() {
             if j == i {
                 continue;
             }
             b.reaction()
                 .reactant(d[i], 1)
-                .reactant(e[j], 1)
+                .reactant(e_j, 1)
                 .product(d[i], 1)
                 .rate(rates.stabilizing())
                 .label("stabilizing")
@@ -391,10 +392,7 @@ impl StochasticModule {
         let mut state = self.crn.zero_state();
         for (i, &count) in counts.iter().enumerate() {
             state.set(self.crn.require_species(&self.input_species(i))?, count);
-            state.set(
-                self.crn.require_species(&format!("f{}", i + 1))?,
-                self.food,
-            );
+            state.set(self.crn.require_species(&format!("f{}", i + 1))?, self.food);
         }
         Ok(state)
     }
@@ -641,7 +639,10 @@ mod tests {
             module.programmed_probabilities(&[30, 40, 30]),
             vec![0.3, 0.4, 0.3]
         );
-        assert_eq!(module.programmed_probabilities(&[0, 0, 0]), vec![0.0, 0.0, 0.0]);
+        assert_eq!(
+            module.programmed_probabilities(&[0, 0, 0]),
+            vec![0.0, 0.0, 0.0]
+        );
     }
 
     #[test]
@@ -754,8 +755,12 @@ mod tests {
             .options(module.simulation_options().seed(4))
             .run(&initial)
             .unwrap();
-        let o1 = result.final_state.count(module.crn().species_id("o1").unwrap());
-        let drug = result.final_state.count(module.crn().species_id("drug").unwrap());
+        let o1 = result
+            .final_state
+            .count(module.crn().species_id("o1").unwrap());
+        let drug = result
+            .final_state
+            .count(module.crn().species_id("drug").unwrap());
         assert_eq!(o1, module.decision_threshold());
         assert_eq!(drug, 3 * o1);
     }

@@ -217,11 +217,7 @@ impl LogLinearSynthesizer {
             let (alpha, beta) = best_integer_ratio(c_coeff.abs(), self.input_range)?;
             let module = linear(alpha, beta, &linear_copy, "y_lin", self.fast_rate)?;
             composer = composer.add_module(&module);
-            composer = composer.add(&assimilation_for_sign(
-                c_coeff,
-                "y_lin",
-                self.fast_rate,
-            )?);
+            composer = composer.add(&assimilation_for_sign(c_coeff, "y_lin", self.fast_rate)?);
         }
 
         // Logarithm branch: log2 into a raw count, scale it, assimilate.
@@ -244,11 +240,7 @@ impl LogLinearSynthesizer {
             let (alpha, beta) = best_integer_ratio(b_coeff.abs(), log_range)?;
             let scale = linear(alpha, beta, "y_log_raw", "y_log", self.fast_rate)?;
             composer = composer.add_module(&scale);
-            composer = composer.add(&assimilation_for_sign(
-                b_coeff,
-                "y_log",
-                self.fast_rate,
-            )?);
+            composer = composer.add(&assimilation_for_sign(b_coeff, "y_log", self.fast_rate)?);
         }
 
         // --- stochastic back end ------------------------------------------
@@ -310,14 +302,14 @@ fn assimilation_for_sign(
 /// is almost always best. The search therefore scores each candidate by the
 /// total absolute deviation `Σ_x |⌊x/α⌋·β − value·x|` over the expected input
 /// range.
-fn best_integer_ratio(
-    value: f64,
-    input_range: (u64, u64),
-) -> Result<(u32, u32), SynthesisError> {
+fn best_integer_ratio(value: f64, input_range: (u64, u64)) -> Result<(u32, u32), SynthesisError> {
     if !(value.is_finite() && value > 0.0) || value > 1000.0 {
         return Err(SynthesisError::UnrealizableCoefficient { coefficient: value });
     }
-    let (lo, hi) = (input_range.0.min(input_range.1), input_range.0.max(input_range.1));
+    let (lo, hi) = (
+        input_range.0.min(input_range.1),
+        input_range.0.max(input_range.1),
+    );
     let max_alpha = 16u64.min(hi.max(1)) as u32;
     let mut best: Option<(u32, u32, f64)> = None;
     for alpha in 1..=max_alpha {
@@ -327,7 +319,7 @@ fn best_integer_ratio(
             let realised = (x / u64::from(alpha)) as f64 * beta;
             error += (realised - value * x as f64).abs();
         }
-        if best.map_or(true, |(_, _, e)| error < e - 1e-12) {
+        if best.is_none_or(|(_, _, e)| error < e - 1e-12) {
             best = Some((alpha, beta as u32, error));
         }
     }
@@ -520,7 +512,11 @@ mod tests {
         assert!(crn.species_id("ci2").is_some());
         assert!(crn.species_id("o1").is_none());
         let summary = crn.summary();
-        assert!(summary.rate_span >= 1e17, "rate span {:.2e}", summary.rate_span);
+        assert!(
+            summary.rate_span >= 1e17,
+            "rate span {:.2e}",
+            summary.rate_span
+        );
     }
 
     #[test]
@@ -547,11 +543,9 @@ mod tests {
 
     #[test]
     fn invalid_specifications_are_rejected() {
-        let bad_constant = LogLinearSynthesizer::new(
-            "moi",
-            LogLinearFit::from_coefficients(150.0, 0.0, 0.0),
-        )
-        .synthesize();
+        let bad_constant =
+            LogLinearSynthesizer::new("moi", LogLinearFit::from_coefficients(150.0, 0.0, 0.0))
+                .synthesize();
         assert!(bad_constant.is_err());
 
         let bad_food = lambda_synthesizer().food(10, 10).synthesize();

@@ -43,13 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npower:  y = x^p");
     let pow = power("x", "p", "y", separation)?;
     for (x, p) in [(2u64, 2u64), (3, 2), (2, 3)] {
-        println!("  x = {x}, p = {p}  ->  y = {}", pow.evaluate(&[("x", x), ("p", p)], 4)?);
+        println!(
+            "  x = {x}, p = {p}  ->  y = {}",
+            pow.evaluate(&[("x", x), ("p", p)], 4)?
+        );
     }
 
     println!("\nisolation:  y = 1 (from any starting quantity)");
     let iso = isolation("y", "c", separation * 10.0)?;
     for y0 in [5u64, 50, 500] {
-        println!("  y0 = {y0:>3}  ->  y = {}", iso.evaluate(&[("y", y0), ("c", 3)], 5)?);
+        println!(
+            "  y0 = {y0:>3}  ->  y = {}",
+            iso.evaluate(&[("y", y0), ("c", 3)], 5)?
+        );
     }
 
     println!("\nThe exact results would be x/6, 2^x, log2(x), x^p and 1; deviations are the");

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .gamma(1_000.0)
         .build()?;
 
-    println!("Synthesized reaction network ({} reactions):\n", module.crn().reactions().len());
+    println!(
+        "Synthesized reaction network ({} reactions):\n",
+        module.crn().reactions().len()
+    );
     println!("{}", module.crn().to_text());
 
     // 2. Program the target distribution through the initial quantities of

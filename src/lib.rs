@@ -1,0 +1,52 @@
+//! `stochsynth` — a reproduction of *"Synthesizing Stochasticity in
+//! Biochemical Systems"* (Fett, Bruck & Riedel, DAC 2007), grown toward a
+//! production-scale stochastic simulation and synthesis engine.
+//!
+//! This facade crate re-exports the workspace's public API so downstream
+//! users depend on a single crate:
+//!
+//! * [`crn`] — the chemical reaction network data model (species, reactions,
+//!   states, parsing, structural analysis);
+//! * [`gillespie`] — exact stochastic simulation: the direct, first-reaction
+//!   and next-reaction methods plus the parallel Monte-Carlo
+//!   [`Ensemble`](gillespie::Ensemble) engine;
+//! * [`synthesis`] — the paper's stochastic and deterministic function
+//!   modules and their composition;
+//! * [`lambda`] — the lambda-phage lysis/lysogeny switch case study;
+//! * [`numerics`] — statistics, confidence intervals, histograms and small
+//!   linear algebra.
+//!
+//! The most common entry points are also re-exported at the crate root.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use stochsynth::{Crn, DirectMethod, Simulation, SimulationOptions, StopCondition};
+//!
+//! let crn: Crn = "a + b -> 2 c @ 0.01".parse()?;
+//! let initial = crn.state_from_counts([("a", 100), ("b", 100)])?;
+//! let result = Simulation::new(&crn, DirectMethod::new())
+//!     .options(SimulationOptions::new().seed(7).stop(StopCondition::exhaustion()))
+//!     .run(&initial)?;
+//! assert_eq!(result.final_state.count(crn.require_species("c")?), 200);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crn;
+pub use gillespie;
+pub use lambda;
+pub use numerics;
+pub use synthesis;
+
+pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
+pub use gillespie::{
+    DirectMethod, Ensemble, EnsembleOptions, EnsembleReport, FirstReactionMethod,
+    NextReactionMethod, Simulation, SimulationError, SimulationOptions, SimulationResult,
+    SsaMethod, SsaStepper, StopCondition,
+};
+pub use synthesis::{StochasticModule, TargetDistribution};

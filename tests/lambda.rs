@@ -4,8 +4,8 @@
 
 use gillespie::OutcomeClassifier;
 use lambda::{
-    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel,
-    SyntheticLambdaModel, CI2_THRESHOLD, CRO2_THRESHOLD, LYSOGENY,
+    equation_14, figure4_verbatim, LambdaModel, MoiSweep, NaturalLambdaModel, SyntheticLambdaModel,
+    CI2_THRESHOLD, CRO2_THRESHOLD, LYSOGENY,
 };
 
 /// The natural surrogate's response is increasing in MOI and lives in the
@@ -19,7 +19,10 @@ fn natural_surrogate_response_matches_the_papers_band() {
         .run(&natural)
         .expect("sweep");
     let p: Vec<f64> = curve.points().iter().map(|pt| pt.probability).collect();
-    assert!(p[0] < p[1] && p[1] < p[2], "response must increase with MOI: {p:?}");
+    assert!(
+        p[0] < p[1] && p[1] < p[2],
+        "response must increase with MOI: {p:?}"
+    );
     assert!((p[0] - 0.15).abs() < 0.08, "MOI 1 response {p:?}");
     assert!((p[2] - 0.37).abs() < 0.10, "MOI 10 response {p:?}");
     let eq14 = equation_14();
@@ -63,10 +66,24 @@ fn synthesized_model_reproduces_the_natural_response_shape() {
         .expect("synthetic sweep");
 
     // Both responses increase with MOI.
-    let natural_p: Vec<f64> = natural_curve.points().iter().map(|p| p.probability).collect();
-    let synthetic_p: Vec<f64> = synthetic_curve.points().iter().map(|p| p.probability).collect();
-    assert!(natural_p[0] < natural_p[2], "natural response not increasing: {natural_p:?}");
-    assert!(synthetic_p[0] < synthetic_p[2], "synthetic response not increasing: {synthetic_p:?}");
+    let natural_p: Vec<f64> = natural_curve
+        .points()
+        .iter()
+        .map(|p| p.probability)
+        .collect();
+    let synthetic_p: Vec<f64> = synthetic_curve
+        .points()
+        .iter()
+        .map(|p| p.probability)
+        .collect();
+    assert!(
+        natural_p[0] < natural_p[2],
+        "natural response not increasing: {natural_p:?}"
+    );
+    assert!(
+        synthetic_p[0] < synthetic_p[2],
+        "synthetic response not increasing: {synthetic_p:?}"
+    );
 
     // The curves agree point-wise within Monte-Carlo noise plus the integer
     // granularity of the synthesized encoding.

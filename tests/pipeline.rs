@@ -4,7 +4,9 @@
 
 use gillespie::{Ensemble, EnsembleOptions};
 use synthesis::modules::{linear::linear, logarithm::logarithm};
-use synthesis::{Composer, LogLinearSynthesizer, Preprocessor, StochasticModule, TargetDistribution};
+use synthesis::{
+    Composer, LogLinearSynthesizer, Preprocessor, StochasticModule, TargetDistribution,
+};
 
 /// Example 2 end to end: the affine programmable distribution implemented by
 /// preprocessing reactions matches its predicted probabilities.
@@ -33,7 +35,10 @@ fn example_2_affine_response_matches_prediction() {
             preprocessor.predicted_probabilities(&base_counts, &[("x1", x1), ("x2", x2)]);
         let mut initial = crn.zero_state();
         for (i, &count) in base_counts.iter().enumerate() {
-            initial.set(crn.require_species(&format!("e{}", i + 1)).expect("e"), count);
+            initial.set(
+                crn.require_species(&format!("e{}", i + 1)).expect("e"),
+                count,
+            );
             initial.set(crn.require_species(&format!("f{}", i + 1)).expect("f"), 100);
         }
         initial.set(crn.require_species("x1").expect("x1"), x1);
@@ -87,8 +92,12 @@ fn chained_logarithm_and_linear_modules_compute_a_scaled_logarithm() {
         .expect("trajectory");
     // There can be one trailing `mid` molecule still unscaled at the instant
     // the stop condition triggers; accept 6·log2(64) = 36 within one step.
-    let y = result.final_state.count(crn.require_species("y").expect("y"));
-    let mid = result.final_state.count(crn.require_species("mid").expect("mid"));
+    let y = result
+        .final_state
+        .count(crn.require_species("y").expect("y"));
+    let mid = result
+        .final_state
+        .count(crn.require_species("mid").expect("mid"));
     let total = y + 6 * mid;
     assert!(
         (total as i64 - 36).abs() <= 6,
@@ -110,10 +119,18 @@ fn synthesized_network_round_trips_through_text() {
         .expect("synthesis");
     let text = synthesized.crn().to_text();
     let reparsed: crn::Crn = text.parse().expect("reparse");
-    assert_eq!(reparsed.reactions().len(), synthesized.crn().reactions().len());
+    assert_eq!(
+        reparsed.reactions().len(),
+        synthesized.crn().reactions().len()
+    );
     assert_eq!(reparsed.species_len(), synthesized.crn().species_len());
     // Reaction rates survive the round trip.
-    let original_rates: Vec<f64> = synthesized.crn().reactions().iter().map(|r| r.rate()).collect();
+    let original_rates: Vec<f64> = synthesized
+        .crn()
+        .reactions()
+        .iter()
+        .map(|r| r.rate())
+        .collect();
     let reparsed_rates: Vec<f64> = reparsed.reactions().iter().map(|r| r.rate()).collect();
     assert_eq!(original_rates, reparsed_rates);
 }
@@ -156,6 +173,12 @@ fn negative_coefficients_reduce_the_tracked_probability() {
         at_1 > at_15 + 0.15,
         "probability should fall with the input: P(1) = {at_1}, P(15) = {at_15}"
     );
-    assert!((at_1 - 0.58).abs() < 0.1, "P(1) should be near 58%, got {at_1}");
-    assert!((at_15 - 0.30).abs() < 0.1, "P(15) should be near 30%, got {at_15}");
+    assert!(
+        (at_1 - 0.58).abs() < 0.1,
+        "P(1) should be near 58%, got {at_1}"
+    );
+    assert!(
+        (at_15 - 0.30).abs() < 0.1,
+        "P(15) should be near 30%, got {at_15}"
+    );
 }

@@ -18,17 +18,24 @@ fn example_1_distribution_is_reproduced_within_confidence_intervals() {
     let target = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("target");
     let initial = module.initial_state(&target).expect("initial state");
     let trials = 3_000;
-    let report = Ensemble::new(module.crn(), initial, module.classifier().expect("classifier"))
-        .options(
-            EnsembleOptions::new()
-                .trials(trials)
-                .master_seed(99)
-                .simulation(module.simulation_options()),
-        )
-        .run()
-        .expect("ensemble");
+    let report = Ensemble::new(
+        module.crn(),
+        initial,
+        module.classifier().expect("classifier"),
+    )
+    .options(
+        EnsembleOptions::new()
+            .trials(trials)
+            .master_seed(99)
+            .simulation(module.simulation_options()),
+    )
+    .run()
+    .expect("ensemble");
 
-    assert_eq!(report.undecided, 0, "every trajectory must decide an outcome");
+    assert_eq!(
+        report.undecided, 0,
+        "every trajectory must decide an outcome"
+    );
     for (i, outcome) in module.outcomes().iter().enumerate() {
         let ci = wilson_interval(report.count(outcome), trials, 0.99).expect("interval");
         assert!(
@@ -110,8 +117,14 @@ fn error_rate_decreases_monotonically_in_gamma() {
         at_100 >= at_10000,
         "γ=100 error rate ({at_100}) should not be below γ=10000 ({at_10000})"
     );
-    assert!(at_1 > 0.15, "γ=1 should misassign a sizeable fraction, got {at_1}");
-    assert!(at_10000 < 0.03, "γ=10000 should almost never err, got {at_10000}");
+    assert!(
+        at_1 > 0.15,
+        "γ=1 should misassign a sizeable fraction, got {at_1}"
+    );
+    assert!(
+        at_10000 < 0.03,
+        "γ=10000 should almost never err, got {at_10000}"
+    );
 }
 
 /// Reprogramming the same network with different initial counts changes the
