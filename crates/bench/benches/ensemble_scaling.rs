@@ -3,7 +3,10 @@
 //! of a full reproduction is dominated by how well trials parallelise.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gillespie::{Ensemble, EnsembleOptions};
+use gillespie::{
+    Ensemble, EnsembleOptions, SimulationOptions, SpeciesThresholdClassifier, StepperKind,
+    StopCondition,
+};
 use synthesis::{StochasticModule, TargetDistribution};
 
 fn bench_thread_scaling(c: &mut Criterion) {
@@ -84,5 +87,57 @@ fn bench_ssa_method_in_ensemble(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_ssa_method_in_ensemble);
+fn bench_tau_vs_direct_high_population(c: &mut Criterion) {
+    // A stiff, high-population workload: a fast reversible isomerisation
+    // pair (the stiffness — it dominates the exact event count without
+    // moving the slow observable) feeding a slow reversible dimerisation.
+    // This is tau-leaping's home turf: the exact methods must simulate
+    // every one of the ~100k fast hops per trial individually, while
+    // tau-leaping covers them in a handful of Poisson leaps per trial.
+    let crn: crn::Crn = "a -> b @ 50\n\
+                         b -> a @ 50\n\
+                         2 b -> c @ 0.00001\n\
+                         c -> 2 b @ 0.01"
+        .parse()
+        .expect("network");
+    let initial = crn
+        .state_from_counts([("a", 5_000), ("b", 5_000)])
+        .expect("state");
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "c", 1, "dimerised")
+        .expect("rule");
+
+    let mut group = c.benchmark_group("ensemble_scaling/tau_highpop");
+    group.sample_size(10);
+    for method in [StepperKind::Direct, StepperKind::TauLeaping] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    Ensemble::new(&crn, initial.clone(), classifier.clone())
+                        .options(
+                            EnsembleOptions::new()
+                                .trials(20)
+                                .master_seed(1)
+                                .method(method)
+                                .simulation(
+                                    SimulationOptions::new().stop(StopCondition::time(0.2)),
+                                ),
+                        )
+                        .run()
+                        .expect("ensemble")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_ssa_method_in_ensemble,
+    bench_tau_vs_direct_high_population
+);
 criterion_main!(benches);

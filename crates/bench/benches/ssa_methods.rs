@@ -1,11 +1,13 @@
 //! Ablation benchmark: Gillespie direct vs first-reaction vs Gibson–Bruck
-//! next-reaction method, on networks of increasing size. The next-reaction
-//! method is expected to win once the number of reactions is large relative
-//! to the dependency-graph out-degree.
+//! next-reaction vs tau-leaping, on networks of increasing size. The
+//! next-reaction method is expected to win among the exact methods once the
+//! number of reactions is large relative to the dependency-graph
+//! out-degree; tau-leaping additionally collapses runs of events into
+//! single leaps wherever populations allow it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crn::{Crn, CrnBuilder};
-use gillespie::{Simulation, SimulationOptions, SsaMethod, SsaStepper, StopCondition};
+use gillespie::{Simulation, SimulationOptions, SsaMethod, StopCondition};
 
 /// Builds a linear chain of isomerisations `s0 -> s1 -> … -> sN` plus the
 /// reverse reactions: 2N reactions whose dependency graph has out-degree ≤ 4.
@@ -29,29 +31,6 @@ fn chain_network(length: usize) -> Crn {
     b.build().expect("chain network")
 }
 
-/// Adapter so boxed steppers can drive `Simulation`, which is generic.
-struct Boxed(Box<dyn SsaStepper + Send>);
-
-impl SsaStepper for Boxed {
-    fn initialize(&mut self, crn: &Crn, state: &crn::State, rng: &mut rand::rngs::StdRng) {
-        self.0.initialize(crn, state, rng);
-    }
-
-    fn step(
-        &mut self,
-        crn: &Crn,
-        state: &mut crn::State,
-        time: &mut f64,
-        rng: &mut rand::rngs::StdRng,
-    ) -> gillespie::StepOutcome {
-        self.0.step(crn, state, time, rng)
-    }
-
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-}
-
 fn bench_methods(c: &mut Criterion) {
     for &length in &[10usize, 50, 200] {
         let crn = chain_network(length);
@@ -65,7 +44,7 @@ fn bench_methods(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        Simulation::new(&crn, Boxed(method.stepper()))
+                        Simulation::new(&crn, method.stepper())
                             .options(
                                 SimulationOptions::new()
                                     .seed(seed)

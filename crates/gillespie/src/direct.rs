@@ -6,7 +6,7 @@ use rand::Rng;
 
 use crate::engine::ReactionDependencyGraph;
 use crate::propensity::{propensities, propensity};
-use crate::simulator::{SsaStepper, StepOutcome};
+use crate::simulator::{select_by_weight, SsaStepper, StepOutcome};
 
 /// Gillespie's direct method (Gillespie 1977), with incremental propensity
 /// maintenance.
@@ -71,21 +71,7 @@ impl SsaStepper for DirectMethod {
         *time += -u.ln() / total;
 
         // Select the firing reaction by inverting the discrete CDF.
-        let target: f64 = rng.gen::<f64>() * total;
-        let mut acc = 0.0;
-        let mut chosen = self.propensities.len() - 1;
-        for (idx, &a) in self.propensities.iter().enumerate() {
-            acc += a;
-            if target < acc {
-                chosen = idx;
-                break;
-            }
-        }
-        // Floating-point round-off can select a reaction with zero
-        // propensity at the very end of the CDF; walk back to a fireable one.
-        while self.propensities[chosen] <= 0.0 && chosen > 0 {
-            chosen -= 1;
-        }
+        let chosen = select_by_weight(&self.propensities, total, rng);
         state
             .apply(&crn.reactions()[chosen])
             .expect("selected reaction must be fireable: propensity was positive");
@@ -201,6 +187,7 @@ mod tests {
                     propensities(&crn, &state, &mut fresh);
                     assert_eq!(method.propensities, fresh, "drift after event {event}");
                 }
+                StepOutcome::Leaped { .. } => unreachable!("the direct method never leaps"),
                 StepOutcome::Exhausted => break,
             }
         }

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::run_chunked;
 use crate::error::SimulationError;
 use crate::outcome::{Outcome, OutcomeClassifier};
-use crate::simulator::{run_trial, SimulationOptions, SsaMethod};
+use crate::simulator::{run_trial, SimulationOptions, StepperKind};
 
 /// Options controlling an ensemble run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,8 +38,8 @@ pub struct EnsembleOptions {
     pub master_seed: u64,
     /// Number of worker threads (`0` means "one per available CPU").
     pub threads: usize,
-    /// Which SSA variant to use.
-    pub method: SsaMethod,
+    /// Which stepper to use (exact SSA variants or tau-leaping).
+    pub method: StepperKind,
     /// Per-trajectory options (stop condition, recording, event limit). The
     /// per-trajectory seed is overridden by the ensemble.
     pub simulation: SimulationOptions,
@@ -51,7 +51,7 @@ impl Default for EnsembleOptions {
             trials: 1_000,
             master_seed: 0,
             threads: 0,
-            method: SsaMethod::Direct,
+            method: StepperKind::Direct,
             simulation: SimulationOptions::default(),
         }
     }
@@ -81,8 +81,8 @@ impl EnsembleOptions {
         self
     }
 
-    /// Selects the SSA variant.
-    pub fn method(mut self, method: SsaMethod) -> Self {
+    /// Selects the stepper (exact SSA variant or tau-leaping).
+    pub fn method(mut self, method: StepperKind) -> Self {
         self.method = method;
         self
     }
@@ -426,7 +426,7 @@ mod tests {
     fn all_methods_agree_on_the_coin() {
         let crn = coin_crn();
         let initial = crn.state_from_counts([("x", 1)]).unwrap();
-        for method in SsaMethod::ALL {
+        for method in StepperKind::ALL {
             let report = Ensemble::new(&crn, initial.clone(), coin_classifier(&crn))
                 .options(
                     EnsembleOptions::new()

@@ -13,6 +13,14 @@
 //! in performance characteristics, which the `bench` crate's `ssa_methods`
 //! benchmark quantifies.
 //!
+//! For high-population ensembles there is additionally [`TauLeaping`] —
+//! explicit Poisson tau-leaping with Cao–Gillespie adaptive step selection.
+//! It is *approximate*: orders of magnitude faster on dense populations,
+//! with a controlled `O(ε)` distribution bias pinned against the exact SSA
+//! by the chi-square/Kolmogorov–Smirnov conformance harness in
+//! `tests/statistical_validation.rs`. [`StepperKind`] selects between all
+//! four at run time.
+//!
 //! On top of the single-trajectory simulators, the [`Ensemble`] runner
 //! executes Monte-Carlo ensembles across threads and classifies trajectory
 //! outcomes, which is how all of the paper's figures are produced.
@@ -52,6 +60,7 @@ mod propensity;
 mod simulator;
 mod stats;
 mod stop;
+mod tau_leap;
 mod trajectory;
 
 pub use direct::DirectMethod;
@@ -64,7 +73,9 @@ pub use outcome::{Outcome, OutcomeClassifier, SpeciesThresholdClassifier, Thresh
 pub use propensity::{propensities, propensity, total_propensity};
 pub use simulator::{
     Simulation, SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepOutcome,
+    StepperKind,
 };
 pub use stats::{SpeciesStatistics, TrajectorySummary};
 pub use stop::StopCondition;
+pub use tau_leap::TauLeaping;
 pub use trajectory::{RecordingMode, Trajectory, TrajectoryPoint};

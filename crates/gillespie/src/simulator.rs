@@ -9,35 +9,44 @@ use crate::error::SimulationError;
 use crate::stop::StopCondition;
 use crate::trajectory::{Recorder, RecordingMode, Trajectory};
 
-/// The outcome of asking a stepper for the next reaction event.
+/// The outcome of asking a stepper for the next reaction event (or leap).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
-    /// A reaction fired; its index within the network is reported.
+    /// A single reaction fired; its index within the network is reported.
     Fired {
         /// Index of the reaction that fired.
         reaction: usize,
+    },
+    /// An approximate stepper advanced time by one leap, firing a batch of
+    /// reactions at once.
+    Leaped {
+        /// Total number of reaction firings applied during the leap (may be
+        /// zero when every Poisson draw came up empty).
+        firings: u64,
     },
     /// No reaction can fire (total propensity is zero).
     Exhausted,
 }
 
-/// A single-step kernel of an exact SSA variant.
+/// A single-step kernel of an SSA variant (exact or approximate).
 ///
 /// Implementations own whatever per-run caches they need (propensity
 /// vectors, putative-time queues, …); [`SsaStepper::initialize`] is called
 /// once per trajectory before the first [`SsaStepper::step`].
 ///
-/// The three provided implementations are [`DirectMethod`](crate::DirectMethod),
+/// The exact implementations are [`DirectMethod`](crate::DirectMethod),
 /// [`FirstReactionMethod`](crate::FirstReactionMethod) and
 /// [`NextReactionMethod`](crate::NextReactionMethod); they are statistically
-/// equivalent.
+/// equivalent. [`TauLeaping`](crate::TauLeaping) is approximate: it trades
+/// exactness for leaps that fire many reactions per step, and reports
+/// [`StepOutcome::Leaped`] instead of [`StepOutcome::Fired`].
 pub trait SsaStepper {
     /// Prepares internal caches for a fresh trajectory of `crn` starting in
     /// `state`.
     fn initialize(&mut self, crn: &Crn, state: &State, rng: &mut StdRng);
 
-    /// Selects the next reaction, applies it to `state`, advances `time` and
-    /// reports what happened.
+    /// Selects the next reaction (or leap), applies it to `state`, advances
+    /// `time` and reports what happened.
     fn step(
         &mut self,
         crn: &Crn,
@@ -46,14 +55,54 @@ pub trait SsaStepper {
         rng: &mut StdRng,
     ) -> StepOutcome;
 
+    /// Hints that the driver will stop the trajectory once `time` reaches
+    /// `t_stop`. Exact steppers ignore this (their per-event dynamics do not
+    /// depend on the horizon), but leaping steppers clamp their step size so
+    /// the trajectory lands exactly on the stop time instead of overshooting
+    /// it — which is what keeps terminal-state distributions comparable with
+    /// the exact methods. Called after [`SsaStepper::initialize`], only when
+    /// the stop condition implies a time bound.
+    fn set_time_limit(&mut self, _t_stop: f64) {}
+
     /// A short human-readable name for reports and benchmarks.
     fn name(&self) -> &'static str;
 }
 
-/// Identifies one of the built-in SSA variants; useful when the algorithm is
-/// chosen at run time (CLI flags, benchmark sweeps).
+/// Boxed steppers forward the trait, so a runtime-selected
+/// [`StepperKind::stepper`] can drive a [`Simulation`] directly.
+impl SsaStepper for Box<dyn SsaStepper + Send> {
+    fn initialize(&mut self, crn: &Crn, state: &State, rng: &mut StdRng) {
+        self.as_mut().initialize(crn, state, rng);
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        self.as_mut().step(crn, state, time, rng)
+    }
+
+    fn set_time_limit(&mut self, t_stop: f64) {
+        self.as_mut().set_time_limit(t_stop);
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+}
+
+/// Identifies one of the built-in steppers; useful when the algorithm is
+/// chosen at run time (CLI flags, benchmark sweeps, ensemble options).
+///
+/// The first three variants are exact and statistically equivalent;
+/// [`StepperKind::TauLeaping`] is approximate — distributionally faithful
+/// within its error-control tolerance (pinned by the conformance harness in
+/// `tests/statistical_validation.rs`) but not trajectory-exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum SsaMethod {
+pub enum StepperKind {
     /// Gillespie's direct method.
     #[default]
     Direct,
@@ -61,33 +110,81 @@ pub enum SsaMethod {
     FirstReaction,
     /// Gibson–Bruck next-reaction method.
     NextReaction,
+    /// Explicit Poisson tau-leaping with Cao–Gillespie adaptive step
+    /// selection (approximate, fast for high-population networks).
+    TauLeaping,
 }
 
-impl SsaMethod {
-    /// All built-in methods, convenient for sweeps.
-    pub const ALL: [SsaMethod; 3] = [
-        SsaMethod::Direct,
-        SsaMethod::FirstReaction,
-        SsaMethod::NextReaction,
+/// Backwards-compatible name for [`StepperKind`], predating the addition of
+/// approximate steppers.
+pub type SsaMethod = StepperKind;
+
+impl StepperKind {
+    /// All built-in methods (exact and approximate), convenient for sweeps.
+    pub const ALL: [StepperKind; 4] = [
+        StepperKind::Direct,
+        StepperKind::FirstReaction,
+        StepperKind::NextReaction,
+        StepperKind::TauLeaping,
+    ];
+
+    /// The exact methods only — use this for assertions that rely on exact
+    /// per-event statistics.
+    pub const EXACT: [StepperKind; 3] = [
+        StepperKind::Direct,
+        StepperKind::FirstReaction,
+        StepperKind::NextReaction,
     ];
 
     /// Instantiates a fresh stepper for this method.
     pub fn stepper(self) -> Box<dyn SsaStepper + Send> {
         match self {
-            SsaMethod::Direct => Box::new(crate::DirectMethod::new()),
-            SsaMethod::FirstReaction => Box::new(crate::FirstReactionMethod::new()),
-            SsaMethod::NextReaction => Box::new(crate::NextReactionMethod::new()),
+            StepperKind::Direct => Box::new(crate::DirectMethod::new()),
+            StepperKind::FirstReaction => Box::new(crate::FirstReactionMethod::new()),
+            StepperKind::NextReaction => Box::new(crate::NextReactionMethod::new()),
+            StepperKind::TauLeaping => Box::new(crate::TauLeaping::new()),
         }
     }
 
     /// A short human-readable name.
     pub fn name(self) -> &'static str {
         match self {
-            SsaMethod::Direct => "direct",
-            SsaMethod::FirstReaction => "first-reaction",
-            SsaMethod::NextReaction => "next-reaction",
+            StepperKind::Direct => "direct",
+            StepperKind::FirstReaction => "first-reaction",
+            StepperKind::NextReaction => "next-reaction",
+            StepperKind::TauLeaping => "tau-leaping",
         }
     }
+
+    /// Returns `true` for the exact SSA variants, `false` for approximate
+    /// ones.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, StepperKind::TauLeaping)
+    }
+}
+
+/// Selects an index by inverting the discrete CDF over `weights` (total mass
+/// `total`), consuming exactly one uniform draw. Floating-point round-off can
+/// land past the last positive weight; the scan walks back to a positive one.
+///
+/// Shared by [`DirectMethod`](crate::DirectMethod) and tau-leaping's exact
+/// fallback steps so both consume the RNG stream identically.
+pub(crate) fn select_by_weight(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    use rand::Rng as _;
+    let target: f64 = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    let mut chosen = weights.len() - 1;
+    for (idx, &w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            chosen = idx;
+            break;
+        }
+    }
+    while weights[chosen] <= 0.0 && chosen > 0 {
+        chosen -= 1;
+    }
+    chosen
 }
 
 /// Options controlling a single stochastic trajectory.
@@ -280,6 +377,9 @@ pub(crate) fn run_trial(
     let mut recorder = Recorder::new(options.recording);
     recorder.record_initial(&state);
     stepper.initialize(crn, &state, rng);
+    if let Some(t_stop) = options.stop.time_bound() {
+        stepper.set_time_limit(t_stop);
+    }
 
     let stop_reason = loop {
         if options.stop.is_met(time, events, &state) {
@@ -293,6 +393,10 @@ pub(crate) fn run_trial(
         match stepper.step(crn, &mut state, &mut time, rng) {
             StepOutcome::Fired { .. } => {
                 events += 1;
+                recorder.record(time, &state);
+            }
+            StepOutcome::Leaped { firings } => {
+                events += firings;
                 recorder.record(time, &state);
             }
             StepOutcome::Exhausted => break StopReason::Exhausted,

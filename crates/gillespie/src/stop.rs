@@ -110,6 +110,33 @@ impl StopCondition {
         })
     }
 
+    /// Returns a simulated time by which the condition is *guaranteed* to be
+    /// met, if one can be derived from its structure: `Time(t)` gives `t`,
+    /// `AnyOf` the smallest bound of any member, `AllOf` the largest bound
+    /// provided *every* member has one. Event- and species-based conditions
+    /// yield `None`.
+    ///
+    /// Leaping steppers use this to clamp their step size so trajectories
+    /// land exactly on a time stop instead of overshooting it; the bound is
+    /// a hint, never a substitute for [`StopCondition::is_met`].
+    pub fn time_bound(&self) -> Option<f64> {
+        match self {
+            StopCondition::Time(t) => Some(*t),
+            StopCondition::AnyOf(conditions) => conditions
+                .iter()
+                .filter_map(StopCondition::time_bound)
+                .min_by(f64::total_cmp),
+            StopCondition::AllOf(conditions) => {
+                let bounds: Vec<f64> = conditions
+                    .iter()
+                    .map(StopCondition::time_bound)
+                    .collect::<Option<_>>()?;
+                bounds.into_iter().max_by(f64::total_cmp)
+            }
+            _ => None,
+        }
+    }
+
     /// Evaluates the condition.
     pub fn is_met(&self, time: f64, events: u64, state: &State) -> bool {
         match self {
@@ -176,6 +203,26 @@ mod tests {
         assert!(StopCondition::all_of(vec![a, b]).is_met(100.0, 0, &state));
         // Empty AllOf never triggers (avoids accidental immediate stop).
         assert!(!StopCondition::all_of(vec![]).is_met(100.0, 100, &state));
+    }
+
+    #[test]
+    fn time_bounds_are_derived_structurally() {
+        assert_eq!(StopCondition::time(5.0).time_bound(), Some(5.0));
+        assert_eq!(StopCondition::events(10).time_bound(), None);
+        assert_eq!(StopCondition::exhaustion().time_bound(), None);
+        // AnyOf: met as soon as the earliest time member triggers.
+        let any = StopCondition::any_of(vec![
+            StopCondition::events(10),
+            StopCondition::time(7.0),
+            StopCondition::time(3.0),
+        ]);
+        assert_eq!(any.time_bound(), Some(3.0));
+        // AllOf: guaranteed only when every member is time-bounded.
+        let all = StopCondition::all_of(vec![StopCondition::time(7.0), StopCondition::time(3.0)]);
+        assert_eq!(all.time_bound(), Some(7.0));
+        let mixed = StopCondition::all_of(vec![StopCondition::time(7.0), StopCondition::events(1)]);
+        assert_eq!(mixed.time_bound(), None);
+        assert_eq!(StopCondition::all_of(vec![]).time_bound(), None);
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! Explicit Poisson tau-leaping with Cao–Gillespie adaptive step selection.
+
+use crn::{Crn, SpeciesId, State};
+use rand::distributions::{Distribution, Poisson};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engine::ReactionDependencyGraph;
+use crate::propensity::{propensities, propensity};
+use crate::simulator::{select_by_weight, SsaStepper, StepOutcome};
+
+/// How many times a leap is halved after a negative-population rejection
+/// before the stepper gives up and resolves the region exactly.
+const MAX_LEAP_REJECTS: u32 = 16;
+
+/// Explicit Poisson tau-leaping (Gillespie 2001) with the Cao–Gillespie
+/// adaptive step-size selection and critical-reaction partitioning
+/// (Cao, Gillespie & Petzold 2006).
+///
+/// Instead of simulating every reaction event individually, the stepper
+/// advances time by a leap `τ` chosen so that no propensity changes by more
+/// than a fraction `ε` of the total, and fires each channel a
+/// Poisson-distributed number of times. For high-population networks this
+/// replaces thousands of exact events with a single leap; the price is a
+/// controlled `O(ε)` bias in the sampled distributions, which the
+/// conformance harness in `tests/statistical_validation.rs` pins against
+/// the exact SSA.
+///
+/// The implementation keeps the exact stack's guarantees and machinery:
+///
+/// * **Critical-reaction partitioning** — any channel within
+///   [`critical_threshold`](Self::with_critical_threshold) firings of
+///   exhausting one of its reactants is excluded from leaping and fired
+///   one at a time from an exponential clock, so near-empty species are
+///   handled exactly.
+/// * **Negative-population guarding with leap rejection** — sampled firings
+///   are first accumulated into a per-species delta and committed only if
+///   every count stays non-negative; a violating leap is rejected and `τ`
+///   halved (the Poisson draws are redrawn), never applied partially.
+/// * **Exact fallback** — when the selected `τ` would cover fewer than a
+///   handful of exact events (`τ·a₀` below a small multiple), the stepper
+///   runs a burst of [`DirectMethod`](crate::DirectMethod)-style exact
+///   steps instead; low-population networks therefore degrade gracefully
+///   to the exact SSA rather than leaping badly.
+/// * **Engine reuse** — propensities are refreshed through the engine's
+///   [`ReactionDependencyGraph`] (only channels a fired reaction can have
+///   invalidated are recomputed), and the stepper plugs into
+///   [`Simulation`](crate::Simulation) and the lock-free
+///   [`Ensemble`](crate::Ensemble) unchanged, preserving the
+///   bit-identical-for-any-thread-count merging contract.
+/// * **Time-stop clamping** — when the driver announces a time stop via
+///   [`SsaStepper::set_time_limit`], leaps are clamped to land exactly on
+///   it, so terminal-state distributions are sampled at the same instant
+///   as the exact methods'.
+///
+/// Granularity caveat: one step is one leap, so
+/// [`RecordingMode::EveryEvent`](crate::RecordingMode::EveryEvent) records
+/// per *leap* (while [`SimulationResult::events`](crate::SimulationResult)
+/// still counts individual firings). Per-event analyses should use an exact
+/// stepper.
+///
+/// # Example
+///
+/// ```
+/// use gillespie::{Simulation, SimulationOptions, StopCondition, TauLeaping};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn: crn::Crn = "a -> b @ 1\nb -> a @ 1".parse()?;
+/// let initial = crn.state_from_counts([("a", 10_000)])?;
+/// let result = Simulation::new(&crn, TauLeaping::new())
+///     .options(SimulationOptions::new().seed(7).stop(StopCondition::time(5.0)))
+///     .run(&initial)?;
+/// // Thousands of firings in a handful of leaps; total mass is conserved.
+/// assert_eq!(result.final_state.total(), 10_000);
+/// assert_eq!(result.final_time, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TauLeaping {
+    epsilon: f64,
+    critical_threshold: u64,
+    ssa_factor: f64,
+    ssa_burst: u32,
+    // --- per-trajectory state ---
+    time_limit: f64,
+    exact_steps_left: u32,
+    propensities: Vec<f64>,
+    deps: ReactionDependencyGraph,
+    /// Per species: highest order of any reaction consuming it, and the
+    /// species' largest stoichiometric coefficient among those reactions —
+    /// the inputs of Cao's `g_i` factor.
+    hor: Vec<u32>,
+    hor_coeff: Vec<u32>,
+    // --- scratch buffers, reused across steps ---
+    mu: Vec<f64>,
+    var: Vec<f64>,
+    constrained: Vec<bool>,
+    critical: Vec<bool>,
+    delta: Vec<i64>,
+    firings: Vec<u64>,
+    dirty: Vec<bool>,
+}
+
+impl Default for TauLeaping {
+    fn default() -> Self {
+        TauLeaping {
+            epsilon: 0.03,
+            critical_threshold: 10,
+            ssa_factor: 10.0,
+            ssa_burst: 20,
+            time_limit: f64::INFINITY,
+            exact_steps_left: 0,
+            propensities: Vec::new(),
+            deps: ReactionDependencyGraph::new(),
+            hor: Vec::new(),
+            hor_coeff: Vec::new(),
+            mu: Vec::new(),
+            var: Vec::new(),
+            constrained: Vec::new(),
+            critical: Vec::new(),
+            delta: Vec::new(),
+            firings: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+}
+
+impl TauLeaping {
+    /// Creates a tau-leaping stepper with the standard tuning: `ε = 0.03`,
+    /// critical threshold 10, exact fallback when a leap would cover fewer
+    /// than 10 expected events.
+    pub fn new() -> Self {
+        TauLeaping::default()
+    }
+
+    /// Sets the error-control parameter `ε`: no propensity is allowed to
+    /// change by more than (roughly) a fraction `ε` over one leap. Smaller
+    /// values mean shorter, more accurate leaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "tau-leaping epsilon must lie in (0, 1), got {epsilon}"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the critical-reaction threshold `n_c`: a channel within `n_c`
+    /// firings of exhausting one of its reactants is fired exactly instead
+    /// of leaped. `0` disables the partitioning (not recommended).
+    pub fn with_critical_threshold(mut self, n_c: u64) -> Self {
+        self.critical_threshold = n_c;
+        self
+    }
+
+    /// Returns the error-control parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Computes the Cao–Gillespie leap candidate `τ` for `state` — the
+    /// largest step satisfying the `ε` error bound over the non-critical
+    /// channels — without advancing anything.
+    ///
+    /// Returns `None` when the network is exhausted or every fireable
+    /// channel is critical (no leap is possible and the stepper would fall
+    /// back to exact steps). This is a diagnostic entry point used by the
+    /// property-test suite; it reinitialises the stepper's caches, so call
+    /// it on a fresh stepper rather than mid-trajectory.
+    pub fn candidate_tau(&mut self, crn: &Crn, state: &State) -> Option<f64> {
+        self.prepare(crn, state);
+        let (a0, _a0_crit) = self.classify_critical(crn, state);
+        if a0 <= 0.0 {
+            return None;
+        }
+        let tau = self.leap_candidate(crn, state);
+        tau.is_finite().then_some(tau)
+    }
+
+    /// Rebuilds every per-trajectory cache for `crn`/`state`.
+    fn prepare(&mut self, crn: &Crn, state: &State) {
+        propensities(crn, state, &mut self.propensities);
+        self.deps.rebuild(crn);
+        let species_len = crn.species_len();
+        let reactions_len = crn.reactions().len();
+
+        self.hor.clear();
+        self.hor.resize(species_len, 0);
+        self.hor_coeff.clear();
+        self.hor_coeff.resize(species_len, 0);
+        for r in crn.reactions() {
+            let order = r.order();
+            for term in r.reactants() {
+                let i = term.species.index();
+                if order > self.hor[i] {
+                    self.hor[i] = order;
+                    self.hor_coeff[i] = term.coefficient;
+                } else if order == self.hor[i] {
+                    self.hor_coeff[i] = self.hor_coeff[i].max(term.coefficient);
+                }
+            }
+        }
+
+        self.mu.clear();
+        self.mu.resize(species_len, 0.0);
+        self.var.clear();
+        self.var.resize(species_len, 0.0);
+        self.constrained.clear();
+        self.constrained.resize(species_len, false);
+        self.delta.clear();
+        self.delta.resize(species_len, 0);
+        self.critical.clear();
+        self.critical.resize(reactions_len, false);
+        self.firings.clear();
+        self.firings.resize(reactions_len, 0);
+        self.dirty.clear();
+        self.dirty.resize(reactions_len, false);
+
+        self.exact_steps_left = 0;
+        self.time_limit = f64::INFINITY;
+    }
+
+    /// Flags every fireable channel within `critical_threshold` firings of
+    /// exhausting a reactant; returns `(a0, a0_critical)`.
+    fn classify_critical(&mut self, crn: &Crn, state: &State) -> (f64, f64) {
+        let mut a0 = 0.0;
+        let mut a0_crit = 0.0;
+        for (j, reaction) in crn.reactions().iter().enumerate() {
+            let a = self.propensities[j];
+            self.critical[j] = false;
+            if a <= 0.0 {
+                continue;
+            }
+            a0 += a;
+            let headroom = reaction
+                .reactants()
+                .iter()
+                .map(|t| state.count(t.species) / u64::from(t.coefficient))
+                .min()
+                .unwrap_or(u64::MAX);
+            if headroom < self.critical_threshold {
+                self.critical[j] = true;
+                a0_crit += a;
+            }
+        }
+        (a0, a0_crit)
+    }
+
+    /// The Cao–Gillespie `τ` bound over the non-critical channels:
+    /// `τ = min_i { max(εxᵢ/gᵢ, 1)/|μᵢ|, max(εxᵢ/gᵢ, 1)²/σᵢ² }` where the
+    /// minimum runs over reactant species of non-critical channels, `μᵢ`
+    /// and `σᵢ²` are the mean and variance rates of change of species `i`,
+    /// and `gᵢ` normalises for the highest reaction order consuming `i`.
+    /// Returns `∞` when no non-critical channel is fireable.
+    fn leap_candidate(&mut self, crn: &Crn, state: &State) -> f64 {
+        self.mu.fill(0.0);
+        self.var.fill(0.0);
+        self.constrained.fill(false);
+        for (j, reaction) in crn.reactions().iter().enumerate() {
+            let a = self.propensities[j];
+            if a <= 0.0 || self.critical[j] {
+                continue;
+            }
+            for term in reaction.reactants() {
+                self.constrained[term.species.index()] = true;
+                let v = reaction.net_change(term.species) as f64;
+                if v != 0.0 {
+                    self.mu[term.species.index()] += v * a;
+                    self.var[term.species.index()] += v * v * a;
+                }
+            }
+            for term in reaction.products() {
+                // Species also present among the reactants were accumulated
+                // above via their (already net) change.
+                if reaction.reactant_coefficient(term.species) == 0 {
+                    let v = f64::from(term.coefficient);
+                    self.mu[term.species.index()] += v * a;
+                    self.var[term.species.index()] += v * v * a;
+                }
+            }
+        }
+
+        let mut tau = f64::INFINITY;
+        for i in 0..crn.species_len() {
+            if !self.constrained[i] {
+                continue;
+            }
+            let x = state.count(SpeciesId::from_index(i));
+            let g = g_value(self.hor[i], self.hor_coeff[i], x);
+            let bound = (self.epsilon * x as f64 / g).max(1.0);
+            if self.mu[i] != 0.0 {
+                tau = tau.min(bound / self.mu[i].abs());
+            }
+            if self.var[i] > 0.0 {
+                tau = tau.min(bound * bound / self.var[i]);
+            }
+        }
+        tau
+    }
+
+    /// One exact SSA step over the maintained propensity vector — identical
+    /// in distribution (and RNG consumption) to
+    /// [`DirectMethod`](crate::DirectMethod).
+    fn exact_step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total: f64 = self.propensities.iter().sum();
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+        let chosen = select_by_weight(&self.propensities, total, rng);
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable: propensity was positive");
+        for &dep in self.deps.dependents(chosen) {
+            self.propensities[dep] = propensity(&crn.reactions()[dep], state);
+        }
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    /// Accumulates `count` firings of reaction `j` into the per-species
+    /// delta buffer.
+    fn accumulate_delta(&mut self, crn: &Crn, j: usize, count: u64) {
+        let reaction = &crn.reactions()[j];
+        let count = count as i64;
+        for term in reaction.reactants() {
+            self.delta[term.species.index()] -= count * i64::from(term.coefficient);
+        }
+        for term in reaction.products() {
+            self.delta[term.species.index()] += count * i64::from(term.coefficient);
+        }
+    }
+}
+
+/// Cao's `g_i` factor: normalises the relative-change bound `εxᵢ/gᵢ` for
+/// the highest order `hor` of any reaction consuming species `i`, with
+/// `coeff` the species' largest stoichiometry among those reactions. The
+/// small-`x` guards avoid division blow-ups; such species are critical and
+/// handled exactly anyway.
+fn g_value(hor: u32, coeff: u32, x: u64) -> f64 {
+    let xf = x as f64;
+    match (hor, coeff) {
+        (0, _) | (1, _) => 1.0,
+        (2, c) if c >= 2 && x >= 2 => 2.0 + 1.0 / (xf - 1.0),
+        (2, _) => 2.0,
+        (3, 2) if x >= 2 => 1.5 * (2.0 + 1.0 / (xf - 1.0)),
+        (3, c) if c >= 3 && x >= 3 => 3.0 + 1.0 / (xf - 1.0) + 2.0 / (xf - 2.0),
+        (3, _) => 3.0,
+        (n, _) => f64::from(n),
+    }
+}
+
+impl SsaStepper for TauLeaping {
+    fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
+        self.prepare(crn, state);
+    }
+
+    fn set_time_limit(&mut self, t_stop: f64) {
+        self.time_limit = t_stop;
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        // Inside a fallback burst: keep stepping exactly, skipping the leap
+        // machinery until the burst drains.
+        if self.exact_steps_left > 0 {
+            self.exact_steps_left -= 1;
+            return self.exact_step(crn, state, time, rng);
+        }
+
+        let (a0, a0_crit) = self.classify_critical(crn, state);
+        if a0 <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+
+        let mut tau1 = self.leap_candidate(crn, state);
+        // A leap that covers fewer than `ssa_factor` expected events is not
+        // worth its overhead (and its ε bound is doing no work): resolve the
+        // region with a burst of exact steps instead.
+        let fallback_threshold = self.ssa_factor / a0;
+        if tau1 <= fallback_threshold {
+            self.exact_steps_left = self.ssa_burst.saturating_sub(1);
+            return self.exact_step(crn, state, time, rng);
+        }
+
+        // The critical channels fire one at a time from their own
+        // exponential clock.
+        let mut tau2 = if a0_crit > 0.0 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            -u.ln() / a0_crit
+        } else {
+            f64::INFINITY
+        };
+
+        let remaining = self.time_limit - *time;
+        for _ in 0..MAX_LEAP_REJECTS {
+            let mut fire_critical = tau2 <= tau1;
+            let mut tau = if fire_critical { tau2 } else { tau1 };
+            let mut clamped = false;
+            if remaining > 0.0 && remaining.is_finite() && tau > remaining {
+                // Land exactly on the driver's time stop; any critical event
+                // beyond it no longer happens within this trajectory.
+                tau = remaining;
+                fire_critical = false;
+                clamped = true;
+            }
+            if !tau.is_finite() {
+                // Degenerate network (no net state change anywhere): treat
+                // exactly rather than leaping an infinite span.
+                return self.exact_step(crn, state, time, rng);
+            }
+
+            // Draw the batch of firings and accumulate the species deltas.
+            self.delta.fill(0);
+            self.firings.fill(0);
+            let mut total_firings = 0u64;
+            for j in 0..crn.reactions().len() {
+                let a = self.propensities[j];
+                if a <= 0.0 || self.critical[j] {
+                    continue;
+                }
+                let k = Poisson::new(a * tau).sample(rng);
+                if k > 0 {
+                    self.firings[j] = k;
+                    total_firings += k;
+                    self.accumulate_delta(crn, j, k);
+                }
+            }
+            if fire_critical {
+                // Choose which critical channel fires, proportionally to the
+                // critical propensities.
+                let mut target: f64 = rng.gen::<f64>() * a0_crit;
+                let mut chosen = None;
+                for (j, &is_critical) in self.critical.iter().enumerate() {
+                    if !is_critical {
+                        continue;
+                    }
+                    target -= self.propensities[j];
+                    chosen = Some(j);
+                    if target < 0.0 {
+                        break;
+                    }
+                }
+                if let Some(j) = chosen {
+                    self.firings[j] += 1;
+                    total_firings += 1;
+                    self.accumulate_delta(crn, j, 1);
+                }
+            }
+
+            // Negative-population guard: commit all-or-nothing.
+            let violation = self
+                .delta
+                .iter()
+                .enumerate()
+                .any(|(i, &d)| d < 0 && state.count(SpeciesId::from_index(i)) as i64 + d < 0);
+            if violation {
+                // Reject the whole leap and retry with half the step. The
+                // critical clock is redrawn on the next step call, which the
+                // exponential's memorylessness makes harmless.
+                tau1 = tau * 0.5;
+                tau2 = f64::INFINITY;
+                if tau1 <= fallback_threshold {
+                    self.exact_steps_left = self.ssa_burst.saturating_sub(1);
+                    return self.exact_step(crn, state, time, rng);
+                }
+                continue;
+            }
+
+            for (i, &d) in self.delta.iter().enumerate() {
+                if d != 0 {
+                    let id = SpeciesId::from_index(i);
+                    state.set(id, (state.count(id) as i64 + d) as u64);
+                }
+            }
+            // A clamped leap lands bit-exactly on the stop time; `t + (T−t)`
+            // would round past or short of it.
+            *time = if clamped {
+                self.time_limit
+            } else {
+                *time + tau
+            };
+
+            // Refresh exactly the propensities the fired channels can have
+            // invalidated, via the shared dependency graph.
+            if total_firings > 0 {
+                self.dirty.fill(false);
+                for (j, &k) in self.firings.iter().enumerate() {
+                    if k > 0 {
+                        for &dep in self.deps.dependents(j) {
+                            self.dirty[dep] = true;
+                        }
+                    }
+                }
+                for (r, &dirty) in self.dirty.iter().enumerate() {
+                    if dirty {
+                        self.propensities[r] = propensity(&crn.reactions()[r], state);
+                    }
+                }
+            }
+            return StepOutcome::Leaped {
+                firings: total_firings,
+            };
+        }
+
+        // Persistent rejection: the state sits so close to a boundary that
+        // leaping keeps failing — resolve exactly.
+        self.exact_steps_left = self.ssa_burst.saturating_sub(1);
+        self.exact_step(crn, state, time, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "tau-leaping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Simulation, SimulationOptions};
+    use crate::stop::StopCondition;
+
+    #[test]
+    fn conserves_mass_on_a_closed_network() {
+        let crn: Crn = "a -> b @ 2\nb -> a @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 50_000)]).unwrap();
+        let result = Simulation::new(&crn, TauLeaping::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(1)
+                    .stop(StopCondition::time(3.0)),
+            )
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.final_state.total(), 50_000);
+        assert_eq!(result.final_time, 3.0, "leaps must land on the time stop");
+        assert!(result.events > 100_000, "high-population run must leap");
+    }
+
+    #[test]
+    fn leaps_fire_many_events_per_step() {
+        let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 20_000)]).unwrap();
+        let result = Simulation::new(&crn, TauLeaping::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(5)
+                    .stop(StopCondition::time(1.0))
+                    .recording(crate::trajectory::RecordingMode::EveryEvent),
+            )
+            .run(&initial)
+            .unwrap();
+        let steps = result.trajectory.len() as u64 - 1;
+        assert!(
+            result.events > steps * 50,
+            "{} firings over {steps} steps is not leaping",
+            result.events
+        );
+    }
+
+    #[test]
+    fn small_populations_fall_back_to_exact_behaviour() {
+        // A single molecule can never be leaped: every channel is critical
+        // and tau would cover less than one event.
+        let crn: Crn = "x -> h @ 3\nx -> t @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let h = crn.species_id("h").unwrap();
+        let t = crn.species_id("t").unwrap();
+        let mut heads = 0u64;
+        for seed in 0..2_000 {
+            let result = Simulation::new(&crn, TauLeaping::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            assert_eq!(result.events, 1);
+            assert_eq!(result.final_state.count(h) + result.final_state.count(t), 1);
+            heads += result.final_state.count(h);
+        }
+        let p = heads as f64 / 2_000.0;
+        assert!((p - 0.75).abs() < 0.03, "heads probability {p}");
+    }
+
+    #[test]
+    fn populations_never_go_negative_near_extinction() {
+        // Pure death from a modest count: the guard plus critical handling
+        // must walk the population to exactly zero.
+        let crn: Crn = "a -> 0 @ 10".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 5_000)]).unwrap();
+        for seed in 0..20 {
+            let result = Simulation::new(&crn, TauLeaping::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            assert_eq!(result.events, 5_000, "every molecule dies exactly once");
+            assert_eq!(result.final_state.total(), 0);
+        }
+    }
+
+    #[test]
+    fn candidate_tau_scales_with_epsilon() {
+        let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
+        let state = crn
+            .state_from_counts([("a", 10_000), ("b", 10_000)])
+            .unwrap();
+        let tau_at = |eps: f64| {
+            TauLeaping::new()
+                .with_epsilon(eps)
+                .candidate_tau(&crn, &state)
+                .expect("leap possible")
+        };
+        let coarse = tau_at(0.1);
+        let fine = tau_at(0.01);
+        assert!(fine < coarse, "fine {fine} should be below coarse {coarse}");
+        assert!(fine > 0.0);
+    }
+
+    #[test]
+    fn candidate_tau_is_none_when_exhausted_or_fully_critical() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        let exhausted = crn.state_from_counts([("b", 10)]).unwrap();
+        assert_eq!(TauLeaping::new().candidate_tau(&crn, &exhausted), None);
+        // Fireable but with only 3 molecules: critical, so no leap.
+        let critical = crn.state_from_counts([("a", 3)]).unwrap();
+        assert_eq!(TauLeaping::new().candidate_tau(&crn, &critical), None);
+    }
+
+    #[test]
+    fn second_order_g_values_guard_small_counts() {
+        assert_eq!(g_value(1, 1, 100), 1.0);
+        assert_eq!(g_value(2, 1, 100), 2.0);
+        assert!((g_value(2, 2, 5) - 2.25).abs() < 1e-12);
+        assert_eq!(g_value(2, 2, 1), 2.0);
+        assert!((g_value(3, 3, 6) - (3.0 + 0.2 + 0.5)).abs() < 1e-12);
+        assert_eq!(g_value(4, 1, 10), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn rejects_invalid_epsilon() {
+        let _ = TauLeaping::new().with_epsilon(1.5);
+    }
+}

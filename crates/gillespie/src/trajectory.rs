@@ -13,7 +13,13 @@ pub enum RecordingMode {
     /// Record nothing but the final state (the default).
     #[default]
     FinalOnly,
-    /// Record the state after every reaction event.
+    /// Record the state after every stepper step. For the exact SSA
+    /// variants a step is a single reaction event, so the trajectory holds
+    /// one point per event (`trajectory.len() == events + 1`). For
+    /// [`TauLeaping`](crate::TauLeaping) a step is one *leap* covering a
+    /// whole batch of firings, so points are per leap and far sparser than
+    /// [`SimulationResult::events`](crate::SimulationResult::events); use an
+    /// exact stepper for per-event analyses.
     EveryEvent,
     /// Record the state at most once per `interval` of simulated time.
     Interval(f64),

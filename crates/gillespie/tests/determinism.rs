@@ -216,3 +216,59 @@ fn master_seed_alone_reproduces_a_report() {
     let second = run_coin_ensemble(5);
     assert_eq!(first, second);
 }
+
+/// Tau-leaping runs under the same engine contract as the exact methods:
+/// trial `i` seeds its RNG with `master_seed + i` and partials merge in
+/// trial order, so the full ensemble report — Poisson leap draws, rejection
+/// retries, floating-point means and all — is bit-identical across 1/2/4/8
+/// worker threads. The network is high-population so the trajectories
+/// genuinely leap rather than falling back to exact stepping.
+#[test]
+fn tau_leaping_reports_are_bit_identical_across_thread_counts() {
+    let crn: Crn = "a -> b @ 1\n\
+                    b -> a @ 1\n\
+                    2 b -> c @ 0.00001\n\
+                    c -> 2 b @ 0.1"
+        .parse()
+        .unwrap();
+    let initial = crn.state_from_counts([("a", 3_000), ("b", 3_000)]).unwrap();
+    let run = |threads: usize| {
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "c", 1, "dimerised")
+            .unwrap();
+        Ensemble::new(&crn, initial.clone(), classifier)
+            .options(
+                EnsembleOptions::new()
+                    .trials(97) // deliberately not a multiple of any thread count
+                    .master_seed(20_260_728)
+                    .threads(threads)
+                    .method(SsaMethod::TauLeaping)
+                    .simulation(SimulationOptions::new().stop(StopCondition::time(0.5))),
+            )
+            .run()
+            .unwrap()
+    };
+    let single = run(1);
+    // The workload must actually leap: 97 trials of a ~6000-molecule network
+    // over t=0.5 fire far more events than any exact stepper could in the
+    // same budget of steps.
+    assert!(
+        single.mean_events > 1_000.0,
+        "mean events {} — the network is not leaping",
+        single.mean_events
+    );
+    for threads in [2usize, 4, 8] {
+        let multi = run(threads);
+        assert_eq!(single, multi, "{threads} threads: reports differ");
+        assert_eq!(
+            single.mean_events.to_bits(),
+            multi.mean_events.to_bits(),
+            "{threads} threads: mean_events differs in the last bit"
+        );
+        assert_eq!(
+            single.mean_final_time.to_bits(),
+            multi.mean_final_time.to_bits(),
+            "{threads} threads: mean_final_time differs in the last bit"
+        );
+    }
+}

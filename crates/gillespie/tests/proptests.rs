@@ -2,8 +2,8 @@
 
 use crn::Crn;
 use gillespie::{
-    propensity, DirectMethod, FirstReactionMethod, NextReactionMethod, Simulation,
-    SimulationOptions, SsaStepper, StopCondition,
+    propensity, DirectMethod, FirstReactionMethod, NextReactionMethod, RecordingMode, Simulation,
+    SimulationOptions, SsaStepper, StopCondition, TauLeaping,
 };
 use proptest::prelude::*;
 
@@ -61,26 +61,10 @@ proptest! {
         let options = SimulationOptions::new()
             .seed(seed)
             .stop(StopCondition::events(500));
+        // Boxed steppers implement `SsaStepper` directly, so the runtime
+        // choice can drive `Simulation` without an adapter.
         let run = |stepper: Box<dyn SsaStepper + Send>| {
-            struct Adapter(Box<dyn SsaStepper + Send>);
-            impl SsaStepper for Adapter {
-                fn initialize(&mut self, crn: &Crn, state: &crn::State, rng: &mut rand::rngs::StdRng) {
-                    self.0.initialize(crn, state, rng);
-                }
-                fn step(
-                    &mut self,
-                    crn: &Crn,
-                    state: &mut crn::State,
-                    time: &mut f64,
-                    rng: &mut rand::rngs::StdRng,
-                ) -> gillespie::StepOutcome {
-                    self.0.step(crn, state, time, rng)
-                }
-                fn name(&self) -> &'static str {
-                    self.0.name()
-                }
-            }
-            Simulation::new(&crn, Adapter(stepper))
+            Simulation::new(&crn, stepper)
                 .options(options.clone())
                 .run(&initial)
                 .expect("trajectory")
@@ -135,6 +119,104 @@ proptest! {
             .expect("trajectory");
         prop_assert!(result.events <= limit);
         prop_assert!(result.final_time >= 0.0);
+    }
+
+    /// Tau-leaping never drives a population negative: on a closed
+    /// conversion network every recorded step (leaps included) conserves
+    /// the total molecule count exactly. A partial or negative leap would
+    /// break conservation — `State` counts are unsigned, so an unguarded
+    /// negative delta would wrap to an enormous total.
+    #[test]
+    fn tau_leaping_never_drives_populations_negative(
+        crn in conversion_network(),
+        a0 in 1u64..20_000,
+        b0 in 0u64..20_000,
+        seed in 0u64..1_000,
+    ) {
+        let initial = crn.state_from_counts([("a", a0), ("b", b0)]).expect("state");
+        let total = a0 + b0;
+        let result = Simulation::new(&crn, TauLeaping::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(0.5))
+                    .recording(RecordingMode::EveryEvent)
+                    .max_events(5_000_000),
+            )
+            .run(&initial)
+            .expect("trajectory");
+        for point in result.trajectory.points() {
+            prop_assert_eq!(point.state.total(), total);
+        }
+        prop_assert_eq!(result.final_state.total(), total);
+    }
+
+    /// The same guard on a second-order network: one firing of `2a -> b`
+    /// consumes two molecules at once, so the linear invariant `a + 2b`
+    /// catches any over-consuming leap.
+    #[test]
+    fn tau_leaping_preserves_dimerisation_invariant(
+        k1 in 1e-5f64..1e-2,
+        k2 in 0.05f64..5.0,
+        a0 in 2u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let crn: Crn = format!("2 a -> b @ {k1}\nb -> 2 a @ {k2}")
+            .parse()
+            .expect("network");
+        let a = crn.species_id("a").expect("species");
+        let b = crn.species_id("b").expect("species");
+        let initial = crn.state_from_counts([("a", a0)]).expect("state");
+        let result = Simulation::new(&crn, TauLeaping::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(0.5))
+                    .recording(RecordingMode::EveryEvent)
+                    .max_events(5_000_000),
+            )
+            .run(&initial)
+            .expect("trajectory");
+        for point in result.trajectory.points() {
+            prop_assert_eq!(point.state.count(a) + 2 * point.state.count(b), a0);
+        }
+    }
+
+    /// The Cao–Gillespie leap candidate shrinks monotonically as the
+    /// error-control ε shrinks: a tighter tolerance can only ask for a
+    /// shorter (or equal, once the `max(εx/g, 1)` floor binds) leap.
+    #[test]
+    fn tau_candidate_shrinks_monotonically_with_epsilon(
+        crn in conversion_network(),
+        a0 in 0u64..50_000,
+        b0 in 0u64..50_000,
+        c0 in 0u64..50_000,
+        eps_lo in 0.001f64..0.5,
+        ratio in 0.01f64..1.0,
+    ) {
+        let eps_hi = eps_lo;
+        let eps_lo = eps_lo * ratio;
+        let state = crn
+            .state_from_counts([("a", a0), ("b", b0), ("c", c0)])
+            .expect("state");
+        let tau_at = |eps: f64| {
+            TauLeaping::new().with_epsilon(eps).candidate_tau(&crn, &state)
+        };
+        match (tau_at(eps_lo), tau_at(eps_hi)) {
+            (Some(fine), Some(coarse)) => {
+                prop_assert!(fine > 0.0);
+                prop_assert!(
+                    fine <= coarse,
+                    "tau(ε={eps_lo}) = {fine} > tau(ε={eps_hi}) = {coarse}"
+                );
+            }
+            // Exhaustion / full criticality does not depend on ε: the two
+            // candidates must agree on feasibility.
+            (None, None) => {}
+            (fine, coarse) => {
+                prop_assert!(false, "feasibility diverged: {fine:?} vs {coarse:?}");
+            }
+        }
     }
 
     /// `StopCondition::any_of` and `all_of` behave exactly like logical OR

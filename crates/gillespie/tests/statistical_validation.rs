@@ -1,57 +1,197 @@
-//! Statistical validation of the exact simulators against closed-form
-//! results from stochastic chemical kinetics. These tests are the ground
-//! truth behind every Monte-Carlo figure in the reproduction: if the SSA
-//! kernels are biased, every downstream probability estimate is wrong.
+//! Statistical validation of the simulators against closed-form results
+//! from stochastic chemical kinetics. These tests are the ground truth
+//! behind every Monte-Carlo figure in the reproduction: if the SSA kernels
+//! are biased, every downstream probability estimate is wrong.
+//!
+//! The distribution-level assertions run through the `numerics` conformance
+//! harness (chi-square goodness-of-fit against analytic laws, two-sample
+//! chi-square/Kolmogorov–Smirnov between methods) with *seeded tolerance
+//! bands*: fixed seeds make each test deterministic, and the significance
+//! level `ALPHA` is small enough that only a systematic distributional
+//! error — not Monte-Carlo noise — can fail it. Tau-leaping, the one
+//! approximate stepper, must pass the same bands as the exact methods.
 
 use crn::Crn;
 use gillespie::{
-    DirectMethod, Ensemble, EnsembleOptions, FirstReactionMethod, NextReactionMethod, Simulation,
-    SimulationOptions, SpeciesThresholdClassifier, SsaMethod, StopCondition, TrajectorySummary,
+    DirectMethod, Simulation, SimulationOptions, StepperKind, StopCondition, TrajectorySummary,
+};
+use numerics::{
+    chi_square_goodness_of_fit, histogram_chi_square, histogram_ks, poisson_pmf, Histogram,
 };
 
+/// Significance level of the seeded tolerance bands. Under the null (solver
+/// is faithful) a fixed-seed run sits comfortably above this; a systematic
+/// bias pushes the p-value to ~0 and fails loudly.
+const ALPHA: f64 = 1e-3;
+
+/// Runs one trajectory per seed in `seeds` of `crn` to time `t_end` with
+/// the given stepper and histograms the final count of `species` over the
+/// integer range `lo..=hi` (one bin per integer; out-of-range finals clamp
+/// to the edge bins, as the harness expects).
+fn final_count_histogram(
+    crn: &Crn,
+    initial: &crn::State,
+    method: StepperKind,
+    species: crn::SpeciesId,
+    seeds: std::ops::Range<u64>,
+    t_end: f64,
+    (lo, hi): (u64, u64),
+) -> Histogram {
+    let mut hist = Histogram::new(lo as f64 - 0.5, hi as f64 + 0.5, (hi - lo + 1) as usize);
+    for seed in seeds {
+        let result = Simulation::new(crn, method.stepper())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(t_end))
+                    .max_events(10_000_000),
+            )
+            .run(initial)
+            .expect("trajectory");
+        hist.add(result.final_state.count(species) as f64);
+    }
+    hist
+}
+
 /// Immigration–death process `∅ -> a` (rate λ), `a -> ∅` (rate μ per
-/// molecule): the stationary distribution is Poisson(λ/μ), so the long-run
-/// mean count is λ/μ.
+/// molecule): the stationary distribution is exactly Poisson(λ/μ). Every
+/// stepper — the three exact ones *and* tau-leaping — must reproduce it
+/// bin for bin, and the approximate stepper must be two-sample
+/// indistinguishable from the exact reference.
 #[test]
-fn immigration_death_process_reaches_poisson_mean() {
-    let lambda = 20.0;
+fn birth_death_stationary_distribution_conforms_for_every_method() {
+    let lambda = 400.0;
     let mu = 2.0;
+    let mean = lambda / mu; // 200
     let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}")
         .parse()
         .expect("network");
     let a = crn.species_id("a").expect("species");
+    // Start at the stationary mean so t_end only needs to erase the
+    // (deterministic) initial condition, not build the population.
+    let initial = crn.state_from_counts([("a", mean as u64)]).expect("state");
+    let (lo, hi) = (140u64, 260u64); // ±4.3 standard deviations around 200
+    let expected: Vec<f64> = (lo..=hi).map(|k| poisson_pmf(mean, k)).collect();
 
-    let mut summary = TrajectorySummary::for_crn(&crn);
-    let trajectories = 300;
-    for seed in 0..trajectories {
-        let result = Simulation::new(&crn, DirectMethod::new())
-            .options(
-                SimulationOptions::new()
-                    .seed(seed)
-                    .stop(StopCondition::time(20.0))
-                    .max_events(1_000_000),
-            )
-            .run(&crn.zero_state())
-            .expect("trajectory");
-        summary.push(&result);
+    let trials = 1_500u64;
+    let mut reference: Option<Histogram> = None;
+    for method in StepperKind::ALL {
+        let hist = final_count_histogram(
+            &crn,
+            &initial,
+            method,
+            a,
+            9_000..9_000 + trials,
+            3.0,
+            (lo, hi),
+        );
+        let gof = chi_square_goodness_of_fit(hist.counts(), &expected).expect("test");
+        assert!(
+            gof.passes(ALPHA),
+            "{}: Poisson({mean}) goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
+            method.name(),
+            gof.statistic,
+            gof.dof,
+            gof.p_value
+        );
+        match &reference {
+            None => reference = Some(hist),
+            Some(exact) => {
+                let chi = histogram_chi_square(exact, &hist).expect("test");
+                let ks = histogram_ks(exact, &hist).expect("test");
+                assert!(
+                    chi.passes(ALPHA) && ks.passes(ALPHA),
+                    "{} vs direct: chi2 p = {:.2e}, KS p = {:.2e}",
+                    method.name(),
+                    chi.p_value,
+                    ks.p_value
+                );
+            }
+        }
     }
-    let mean = summary.species(a).mean();
-    let expected = lambda / mu;
-    assert!(
-        (mean - expected).abs() < 0.6,
-        "stationary mean {mean} should be close to {expected}"
-    );
-    // Poisson: variance equals the mean.
-    let variance = summary.species(a).variance();
-    assert!(
-        (variance - expected).abs() < 3.0,
-        "stationary variance {variance} should be close to {expected}"
-    );
+}
+
+/// Reversible dimerisation `2a <-> b` is a one-dimensional birth–death
+/// chain in the dimer count, so its stationary law has an exact
+/// detailed-balance product form. All four steppers must conform to it —
+/// this exercises second-order propensities and the `g_i = 2 + 1/(x−1)`
+/// branch of tau-leaping's step selection.
+#[test]
+fn dimerisation_stationary_distribution_conforms_for_every_method() {
+    let k1 = 2e-4; // 2a -> b ; propensity k1·a(a−1)/2
+    let k2 = 1.0; // b -> 2a ; propensity k2·b
+    let n = 2_000u64; // conserved monomer total a + 2b
+    let crn: Crn = format!("2 a -> b @ {k1}\nb -> 2 a @ {k2}")
+        .parse()
+        .expect("network");
+    let b = crn.species_id("b").expect("species");
+    let initial = crn.state_from_counts([("a", n)]).expect("state");
+
+    // Detailed balance on the chain in b: π(b+1)/π(b) = fwd(b)/back(b+1),
+    // computed in log space and normalised.
+    let fwd = |b_count: u64| {
+        let a = (n - 2 * b_count) as f64;
+        k1 * a * (a - 1.0) / 2.0
+    };
+    let mut log_pi = vec![0.0f64];
+    for b_count in 0..n / 2 {
+        let ratio = fwd(b_count) / (k2 * (b_count + 1) as f64);
+        if ratio <= 0.0 {
+            break;
+        }
+        log_pi.push(log_pi.last().unwrap() + ratio.ln());
+    }
+    let max = log_pi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let pi: Vec<f64> = log_pi.iter().map(|&l| (l - max).exp()).collect();
+    let total: f64 = pi.iter().sum();
+    let pi: Vec<f64> = pi.iter().map(|&p| p / total).collect();
+    // Restrict to the region carrying essentially all the mass.
+    let lo = pi.iter().position(|&p| p > 1e-9).unwrap() as u64;
+    let hi = (pi.len() - 1 - pi.iter().rev().position(|&p| p > 1e-9).unwrap()) as u64;
+    let expected: Vec<f64> = (lo..=hi).map(|k| pi[k as usize]).collect();
+
+    let trials = 1_200u64;
+    let mut reference: Option<Histogram> = None;
+    for method in StepperKind::ALL {
+        let hist = final_count_histogram(
+            &crn,
+            &initial,
+            method,
+            b,
+            70_000..70_000 + trials,
+            4.0,
+            (lo, hi),
+        );
+        let gof = chi_square_goodness_of_fit(hist.counts(), &expected).expect("test");
+        assert!(
+            gof.passes(ALPHA),
+            "{}: detailed-balance goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
+            method.name(),
+            gof.statistic,
+            gof.dof,
+            gof.p_value
+        );
+        match &reference {
+            None => reference = Some(hist),
+            Some(exact) => {
+                let chi = histogram_chi_square(exact, &hist).expect("test");
+                let ks = histogram_ks(exact, &hist).expect("test");
+                assert!(
+                    chi.passes(ALPHA) && ks.passes(ALPHA),
+                    "{} vs direct: chi2 p = {:.2e}, KS p = {:.2e}",
+                    method.name(),
+                    chi.p_value,
+                    ks.p_value
+                );
+            }
+        }
+    }
 }
 
 /// Reversible isomerisation `a <-> b` with rates k₁, k₂ starting from N
 /// molecules of `a`: at equilibrium each molecule is independently in state
-/// `b` with probability k₁/(k₁+k₂).
+/// `b` with probability k₁/(k₁+k₂). Mean-level sanity check for every
+/// stepper, including the approximate one.
 #[test]
 fn reversible_isomerisation_reaches_binomial_equilibrium() {
     let k1 = 3.0;
@@ -63,22 +203,19 @@ fn reversible_isomerisation_reaches_binomial_equilibrium() {
     let b = crn.species_id("b").expect("species");
     let initial = crn.state_from_counts([("a", n)]).expect("state");
 
-    for method in SsaMethod::ALL {
+    for method in StepperKind::ALL {
         let mut summary = TrajectorySummary::for_crn(&crn);
         for seed in 0..60u64 {
             // Drive the chain long enough to forget the initial condition.
-            let result = match method {
-                SsaMethod::Direct => Simulation::new(&crn, DirectMethod::new())
-                    .options(equilibration_options(seed))
-                    .run(&initial),
-                SsaMethod::FirstReaction => Simulation::new(&crn, FirstReactionMethod::new())
-                    .options(equilibration_options(seed))
-                    .run(&initial),
-                SsaMethod::NextReaction => Simulation::new(&crn, NextReactionMethod::new())
-                    .options(equilibration_options(seed))
-                    .run(&initial),
-            }
-            .expect("trajectory");
+            let result = Simulation::new(&crn, method.stepper())
+                .options(
+                    SimulationOptions::new()
+                        .seed(seed)
+                        .stop(StopCondition::time(5.0))
+                        .max_events(1_000_000),
+                )
+                .run(&initial)
+                .expect("trajectory");
             summary.push(&result);
         }
         let mean = summary.species(b).mean();
@@ -88,13 +225,6 @@ fn reversible_isomerisation_reaches_binomial_equilibrium() {
             "{method:?}: equilibrium mean {mean} should be close to {expected}"
         );
     }
-}
-
-fn equilibration_options(seed: u64) -> SimulationOptions {
-    SimulationOptions::new()
-        .seed(seed)
-        .stop(StopCondition::time(5.0))
-        .max_events(1_000_000)
 }
 
 /// A pure death process starting from N molecules: the completion time has
@@ -130,6 +260,7 @@ fn pure_death_completion_time_matches_theory() {
 /// classifier stack at several rate ratios.
 #[test]
 fn competing_channels_split_by_propensity_ratio() {
+    use gillespie::{Ensemble, EnsembleOptions, SpeciesThresholdClassifier};
     for &(ka, kb) in &[(1.0f64, 1.0f64), (2.0, 6.0), (9.0, 1.0)] {
         let crn: Crn = format!("x -> a @ {ka}\nx -> b @ {kb}")
             .parse()

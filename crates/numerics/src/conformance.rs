@@ -1,0 +1,587 @@
+//! Distribution-conformance tests: chi-square and Kolmogorov–Smirnov.
+//!
+//! The paper validates its synthesized modules by their *distributions* —
+//! outcome frequencies, terminal molecule counts — rather than by individual
+//! trajectories. Approximate solvers (tau-leaping) are therefore acceptable
+//! exactly when their sampled distributions are statistically
+//! indistinguishable from the exact SSA's. This module is the shared harness
+//! that turns that requirement into assertions:
+//!
+//! * [`chi_square_goodness_of_fit`] — one sample against an analytic pmf
+//!   (e.g. the Poisson stationary law of a birth–death process);
+//! * [`chi_square_two_sample`] — two empirical binned samples against each
+//!   other (e.g. tau-leaping vs. the direct method);
+//! * [`ks_two_sample`] — two-sample Kolmogorov–Smirnov over binned data
+//!   (sensitive to CDF shifts the pooled chi-square can miss);
+//! * [`histogram_chi_square`] / [`histogram_ks`] — the same tests over
+//!   [`Histogram`]s, checking the binnings agree first.
+//!
+//! Every test returns a [`TestResult`] with the statistic and a p-value;
+//! callers assert `result.passes(alpha)` with a *seeded tolerance band* — a
+//! small `alpha` (say `1e-3`) under a fixed RNG seed, so the assertion is
+//! deterministic yet would catch any systematic distributional drift.
+//!
+//! Chi-square bins are pooled left-to-right until each pooled bin carries an
+//! expected (or combined) count of at least [`MIN_EXPECTED_PER_BIN`], the
+//! standard validity condition for the chi-square approximation. The KS
+//! p-value uses the asymptotic Kolmogorov distribution, which is
+//! conservative on discrete/binned data — fine for conformance assertions,
+//! where conservative means "fails only on real discrepancies".
+
+use crate::error::NumericsError;
+use crate::histogram::Histogram;
+
+/// Minimum expected (goodness-of-fit) or combined (two-sample) count per
+/// pooled chi-square bin.
+pub const MIN_EXPECTED_PER_BIN: f64 = 5.0;
+
+/// The outcome of one conformance test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (chi-square value, or the KS distance `D`).
+    pub statistic: f64,
+    /// Degrees of freedom for chi-square tests; the effective sample size
+    /// `n₁n₂/(n₁+n₂)` for the KS test.
+    pub dof: f64,
+    /// The probability of a statistic at least this extreme under the null
+    /// hypothesis that the distributions agree.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Returns `true` if the null hypothesis ("the distributions agree")
+    /// survives at significance level `alpha`, i.e. `p_value >= alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// One-sample chi-square goodness-of-fit test of binned observations against
+/// an analytic probability mass function.
+///
+/// `expected` gives the probability of each bin (any non-negative weights —
+/// they are normalised internally). Bins are pooled left-to-right until each
+/// pooled bin has expected count ≥ [`MIN_EXPECTED_PER_BIN`].
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] when the slices are empty or of
+/// mismatched length, when the observations or weights are all zero, when a
+/// weight is negative or non-finite, or when pooling leaves fewer than two
+/// bins (no degrees of freedom to test).
+///
+/// # Example
+///
+/// ```
+/// // A fair die, observed 600 rolls.
+/// let observed = [95u64, 103, 101, 99, 104, 98];
+/// let expected = [1.0f64; 6];
+/// let r = numerics::chi_square_goodness_of_fit(&observed, &expected).unwrap();
+/// assert!(r.passes(0.01));
+/// ```
+pub fn chi_square_goodness_of_fit(
+    observed: &[u64],
+    expected: &[f64],
+) -> Result<TestResult, NumericsError> {
+    if observed.is_empty() || observed.len() != expected.len() {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "observed ({}) and expected ({}) must be non-empty and equal-length",
+                observed.len(),
+                expected.len()
+            ),
+        });
+    }
+    if expected.iter().any(|&p| !p.is_finite() || p < 0.0) {
+        return Err(NumericsError::InvalidInput {
+            message: "expected weights must be finite and non-negative".to_string(),
+        });
+    }
+    let total = observed.iter().sum::<u64>() as f64;
+    let weight_sum: f64 = expected.iter().sum();
+    if total == 0.0 || weight_sum <= 0.0 {
+        return Err(NumericsError::InvalidInput {
+            message: "need at least one observation and positive expected mass".to_string(),
+        });
+    }
+
+    // Pool left-to-right so every pooled bin has enough expected mass.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (&o, &p) in observed.iter().zip(expected) {
+        acc_obs += o as f64;
+        acc_exp += total * p / weight_sum;
+        if acc_exp >= MIN_EXPECTED_PER_BIN {
+            pooled.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    // Fold any under-weight tail into the last pooled bin.
+    if acc_exp > 0.0 || acc_obs > 0.0 {
+        match pooled.last_mut() {
+            Some(last) => {
+                last.0 += acc_obs;
+                last.1 += acc_exp;
+            }
+            None => pooled.push((acc_obs, acc_exp)),
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(NumericsError::InvalidInput {
+            message: "fewer than two bins left after pooling; widen the histogram".to_string(),
+        });
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum();
+    let dof = (pooled.len() - 1) as f64;
+    Ok(TestResult {
+        statistic,
+        dof,
+        p_value: chi_square_sf(statistic, dof),
+    })
+}
+
+/// Two-sample chi-square test: are two binned samples drawn from the same
+/// distribution?
+///
+/// Uses the standard statistic
+/// `X² = Σᵢ (√(n₂/n₁)·Rᵢ − √(n₁/n₂)·Sᵢ)² / (Rᵢ + Sᵢ)` with bins pooled
+/// until each carries a combined count of at least
+/// [`MIN_EXPECTED_PER_BIN`]; degrees of freedom are `bins − 1`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] for empty/mismatched inputs, an
+/// empty sample, or fewer than two pooled bins.
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> Result<TestResult, NumericsError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "samples must be non-empty and equal-length (got {} and {})",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    let n1 = a.iter().sum::<u64>() as f64;
+    let n2 = b.iter().sum::<u64>() as f64;
+    if n1 == 0.0 || n2 == 0.0 {
+        return Err(NumericsError::InvalidInput {
+            message: "both samples need at least one observation".to_string(),
+        });
+    }
+    let k1 = (n2 / n1).sqrt();
+    let k2 = (n1 / n2).sqrt();
+
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let mut acc_a = 0.0;
+    let mut acc_b = 0.0;
+    for (&r, &s) in a.iter().zip(b) {
+        acc_a += r as f64;
+        acc_b += s as f64;
+        if acc_a + acc_b >= MIN_EXPECTED_PER_BIN {
+            pooled.push((acc_a, acc_b));
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 {
+        match pooled.last_mut() {
+            Some(last) => {
+                last.0 += acc_a;
+                last.1 += acc_b;
+            }
+            None => pooled.push((acc_a, acc_b)),
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(NumericsError::InvalidInput {
+            message: "fewer than two bins left after pooling; widen the histogram".to_string(),
+        });
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(r, s)| {
+            let d = k1 * r - k2 * s;
+            d * d / (r + s)
+        })
+        .sum();
+    let dof = (pooled.len() - 1) as f64;
+    Ok(TestResult {
+        statistic,
+        dof,
+        p_value: chi_square_sf(statistic, dof),
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test over binned samples.
+///
+/// The statistic is the maximum absolute difference between the two
+/// empirical CDFs, evaluated at bin boundaries; the p-value uses the
+/// asymptotic Kolmogorov distribution with the Stephens small-sample
+/// correction. On binned/discrete data the test is conservative (ties make
+/// large `D` values rarer than the continuous theory assumes), so a failure
+/// indicates a real discrepancy.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] for empty/mismatched inputs or an
+/// empty sample.
+pub fn ks_two_sample(a: &[u64], b: &[u64]) -> Result<TestResult, NumericsError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "samples must be non-empty and equal-length (got {} and {})",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    let n1 = a.iter().sum::<u64>() as f64;
+    let n2 = b.iter().sum::<u64>() as f64;
+    if n1 == 0.0 || n2 == 0.0 {
+        return Err(NumericsError::InvalidInput {
+            message: "both samples need at least one observation".to_string(),
+        });
+    }
+    let mut cum_a = 0.0;
+    let mut cum_b = 0.0;
+    let mut d = 0.0f64;
+    for (&r, &s) in a.iter().zip(b) {
+        cum_a += r as f64 / n1;
+        cum_b += s as f64 / n2;
+        d = d.max((cum_a - cum_b).abs());
+    }
+    let ne = n1 * n2 / (n1 + n2);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Ok(TestResult {
+        statistic: d,
+        dof: ne,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// [`chi_square_two_sample`] over two [`Histogram`]s.
+///
+/// # Errors
+///
+/// Additionally returns [`NumericsError::InvalidInput`] when the histograms
+/// use different ranges or bin counts.
+pub fn histogram_chi_square(a: &Histogram, b: &Histogram) -> Result<TestResult, NumericsError> {
+    require_same_binning(a, b)?;
+    chi_square_two_sample(a.counts(), b.counts())
+}
+
+/// [`ks_two_sample`] over two [`Histogram`]s.
+///
+/// # Errors
+///
+/// Additionally returns [`NumericsError::InvalidInput`] when the histograms
+/// use different ranges or bin counts.
+pub fn histogram_ks(a: &Histogram, b: &Histogram) -> Result<TestResult, NumericsError> {
+    require_same_binning(a, b)?;
+    ks_two_sample(a.counts(), b.counts())
+}
+
+fn require_same_binning(a: &Histogram, b: &Histogram) -> Result<(), NumericsError> {
+    if !a.same_binning(b) {
+        return Err(NumericsError::InvalidInput {
+            message: format!(
+                "histogram binnings differ: [{}, {}]x{} vs [{}, {}]x{}",
+                a.lo(),
+                a.hi(),
+                a.bins(),
+                b.lo(),
+                b.hi(),
+                b.bins()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The Poisson probability mass function `P(X = k)` for mean `lambda`,
+/// computed in log space so large means and counts stay finite.
+///
+/// Handy for goodness-of-fit tests against Poisson stationary laws (the
+/// immigration–death process of the statistical-validation suite).
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * lambda.ln() - lambda - ln_gamma(kf + 1.0)).exp()
+}
+
+/// The chi-square survival function `P(X² ≥ x)` with `dof` degrees of
+/// freedom: the p-value of a chi-square statistic.
+pub fn chi_square_sf(x: f64, dof: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof / 2.0, x / 2.0)
+}
+
+/// The Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// The natural log of the gamma function, Lanczos approximation (g = 7,
+/// n = 9); accurate to ~15 significant digits for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    // The canonical Lanczos(g = 7) coefficients, quoted in full precision.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula; valid because the callers only reach this for
+        // x in (0, 0.5).
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let t = x + 7.5;
+        let mut a = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// The regularised upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`,
+/// via the series expansion for `x < a + 1` and the Lentz continued fraction
+/// otherwise (Numerical Recipes §6.2).
+fn gamma_q(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if a <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    ((a * x.ln() - x - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let factorials = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in factorials.iter().enumerate() {
+            let n = (i + 1) as f64;
+            assert!(
+                (ln_gamma(n) - f.ln()).abs() < 1e-10,
+                "ln Γ({n}) = {} vs ln {f}",
+                ln_gamma(n)
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_reference_values() {
+        // Classic table entries: P(X² ≥ x) for given dof.
+        let cases = [
+            (3.841, 1.0, 0.05),
+            (5.991, 2.0, 0.05),
+            (18.307, 10.0, 0.05),
+            (6.635, 1.0, 0.01),
+            (23.209, 10.0, 0.01),
+        ];
+        for (x, dof, p) in cases {
+            let sf = chi_square_sf(x, dof);
+            assert!(
+                (sf - p).abs() < 5e-4,
+                "sf({x}, {dof}) = {sf}, expected ≈ {p}"
+            );
+        }
+        assert_eq!(chi_square_sf(0.0, 5.0), 1.0);
+        assert!(chi_square_sf(1000.0, 5.0) < 1e-12);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for lambda in [0.5f64, 4.0, 30.0, 250.0] {
+            let sum: f64 = (0..2_000).map(|k| poisson_pmf(lambda, k)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "λ={lambda}: Σ pmf = {sum}");
+        }
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn goodness_of_fit_accepts_matching_distribution() {
+        // 6000 "rolls" of a fair die, near-perfectly uniform.
+        let observed = [1010u64, 990, 1005, 995, 1003, 997];
+        let r = chi_square_goodness_of_fit(&observed, &[1.0; 6]).unwrap();
+        assert!(r.passes(0.05), "p = {}", r.p_value);
+        assert_eq!(r.dof, 5.0);
+    }
+
+    #[test]
+    fn goodness_of_fit_rejects_wrong_distribution() {
+        // Heavily loaded die.
+        let observed = [3000u64, 600, 600, 600, 600, 600];
+        let r = chi_square_goodness_of_fit(&observed, &[1.0; 6]).unwrap();
+        assert!(!r.passes(1e-6), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn goodness_of_fit_pools_sparse_bins() {
+        // Expected mass concentrates in the first bins; trailing bins pool.
+        let observed = [50u64, 30, 12, 5, 2, 1, 0, 0];
+        let expected = [0.5, 0.3, 0.12, 0.05, 0.02, 0.007, 0.002, 0.001];
+        let r = chi_square_goodness_of_fit(&observed, &expected).unwrap();
+        assert!(r.dof < 7.0, "pooling must reduce dof, got {}", r.dof);
+        assert!(r.passes(0.01));
+    }
+
+    #[test]
+    fn two_sample_chi_square_accepts_same_source() {
+        let a = [120u64, 240, 250, 230, 160];
+        let b = [130u64, 235, 240, 245, 150];
+        let r = chi_square_two_sample(&a, &b).unwrap();
+        assert!(r.passes(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_chi_square_rejects_shifted_source() {
+        let a = [500u64, 300, 150, 50, 0];
+        let b = [0u64, 50, 150, 300, 500];
+        let r = chi_square_two_sample(&a, &b).unwrap();
+        assert!(!r.passes(1e-6), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_handles_different_sample_sizes() {
+        let a = [100u64, 200, 100];
+        let b = [1000u64, 2000, 1000];
+        let r = chi_square_two_sample(&a, &b).unwrap();
+        assert!(r.passes(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_accepts_and_rejects() {
+        let same_a = [100u64, 200, 300, 200, 100];
+        let same_b = [95u64, 210, 290, 205, 100];
+        let r = ks_two_sample(&same_a, &same_b).unwrap();
+        assert!(r.passes(0.05), "p = {}", r.p_value);
+
+        let shifted = [300u64, 300, 200, 100, 0];
+        let r = ks_two_sample(&same_a, &shifted).unwrap();
+        assert!(!r.passes(1e-4), "p = {}", r.p_value);
+        assert!(r.statistic > 0.1);
+    }
+
+    #[test]
+    fn histogram_wrappers_check_binning() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        for i in 0..1000 {
+            a.add((i % 10) as f64 + 0.5);
+            b.add((i % 10) as f64 + 0.5);
+        }
+        assert!(histogram_chi_square(&a, &b).unwrap().passes(0.05));
+        assert!(histogram_ks(&a, &b).unwrap().passes(0.05));
+
+        let c = Histogram::new(0.0, 5.0, 10);
+        assert!(histogram_chi_square(&a, &c).is_err());
+        assert!(histogram_ks(&a, &c).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(chi_square_goodness_of_fit(&[], &[]).is_err());
+        assert!(chi_square_goodness_of_fit(&[1, 2], &[1.0]).is_err());
+        assert!(chi_square_goodness_of_fit(&[0, 0], &[1.0, 1.0]).is_err());
+        assert!(chi_square_goodness_of_fit(&[5, 5], &[1.0, f64::NAN]).is_err());
+        assert!(chi_square_two_sample(&[1, 2], &[1, 2, 3]).is_err());
+        assert!(chi_square_two_sample(&[0, 0], &[1, 2]).is_err());
+        assert!(ks_two_sample(&[], &[]).is_err());
+        assert!(ks_two_sample(&[1], &[0]).is_err());
+        // Everything pooled into a single bin: nothing left to test.
+        assert!(chi_square_goodness_of_fit(&[3, 1], &[1.0, 1.0]).is_err());
+    }
+}

@@ -75,6 +75,23 @@ impl Histogram {
         self.counts.len()
     }
 
+    /// Returns the lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Returns the upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Returns `true` if `other` uses the same range and bin count, i.e. the
+    /// two histograms are bin-for-bin comparable (the precondition of the
+    /// two-sample conformance tests).
+    pub fn same_binning(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len()
+    }
+
     /// Returns `(bin centre, count)` pairs.
     pub fn centres(&self) -> Vec<(f64, u64)> {
         let width = (self.hi - self.lo) / self.counts.len() as f64;

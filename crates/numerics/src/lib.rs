@@ -5,7 +5,11 @@
 //! outcome probabilities, histograms for error analysis, and linear least
 //! squares to fit the lambda-phage response curve
 //! `P = a + b·log2(MOI) + c·MOI` (Equation 14). This crate provides exactly
-//! those, with no external dependencies beyond `serde`.
+//! those, with no external dependencies beyond `serde` — plus the
+//! distribution-conformance harness (chi-square and Kolmogorov–Smirnov
+//! tests, [`chi_square_two_sample`], [`ks_two_sample`], …) that the
+//! simulator test suites use to prove approximate solvers such as
+//! tau-leaping stay distributionally faithful to the exact SSA.
 //!
 //! # Example
 //!
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod ci;
+mod conformance;
 mod error;
 mod fit;
 mod histogram;
@@ -36,6 +41,10 @@ mod lsq;
 mod stats;
 
 pub use ci::{binomial_confidence_interval, wilson_interval, ConfidenceInterval};
+pub use conformance::{
+    chi_square_goodness_of_fit, chi_square_sf, chi_square_two_sample, histogram_chi_square,
+    histogram_ks, ks_two_sample, ln_gamma, poisson_pmf, TestResult, MIN_EXPECTED_PER_BIN,
+};
 pub use error::NumericsError;
 pub use fit::{BasisFit, LogLinearFit};
 pub use histogram::Histogram;

@@ -1,0 +1,227 @@
+//! Non-uniform distributions, mirroring the shape of
+//! [`rand_distr`](https://crates.io/crates/rand_distr).
+//!
+//! Only what the simulators need is implemented:
+//!
+//! * [`StandardNormal`] — Box–Muller transform, two uniforms per draw;
+//! * [`Poisson`] — Knuth's inversion (product of uniforms) for small means
+//!   and a continuity-corrected normal approximation for large means, with
+//!   the crossover at [`Poisson::INVERSION_CUTOFF`].
+//!
+//! The tau-leaping stepper draws one Poisson variate per reaction channel
+//! per leap, so the sampler must be cheap at *both* ends: inversion costs
+//! `O(λ)` uniforms (fine below the cutoff, catastrophic above), while the
+//! normal approximation is two uniforms flat. At the cutoff (λ = 30) the
+//! normal approximation's total-variation error is already below one
+//! percent, which is far inside tau-leaping's own `O(ε)` bias budget; the
+//! sampler's moments are pinned by unit tests on both sides of the
+//! crossover.
+//!
+//! The real `rand_distr::Poisson` returns floats; this shim returns `u64`
+//! because every caller immediately wants a molecule count.
+
+use crate::{Rng, RngCore};
+
+/// Types that sample values of `T` from an RNG, mirroring
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`, sampled with the Box–Muller
+/// transform (two uniforms per draw, no rejection, deterministic RNG
+/// consumption — important for the reproducibility contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The Poisson distribution with mean `lambda`, returning counts.
+///
+/// # Example
+///
+/// ```
+/// use rand::distributions::{Distribution, Poisson};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let p = Poisson::new(4.0);
+/// let k = p.sample(&mut rng);
+/// assert!(k < 30); // nothing crazy for a mean of 4
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Means at or above this use the normal approximation; below it, exact
+    /// inversion. Inversion costs `O(λ)` uniforms and multiplications, and
+    /// its running product `e^{-λ}·Πuᵢ` stays comfortably above the f64
+    /// underflow threshold for λ ≤ 30.
+    pub const INVERSION_CUTOFF: f64 = 30.0;
+
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative, NaN or infinite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson mean must be finite and non-negative, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// Returns the mean of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < Self::INVERSION_CUTOFF {
+            // Knuth's inversion: count uniforms until their product drops
+            // below e^{-λ}.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut k = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                k += 1;
+            }
+            k
+        } else {
+            // Normal approximation with continuity correction: for λ ≥ 30
+            // the skewness (λ^{-1/2}) is small enough that the rounded
+            // normal matches the Poisson to well under a percent in total
+            // variation — negligible next to tau-leaping's own O(ε) bias.
+            let z = StandardNormal.sample(rng);
+            let k = (self.lambda + self.lambda.sqrt() * z + 0.5).floor();
+            if k < 0.0 {
+                0
+            } else {
+                k as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Poisson, StandardNormal};
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    fn poisson_moments(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Poisson::new(lambda);
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_mean_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Poisson::new(0.0);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_lambda_inversion_matches_moments() {
+        // Inversion regime: λ well below the cutoff. Mean and variance of a
+        // Poisson both equal λ; with n = 40_000 samples the standard error
+        // of the mean is sqrt(λ/n), so a 5-sigma band is tight and the test
+        // is deterministic anyway (fixed seed).
+        for (lambda, seed) in [(0.3f64, 11u64), (3.0, 12), (12.0, 13)] {
+            let n = 40_000;
+            let (mean, var) = poisson_moments(lambda, n, seed);
+            let tol = 5.0 * (lambda / n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < tol,
+                "λ={lambda}: mean {mean} not within {tol} of λ"
+            );
+            assert!(
+                (var - lambda).abs() < lambda * 0.1 + 0.05,
+                "λ={lambda}: variance {var} should be close to λ"
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_normal_approximation_matches_moments() {
+        // Normal-approximation regime: λ at and above the cutoff.
+        for (lambda, seed) in [(30.0f64, 21u64), (50.0, 22), (400.0, 23)] {
+            let n = 40_000;
+            let (mean, var) = poisson_moments(lambda, n, seed);
+            let tol = 5.0 * (lambda / n as f64).sqrt() + 0.5;
+            assert!(
+                (mean - lambda).abs() < tol,
+                "λ={lambda}: mean {mean} not within {tol} of λ"
+            );
+            assert!(
+                (var - lambda).abs() < lambda * 0.05,
+                "λ={lambda}: variance {var} should be close to λ"
+            );
+        }
+    }
+
+    #[test]
+    fn moments_are_continuous_across_the_crossover() {
+        // Just below the cutoff samples via inversion, just above via the
+        // normal approximation; their means must agree to within sampling
+        // noise — a discontinuity here would bias every leap that straddles
+        // the crossover.
+        let n = 60_000;
+        let (below, _) = poisson_moments(Poisson::INVERSION_CUTOFF - 0.1, n, 31);
+        let (above, _) = poisson_moments(Poisson::INVERSION_CUTOFF + 0.1, n, 32);
+        assert!(
+            (above - below - 0.2).abs() < 0.35,
+            "crossover jump: mean below {below}, above {above}"
+        );
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let p = Poisson::new(17.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| p.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_mean_panics() {
+        let _ = Poisson::new(-1.0);
+    }
+}

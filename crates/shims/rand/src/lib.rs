@@ -17,6 +17,9 @@
 //! * [`Rng::gen`] / [`Rng::gen_range`] for `f64` (and the integer widths the
 //!   tests draw).
 //! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_entropy`].
+//! * [`distributions`] — Poisson and standard-normal samplers (the
+//!   tau-leaping stepper draws one Poisson variate per channel per leap);
+//!   the real crate keeps these in `rand_distr`.
 //!
 //! Determinism contract: `StdRng::seed_from_u64(s)` produces the same stream
 //! on every platform and every run; the whole reproduction's "bit-identical
@@ -24,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod distributions;
 
 use std::ops::Range;
 

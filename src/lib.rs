@@ -7,14 +7,16 @@
 //!
 //! * [`crn`] — the chemical reaction network data model (species, reactions,
 //!   states, parsing, structural analysis);
-//! * [`gillespie`] — exact stochastic simulation: the direct, first-reaction
-//!   and next-reaction methods plus the parallel Monte-Carlo
+//! * [`gillespie`] — stochastic simulation: the exact direct, first-reaction
+//!   and next-reaction methods, approximate tau-leaping
+//!   ([`TauLeaping`](gillespie::TauLeaping)) and the parallel Monte-Carlo
 //!   [`Ensemble`](gillespie::Ensemble) engine;
 //! * [`synthesis`] — the paper's stochastic and deterministic function
 //!   modules and their composition;
 //! * [`lambda`] — the lambda-phage lysis/lysogeny switch case study;
-//! * [`numerics`] — statistics, confidence intervals, histograms and small
-//!   linear algebra.
+//! * [`numerics`] — statistics, confidence intervals, histograms, the
+//!   chi-square/Kolmogorov–Smirnov distribution-conformance harness and
+//!   small linear algebra.
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -47,6 +49,6 @@ pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
 pub use gillespie::{
     DirectMethod, Ensemble, EnsembleOptions, EnsembleReport, FirstReactionMethod,
     NextReactionMethod, Simulation, SimulationError, SimulationOptions, SimulationResult,
-    SsaMethod, SsaStepper, StopCondition,
+    SsaMethod, SsaStepper, StepperKind, StopCondition, TauLeaping,
 };
 pub use synthesis::{StochasticModule, TargetDistribution};

@@ -2,8 +2,8 @@
 //! `synthesis` crate, simulated with the `gillespie` crate and checked with
 //! the `numerics` crate.
 
-use gillespie::{Ensemble, EnsembleOptions, SsaMethod};
-use numerics::wilson_interval;
+use gillespie::{Ensemble, EnsembleOptions, SsaMethod, StepperKind};
+use numerics::{chi_square_two_sample, ks_two_sample, wilson_interval};
 use synthesis::{StochasticModule, TargetDistribution};
 
 /// The paper's Example 1 end to end: the programmed distribution
@@ -48,8 +48,61 @@ fn example_1_distribution_is_reproduced_within_confidence_intervals() {
     }
 }
 
-/// The decision is insensitive to the SSA algorithm used: all three methods
-/// estimate the same distribution.
+/// Tau-leaping is distributionally faithful to the exact SSA on the
+/// paper's synthesized module: the outcome distributions of the two
+/// solvers pass the two-sample chi-square and Kolmogorov–Smirnov
+/// conformance tests at fixed seeds.
+#[test]
+fn tau_leaping_conforms_to_exact_ssa_on_the_synthesized_module() {
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .build()
+        .expect("module");
+    let target = TargetDistribution::new(vec![0.3, 0.4, 0.3]).expect("target");
+    let initial = module.initial_state(&target).expect("initial state");
+
+    let outcome_counts = |method: StepperKind| -> Vec<u64> {
+        let report = Ensemble::new(
+            module.crn(),
+            initial.clone(),
+            module.classifier().expect("classifier"),
+        )
+        .options(
+            EnsembleOptions::new()
+                .trials(2_000)
+                .master_seed(20_260_728)
+                .method(method)
+                .simulation(module.simulation_options()),
+        )
+        .run()
+        .expect("ensemble");
+        assert_eq!(
+            report.undecided,
+            0,
+            "{}: undecided trajectories",
+            method.name()
+        );
+        module.outcomes().iter().map(|o| report.count(o)).collect()
+    };
+
+    let exact = outcome_counts(StepperKind::Direct);
+    let leaped = outcome_counts(StepperKind::TauLeaping);
+    let chi = chi_square_two_sample(&exact, &leaped).expect("chi-square");
+    let ks = ks_two_sample(&exact, &leaped).expect("ks");
+    assert!(
+        chi.passes(1e-3),
+        "tau-leaping outcome distribution diverges from direct: \
+         exact {exact:?} vs leaped {leaped:?}, chi2 = {:.2}, p = {:.2e}",
+        chi.statistic,
+        chi.p_value
+    );
+    assert!(ks.passes(1e-3), "KS p = {:.2e}", ks.p_value);
+}
+
+/// The decision is insensitive to the stepper used: every method — the
+/// three exact SSA variants and tau-leaping — estimates the same
+/// distribution.
 #[test]
 fn all_ssa_methods_agree_on_the_programmed_distribution() {
     let module = StochasticModule::builder()
