@@ -1,0 +1,145 @@
+//! Population bounds and truncation policy for state-space enumeration.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do when a reachable state pushes a species past its cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundaryPolicy {
+    /// Refuse with [`CmeError::BoundExceeded`](crate::CmeError::BoundExceeded).
+    ///
+    /// The right choice for *closed* systems (conserved totals, winner-take-all
+    /// modules): every reachable state fits inside well-chosen caps, so
+    /// hitting one means the caps — not the solver — are wrong.
+    Strict,
+    /// Finite-state projection: drop the transition and account its rate as
+    /// *leak* out of the retained space.
+    ///
+    /// The CME is then solved on the truncated space; the probability mass
+    /// that would have escaped accumulates in an implicit sink and is
+    /// reported (e.g. [`TransientSolution::leaked`](crate::TransientSolution::leaked)),
+    /// so the truncation error is rigorous, never silent. The right choice
+    /// for open systems (birth processes) whose state space is infinite.
+    Truncate,
+}
+
+/// Per-species population caps plus a total state budget.
+///
+/// Bounds select the finite window of the (possibly infinite) state space
+/// that enumeration retains. Every species gets `default_cap` unless
+/// overridden by name with [`PopulationBounds::cap`].
+///
+/// # Example
+///
+/// ```
+/// use cme::PopulationBounds;
+///
+/// let bounds = PopulationBounds::truncating(400).cap("a", 600).max_states(100_000);
+/// assert_eq!(bounds.cap_for("a"), 600);
+/// assert_eq!(bounds.cap_for("b"), 400);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationBounds {
+    default_cap: u64,
+    species_caps: Vec<(String, u64)>,
+    max_states: usize,
+    policy: BoundaryPolicy,
+}
+
+/// Default maximum number of retained states.
+const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+impl PopulationBounds {
+    /// Creates strict bounds: exceeding any cap is a typed error.
+    pub fn strict(default_cap: u64) -> Self {
+        PopulationBounds {
+            default_cap,
+            species_caps: Vec::new(),
+            max_states: DEFAULT_MAX_STATES,
+            policy: BoundaryPolicy::Strict,
+        }
+    }
+
+    /// Creates truncating (finite-state-projection) bounds: transitions out
+    /// of the retained window become tracked probability leak.
+    pub fn truncating(default_cap: u64) -> Self {
+        PopulationBounds {
+            default_cap,
+            species_caps: Vec::new(),
+            max_states: DEFAULT_MAX_STATES,
+            policy: BoundaryPolicy::Truncate,
+        }
+    }
+
+    /// Overrides the cap of one species by name (later calls win).
+    pub fn cap(mut self, species: impl Into<String>, cap: u64) -> Self {
+        self.species_caps.push((species.into(), cap));
+        self
+    }
+
+    /// Sets the maximum number of retained states (default two million).
+    /// Exceeding it is always an error, under either policy.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Returns the cap that applies to `species`.
+    pub fn cap_for(&self, species: &str) -> u64 {
+        self.species_caps
+            .iter()
+            .rev()
+            .find(|(name, _)| name == species)
+            .map(|&(_, cap)| cap)
+            .unwrap_or(self.default_cap)
+    }
+
+    /// Returns the state budget.
+    pub fn state_budget(&self) -> usize {
+        self.max_states
+    }
+
+    /// Returns the boundary policy.
+    pub fn policy(&self) -> BoundaryPolicy {
+        self.policy
+    }
+
+    /// Resolves the caps for every species of a network, in species order.
+    pub(crate) fn resolve(&self, crn: &crn::Crn) -> Vec<u64> {
+        crn.species()
+            .iter()
+            .map(|sp| self.cap_for(sp.name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_species_overrides_beat_the_default() {
+        let bounds = PopulationBounds::strict(10).cap("a", 3).cap("a", 5);
+        assert_eq!(bounds.cap_for("a"), 5, "later override wins");
+        assert_eq!(bounds.cap_for("other"), 10);
+        assert_eq!(bounds.policy(), BoundaryPolicy::Strict);
+        assert_eq!(
+            PopulationBounds::truncating(1).policy(),
+            BoundaryPolicy::Truncate
+        );
+    }
+
+    #[test]
+    fn resolve_follows_species_order() {
+        let crn: crn::Crn = "a -> b @ 1".parse().unwrap();
+        let bounds = PopulationBounds::strict(7).cap("b", 2);
+        assert_eq!(bounds.resolve(&crn), vec![7, 2]);
+    }
+
+    #[test]
+    fn state_budget_is_configurable() {
+        assert_eq!(
+            PopulationBounds::strict(1).max_states(42).state_budget(),
+            42
+        );
+    }
+}

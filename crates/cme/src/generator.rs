@@ -1,0 +1,241 @@
+//! The sparse infinitesimal-generator matrix of a state space.
+
+use crate::space::StateSpace;
+
+/// The infinitesimal generator `Q` of the CME restricted to a
+/// [`StateSpace`], in compressed-sparse-row form with explicit diagonal.
+///
+/// Row `i` holds the transition rates out of state `i`: off-diagonal entry
+/// `q_ij` is the total rate of reactions taking state `i` to state `j`, and
+/// the diagonal is `q_ii = −(Σ_{j≠i} q_ij + leak_i)` where `leak_i` is the
+/// finite-state-projection leak out of the retained window. The probability
+/// row vector then evolves as `dp/dt = p·Q`, and for a closed (strict)
+/// space every row sums to exactly zero.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), cme::CmeError> {
+/// use cme::{GeneratorMatrix, PopulationBounds, StateSpace};
+///
+/// let crn: crn::Crn = "a -> b @ 1\nb -> a @ 2".parse().expect("network");
+/// let initial = crn.state_from_counts([("a", 2)]).expect("state");
+/// let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(2))?;
+/// let generator = GeneratorMatrix::from_space(&space);
+/// assert_eq!(generator.dimension(), 3);
+/// assert!(generator.row_sums().iter().all(|s| s.abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneratorMatrix {
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    leak: Vec<f64>,
+    uniformization_rate: f64,
+}
+
+impl GeneratorMatrix {
+    /// Builds the generator from an enumerated state space, merging parallel
+    /// transitions (several reactions connecting the same pair of states)
+    /// into a single entry.
+    pub fn from_space(space: &StateSpace) -> Self {
+        let n = space.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(space.transition_count() + n);
+        let mut vals = Vec::with_capacity(space.transition_count() + n);
+        let mut leak = Vec::with_capacity(n);
+        let mut uniformization_rate = 0.0f64;
+        row_ptr.push(0);
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            row.clear();
+            row.extend(space.transitions(i));
+            row.sort_unstable_by_key(|&(j, _)| j);
+            let outflow = space.total_outflow(i);
+            uniformization_rate = uniformization_rate.max(outflow);
+            let row_start = cols.len();
+            let mut diagonal_written = false;
+            let push = |cols: &mut Vec<usize>, vals: &mut Vec<f64>, j: usize, q: f64| {
+                if cols.len() > row_start && *cols.last().expect("non-empty row") == j {
+                    *vals.last_mut().expect("non-empty row") += q;
+                    return;
+                }
+                cols.push(j);
+                vals.push(q);
+            };
+            for &(j, rate) in &row {
+                if !diagonal_written && j >= i {
+                    push(&mut cols, &mut vals, i, -outflow);
+                    diagonal_written = true;
+                }
+                push(&mut cols, &mut vals, j, rate);
+            }
+            if !diagonal_written {
+                push(&mut cols, &mut vals, i, -outflow);
+            }
+            row_ptr.push(cols.len());
+            leak.push(space.leak_rate(i));
+        }
+        GeneratorMatrix {
+            row_ptr,
+            cols,
+            vals,
+            leak,
+            uniformization_rate,
+        }
+    }
+
+    /// Returns the number of states (rows).
+    pub fn dimension(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Returns the number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Returns the entries of row `i` as `(column, value)` pairs, sorted by
+    /// column and including the diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.cols[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.vals[range].iter().copied())
+    }
+
+    /// Returns the sum of every row's stored entries. For a closed (strict)
+    /// space this is exactly zero per row; under finite-state-projection
+    /// truncation row `i` sums to `−leak_i` — the rate at which probability
+    /// escapes the retained window from state `i`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.dimension())
+            .map(|i| self.row(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Returns the finite-state-projection leak rate of row `i`.
+    pub fn leak_rate(&self, i: usize) -> f64 {
+        self.leak[i]
+    }
+
+    /// Returns the uniformization rate `Λ = max_i |q_ii|`, the smallest rate
+    /// that makes `P = I + Q/Λ` a (sub)stochastic matrix.
+    pub fn uniformization_rate(&self) -> f64 {
+        self.uniformization_rate
+    }
+
+    /// Computes `out = v·P` for the uniformized matrix `P = I + Q/Λ`,
+    /// accumulating one jump of the uniformized chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the dimension or `lambda`
+    /// is not positive.
+    pub(crate) fn apply_uniformized(&self, lambda: f64, v: &[f64], out: &mut [f64]) {
+        let n = self.dimension();
+        assert!(lambda > 0.0, "uniformization rate must be positive");
+        assert!(v.len() == n && out.len() == n, "dimension mismatch");
+        out.copy_from_slice(v);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (j, q) in self.row(i) {
+                out[j] += vi * q / lambda;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::PopulationBounds;
+    use crn::Crn;
+
+    fn space_of(text: &str, counts: &[(&str, u64)], cap: u64) -> (Crn, StateSpace) {
+        let crn: Crn = text.parse().unwrap();
+        let initial = crn.state_from_counts(counts.iter().copied()).unwrap();
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(cap)).unwrap();
+        (crn, space)
+    }
+
+    #[test]
+    fn closed_system_rows_sum_to_zero() {
+        let (_, space) = space_of("a -> b @ 1\nb -> a @ 2", &[("a", 5)], 5);
+        let generator = GeneratorMatrix::from_space(&space);
+        assert_eq!(generator.dimension(), 6);
+        for sum in generator.row_sums() {
+            assert!(sum.abs() < 1e-12, "row sum {sum}");
+        }
+    }
+
+    #[test]
+    fn diagonal_is_negative_total_outflow() {
+        let (_, space) = space_of("a -> b @ 3", &[("a", 2)], 2);
+        let generator = GeneratorMatrix::from_space(&space);
+        // Initial state (a=2): outflow 6, diagonal −6.
+        let diag: f64 = generator
+            .row(0)
+            .find(|&(j, _)| j == 0)
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(diag, -6.0);
+        assert_eq!(generator.uniformization_rate(), 6.0);
+    }
+
+    #[test]
+    fn parallel_transitions_merge() {
+        // Two distinct reactions with the same net effect a -> b.
+        let (_, space) = space_of("a -> b @ 1\na -> b @ 2", &[("a", 1)], 1);
+        let generator = GeneratorMatrix::from_space(&space);
+        let entries: Vec<(usize, f64)> = generator.row(0).collect();
+        // Diagonal plus one merged off-diagonal entry.
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(0, -3.0)));
+        assert!(entries.contains(&(1, 3.0)));
+        assert_eq!(generator.nnz(), 3); // row 0: two entries; row 1: diagonal 0
+    }
+
+    #[test]
+    fn truncated_rows_sum_to_minus_leak() {
+        let crn: Crn = "0 -> a @ 5\na -> 0 @ 1".parse().unwrap();
+        let space =
+            StateSpace::enumerate(&crn, &crn.zero_state(), &PopulationBounds::truncating(3))
+                .unwrap();
+        let generator = GeneratorMatrix::from_space(&space);
+        for (i, sum) in generator.row_sums().iter().enumerate() {
+            assert!(
+                (sum + generator.leak_rate(i)).abs() < 1e-12,
+                "row {i}: sum {sum}, leak {}",
+                generator.leak_rate(i)
+            );
+        }
+        // Exactly one row (the boundary a = 3) leaks.
+        let leaking = (0..generator.dimension())
+            .filter(|&i| generator.leak_rate(i) > 0.0)
+            .count();
+        assert_eq!(leaking, 1);
+    }
+
+    #[test]
+    fn apply_uniformized_preserves_mass_on_closed_systems() {
+        let (_, space) = space_of("a -> b @ 1\nb -> a @ 2", &[("a", 4)], 4);
+        let generator = GeneratorMatrix::from_space(&space);
+        let lambda = generator.uniformization_rate();
+        let mut v = vec![0.0; generator.dimension()];
+        v[0] = 1.0;
+        let mut out = vec![0.0; generator.dimension()];
+        generator.apply_uniformized(lambda, &v, &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&p| p >= 0.0));
+    }
+}

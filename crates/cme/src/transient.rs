@@ -1,0 +1,277 @@
+//! Uniformization: the transient CME solution `p(t) = p(0)·e^{Qt}`.
+
+use numerics::ln_gamma;
+
+use crate::error::CmeError;
+use crate::generator::GeneratorMatrix;
+use crate::space::StateSpace;
+
+/// The transient solution of the CME at one time point, with explicit error
+/// accounting: `Σ probabilities = 1 − truncation_error − leaked`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolution {
+    /// Probability of each retained state at time `t`, in state-space index
+    /// order.
+    pub probabilities: Vec<f64>,
+    /// Poisson-tail mass not accumulated by the truncated uniformization
+    /// series — bounded by the requested tolerance whenever the series ran
+    /// to completion.
+    pub truncation_error: f64,
+    /// Probability mass that left the retained window through
+    /// finite-state-projection truncation (0 for strict bounds).
+    pub leaked: f64,
+    /// Number of Poisson terms (uniformized jumps) accumulated.
+    pub terms: usize,
+    /// The uniformization rate `Λ` used.
+    pub uniformization_rate: f64,
+}
+
+/// Solves `p(t) = p(0)·e^{Qt}` by uniformization: with `Λ = max_i |q_ii|`
+/// and `P = I + Q/Λ`,
+///
+/// ```text
+/// p(t) = Σ_k  e^{−Λt} (Λt)^k / k!  ·  p(0)·P^k
+/// ```
+///
+/// truncated once the accumulated Poisson weight reaches `1 − epsilon`. The
+/// neglected tail is a rigorous bound on the truncation error because every
+/// `p(0)·P^k` is substochastic; the actual tail mass is reported as
+/// [`TransientSolution::truncation_error`]. Poisson weights are evaluated in
+/// log space (via [`ln_gamma`]), so large `Λt` cannot underflow the series.
+///
+/// # Errors
+///
+/// Returns [`CmeError::InvalidInput`] if `initial` is not a probability
+/// vector of matching dimension, or `t`/`epsilon` are not finite and
+/// non-negative (`epsilon` must also be positive).
+pub fn transient(
+    generator: &GeneratorMatrix,
+    initial: &[f64],
+    t: f64,
+    epsilon: f64,
+) -> Result<TransientSolution, CmeError> {
+    let n = generator.dimension();
+    if initial.len() != n {
+        return Err(CmeError::InvalidInput {
+            message: format!(
+                "initial distribution has {} entries but the generator has {n} states",
+                initial.len()
+            ),
+        });
+    }
+    if initial.iter().any(|&p| !p.is_finite() || p < 0.0) {
+        return Err(CmeError::InvalidInput {
+            message: "initial distribution entries must be finite and non-negative".into(),
+        });
+    }
+    let mass: f64 = initial.iter().sum();
+    if (mass - 1.0).abs() > 1e-9 {
+        return Err(CmeError::InvalidInput {
+            message: format!("initial distribution sums to {mass}, expected 1"),
+        });
+    }
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(CmeError::InvalidInput {
+            message: format!("time {t} must be finite and non-negative"),
+        });
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(CmeError::InvalidInput {
+            message: format!("tolerance {epsilon} must be finite and positive"),
+        });
+    }
+
+    let lambda = generator.uniformization_rate();
+    let rate_time = lambda * t;
+    if rate_time == 0.0 {
+        // No transitions can fire (or t = 0): the distribution is unchanged.
+        return Ok(TransientSolution {
+            probabilities: initial.to_vec(),
+            truncation_error: 0.0,
+            leaked: 0.0,
+            terms: 1,
+            uniformization_rate: lambda,
+        });
+    }
+
+    // Enough terms to cover the Poisson(Λt) bulk plus a deep tail; the
+    // weight test below is what actually terminates the series.
+    let k_max = (rate_time + 12.0 * (rate_time + 1.0).sqrt() + 64.0) as usize;
+    let ln_rate_time = rate_time.ln();
+    let poisson_weight =
+        |k: usize| (k as f64 * ln_rate_time - rate_time - ln_gamma(k as f64 + 1.0)).exp();
+
+    // A space with no leaking row cannot lose mass: pin `leaked` to exactly
+    // zero there instead of accumulating rounding fuzz from the mass sums.
+    let lossless = (0..n).all(|i| generator.leak_rate(i) == 0.0);
+    let mut jump = initial.to_vec(); // p(0)·P^k
+    let mut next = vec![0.0; n];
+    let mut accumulated = vec![0.0; n];
+    let mut weight_sum = 0.0f64;
+    let mut leaked = 0.0f64;
+    let mut terms = 0usize;
+    for k in 0..=k_max {
+        let w = poisson_weight(k);
+        for (acc, &p) in accumulated.iter_mut().zip(&jump) {
+            *acc += w * p;
+        }
+        leaked += w * (1.0 - jump.iter().sum::<f64>());
+        weight_sum += w;
+        terms = k + 1;
+        if weight_sum >= 1.0 - epsilon {
+            break;
+        }
+        generator.apply_uniformized(lambda, &jump, &mut next);
+        std::mem::swap(&mut jump, &mut next);
+    }
+
+    Ok(TransientSolution {
+        probabilities: accumulated,
+        truncation_error: (1.0 - weight_sum).max(0.0),
+        leaked: if lossless { 0.0 } else { leaked.max(0.0) },
+        terms,
+        uniformization_rate: lambda,
+    })
+}
+
+impl StateSpace {
+    /// Convenience wrapper: solves the transient CME from this space's
+    /// initial state (point mass at index 0) at time `t` with Poisson-tail
+    /// tolerance `epsilon`. Builds the generator internally; callers solving
+    /// at many time points should build one [`GeneratorMatrix`] and call
+    /// [`transient`] directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`transient`].
+    pub fn transient(&self, t: f64, epsilon: f64) -> Result<TransientSolution, CmeError> {
+        let generator = GeneratorMatrix::from_space(self);
+        let mut initial = vec![0.0; self.len()];
+        initial[self.initial_index()] = 1.0;
+        transient(&generator, &initial, t, epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::PopulationBounds;
+    use crn::Crn;
+
+    fn space_of(text: &str, counts: &[(&str, u64)], cap: u64) -> (Crn, StateSpace) {
+        let crn: Crn = text.parse().unwrap();
+        let initial = crn.state_from_counts(counts.iter().copied()).unwrap();
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(cap)).unwrap();
+        (crn, space)
+    }
+
+    #[test]
+    fn single_molecule_decay_matches_the_exponential_law() {
+        let (crn, space) = space_of("a -> 0 @ 2", &[("a", 1)], 1);
+        let a = crn.species_id("a").unwrap();
+        for t in [0.1, 0.5, 1.0, 2.0] {
+            let solution = space.transient(t, 1e-12).unwrap();
+            let survival = space.probability_where(&solution.probabilities, |s| s.count(a) == 1);
+            let exact = (-2.0f64 * t).exp();
+            assert!(
+                (survival - exact).abs() < 1e-9,
+                "t = {t}: {survival} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_state_isomerisation_matches_the_closed_form() {
+        // One molecule hopping a <-> b with rates k1, k2: P(b at t) follows
+        // the standard two-state relaxation law.
+        let (k1, k2) = (1.5f64, 0.5f64);
+        let crn: Crn = format!("a -> b @ {k1}\nb -> a @ {k2}").parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(1)).unwrap();
+        let b = crn.species_id("b").unwrap();
+        for t in [0.05, 0.3, 1.0, 4.0] {
+            let solution = space.transient(t, 1e-13).unwrap();
+            let p_b = space.probability_where(&solution.probabilities, |s| s.count(b) == 1);
+            let total = k1 + k2;
+            let exact = k1 / total * (1.0 - (-total * t).exp());
+            assert!((p_b - exact).abs() < 1e-9, "t = {t}: {p_b} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_normalised_on_closed_systems() {
+        let (_, space) = space_of("a -> b @ 1\nb -> a @ 2", &[("a", 20)], 20);
+        let solution = space.transient(3.0, 1e-10).unwrap();
+        let sum: f64 = solution.probabilities.iter().sum();
+        assert!(solution.probabilities.iter().all(|&p| p >= 0.0));
+        assert!((sum - 1.0).abs() <= solution.truncation_error + 1e-12);
+        assert!(solution.truncation_error <= 1e-10);
+        assert_eq!(solution.leaked, 0.0);
+        assert!(solution.terms > 1);
+    }
+
+    #[test]
+    fn truncated_birth_death_reports_leak() {
+        // Aggressive truncation of a birth process: a visible fraction of
+        // the mass escapes the window, and it is reported, not hidden.
+        let crn: Crn = "0 -> a @ 3".parse().unwrap();
+        let space =
+            StateSpace::enumerate(&crn, &crn.zero_state(), &PopulationBounds::truncating(4))
+                .unwrap();
+        let solution = space.transient(2.0, 1e-12).unwrap();
+        let sum: f64 = solution.probabilities.iter().sum();
+        // Poisson(6) mass beyond 4 is substantial.
+        assert!(solution.leaked > 0.5, "leaked {}", solution.leaked);
+        assert!(
+            (sum + solution.leaked + solution.truncation_error - 1.0).abs() < 1e-9,
+            "mass accounting: sum {sum}, leaked {}, tail {}",
+            solution.leaked,
+            solution.truncation_error
+        );
+    }
+
+    #[test]
+    fn time_zero_returns_the_initial_distribution() {
+        let (_, space) = space_of("a -> b @ 1", &[("a", 3)], 3);
+        let solution = space.transient(0.0, 1e-12).unwrap();
+        assert_eq!(solution.probabilities[0], 1.0);
+        assert_eq!(solution.truncation_error, 0.0);
+    }
+
+    #[test]
+    fn absorbing_only_space_is_stationary() {
+        // A single state with no reactions enabled: Λ = 0.
+        let crn: Crn = "a + b -> 0 @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(1)).unwrap();
+        let solution = space.transient(10.0, 1e-12).unwrap();
+        assert_eq!(solution.probabilities, vec![1.0]);
+        assert_eq!(solution.uniformization_rate, 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (_, space) = space_of("a -> b @ 1", &[("a", 1)], 1);
+        let generator = GeneratorMatrix::from_space(&space);
+        assert!(transient(&generator, &[1.0], 1.0, 1e-9).is_err()); // wrong length
+        assert!(transient(&generator, &[0.5, 0.2], 1.0, 1e-9).is_err()); // not normalised
+        assert!(transient(&generator, &[-0.5, 1.5], 1.0, 1e-9).is_err()); // negative
+        assert!(transient(&generator, &[1.0, 0.0], -1.0, 1e-9).is_err()); // negative time
+        assert!(transient(&generator, &[1.0, 0.0], 1.0, 0.0).is_err()); // zero tolerance
+        assert!(transient(&generator, &[1.0, 0.0], f64::NAN, 1e-9).is_err());
+    }
+
+    #[test]
+    fn large_rate_time_does_not_underflow() {
+        // Λt ≈ 800 would underflow e^{−Λt} in naive linear-space weights.
+        let (crn, space) = space_of("a -> b @ 1\nb -> a @ 1", &[("a", 400)], 400);
+        let solution = space.transient(2.0, 1e-8).unwrap();
+        let sum: f64 = solution.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-7, "sum {sum}");
+        let b = crn.species_id("b").unwrap();
+        // The mean relaxes as 200·(1 − e^{−2t}): 196.337 at t = 2.
+        let mean = space.expectation(&solution.probabilities, b);
+        let exact = 200.0 * (1.0 - (-4.0f64).exp());
+        assert!((mean - exact).abs() < 1e-4, "mean {mean} vs {exact}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Property-based tests of the exact CME layer.
+//!
+//! Three structural invariants hold for *every* well-formed input, not just
+//! hand-picked examples: the generator is conservative (rows sum to zero on
+//! closed systems, to −leak under truncation), uniformization returns a
+//! probability vector up to its own reported error bounds, and the exact
+//! outcome distribution does not depend on the order in which states (or
+//! reactions, or species) happen to be enumerated.
+
+use cme::{CmeError, FirstPassage, GeneratorMatrix, PopulationBounds, StateSpace};
+use crn::{Crn, CrnBuilder};
+use proptest::prelude::*;
+
+/// Builds the two-species reversible chain `a <-> b` (optionally as a
+/// dimerisation `2a <-> b`) with the given rates, declaring species in
+/// forward or reverse order and listing reactions forward or reversed.
+/// All four variants describe the *same* stochastic process.
+fn reversible_crn(
+    k1: f64,
+    k2: f64,
+    dimer: bool,
+    species_reversed: bool,
+    reactions_reversed: bool,
+) -> Crn {
+    let mut b = CrnBuilder::new();
+    let (a, bb) = if species_reversed {
+        let bb = b.species("b");
+        let a = b.species("a");
+        (a, bb)
+    } else {
+        let a = b.species("a");
+        let bb = b.species("b");
+        (a, bb)
+    };
+    let fwd_coeff = if dimer { 2 } else { 1 };
+    let add_forward = |b: &mut CrnBuilder| {
+        b.reaction()
+            .reactant(a, fwd_coeff)
+            .product(bb, 1)
+            .rate(k1)
+            .add()
+            .expect("forward reaction");
+    };
+    let add_backward = |b: &mut CrnBuilder| {
+        b.reaction()
+            .reactant(bb, 1)
+            .product(a, fwd_coeff)
+            .rate(k2)
+            .add()
+            .expect("backward reaction");
+    };
+    if reactions_reversed {
+        add_backward(&mut b);
+        add_forward(&mut b);
+    } else {
+        add_forward(&mut b);
+        add_backward(&mut b);
+    }
+    b.build().expect("network")
+}
+
+proptest! {
+    /// Closed systems: every generator row sums to exactly zero (within
+    /// accumulated rounding), whatever the rates, size or reaction order.
+    #[test]
+    fn generator_rows_sum_to_zero_on_closed_systems(
+        k1 in 0.01f64..100.0,
+        k2 in 0.01f64..100.0,
+        n in 1u64..30,
+        dimer in 0u32..2,
+        reactions_reversed in 0u32..2,
+    ) {
+        let crn = reversible_crn(k1, k2, dimer == 1, false, reactions_reversed == 1);
+        let initial = crn.state_from_counts([("a", n)]).expect("state");
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(n))
+            .expect("closed system fits strict bounds");
+        let generator = GeneratorMatrix::from_space(&space);
+        let scale = generator.uniformization_rate().max(1.0);
+        for (i, sum) in generator.row_sums().iter().enumerate() {
+            prop_assert!(
+                sum.abs() <= 1e-12 * scale,
+                "row {i} sums to {sum:.3e} (scale {scale:.3e})"
+            );
+            prop_assert_eq!(generator.leak_rate(i), 0.0);
+        }
+    }
+
+    /// Truncated (open) systems: each row sums to exactly −leak, the rate
+    /// escaping the retained window — conservation with explicit books.
+    #[test]
+    fn generator_rows_sum_to_minus_leak_under_truncation(
+        birth in 0.1f64..50.0,
+        death in 0.1f64..10.0,
+        cap in 2u64..40,
+    ) {
+        let crn: Crn = format!("0 -> a @ {birth}\na -> 0 @ {death}")
+            .parse()
+            .expect("network");
+        let space = StateSpace::enumerate(
+            &crn,
+            &crn.zero_state(),
+            &PopulationBounds::truncating(cap),
+        )
+        .expect("truncated enumeration");
+        let generator = GeneratorMatrix::from_space(&space);
+        let scale = generator.uniformization_rate().max(1.0);
+        let mut leaking_rows = 0usize;
+        for (i, sum) in generator.row_sums().iter().enumerate() {
+            prop_assert!(
+                (sum + generator.leak_rate(i)).abs() <= 1e-12 * scale,
+                "row {i}: sum {sum:.3e}, leak {:.3e}",
+                generator.leak_rate(i)
+            );
+            if generator.leak_rate(i) > 0.0 {
+                leaking_rows += 1;
+            }
+        }
+        prop_assert_eq!(leaking_rows, 1, "only the boundary state leaks");
+    }
+
+    /// Uniformization always returns a probability vector: entries are
+    /// non-negative and the total mass is 1 minus exactly the reported
+    /// truncation tail and window leak.
+    #[test]
+    fn uniformization_returns_a_probability_vector(
+        k1 in 0.01f64..50.0,
+        k2 in 0.01f64..50.0,
+        n in 1u64..25,
+        t in 0.0f64..5.0,
+    ) {
+        let crn = reversible_crn(k1, k2, false, false, false);
+        let initial = crn.state_from_counts([("a", n)]).expect("state");
+        let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(n))
+            .expect("space");
+        let epsilon = 1e-8;
+        let solution = space.transient(t, epsilon).expect("transient");
+        for (i, &p) in solution.probabilities.iter().enumerate() {
+            prop_assert!(p >= -1e-15, "state {i}: negative probability {p:.3e}");
+        }
+        let sum: f64 = solution.probabilities.iter().sum();
+        prop_assert!(
+            (sum + solution.truncation_error + solution.leaked - 1.0).abs() < 1e-9,
+            "mass accounting: sum {sum}, tail {:.3e}, leaked {:.3e}",
+            solution.truncation_error,
+            solution.leaked
+        );
+        prop_assert!(solution.truncation_error <= epsilon + 1e-15);
+        prop_assert_eq!(solution.leaked, 0.0, "closed system never leaks");
+    }
+
+    /// The truncated variant: mass is conserved once the reported leak is
+    /// added back, and the leak only grows with time.
+    #[test]
+    fn truncated_uniformization_accounts_for_every_leaked_unit(
+        birth in 0.5f64..20.0,
+        cap in 1u64..15,
+        t in 0.1f64..3.0,
+    ) {
+        let crn: Crn = format!("0 -> a @ {birth}").parse().expect("network");
+        let space = StateSpace::enumerate(
+            &crn,
+            &crn.zero_state(),
+            &PopulationBounds::truncating(cap),
+        )
+        .expect("space");
+        let solution = space.transient(t, 1e-10).expect("transient");
+        let sum: f64 = solution.probabilities.iter().sum();
+        prop_assert!(solution.probabilities.iter().all(|&p| p >= -1e-15));
+        prop_assert!(
+            (sum + solution.leaked + solution.truncation_error - 1.0).abs() < 1e-9,
+            "sum {sum}, leaked {:.3e}, tail {:.3e}",
+            solution.leaked,
+            solution.truncation_error
+        );
+        // For a pure birth process the retained mass is exactly
+        // P(Poisson(birth·t) ≤ cap): cross-check against the closed form.
+        let mut pmf = (-birth * t).exp();
+        let mut below = 0.0;
+        for k in 0..=cap {
+            below += pmf;
+            pmf *= birth * t / (k + 1) as f64;
+        }
+        prop_assert!(
+            (sum - below).abs() < 1e-7,
+            "retained mass {sum} vs Poisson cdf {below}"
+        );
+    }
+
+    /// The exact outcome distribution is invariant under state-enumeration
+    /// order: reversing the reaction list and/or the species declaration
+    /// order changes every internal index and the BFS discovery sequence,
+    /// but not a single output probability beyond 1e-12.
+    #[test]
+    fn outcome_distribution_is_invariant_under_enumeration_order(
+        ka in 0.01f64..100.0,
+        kb in 0.01f64..100.0,
+        k_iso in 0.01f64..50.0,
+        n in 1u64..6,
+        threshold in 1u64..4,
+    ) {
+        prop_assume!(threshold <= n);
+        // n tokens race through x -> a / x -> b with an extra reversible
+        // distraction a <-> b below the thresholds; first species to reach
+        // `threshold` wins.
+        let build = |species_reversed: bool, reactions_reversed: bool| -> Crn {
+            let mut builder = CrnBuilder::new();
+            let names: &[&str] = if species_reversed {
+                &["b", "a", "x"]
+            } else {
+                &["x", "a", "b"]
+            };
+            for name in names {
+                builder.species(*name);
+            }
+            let x = builder.species("x");
+            let a = builder.species("a");
+            let b = builder.species("b");
+            let mut spec: Vec<(crn::SpeciesId, crn::SpeciesId, f64)> =
+                vec![(x, a, ka), (x, b, kb), (a, b, k_iso)];
+            if reactions_reversed {
+                spec.reverse();
+            }
+            for (from, to, rate) in spec {
+                builder
+                    .reaction()
+                    .reactant(from, 1)
+                    .product(to, 1)
+                    .rate(rate)
+                    .add()
+                    .expect("reaction");
+            }
+            builder.build().expect("network")
+        };
+        let solve = |crn: &Crn| -> Vec<f64> {
+            let initial = crn.state_from_counts([("x", n)]).expect("state");
+            let distribution = FirstPassage::new(crn)
+                .outcome_species_at_least("first", "a", threshold)
+                .expect("outcome")
+                .outcome_species_at_least("second", "b", threshold)
+                .expect("outcome")
+                .solve(&initial, &PopulationBounds::strict(n))
+                .expect("first passage");
+            let mut probs = distribution.probabilities().to_vec();
+            probs.push(distribution.undecided());
+            probs
+        };
+        let reference = solve(&build(false, false));
+        for (species_reversed, reactions_reversed) in
+            [(false, true), (true, false), (true, true)]
+        {
+            let variant = solve(&build(species_reversed, reactions_reversed));
+            for (i, (&r, &v)) in reference.iter().zip(&variant).enumerate() {
+                prop_assert!(
+                    (r - v).abs() < 1e-12,
+                    "species_reversed={species_reversed}, \
+                     reactions_reversed={reactions_reversed}, outcome {i}: \
+                     {r:.15} vs {v:.15}"
+                );
+            }
+        }
+    }
+
+    /// Strict bounds refuse, with the offending species named, exactly when
+    /// the process can outgrow the cap — and succeed otherwise.
+    #[test]
+    fn strict_bound_violations_name_the_offending_species(
+        n in 1u64..20,
+        cap in 1u64..20,
+    ) {
+        let crn: Crn = "a -> 2 a @ 1".parse().expect("network");
+        let initial = crn.state_from_counts([("a", n)]).expect("state");
+        // Pure growth always escapes a finite cap — either the initial
+        // state already violates it (n > cap) or BFS reaches the boundary.
+        let result = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(cap));
+        prop_assert_eq!(
+            result.err(),
+            Some(CmeError::BoundExceeded { species: "a".into(), cap })
+        );
+        // The same process under truncating bounds succeeds, with the
+        // boundary state carrying the (reported) leak.
+        let space = StateSpace::enumerate(
+            &crn,
+            &initial,
+            &PopulationBounds::truncating(cap.max(n)),
+        )
+        .expect("truncating bounds never refuse");
+        let leaking = (0..space.len()).filter(|&i| space.leak_rate(i) > 0.0).count();
+        prop_assert_eq!(leaking, 1);
+    }
+}

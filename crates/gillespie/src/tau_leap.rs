@@ -95,7 +95,6 @@ pub struct TauLeaping {
     // --- scratch buffers, reused across steps ---
     mu: Vec<f64>,
     var: Vec<f64>,
-    constrained: Vec<bool>,
     critical: Vec<bool>,
     delta: Vec<i64>,
     firings: Vec<u64>,
@@ -117,7 +116,6 @@ impl Default for TauLeaping {
             hor_coeff: Vec::new(),
             mu: Vec::new(),
             var: Vec::new(),
-            constrained: Vec::new(),
             critical: Vec::new(),
             delta: Vec::new(),
             firings: Vec::new(),
@@ -210,8 +208,6 @@ impl TauLeaping {
         self.mu.resize(species_len, 0.0);
         self.var.clear();
         self.var.resize(species_len, 0.0);
-        self.constrained.clear();
-        self.constrained.resize(species_len, false);
         self.delta.clear();
         self.delta.resize(species_len, 0);
         self.critical.clear();
@@ -252,22 +248,31 @@ impl TauLeaping {
     }
 
     /// The Cao–Gillespie `τ` bound over the non-critical channels:
-    /// `τ = min_i { max(εxᵢ/gᵢ, 1)/|μᵢ|, max(εxᵢ/gᵢ, 1)²/σᵢ² }` where the
-    /// minimum runs over reactant species of non-critical channels, `μᵢ`
-    /// and `σᵢ²` are the mean and variance rates of change of species `i`,
-    /// and `gᵢ` normalises for the highest reaction order consuming `i`.
-    /// Returns `∞` when no non-critical channel is fireable.
+    /// `τ = min_i { max(εxᵢ/gᵢ, 1)/|μᵢ|, max(εxᵢ/gᵢ, 1)²/σᵢ² }` where `μᵢ`
+    /// and `σᵢ²` are the mean and variance rates of change of species `i`
+    /// over the non-critical channels and `gᵢ` normalises for the highest
+    /// reaction order consuming `i`.
+    ///
+    /// The minimum runs over every species that is a *reactant of any
+    /// reaction* (`hor > 0`), not just reactants of the currently leapable
+    /// channels: a species fed by a leaped channel but consumed only by
+    /// critical (or momentarily unfireable) ones still drives propensities,
+    /// so its drift must bound `τ`. Restricting to leapable-channel
+    /// reactants let a birth process starting near zero leap across its
+    /// whole relaxation in one step — a distributional bias invisible to
+    /// stationary tests and caught by the CME transient oracle in
+    /// `tests/cme_oracle.rs`. Species no reaction consumes (pure products)
+    /// affect no propensity and stay exempt; returns `∞` when nothing
+    /// bounds the leap.
     fn leap_candidate(&mut self, crn: &Crn, state: &State) -> f64 {
         self.mu.fill(0.0);
         self.var.fill(0.0);
-        self.constrained.fill(false);
         for (j, reaction) in crn.reactions().iter().enumerate() {
             let a = self.propensities[j];
             if a <= 0.0 || self.critical[j] {
                 continue;
             }
             for term in reaction.reactants() {
-                self.constrained[term.species.index()] = true;
                 let v = reaction.net_change(term.species) as f64;
                 if v != 0.0 {
                     self.mu[term.species.index()] += v * a;
@@ -287,8 +292,8 @@ impl TauLeaping {
 
         let mut tau = f64::INFINITY;
         for i in 0..crn.species_len() {
-            if !self.constrained[i] {
-                continue;
+            if self.hor[i] == 0 {
+                continue; // consumed by no reaction: drives no propensity
             }
             let x = state.count(SpeciesId::from_index(i));
             let g = g_value(self.hor[i], self.hor_coeff[i], x);
@@ -555,8 +560,15 @@ mod tests {
 
     #[test]
     fn leaps_fire_many_events_per_step() {
+        // Start at equilibrium: the τ bound is then governed by the
+        // fluctuation term and every step is a genuine leap. (From a
+        // lopsided start the stepper correctly spends the early transient
+        // in fine steps while the small side grows — see
+        // `tests/cme_oracle.rs` for the distributional pin.)
         let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
-        let initial = crn.state_from_counts([("a", 20_000)]).unwrap();
+        let initial = crn
+            .state_from_counts([("a", 10_000), ("b", 10_000)])
+            .unwrap();
         let result = Simulation::new(&crn, TauLeaping::new())
             .options(
                 SimulationOptions::new()

@@ -1,0 +1,58 @@
+//! Helpers shared by the distribution-oracle test binaries
+//! (`statistical_validation.rs` and `cme_oracle.rs`): ensemble histograms
+//! and the windowing that maps exact CME marginals onto them. Keeping the
+//! binning/clamping convention in one place means the two suites cannot
+//! silently diverge on what a histogram bin means.
+
+// Each test binary compiles its own copy and uses a subset of the helpers.
+#![allow(dead_code)]
+
+use crn::Crn;
+use gillespie::{Simulation, SimulationOptions, StepperKind, StopCondition};
+use numerics::Histogram;
+
+/// Runs one trajectory per seed in `seeds` of `crn` to time `t_end` with
+/// the given stepper and histograms the final count of `species` over the
+/// integer range `lo..=hi` (one bin per integer; out-of-range finals clamp
+/// to the edge bins, as the conformance harness expects).
+pub fn final_count_histogram(
+    crn: &Crn,
+    initial: &crn::State,
+    method: StepperKind,
+    species: crn::SpeciesId,
+    seeds: std::ops::Range<u64>,
+    t_end: f64,
+    (lo, hi): (u64, u64),
+) -> Histogram {
+    let mut hist = Histogram::new(lo as f64 - 0.5, hi as f64 + 0.5, (hi - lo + 1) as usize);
+    for seed in seeds {
+        let result = Simulation::new(crn, method.stepper())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(t_end))
+                    .max_events(10_000_000),
+            )
+            .run(initial)
+            .expect("trajectory");
+        hist.add(result.final_state.count(species) as f64);
+    }
+    hist
+}
+
+/// Projects an exact CME marginal onto the `lo..=hi` histogram window,
+/// lumping the tails into the edge bins exactly as
+/// [`final_count_histogram`] clamps out-of-range finals.
+pub fn windowed(marginal: &[f64], (lo, hi): (u64, u64)) -> Vec<f64> {
+    let mut expected = vec![0.0f64; (hi - lo + 1) as usize];
+    for (k, &p) in marginal.iter().enumerate() {
+        let bin = (k as u64).clamp(lo, hi) - lo;
+        expected[bin as usize] += p;
+    }
+    expected
+}
+
+/// Total-variation distance between two windowed probability vectors.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0
+}

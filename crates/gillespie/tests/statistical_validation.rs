@@ -1,16 +1,26 @@
-//! Statistical validation of the simulators against closed-form results
-//! from stochastic chemical kinetics. These tests are the ground truth
-//! behind every Monte-Carlo figure in the reproduction: if the SSA kernels
-//! are biased, every downstream probability estimate is wrong.
+//! Statistical validation of the simulators against **exact CME ground
+//! truth**. These tests are the oracle behind every Monte-Carlo figure in
+//! the reproduction: if the SSA kernels are biased, every downstream
+//! probability estimate is wrong.
+//!
+//! The expected distribution of every goodness-of-fit assertion is computed
+//! by the `cme` crate — uniformization of the chemical master equation at
+//! the exact simulated horizon — so the oracle captures the *transient*
+//! law, not just a stationary approximation. The closed-form laws the
+//! earlier test generations trusted (Poisson stationary distribution,
+//! detailed balance) are kept as cross-checks **of the CME itself**: the
+//! CME transient must agree with the analytic law to within the known
+//! relaxation residual, and the simulators must conform to the CME.
 //!
 //! The distribution-level assertions run through the `numerics` conformance
-//! harness (chi-square goodness-of-fit against analytic laws, two-sample
-//! chi-square/Kolmogorov–Smirnov between methods) with *seeded tolerance
-//! bands*: fixed seeds make each test deterministic, and the significance
-//! level `ALPHA` is small enough that only a systematic distributional
-//! error — not Monte-Carlo noise — can fail it. Tau-leaping, the one
-//! approximate stepper, must pass the same bands as the exact methods.
+//! harness (chi-square goodness-of-fit, two-sample chi-square/KS between
+//! methods) with *seeded tolerance bands*: fixed seeds make each test
+//! deterministic, and the significance level `ALPHA` is small enough that
+//! only a systematic distributional error — not Monte-Carlo noise — can
+//! fail it. Tau-leaping, the one approximate stepper, must pass the same
+//! bands as the exact methods.
 
+use cme::{PopulationBounds, StateSpace};
 use crn::Crn;
 use gillespie::{
     DirectMethod, Simulation, SimulationOptions, StepperKind, StopCondition, TrajectorySummary,
@@ -19,50 +29,26 @@ use numerics::{
     chi_square_goodness_of_fit, histogram_chi_square, histogram_ks, poisson_pmf, Histogram,
 };
 
+mod common;
+use common::{final_count_histogram, total_variation, windowed};
+
 /// Significance level of the seeded tolerance bands. Under the null (solver
 /// is faithful) a fixed-seed run sits comfortably above this; a systematic
 /// bias pushes the p-value to ~0 and fails loudly.
 const ALPHA: f64 = 1e-3;
 
-/// Runs one trajectory per seed in `seeds` of `crn` to time `t_end` with
-/// the given stepper and histograms the final count of `species` over the
-/// integer range `lo..=hi` (one bin per integer; out-of-range finals clamp
-/// to the edge bins, as the harness expects).
-fn final_count_histogram(
-    crn: &Crn,
-    initial: &crn::State,
-    method: StepperKind,
-    species: crn::SpeciesId,
-    seeds: std::ops::Range<u64>,
-    t_end: f64,
-    (lo, hi): (u64, u64),
-) -> Histogram {
-    let mut hist = Histogram::new(lo as f64 - 0.5, hi as f64 + 0.5, (hi - lo + 1) as usize);
-    for seed in seeds {
-        let result = Simulation::new(crn, method.stepper())
-            .options(
-                SimulationOptions::new()
-                    .seed(seed)
-                    .stop(StopCondition::time(t_end))
-                    .max_events(10_000_000),
-            )
-            .run(initial)
-            .expect("trajectory");
-        hist.add(result.final_state.count(species) as f64);
-    }
-    hist
-}
-
 /// Immigration–death process `∅ -> a` (rate λ), `a -> ∅` (rate μ per
-/// molecule): the stationary distribution is exactly Poisson(λ/μ). Every
-/// stepper — the three exact ones *and* tau-leaping — must reproduce it
-/// bin for bin, and the approximate stepper must be two-sample
-/// indistinguishable from the exact reference.
+/// molecule): the expected distribution at the simulated horizon is the
+/// exact CME transient (the stationary Poisson law plus the residual of the
+/// deterministic initial condition). Every stepper — the three exact ones
+/// *and* tau-leaping — must reproduce it bin for bin, and the approximate
+/// stepper must be two-sample indistinguishable from the exact reference.
 #[test]
-fn birth_death_stationary_distribution_conforms_for_every_method() {
+fn birth_death_distribution_conforms_to_cme_for_every_method() {
     let lambda = 400.0;
     let mu = 2.0;
     let mean = lambda / mu; // 200
+    let t_end = 3.0;
     let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}")
         .parse()
         .expect("network");
@@ -71,7 +57,32 @@ fn birth_death_stationary_distribution_conforms_for_every_method() {
     // (deterministic) initial condition, not build the population.
     let initial = crn.state_from_counts([("a", mean as u64)]).expect("state");
     let (lo, hi) = (140u64, 260u64); // ±4.3 standard deviations around 200
-    let expected: Vec<f64> = (lo..=hi).map(|k| poisson_pmf(mean, k)).collect();
+
+    // Exact CME transient at the simulated horizon. The birth process is
+    // unbounded, so the space is truncated at ±little beyond the window;
+    // the leak bound certifies the truncation is irrelevant.
+    let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::truncating(420))
+        .expect("state space");
+    let solution = space.transient(t_end, 1e-10).expect("transient");
+    assert!(
+        solution.leaked + solution.truncation_error < 1e-8,
+        "truncation must be negligible: leak {:.3e}, tail {:.3e}",
+        solution.leaked,
+        solution.truncation_error
+    );
+    let expected = windowed(&space.marginal(&solution.probabilities, a), (lo, hi));
+
+    // Cross-check the oracle itself against the analytic stationary law:
+    // at t = 3 the initial condition has relaxed to within e^{-μt} ≈ 0.25%.
+    let stationary = windowed(
+        &(0..=420).map(|k| poisson_pmf(mean, k)).collect::<Vec<_>>(),
+        (lo, hi),
+    );
+    let tv = total_variation(&expected, &stationary);
+    assert!(
+        tv < 0.02,
+        "CME transient vs stationary Poisson: total variation {tv:.4}"
+    );
 
     let trials = 1_500u64;
     let mut reference: Option<Histogram> = None;
@@ -82,13 +93,13 @@ fn birth_death_stationary_distribution_conforms_for_every_method() {
             method,
             a,
             9_000..9_000 + trials,
-            3.0,
+            t_end,
             (lo, hi),
         );
         let gof = chi_square_goodness_of_fit(hist.counts(), &expected).expect("test");
         assert!(
             gof.passes(ALPHA),
-            "{}: Poisson({mean}) goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
+            "{}: CME-transient goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
             method.name(),
             gof.statistic,
             gof.dof,
@@ -112,23 +123,37 @@ fn birth_death_stationary_distribution_conforms_for_every_method() {
 }
 
 /// Reversible dimerisation `2a <-> b` is a one-dimensional birth–death
-/// chain in the dimer count, so its stationary law has an exact
-/// detailed-balance product form. All four steppers must conform to it —
-/// this exercises second-order propensities and the `g_i = 2 + 1/(x−1)`
-/// branch of tau-leaping's step selection.
+/// chain in the dimer count. The oracle is the exact CME transient at the
+/// simulated horizon (a *closed* system — strict bounds, zero truncation);
+/// the detailed-balance product form of the stationary law cross-checks the
+/// CME. All four steppers must conform — this exercises second-order
+/// propensities and the `g_i = 2 + 1/(x−1)` branch of tau-leaping's step
+/// selection.
 #[test]
-fn dimerisation_stationary_distribution_conforms_for_every_method() {
+fn dimerisation_distribution_conforms_to_cme_for_every_method() {
     let k1 = 2e-4; // 2a -> b ; propensity k1·a(a−1)/2
     let k2 = 1.0; // b -> 2a ; propensity k2·b
     let n = 2_000u64; // conserved monomer total a + 2b
+    let t_end = 4.0;
     let crn: Crn = format!("2 a -> b @ {k1}\nb -> 2 a @ {k2}")
         .parse()
         .expect("network");
     let b = crn.species_id("b").expect("species");
     let initial = crn.state_from_counts([("a", n)]).expect("state");
 
+    // Exact CME transient over the full (finite) chain b = 0..=n/2.
+    let space =
+        StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(n)).expect("state space");
+    assert_eq!(
+        space.len() as u64,
+        n / 2 + 1,
+        "1-D chain in the dimer count"
+    );
+    let solution = space.transient(t_end, 1e-10).expect("transient");
+    let marginal = space.marginal(&solution.probabilities, b);
+
     // Detailed balance on the chain in b: π(b+1)/π(b) = fwd(b)/back(b+1),
-    // computed in log space and normalised.
+    // computed in log space and normalised — the cross-check of the CME.
     let fwd = |b_count: u64| {
         let a = (n - 2 * b_count) as f64;
         k1 * a * (a - 1.0) / 2.0
@@ -145,10 +170,16 @@ fn dimerisation_stationary_distribution_conforms_for_every_method() {
     let pi: Vec<f64> = log_pi.iter().map(|&l| (l - max).exp()).collect();
     let total: f64 = pi.iter().sum();
     let pi: Vec<f64> = pi.iter().map(|&p| p / total).collect();
-    // Restrict to the region carrying essentially all the mass.
+    // Restrict to the region carrying essentially all the stationary mass.
     let lo = pi.iter().position(|&p| p > 1e-9).unwrap() as u64;
     let hi = (pi.len() - 1 - pi.iter().rev().position(|&p| p > 1e-9).unwrap()) as u64;
-    let expected: Vec<f64> = (lo..=hi).map(|k| pi[k as usize]).collect();
+    let expected = windowed(&marginal, (lo, hi));
+    let stationary = windowed(&pi, (lo, hi));
+    let tv = total_variation(&expected, &stationary);
+    assert!(
+        tv < 0.02,
+        "CME transient vs detailed-balance stationary law: total variation {tv:.4}"
+    );
 
     let trials = 1_200u64;
     let mut reference: Option<Histogram> = None;
@@ -159,13 +190,13 @@ fn dimerisation_stationary_distribution_conforms_for_every_method() {
             method,
             b,
             70_000..70_000 + trials,
-            4.0,
+            t_end,
             (lo, hi),
         );
         let gof = chi_square_goodness_of_fit(hist.counts(), &expected).expect("test");
         assert!(
             gof.passes(ALPHA),
-            "{}: detailed-balance goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
+            "{}: CME-transient goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
             method.name(),
             gof.statistic,
             gof.dof,

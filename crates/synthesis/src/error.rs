@@ -27,6 +27,9 @@ pub enum SynthesisError {
     },
     /// An underlying CRN operation failed while assembling the network.
     Crn(crn::CrnError),
+    /// An exact CME computation failed (population bounds exceeded, state
+    /// budget exhausted, first-passage iteration not converged).
+    Cme(cme::CmeError),
     /// A requested functional coefficient could not be realised with small
     /// integer stoichiometry.
     UnrealizableCoefficient {
@@ -51,6 +54,7 @@ impl fmt::Display for SynthesisError {
                 )
             }
             SynthesisError::Crn(err) => write!(f, "network construction failed: {err}"),
+            SynthesisError::Cme(err) => write!(f, "exact CME computation failed: {err}"),
             SynthesisError::UnrealizableCoefficient { coefficient } => write!(
                 f,
                 "coefficient {coefficient} cannot be approximated by small integer stoichiometry"
@@ -63,6 +67,7 @@ impl Error for SynthesisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SynthesisError::Crn(err) => Some(err),
+            SynthesisError::Cme(err) => Some(err),
             _ => None,
         }
     }
@@ -71,6 +76,12 @@ impl Error for SynthesisError {
 impl From<crn::CrnError> for SynthesisError {
     fn from(err: crn::CrnError) -> Self {
         SynthesisError::Crn(err)
+    }
+}
+
+impl From<cme::CmeError> for SynthesisError {
+    fn from(err: cme::CmeError) -> Self {
+        SynthesisError::Cme(err)
     }
 }
 
@@ -92,6 +103,7 @@ mod tests {
                 value: -1.0,
             },
             SynthesisError::Crn(crn::CrnError::EmptyReaction),
+            SynthesisError::Cme(cme::CmeError::StateBudgetExceeded { budget: 10 }),
             SynthesisError::UnrealizableCoefficient {
                 coefficient: 0.333333,
             },
@@ -104,6 +116,8 @@ mod tests {
     #[test]
     fn crn_errors_convert_and_chain() {
         let err: SynthesisError = crn::CrnError::EmptyReaction.into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err: SynthesisError = cme::CmeError::StateBudgetExceeded { budget: 1 }.into();
         assert!(std::error::Error::source(&err).is_some());
     }
 

@@ -1,5 +1,6 @@
 //! The stochastic (winner-take-all) module — Section 2.1 of the paper.
 
+use cme::{FirstPassage, OutcomeDistribution, PopulationBounds};
 use crn::{Crn, CrnBuilder, State};
 use gillespie::{Simulation, SimulationOptions, SpeciesThresholdClassifier, StopCondition};
 use serde::{Deserialize, Serialize};
@@ -452,6 +453,80 @@ impl StochasticModule {
             .max_events(50_000_000)
     }
 
+    /// Returns strict population bounds that provably contain the module's
+    /// reachable state space for the given input counts.
+    ///
+    /// Input species only ever lose molecules, catalysts are created one per
+    /// consumed input, food converts one-for-one into output (which is
+    /// absorbing at the decision threshold), and extra working products grow
+    /// by at most their coefficient per working firing — so a single cap of
+    /// `max(Σ counts, food, threshold · max product coefficient)` covers
+    /// every species.
+    pub fn exact_bounds(&self, counts: &[u64]) -> PopulationBounds {
+        let total: u64 = counts.iter().sum();
+        let max_product_coefficient = self
+            .crn
+            .reactions()
+            .iter()
+            .flat_map(|r| r.products())
+            .map(|t| u64::from(t.coefficient))
+            .max()
+            .unwrap_or(1);
+        let cap = total
+            .max(self.food)
+            .max(self.decision_threshold * max_product_coefficient);
+        PopulationBounds::strict(cap)
+    }
+
+    /// Computes the module's **exact** outcome distribution from the
+    /// chemical master equation: the winner-take-all race is a first-passage
+    /// problem (the first output species to reach the decision threshold
+    /// absorbs the trajectory), so the outcome probabilities are solvable to
+    /// machine precision — no Monte-Carlo noise floor, however small the
+    /// deviation programmed by a finite γ.
+    ///
+    /// Returns the full analysis: probabilities per outcome plus undecided
+    /// and escaped mass. See
+    /// [`exact_outcome_distribution`](StochasticModule::exact_outcome_distribution)
+    /// for the plain probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state construction errors and
+    /// [`SynthesisError::Cme`] for bound violations or an exhausted state
+    /// budget.
+    pub fn exact_outcome_analysis(
+        &self,
+        counts: &[u64],
+        bounds: &PopulationBounds,
+    ) -> Result<OutcomeDistribution, SynthesisError> {
+        let initial = self.initial_state_from_counts(counts)?;
+        let mut passage = FirstPassage::new(&self.crn);
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            passage = passage.outcome_species_at_least(
+                outcome.as_str(),
+                &self.output_species(i),
+                self.decision_threshold,
+            )?;
+        }
+        Ok(passage.solve(&initial, bounds)?)
+    }
+
+    /// Computes the exact outcome probabilities (one per outcome, in outcome
+    /// order) for explicit input counts; a thin wrapper around
+    /// [`exact_outcome_analysis`](StochasticModule::exact_outcome_analysis)
+    /// using [`exact_bounds`](StochasticModule::exact_bounds).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`exact_outcome_analysis`](StochasticModule::exact_outcome_analysis).
+    pub fn exact_outcome_distribution(&self, counts: &[u64]) -> Result<Vec<f64>, SynthesisError> {
+        Ok(self
+            .exact_outcome_analysis(counts, &self.exact_bounds(counts))?
+            .probabilities()
+            .to_vec())
+    }
+
     /// Runs a single *error-analysis* trial (the experiment behind the
     /// paper's Figure 3).
     ///
@@ -782,6 +857,122 @@ mod tests {
             .working_product(0, "e2", 1)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn exact_outcome_distribution_recovers_programmed_probabilities() {
+        // A scaled-down two-outcome module: with γ = 10⁶ the exact outcome
+        // distribution deviates from the programmed {0.25, 0.75} by O(1/γ),
+        // far below any Monte-Carlo resolution but visible to the CME.
+        let module = StochasticModule::builder()
+            .outcomes(["a", "b"])
+            .gamma(1e6)
+            .input_total(4)
+            .food(2)
+            .decision_threshold(2)
+            .build()
+            .unwrap();
+        let exact = module.exact_outcome_distribution(&[1, 3]).unwrap();
+        assert!((exact[0] - 0.25).abs() < 1e-4, "p(a) = {}", exact[0]);
+        assert!((exact[1] - 0.75).abs() < 1e-4, "p(b) = {}", exact[1]);
+        // Not *every* trajectory decides: with probability O(1/γ²-ish) the
+        // catalysts annihilate after the inputs run dry and no output ever
+        // reaches the threshold. The CME quantifies that exactly.
+        let undecided = 1.0 - exact.iter().sum::<f64>();
+        assert!(
+            (0.0..1e-6).contains(&undecided),
+            "undecided mass {undecided:.3e}"
+        );
+    }
+
+    #[test]
+    fn exact_error_shrinks_as_gamma_grows() {
+        // The exact-CME version of the paper's Figure 3: the deviation from
+        // the programmed distribution falls monotonically in γ — measured
+        // here without a single simulated trajectory.
+        let deviation = |gamma: f64| {
+            let module = StochasticModule::builder()
+                .outcomes(["a", "b"])
+                .gamma(gamma)
+                .input_total(4)
+                .food(2)
+                .decision_threshold(2)
+                .build()
+                .unwrap();
+            let exact = module.exact_outcome_distribution(&[1, 3]).unwrap();
+            (exact[0] - 0.25).abs()
+        };
+        let at_10 = deviation(10.0);
+        let at_1000 = deviation(1000.0);
+        let at_100000 = deviation(100_000.0);
+        assert!(
+            at_10 > at_1000 && at_1000 > at_100000,
+            "γ=10: {at_10:.3e}, γ=1000: {at_1000:.3e}, γ=100000: {at_100000:.3e}"
+        );
+        assert!(at_10 > 1e-3, "γ=10 error should be visible: {at_10:.3e}");
+        assert!(
+            at_100000 < 1e-4,
+            "γ=100000 error should be tiny: {at_100000:.3e}"
+        );
+    }
+
+    #[test]
+    fn exact_analysis_reports_full_accounting() {
+        let module = StochasticModule::builder()
+            .outcomes(["a", "b"])
+            .gamma(1e4)
+            .input_total(3)
+            .food(2)
+            .decision_threshold(2)
+            .build()
+            .unwrap();
+        let analysis = module
+            .exact_outcome_analysis(&[2, 1], &module.exact_bounds(&[2, 1]))
+            .unwrap();
+        assert_eq!(analysis.names(), module.outcomes());
+        // The module's genuine failure mode, exactly quantified: both
+        // catalysts form, purify each other away after the inputs are gone,
+        // and no output reaches the threshold. Invisible to 10⁴-trial
+        // ensembles; plain to the CME.
+        assert!(
+            analysis.undecided() > 0.0 && analysis.undecided() < 1e-3,
+            "undecided {:.3e}",
+            analysis.undecided()
+        );
+        let total: f64 = analysis.probabilities().iter().sum();
+        assert!(
+            (total + analysis.undecided() - 1.0).abs() < 1e-10,
+            "mass accounting: {total} + {}",
+            analysis.undecided()
+        );
+        assert!(analysis.escaped() <= 1e-12);
+        assert!(analysis.states() > 10);
+        // The DAG structure (strictly decreasing 2Σe + Σd + Σf) keeps the
+        // sweep count at the chain depth, not the state count.
+        assert!(analysis.sweeps() < 40, "sweeps {}", analysis.sweeps());
+    }
+
+    #[test]
+    fn exact_bounds_are_tight_enough_to_enumerate() {
+        let module = StochasticModule::builder()
+            .outcomes(["T1", "T2", "T3"])
+            .gamma(1000.0)
+            .input_total(6)
+            .food(2)
+            .decision_threshold(2)
+            .build()
+            .unwrap();
+        let bounds = module.exact_bounds(&[2, 2, 2]);
+        assert_eq!(bounds.cap_for("e1"), 6);
+        let analysis = module.exact_outcome_analysis(&[2, 2, 2], &bounds).unwrap();
+        // Symmetric inputs: the three outcomes are exactly exchangeable, so
+        // their probabilities agree to machine precision (each is one third
+        // of the decided mass).
+        let decided: f64 = analysis.probabilities().iter().sum();
+        for &p in analysis.probabilities() {
+            assert!((p - decided / 3.0).abs() < 1e-12, "p = {p}");
+        }
+        assert!((decided + analysis.undecided() - 1.0).abs() < 1e-10);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! move it away. The verbatim Figure 4 network is still available in the
 //! `lambda` crate for structural comparison.
 
+use cme::{FirstPassage, OutcomeDistribution, PopulationBounds};
 use crn::{Crn, State};
 use gillespie::{SimulationOptions, SpeciesThresholdClassifier, StopCondition};
 use numerics::LogLinearFit;
@@ -459,6 +460,81 @@ impl SynthesizedResponse {
             .stop(self.stop_condition())
             .max_events(50_000_000)
     }
+
+    /// Returns truncating population bounds suited to the synthesized
+    /// network for input quantity `x`.
+    ///
+    /// Truncation (rather than strict bounds) is required whenever the
+    /// response has a logarithm branch: its clock reaction `b -> a + b`
+    /// never stops, so the reachable space is infinite in the loop species.
+    /// The logarithm module's auxiliary species are capped individually —
+    /// each extra loop/carry molecule beyond its working range costs a
+    /// factor of the band separation in probability, so the caps leave
+    /// negligible (and rigorously reported) leak while keeping the
+    /// enumeration from drowning in implausible clock states.
+    pub fn exact_bounds(&self, x: u64) -> PopulationBounds {
+        let x = x.max(1);
+        let cap = self
+            .input_total
+            .max(self.food.0)
+            .max(self.food.1)
+            .max(x * 8)
+            .max(8);
+        let mut bounds = PopulationBounds::truncating(cap);
+        if let Some(clock) = &self.log_clock_species {
+            let log2_x = 64 - u64::leading_zeros(x) as u64; // ⌈log2(x+1)⌉
+            bounds = bounds
+                .cap(clock.clone(), 1)
+                .cap("y_log_raw_loop", 4)
+                .cap("y_log_raw_carry", x.div_ceil(2).max(2))
+                .cap("y_log_raw", log2_x + 2)
+                .cap(format!("{}_log", self.input), x)
+                .cap(format!("{}_log_saved", self.input), x);
+        }
+        bounds
+    }
+
+    /// Computes the **exact** outcome distribution of the synthesized
+    /// network for input quantity `x` from the chemical master equation —
+    /// the ground truth the Monte-Carlo response sweeps estimate. This is
+    /// how a synthesized log-linear response is verified without relying on
+    /// ensemble noise floors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state construction errors and [`SynthesisError::Cme`] for
+    /// bound violations, an exhausted state budget, or non-convergence.
+    pub fn exact_outcome_analysis(
+        &self,
+        x: u64,
+        bounds: &PopulationBounds,
+    ) -> Result<OutcomeDistribution, SynthesisError> {
+        let initial = self.initial_state(x)?;
+        let passage = FirstPassage::new(&self.crn)
+            .outcome_species_at_least(
+                self.outcome_names.0.as_str(),
+                &self.output_names.0,
+                self.thresholds.0,
+            )?
+            .outcome_species_at_least(
+                self.outcome_names.1.as_str(),
+                &self.output_names.1,
+                self.thresholds.1,
+            )?;
+        Ok(passage.solve(&initial, bounds)?)
+    }
+
+    /// Computes the exact probability of the *tracked* outcome for input
+    /// `x`, using [`exact_bounds`](SynthesizedResponse::exact_bounds).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`exact_outcome_analysis`](SynthesizedResponse::exact_outcome_analysis).
+    pub fn exact_tracked_probability(&self, x: u64) -> Result<f64, SynthesisError> {
+        Ok(self
+            .exact_outcome_analysis(x, &self.exact_bounds(x))?
+            .probability(&self.outcome_names.0))
+    }
 }
 
 #[cfg(test)]
@@ -590,6 +666,58 @@ mod tests {
             "got {}",
             report.probability("T1")
         );
+    }
+
+    #[test]
+    fn constant_only_response_is_exact_under_the_cme() {
+        // A scaled-down constant response: 3 of 10 input molecules track
+        // outcome T1, so the exact outcome probability is 0.3 up to the
+        // γ = 10⁹ winner-take-all error — far below 1e-6.
+        let response = LogLinearFit::from_coefficients(3.0, 0.0, 0.0);
+        let synthesized = LogLinearSynthesizer::new("x", response)
+            .outcomes("T1", "T2")
+            .outputs("w1", "w2")
+            .thresholds(2, 2)
+            .food(2, 2)
+            .input_total(10)
+            .synthesize()
+            .unwrap();
+        let analysis = synthesized
+            .exact_outcome_analysis(1, &synthesized.exact_bounds(1))
+            .unwrap();
+        assert!(
+            (analysis.probability("T1") - 0.3).abs() < 1e-6,
+            "p(T1) = {}",
+            analysis.probability("T1")
+        );
+        assert!(analysis.escaped() < 1e-9);
+        assert!((synthesized.exact_tracked_probability(1).unwrap() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_response_verifies_exactly_against_its_realised_law() {
+        // P(tracked) = (2 + x)/10: the linear branch moves one e2 to e1 per
+        // input molecule. The exact CME probability must match the realised
+        // affine law at every swept input — the synthesizer's correctness
+        // statement, free of Monte-Carlo noise.
+        let response = LogLinearFit::from_coefficients(2.0, 0.0, 1.0);
+        let synthesized = LogLinearSynthesizer::new("x", response)
+            .outcomes("T1", "T2")
+            .outputs("w1", "w2")
+            .thresholds(2, 2)
+            .food(2, 2)
+            .input_total(10)
+            .input_range(1, 4)
+            .synthesize()
+            .unwrap();
+        for x in 1..=4u64 {
+            let exact = synthesized.exact_tracked_probability(x).unwrap();
+            let realised = (2.0 + x as f64) / 10.0;
+            assert!(
+                (exact - realised).abs() < 1e-6,
+                "x = {x}: exact {exact} vs realised {realised}"
+            );
+        }
     }
 
     #[test]

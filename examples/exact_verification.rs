@@ -1,0 +1,104 @@
+//! Exact CME verification, end to end.
+//!
+//! Run with `cargo run --release --example exact_verification`.
+//!
+//! Three demonstrations of the `cme` crate as a noise-free oracle:
+//!
+//! 1. the paper's Example 1 module verified *exactly* — including the
+//!    γ-dependent deviation from the target that no ensemble can resolve;
+//! 2. an ensemble cross-check: the Monte-Carlo estimate agrees with the
+//!    exact law within its own statistical error;
+//! 3. a truncated (open) birth–death system, showing the rigorous error
+//!    accounting of finite-state-projection bounds.
+
+use stochsynth::cme::{PopulationBounds, StateSpace};
+use stochsynth::gillespie::{Ensemble, EnsembleOptions};
+use stochsynth::{Crn, StochasticModule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------- 1 --
+    // Example 1, scaled to 10 input molecules: target {0.3, 0.4, 0.3}.
+    // The exact outcome distribution is a first-passage computation on the
+    // reachable state space — no trajectories, no tolerance bands.
+    println!("── Example 1: exact outcome distribution vs. γ ──");
+    let counts = [3u64, 4, 3];
+    for gamma in [100.0, 1_000.0, 1e6, 1e9] {
+        let module = StochasticModule::builder()
+            .outcomes(["T1", "T2", "T3"])
+            .gamma(gamma)
+            .input_total(10)
+            .food(2)
+            .decision_threshold(2)
+            .build()?;
+        let analysis = module.exact_outcome_analysis(&counts, &module.exact_bounds(&counts))?;
+        let deviation: f64 = analysis
+            .probabilities()
+            .iter()
+            .zip([0.3, 0.4, 0.3])
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / 2.0;
+        println!(
+            "  γ = {gamma:>9.0e}: P = [{:.9}, {:.9}, {:.9}]  |Δ|_TV = {:.2e}  \
+             P(never decides) = {:.2e}  ({} states)",
+            analysis.probabilities()[0],
+            analysis.probabilities()[1],
+            analysis.probabilities()[2],
+            deviation,
+            analysis.undecided(),
+            analysis.states(),
+        );
+    }
+    println!("  The deviation falls as 1/γ — the paper's robustness claim, exactly.\n");
+
+    // ---------------------------------------------------------------- 2 --
+    // Cross-check one ensemble against the exact law.
+    println!("── Ensemble vs. exact law (γ = 1000) ──");
+    let module = StochasticModule::builder()
+        .outcomes(["T1", "T2", "T3"])
+        .gamma(1_000.0)
+        .input_total(10)
+        .food(2)
+        .decision_threshold(2)
+        .build()?;
+    let exact = module.exact_outcome_distribution(&counts)?;
+    let initial = module.initial_state_from_counts(&counts)?;
+    let trials = 4_000u64;
+    let report = Ensemble::new(module.crn(), initial, module.classifier()?)
+        .options(
+            EnsembleOptions::new()
+                .trials(trials)
+                .master_seed(7)
+                .simulation(module.simulation_options()),
+        )
+        .run()?;
+    for (i, outcome) in module.outcomes().iter().enumerate() {
+        println!(
+            "  {outcome}: exact {:.6}   ensemble {:.6} ± {:.4} ({} trials)",
+            exact[i],
+            report.probability(outcome),
+            2.0 * (exact[i] * (1.0 - exact[i]) / trials as f64).sqrt(),
+            trials,
+        );
+    }
+    println!();
+
+    // ---------------------------------------------------------------- 3 --
+    // An open system needs truncation; the leak is tracked, never hidden.
+    println!("── Truncated birth–death: rigorous error accounting ──");
+    let crn: Crn = "0 -> a @ 40\na -> 0 @ 1".parse()?;
+    for cap in [50u64, 60, 80] {
+        let space =
+            StateSpace::enumerate(&crn, &crn.zero_state(), &PopulationBounds::truncating(cap))?;
+        let solution = space.transient(2.0, 1e-10)?;
+        let retained: f64 = solution.probabilities.iter().sum();
+        println!(
+            "  cap {cap:>3}: retained mass {retained:.12}, leaked {:.3e}, \
+             Poisson tail {:.3e}  ({} uniformization terms)",
+            solution.leaked, solution.truncation_error, solution.terms,
+        );
+    }
+    println!("  Retained + leaked + tail = 1 exactly; pick the cap by the leak you can accept.");
+
+    Ok(())
+}

@@ -16,7 +16,12 @@
 //! * [`lambda`] — the lambda-phage lysis/lysogeny switch case study;
 //! * [`numerics`] — statistics, confidence intervals, histograms, the
 //!   chi-square/Kolmogorov–Smirnov distribution-conformance harness and
-//!   small linear algebra.
+//!   small linear algebra;
+//! * [`cme`] — exact chemical-master-equation verification: reachable
+//!   state-space enumeration, sparse generator matrices, uniformization
+//!   ([`cme::transient`]) and first-passage outcome analysis
+//!   ([`cme::FirstPassage`]) — the noise-free oracle behind the test
+//!   suites.
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -39,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cme;
 pub use crn;
 pub use gillespie;
 pub use lambda;
 pub use numerics;
 pub use synthesis;
 
+pub use cme::{CmeError, FirstPassage, OutcomeDistribution, PopulationBounds, StateSpace};
 pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
 pub use gillespie::{
     DirectMethod, Ensemble, EnsembleOptions, EnsembleReport, FirstReactionMethod,
