@@ -1,63 +1,89 @@
 //! Ablation benchmark: Gillespie direct vs first-reaction vs Gibson–Bruck
-//! next-reaction vs tau-leaping, on networks of increasing size. The
-//! next-reaction method is expected to win among the exact methods once the
-//! number of reactions is large relative to the dependency-graph
-//! out-degree; tau-leaping additionally collapses runs of events into
-//! single leaps wherever populations allow it.
+//! next-reaction vs composition–rejection vs tau-leaping, on networks of
+//! increasing size and varying shape (all built by `crn::generators`).
+//!
+//! The scaling story this sweep documents:
+//!
+//! * the direct method's per-event `O(R)` CDF scan degrades linearly with
+//!   the reaction count (`chain_10` → `chain_1000`),
+//! * the first-reaction method degrades even faster (`O(R)` exponential
+//!   draws per event),
+//! * next-reaction (`O(log R)`) and composition–rejection (`O(1)`
+//!   expected) stay near-flat — composition–rejection is the one whose
+//!   selection cost is independent of both the reaction count *and* the
+//!   dependency structure,
+//! * tau-leaping is orthogonal: it wins by firing many events per step
+//!   when populations allow it, not by selecting faster.
+//!
+//! `bench_compare` (this crate's comparator binary) gates CI on the
+//! committed `BENCH_ssa_methods.json` baseline, so regressions on any of
+//! these ids fail the PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crn::{Crn, CrnBuilder};
+use crn::generators::{
+    dimerisation_grid, gene_regulatory_tree, lambda_switch_ensemble, linear_cascade,
+    reversible_chain, GeneratedSystem,
+};
 use gillespie::{Simulation, SimulationOptions, SsaMethod, StopCondition};
 
-/// Builds a linear chain of isomerisations `s0 -> s1 -> … -> sN` plus the
-/// reverse reactions: 2N reactions whose dependency graph has out-degree ≤ 4.
-fn chain_network(length: usize) -> Crn {
-    let mut b = CrnBuilder::new();
-    let species: Vec<_> = (0..=length).map(|i| b.species(format!("s{i}"))).collect();
-    for i in 0..length {
-        b.reaction()
-            .reactant(species[i], 1)
-            .product(species[i + 1], 1)
-            .rate(1.0)
-            .add()
-            .expect("forward reaction");
-        b.reaction()
-            .reactant(species[i + 1], 1)
-            .product(species[i], 1)
-            .rate(0.5)
-            .add()
-            .expect("backward reaction");
+/// Runs every stepper on `system` for 5000 events per trajectory.
+fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem) {
+    let mut group = c.benchmark_group(format!("ssa_methods/{name}"));
+    for method in SsaMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    Simulation::new(&system.crn, method.stepper())
+                        .options(
+                            SimulationOptions::new()
+                                .seed(seed)
+                                .stop(StopCondition::events(5_000)),
+                        )
+                        .run(&system.initial)
+                        .expect("trajectory")
+                });
+            },
+        );
     }
-    b.build().expect("chain network")
+    group.finish();
 }
 
 fn bench_methods(c: &mut Criterion) {
-    for &length in &[10usize, 50, 200] {
-        let crn = chain_network(length);
-        let initial = crn.state_from_counts([("s0", 200)]).expect("initial state");
-        let mut group = c.benchmark_group(format!("ssa_methods/chain_{length}"));
-        for method in SsaMethod::ALL {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(method.name()),
-                &method,
-                |b, &method| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        Simulation::new(&crn, method.stepper())
-                            .options(
-                                SimulationOptions::new()
-                                    .seed(seed)
-                                    .stop(StopCondition::events(5_000)),
-                            )
-                            .run(&initial)
-                            .expect("trajectory")
-                    });
-                },
-            );
-        }
-        group.finish();
+    // Reversible isomerisation chains: the reaction count scales while the
+    // dependency out-degree stays ≤ 4 — pure selection-cost scaling.
+    for &length in &[10usize, 50, 200, 1000] {
+        let system = reversible_chain(length, 1.0, 0.5, 200);
+        bench_system(c, &format!("chain_{length}"), &system);
     }
+    // Source-driven irreversible cascade: 2002 channels, most of them idle
+    // at any instant — the sparsest large network.
+    bench_system(c, "cascade_2000", &linear_cascade(2000, 50.0, 1.0, 2000));
+    // Branched gene-regulatory tree (364 genes, 1454 reactions):
+    // propensities spread over many binades as the activation wave runs.
+    bench_system(
+        c,
+        "gene_tree_1454",
+        &gene_regulatory_tree(5, 3, 0.2, 0.5, 8.0, 1.0),
+    );
+    // Reaction–diffusion style dimerisation grid (16×16 sites, 480
+    // second-order bindings plus their 480 first-order unbindings, all
+    // active at once).
+    bench_system(
+        c,
+        "dimer_grid_960",
+        &dimerisation_grid(16, 16, 0.002, 1.0, 25),
+    );
+    // 200 independent lambda switches in one network: block-diagonal
+    // dependency graph, the scaled-out population-study shape.
+    bench_system(
+        c,
+        "lambda_switch_1200",
+        &lambda_switch_ensemble(200, 1.0, 0.1, 0.001, 30),
+    );
 }
 
 criterion_group!(benches, bench_methods);

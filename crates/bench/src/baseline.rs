@@ -1,0 +1,542 @@
+//! Benchmark-baseline parsing and regression comparison.
+//!
+//! The criterion shim writes each suite's results to a `BENCH_<suite>.json`
+//! baseline in the workspace root; the committed copies are the reference
+//! numbers. This module reads those files back and diffs a fresh run
+//! against them, so the `bench_compare` binary can fail CI on a median
+//! regression instead of merely uploading artifacts (see the README's
+//! *Benchmark regression policy*).
+//!
+//! The serde shim is deliberately a no-op, so parsing is done by a small
+//! self-contained JSON reader that accepts the full JSON grammar the
+//! baselines use (objects, arrays, strings, numbers).
+
+use std::collections::BTreeMap;
+
+/// One parsed `BENCH_<suite>.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Suite name (`ssa_methods`, `ensemble_scaling`, …).
+    pub suite: String,
+    /// Per-benchmark summary statistics, in file order.
+    pub benchmarks: Vec<BenchmarkStats>,
+}
+
+/// Summary statistics of one benchmark id, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkStats {
+    /// Full benchmark id, `group/bench` style.
+    pub id: String,
+    /// Median time per iteration (ns) — the statistic the gate compares.
+    pub median_ns: f64,
+    /// Mean time per iteration (ns).
+    pub mean_ns: f64,
+    /// Minimum observed time per iteration (ns).
+    pub min_ns: f64,
+    /// Maximum observed time per iteration (ns).
+    pub max_ns: f64,
+}
+
+/// Parses a `BENCH_<suite>.json` baseline file.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the text is not valid JSON or is
+/// missing the expected fields.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let value = JsonParser::parse(text)?;
+    let root = value.as_object("top level")?;
+    let suite = root
+        .get("suite")
+        .ok_or("missing \"suite\"")?
+        .as_str("suite")?
+        .to_string();
+    let mut benchmarks = Vec::new();
+    for (i, entry) in root
+        .get("benchmarks")
+        .ok_or("missing \"benchmarks\"")?
+        .as_array("benchmarks")?
+        .iter()
+        .enumerate()
+    {
+        let fields = entry.as_object(&format!("benchmarks[{i}]"))?;
+        let number = |key: &str| -> Result<f64, String> {
+            fields
+                .get(key)
+                .ok_or_else(|| format!("benchmarks[{i}] missing \"{key}\""))?
+                .as_number(key)
+        };
+        benchmarks.push(BenchmarkStats {
+            id: fields
+                .get("id")
+                .ok_or_else(|| format!("benchmarks[{i}] missing \"id\""))?
+                .as_str("id")?
+                .to_string(),
+            median_ns: number("median")?,
+            mean_ns: number("mean")?,
+            min_ns: number("min")?,
+            max_ns: number("max")?,
+        });
+    }
+    Ok(Baseline { suite, benchmarks })
+}
+
+/// How one benchmark id moved between the baseline and a fresh run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Benchmark id.
+    pub id: String,
+    /// Committed median (ns/iter).
+    pub baseline_ns: f64,
+    /// Freshly measured median (ns/iter).
+    pub fresh_ns: f64,
+    /// `fresh / baseline` after dividing out the machine-speed scale.
+    pub ratio: f64,
+}
+
+/// The outcome of diffing a fresh run against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-benchmark deltas for every id present in the baseline and the
+    /// fresh run, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Baseline ids with no fresh measurement (these fail the gate: a
+    /// silently vanishing benchmark is itself a regression).
+    pub missing: Vec<String>,
+    /// Fresh ids not present in the baseline (reported, never failing —
+    /// they gain a baseline entry at the next re-baseline).
+    pub new_ids: Vec<String>,
+    /// The machine-speed scale divided out of every ratio: 1.0 in raw
+    /// mode, the median of the per-id ratios in normalized mode.
+    pub scale: f64,
+}
+
+impl Comparison {
+    /// Diffs `fresh` against `baseline` on median ns/iter.
+    ///
+    /// With `normalize` set, the median of all per-id ratios is divided
+    /// out first, so a uniformly slower (or faster) machine does not trip
+    /// the gate — only benchmarks that regressed *relative to the suite*
+    /// do. Use raw mode when both runs come from the same machine.
+    pub fn between(baseline: &Baseline, fresh: &Baseline, normalize: bool) -> Comparison {
+        let fresh_by_id: BTreeMap<&str, &BenchmarkStats> = fresh
+            .benchmarks
+            .iter()
+            .map(|b| (b.id.as_str(), b))
+            .collect();
+        let mut deltas = Vec::new();
+        let mut missing = Vec::new();
+        for base in &baseline.benchmarks {
+            match fresh_by_id.get(base.id.as_str()) {
+                Some(f) => deltas.push(Delta {
+                    id: base.id.clone(),
+                    baseline_ns: base.median_ns,
+                    fresh_ns: f.median_ns,
+                    ratio: f.median_ns / base.median_ns,
+                }),
+                None => missing.push(base.id.clone()),
+            }
+        }
+        let baseline_ids: BTreeMap<&str, ()> = baseline
+            .benchmarks
+            .iter()
+            .map(|b| (b.id.as_str(), ()))
+            .collect();
+        let new_ids = fresh
+            .benchmarks
+            .iter()
+            .filter(|b| !baseline_ids.contains_key(b.id.as_str()))
+            .map(|b| b.id.clone())
+            .collect();
+        let scale = if normalize && !deltas.is_empty() {
+            let mut ratios: Vec<f64> = deltas.iter().map(|d| d.ratio).collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let n = ratios.len();
+            if n % 2 == 1 {
+                ratios[n / 2]
+            } else {
+                (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+            }
+        } else {
+            1.0
+        };
+        for delta in &mut deltas {
+            delta.ratio /= scale;
+        }
+        Comparison {
+            deltas,
+            missing,
+            new_ids,
+            scale,
+        }
+    }
+
+    /// The deltas whose (scale-adjusted) median regressed by more than
+    /// `threshold` (0.25 = 25%), among benchmarks whose baseline median is
+    /// at least `floor_ns`.
+    ///
+    /// The floor exists because micro-benchmarks in the tens of
+    /// microseconds jitter well past 25% run to run (allocator state,
+    /// frequency scaling, cache luck); gating on them would make the CI
+    /// check flaky without protecting anything the hot-path suites don't
+    /// already cover. Pass `0.0` to gate every id.
+    pub fn regressions(&self, threshold: f64, floor_ns: f64) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.baseline_ns >= floor_ns && d.ratio > 1.0 + threshold)
+            .collect()
+    }
+
+    /// `true` when the gate passes: no regression beyond `threshold` on any
+    /// benchmark at or above `floor_ns`, and no baseline id missing from
+    /// the fresh run.
+    pub fn passes(&self, threshold: f64, floor_ns: f64) -> bool {
+        self.missing.is_empty() && self.regressions(threshold, floor_ns).is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (full grammar, no external dependencies).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which the baseline format fits).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. `BTreeMap` keeps iteration deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Object(map) => Ok(map),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escape = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape codepoint")?);
+                        }
+                        other => return Err(format!("invalid escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.pos - 1;
+                    while !self.bytes.is_empty()
+                        && self.pos < self.bytes.len()
+                        && self.bytes[self.pos] & 0xC0 == 0x80
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "suite": "ssa_methods",
+  "unit": "ns_per_iter",
+  "benchmarks": [
+    {"id": "ssa_methods/chain_10/direct", "samples": 20, "iters_per_sample": 14, "min": 345609.3, "mean": 359302.2, "median": 358534.1, "max": 385223.5},
+    {"id": "ssa_methods/chain_10/next-reaction", "samples": 20, "iters_per_sample": 9, "min": 570921.1, "mean": 585459.3, "median": 587466.6, "max": 598997.8}
+  ]
+}
+"#;
+
+    fn stats(id: &str, median: f64) -> BenchmarkStats {
+        BenchmarkStats {
+            id: id.to_string(),
+            median_ns: median,
+            mean_ns: median,
+            min_ns: median * 0.9,
+            max_ns: median * 1.1,
+        }
+    }
+
+    fn baseline_of(entries: &[(&str, f64)]) -> Baseline {
+        Baseline {
+            suite: "unit".to_string(),
+            benchmarks: entries.iter().map(|&(id, m)| stats(id, m)).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_format() {
+        let baseline = parse_baseline(SAMPLE).expect("parse");
+        assert_eq!(baseline.suite, "ssa_methods");
+        assert_eq!(baseline.benchmarks.len(), 2);
+        assert_eq!(baseline.benchmarks[0].id, "ssa_methods/chain_10/direct");
+        assert_eq!(baseline.benchmarks[0].median_ns, 358534.1);
+        assert_eq!(baseline.benchmarks[1].max_ns, 598997.8);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("{\"suite\": 3}").is_err());
+        assert!(parse_baseline("{\"suite\": \"x\"}").is_err());
+        assert!(parse_baseline("[1, 2").is_err());
+        assert!(parse_baseline("{\"suite\": \"x\", \"benchmarks\": [{}]}").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let base = baseline_of(&[("a", 100.0), ("b", 2000.0)]);
+        let comparison = Comparison::between(&base, &base, false);
+        assert!(comparison.passes(0.25, 0.0));
+        assert!(comparison.regressions(0.0, 0.0).is_empty());
+        assert_eq!(comparison.scale, 1.0);
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = baseline_of(&[("a", 100.0), ("b", 2000.0)]);
+        // `b` regresses by 30% — past the 25% gate.
+        let fresh = baseline_of(&[("a", 100.0), ("b", 2600.0)]);
+        let comparison = Comparison::between(&base, &fresh, false);
+        assert!(!comparison.passes(0.25, 0.0));
+        let regressions = comparison.regressions(0.25, 0.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "b");
+        assert!((regressions[0].ratio - 1.3).abs() < 1e-12);
+        // A 20% regression stays under the default gate.
+        let mild = baseline_of(&[("a", 100.0), ("b", 2400.0)]);
+        assert!(Comparison::between(&base, &mild, false).passes(0.25, 0.0));
+    }
+
+    #[test]
+    fn missing_benchmarks_fail_and_new_ones_do_not() {
+        let base = baseline_of(&[("a", 100.0), ("b", 2000.0)]);
+        let fresh = baseline_of(&[("a", 100.0), ("c", 50.0)]);
+        let comparison = Comparison::between(&base, &fresh, false);
+        assert_eq!(comparison.missing, vec!["b".to_string()]);
+        assert_eq!(comparison.new_ids, vec!["c".to_string()]);
+        assert!(
+            !comparison.passes(0.25, 0.0),
+            "a vanished benchmark must fail"
+        );
+    }
+
+    #[test]
+    fn floor_ungates_micro_benchmarks_only() {
+        let base = baseline_of(&[("micro", 20_000.0), ("hot", 2_000_000.0)]);
+        // The micro-benchmark jitters 60%; the hot path is stable.
+        let jittery = baseline_of(&[("micro", 32_000.0), ("hot", 2_000_000.0)]);
+        assert!(!Comparison::between(&base, &jittery, false).passes(0.25, 0.0));
+        assert!(Comparison::between(&base, &jittery, false).passes(0.25, 50_000.0));
+        // The floor must not mask a hot-path regression.
+        let regressed = baseline_of(&[("micro", 20_000.0), ("hot", 3_000_000.0)]);
+        let comparison = Comparison::between(&base, &regressed, false);
+        assert!(!comparison.passes(0.25, 50_000.0));
+        assert_eq!(comparison.regressions(0.25, 50_000.0)[0].id, "hot");
+    }
+
+    #[test]
+    fn normalization_factors_out_machine_speed() {
+        let base = baseline_of(&[("a", 100.0), ("b", 2000.0), ("c", 350.0)]);
+        // Uniformly 2x slower machine: raw mode fails, normalized passes.
+        let slower = baseline_of(&[("a", 200.0), ("b", 4000.0), ("c", 700.0)]);
+        assert!(!Comparison::between(&base, &slower, false).passes(0.25, 0.0));
+        let normalized = Comparison::between(&base, &slower, true);
+        assert!((normalized.scale - 2.0).abs() < 1e-12);
+        assert!(normalized.passes(0.25, 0.0));
+        // But a *relative* regression still fails under normalization:
+        // machine is 2x slower AND `b` regressed another 40% on top.
+        let regressed = baseline_of(&[("a", 200.0), ("b", 5600.0), ("c", 700.0)]);
+        let comparison = Comparison::between(&base, &regressed, true);
+        assert!(!comparison.passes(0.25, 0.0));
+        assert_eq!(comparison.regressions(0.25, 0.0)[0].id, "b");
+    }
+}

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use std::collections::HashMap;
 
 /// A tiny command-line argument reader for the experiment binaries.

@@ -1,0 +1,433 @@
+//! Parameterised generators for scenario-scale reaction networks.
+//!
+//! The paper's synthesized modules stay small (tens of reactions), but the
+//! workloads the engine targets — gene-regulatory networks, DNA-computing
+//! cascades, reaction–diffusion grids — run to thousands of channels. This
+//! module builds such networks programmatically so benchmarks, stress
+//! tests and examples can sweep network size as a parameter instead of
+//! hand-writing reaction lists.
+//!
+//! Every generator returns a [`GeneratedSystem`]: the network plus a
+//! sensible initial state, so call sites can go straight to simulation.
+//!
+//! ```
+//! use crn::generators;
+//!
+//! let system = generators::reversible_chain(50, 1.0, 0.5, 200);
+//! assert_eq!(system.crn.reactions().len(), 100);
+//! assert_eq!(system.initial.total(), 200);
+//! ```
+
+use crate::builder::CrnBuilder;
+use crate::network::Crn;
+use crate::state::State;
+
+/// A generated network together with the initial state its generator
+/// intends it to be simulated from.
+#[derive(Debug, Clone)]
+pub struct GeneratedSystem {
+    /// The reaction network.
+    pub crn: Crn,
+    /// The matching initial state (sized for `crn`).
+    pub initial: State,
+}
+
+/// Linear chain of reversible isomerisations
+/// `s0 <-> s1 <-> … <-> s_len`, with `molecules` of `s0` initially.
+///
+/// `2·len` reactions whose dependency graph has out-degree ≤ 4 — the
+/// canonical "many channels, sparse coupling" scaling benchmark
+/// (`ssa_methods/chain_*`). Forward reactions fire at `k_fwd`, backward at
+/// `k_back`.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or a rate is not positive.
+pub fn reversible_chain(len: usize, k_fwd: f64, k_back: f64, molecules: u64) -> GeneratedSystem {
+    assert!(len > 0, "chain length must be positive");
+    assert!(
+        k_fwd > 0.0 && k_back > 0.0,
+        "chain rates must be positive, got {k_fwd} / {k_back}"
+    );
+    let mut b = CrnBuilder::new();
+    let species: Vec<_> = (0..=len).map(|i| b.species(format!("s{i}"))).collect();
+    for i in 0..len {
+        b.reaction()
+            .reactant(species[i], 1)
+            .product(species[i + 1], 1)
+            .rate(k_fwd)
+            .add()
+            .expect("forward reaction");
+        b.reaction()
+            .reactant(species[i + 1], 1)
+            .product(species[i], 1)
+            .rate(k_back)
+            .add()
+            .expect("backward reaction");
+    }
+    let crn = b.build().expect("chain network");
+    let mut initial = crn.zero_state();
+    initial.set(species[0], molecules);
+    GeneratedSystem { crn, initial }
+}
+
+/// Source-driven linear cascade `∅ -> s0 -> s1 -> … -> s_len -> ∅`: a flow
+/// pipeline of `len + 2` irreversible reactions that never exhausts.
+///
+/// Molecules enter at rate `k_in`, hop down the cascade at `k_step` per
+/// molecule and degrade at the end. This is the signalling-cascade /
+/// DNA-strand-displacement pipeline shape (every stage is consumed by
+/// exactly one downstream channel), and with thousands of stages it is the
+/// worst case for any per-event cost that scales with the reaction count.
+/// Starts with `molecules` spread uniformly over the first quarter of the
+/// stages so the early propensity landscape is non-trivial.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or a rate is not positive.
+pub fn linear_cascade(len: usize, k_in: f64, k_step: f64, molecules: u64) -> GeneratedSystem {
+    assert!(len > 0, "cascade length must be positive");
+    assert!(
+        k_in > 0.0 && k_step > 0.0,
+        "cascade rates must be positive, got {k_in} / {k_step}"
+    );
+    let mut b = CrnBuilder::new();
+    let species: Vec<_> = (0..=len).map(|i| b.species(format!("s{i}"))).collect();
+    b.reaction()
+        .product(species[0], 1)
+        .rate(k_in)
+        .add()
+        .expect("source reaction");
+    for i in 0..len {
+        b.reaction()
+            .reactant(species[i], 1)
+            .product(species[i + 1], 1)
+            .rate(k_step)
+            .add()
+            .expect("cascade step");
+    }
+    b.reaction()
+        .reactant(species[len], 1)
+        .rate(k_step)
+        .add()
+        .expect("sink reaction");
+    let crn = b.build().expect("cascade network");
+    let mut initial = crn.zero_state();
+    // Spread `molecules` over the first quarter of the stages: an even
+    // share per stage, with the remainder on `s0` so the total is exact.
+    let seeded_stages = (len / 4).max(1) as u64;
+    let share = molecules / seeded_stages;
+    let remainder = molecules % seeded_stages;
+    for &s in species.iter().take(seeded_stages as usize) {
+        initial.set(s, share);
+    }
+    initial.set(species[0], share + remainder);
+    GeneratedSystem { crn, initial }
+}
+
+/// Branched gene-regulatory tree: a complete `branching`-ary tree of depth
+/// `depth` whose nodes are two-state genes; each parent's protein switches
+/// its children's genes on.
+///
+/// Per node `n` (species `gOff_n`, `gOn_n`, `p_n`):
+///
+/// * activation `p_parent + gOff_n -> p_parent + gOn_n @ k_on` (the root
+///   gene starts on),
+/// * deactivation `gOn_n -> gOff_n @ k_off`,
+/// * expression `gOn_n -> gOn_n + p_n @ k_expr`,
+/// * decay `p_n -> ∅ @ k_dec`.
+///
+/// This is the gene-regulatory-network shape from the DNA-computing and
+/// systems-biology scaling literature: a wide dynamic range of propensities
+/// (binades spread with tree depth) and a dependency graph whose out-degree
+/// equals the branching factor.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero, `branching` is zero, or any rate is not
+/// positive.
+pub fn gene_regulatory_tree(
+    depth: u32,
+    branching: usize,
+    k_on: f64,
+    k_off: f64,
+    k_expr: f64,
+    k_dec: f64,
+) -> GeneratedSystem {
+    assert!(depth > 0, "tree depth must be positive");
+    assert!(branching > 0, "branching factor must be positive");
+    assert!(
+        k_on > 0.0 && k_off > 0.0 && k_expr > 0.0 && k_dec > 0.0,
+        "tree rates must be positive"
+    );
+    let mut nodes = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        nodes += level;
+    }
+    let mut b = CrnBuilder::new();
+    let g_off: Vec<_> = (0..nodes).map(|n| b.species(format!("gOff{n}"))).collect();
+    let g_on: Vec<_> = (0..nodes).map(|n| b.species(format!("gOn{n}"))).collect();
+    let protein: Vec<_> = (0..nodes).map(|n| b.species(format!("p{n}"))).collect();
+    for n in 0..nodes {
+        if n > 0 {
+            let parent = (n - 1) / branching;
+            b.reaction()
+                .reactant(protein[parent], 1)
+                .reactant(g_off[n], 1)
+                .product(protein[parent], 1)
+                .product(g_on[n], 1)
+                .rate(k_on)
+                .add()
+                .expect("activation");
+            b.reaction()
+                .reactant(g_on[n], 1)
+                .product(g_off[n], 1)
+                .rate(k_off)
+                .add()
+                .expect("deactivation");
+        }
+        b.reaction()
+            .reactant(g_on[n], 1)
+            .product(g_on[n], 1)
+            .product(protein[n], 1)
+            .rate(k_expr)
+            .add()
+            .expect("expression");
+        b.reaction()
+            .reactant(protein[n], 1)
+            .rate(k_dec)
+            .add()
+            .expect("decay");
+    }
+    let crn = b.build().expect("gene tree network");
+    let mut initial = crn.zero_state();
+    // Root gene on; every other gene off; no protein yet — the activation
+    // wave has to propagate down the tree.
+    initial.set(g_on[0], 1);
+    for &off in g_off.iter().skip(1) {
+        initial.set(off, 1);
+    }
+    GeneratedSystem { crn, initial }
+}
+
+/// Dimerisation grid: monomer species `m_{x,y}` on a `width × height`
+/// lattice; every pair of 4-neighbours reversibly dimerises
+/// (`m_u + m_v <-> d_{u,v}`).
+///
+/// `2·(2·width·height − width − height)` reactions — one second-order
+/// binding and one first-order unbinding per lattice edge — with a
+/// dependency graph coupling each site to its neighbourhood: the
+/// discretised reaction–diffusion shape. Every site starts with
+/// `molecules` monomers.
+///
+/// # Panics
+///
+/// Panics if the grid has no edge (both dimensions 1) or a rate is not
+/// positive.
+pub fn dimerisation_grid(
+    width: usize,
+    height: usize,
+    k_bind: f64,
+    k_unbind: f64,
+    molecules: u64,
+) -> GeneratedSystem {
+    assert!(
+        width * height > 1 && width > 0 && height > 0,
+        "grid must have at least one edge"
+    );
+    assert!(
+        k_bind > 0.0 && k_unbind > 0.0,
+        "grid rates must be positive, got {k_bind} / {k_unbind}"
+    );
+    let mut b = CrnBuilder::new();
+    let monomer: Vec<Vec<_>> = (0..width)
+        .map(|x| {
+            (0..height)
+                .map(|y| b.species(format!("m_{x}_{y}")))
+                .collect()
+        })
+        .collect();
+    let add_edge = |b: &mut CrnBuilder, u: crate::species::SpeciesId, v, x, y, dir| {
+        let dimer = b.species(format!("d_{x}_{y}_{dir}"));
+        b.reaction()
+            .reactant(u, 1)
+            .reactant(v, 1)
+            .product(dimer, 1)
+            .rate(k_bind)
+            .add()
+            .expect("binding");
+        b.reaction()
+            .reactant(dimer, 1)
+            .product(u, 1)
+            .product(v, 1)
+            .rate(k_unbind)
+            .add()
+            .expect("unbinding");
+    };
+    for x in 0..width {
+        for y in 0..height {
+            if x + 1 < width {
+                add_edge(&mut b, monomer[x][y], monomer[x + 1][y], x, y, "e");
+            }
+            if y + 1 < height {
+                add_edge(&mut b, monomer[x][y], monomer[x][y + 1], x, y, "s");
+            }
+        }
+    }
+    let crn = b.build().expect("grid network");
+    let mut initial = crn.zero_state();
+    for column in &monomer {
+        for &m in column {
+            initial.set(m, molecules);
+        }
+    }
+    GeneratedSystem { crn, initial }
+}
+
+/// A multi-copy lambda-switch ensemble: `copies` independent instances of a
+/// minimal lysis/lysogeny toggle sharing one network.
+///
+/// Each copy `c` is the paper's case-study shape in miniature — two
+/// mutually repressing expression loops:
+///
+/// * expression `cI_c -> 2 cI_c @ k_expr` and `cro_c -> 2 cro_c @ k_expr`,
+/// * decay `cI_c -> ∅ @ k_dec`, `cro_c -> ∅ @ k_dec`,
+/// * repression `2 cI_c + cro_c -> 2 cI_c @ k_rep` and symmetrically
+///   `2 cro_c + cI_c -> 2 cro_c @ k_rep`.
+///
+/// Six reactions per copy, all copies structurally independent — which is
+/// exactly what a scaled-out population study (one switch per simulated
+/// cell) looks like to the simulator: the dependency graph is block
+/// diagonal, and the total propensity spreads over `copies` blocks. Every
+/// copy starts at the unstable point with `seed_molecules` of both
+/// proteins.
+///
+/// # Panics
+///
+/// Panics if `copies` is zero or a rate is not positive.
+pub fn lambda_switch_ensemble(
+    copies: usize,
+    k_expr: f64,
+    k_dec: f64,
+    k_rep: f64,
+    seed_molecules: u64,
+) -> GeneratedSystem {
+    assert!(copies > 0, "copy count must be positive");
+    assert!(
+        k_expr > 0.0 && k_dec > 0.0 && k_rep > 0.0,
+        "switch rates must be positive"
+    );
+    let mut b = CrnBuilder::new();
+    let mut all = Vec::with_capacity(copies * 2);
+    for c in 0..copies {
+        let ci = b.species(format!("cI{c}"));
+        let cro = b.species(format!("cro{c}"));
+        for &(hero, rival) in &[(ci, cro), (cro, ci)] {
+            b.reaction()
+                .reactant(hero, 1)
+                .product(hero, 2)
+                .rate(k_expr)
+                .add()
+                .expect("expression");
+            b.reaction()
+                .reactant(hero, 1)
+                .rate(k_dec)
+                .add()
+                .expect("decay");
+            b.reaction()
+                .reactant(hero, 2)
+                .reactant(rival, 1)
+                .product(hero, 2)
+                .rate(k_rep)
+                .add()
+                .expect("repression");
+        }
+        all.push(ci);
+        all.push(cro);
+    }
+    let crn = b.build().expect("switch ensemble network");
+    let mut initial = crn.zero_state();
+    for &s in &all {
+        initial.set(s, seed_molecules);
+    }
+    GeneratedSystem { crn, initial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_expected_shape() {
+        let sys = reversible_chain(10, 1.0, 0.5, 200);
+        assert_eq!(sys.crn.species_len(), 11);
+        assert_eq!(sys.crn.reactions().len(), 20);
+        assert_eq!(sys.initial.total(), 200);
+        assert_eq!(sys.initial.count(sys.crn.species_id("s0").unwrap()), 200);
+    }
+
+    #[test]
+    fn cascade_has_source_and_sink() {
+        let sys = linear_cascade(100, 50.0, 1.0, 400);
+        assert_eq!(sys.crn.reactions().len(), 102);
+        let orders: Vec<u32> = sys.crn.reactions().iter().map(|r| r.order()).collect();
+        assert_eq!(orders[0], 0, "first reaction is the source");
+        assert!(orders[1..].iter().all(|&o| o == 1));
+        assert_eq!(sys.initial.total(), 400);
+    }
+
+    #[test]
+    fn cascade_seeds_every_molecule_even_when_sparse() {
+        // Fewer molecules than seeded stages: the total must still be
+        // exactly what the caller asked for (remainder lands on s0).
+        let sys = linear_cascade(2000, 50.0, 1.0, 100);
+        assert_eq!(sys.initial.total(), 100);
+        assert_eq!(sys.initial.count(sys.crn.species_id("s0").unwrap()), 100);
+        let sys = linear_cascade(10, 1.0, 1.0, 7);
+        assert_eq!(sys.initial.total(), 7);
+    }
+
+    #[test]
+    fn gene_tree_counts_nodes_and_reactions() {
+        // depth 2, binary: 1 + 2 + 4 = 7 nodes; root has 2 reactions,
+        // others 4.
+        let sys = gene_regulatory_tree(2, 2, 1.0, 0.5, 10.0, 1.0);
+        assert_eq!(sys.crn.species_len(), 21);
+        assert_eq!(sys.crn.reactions().len(), 2 + 6 * 4);
+        // Root gene on, all other genes off.
+        assert_eq!(sys.initial.count(sys.crn.species_id("gOn0").unwrap()), 1);
+        assert_eq!(sys.initial.count(sys.crn.species_id("gOff3").unwrap()), 1);
+        assert_eq!(sys.initial.count(sys.crn.species_id("p0").unwrap()), 0);
+    }
+
+    #[test]
+    fn grid_reaction_count_matches_edges() {
+        let (w, h) = (4usize, 3usize);
+        let sys = dimerisation_grid(w, h, 0.01, 1.0, 20);
+        let edges = 2 * w * h - w - h;
+        assert_eq!(sys.crn.reactions().len(), 2 * edges);
+        assert_eq!(sys.initial.total(), (w * h) as u64 * 20);
+    }
+
+    #[test]
+    fn switch_ensemble_scales_linearly() {
+        let sys = lambda_switch_ensemble(25, 1.0, 0.1, 0.001, 30);
+        assert_eq!(sys.crn.species_len(), 50);
+        assert_eq!(sys.crn.reactions().len(), 150);
+        assert_eq!(sys.initial.total(), 50 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_chain_is_rejected() {
+        reversible_chain(0, 1.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn non_positive_rates_are_rejected() {
+        linear_cascade(5, 0.0, 1.0, 1);
+    }
+}

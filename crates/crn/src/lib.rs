@@ -48,6 +48,7 @@ mod analysis;
 mod builder;
 mod dot;
 mod error;
+pub mod generators;
 mod network;
 mod parse;
 mod reaction;

@@ -1,0 +1,489 @@
+//! Composition–rejection SSA for large reaction networks.
+
+use std::collections::BTreeMap;
+
+use crn::{Crn, State};
+use numerics::ExactSum;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engine::ReactionDependencyGraph;
+use crate::propensity::{propensities, propensity};
+use crate::simulator::{SsaStepper, StepOutcome};
+
+/// Sentinel for "this reaction is in no group" (zero propensity).
+const NO_GROUP: i32 = i32::MIN;
+
+/// The composition–rejection SSA (Slepoy, Thompson & Plimpton 2008):
+/// exact Gillespie dynamics with **O(1) expected channel selection**,
+/// independent of the number of reactions.
+///
+/// Propensities are partitioned into log₂-binned groups: group `g` holds
+/// every channel whose propensity lies in `[2ᵍ, 2ᵍ⁺¹)`. Selecting the next
+/// reaction is a two-level draw:
+///
+/// 1. **Composition** — pick a group with probability proportional to its
+///    propensity sum (a walk over the active groups; their number is
+///    bounded by the *dynamic range* of the propensities — `log₂(aₘₐₓ/aₘᵢₙ)`
+///    — not by the reaction count).
+/// 2. **Rejection** — inside the group, draw a uniform member and accept it
+///    with probability `a / 2ᵍ⁺¹`. Every member's acceptance probability is
+///    at least ½ by construction, so the expected number of rounds is < 2
+///    regardless of group size.
+///
+/// The direct method's per-event `O(R)` CDF scan disappears; what remains
+/// per event is the `O(D)` incremental propensity refresh driven by the
+/// engine's shared [`ReactionDependencyGraph`] — after a firing, only the
+/// dependent channels are re-evaluated and moved between bins.
+///
+/// # Exact group-sum bookkeeping
+///
+/// The one subtlety of incremental composition–rejection is the group sums:
+/// maintained as plain `f64` running sums (`sum += a_new − a_old`) they
+/// drift away from a from-scratch recompute, making trajectories depend on
+/// the *history* of the data structure rather than its contents. This
+/// implementation instead keeps each group's sum in a
+/// [`numerics::ExactSum`] ledger — an exact fixed-point accumulator whose
+/// `f64` readout is a pure function of the group's current members. A
+/// stepper that has incrementally tracked millions of firings therefore
+/// reports **bitwise** the same group sums as a fresh stepper initialised
+/// from the final state, which is pinned by the property tests in
+/// `tests/proptests.rs` (and is what keeps ensemble reports bit-identical
+/// across thread counts, like every other stepper).
+///
+/// # When to use it
+///
+/// The `ssa_methods` benchmark (see the README's solver guide) shows the
+/// selection cost staying flat from hundreds to thousands of reactions
+/// while the direct method degrades linearly. Prefer it for large networks
+/// — gene-regulatory trees, DNA-computing cascades, `crn::generators`
+/// scale models. For small networks the direct method's lower constant
+/// wins; for sparse networks whose propensities span many binades,
+/// [`NextReactionMethod`](crate::NextReactionMethod) is the alternative.
+#[derive(Debug, Default, Clone)]
+pub struct CompositionRejection {
+    propensities: Vec<f64>,
+    deps: ReactionDependencyGraph,
+    /// Binade of each reaction's propensity (`NO_GROUP` when zero).
+    group_of: Vec<i32>,
+    /// Index of each reaction within its group's member list.
+    slot_of: Vec<usize>,
+    /// Active groups, keyed by binade. A `BTreeMap` keeps the composition
+    /// walk in deterministic (ascending-binade) order, and groups are
+    /// removed the moment they empty, so the map is always in the canonical
+    /// form a from-scratch rebuild would produce.
+    groups: BTreeMap<i32, Group>,
+}
+
+/// One log₂ bin of channels, with its exact propensity-sum ledger.
+#[derive(Debug, Clone)]
+struct Group {
+    members: Vec<usize>,
+    ledger: ExactSum,
+    /// Cached `f64` readout of the ledger; refreshed lazily (`dirty`).
+    cached_sum: f64,
+    dirty: bool,
+}
+
+impl Group {
+    fn new() -> Self {
+        Group {
+            members: Vec::new(),
+            ledger: ExactSum::new(),
+            cached_sum: 0.0,
+            dirty: true,
+        }
+    }
+
+    #[inline]
+    fn sum(&mut self) -> f64 {
+        if self.dirty {
+            self.cached_sum = self.ledger.value();
+            self.dirty = false;
+        }
+        self.cached_sum
+    }
+}
+
+/// Binade (floor of log₂) of a positive, finite propensity.
+#[inline]
+fn binade(a: f64) -> i32 {
+    debug_assert!(a > 0.0 && a.is_finite(), "propensity must be positive");
+    let bits = a.to_bits();
+    let exp_field = ((bits >> 52) & 0x7ff) as i32;
+    if exp_field != 0 {
+        exp_field - 1023
+    } else {
+        // Subnormal: the binade is set by the highest mantissa bit.
+        let mantissa = bits & ((1 << 52) - 1);
+        (63 - mantissa.leading_zeros() as i32) - 1074
+    }
+}
+
+/// `2^(g+1)`, the exclusive upper bound of binade `g` (saturating — a
+/// propensity in the top binade cannot exist, but stay defensive).
+#[inline]
+fn binade_sup(g: i32) -> f64 {
+    if g >= 1023 {
+        f64::MAX
+    } else if g + 1 >= -1022 {
+        f64::from_bits(((g + 1 + 1023) as u64) << 52)
+    } else {
+        // Subnormal power of two: bare mantissa bit at position e + 1074.
+        f64::from_bits(1u64 << (g + 1 + 1074))
+    }
+}
+
+impl CompositionRejection {
+    /// Creates a new composition–rejection stepper.
+    pub fn new() -> Self {
+        CompositionRejection::default()
+    }
+
+    /// Inserts reaction `r` (propensity `a > 0`) into its binade group.
+    fn insert(&mut self, r: usize, a: f64) {
+        let g = binade(a);
+        let group = self.groups.entry(g).or_insert_with(Group::new);
+        self.group_of[r] = g;
+        self.slot_of[r] = group.members.len();
+        group.members.push(r);
+        group.ledger.add(a);
+        group.dirty = true;
+    }
+
+    /// Removes reaction `r` (old propensity `a_old > 0`) from its group,
+    /// dropping the group entirely once it empties.
+    fn evict(&mut self, r: usize, a_old: f64) {
+        let g = self.group_of[r];
+        let slot = self.slot_of[r];
+        let group = self.groups.get_mut(&g).expect("member implies group");
+        group.members.swap_remove(slot);
+        if let Some(&moved) = group.members.get(slot) {
+            self.slot_of[moved] = slot;
+        }
+        group.ledger.remove(a_old);
+        group.dirty = true;
+        self.group_of[r] = NO_GROUP;
+        if group.members.is_empty() {
+            debug_assert!(group.ledger.is_zero(), "emptied group must sum to 0");
+            self.groups.remove(&g);
+        }
+    }
+
+    /// Records that reaction `r`'s propensity changed from `a_old` to
+    /// `a_new`, moving it between bins if its binade changed.
+    fn update(&mut self, r: usize, a_new: f64) {
+        let a_old = self.propensities[r];
+        if a_old.to_bits() == a_new.to_bits() {
+            return;
+        }
+        self.propensities[r] = a_new;
+        match (a_old > 0.0, a_new > 0.0) {
+            (false, false) => {}
+            (false, true) => self.insert(r, a_new),
+            (true, false) => self.evict(r, a_old),
+            (true, true) => {
+                let g_new = binade(a_new);
+                if self.group_of[r] == g_new {
+                    let group = self.groups.get_mut(&g_new).expect("member implies group");
+                    group.ledger.remove(a_old);
+                    group.ledger.add(a_new);
+                    group.dirty = true;
+                } else {
+                    self.evict(r, a_old);
+                    self.insert(r, a_new);
+                }
+            }
+        }
+    }
+
+    /// Total propensity: the sum of the group sums, accumulated in
+    /// ascending-binade order (deterministic, and identical to what a fresh
+    /// rebuild computes because each group sum is ledger-exact).
+    fn total(&mut self) -> f64 {
+        self.groups.values_mut().map(Group::sum).sum()
+    }
+
+    /// The incrementally maintained propensity vector — the values the
+    /// rejection stage actually samples against. Diagnostic entry point for
+    /// the property-test suite, which pins it bitwise against a full
+    /// recompute from the current state.
+    pub fn maintained_propensities(&self) -> &[f64] {
+        &self.propensities
+    }
+
+    /// Diagnostic/validation snapshot of the group bookkeeping: for every
+    /// active binade (ascending), its exact propensity sum and its member
+    /// reactions (sorted). The property-test suite compares this bitwise
+    /// against a freshly initialised stepper after arbitrary firing
+    /// sequences; it is not part of the simulation hot path.
+    pub fn group_ledger(&mut self) -> Vec<(i32, f64, Vec<usize>)> {
+        self.groups
+            .iter_mut()
+            .map(|(&g, group)| {
+                let mut members = group.members.clone();
+                members.sort_unstable();
+                (g, group.sum(), members)
+            })
+            .collect()
+    }
+}
+
+impl SsaStepper for CompositionRejection {
+    fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
+        propensities(crn, state, &mut self.propensities);
+        self.deps.rebuild(crn);
+        let n = crn.reactions().len();
+        self.groups.clear();
+        self.group_of.clear();
+        self.group_of.resize(n, NO_GROUP);
+        self.slot_of.clear();
+        self.slot_of.resize(n, 0);
+        for r in 0..n {
+            let a = self.propensities[r];
+            if a > 0.0 {
+                self.insert(r, a);
+            }
+        }
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total = self.total();
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        // Exponential waiting time with rate `total`, drawn exactly as the
+        // direct method draws it.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+
+        // Composition: pick a group proportionally to its sum. Round-off
+        // can leave the target positive after the last group; the walk then
+        // settles on the last (highest-binade) group, mirroring the
+        // walk-back in `select_by_weight`.
+        let mut target: f64 = rng.gen::<f64>() * total;
+        let mut chosen_binade = i32::MIN;
+        for (&g, group) in self.groups.iter_mut() {
+            target -= group.sum();
+            chosen_binade = g;
+            if target < 0.0 {
+                break;
+            }
+        }
+        let group = self
+            .groups
+            .get(&chosen_binade)
+            .expect("positive total implies at least one group");
+
+        // Rejection: uniform member, accepted with probability a / 2^(g+1)
+        // — at least ½ because every member propensity is ≥ 2^g.
+        let sup = binade_sup(chosen_binade);
+        let chosen = loop {
+            let idx = rng.gen_range(0..group.members.len());
+            let r = group.members[idx];
+            if rng.gen::<f64>() * sup < self.propensities[r] {
+                break r;
+            }
+        };
+
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable: propensity was positive");
+        // Refresh only the propensities the firing could have changed,
+        // re-binning each dependent whose binade moved. The graph is taken
+        // out of `self` for the loop because `update` needs `&mut self`.
+        let deps = std::mem::take(&mut self.deps);
+        for &dep in deps.dependents(chosen) {
+            let a_new = propensity(&crn.reactions()[dep], state);
+            self.update(dep, a_new);
+        }
+        self.deps = deps;
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn name(&self) -> &'static str {
+        "composition-rejection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Simulation, SimulationOptions};
+    use crate::stop::StopCondition;
+
+    #[test]
+    fn binade_matches_log2_floor() {
+        for &(a, expected) in &[
+            (1.0, 0),
+            (1.5, 0),
+            (2.0, 1),
+            (3.99, 1),
+            (0.5, -1),
+            (0.75, -1),
+            (1e9, 29),
+            (1e-9, -30),
+            (f64::MIN_POSITIVE, -1022),
+            (5e-324, -1074),
+        ] {
+            assert_eq!(binade(a), expected, "binade of {a:e}");
+        }
+        // Boundary: the sup of a binade is exclusive.
+        for g in [-5i32, 0, 7, 100] {
+            assert_eq!(binade(binade_sup(g)), g + 1);
+            let just_below = f64::from_bits(binade_sup(g).to_bits() - 1);
+            assert_eq!(binade(just_below), g);
+        }
+    }
+
+    #[test]
+    fn conserves_mass_in_closed_network() {
+        let crn: Crn = "a + b -> c @ 0.1\nc -> a + b @ 0.2".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 50), ("b", 40)]).unwrap();
+        let result = Simulation::new(&crn, CompositionRejection::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(11)
+                    .stop(StopCondition::events(5_000)),
+            )
+            .run(&initial)
+            .unwrap();
+        let a = crn.species_id("a").unwrap();
+        let b = crn.species_id("b").unwrap();
+        let c = crn.species_id("c").unwrap();
+        let s = &result.final_state;
+        assert_eq!(s.count(a) + s.count(c), 50);
+        assert_eq!(s.count(b) + s.count(c), 40);
+    }
+
+    #[test]
+    fn two_competing_reactions_fire_proportionally_to_rates() {
+        // x -> y @ 3 and x -> z @ 1: roughly 75% of x should become y. The
+        // two channels sit in *different* binades whenever x > 0, so this
+        // exercises the composition stage, not just rejection.
+        let crn: Crn = "x -> y @ 3\nx -> z @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("x", 10_000)]).unwrap();
+        let result = Simulation::new(&crn, CompositionRejection::new())
+            .options(SimulationOptions::new().seed(7))
+            .run(&initial)
+            .unwrap();
+        let y = result.final_state.count(crn.species_id("y").unwrap()) as f64;
+        let frac = y / 10_000.0;
+        assert!(
+            (frac - 0.75).abs() < 0.02,
+            "expected ~75% routed to y, got {frac}"
+        );
+    }
+
+    #[test]
+    fn exponential_waiting_times_have_correct_mean() {
+        let crn: Crn = "a -> b @ 4".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 1)]).unwrap();
+        let trials = 4000;
+        let mut total_time = 0.0;
+        for seed in 0..trials {
+            let result = Simulation::new(&crn, CompositionRejection::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            total_time += result.final_time;
+        }
+        let mean = total_time / trials as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.02,
+            "mean waiting time {mean}, expected 0.25"
+        );
+    }
+
+    #[test]
+    fn exhausts_when_no_reaction_possible() {
+        let crn: Crn = "a + b -> c @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 3)]).unwrap();
+        let result = Simulation::new(&crn, CompositionRejection::new())
+            .options(SimulationOptions::new().seed(5))
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.events, 0);
+        assert_eq!(result.final_time, 0.0);
+    }
+
+    #[test]
+    fn wide_rate_hierarchies_select_correctly() {
+        // Propensities spanning ~30 binades (the paper's γ = 1e9 regime):
+        // the slow channel still wins with probability 1/(1+γ) — sample
+        // enough trials to see the expected handful of slow wins.
+        let gamma = 1e3;
+        let crn: Crn = format!("x -> fast @ {gamma}\nx -> slow @ 1")
+            .parse()
+            .unwrap();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let slow = crn.species_id("slow").unwrap();
+        let trials = 20_000u64;
+        let mut slow_wins = 0u64;
+        for seed in 0..trials {
+            let result = Simulation::new(&crn, CompositionRejection::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            slow_wins += result.final_state.count(slow);
+        }
+        let p = slow_wins as f64 / trials as f64;
+        let expected = 1.0 / (1.0 + gamma);
+        // ~20 expected wins; a 3σ band around the binomial mean.
+        let sigma = (expected * (1.0 - expected) / trials as f64).sqrt();
+        assert!(
+            (p - expected).abs() < 3.5 * sigma,
+            "slow-channel probability {p:e}, expected {expected:e}"
+        );
+    }
+
+    #[test]
+    fn group_ledger_tracks_the_state() {
+        // Drive a coupled network and verify after every event that the
+        // incrementally maintained bookkeeping equals — bitwise — what a
+        // fresh stepper builds from the current state.
+        let crn: Crn = "a + b -> c @ 0.05\nc -> a + b @ 1\nb -> d @ 0.1\nd -> b @ 0.2"
+            .parse()
+            .unwrap();
+        let initial = crn.state_from_counts([("a", 30), ("b", 25)]).unwrap();
+        let mut rng = {
+            use rand::SeedableRng;
+            StdRng::seed_from_u64(99)
+        };
+        let mut method = CompositionRejection::new();
+        let mut state = initial.clone();
+        let mut time = 0.0;
+        method.initialize(&crn, &state, &mut rng);
+        for event in 0..2_000 {
+            match method.step(&crn, &mut state, &mut time, &mut rng) {
+                StepOutcome::Fired { .. } => {
+                    let mut fresh = CompositionRejection::new();
+                    fresh.initialize(&crn, &state, &mut rng);
+                    let incremental = method.group_ledger();
+                    let rebuilt = fresh.group_ledger();
+                    assert_eq!(incremental.len(), rebuilt.len(), "event {event}");
+                    for (inc, reb) in incremental.iter().zip(&rebuilt) {
+                        assert_eq!(inc.0, reb.0, "binade drift after event {event}");
+                        assert_eq!(
+                            inc.1.to_bits(),
+                            reb.1.to_bits(),
+                            "group {} sum drift after event {event}: {} vs {}",
+                            inc.0,
+                            inc.1,
+                            reb.1
+                        );
+                        assert_eq!(&inc.2, &reb.2, "membership drift after event {event}");
+                    }
+                }
+                StepOutcome::Leaped { .. } => unreachable!("composition-rejection never leaps"),
+                StepOutcome::Exhausted => break,
+            }
+        }
+    }
+}

@@ -7,9 +7,13 @@
 //! * [`FirstReactionMethod`] — Gillespie's first-reaction method,
 //! * [`NextReactionMethod`] — the Gibson–Bruck next-reaction method
 //!   (Gibson & Bruck 2000) with a dependency graph and an indexed priority
-//!   queue.
+//!   queue,
+//! * [`CompositionRejection`] — the composition–rejection method (Slepoy,
+//!   Thompson & Plimpton 2008): log₂-binned propensity groups with
+//!   rejection sampling inside a group, `O(1)` expected channel selection
+//!   independent of the reaction count.
 //!
-//! All three produce statistically identical trajectories; they differ only
+//! All four produce statistically identical trajectories; they differ only
 //! in performance characteristics, which the `bench` crate's `ssa_methods`
 //! benchmark quantifies.
 //!
@@ -19,7 +23,7 @@
 //! with a controlled `O(ε)` distribution bias pinned against the exact SSA
 //! by the chi-square/Kolmogorov–Smirnov conformance harness in
 //! `tests/statistical_validation.rs`. [`StepperKind`] selects between all
-//! four at run time.
+//! five at run time.
 //!
 //! On top of the single-trajectory simulators, the [`Ensemble`] runner
 //! executes Monte-Carlo ensembles across threads and classifies trajectory
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod composition_rejection;
 mod direct;
 pub mod engine;
 mod ensemble;
@@ -63,6 +68,7 @@ mod stop;
 mod tau_leap;
 mod trajectory;
 
+pub use composition_rejection::CompositionRejection;
 pub use direct::DirectMethod;
 pub use engine::ReactionDependencyGraph;
 pub use ensemble::{Ensemble, EnsembleOptions, EnsembleReport, OutcomeCount};

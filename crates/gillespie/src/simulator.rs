@@ -97,7 +97,7 @@ impl SsaStepper for Box<dyn SsaStepper + Send> {
 /// Identifies one of the built-in steppers; useful when the algorithm is
 /// chosen at run time (CLI flags, benchmark sweeps, ensemble options).
 ///
-/// The first three variants are exact and statistically equivalent;
+/// The exact variants are statistically equivalent;
 /// [`StepperKind::TauLeaping`] is approximate — distributionally faithful
 /// within its error-control tolerance (pinned by the conformance harness in
 /// `tests/statistical_validation.rs`) but not trajectory-exact.
@@ -110,6 +110,10 @@ pub enum StepperKind {
     FirstReaction,
     /// Gibson–Bruck next-reaction method.
     NextReaction,
+    /// Composition–rejection method: log₂-binned groups with rejection
+    /// sampling, `O(1)` expected selection independent of network size
+    /// (exact; best for large networks).
+    CompositionRejection,
     /// Explicit Poisson tau-leaping with Cao–Gillespie adaptive step
     /// selection (approximate, fast for high-population networks).
     TauLeaping,
@@ -121,19 +125,21 @@ pub type SsaMethod = StepperKind;
 
 impl StepperKind {
     /// All built-in methods (exact and approximate), convenient for sweeps.
-    pub const ALL: [StepperKind; 4] = [
+    pub const ALL: [StepperKind; 5] = [
         StepperKind::Direct,
         StepperKind::FirstReaction,
         StepperKind::NextReaction,
+        StepperKind::CompositionRejection,
         StepperKind::TauLeaping,
     ];
 
     /// The exact methods only — use this for assertions that rely on exact
     /// per-event statistics.
-    pub const EXACT: [StepperKind; 3] = [
+    pub const EXACT: [StepperKind; 4] = [
         StepperKind::Direct,
         StepperKind::FirstReaction,
         StepperKind::NextReaction,
+        StepperKind::CompositionRejection,
     ];
 
     /// Instantiates a fresh stepper for this method.
@@ -142,6 +148,7 @@ impl StepperKind {
             StepperKind::Direct => Box::new(crate::DirectMethod::new()),
             StepperKind::FirstReaction => Box::new(crate::FirstReactionMethod::new()),
             StepperKind::NextReaction => Box::new(crate::NextReactionMethod::new()),
+            StepperKind::CompositionRejection => Box::new(crate::CompositionRejection::new()),
             StepperKind::TauLeaping => Box::new(crate::TauLeaping::new()),
         }
     }
@@ -152,6 +159,7 @@ impl StepperKind {
             StepperKind::Direct => "direct",
             StepperKind::FirstReaction => "first-reaction",
             StepperKind::NextReaction => "next-reaction",
+            StepperKind::CompositionRejection => "composition-rejection",
             StepperKind::TauLeaping => "tau-leaping",
         }
     }

@@ -24,7 +24,7 @@ const ALPHA: f64 = 1e-3;
 /// An immigration–death process caught **mid-relaxation**: starting from
 /// zero molecules, at `t = 0.75/μ` the exact law (mean ≈ 31.7) is far from
 /// the stationary Poisson(60) — any stepper with biased dynamics fails even
-/// if its fixed point is right. All four steppers must conform to the CME
+/// if its fixed point is right. All five steppers must conform to the CME
 /// transient.
 #[test]
 fn birth_death_mid_relaxation_conforms_to_cme_for_every_method() {
@@ -72,7 +72,7 @@ fn birth_death_mid_relaxation_conforms_to_cme_for_every_method() {
 
 /// Reversible isomerisation caught mid-relaxation: the binomial parameter
 /// is still rising towards k₁/(k₁+k₂) when the ensembles stop. The CME
-/// transient is the oracle for all four steppers.
+/// transient is the oracle for all five steppers.
 #[test]
 fn isomerisation_mid_relaxation_conforms_to_cme_for_every_method() {
     let k1 = 3.0;

@@ -217,6 +217,57 @@ fn master_seed_alone_reproduces_a_report() {
     assert_eq!(first, second);
 }
 
+/// Composition–rejection runs under the same engine contract as the other
+/// steppers: trial `i` seeds its RNG with `master_seed + i` and partials
+/// merge in trial order, so the full ensemble report — group walks,
+/// rejection retries, floating-point means and all — is bit-identical
+/// across 1/2/4/8 worker threads. The workload is a `crn::generators`
+/// gene-regulatory tree (40 nodes, 158 reactions, propensities spread over
+/// many binades), so the group bookkeeping genuinely churns: genes switch
+/// on and off and proteins rise from zero, moving channels between bins and
+/// in and out of the active set all trajectory long.
+#[test]
+fn composition_rejection_reports_are_bit_identical_across_thread_counts() {
+    let system = crn::generators::gene_regulatory_tree(3, 3, 0.2, 0.5, 8.0, 1.0);
+    let crn = &system.crn;
+    let run = |threads: usize| {
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(crn, "p1", 6, "left-branch-expressed")
+            .unwrap();
+        Ensemble::new(crn, system.initial.clone(), classifier)
+            .options(
+                EnsembleOptions::new()
+                    .trials(97) // deliberately not a multiple of any thread count
+                    .master_seed(20_260_728)
+                    .threads(threads)
+                    .method(SsaMethod::CompositionRejection)
+                    .simulation(SimulationOptions::new().stop(StopCondition::time(6.0))),
+            )
+            .run()
+            .unwrap()
+    };
+    let single = run(1);
+    assert!(
+        single.mean_events > 500.0,
+        "mean events {} — the tree is not being exercised",
+        single.mean_events
+    );
+    for threads in [2usize, 4, 8] {
+        let multi = run(threads);
+        assert_eq!(single, multi, "{threads} threads: reports differ");
+        assert_eq!(
+            single.mean_events.to_bits(),
+            multi.mean_events.to_bits(),
+            "{threads} threads: mean_events differs in the last bit"
+        );
+        assert_eq!(
+            single.mean_final_time.to_bits(),
+            multi.mean_final_time.to_bits(),
+            "{threads} threads: mean_final_time differs in the last bit"
+        );
+    }
+}
+
 /// Tau-leaping runs under the same engine contract as the exact methods:
 /// trial `i` seeds its RNG with `master_seed + i` and partials merge in
 /// trial order, so the full ensemble report — Poisson leap draws, rejection

@@ -2,10 +2,13 @@
 
 use crn::Crn;
 use gillespie::{
-    propensity, DirectMethod, FirstReactionMethod, NextReactionMethod, RecordingMode, Simulation,
-    SimulationOptions, SsaStepper, StopCondition, TauLeaping,
+    propensities, propensity, CompositionRejection, DirectMethod, FirstReactionMethod,
+    NextReactionMethod, RecordingMode, Simulation, SimulationOptions, SsaStepper, StepOutcome,
+    StopCondition, TauLeaping,
 };
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
 
 /// Strategy: a reversible conversion network `a <-> b <-> c` with arbitrary
 /// positive rates — closed, so the total molecule count is conserved.
@@ -73,6 +76,7 @@ proptest! {
             run(Box::new(DirectMethod::new())),
             run(Box::new(FirstReactionMethod::new())),
             run(Box::new(NextReactionMethod::new())),
+            run(Box::new(CompositionRejection::new())),
         ] {
             prop_assert_eq!(result.final_state.total(), total);
             prop_assert!(result.final_time >= 0.0);
@@ -216,6 +220,110 @@ proptest! {
             (fine, coarse) => {
                 prop_assert!(false, "feasibility diverged: {fine:?} vs {coarse:?}");
             }
+        }
+    }
+
+    /// Composition–rejection's incremental group bookkeeping is
+    /// history-free: after an arbitrary firing sequence, the per-binade
+    /// group sums, the group memberships and the maintained propensity
+    /// vector all equal — **bitwise** — what a fresh stepper computes by a
+    /// full rebuild from the reached state. This is the contract that makes
+    /// the exact-ledger design worth its complexity: a plain `f64` running
+    /// sum fails it within a handful of events.
+    #[test]
+    fn composition_rejection_ledger_matches_full_rebuild_bitwise(
+        crn in conversion_network(),
+        a0 in 1u64..500,
+        b0 in 0u64..500,
+        seed in 0u64..10_000,
+        events in 1u32..400,
+    ) {
+        let initial = crn.state_from_counts([("a", a0), ("b", b0)]).expect("state");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut incremental = CompositionRejection::new();
+        let mut state = initial.clone();
+        let mut time = 0.0;
+        incremental.initialize(&crn, &state, &mut rng);
+        for _ in 0..events {
+            if let StepOutcome::Exhausted =
+                incremental.step(&crn, &mut state, &mut time, &mut rng)
+            {
+                break;
+            }
+        }
+
+        // The stepper's maintained propensity vector — what the rejection
+        // stage actually samples against — must equal a full recompute.
+        let mut fresh_propensities = Vec::new();
+        propensities(&crn, &state, &mut fresh_propensities);
+        for (r, (&maintained, &expected)) in incremental
+            .maintained_propensities()
+            .iter()
+            .zip(&fresh_propensities)
+            .enumerate()
+        {
+            prop_assert_eq!(
+                maintained.to_bits(),
+                expected.to_bits(),
+                "reaction {}: maintained {:e} vs recomputed {:e}",
+                r, maintained, expected
+            );
+        }
+
+        // And the group ledger must equal a from-scratch rebuild, bitwise.
+        let mut rebuilt = CompositionRejection::new();
+        rebuilt.initialize(&crn, &state, &mut rng);
+        let inc_ledger = incremental.group_ledger();
+        let reb_ledger = rebuilt.group_ledger();
+        prop_assert_eq!(inc_ledger.len(), reb_ledger.len(), "group count differs");
+        for (inc, reb) in inc_ledger.iter().zip(&reb_ledger) {
+            prop_assert_eq!(inc.0, reb.0, "binade set differs");
+            prop_assert_eq!(
+                inc.1.to_bits(), reb.1.to_bits(),
+                "group {} sum differs: incremental {:e} vs rebuilt {:e}",
+                inc.0, inc.1, reb.1
+            );
+            prop_assert_eq!(&inc.2, &reb.2, "group {} membership differs", inc.0);
+        }
+    }
+
+    /// The same ledger contract on a second-order network with rates spread
+    /// over ~20 binades: quadratic propensities rise and fall through many
+    /// bins as the dimer pool fills, and near-exhaustion channels drop out
+    /// of the group structure entirely and must come back identically.
+    #[test]
+    fn composition_rejection_ledger_survives_binade_churn(
+        k1 in 1e-6f64..1e-2,
+        k2 in 0.1f64..100.0,
+        a0 in 2u64..3_000,
+        seed in 0u64..10_000,
+        events in 1u32..600,
+    ) {
+        let crn: Crn = format!("2 a -> b @ {k1}\nb -> 2 a @ {k2}")
+            .parse()
+            .expect("network");
+        let initial = crn.state_from_counts([("a", a0)]).expect("state");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut incremental = CompositionRejection::new();
+        let mut state = initial.clone();
+        let mut time = 0.0;
+        incremental.initialize(&crn, &state, &mut rng);
+        for _ in 0..events {
+            if let StepOutcome::Exhausted =
+                incremental.step(&crn, &mut state, &mut time, &mut rng)
+            {
+                break;
+            }
+        }
+        let mut rebuilt = CompositionRejection::new();
+        rebuilt.initialize(&crn, &state, &mut rng);
+        let inc_ledger = incremental.group_ledger();
+        let reb_ledger = rebuilt.group_ledger();
+        prop_assert_eq!(&inc_ledger, &reb_ledger, "ledgers diverged");
+        for ((binade, sum, members), reb) in inc_ledger.iter().zip(&reb_ledger) {
+            prop_assert_eq!(sum.to_bits(), reb.1.to_bits(), "group {} sum bits", binade);
+            prop_assert!(!members.is_empty(), "empty group {} retained", binade);
+            prop_assert!(*sum > 0.0, "non-positive group sum {:e}", sum);
         }
     }
 

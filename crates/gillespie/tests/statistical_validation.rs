@@ -40,7 +40,7 @@ const ALPHA: f64 = 1e-3;
 /// Immigration–death process `∅ -> a` (rate λ), `a -> ∅` (rate μ per
 /// molecule): the expected distribution at the simulated horizon is the
 /// exact CME transient (the stationary Poisson law plus the residual of the
-/// deterministic initial condition). Every stepper — the three exact ones
+/// deterministic initial condition). Every stepper — the four exact ones
 /// *and* tau-leaping — must reproduce it bin for bin, and the approximate
 /// stepper must be two-sample indistinguishable from the exact reference.
 #[test]
@@ -126,7 +126,7 @@ fn birth_death_distribution_conforms_to_cme_for_every_method() {
 /// chain in the dimer count. The oracle is the exact CME transient at the
 /// simulated horizon (a *closed* system — strict bounds, zero truncation);
 /// the detailed-balance product form of the stationary law cross-checks the
-/// CME. All four steppers must conform — this exercises second-order
+/// CME. All five steppers must conform — this exercises second-order
 /// propensities and the `g_i = 2 + 1/(x−1)` branch of tau-leaping's step
 /// selection.
 #[test]

@@ -1,0 +1,432 @@
+//! Reproducible exact accumulation of `f64` sums.
+//!
+//! Floating-point addition is not associative, so an incrementally
+//! maintained running sum (`sum += new − old`) drifts away from a
+//! from-scratch recompute — by one ulp per update in the best case,
+//! unboundedly under cancellation. That is fatal for the workspace's
+//! determinism contracts: the composition–rejection SSA keeps one running
+//! propensity sum *per log₂ group* across millions of incremental updates,
+//! and pins them **bitwise** against a full rebuild.
+//!
+//! [`ExactSum`] removes the problem at the root: it is a fixed-point
+//! superaccumulator (Kulisch-style long accumulator) wide enough to
+//! represent *every* finite non-negative `f64` — and sums of up to `2³⁰` of
+//! them — with no rounding at all. Adding or removing a value is `O(1)`
+//! (three 32-bit limbs are touched); the accumulated value is therefore an
+//! *exact* integer-arithmetic sum, independent of the order in which values
+//! were added and removed. [`ExactSum::value`] rounds that exact sum to the
+//! nearest `f64` (ties to even), so two accumulators holding the same
+//! multiset of values — one built incrementally over an arbitrary
+//! add/remove history, one rebuilt from scratch — read out bit-identical
+//! floats, always.
+
+use serde::{Deserialize, Serialize};
+
+/// Limb width in bits. Each limb stores a 32-bit digit inside an `i64`, so
+/// up to `2³⁰` deferred carries fit before normalisation is forced.
+const LIMB_BITS: u32 = 32;
+
+/// Bit position of the least significant representable bit (the smallest
+/// subnormal is `2⁻¹⁰⁷⁴`); all positions are stored relative to this.
+const MIN_EXP: i32 = -1074;
+
+/// Number of limbs: positions `0 ..= (1023 − 52) + 1074` cover every finite
+/// `f64` (top limb index 63), plus headroom for `2³⁰`-fold sums (≈ 2³¹·2¹⁰²⁴
+/// still peaks below limb 66) and carry propagation.
+const LIMBS: usize = 69;
+
+/// How many add/remove operations may be deferred before carries must be
+/// propagated: each operation changes a limb by less than `2³²`, so `2³⁰`
+/// operations keep every limb within `±2⁶²`.
+const MAX_DEFERRED_OPS: u32 = 1 << 30;
+
+/// An exact, order-independent accumulator for non-negative `f64` values.
+///
+/// The accumulator is a *ledger*: values are [added](Self::add) and later
+/// [removed](Self::remove), and the running total is always the exact
+/// (infinitely precise) sum of the values currently in the ledger. Removing
+/// a value that was never added is allowed by the arithmetic but leaves the
+/// ledger denoting a possibly negative total, which [`value`](Self::value)
+/// rejects — callers are expected to remove only what they added.
+///
+/// # Example
+///
+/// ```
+/// use numerics::ExactSum;
+///
+/// // Classic cancellation: a plain f64 running sum gets this wrong.
+/// let mut plain = 0.0f64;
+/// plain += 1e16;
+/// plain += 1.0;
+/// plain -= 1e16;
+/// assert_ne!(plain, 1.0);
+///
+/// let mut exact = ExactSum::new();
+/// exact.add(1e16);
+/// exact.add(1.0);
+/// exact.remove(1e16);
+/// assert_eq!(exact.value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExactSum {
+    limbs: [i64; LIMBS],
+    deferred_ops: u32,
+    /// Lowest limb touched since the last normalisation (`LIMBS` = none):
+    /// limbs outside `dirty_lo..=dirty_hi` are already canonical, so
+    /// normalisation only walks the touched range plus any carry run-out.
+    dirty_lo: u32,
+    /// Highest limb touched since the last normalisation.
+    dirty_hi: u32,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum {
+            limbs: [0; LIMBS],
+            deferred_ops: 0,
+            dirty_lo: LIMBS as u32,
+            dirty_hi: 0,
+        }
+    }
+}
+
+impl ExactSum {
+    /// Creates an empty accumulator (exact value `0`).
+    pub fn new() -> Self {
+        ExactSum::default()
+    }
+
+    /// Adds `x` to the ledger, exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative, NaN or infinite.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.accumulate(x, 1);
+    }
+
+    /// Removes a previously added `x` from the ledger, exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative, NaN or infinite.
+    #[inline]
+    pub fn remove(&mut self, x: f64) {
+        self.accumulate(x, -1);
+    }
+
+    /// Returns `true` if the exact total is zero.
+    pub fn is_zero(&mut self) -> bool {
+        self.normalize();
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Reads the exact total out as the nearest `f64` (round half to even).
+    ///
+    /// Because the internal representation is exact, this is a pure function
+    /// of the *multiset* of values currently in the ledger: any sequence of
+    /// adds and removes reaching the same multiset yields the same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact total is negative (more was removed than added).
+    pub fn value(&mut self) -> f64 {
+        self.normalize();
+        let top = match self.limbs.iter().rposition(|&l| l != 0) {
+            Some(top) => top,
+            None => return 0.0,
+        };
+        // Assemble the three highest limbs (up to 96 bits — always enough,
+        // because the top limb is non-zero, so with `top >= 2` the window
+        // holds at least 65 significant bits) and track whether anything
+        // non-zero falls below the window.
+        let limb = |i: isize| -> u128 {
+            if i >= 0 {
+                self.limbs[i as usize] as u128
+            } else {
+                0
+            }
+        };
+        let window =
+            (limb(top as isize) << 64) | (limb(top as isize - 1) << 32) | limb(top as isize - 2);
+        let mut sticky = (0..top.saturating_sub(2)).any(|i| self.limbs[i] != 0);
+        // The window's least significant bit has weight 2^window_exp.
+        let window_exp = LIMB_BITS as i32 * (top as i32 - 2) + MIN_EXP;
+
+        // The top limb is non-zero and sits shifted 64 bits up, so the
+        // window always holds at least 65 significant bits — more than the
+        // 53 a significand keeps, so every readout rounds through here
+        // (exactly representable totals just see all-zero dropped bits).
+        let nbits = 128 - window.leading_zeros() as i32;
+        debug_assert!(nbits >= 65);
+        let shift = (nbits - 53) as u32;
+        let mut significand = (window >> shift) as u64;
+        let round_bit = (window >> (shift - 1)) & 1 == 1;
+        sticky |= window & ((1u128 << (shift - 1)) - 1) != 0;
+        let mut exp = window_exp + shift as i32;
+        if round_bit && (sticky || significand & 1 == 1) {
+            significand += 1;
+            if significand == 1 << 53 {
+                significand >>= 1;
+                exp += 1;
+            }
+        }
+        scale_by_pow2(significand as f64, exp)
+    }
+
+    /// Splits `x` into (53-bit significand, exponent of its LSB) and adds
+    /// `sign` times it into the limbs.
+    #[inline]
+    fn accumulate(&mut self, x: f64, sign: i64) {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "ExactSum accepts finite non-negative values, got {x}"
+        );
+        if x == 0.0 {
+            return;
+        }
+        let bits = x.to_bits();
+        let exp_field = ((bits >> 52) & 0x7ff) as i32;
+        let (significand, lsb_exp) = if exp_field == 0 {
+            (bits & ((1 << 52) - 1), MIN_EXP)
+        } else {
+            (bits & ((1 << 52) - 1) | (1 << 52), exp_field - 1075)
+        };
+        let position = (lsb_exp - MIN_EXP) as u32;
+        let (limb, offset) = (position / LIMB_BITS, position % LIMB_BITS);
+        // 53 significand bits shifted by up to 31 span at most 3 limbs.
+        let wide = (significand as u128) << offset;
+        let limb = limb as usize;
+        self.limbs[limb] += sign * (wide as u32 as i64);
+        self.limbs[limb + 1] += sign * ((wide >> 32) as u32 as i64);
+        self.limbs[limb + 2] += sign * ((wide >> 64) as u32 as i64);
+        self.dirty_lo = self.dirty_lo.min(limb as u32);
+        self.dirty_hi = self.dirty_hi.max(limb as u32 + 2);
+        self.deferred_ops += 1;
+        if self.deferred_ops >= MAX_DEFERRED_OPS {
+            self.normalize();
+        }
+    }
+
+    /// Propagates deferred carries so every limb lies in `[0, 2³²)`. The
+    /// canonical form is unique for a given exact value, which is what makes
+    /// readouts order-independent. Only the dirty limb range is walked
+    /// (plus wherever its carries run out into the canonical region), so
+    /// values clustered within a few binades — propensity-group sums —
+    /// normalise in a handful of limb operations.
+    fn normalize(&mut self) {
+        if self.deferred_ops == 0 {
+            return;
+        }
+        let mut carry: i128 = 0;
+        let mut i = self.dirty_lo as usize;
+        let hi = self.dirty_hi as usize;
+        while i <= hi || carry != 0 {
+            assert!(
+                i < LIMBS,
+                "ExactSum total left the representable range (negative or overflowed)"
+            );
+            let total = self.limbs[i] as i128 + carry;
+            let low = total & 0xFFFF_FFFF;
+            carry = (total - low) >> 32;
+            self.limbs[i] = low as i64;
+            i += 1;
+        }
+        self.deferred_ops = 0;
+        self.dirty_lo = LIMBS as u32;
+        self.dirty_hi = 0;
+    }
+}
+
+/// Computes `x · 2^exp` without intermediate rounding for normal results
+/// (powers of two are exact multipliers). Results in the subnormal range may
+/// incur one extra rounding; group propensity sums never get there.
+fn scale_by_pow2(x: f64, exp: i32) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if (-1022..=1023).contains(&exp) {
+        return x * f64::from_bits(((exp + 1023) as u64) << 52);
+    }
+    if exp > 1023 {
+        // Two exact power-of-two factors; overflows to +inf only if the
+        // true value does.
+        return x
+            * f64::from_bits(((1023 + 1023) as u64) << 52)
+            * f64::from_bits(((exp - 1023 + 1023) as u64) << 52);
+    }
+    // Deep subnormal scale: split so the second factor stays representable.
+    x * f64::from_bits(1) * scale_by_pow2(1.0, exp + 1074)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_of(values: &[f64]) -> ExactSum {
+        let mut acc = ExactSum::new();
+        for &v in values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_ledger_reads_zero() {
+        assert_eq!(ExactSum::new().value(), 0.0);
+        assert!(ExactSum::new().is_zero());
+    }
+
+    #[test]
+    fn single_values_round_trip_exactly() {
+        for &v in &[
+            1.0,
+            0.1,
+            3.5e-9,
+            1.2345e17,
+            f64::MIN_POSITIVE,
+            2.2e-308,
+            1.7e308,
+            5e-324, // smallest subnormal
+        ] {
+            let mut acc = ExactSum::new();
+            acc.add(v);
+            assert_eq!(acc.value().to_bits(), v.to_bits(), "value {v:e}");
+        }
+    }
+
+    #[test]
+    fn small_integer_sums_are_exact() {
+        let mut acc = exact_of(&[1.0, 2.0, 3.0, 4.5]);
+        assert_eq!(acc.value(), 10.5);
+        acc.remove(2.0);
+        assert_eq!(acc.value(), 8.5);
+    }
+
+    #[test]
+    fn order_independence_is_bitwise() {
+        let values = [1e300, 3.7e-12, 0.1, 9.9e15, 1.0 / 3.0, 2.5e-280];
+        let mut forward = exact_of(&values);
+        let mut reversed = {
+            let mut rev = values;
+            rev.reverse();
+            exact_of(&rev)
+        };
+        assert_eq!(forward.value().to_bits(), reversed.value().to_bits());
+    }
+
+    #[test]
+    fn add_remove_history_is_invisible() {
+        // Build {0.3, 7e9} two ways: directly, and through a long detour of
+        // adds and removes that would wreck a plain running sum.
+        let mut direct = exact_of(&[0.3, 7e9]);
+        let mut detour = ExactSum::new();
+        detour.add(1e16);
+        detour.add(0.3);
+        detour.add(123.456);
+        detour.add(7e9);
+        detour.remove(123.456);
+        detour.remove(1e16);
+        assert_eq!(direct.value().to_bits(), detour.value().to_bits());
+    }
+
+    #[test]
+    fn cancellation_to_zero_is_exact() {
+        let values = [1e16, 1.0, 3.25, 2e-30];
+        let mut acc = exact_of(&values);
+        for &v in &values {
+            acc.remove(v);
+        }
+        assert!(acc.is_zero());
+        assert_eq!(acc.value(), 0.0);
+    }
+
+    #[test]
+    fn readout_is_correctly_rounded_against_u128_ground_truth() {
+        // Integer-valued cases where the exact sum fits u128: the readout
+        // must equal `sum as f64` (Rust's u128→f64 cast rounds to nearest).
+        let cases: &[&[u64]] = &[
+            &[u64::MAX, u64::MAX, 1],
+            &[1 << 60, 3, 5, 1 << 60],
+            &[(1 << 53) + 1, 1],    // rounds to even
+            &[(1 << 54) + 2, 1, 1], // sticky forces round up
+            &[
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+            ],
+        ];
+        for values in cases {
+            let mut acc = ExactSum::new();
+            let mut truth: u128 = 0;
+            for &v in *values {
+                // u64 values up to 2^53 are exact as f64; larger ones are
+                // split into two exactly representable halves.
+                let hi = (v >> 32) as f64 * 4294967296.0;
+                let lo = (v & 0xFFFF_FFFF) as f64;
+                acc.add(hi);
+                acc.add(lo);
+                truth += v as u128;
+            }
+            assert_eq!(
+                acc.value().to_bits(),
+                (truth as f64).to_bits(),
+                "sum of {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_magnitude_spread_sums_exactly() {
+        // 2^1000 + 2^-1000: the f64 rounding drops the small term entirely,
+        // and that *is* the correctly rounded answer.
+        let big = scale_by_pow2(1.0, 1000);
+        let tiny = scale_by_pow2(1.0, -1000);
+        let mut acc = exact_of(&[big, tiny]);
+        assert_eq!(acc.value(), big);
+        // But removing the big term must recover the tiny one exactly.
+        acc.remove(big);
+        assert_eq!(acc.value().to_bits(), tiny.to_bits());
+    }
+
+    #[test]
+    fn many_operations_trigger_normalisation_safely() {
+        let mut acc = ExactSum::new();
+        for i in 0..100_000u64 {
+            acc.add(i as f64 * 0.5);
+        }
+        for i in 0..100_000u64 {
+            if i % 2 == 0 {
+                acc.remove(i as f64 * 0.5);
+            }
+        }
+        // Remaining: odd i. Σ i·0.5 over odd i < 100000 = 0.5 · 50000².
+        assert_eq!(acc.value(), 0.5 * 50_000.0f64 * 50_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_values() {
+        ExactSum::new().add(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_nan() {
+        ExactSum::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn scale_by_pow2_matches_standard_range() {
+        assert_eq!(scale_by_pow2(1.5, 10), 1536.0);
+        assert_eq!(scale_by_pow2(1.0, 0), 1.0);
+        assert_eq!(scale_by_pow2(1.0, -1074), 5e-324);
+        assert_eq!(scale_by_pow2(1.0, 1023), f64::MAX / (2.0 - f64::EPSILON));
+        assert!(scale_by_pow2(1.0, 2000).is_infinite());
+    }
+}

@@ -34,6 +34,7 @@
 mod ci;
 mod conformance;
 mod error;
+mod exact_sum;
 mod fit;
 mod histogram;
 mod linalg;
@@ -46,6 +47,7 @@ pub use conformance::{
     histogram_ks, ks_two_sample, ln_gamma, poisson_pmf, TestResult, MIN_EXPECTED_PER_BIN,
 };
 pub use error::NumericsError;
+pub use exact_sum::ExactSum;
 pub use fit::{BasisFit, LogLinearFit};
 pub use histogram::Histogram;
 pub use linalg::Matrix;

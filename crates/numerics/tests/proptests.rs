@@ -1,10 +1,18 @@
 //! Property-based tests of the numerics toolkit.
 
 use numerics::{
-    least_squares, mean, std_dev, summary, variance, wilson_interval, Histogram, LogLinearFit,
-    Matrix,
+    least_squares, mean, std_dev, summary, variance, wilson_interval, ExactSum, Histogram,
+    LogLinearFit, Matrix,
 };
 use proptest::prelude::*;
+
+/// Strategy: positive f64 values spanning ~90 binades — wide enough that a
+/// plain running sum visibly loses bits, narrow enough to stay clear of the
+/// subnormal readout range.
+fn spread_values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((1e-30f64..1e30, -30i32..30), len)
+        .prop_map(|pairs| pairs.into_iter().map(|(m, e)| m * 2f64.powi(e)).collect())
+}
 
 proptest! {
     /// The mean always lies between the minimum and maximum of the sample,
@@ -109,5 +117,71 @@ proptest! {
         prop_assert!((fit.log_coefficient() - log_coefficient).abs() < 1e-5);
         prop_assert!((fit.linear_coefficient() - linear_coefficient).abs() < 1e-5);
         prop_assert!(fit.r_squared() > 0.999);
+    }
+
+    /// An `ExactSum` readout is a pure function of the multiset of ledger
+    /// entries: any permutation of adds reads out bit-identically.
+    #[test]
+    fn exact_sum_is_order_independent(
+        values in spread_values(1..40),
+        rotation in 0usize..40,
+    ) {
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut rotated = ExactSum::new();
+        let pivot = rotation % values.len();
+        for &v in values[pivot..].iter().chain(&values[..pivot]) {
+            rotated.add(v);
+        }
+        prop_assert_eq!(forward.value().to_bits(), rotated.value().to_bits());
+    }
+
+    /// Interleaving adds of extra values with their later removal leaves no
+    /// trace: the ledger reads out exactly as if only the kept values had
+    /// ever been added.
+    #[test]
+    fn exact_sum_removal_leaves_no_residue(
+        kept in spread_values(1..20),
+        churn in spread_values(1..20),
+    ) {
+        let mut clean = ExactSum::new();
+        for &v in &kept {
+            clean.add(v);
+        }
+        let mut churned = ExactSum::new();
+        for &v in &churn {
+            churned.add(v);
+        }
+        for &v in &kept {
+            churned.add(v);
+        }
+        for &v in &churn {
+            churned.remove(v);
+        }
+        prop_assert_eq!(clean.value().to_bits(), churned.value().to_bits());
+        for &v in &kept {
+            churned.remove(v);
+        }
+        prop_assert!(churned.is_zero());
+    }
+
+    /// The readout is the correctly rounded exact sum: it never differs from
+    /// the naive f64 sum by more than the naive sum's accumulated error
+    /// bound, and on exactly representable cases it is exact.
+    #[test]
+    fn exact_sum_tracks_the_true_sum(values in spread_values(1..40)) {
+        let mut acc = ExactSum::new();
+        let mut naive = 0.0f64;
+        for &v in &values {
+            acc.add(v);
+            naive += v;
+        }
+        let exact = acc.value();
+        // The naive sum has relative error ≤ n·ε; the exact readout ≤ ε/2.
+        let bound = naive * values.len() as f64 * f64::EPSILON * 2.0;
+        prop_assert!((exact - naive).abs() <= bound.abs() + f64::MIN_POSITIVE,
+            "exact {exact:e} vs naive {naive:e}");
     }
 }

@@ -269,11 +269,24 @@ impl BenchmarkGroup<'_> {
 
 /// Locates the directory for `BENCH_*.json` baselines: `BENCH_OUTPUT_DIR` if
 /// set, else the enclosing cargo workspace root, else the current directory.
+///
+/// A *relative* `BENCH_OUTPUT_DIR` is resolved against the workspace root,
+/// not the process cwd — cargo runs bench binaries with cwd set to the
+/// bench crate's directory, which is never where callers mean. The
+/// directory is created if missing, so `BENCH_OUTPUT_DIR=bench-fresh`
+/// works without preparatory `mkdir`s (the CI regression gate relies on
+/// this).
 fn baseline_path(suite: &str) -> PathBuf {
-    let dir = std::env::var_os("BENCH_OUTPUT_DIR")
-        .map(PathBuf::from)
-        .or_else(find_workspace_root)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let dir = match std::env::var_os("BENCH_OUTPUT_DIR").map(PathBuf::from) {
+        Some(dir) if dir.is_absolute() => dir,
+        Some(dir) => find_workspace_root()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join(dir),
+        None => find_workspace_root().unwrap_or_else(|| PathBuf::from(".")),
+    };
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+    }
     dir.join(format!("BENCH_{suite}.json"))
 }
 

@@ -54,8 +54,8 @@ pub use synthesis;
 pub use cme::{CmeError, FirstPassage, OutcomeDistribution, PopulationBounds, StateSpace};
 pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
 pub use gillespie::{
-    DirectMethod, Ensemble, EnsembleOptions, EnsembleReport, FirstReactionMethod,
-    NextReactionMethod, Simulation, SimulationError, SimulationOptions, SimulationResult,
-    SsaMethod, SsaStepper, StepperKind, StopCondition, TauLeaping,
+    CompositionRejection, DirectMethod, Ensemble, EnsembleOptions, EnsembleReport,
+    FirstReactionMethod, NextReactionMethod, Simulation, SimulationError, SimulationOptions,
+    SimulationResult, SsaMethod, SsaStepper, StepperKind, StopCondition, TauLeaping,
 };
 pub use synthesis::{StochasticModule, TargetDistribution};

@@ -5,7 +5,7 @@
 //! constants were produced by this very code and are pinned to 1e-9 so any
 //! change in the synthesis rules, the rate schedule or the CME solver that
 //! shifts a paper-level result by more than floating-point noise fails
-//! loudly. Alongside the pins, ensembles from all four SSA steppers must
+//! loudly. Alongside the pins, ensembles from all five SSA steppers must
 //! conformance-pass against the exact distribution, closing the loop
 //! between the samplers and the oracle.
 //!
@@ -93,7 +93,7 @@ fn example_1_golden_values_at_gamma_1000() {
     assert!(analysis.escaped() == 0.0, "strict bounds: no truncation");
 }
 
-/// All four steppers' ensemble estimates must conformance-pass against the
+/// All five steppers' ensemble estimates must conformance-pass against the
 /// CME-exact outcome distribution of Example 1 — the samplers are judged by
 /// the exact law, not by an analytic shortcut or by each other.
 #[test]

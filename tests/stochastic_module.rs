@@ -101,7 +101,7 @@ fn tau_leaping_conforms_to_exact_ssa_on_the_synthesized_module() {
 }
 
 /// The decision is insensitive to the stepper used: every method — the
-/// three exact SSA variants and tau-leaping — estimates the same
+/// four exact SSA variants and tau-leaping — estimates the same
 /// distribution.
 #[test]
 fn all_ssa_methods_agree_on_the_programmed_distribution() {
