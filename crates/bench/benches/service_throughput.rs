@@ -1,0 +1,88 @@
+//! Service-layer throughput: HTTP round trips against an in-process server.
+//!
+//! Three paths, from cheapest to dearest:
+//!
+//! * `healthz` — pure transport + routing cost (connect, parse, dispatch,
+//!   respond);
+//! * `simulate_cache_hit` — a result served from the deterministic cache:
+//!   transport plus one key canonicalisation and an LRU lookup, no
+//!   simulation;
+//! * `simulate_cold` — a full job through the work-stealing scheduler
+//!   (unique seed per iteration, so the cache never helps): submit,
+//!   fan-out, merge, render, cache-insert, respond.
+//!
+//! The gap between `cache_hit` and `cold` is the argument for the cache;
+//! the regression gate (`bench_compare`, CI's bench-smoke job) watches all
+//! three against `BENCH_service_throughput.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use service::{serve, Client, ServiceConfig, ServiceHandle};
+
+fn simulate_request(seed: u64) -> String {
+    format!(
+        "{{\"network\":\"x -> h @ 3\\nx -> t @ 1\",\"initial\":{{\"x\":1}},\
+         \"trials\":500,\"seed\":{seed},\"wait\":true,\
+         \"classifier\":[\
+         {{\"species\":\"h\",\"at_least\":1,\"outcome\":\"heads\"}},\
+         {{\"species\":\"t\",\"at_least\":1,\"outcome\":\"tails\"}}]}}"
+    )
+}
+
+fn start_service() -> (ServiceHandle, Client) {
+    let handle = serve(ServiceConfig {
+        // Big enough that the cold benchmark's unique-seed bodies are
+        // inserted without evicting the warmed hit entry.
+        cache_capacity: 1 << 14,
+        queue_capacity: 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("bind in-process service");
+    let client = Client::new(handle.addr()).expect("client");
+    (handle, client)
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (handle, client) = start_service();
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(20);
+
+    group.bench_function("healthz", |b| {
+        b.iter(|| {
+            let reply = client.get("/healthz").expect("healthz");
+            assert_eq!(reply.status, 200);
+        })
+    });
+
+    // Warm one seeded request, then measure pure cache-hit serving.
+    let warmed = simulate_request(424242);
+    let fresh = client.post("/simulate", &warmed).expect("warm the cache");
+    assert_eq!(fresh.status, 200, "{}", fresh.body);
+    group.bench_function("simulate_cache_hit", |b| {
+        b.iter(|| {
+            let reply = client.post("/simulate", &warmed).expect("cached simulate");
+            assert_eq!(reply.header("cache"), Some("hit"), "{}", reply.body);
+        })
+    });
+
+    // Unique seed per iteration: every request is a full scheduler round
+    // trip (500-trial ensemble, chunked fan-out, deterministic merge).
+    let next_seed = AtomicU64::new(1);
+    group.bench_function("simulate_cold", |b| {
+        b.iter(|| {
+            let seed = next_seed.fetch_add(1, Ordering::Relaxed);
+            let reply = client
+                .post("/simulate", &simulate_request(seed))
+                .expect("cold simulate");
+            assert_eq!(reply.header("cache"), Some("miss"), "{}", reply.body);
+        })
+    });
+    group.finish();
+
+    handle.shutdown(std::time::Duration::from_secs(5));
+    handle.join();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -7,11 +7,14 @@
 //! regression instead of merely uploading artifacts (see the README's
 //! *Benchmark regression policy*).
 //!
-//! The serde shim is deliberately a no-op, so parsing is done by a small
-//! self-contained JSON reader that accepts the full JSON grammar the
-//! baselines use (objects, arrays, strings, numbers).
+//! The serde shim is deliberately a no-op, so parsing goes through the
+//! workspace's one self-contained JSON reader — [`service::json`], the same
+//! module the HTTP service speaks through — re-exported here as [`Json`].
 
 use std::collections::BTreeMap;
+
+/// The workspace's JSON value type, re-exported from [`service::json`].
+pub use service::json::Json;
 
 /// One parsed `BENCH_<suite>.json` file.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,30 +47,28 @@ pub struct BenchmarkStats {
 /// Returns a human-readable message when the text is not valid JSON or is
 /// missing the expected fields.
 pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let value = JsonParser::parse(text)?;
-    let root = value.as_object("top level")?;
-    let suite = root
+    let value = service::json::parse(text)?;
+    let suite = value
         .get("suite")
         .ok_or("missing \"suite\"")?
         .as_str("suite")?
         .to_string();
     let mut benchmarks = Vec::new();
-    for (i, entry) in root
+    for (i, entry) in value
         .get("benchmarks")
         .ok_or("missing \"benchmarks\"")?
         .as_array("benchmarks")?
         .iter()
         .enumerate()
     {
-        let fields = entry.as_object(&format!("benchmarks[{i}]"))?;
         let number = |key: &str| -> Result<f64, String> {
-            fields
+            entry
                 .get(key)
                 .ok_or_else(|| format!("benchmarks[{i}] missing \"{key}\""))?
-                .as_number(key)
+                .as_f64(key)
         };
         benchmarks.push(BenchmarkStats {
-            id: fields
+            id: entry
                 .get("id")
                 .ok_or_else(|| format!("benchmarks[{i}] missing \"id\""))?
                 .as_str("id")?
@@ -192,232 +193,6 @@ impl Comparison {
     /// the fresh run.
     pub fn passes(&self, threshold: f64, floor_ns: f64) -> bool {
         self.missing.is_empty() && self.regressions(threshold, floor_ns).is_empty()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (full grammar, no external dependencies).
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`, which the baseline format fits).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object. `BTreeMap` keeps iteration deterministic.
-    Object(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
-        match self {
-            Json::Object(map) => Ok(map),
-            other => Err(format!("{what}: expected object, got {other:?}")),
-        }
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Array(items) => Ok(items),
-            other => Err(format!("{what}: expected array, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, String> {
-        match self {
-            Json::String(s) => Ok(s),
-            other => Err(format!("{what}: expected string, got {other:?}")),
-        }
-    }
-
-    fn as_number(&self, what: &str) -> Result<f64, String> {
-        match self {
-            Json::Number(n) => Ok(*n),
-            other => Err(format!("{what}: expected number, got {other:?}")),
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut parser = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = parser.value()?;
-        parser.skip_whitespace();
-        if parser.pos != parser.bytes.len() {
-            return Err(format!("trailing data at byte {}", parser.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_whitespace(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_whitespace();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek()? == byte {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::String(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            map.insert(key, self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let byte = *self.bytes.get(self.pos).ok_or("unterminated string")?;
-            self.pos += 1;
-            match byte {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let escape = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match escape {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{0008}'),
-                        b'f' => out.push('\u{000C}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).ok_or("invalid \\u escape codepoint")?);
-                        }
-                        other => return Err(format!("invalid escape `\\{}`", other as char)),
-                    }
-                }
-                _ => {
-                    // Multi-byte UTF-8 sequences pass through unchanged.
-                    let start = self.pos - 1;
-                    while !self.bytes.is_empty()
-                        && self.pos < self.bytes.len()
-                        && self.bytes[self.pos] & 0xC0 == 0x80
-                    {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|e| e.to_string())?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_whitespace();
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
     }
 }
 

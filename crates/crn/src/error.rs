@@ -37,6 +37,8 @@ pub enum CrnError {
     Parse {
         /// Line number (1-based) at which parsing failed.
         line: usize,
+        /// Character column (1-based) at which parsing failed.
+        column: usize,
         /// Description of the problem.
         message: String,
     },
@@ -64,8 +66,12 @@ impl fmt::Display for CrnError {
             CrnError::InsufficientReactants { reaction } => {
                 write!(f, "insufficient reactants to fire reaction `{reaction}`")
             }
-            CrnError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            CrnError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
             CrnError::Validation { message } => write!(f, "invalid network: {message}"),
         }
@@ -90,6 +96,7 @@ mod tests {
             },
             CrnError::Parse {
                 line: 2,
+                column: 5,
                 message: "missing `->`".into(),
             },
             CrnError::Validation {

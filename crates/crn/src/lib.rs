@@ -60,6 +60,7 @@ pub use builder::{CrnBuilder, ReactionBuilder};
 pub use dot::DotOptions;
 pub use error::CrnError;
 pub use network::Crn;
+pub use parse::parse_network;
 pub use reaction::{Reaction, ReactionTerm};
 pub use species::{Species, SpeciesId};
 pub use state::State;

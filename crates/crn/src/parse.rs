@@ -11,6 +11,11 @@
 //!
 //! Coefficients may be written either as a separate token (`2 b`) or glued to
 //! the species name (`2b`). Rates follow `@` and accept any `f64` literal.
+//!
+//! Parse errors report the 1-based line *and column* of the offending token,
+//! so callers that accept networks over the wire (the `service` crate's
+//! `POST /simulate` endpoint, the `stochsynth-cli` client) can point users at
+//! the exact character that broke.
 
 use crate::builder::CrnBuilder;
 use crate::error::CrnError;
@@ -20,17 +25,29 @@ use crate::network::Crn;
 ///
 /// # Errors
 ///
-/// Returns [`CrnError::Parse`] describing the first offending line.
+/// Returns [`CrnError::Parse`] describing the first offending line and the
+/// column at which parsing failed.
 pub fn parse_network(text: &str) -> Result<Crn, CrnError> {
     let mut builder = CrnBuilder::new();
     for (lineno, raw_line) in text.lines().enumerate() {
         let line_number = lineno + 1;
         let (content, comment) = split_comment(raw_line);
-        let content = content.trim();
-        if content.is_empty() {
+        let trimmed = content.trim();
+        if trimmed.is_empty() {
             continue;
         }
-        parse_reaction_into(&mut builder, content, comment, line_number)?;
+        // 0-based char offset of the trimmed content within the raw line;
+        // every inner error carries a *byte* offset within `trimmed`, which
+        // `column_of` converts back to a 1-based character column.
+        let leading_bytes = content.len() - content.trim_start().len();
+        let base_chars = content[..leading_bytes].chars().count();
+        parse_reaction_into(&mut builder, trimmed, comment).map_err(|(offset, message)| {
+            CrnError::Parse {
+                line: line_number,
+                column: base_chars + trimmed[..offset.min(trimmed.len())].chars().count() + 1,
+                message,
+            }
+        })?;
     }
     builder.build()
 }
@@ -45,51 +62,61 @@ fn split_comment(line: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// Inner parse errors are `(byte offset within the trimmed content, message)`.
+type SpannedError = (usize, String);
+
 fn parse_reaction_into(
     builder: &mut CrnBuilder,
     content: &str,
     comment: Option<&str>,
-    line: usize,
-) -> Result<(), CrnError> {
-    let err = |message: String| CrnError::Parse { line, message };
-
+) -> Result<(), SpannedError> {
     let (lhs_rhs, rate_text) = content
         .rsplit_once('@')
-        .ok_or_else(|| err("missing `@ rate`".to_string()))?;
+        .ok_or_else(|| (content.len(), "missing `@ rate`".to_string()))?;
+    let rate_offset = lhs_rhs.len() + 1 + (rate_text.len() - rate_text.trim_start().len());
     let rate: f64 = rate_text
         .trim()
         .parse()
-        .map_err(|_| err(format!("invalid rate `{}`", rate_text.trim())))?;
+        .map_err(|_| (rate_offset, format!("invalid rate `{}`", rate_text.trim())))?;
 
     let (lhs, rhs) = lhs_rhs
         .split_once("->")
-        .ok_or_else(|| err("missing `->`".to_string()))?;
+        .ok_or_else(|| (0, "missing `->`".to_string()))?;
 
-    let reactants = parse_side(lhs).map_err(&err)?;
-    let products = parse_side(rhs).map_err(&err)?;
+    let reactants = parse_side(lhs, 0)?;
+    let products = parse_side(rhs, lhs.len() + 2)?;
 
     let mut rb = builder.reaction().rate(rate);
-    for (name, coeff) in &reactants {
+    for (name, coeff, _) in &reactants {
         rb = rb.reactant_named(name, *coeff);
     }
-    for (name, coeff) in &products {
+    for (name, coeff, _) in &products {
         rb = rb.product_named(name, *coeff);
     }
     if let Some(label) = comment {
         rb = rb.label(label);
     }
-    rb.add().map_err(|e| err(e.to_string()))
+    rb.add().map_err(|e| (0, e.to_string()))
 }
 
-/// Parses one side of a reaction into `(species name, coefficient)` pairs.
-fn parse_side(side: &str) -> Result<Vec<(String, u32)>, String> {
-    let side = side.trim();
-    if side.is_empty() || side == "0" || side == "∅" {
+/// Parses one side of a reaction into `(species name, coefficient, offset)`
+/// triples; `side_offset` is the byte offset of `side` within the line
+/// content, so term errors can report exact columns.
+fn parse_side(side: &str, side_offset: usize) -> Result<Vec<(String, u32, usize)>, SpannedError> {
+    let trimmed = side.trim();
+    if trimmed.is_empty() || trimmed == "0" || trimmed == "∅" {
         return Ok(Vec::new());
     }
-    side.split('+')
-        .map(|term| parse_term(term.trim()))
-        .collect()
+    let mut terms = Vec::new();
+    let mut pos = side_offset;
+    for piece in side.split('+') {
+        let term = piece.trim();
+        let term_offset = pos + (piece.len() - piece.trim_start().len());
+        let (name, coeff) = parse_term(term).map_err(|message| (term_offset, message))?;
+        terms.push((name, coeff, term_offset));
+        pos += piece.len() + 1;
+    }
+    Ok(terms)
 }
 
 fn parse_term(term: &str) -> Result<(String, u32), String> {
@@ -214,6 +241,47 @@ mod tests {
             CrnError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    /// Extracts `(line, column)` from a parse error.
+    fn position_of(text: &str) -> (usize, usize) {
+        match parse_network(text).unwrap_err() {
+            CrnError::Parse { line, column, .. } => (line, column),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_column_of_missing_rate() {
+        // Column points one past the end of the content, where `@` belongs.
+        assert_eq!(position_of("c -> d"), (1, 7));
+    }
+
+    #[test]
+    fn reports_column_of_invalid_rate() {
+        //        123456789012345
+        assert_eq!(position_of("ab -> cd @ fast"), (1, 12));
+        // Leading whitespace before the rate is skipped.
+        assert_eq!(position_of("ab -> cd @    fast"), (1, 15));
+    }
+
+    #[test]
+    fn reports_column_of_bad_terms() {
+        // Second reactant term is invalid:
+        //        1234567890
+        assert_eq!(position_of("a + b- -> c @ 1"), (1, 5));
+        // First product term is invalid:
+        assert_eq!(position_of("a -> 3 @ 1"), (1, 6));
+        // Bad term on an indented line: the indentation counts.
+        assert_eq!(position_of("a -> b @ 1\n   x -> 0 y @ 1"), (2, 9));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `∅` is 3 bytes but one character; the bad rate after it must be
+        // reported at its character column.
+        //        123456789
+        assert_eq!(position_of("∅ -> a @ x"), (1, 10));
     }
 
     #[test]

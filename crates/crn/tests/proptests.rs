@@ -149,6 +149,53 @@ proptest! {
         prop_assert_eq!(merged.reactions().len(), 2 * crn.reactions().len());
     }
 
+    /// `parse → Display → parse` round-trips on generated networks: the
+    /// textual notation is a faithful serialisation of the data model
+    /// (species order, stoichiometry, rates and labels all survive).
+    #[test]
+    fn parse_display_parse_round_trips(
+        reactions in prop::collection::vec((terms(), terms(), 1e-6f64..1e6), 1..6),
+        label_every in 1usize..4,
+    ) {
+        // Render generated reactions in the textual notation directly; a
+        // fraction of them carry trailing comments, which become labels.
+        let mut text = String::new();
+        let mut any = false;
+        for (i, (reactants, products, rate)) in reactions.iter().enumerate() {
+            if reactants.is_empty() && products.is_empty() {
+                continue;
+            }
+            any = true;
+            let side = |terms: &[(usize, u32)]| -> String {
+                if terms.is_empty() {
+                    return "0".to_string();
+                }
+                terms
+                    .iter()
+                    .map(|&(s, c)| if c == 1 {
+                        format!("sp{s}")
+                    } else {
+                        format!("{c} sp{s}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            };
+            text.push_str(&format!("{} -> {} @ {}", side(reactants), side(products), rate));
+            if i % label_every == 0 {
+                text.push_str(&format!("  # label {i}"));
+            }
+            text.push('\n');
+        }
+        prop_assume!(any);
+        let first: Crn = text.parse().expect("generated notation parses");
+        // `Display` is the canonical serialisation…
+        let rendered = format!("{first}");
+        let second: Crn = rendered.parse().expect("rendered notation parses");
+        // …and a fixed point: parse → Display → parse is the identity.
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(rendered.clone(), format!("{second}"));
+    }
+
     /// The dependency graph always lists the fired reaction among its own
     /// dependents and never points outside the reaction set.
     #[test]

@@ -13,7 +13,9 @@
 //!   returning per-worker partial results in worker order. The Monte-Carlo
 //!   [`Ensemble`](crate::Ensemble) runner is a thin client of this function,
 //!   and new parallel workloads (parameter sweeps, distribution fitting)
-//!   can reuse it directly.
+//!   can reuse it directly. [`run_chunked_cancellable`] additionally shares
+//!   an externally owned [`CancelToken`] with the workers, which is how the
+//!   `service` crate's job scheduler cancels in-flight ensemble jobs.
 //!
 //! Determinism contract: trial `i` always derives its RNG from
 //! `master_seed + i`, partitioning is a pure function of `(threads, trials)`
@@ -24,4 +26,4 @@ mod deps;
 mod pool;
 
 pub use deps::ReactionDependencyGraph;
-pub use pool::{run_chunked, CancelToken, TrialRange};
+pub use pool::{run_chunked, run_chunked_cancellable, CancelToken, TrialRange};

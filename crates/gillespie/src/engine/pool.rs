@@ -80,12 +80,38 @@ where
     E: Send,
     F: Fn(TrialRange, &CancelToken) -> Result<P, E> + Sync,
 {
+    run_chunked_cancellable(threads, trials, &CancelToken::new(), worker)
+}
+
+/// [`run_chunked`] with an externally owned [`CancelToken`].
+///
+/// The token is shared with every worker: raising it from outside (another
+/// thread, a job scheduler, a ctrl-c handler) makes cooperative workers stop
+/// after their current trial, exactly as an internal worker error would.
+/// Callers that cancel externally are responsible for checking
+/// [`CancelToken::is_cancelled`] afterwards and discarding the partials —
+/// a cancelled fan-out returns `Ok` with *incomplete* partial results
+/// (workers that observed the flag simply stopped early).
+///
+/// This is the cancellation hook behind
+/// [`Ensemble::run_cancellable`](crate::Ensemble::run_cancellable) and the
+/// `service` crate's job scheduler.
+pub fn run_chunked_cancellable<P, E, F>(
+    threads: usize,
+    trials: u64,
+    cancel: &CancelToken,
+    worker: F,
+) -> Result<Vec<P>, E>
+where
+    P: Send,
+    E: Send,
+    F: Fn(TrialRange, &CancelToken) -> Result<P, E> + Sync,
+{
     if trials == 0 {
         return Ok(Vec::new());
     }
     let threads = threads.max(1);
     let chunk = trials.div_ceil(threads as u64);
-    let cancel = CancelToken::new();
 
     let outcomes: Vec<Result<P, E>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -101,7 +127,6 @@ where
                 worker: w as usize,
             };
             let worker = &worker;
-            let cancel = &cancel;
             handles.push(scope.spawn(move || {
                 let outcome = worker(range, cancel);
                 if outcome.is_err() {
@@ -169,6 +194,27 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, "worker 0 failed");
+    }
+
+    #[test]
+    fn external_cancellation_stops_workers_early() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        // Every worker observes the pre-raised token before its first trial
+        // and returns an empty partial.
+        let partials: Vec<Vec<u64>> = run_chunked_cancellable(4, 100, &cancel, |range, token| {
+            let mut done = Vec::new();
+            for trial in range.trials() {
+                if token.is_cancelled() {
+                    break;
+                }
+                done.push(trial);
+            }
+            Ok::<_, ()>(done)
+        })
+        .unwrap();
+        assert!(partials.iter().all(|p| p.is_empty()));
+        assert!(cancel.is_cancelled());
     }
 
     #[test]

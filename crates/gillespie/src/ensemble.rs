@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng as _;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::run_chunked;
+use crate::engine::{run_chunked_cancellable, CancelToken};
 use crate::error::SimulationError;
 use crate::outcome::{Outcome, OutcomeClassifier};
 use crate::simulator::{run_trial, SimulationOptions, StepperKind};
@@ -118,6 +118,12 @@ pub struct OutcomeCount {
 pub struct EnsembleReport {
     /// Total number of trajectories run.
     pub trials: u64,
+    /// The master seed the ensemble was run with (trial `i` used
+    /// `master_seed + i`). Carried in the report so serialised results are
+    /// self-describing: a cached response and a fresh re-run of the same
+    /// request are distinguishable only by transport metadata, never by the
+    /// report body.
+    pub master_seed: u64,
     /// Outcome counts, sorted by outcome label.
     pub counts: Vec<OutcomeCount>,
     /// Number of trajectories the classifier could not assign.
@@ -165,18 +171,52 @@ impl EnsembleReport {
     }
 }
 
-/// One worker's private accumulator: merged into the report in worker order
-/// after every worker has finished.
-struct WorkerPartial {
+/// The accumulated results of one contiguous block of ensemble trials.
+///
+/// Produced by [`Ensemble::run_range`] and merged back into an
+/// [`EnsembleReport`] by [`Ensemble::merge`]. Splitting an ensemble into
+/// ranges, running them on arbitrary threads (in any order, on any
+/// machine) and merging the partials in trial order reproduces the
+/// single-threaded report **bit for bit**, because trial `i` always seeds
+/// its RNG with `master_seed + i` and the floating-point statistics are
+/// reduced in trial order. This is the fan-out surface the `service`
+/// crate's work-stealing job scheduler is built on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsemblePartial {
+    /// First trial index of the assigned range (inclusive).
+    start: u64,
+    /// One past the last trial index of the assigned range.
+    end: u64,
+    /// Number of trials actually completed (equals `end - start` unless the
+    /// run was cancelled part-way).
+    done: u64,
     counts: BTreeMap<Outcome, u64>,
     undecided: u64,
     total_events: u64,
-    /// Final simulated time of each trial in the worker's range, in trial
-    /// order. Kept per-trial (rather than pre-summed) so the global
-    /// reduction happens in trial order: floating-point addition is not
-    /// associative, and summing per-worker subtotals would make
-    /// `mean_final_time` depend on the thread count.
+    /// Final simulated time of each trial in the range, in trial order.
+    /// Kept per-trial (rather than pre-summed) so the global reduction
+    /// happens in trial order: floating-point addition is not associative,
+    /// and summing per-range subtotals would make `mean_final_time` depend
+    /// on the partitioning.
     final_times: Vec<f64>,
+}
+
+impl EnsemblePartial {
+    /// Returns the assigned trial range `(start, end)`.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// Returns the number of trials actually completed.
+    pub fn completed(&self) -> u64 {
+        self.done
+    }
+
+    /// Returns `true` when every trial of the assigned range was run (a
+    /// cancelled range stops early and stays incomplete).
+    pub fn is_complete(&self) -> bool {
+        self.done == self.end - self.start
+    }
 }
 
 /// A Monte-Carlo ensemble of one network, one initial state and one outcome
@@ -237,60 +277,116 @@ where
     /// propagates the first per-trajectory error encountered (for example an
     /// exceeded event limit).
     pub fn run(&self) -> Result<EnsembleReport, SimulationError> {
-        if self.options.trials == 0 {
-            return Err(SimulationError::InvalidEnsembleConfig {
-                message: "trials must be positive".to_string(),
-            });
-        }
-        if self.initial.species_len() != self.crn.species_len() {
-            return Err(SimulationError::StateSizeMismatch {
-                network: self.crn.species_len(),
-                state: self.initial.species_len(),
-            });
-        }
+        self.run_cancellable(&CancelToken::new())
+    }
 
+    /// Runs the ensemble under an externally owned [`CancelToken`].
+    ///
+    /// Raising the token from another thread makes every worker stop after
+    /// its current trial; the run then returns
+    /// [`SimulationError::Cancelled`] instead of a (necessarily incomplete)
+    /// report. This is the hook job schedulers use to abort in-flight
+    /// ensemble work without tearing threads down.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Ensemble::run`] returns, plus
+    /// [`SimulationError::Cancelled`] when the token was raised before the
+    /// run finished.
+    pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<EnsembleReport, SimulationError> {
+        self.validate()?;
         let threads = self.options.effective_threads();
         let trials = self.options.trials;
-
-        let partials = run_chunked(threads, trials, |range, cancel| {
-            let mut stepper = self.options.method.stepper();
-            // One state buffer per worker, re-primed from the initial state
-            // each trial; `run_trial` hands the allocation back through the
-            // result's `final_state`.
-            let mut scratch = self.initial.clone();
-            let mut partial = WorkerPartial {
-                counts: BTreeMap::new(),
-                undecided: 0,
-                total_events: 0,
-                final_times: Vec::with_capacity(range.len() as usize),
-            };
-            for trial in range.trials() {
-                if cancel.is_cancelled() {
-                    // Another worker failed; this partial will be discarded.
-                    break;
-                }
-                let mut rng = StdRng::seed_from_u64(self.options.master_seed.wrapping_add(trial));
-                scratch.clone_from(&self.initial);
-                let result = run_trial(
-                    self.crn,
-                    stepper.as_mut(),
-                    &self.options.simulation,
-                    scratch,
-                    &mut rng,
-                )?;
-                partial.total_events += result.events;
-                partial.final_times.push(result.final_time);
-                match self.classifier.classify(&result) {
-                    Some(outcome) => *partial.counts.entry(outcome).or_insert(0) += 1,
-                    None => partial.undecided += 1,
-                }
-                scratch = result.final_state;
-            }
-            Ok::<_, SimulationError>(partial)
+        let partials = run_chunked_cancellable(threads, trials, cancel, |range, token| {
+            self.run_range_on(range.start, range.end, token)
         })?;
+        if cancel.is_cancelled() {
+            return Err(SimulationError::Cancelled);
+        }
+        self.merge(partials)
+    }
 
-        // Merge in worker order == trial order (ranges are contiguous and
-        // ascending), so every statistic is thread-count independent.
+    /// Runs the contiguous trial block `[start, end)` on the calling thread
+    /// and returns its [`EnsemblePartial`].
+    ///
+    /// Trial `i` seeds its RNG with `master_seed + i` exactly as the full
+    /// run does, so partials computed anywhere — other threads, other
+    /// processes — merge back into the bit-identical single-threaded report
+    /// via [`Ensemble::merge`]. The `cancel` token is polled between trials;
+    /// a cancelled range returns early with
+    /// [`EnsemblePartial::is_complete`]` == false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidEnsembleConfig`] for an empty or
+    /// out-of-bounds range and propagates per-trajectory errors.
+    pub fn run_range(
+        &self,
+        start: u64,
+        end: u64,
+        cancel: &CancelToken,
+    ) -> Result<EnsemblePartial, SimulationError> {
+        self.validate()?;
+        if start >= end || end > self.options.trials {
+            return Err(SimulationError::InvalidEnsembleConfig {
+                message: format!(
+                    "trial range [{start}, {end}) is not within [0, {})",
+                    self.options.trials
+                ),
+            });
+        }
+        self.run_range_on(start, end, cancel)
+    }
+
+    /// Merges range partials back into the full-ensemble report.
+    ///
+    /// The partials may arrive in any order; they are sorted by range start
+    /// and reduced in trial order, which is what keeps the merged report
+    /// bit-identical to a single-threaded [`Ensemble::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidEnsembleConfig`] unless the
+    /// partials are all complete and cover `0..trials` exactly once.
+    pub fn merge(
+        &self,
+        mut partials: Vec<EnsemblePartial>,
+    ) -> Result<EnsembleReport, SimulationError> {
+        partials.sort_by_key(|p| p.start);
+        let mut expected = 0u64;
+        for partial in &partials {
+            if partial.start != expected {
+                return Err(SimulationError::InvalidEnsembleConfig {
+                    message: format!(
+                        "partials must tile the trial range: expected a range \
+                         starting at {expected}, got [{}, {})",
+                        partial.start, partial.end
+                    ),
+                });
+            }
+            if !partial.is_complete() {
+                return Err(SimulationError::InvalidEnsembleConfig {
+                    message: format!(
+                        "partial [{}, {}) is incomplete ({} of {} trials run)",
+                        partial.start,
+                        partial.end,
+                        partial.done,
+                        partial.end - partial.start
+                    ),
+                });
+            }
+            expected = partial.end;
+        }
+        if expected != self.options.trials {
+            return Err(SimulationError::InvalidEnsembleConfig {
+                message: format!(
+                    "partials cover only {expected} of {} trials",
+                    self.options.trials
+                ),
+            });
+        }
+
+        let trials = self.options.trials;
         let mut counts: BTreeMap<Outcome, u64> = BTreeMap::new();
         let mut undecided = 0u64;
         let mut total_events = 0u64;
@@ -310,6 +406,7 @@ where
         }
         Ok(EnsembleReport {
             trials,
+            master_seed: self.options.master_seed,
             counts: counts
                 .into_iter()
                 .map(|(outcome, count)| OutcomeCount { outcome, count })
@@ -318,6 +415,69 @@ where
             mean_events: total_events as f64 / trials as f64,
             mean_final_time: total_time / trials as f64,
         })
+    }
+
+    fn validate(&self) -> Result<(), SimulationError> {
+        if self.options.trials == 0 {
+            return Err(SimulationError::InvalidEnsembleConfig {
+                message: "trials must be positive".to_string(),
+            });
+        }
+        if self.initial.species_len() != self.crn.species_len() {
+            return Err(SimulationError::StateSizeMismatch {
+                network: self.crn.species_len(),
+                state: self.initial.species_len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared per-range worker body; `start`/`end` are assumed valid.
+    fn run_range_on(
+        &self,
+        start: u64,
+        end: u64,
+        cancel: &CancelToken,
+    ) -> Result<EnsemblePartial, SimulationError> {
+        let mut stepper = self.options.method.stepper();
+        // One state buffer per range, re-primed from the initial state each
+        // trial; `run_trial` hands the allocation back through the result's
+        // `final_state`.
+        let mut scratch = self.initial.clone();
+        let mut partial = EnsemblePartial {
+            start,
+            end,
+            done: 0,
+            counts: BTreeMap::new(),
+            undecided: 0,
+            total_events: 0,
+            final_times: Vec::with_capacity((end - start) as usize),
+        };
+        for trial in start..end {
+            if cancel.is_cancelled() {
+                // Cancelled (or a sibling worker failed); the incomplete
+                // partial is discarded by the caller.
+                break;
+            }
+            let mut rng = StdRng::seed_from_u64(self.options.master_seed.wrapping_add(trial));
+            scratch.clone_from(&self.initial);
+            let result = run_trial(
+                self.crn,
+                stepper.as_mut(),
+                &self.options.simulation,
+                scratch,
+                &mut rng,
+            )?;
+            partial.total_events += result.events;
+            partial.final_times.push(result.final_time);
+            match self.classifier.classify(&result) {
+                Some(outcome) => *partial.counts.entry(outcome).or_insert(0) += 1,
+                None => partial.undecided += 1,
+            }
+            partial.done += 1;
+            scratch = result.final_state;
+        }
+        Ok(partial)
     }
 }
 
@@ -391,6 +551,68 @@ mod tests {
         assert_eq!(report.count("many"), 0);
         assert_eq!(report.undecided_fraction(), 1.0);
         assert_eq!(report.conditional_probability("many"), 0.0);
+    }
+
+    #[test]
+    fn range_partials_merge_to_the_single_threaded_report() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(300).master_seed(9).threads(1));
+        let reference = ensemble.run().unwrap();
+        // Uneven ranges, produced out of order — as a work-stealing
+        // scheduler would.
+        let token = CancelToken::new();
+        let partials = vec![
+            ensemble.run_range(120, 300, &token).unwrap(),
+            ensemble.run_range(0, 7, &token).unwrap(),
+            ensemble.run_range(7, 120, &token).unwrap(),
+        ];
+        assert!(partials.iter().all(EnsemblePartial::is_complete));
+        assert_eq!(partials[1].range(), (0, 7));
+        assert_eq!(partials[1].completed(), 7);
+        let merged = ensemble.merge(partials).unwrap();
+        assert_eq!(merged, reference);
+        assert_eq!(merged.master_seed, 9);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_incomplete_partials() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(100).master_seed(1));
+        let token = CancelToken::new();
+        let head = ensemble.run_range(0, 40, &token).unwrap();
+        // A gap (missing [40, 60)) must be rejected…
+        let tail = ensemble.run_range(60, 100, &token).unwrap();
+        let err = ensemble.merge(vec![head.clone(), tail]).unwrap_err();
+        assert!(matches!(err, SimulationError::InvalidEnsembleConfig { .. }));
+        // …as must partial coverage.
+        let err = ensemble.merge(vec![head]).unwrap_err();
+        assert!(matches!(err, SimulationError::InvalidEnsembleConfig { .. }));
+        // An empty range is invalid up front.
+        let err = ensemble.run_range(10, 10, &token).unwrap_err();
+        assert!(matches!(err, SimulationError::InvalidEnsembleConfig { .. }));
+    }
+
+    #[test]
+    fn cancelled_runs_report_cancellation() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(1_000).master_seed(3));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(matches!(
+            ensemble.run_cancellable(&cancel).unwrap_err(),
+            SimulationError::Cancelled
+        ));
+        // A cancelled range comes back incomplete rather than erroring, so
+        // schedulers can distinguish "stopped early" from "failed".
+        let partial = ensemble.run_range(0, 100, &cancel).unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(partial.completed(), 0);
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub enum SimulationError {
         /// Description of the problem.
         message: String,
     },
+    /// The run was cancelled through an external
+    /// [`CancelToken`](crate::engine::CancelToken) before it finished.
+    Cancelled,
 }
 
 impl fmt::Display for SimulationError {
@@ -46,6 +49,7 @@ impl fmt::Display for SimulationError {
             SimulationError::InvalidEnsembleConfig { message } => {
                 write!(f, "invalid ensemble configuration: {message}")
             }
+            SimulationError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }
@@ -81,6 +85,7 @@ mod tests {
             SimulationError::InvalidEnsembleConfig {
                 message: "zero trials".into(),
             },
+            SimulationError::Cancelled,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

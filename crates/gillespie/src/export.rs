@@ -136,6 +136,7 @@ mod tests {
     fn report_csv_includes_undecided_row() {
         let report = EnsembleReport {
             trials: 10,
+            master_seed: 0,
             counts: vec![
                 OutcomeCount {
                     outcome: Outcome::new("win"),

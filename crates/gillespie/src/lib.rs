@@ -71,7 +71,7 @@ mod trajectory;
 pub use composition_rejection::CompositionRejection;
 pub use direct::DirectMethod;
 pub use engine::ReactionDependencyGraph;
-pub use ensemble::{Ensemble, EnsembleOptions, EnsembleReport, OutcomeCount};
+pub use ensemble::{Ensemble, EnsembleOptions, EnsemblePartial, EnsembleReport, OutcomeCount};
 pub use error::SimulationError;
 pub use first_reaction::FirstReactionMethod;
 pub use next_reaction::NextReactionMethod;

@@ -1,0 +1,1112 @@
+//! Request parsing, canonical cache keys and response rendering.
+//!
+//! Every endpoint's request is parsed into a typed struct up front
+//! (validation errors become `400`s before any work is scheduled), reduced
+//! to a *canonical key string* for the result cache, and executed against
+//! the workspace crates. Canonicalisation goes through the parsed form —
+//! `crn::Crn::to_text`, species resolved to ids, fields in a fixed order —
+//! so two requests that differ only in whitespace, key order or comments
+//! hash to the same result.
+
+use cme::{FirstPassage, PopulationBounds, StateSpace};
+use crn::{Crn, State};
+use gillespie::{
+    EnsembleOptions, EnsembleReport, SimulationOptions, SpeciesThresholdClassifier, StepperKind,
+    StopCondition,
+};
+use numerics::LogLinearFit;
+use synthesis::{LogLinearSynthesizer, SynthesizedResponse};
+
+use crate::error::ServiceError;
+use crate::json::Json;
+
+/// Default hard event limit per trajectory; a safety net against networks
+/// that never satisfy their stop condition.
+pub const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
+
+/// Default priority of submitted jobs (mid-scale).
+pub const DEFAULT_PRIORITY: u8 = 4;
+
+fn bad(message: impl Into<String>) -> ServiceError {
+    ServiceError::bad_request(message)
+}
+
+/// A parsed `POST /simulate` request.
+#[derive(Debug, Clone)]
+pub struct SimulateRequest {
+    /// The parsed network.
+    pub crn: Crn,
+    /// The initial state.
+    pub initial: State,
+    /// Which stepper runs the trials.
+    pub method: StepperKind,
+    /// Number of Monte-Carlo trials.
+    pub trials: u64,
+    /// Master seed (trial `i` uses `seed + i`). Defaults to 0 so every
+    /// request is deterministic — and therefore cacheable.
+    pub seed: u64,
+    /// Per-trajectory stop condition.
+    pub stop: StopCondition,
+    /// Hard per-trajectory event limit.
+    pub max_events: u64,
+    /// Outcome classification rules `(species, threshold, outcome)`.
+    pub rules: Vec<(String, u64, String)>,
+    /// Scheduling priority (transport-level; not part of the cache key).
+    pub priority: u8,
+    /// Whether the response should block until the job finishes.
+    pub wait: bool,
+}
+
+impl SimulateRequest {
+    /// Parses and validates the request body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] naming the offending field; network
+    /// parse errors include the line *and column* from [`crn::parse_network`].
+    pub fn parse(body: &Json) -> Result<SimulateRequest, ServiceError> {
+        let crn = parse_network_field(body)?;
+        let initial = parse_initial(body, &crn)?;
+        let method = match body.get("method") {
+            None => StepperKind::Direct,
+            Some(value) => parse_method(value.as_str("method").map_err(bad)?)?,
+        };
+        let trials = body
+            .get("trials")
+            .ok_or_else(|| bad("missing `trials`"))?
+            .as_u64("trials")
+            .map_err(bad)?;
+        if trials == 0 {
+            return Err(bad("`trials` must be positive"));
+        }
+        let seed = opt_u64(body, "seed")?.unwrap_or(0);
+        let max_events = opt_u64(body, "max_events")?.unwrap_or(DEFAULT_MAX_EVENTS);
+        let stop = match body.get("stop") {
+            None => StopCondition::Exhaustion,
+            Some(value) => parse_stop(value, &crn)?,
+        };
+        let mut rules = Vec::new();
+        if let Some(value) = body.get("classifier") {
+            for (i, rule) in value
+                .as_array("classifier")
+                .map_err(bad)?
+                .iter()
+                .enumerate()
+            {
+                let what = format!("classifier[{i}]");
+                let species = rule
+                    .get("species")
+                    .ok_or_else(|| bad(format!("{what} missing `species`")))?
+                    .as_str(&what)
+                    .map_err(bad)?
+                    .to_string();
+                if crn.species_id(&species).is_none() {
+                    return Err(bad(format!("{what}: unknown species `{species}`")));
+                }
+                let threshold = rule
+                    .get("at_least")
+                    .ok_or_else(|| bad(format!("{what} missing `at_least`")))?
+                    .as_u64(&what)
+                    .map_err(bad)?;
+                let outcome = rule
+                    .get("outcome")
+                    .ok_or_else(|| bad(format!("{what} missing `outcome`")))?
+                    .as_str(&what)
+                    .map_err(bad)?
+                    .to_string();
+                rules.push((species, threshold, outcome));
+            }
+        }
+        let priority = parse_priority(body)?;
+        let wait = opt_bool(body, "wait")?.unwrap_or(false);
+        Ok(SimulateRequest {
+            crn,
+            initial,
+            method,
+            trials,
+            seed,
+            stop,
+            max_events,
+            rules,
+            priority,
+            wait,
+        })
+    }
+
+    /// The canonical cache key: every field that determines the result, in
+    /// a fixed order, with the network in its canonical label-free text
+    /// form.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "simulate|v1|{}|initial={}|method={}|trials={}|seed={}|stop={}|max_events={}|rules={}",
+            canon_network(&self.crn),
+            canon_state(&self.crn, &self.initial),
+            self.method.name(),
+            self.trials,
+            self.seed,
+            canon_stop(&self.stop),
+            self.max_events,
+            self.rules
+                .iter()
+                .map(|(s, t, o)| format!("{s}>={t}=>{o}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Builds the classifier from the parsed rules.
+    ///
+    /// # Errors
+    ///
+    /// Species were validated at parse time; this only fails if the network
+    /// changed underneath, which cannot happen for an owned request.
+    pub fn classifier(&self) -> Result<SpeciesThresholdClassifier, ServiceError> {
+        let mut classifier = SpeciesThresholdClassifier::new();
+        for (species, threshold, outcome) in &self.rules {
+            classifier = classifier
+                .rule_named(&self.crn, species, *threshold, outcome.as_str())
+                .map_err(|e| bad(e.to_string()))?;
+        }
+        Ok(classifier)
+    }
+
+    /// The ensemble options equivalent to this request.
+    pub fn ensemble_options(&self) -> EnsembleOptions {
+        EnsembleOptions::new()
+            .trials(self.trials)
+            .master_seed(self.seed)
+            .method(self.method)
+            .simulation(
+                SimulationOptions::new()
+                    .stop(self.stop.clone())
+                    .max_events(self.max_events),
+            )
+    }
+
+    /// Renders the result body for a finished ensemble.
+    pub fn render_report(&self, report: &EnsembleReport) -> String {
+        let counts: Vec<(String, Json)> = report
+            .counts
+            .iter()
+            .map(|c| (c.outcome.as_str().to_string(), Json::count(c.count)))
+            .collect();
+        Json::object([
+            ("kind", Json::str("simulate")),
+            ("method", Json::str(self.method.name())),
+            ("trials", Json::count(report.trials)),
+            ("seed", Json::count(report.master_seed)),
+            (
+                "report",
+                Json::Object(vec![
+                    ("counts".to_string(), Json::Object(counts)),
+                    ("undecided".to_string(), Json::count(report.undecided)),
+                    ("mean_events".to_string(), Json::num(report.mean_events)),
+                    (
+                        "mean_final_time".to_string(),
+                        Json::num(report.mean_final_time),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// The analysis a `POST /exact` request asks for.
+#[derive(Debug, Clone)]
+pub enum ExactAnalysis {
+    /// Exact absorption probabilities into outcome classes.
+    FirstPassage {
+        /// `(outcome name, species, threshold)` triples.
+        outcomes: Vec<(String, String, u64)>,
+    },
+    /// The transient distribution at time `t`.
+    Transient {
+        /// The solution time.
+        t: f64,
+        /// Poisson-tail tolerance of the uniformization series.
+        tolerance: f64,
+        /// Species whose marginals/expectations the response reports.
+        species: Vec<String>,
+    },
+}
+
+/// A parsed `POST /exact` request.
+#[derive(Debug, Clone)]
+pub struct ExactRequest {
+    /// The parsed network.
+    pub crn: Crn,
+    /// The initial state.
+    pub initial: State,
+    /// Population bounds for the state-space enumeration.
+    pub bounds: PopulationBounds,
+    /// Canonical rendering of the bounds (kept from parse time because
+    /// [`PopulationBounds`] is consumed opaquely).
+    bounds_canonical: String,
+    /// The requested analysis.
+    pub analysis: ExactAnalysis,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Whether to block until done.
+    pub wait: bool,
+}
+
+impl ExactRequest {
+    /// Parses and validates the request body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] naming the offending field.
+    pub fn parse(body: &Json) -> Result<ExactRequest, ServiceError> {
+        let crn = parse_network_field(body)?;
+        let initial = parse_initial(body, &crn)?;
+        let (bounds, bounds_canonical) =
+            parse_bounds(body.get("bounds").ok_or_else(|| bad("missing `bounds`"))?)?;
+        let analysis_value = body
+            .get("analysis")
+            .ok_or_else(|| bad("missing `analysis`"))?;
+        let kind = analysis_value
+            .get("type")
+            .ok_or_else(|| bad("`analysis` missing `type`"))?
+            .as_str("analysis.type")
+            .map_err(bad)?;
+        let analysis = match kind {
+            "first_passage" => {
+                let mut outcomes = Vec::new();
+                for (i, outcome) in analysis_value
+                    .get("outcomes")
+                    .ok_or_else(|| bad("first_passage analysis missing `outcomes`"))?
+                    .as_array("analysis.outcomes")
+                    .map_err(bad)?
+                    .iter()
+                    .enumerate()
+                {
+                    let what = format!("analysis.outcomes[{i}]");
+                    let name = outcome
+                        .get("name")
+                        .ok_or_else(|| bad(format!("{what} missing `name`")))?
+                        .as_str(&what)
+                        .map_err(bad)?
+                        .to_string();
+                    let species = outcome
+                        .get("species")
+                        .ok_or_else(|| bad(format!("{what} missing `species`")))?
+                        .as_str(&what)
+                        .map_err(bad)?
+                        .to_string();
+                    if crn.species_id(&species).is_none() {
+                        return Err(bad(format!("{what}: unknown species `{species}`")));
+                    }
+                    let at_least = outcome
+                        .get("at_least")
+                        .ok_or_else(|| bad(format!("{what} missing `at_least`")))?
+                        .as_u64(&what)
+                        .map_err(bad)?;
+                    outcomes.push((name, species, at_least));
+                }
+                if outcomes.is_empty() {
+                    return Err(bad("first_passage analysis needs at least one outcome"));
+                }
+                ExactAnalysis::FirstPassage { outcomes }
+            }
+            "transient" => {
+                let t = analysis_value
+                    .get("t")
+                    .ok_or_else(|| bad("transient analysis missing `t`"))?
+                    .as_f64("analysis.t")
+                    .map_err(bad)?;
+                let tolerance = match analysis_value.get("tolerance") {
+                    None => 1e-12,
+                    Some(value) => value.as_f64("analysis.tolerance").map_err(bad)?,
+                };
+                let mut species = Vec::new();
+                if let Some(value) = analysis_value.get("species") {
+                    for item in value.as_array("analysis.species").map_err(bad)? {
+                        let name = item.as_str("analysis.species[]").map_err(bad)?;
+                        if crn.species_id(name).is_none() {
+                            return Err(bad(format!("analysis.species: unknown species `{name}`")));
+                        }
+                        species.push(name.to_string());
+                    }
+                }
+                ExactAnalysis::Transient {
+                    t,
+                    tolerance,
+                    species,
+                }
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown analysis type `{other}` (expected `first_passage` or `transient`)"
+                )))
+            }
+        };
+        Ok(ExactRequest {
+            crn,
+            initial,
+            bounds,
+            bounds_canonical,
+            analysis,
+            priority: parse_priority(body)?,
+            wait: opt_bool(body, "wait")?.unwrap_or(false),
+        })
+    }
+
+    /// The canonical cache key.
+    pub fn cache_key(&self) -> String {
+        let analysis = match &self.analysis {
+            ExactAnalysis::FirstPassage { outcomes } => format!(
+                "first_passage:{}",
+                outcomes
+                    .iter()
+                    .map(|(n, s, t)| format!("{n}={s}>={t}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            ExactAnalysis::Transient {
+                t,
+                tolerance,
+                species,
+            } => format!(
+                "transient:t={t}:tol={tolerance}:species={}",
+                species.join(",")
+            ),
+        };
+        format!(
+            "exact|v1|{}|initial={}|bounds={}|analysis={analysis}",
+            canon_network(&self.crn),
+            canon_state(&self.crn, &self.initial),
+            self.bounds_canonical,
+        )
+    }
+
+    /// Runs the analysis and renders the result body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::JobFailed`] wrapping the CME error.
+    pub fn execute(&self) -> Result<String, ServiceError> {
+        let failed = |e: cme::CmeError| ServiceError::JobFailed {
+            message: e.to_string(),
+        };
+        match &self.analysis {
+            ExactAnalysis::FirstPassage { outcomes } => {
+                let mut passage = FirstPassage::new(&self.crn);
+                for (name, species, at_least) in outcomes {
+                    passage = passage
+                        .outcome_species_at_least(name.as_str(), species, *at_least)
+                        .map_err(failed)?;
+                }
+                let distribution = passage.solve(&self.initial, &self.bounds).map_err(failed)?;
+                let probabilities: Vec<(String, Json)> = distribution
+                    .names()
+                    .iter()
+                    .zip(distribution.probabilities())
+                    .map(|(name, &p)| (name.clone(), Json::num(p)))
+                    .collect();
+                Ok(Json::object([
+                    ("kind", Json::str("exact")),
+                    ("analysis", Json::str("first_passage")),
+                    ("states", Json::count(distribution.states() as u64)),
+                    ("probabilities", Json::Object(probabilities)),
+                    ("undecided", Json::num(distribution.undecided())),
+                    ("escaped", Json::num(distribution.escaped())),
+                ])
+                .render())
+            }
+            ExactAnalysis::Transient {
+                t,
+                tolerance,
+                species,
+            } => {
+                let space = StateSpace::enumerate(&self.crn, &self.initial, &self.bounds)
+                    .map_err(failed)?;
+                let solution = space.transient(*t, *tolerance).map_err(failed)?;
+                let mut expectations = Vec::new();
+                let mut marginals = Vec::new();
+                for name in species {
+                    let id = self
+                        .crn
+                        .species_id(name)
+                        .expect("species validated at parse time");
+                    expectations.push((
+                        name.clone(),
+                        Json::num(space.expectation(&solution.probabilities, id)),
+                    ));
+                    marginals.push((
+                        name.clone(),
+                        Json::Array(
+                            space
+                                .marginal(&solution.probabilities, id)
+                                .into_iter()
+                                .map(Json::num)
+                                .collect(),
+                        ),
+                    ));
+                }
+                Ok(Json::object([
+                    ("kind", Json::str("exact")),
+                    ("analysis", Json::str("transient")),
+                    ("t", Json::num(*t)),
+                    ("states", Json::count(space.len() as u64)),
+                    ("truncation_error", Json::num(solution.truncation_error)),
+                    ("leaked", Json::num(solution.leaked)),
+                    ("expectations", Json::Object(expectations)),
+                    ("marginals", Json::Object(marginals)),
+                ])
+                .render())
+            }
+        }
+    }
+}
+
+/// A parsed `POST /synthesize` request.
+#[derive(Debug, Clone)]
+pub struct SynthesizeRequest {
+    /// The input species name.
+    pub input: String,
+    /// Response coefficients `(constant, log2, linear)`, in percent of the
+    /// probability pool.
+    pub coefficients: (f64, f64, f64),
+    /// Outcome names `(tracked, complement)`.
+    pub outcomes: (String, String),
+    /// Output species names `(tracked, complement)`.
+    pub outputs: (String, String),
+    /// Output thresholds declaring each outcome.
+    pub thresholds: (u64, u64),
+    /// Food quantities feeding the working reactions.
+    pub food: (u64, u64),
+    /// Size of the probability-carrying pool.
+    pub input_total: u64,
+    /// Expected input range, guiding stoichiometry selection.
+    pub input_range: (u64, u64),
+    /// Optional γ override of the embedded stochastic module.
+    pub gamma: Option<f64>,
+    /// Input quantities to analyse exactly through the CME.
+    pub evaluate: Vec<u64>,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Whether to block until done.
+    pub wait: bool,
+}
+
+impl SynthesizeRequest {
+    /// Parses and validates the request body.
+    ///
+    /// The paper's lambda-phage response is available as
+    /// `{"preset": "lambda"}` (Equation 14 with the `lambda` crate's
+    /// thresholds); explicit fields override preset values.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] naming the offending field.
+    pub fn parse(body: &Json) -> Result<SynthesizeRequest, ServiceError> {
+        let preset = match body.get("preset") {
+            None => None,
+            Some(value) => Some(value.as_str("preset").map_err(bad)?),
+        };
+        let mut request = match preset {
+            None => SynthesizeRequest {
+                input: String::new(),
+                coefficients: (0.0, 0.0, 0.0),
+                outcomes: ("T1".to_string(), "T2".to_string()),
+                outputs: ("out1".to_string(), "out2".to_string()),
+                thresholds: (10, 10),
+                food: (100, 100),
+                input_total: 100,
+                input_range: (1, 10),
+                gamma: None,
+                evaluate: Vec::new(),
+                priority: DEFAULT_PRIORITY,
+                wait: false,
+            },
+            Some("lambda") => {
+                let eq14 = lambda::equation_14();
+                SynthesizeRequest {
+                    input: "moi".to_string(),
+                    coefficients: (
+                        eq14.constant(),
+                        eq14.log_coefficient(),
+                        eq14.linear_coefficient(),
+                    ),
+                    outcomes: (lambda::LYSIS.to_string(), lambda::LYSOGENY.to_string()),
+                    outputs: ("cro2".to_string(), "ci2".to_string()),
+                    thresholds: (lambda::CRO2_THRESHOLD, lambda::CI2_THRESHOLD),
+                    food: (200, 300),
+                    input_total: 100,
+                    input_range: (1, 10),
+                    gamma: None,
+                    evaluate: Vec::new(),
+                    priority: DEFAULT_PRIORITY,
+                    wait: false,
+                }
+            }
+            Some(other) => {
+                return Err(bad(format!("unknown preset `{other}` (expected `lambda`)")))
+            }
+        };
+
+        if let Some(value) = body.get("input") {
+            request.input = value.as_str("input").map_err(bad)?.to_string();
+        }
+        if let Some(value) = body.get("response") {
+            let field = |key: &str| -> Result<f64, ServiceError> {
+                value
+                    .get(key)
+                    .ok_or_else(|| bad(format!("`response` missing `{key}`")))?
+                    .as_f64(&format!("response.{key}"))
+                    .map_err(bad)
+            };
+            request.coefficients = (field("constant")?, field("log2")?, field("linear")?);
+        } else if preset.is_none() {
+            return Err(bad("missing `response` (or a `preset`)"));
+        }
+        if request.input.is_empty() {
+            return Err(bad("missing `input`"));
+        }
+        if let Some(value) = body.get("outcomes") {
+            request.outcomes = parse_pair_str(value, "outcomes")?;
+        }
+        if let Some(value) = body.get("outputs") {
+            request.outputs = parse_pair_str(value, "outputs")?;
+        }
+        if let Some(value) = body.get("thresholds") {
+            request.thresholds = parse_pair_u64(value, "thresholds")?;
+        }
+        if let Some(value) = body.get("food") {
+            request.food = parse_pair_u64(value, "food")?;
+        }
+        if let Some(value) = body.get("input_total") {
+            request.input_total = value.as_u64("input_total").map_err(bad)?;
+        }
+        if let Some(value) = body.get("input_range") {
+            request.input_range = parse_pair_u64(value, "input_range")?;
+        }
+        if let Some(value) = body.get("gamma") {
+            request.gamma = Some(value.as_f64("gamma").map_err(bad)?);
+        }
+        if let Some(value) = body.get("evaluate") {
+            for item in value.as_array("evaluate").map_err(bad)? {
+                request
+                    .evaluate
+                    .push(item.as_u64("evaluate[]").map_err(bad)?);
+            }
+        }
+        request.priority = parse_priority(body)?;
+        request.wait = opt_bool(body, "wait")?.unwrap_or(false);
+        Ok(request)
+    }
+
+    /// The canonical cache key.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "synthesize|v1|input={}|a={}|b={}|c={}|outcomes={},{}|outputs={},{}|thresholds={},{}\
+             |food={},{}|input_total={}|range={},{}|gamma={}|evaluate={}",
+            self.input,
+            self.coefficients.0,
+            self.coefficients.1,
+            self.coefficients.2,
+            self.outcomes.0,
+            self.outcomes.1,
+            self.outputs.0,
+            self.outputs.1,
+            self.thresholds.0,
+            self.thresholds.1,
+            self.food.0,
+            self.food.1,
+            self.input_total,
+            self.input_range.0,
+            self.input_range.1,
+            self.gamma.map_or("default".to_string(), |g| g.to_string()),
+            self.evaluate
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Runs the synthesis pipeline (and the exact evaluations) and renders
+    /// the result body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::JobFailed`] wrapping the synthesis/CME error.
+    pub fn execute(&self) -> Result<String, ServiceError> {
+        let failed = |e: synthesis::SynthesisError| ServiceError::JobFailed {
+            message: e.to_string(),
+        };
+        let fit = LogLinearFit::from_coefficients(
+            self.coefficients.0,
+            self.coefficients.1,
+            self.coefficients.2,
+        );
+        let mut synthesizer = LogLinearSynthesizer::new(self.input.clone(), fit)
+            .outcomes(self.outcomes.0.clone(), self.outcomes.1.clone())
+            .outputs(self.outputs.0.clone(), self.outputs.1.clone())
+            .thresholds(self.thresholds.0, self.thresholds.1)
+            .food(self.food.0, self.food.1)
+            .input_total(self.input_total)
+            .input_range(self.input_range.0, self.input_range.1);
+        if let Some(gamma) = self.gamma {
+            synthesizer = synthesizer.stochastic_gamma(gamma);
+        }
+        let synthesized: SynthesizedResponse = synthesizer.synthesize().map_err(failed)?;
+
+        let mut evaluations = Vec::new();
+        for &x in &self.evaluate {
+            let analysis = synthesized
+                .exact_outcome_analysis(x, &synthesized.exact_bounds(x))
+                .map_err(failed)?;
+            let probabilities: Vec<(String, Json)> = analysis
+                .names()
+                .iter()
+                .zip(analysis.probabilities())
+                .map(|(name, &p)| (name.clone(), Json::num(p)))
+                .collect();
+            evaluations.push(Json::object([
+                ("x", Json::count(x)),
+                ("predicted", Json::num(synthesized.predicted_probability(x))),
+                ("exact", Json::Object(probabilities)),
+                ("undecided", Json::num(analysis.undecided())),
+                ("escaped", Json::num(analysis.escaped())),
+            ]));
+        }
+
+        let crn = synthesized.crn();
+        Ok(Json::object([
+            ("kind", Json::str("synthesize")),
+            ("network", Json::str(crn.to_text())),
+            ("species", Json::count(crn.species_len() as u64)),
+            ("reactions", Json::count(crn.reactions().len() as u64)),
+            ("tracked_outcome", Json::str(self.outcomes.0.clone())),
+            ("evaluations", Json::Array(evaluations)),
+        ])
+        .render())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared field parsers and canonical renderers.
+// ---------------------------------------------------------------------------
+
+fn parse_network_field(body: &Json) -> Result<Crn, ServiceError> {
+    let text = body
+        .get("network")
+        .ok_or_else(|| bad("missing `network`"))?
+        .as_str("network")
+        .map_err(bad)?;
+    crn::parse_network(text).map_err(|e| bad(e.to_string()))
+}
+
+fn parse_initial(body: &Json, crn: &Crn) -> Result<State, ServiceError> {
+    let mut state = crn.zero_state();
+    if let Some(value) = body.get("initial") {
+        for (name, count) in value.as_object("initial").map_err(bad)? {
+            let id = crn
+                .species_id(name)
+                .ok_or_else(|| bad(format!("initial: unknown species `{name}`")))?;
+            state.set(id, count.as_u64(&format!("initial.{name}")).map_err(bad)?);
+        }
+    }
+    Ok(state)
+}
+
+fn parse_method(name: &str) -> Result<StepperKind, ServiceError> {
+    StepperKind::ALL
+        .into_iter()
+        .find(|kind| kind.name() == name)
+        .ok_or_else(|| {
+            bad(format!(
+                "unknown method `{name}` (expected one of {})",
+                StepperKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+fn parse_stop(value: &Json, crn: &Crn) -> Result<StopCondition, ServiceError> {
+    let kind = value
+        .get("type")
+        .ok_or_else(|| bad("`stop` missing `type`"))?
+        .as_str("stop.type")
+        .map_err(bad)?;
+    match kind {
+        "exhaustion" => Ok(StopCondition::Exhaustion),
+        "time" => Ok(StopCondition::Time(
+            value
+                .get("t")
+                .ok_or_else(|| bad("time stop missing `t`"))?
+                .as_f64("stop.t")
+                .map_err(bad)?,
+        )),
+        "events" => Ok(StopCondition::Events(
+            value
+                .get("n")
+                .ok_or_else(|| bad("events stop missing `n`"))?
+                .as_u64("stop.n")
+                .map_err(bad)?,
+        )),
+        "species_at_least" | "species_at_most" => {
+            let species = value
+                .get("species")
+                .ok_or_else(|| bad(format!("{kind} stop missing `species`")))?
+                .as_str("stop.species")
+                .map_err(bad)?;
+            let id = crn
+                .species_id(species)
+                .ok_or_else(|| bad(format!("stop: unknown species `{species}`")))?;
+            let count = value
+                .get("count")
+                .ok_or_else(|| bad(format!("{kind} stop missing `count`")))?
+                .as_u64("stop.count")
+                .map_err(bad)?;
+            Ok(if kind == "species_at_least" {
+                StopCondition::species_at_least(id, count)
+            } else {
+                StopCondition::species_at_most(id, count)
+            })
+        }
+        "any_of" | "all_of" => {
+            let nested = value
+                .get("conditions")
+                .ok_or_else(|| bad(format!("{kind} stop missing `conditions`")))?
+                .as_array("stop.conditions")
+                .map_err(bad)?
+                .iter()
+                .map(|v| parse_stop(v, crn))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(if kind == "any_of" {
+                StopCondition::any_of(nested)
+            } else {
+                StopCondition::all_of(nested)
+            })
+        }
+        other => Err(bad(format!("unknown stop type `{other}`"))),
+    }
+}
+
+fn parse_priority(body: &Json) -> Result<u8, ServiceError> {
+    match opt_u64(body, "priority")? {
+        None => Ok(DEFAULT_PRIORITY),
+        Some(p) if p <= 9 => Ok(p as u8),
+        Some(p) => Err(bad(format!("priority {p} out of range 0..=9"))),
+    }
+}
+
+fn opt_u64(body: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(value) => value.as_u64(key).map(Some).map_err(bad),
+    }
+}
+
+fn opt_bool(body: &Json, key: &str) -> Result<Option<bool>, ServiceError> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(value) => value.as_bool(key).map(Some).map_err(bad),
+    }
+}
+
+fn parse_pair_str(value: &Json, what: &str) -> Result<(String, String), ServiceError> {
+    let items = value.as_array(what).map_err(bad)?;
+    if items.len() != 2 {
+        return Err(bad(format!("`{what}` must be a two-element array")));
+    }
+    Ok((
+        items[0].as_str(what).map_err(bad)?.to_string(),
+        items[1].as_str(what).map_err(bad)?.to_string(),
+    ))
+}
+
+fn parse_pair_u64(value: &Json, what: &str) -> Result<(u64, u64), ServiceError> {
+    let items = value.as_array(what).map_err(bad)?;
+    if items.len() != 2 {
+        return Err(bad(format!("`{what}` must be a two-element array")));
+    }
+    Ok((
+        items[0].as_u64(what).map_err(bad)?,
+        items[1].as_u64(what).map_err(bad)?,
+    ))
+}
+
+fn parse_bounds(value: &Json) -> Result<(PopulationBounds, String), ServiceError> {
+    let policy = match value.get("policy") {
+        None => "strict",
+        Some(v) => v.as_str("bounds.policy").map_err(bad)?,
+    };
+    let default_cap = value
+        .get("default_cap")
+        .ok_or_else(|| bad("`bounds` missing `default_cap`"))?
+        .as_u64("bounds.default_cap")
+        .map_err(bad)?;
+    let mut bounds = match policy {
+        "strict" => PopulationBounds::strict(default_cap),
+        "truncating" => PopulationBounds::truncating(default_cap),
+        other => {
+            return Err(bad(format!(
+                "unknown bounds policy `{other}` (expected `strict` or `truncating`)"
+            )))
+        }
+    };
+    let mut caps: Vec<(String, u64)> = Vec::new();
+    if let Some(value) = value.get("caps") {
+        for (name, cap) in value.as_object("bounds.caps").map_err(bad)? {
+            caps.push((
+                name.clone(),
+                cap.as_u64(&format!("bounds.caps.{name}")).map_err(bad)?,
+            ));
+        }
+    }
+    caps.sort();
+    for (name, cap) in &caps {
+        bounds = bounds.cap(name.clone(), *cap);
+    }
+    let max_states = opt_u64(value, "max_states")?;
+    if let Some(max_states) = max_states {
+        bounds = bounds.max_states(max_states as usize);
+    }
+    let canonical = format!(
+        "{policy}:{default_cap}:caps={}:max_states={}",
+        caps.iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        max_states.map_or("default".to_string(), |m| m.to_string()),
+    );
+    Ok((bounds, canonical))
+}
+
+/// Renders a network canonically for cache keys: one reaction per line in
+/// the standard notation, with reaction *labels* stripped — labels are
+/// documentation, not dynamics, so two networks differing only in comments
+/// must hash identically.
+fn canon_network(crn: &Crn) -> String {
+    let mut out = String::new();
+    for reaction in crn.reactions() {
+        let rendered = crn.render_reaction(reaction);
+        // `render_reaction` appends labels as `  # label`.
+        let dynamics = rendered.split("  # ").next().unwrap_or(&rendered);
+        out.push_str(dynamics);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a state canonically as `name=count` pairs in species-id order,
+/// omitting zeros.
+fn canon_state(crn: &Crn, state: &State) -> String {
+    crn.species()
+        .iter()
+        .filter_map(|species| {
+            let count = state.count(species.id());
+            (count > 0).then(|| format!("{}={count}", species.name()))
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders a stop condition canonically (species by id, fixed field order).
+fn canon_stop(stop: &StopCondition) -> String {
+    match stop {
+        StopCondition::Exhaustion => "exhaustion".to_string(),
+        StopCondition::Time(t) => format!("time({t})"),
+        StopCondition::Events(n) => format!("events({n})"),
+        StopCondition::SpeciesAtLeast { species, count } => {
+            format!("at_least(s{}:{count})", species.index())
+        }
+        StopCondition::SpeciesAtMost { species, count } => {
+            format!("at_most(s{}:{count})", species.index())
+        }
+        StopCondition::AnyOf(conditions) => format!(
+            "any_of[{}]",
+            conditions
+                .iter()
+                .map(canon_stop)
+                .collect::<Vec<_>>()
+                .join(";")
+        ),
+        StopCondition::AllOf(conditions) => format!(
+            "all_of[{}]",
+            conditions
+                .iter()
+                .map(canon_stop)
+                .collect::<Vec<_>>()
+                .join(";")
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn simulate_body(network: &str, extra: &str) -> Json {
+        parse(&format!(
+            "{{\"network\":\"{}\",\"trials\":100{extra}}}",
+            network.replace('\n', "\\n")
+        ))
+        .expect("test body parses")
+    }
+
+    #[test]
+    fn simulate_requests_parse_with_defaults() {
+        let body = simulate_body("x -> h @ 3\nx -> t @ 1", ",\"initial\":{\"x\":1}");
+        let request = SimulateRequest::parse(&body).unwrap();
+        assert_eq!(request.trials, 100);
+        assert_eq!(request.seed, 0);
+        assert_eq!(request.method, StepperKind::Direct);
+        assert_eq!(request.max_events, DEFAULT_MAX_EVENTS);
+        assert_eq!(request.priority, DEFAULT_PRIORITY);
+        assert!(!request.wait);
+        assert_eq!(
+            request.initial.count(request.crn.species_id("x").unwrap()),
+            1
+        );
+    }
+
+    #[test]
+    fn equivalent_bodies_share_a_cache_key() {
+        // Whitespace, comments and field order do not affect the key…
+        let a = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"seed\":7",
+        );
+        let b = parse(
+            "{\"seed\":7,\"trials\":100,\"initial\":{\"x\":1},\
+             \"network\":\"x  ->  h @ 3   # fast\\nx -> t @ 1\"}",
+        )
+        .unwrap();
+        let key_a = SimulateRequest::parse(&a).unwrap().cache_key();
+        let key_b = SimulateRequest::parse(&b).unwrap().cache_key();
+        assert_eq!(key_a, key_b);
+        // …but the seed does.
+        let c = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"seed\":8",
+        );
+        assert_ne!(key_a, SimulateRequest::parse(&c).unwrap().cache_key());
+    }
+
+    #[test]
+    fn network_errors_surface_line_and_column() {
+        let body = simulate_body("x -> h @ fast", "");
+        let err = SimulateRequest::parse(&body).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("line 1, column 10"),
+            "expected a line+column parse error, got: {message}"
+        );
+    }
+
+    #[test]
+    fn stop_conditions_parse_recursively() {
+        let body = parse(
+            "{\"network\":\"a -> b @ 1\",\"trials\":5,\"stop\":{\
+             \"type\":\"any_of\",\"conditions\":[\
+             {\"type\":\"time\",\"t\":4.5},\
+             {\"type\":\"species_at_least\",\"species\":\"b\",\"count\":3}]}}",
+        )
+        .unwrap();
+        let request = SimulateRequest::parse(&body).unwrap();
+        assert_eq!(
+            canon_stop(&request.stop),
+            "any_of[time(4.5);at_least(s1:3)]"
+        );
+    }
+
+    #[test]
+    fn bad_fields_name_the_problem() {
+        for (body, needle) in [
+            ("{\"trials\":1}", "missing `network`"),
+            ("{\"network\":\"a -> b @ 1\"}", "missing `trials`"),
+            (
+                "{\"network\":\"a -> b @ 1\",\"trials\":0}",
+                "must be positive",
+            ),
+            (
+                "{\"network\":\"a -> b @ 1\",\"trials\":1,\"method\":\"magic\"}",
+                "unknown method",
+            ),
+            (
+                "{\"network\":\"a -> b @ 1\",\"trials\":1,\"priority\":99}",
+                "out of range",
+            ),
+            (
+                "{\"network\":\"a -> b @ 1\",\"trials\":1,\"initial\":{\"zz\":1}}",
+                "unknown species",
+            ),
+        ] {
+            let err = SimulateRequest::parse(&parse(body).unwrap()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "body {body}: expected `{needle}` in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_request_round_trips_a_first_passage() {
+        let body = parse(
+            "{\"network\":\"x -> heads @ 3\\nx -> tails @ 1\",\
+             \"initial\":{\"x\":1},\
+             \"bounds\":{\"policy\":\"strict\",\"default_cap\":1},\
+             \"analysis\":{\"type\":\"first_passage\",\"outcomes\":[\
+             {\"name\":\"heads\",\"species\":\"heads\",\"at_least\":1},\
+             {\"name\":\"tails\",\"species\":\"tails\",\"at_least\":1}]}}",
+        )
+        .unwrap();
+        let request = ExactRequest::parse(&body).unwrap();
+        let rendered = request.execute().unwrap();
+        let result = parse(&rendered).unwrap();
+        let p = result
+            .get("probabilities")
+            .unwrap()
+            .get("heads")
+            .unwrap()
+            .as_f64("heads")
+            .unwrap();
+        assert!((p - 0.75).abs() < 1e-12, "exact heads probability: {p}");
+        assert!(request.cache_key().contains("first_passage"));
+    }
+
+    #[test]
+    fn exact_transient_reports_expectations() {
+        let body = parse(
+            "{\"network\":\"a -> b @ 1\",\
+             \"initial\":{\"a\":3},\
+             \"bounds\":{\"default_cap\":3},\
+             \"analysis\":{\"type\":\"transient\",\"t\":0.5,\"species\":[\"a\",\"b\"]}}",
+        )
+        .unwrap();
+        let request = ExactRequest::parse(&body).unwrap();
+        let result = parse(&request.execute().unwrap()).unwrap();
+        let expect_a = result
+            .get("expectations")
+            .unwrap()
+            .get("a")
+            .unwrap()
+            .as_f64("a")
+            .unwrap();
+        // E[a](t) = 3·e^{-t}.
+        assert!((expect_a - 3.0 * (-0.5f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthesize_lambda_preset_fills_equation_14() {
+        let body = parse("{\"preset\":\"lambda\",\"evaluate\":[]}").unwrap();
+        let request = SynthesizeRequest::parse(&body).unwrap();
+        assert_eq!(request.input, "moi");
+        assert_eq!(request.coefficients.0, 15.0);
+        assert_eq!(request.outcomes.0, "lysis");
+        assert_eq!(request.thresholds, (55, 145));
+        // Overrides apply on top of the preset.
+        let body = parse("{\"preset\":\"lambda\",\"input_total\":8}").unwrap();
+        assert_eq!(SynthesizeRequest::parse(&body).unwrap().input_total, 8);
+    }
+}

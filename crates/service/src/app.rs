@@ -1,0 +1,579 @@
+//! The assembled service: endpoints wired to the scheduler, cache and
+//! metrics, plus the [`serve`] entry point used by `stochsynthd`, the
+//! examples and the integration tests.
+//!
+//! # Endpoints
+//!
+//! | Route | Behaviour |
+//! |---|---|
+//! | `POST /simulate` | Ensemble job (any [`StepperKind`](gillespie::StepperKind)); cached |
+//! | `POST /exact` | CME first-passage / transient analysis; cached |
+//! | `POST /synthesize` | The paper's synthesis pipeline + exact evaluation; cached |
+//! | `GET /jobs/:id` | Job status, or the result body once completed |
+//! | `DELETE /jobs/:id` | Cancels a queued or running job |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Request, cache and scheduler counters |
+//! | `POST /shutdown` | Loopback-only graceful drain |
+//!
+//! Result-bearing responses carry a `cache: hit|miss` header; bodies are
+//! **byte-identical** between a fresh computation and its cached replay
+//! (the cache stores rendered bytes, and the engine is deterministic for a
+//! fixed seed), so the header is the *only* way to tell them apart.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use gillespie::{Ensemble, EnsemblePartial};
+
+use crate::api::{ExactRequest, SimulateRequest, SynthesizeRequest};
+use crate::cache::ResultCache;
+use crate::error::ServiceError;
+use crate::http::{Method, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::router::{RouteContext, Router};
+use crate::scheduler::{
+    ChunkOutput, JobId, JobSnapshot, JobState, JobWork, Scheduler, SubmitError,
+};
+use crate::server::{Server, ServerHandle};
+
+/// How long a `wait: true` submission blocks before degrading to a `202`
+/// status response the client can poll.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Scheduler worker threads (0 = one per CPU).
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 256,
+            cache_capacity: 256,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The shared state behind every route handler.
+pub struct App {
+    scheduler: Scheduler,
+    cache: ResultCache,
+    metrics: Metrics,
+    config: ServiceConfig,
+    /// Set once the listener is bound; `/shutdown` self-connects through it
+    /// to wake the accept loop.
+    local_addr: OnceLock<SocketAddr>,
+    /// Raised by `/shutdown`; checked by the accept loop.
+    stopping: Mutex<bool>,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "App({:?})", self.config)
+    }
+}
+
+impl App {
+    /// Creates the service state (scheduler workers start immediately).
+    pub fn new(config: ServiceConfig) -> Arc<App> {
+        Arc::new(App {
+            scheduler: Scheduler::new(config.workers, config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            config,
+            local_addr: OnceLock::new(),
+            stopping: Mutex::new(false),
+        })
+    }
+
+    /// The scheduler, for embedders and tests.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The result cache, for embedders and tests.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Builds the route table for this app.
+    pub fn router(self: &Arc<App>) -> Router {
+        let mut router = Router::new();
+        let app = Arc::clone(self);
+        router.route(Method::Post, "/simulate", move |ctx| {
+            Metrics::bump(&app.metrics.simulate_requests);
+            submit_simulate(&app, ctx)
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Post, "/exact", move |ctx| {
+            Metrics::bump(&app.metrics.exact_requests);
+            submit_exact(&app, ctx)
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Post, "/synthesize", move |ctx| {
+            Metrics::bump(&app.metrics.synthesize_requests);
+            submit_synthesize(&app, ctx)
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Get, "/jobs/:id", move |ctx| job_status(&app, ctx));
+        let app = Arc::clone(self);
+        router.route(Method::Delete, "/jobs/:id", move |ctx| {
+            job_cancel(&app, ctx)
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Get, "/healthz", move |_| {
+            let body = Json::object([
+                ("status", Json::str("ok")),
+                ("workers", Json::count(app.scheduler.stats().workers as u64)),
+                ("uptime_ms", Json::count(app.metrics.uptime_ms())),
+            ]);
+            Response::json(200, body.render())
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Get, "/metrics", move |_| {
+            Response::json(200, app.render_metrics())
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Post, "/shutdown", move |ctx| shutdown(&app, ctx));
+        router
+    }
+
+    /// Counts one written response (every response, including framing-level
+    /// rejections and router-level 404/405s — wired in as the server's
+    /// [`ResponseObserver`](crate::ResponseObserver) by [`serve`]).
+    pub fn count_response(&self, response: &Response) {
+        Metrics::bump(&self.metrics.requests);
+        if (400..500).contains(&response.status) {
+            Metrics::bump(&self.metrics.responses_4xx);
+        } else if response.status >= 500 {
+            Metrics::bump(&self.metrics.responses_5xx);
+        }
+    }
+
+    fn render_metrics(&self) -> String {
+        let cache = self.cache.stats();
+        let scheduler = self.scheduler.stats();
+        Json::object([
+            ("uptime_ms", Json::count(self.metrics.uptime_ms())),
+            (
+                "http",
+                Json::object([
+                    (
+                        "requests",
+                        Json::count(Metrics::read(&self.metrics.requests)),
+                    ),
+                    (
+                        "responses_4xx",
+                        Json::count(Metrics::read(&self.metrics.responses_4xx)),
+                    ),
+                    (
+                        "responses_5xx",
+                        Json::count(Metrics::read(&self.metrics.responses_5xx)),
+                    ),
+                    (
+                        "simulate_requests",
+                        Json::count(Metrics::read(&self.metrics.simulate_requests)),
+                    ),
+                    (
+                        "exact_requests",
+                        Json::count(Metrics::read(&self.metrics.exact_requests)),
+                    ),
+                    (
+                        "synthesize_requests",
+                        Json::count(Metrics::read(&self.metrics.synthesize_requests)),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::object([
+                    ("entries", Json::count(cache.entries as u64)),
+                    ("capacity", Json::count(cache.capacity as u64)),
+                    ("hits", Json::count(cache.hits)),
+                    ("misses", Json::count(cache.misses)),
+                    ("evictions", Json::count(cache.evictions)),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::object([
+                    ("workers", Json::count(scheduler.workers as u64)),
+                    ("queued", Json::count(scheduler.queued as u64)),
+                    ("running", Json::count(scheduler.running as u64)),
+                    ("completed", Json::count(scheduler.completed)),
+                    ("failed", Json::count(scheduler.failed)),
+                    ("cancelled", Json::count(scheduler.cancelled)),
+                    ("rejected", Json::count(scheduler.rejected)),
+                    ("steals", Json::count(scheduler.steals)),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// Renders a [`ServiceError`] as its HTTP response.
+fn error_response(error: &ServiceError) -> Response {
+    Response::json(
+        error.status(),
+        Json::object([("error", Json::str(error.to_string()))]).render(),
+    )
+}
+
+/// Renders a job-status body (for every non-completed state).
+fn status_body(snapshot: &JobSnapshot) -> String {
+    let mut members = vec![
+        ("kind", Json::str("job")),
+        ("job", Json::count(snapshot.id)),
+        ("state", Json::str(snapshot.state.as_str())),
+        ("label", Json::str(snapshot.label.clone())),
+        ("priority", Json::count(u64::from(snapshot.priority))),
+        ("progress", Json::num(snapshot.progress())),
+        (
+            "completed_chunks",
+            Json::count(snapshot.completed_chunks as u64),
+        ),
+        ("total_chunks", Json::count(snapshot.total_chunks as u64)),
+    ];
+    if let Some(error) = &snapshot.error {
+        members.push(("error", Json::str(error.clone())));
+    }
+    if let Some(index) = snapshot.completion_index {
+        members.push(("completion_index", Json::count(index)));
+    }
+    Json::object(members).render()
+}
+
+/// The response for a job snapshot: the raw result body for completed jobs,
+/// a status document otherwise. Every variant carries an `x-job-state`
+/// header; result bodies add `cache: miss` (they were computed, not
+/// replayed).
+fn snapshot_response(snapshot: &JobSnapshot) -> Response {
+    let state = snapshot.state.as_str();
+    match snapshot.state {
+        JobState::Completed => Response::json(
+            200,
+            snapshot
+                .result
+                .clone()
+                .expect("completed jobs have results"),
+        )
+        .header("cache", "miss")
+        .header("x-job-state", state),
+        JobState::Failed => Response::json(500, status_body(snapshot)).header("x-job-state", state),
+        _ => Response::json(200, status_body(snapshot)).header("x-job-state", state),
+    }
+}
+
+/// Shared submit flow: consult the cache, otherwise schedule `work` and
+/// either wait for it (`wait: true`) or hand back a `202`.
+fn submit_cached_job(
+    app: &Arc<App>,
+    label: &'static str,
+    key: String,
+    priority: u8,
+    wait: bool,
+    work: JobWork,
+) -> Response {
+    if let Some(body) = app.cache.lookup(&key) {
+        return Response::json(200, body)
+            .header("cache", "hit")
+            .header("x-job-state", "completed");
+    }
+    let id = match app.scheduler.submit(priority, label, work) {
+        Ok(id) => id,
+        Err(SubmitError::QueueFull { capacity }) => {
+            return error_response(&ServiceError::Busy { capacity })
+        }
+        Err(SubmitError::Draining) => {
+            return error_response(&ServiceError::Unavailable {
+                message: "server is draining".to_string(),
+            })
+        }
+    };
+    if wait {
+        if let Some(snapshot) = app.scheduler.wait_terminal(id, WAIT_TIMEOUT) {
+            return snapshot_response(&snapshot);
+        }
+    }
+    let snapshot = app.scheduler.status(id).expect("job was just submitted");
+    Response::json(202, status_body(&snapshot))
+        .header("cache", "miss")
+        .header("x-job-state", snapshot.state.as_str())
+}
+
+/// Parses the request body as JSON, mapping failures to a 400.
+fn parse_body(ctx: &RouteContext<'_>) -> Result<Json, ServiceError> {
+    json::parse(&ctx.request.body)
+        .map_err(|e| ServiceError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let request = match parse_body(ctx).and_then(|body| SimulateRequest::parse(&body)) {
+        Ok(request) => Arc::new(request),
+        Err(error) => return error_response(&error),
+    };
+    let key = request.cache_key();
+
+    // Chunking: aim for ~4 tasks per worker so stealing has something to
+    // steal, without shattering small ensembles into per-trial tasks.
+    let workers = app.scheduler.stats().workers as u64;
+    let target_chunks = (workers * 4).clamp(1, request.trials);
+    let chunk_size = request.trials.div_ceil(target_chunks);
+    let chunks = request.trials.div_ceil(chunk_size) as usize;
+
+    let run_request = Arc::clone(&request);
+    let trials = request.trials;
+    let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+        let start = index as u64 * chunk_size;
+        let end = (start + chunk_size).min(trials);
+        let classifier = run_request.classifier().map_err(|e| e.to_string())?;
+        let ensemble = Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
+            .options(run_request.ensemble_options());
+        let partial = ensemble
+            .run_range(start, end, cancel)
+            .map_err(|e| e.to_string())?;
+        Ok(ChunkOutput::Partial(partial))
+    };
+
+    let finish_request = Arc::clone(&request);
+    let finish_key = key.clone();
+    let finish_app = Arc::clone(app);
+    let finish = move |outputs: Vec<ChunkOutput>| {
+        let partials: Vec<EnsemblePartial> = outputs
+            .into_iter()
+            .map(|output| match output {
+                ChunkOutput::Partial(partial) => partial,
+                ChunkOutput::Body(_) => unreachable!("simulate chunks produce partials"),
+            })
+            .collect();
+        let classifier = finish_request.classifier().map_err(|e| e.to_string())?;
+        let ensemble = Ensemble::new(
+            &finish_request.crn,
+            finish_request.initial.clone(),
+            classifier,
+        )
+        .options(finish_request.ensemble_options());
+        let report = ensemble.merge(partials).map_err(|e| e.to_string())?;
+        let body = finish_request.render_report(&report);
+        finish_app.cache.insert(&finish_key, &body);
+        Ok(body)
+    };
+
+    submit_cached_job(
+        app,
+        "simulate",
+        key,
+        request.priority,
+        request.wait,
+        JobWork {
+            chunks,
+            run_chunk: Box::new(run_chunk),
+            finish: Box::new(finish),
+        },
+    )
+}
+
+/// Builds the single-chunk job for an analysis endpoint whose work is one
+/// opaque computation (`/exact`, `/synthesize`).
+fn analysis_job(
+    app: &Arc<App>,
+    key: String,
+    execute: impl Fn() -> Result<String, ServiceError> + Send + Sync + 'static,
+) -> JobWork {
+    let finish_app = Arc::clone(app);
+    JobWork {
+        chunks: 1,
+        run_chunk: Box::new(move |_, _| {
+            execute().map(ChunkOutput::Body).map_err(|e| e.to_string())
+        }),
+        finish: Box::new(move |mut outputs| {
+            let ChunkOutput::Body(body) = outputs.remove(0) else {
+                unreachable!("analysis chunks produce bodies")
+            };
+            finish_app.cache.insert(&key, &body);
+            Ok(body)
+        }),
+    }
+}
+
+fn submit_exact(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let request = match parse_body(ctx).and_then(|body| ExactRequest::parse(&body)) {
+        Ok(request) => request,
+        Err(error) => return error_response(&error),
+    };
+    let key = request.cache_key();
+    let (priority, wait) = (request.priority, request.wait);
+    let work = analysis_job(app, key.clone(), move || request.execute());
+    submit_cached_job(app, "exact", key, priority, wait, work)
+}
+
+fn submit_synthesize(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let request = match parse_body(ctx).and_then(|body| SynthesizeRequest::parse(&body)) {
+        Ok(request) => request,
+        Err(error) => return error_response(&error),
+    };
+    let key = request.cache_key();
+    let (priority, wait) = (request.priority, request.wait);
+    let work = analysis_job(app, key.clone(), move || request.execute());
+    submit_cached_job(app, "synthesize", key, priority, wait, work)
+}
+
+fn parse_job_id(ctx: &RouteContext<'_>) -> Result<JobId, ServiceError> {
+    ctx.param("id")
+        .and_then(|id| id.parse::<JobId>().ok())
+        .ok_or_else(|| ServiceError::bad_request("job ids are positive integers"))
+}
+
+fn job_status(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let id = match parse_job_id(ctx) {
+        Ok(id) => id,
+        Err(error) => return error_response(&error),
+    };
+    // `?wait=1` turns the poll into a blocking wait (used by the CLI).
+    if ctx.query_param("wait").is_some() {
+        if let Some(snapshot) = app.scheduler.wait_terminal(id, WAIT_TIMEOUT) {
+            return snapshot_response(&snapshot);
+        }
+    }
+    match app.scheduler.status(id) {
+        Some(snapshot) => snapshot_response(&snapshot),
+        None => error_response(&ServiceError::UnknownJob { id }),
+    }
+}
+
+fn job_cancel(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let id = match parse_job_id(ctx) {
+        Ok(id) => id,
+        Err(error) => return error_response(&error),
+    };
+    match app.scheduler.status(id) {
+        None => error_response(&ServiceError::UnknownJob { id }),
+        // `cancel` re-checks terminality under the scheduler lock: a job
+        // that settles between the status read and the cancel reports a
+        // conflict, never `cancelled: true`.
+        Some(_) if app.scheduler.cancel(id) => {
+            let snapshot = app.scheduler.status(id).expect("job still known");
+            Response::json(
+                202,
+                Json::object([
+                    ("job", Json::count(id)),
+                    ("state", Json::str(snapshot.state.as_str())),
+                    ("cancelled", Json::Bool(true)),
+                ])
+                .render(),
+            )
+        }
+        Some(_) => {
+            // Re-read: the pre-cancel snapshot may predate the settling.
+            let state = app
+                .scheduler
+                .status(id)
+                .map_or("settled", |s| s.state.as_str());
+            error_response(&ServiceError::Conflict {
+                message: format!("job {id} is already {state}"),
+            })
+        }
+    }
+}
+
+fn shutdown(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    if !ctx.peer.ip().is_loopback() {
+        return error_response(&ServiceError::Forbidden {
+            message: "POST /shutdown is only accepted from loopback".to_string(),
+        });
+    }
+    let deadline_ms = if ctx.request.body.trim().is_empty() {
+        5_000
+    } else {
+        match parse_body(ctx).and_then(|body| {
+            body.get("deadline_ms")
+                .map(|v| v.as_u64("deadline_ms").map_err(ServiceError::bad_request))
+                .unwrap_or(Ok(5_000))
+        }) {
+            Ok(ms) => ms,
+            Err(error) => return error_response(&error),
+        }
+    };
+    let report = app.scheduler.drain(Duration::from_millis(deadline_ms));
+    // Stop the accept loop: raise the flag, then self-connect to wake it.
+    *app.stopping.lock().expect("stop flag") = true;
+    if let Some(addr) = app.local_addr.get() {
+        let _ = std::net::TcpStream::connect_timeout(addr, Duration::from_secs(1));
+    }
+    Response::json(
+        200,
+        Json::object([
+            ("status", Json::str("drained")),
+            ("finished", Json::count(report.finished)),
+            ("cancelled", Json::count(report.cancelled)),
+        ])
+        .render(),
+    )
+}
+
+/// A running service: the bound address plus handles to stop and join it.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    app: Arc<App>,
+    server: ServerHandle,
+}
+
+impl ServiceHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The shared app state (scheduler, cache, metrics).
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Drains the scheduler and stops the server — the programmatic
+    /// equivalent of `POST /shutdown`.
+    pub fn shutdown(&self, deadline: Duration) {
+        self.app.scheduler.drain(deadline);
+        *self.app.stopping.lock().expect("stop flag") = true;
+        self.server.stop();
+    }
+
+    /// Blocks until the accept loop exits (via [`ServiceHandle::shutdown`]
+    /// or `POST /shutdown`), then joins connection threads.
+    pub fn join(self) {
+        self.server.join();
+    }
+}
+
+/// Binds and starts a service instance.
+///
+/// # Errors
+///
+/// Propagates socket bind errors.
+pub fn serve(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let app = App::new(config.clone());
+    let router = app.router();
+    let stop_app = Arc::clone(&app);
+    let observe_app = Arc::clone(&app);
+    let server = Server::bind(&config.addr, router, config.max_body_bytes)?
+        .stop_when(move || *stop_app.stopping.lock().expect("stop flag"))
+        .observe(move |response| observe_app.count_response(response));
+    let _ = app.local_addr.set(server.local_addr()?);
+    let server = server.start();
+    Ok(ServiceHandle { app, server })
+}

@@ -1,0 +1,161 @@
+//! `stochsynth-cli` — submit, poll and fetch jobs from a `stochsynthd`.
+//!
+//! ```sh
+//! stochsynth-cli submit   --server 127.0.0.1:8080 --endpoint simulate --file req.json --wait
+//! stochsynth-cli poll     --server 127.0.0.1:8080 --job 3
+//! stochsynth-cli fetch    --server 127.0.0.1:8080 --job 3
+//! stochsynth-cli cancel   --server 127.0.0.1:8080 --job 3
+//! stochsynth-cli health   --server 127.0.0.1:8080
+//! stochsynth-cli metrics  --server 127.0.0.1:8080
+//! stochsynth-cli shutdown --server 127.0.0.1:8080 --deadline-ms 5000
+//! ```
+//!
+//! Response bodies go to stdout; the `cache: hit|miss` header of
+//! result-bearing responses goes to stderr as `cache: …` so scripts can
+//! assert on it separately (the CI smoke job does exactly that). Exit
+//! codes: 0 success, 1 HTTP-level failure, 2 usage/transport error.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+use service::{Client, HttpReply};
+
+const USAGE: &str = "usage: stochsynth-cli <command> --server HOST:PORT [options]
+
+commands:
+  submit    --endpoint simulate|exact|synthesize --file REQ.json|- [--wait]
+  poll      --job ID          block until the job is terminal, print its body
+  fetch     --job ID          print the job's current status/result
+  cancel    --job ID
+  health
+  metrics
+  shutdown  [--deadline-ms N]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`\n{USAGE}", args[i]))?;
+        // `--wait` is boolean; everything else takes a value.
+        if flag == "wait" {
+            flags.insert(flag.to_string(), "1".to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{flag} needs a value\n{USAGE}"))?;
+            flags.insert(flag.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+/// Prints a reply: body to stdout, cache header (if any) to stderr.
+/// Returns the process exit code implied by the HTTP status.
+fn print_reply(reply: &HttpReply) -> ExitCode {
+    if let Some(cache) = reply.header("cache") {
+        eprintln!("cache: {cache}");
+    }
+    if let Some(state) = reply.header("x-job-state") {
+        eprintln!("job-state: {state}");
+    }
+    println!("{}", reply.body);
+    if reply.is_success() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("HTTP {}", reply.status);
+        ExitCode::from(1)
+    }
+}
+
+fn read_request_file(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut body = String::new();
+        std::io::stdin()
+            .read_to_string(&mut body)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(body)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err(USAGE.to_string());
+    }
+    let flags = parse_flags(rest)?;
+    let server = flags
+        .get("server")
+        .ok_or_else(|| format!("--server is required\n{USAGE}"))?;
+    let client = Client::new(server.as_str())?;
+    let job_path = || -> Result<String, String> {
+        let id = flags
+            .get("job")
+            .ok_or_else(|| format!("--job is required\n{USAGE}"))?;
+        Ok(format!("/jobs/{id}"))
+    };
+
+    let reply = match command.as_str() {
+        "submit" => {
+            let endpoint = flags
+                .get("endpoint")
+                .ok_or_else(|| format!("--endpoint is required\n{USAGE}"))?;
+            if !matches!(endpoint.as_str(), "simulate" | "exact" | "synthesize") {
+                return Err(format!("unknown endpoint `{endpoint}`\n{USAGE}"));
+            }
+            let file = flags
+                .get("file")
+                .ok_or_else(|| format!("--file is required\n{USAGE}"))?;
+            let mut body = read_request_file(file)?;
+            // `--wait` forces a synchronous submission regardless of the
+            // request document, by wrapping it at the JSON level.
+            if flags.contains_key("wait") {
+                let parsed = service::json::parse(&body)
+                    .map_err(|e| format!("{file}: invalid JSON: {e}"))?;
+                let service::json::Json::Object(mut members) = parsed else {
+                    return Err(format!("{file}: request must be a JSON object"));
+                };
+                members.retain(|(k, _)| k != "wait");
+                members.push(("wait".to_string(), service::json::Json::Bool(true)));
+                body = service::json::Json::Object(members).render();
+            }
+            client.post(&format!("/{endpoint}"), &body)?
+        }
+        "poll" => client.get(&format!("{}?wait=1", job_path()?))?,
+        "fetch" => client.get(&job_path()?)?,
+        "cancel" => client.delete(&job_path()?)?,
+        "health" => client.get("/healthz")?,
+        "metrics" => client.get("/metrics")?,
+        "shutdown" => {
+            let deadline = flags
+                .get("deadline-ms")
+                .map(String::as_str)
+                .unwrap_or("5000");
+            deadline
+                .parse::<u64>()
+                .map_err(|_| format!("--deadline-ms: invalid value `{deadline}`"))?;
+            client.post("/shutdown", &format!("{{\"deadline_ms\":{deadline}}}"))?
+        }
+        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    Ok(print_reply(&reply))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

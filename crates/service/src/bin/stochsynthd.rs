@@ -1,0 +1,95 @@
+//! `stochsynthd` — the stochastic-synthesis simulation server.
+//!
+//! ```sh
+//! stochsynthd --addr 127.0.0.1:8080 --workers 8 --queue 256 --cache 256
+//! # ephemeral port for scripts/CI: bind port 0 and read the address back
+//! stochsynthd --addr 127.0.0.1:0 --port-file /tmp/stochsynthd.addr
+//! ```
+//!
+//! The process serves until `POST /shutdown` (loopback-only) drains it —
+//! see the README's *Running as a service* section for the API.
+
+use std::process::ExitCode;
+
+use service::{serve, ServiceConfig};
+
+const USAGE: &str = "usage: stochsynthd [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--max-body BYTES] [--port-file PATH]";
+
+struct Args {
+    config: ServiceConfig,
+    port_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServiceConfig::default();
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => {
+                config.workers = value
+                    .parse()
+                    .map_err(|_| format!("--workers: invalid count `{value}`"))?
+            }
+            "--queue" => {
+                config.queue_capacity = value
+                    .parse()
+                    .map_err(|_| format!("--queue: invalid capacity `{value}`"))?
+            }
+            "--cache" => {
+                config.cache_capacity = value
+                    .parse()
+                    .map_err(|_| format!("--cache: invalid capacity `{value}`"))?
+            }
+            "--max-body" => {
+                config.max_body_bytes = value
+                    .parse()
+                    .map_err(|_| format!("--max-body: invalid size `{value}`"))?
+            }
+            "--port-file" => port_file = Some(value),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args { config, port_file })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match serve(args.config) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("stochsynthd: cannot bind: {error}");
+            return ExitCode::from(1);
+        }
+    };
+    let addr = handle.addr();
+    println!("stochsynthd listening on {addr}");
+    if let Some(path) = args.port_file {
+        // Write to a temp file and rename so watchers never read a partial
+        // address.
+        let tmp = format!("{path}.tmp");
+        if let Err(error) =
+            std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, &path))
+        {
+            eprintln!("stochsynthd: cannot write --port-file {path}: {error}");
+            return ExitCode::from(1);
+        }
+    }
+    handle.join();
+    println!("stochsynthd: drained, exiting");
+    ExitCode::SUCCESS
+}

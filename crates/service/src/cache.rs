@@ -1,0 +1,208 @@
+//! The deterministic, content-addressed result cache.
+//!
+//! Every cacheable request is reduced to a *canonical key string* (the
+//! parsed model re-serialised through [`crn::Crn::to_text`], plus every
+//! parameter that affects the result — stepper, trials, seed, stop
+//! condition, …). The cache is addressed by the FNV-1a hash of that string
+//! and stores the **rendered response body**: replaying a hit returns the
+//! exact bytes of the original response.
+//!
+//! Caching simulation *results* (not just parses) is sound because the
+//! engine's reports are bit-identical for a given `(model, stepper, params,
+//! seed)` across thread counts and schedulers — the determinism contract
+//! pinned by `crates/gillespie/tests/determinism.rs` and re-checked end to
+//! end by the service's own integration tests. The stored key string is
+//! compared on every hit, so a 64-bit hash collision degrades to a miss,
+//! never to a wrong answer.
+//!
+//! Eviction is least-recently-used over a bounded entry count, with
+//! hit/miss/eviction counters surfaced through `GET /metrics`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hashes a canonical key string with 64-bit FNV-1a.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    /// The full canonical key, compared on lookup so hash collisions can
+    /// never serve a wrong body.
+    key: String,
+    body: String,
+    /// Logical clock of the last touch, for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A snapshot of the cache counters for `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of stored bodies.
+    pub entries: usize,
+    /// Configured maximum number of entries.
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including collision-degraded ones).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// A bounded LRU cache from canonical request keys to rendered bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for CacheState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CacheState({} entries)", self.entries.len())
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        let mut state = self.state.lock().expect("cache lock");
+        state.clock += 1;
+        let clock = state.clock;
+        let hash = fnv1a(key);
+        match state.entries.get_mut(&hash) {
+            Some(entry) if entry.key == key => {
+                entry.last_used = clock;
+                let body = entry.body.clone();
+                state.hits += 1;
+                Some(body)
+            }
+            _ => {
+                state.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered body under `key`, evicting the least-recently-used
+    /// entry when full. Does nothing when the capacity is zero.
+    pub fn insert(&self, key: &str, body: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache lock");
+        state.clock += 1;
+        let clock = state.clock;
+        let hash = fnv1a(key);
+        if !state.entries.contains_key(&hash) && state.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+            {
+                state.entries.remove(&oldest);
+                state.evictions += 1;
+            }
+        }
+        state.entries.insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                body: body.to_string(),
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Returns the current counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache lock");
+        CacheStats {
+            entries: state.entries.len(),
+            capacity: self.capacity,
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_replay_the_exact_body() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.lookup("k1"), None);
+        cache.insert("k1", "{\"x\":1}");
+        assert_eq!(cache.lookup("k1").as_deref(), Some("{\"x\":1}"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResultCache::new(2);
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        // Touch `a`, making `b` the LRU victim.
+        assert!(cache.lookup("a").is_some());
+        cache.insert("c", "3");
+        assert_eq!(cache.lookup("b"), None, "b was evicted");
+        assert!(cache.lookup("a").is_some());
+        assert!(cache.lookup("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResultCache::new(2);
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        cache.insert("a", "updated");
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup("a").as_deref(), Some("updated"));
+        assert!(cache.lookup("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert("a", "1");
+        assert_eq!(cache.lookup("a"), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values guard against accidental algorithm changes, which
+        // would silently invalidate nothing but is worth noticing.
+        assert_eq!(fnv1a(""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a("a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a("simulate|x"), fnv1a("simulate|y"));
+    }
+}

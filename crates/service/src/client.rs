@@ -1,0 +1,191 @@
+//! A small blocking HTTP client for the service's own protocol.
+//!
+//! Used by `stochsynth-cli`, the load generator and the integration tests.
+//! One connection per request (`Connection: close`), JSON bodies only.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+
+/// One received HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// Looks a header up by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parser's message.
+    pub fn json(&self) -> Result<Json, String> {
+        json::parse(&self.body)
+    }
+
+    /// `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A blocking JSON-over-HTTP client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (anything resolvable, e.g.
+    /// `"127.0.0.1:8080"`) with a 600-second I/O timeout — long enough for
+    /// `wait: true` submissions of heavyweight jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address does not resolve.
+    pub fn new(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve server address: {e}"))?
+            .next()
+            .ok_or("server address resolved to nothing")?;
+        Ok(Client {
+            addr,
+            timeout: Duration::from_secs(600),
+        })
+    }
+
+    /// Overrides the per-request I/O timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-level message; HTTP error statuses are returned
+    /// as replies, not errors.
+    pub fn get(&self, path: &str) -> Result<HttpReply, String> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn post(&self, path: &str, body: &str) -> Result<HttpReply, String> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn delete(&self, path: &str) -> Result<HttpReply, String> {
+        self.request("DELETE", path, None)
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply, String> {
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        write_half
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("send failed: {e}"))?;
+
+        let mut reader = BufReader::new(stream);
+        let status_line = read_line(&mut reader)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+        let mut headers = Vec::new();
+        let mut content_length: Option<usize> = None;
+        loop {
+            let line = read_line(&mut reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
+                }
+                headers.push((name, value));
+            }
+        }
+        let body = match content_length {
+            Some(length) => {
+                let mut buffer = vec![0u8; length];
+                reader
+                    .read_exact(&mut buffer)
+                    .map_err(|e| format!("body read failed: {e}"))?;
+                String::from_utf8(buffer).map_err(|_| "body is not UTF-8".to_string())?
+            }
+            None => {
+                let mut text = String::new();
+                reader
+                    .read_to_string(&mut text)
+                    .map_err(|e| format!("body read failed: {e}"))?;
+                text
+            }
+        };
+        Ok(HttpReply {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read failed: {e}"))?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

@@ -1,0 +1,143 @@
+//! The service's error type and its mapping onto HTTP status codes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while handling a service request or running a job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The request body was not valid JSON or missed required fields.
+    BadRequest {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The referenced job does not exist.
+    UnknownJob {
+        /// The requested job id.
+        id: u64,
+    },
+    /// The request conflicts with the job's current state (for example
+    /// cancelling an already-finished job).
+    Conflict {
+        /// Description of the conflict.
+        message: String,
+    },
+    /// The scheduler's bounded queue is at capacity; retry later.
+    Busy {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The server is draining for shutdown.
+    Unavailable {
+        /// Description of why the request cannot be accepted right now.
+        message: String,
+    },
+    /// The request is only allowed from the loopback interface.
+    Forbidden {
+        /// Description of the restriction.
+        message: String,
+    },
+    /// The request body exceeded the configured size limit.
+    PayloadTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The job itself failed while running.
+    JobFailed {
+        /// The underlying failure rendered as text.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest { .. } => 400,
+            ServiceError::UnknownJob { .. } => 404,
+            ServiceError::Conflict { .. } => 409,
+            ServiceError::Busy { .. } => 429,
+            ServiceError::Unavailable { .. } => 503,
+            ServiceError::Forbidden { .. } => 403,
+            ServiceError::PayloadTooLarge { .. } => 413,
+            ServiceError::JobFailed { .. } => 500,
+        }
+    }
+
+    /// Convenience constructor for [`ServiceError::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> ServiceError {
+        ServiceError::BadRequest {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServiceError::UnknownJob { id } => write!(f, "unknown job {id}"),
+            ServiceError::Conflict { message } => write!(f, "conflict: {message}"),
+            ServiceError::Busy { capacity } => {
+                write!(f, "job queue is at its capacity of {capacity}; retry later")
+            }
+            ServiceError::Unavailable { message } => write!(f, "unavailable: {message}"),
+            ServiceError::Forbidden { message } => write!(f, "forbidden: {message}"),
+            ServiceError::PayloadTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            ServiceError::JobFailed { message } => write!(f, "job failed: {message}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_match_http_semantics() {
+        assert_eq!(ServiceError::bad_request("x").status(), 400);
+        assert_eq!(ServiceError::UnknownJob { id: 3 }.status(), 404);
+        assert_eq!(
+            ServiceError::Conflict {
+                message: "done".into()
+            }
+            .status(),
+            409
+        );
+        assert_eq!(ServiceError::Busy { capacity: 8 }.status(), 429);
+        assert_eq!(
+            ServiceError::Unavailable {
+                message: "full".into()
+            }
+            .status(),
+            503
+        );
+        assert_eq!(
+            ServiceError::Forbidden {
+                message: "loopback".into()
+            }
+            .status(),
+            403
+        );
+        assert_eq!(ServiceError::PayloadTooLarge { limit: 10 }.status(), 413);
+        assert_eq!(
+            ServiceError::JobFailed {
+                message: "boom".into()
+            }
+            .status(),
+            500
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ServiceError::bad_request("missing `trials`");
+        assert!(e.to_string().contains("missing `trials`"));
+        assert!(!ServiceError::UnknownJob { id: 9 }.to_string().is_empty());
+    }
+}

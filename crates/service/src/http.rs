@@ -1,0 +1,385 @@
+//! Minimal HTTP/1.1 message framing over `std::net` streams.
+//!
+//! This is deliberately not a general web server: it implements exactly the
+//! subset the service needs — request-line + header parsing,
+//! `Content-Length`-framed bodies, keep-alive connections and response
+//! serialisation — on blocking `TcpStream`s with no dependencies. Chunked
+//! transfer encoding, multipart bodies and TLS are out of scope; callers
+//! that need them terminate HTTP in front of the service.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// The HTTP methods the service routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `DELETE`
+    Delete,
+}
+
+impl Method {
+    /// Parses a request-line method token.
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// The canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request path, without query string.
+    pub path: String,
+    /// The raw query string (text after `?`), if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// Looks a header up by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns `true` when the client asked for the connection to close.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before a request started.
+    Closed,
+    /// The bytes on the wire were not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The declared body length exceeds the configured limit.
+    TooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// An underlying socket error (including read timeouts).
+    Io(std::io::Error),
+}
+
+/// Reads one request from the connection.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] on clean EOF before any request bytes,
+/// [`ReadError::Malformed`] on framing errors, [`ReadError::TooLarge`] when
+/// the declared `Content-Length` exceeds `max_body`, and [`ReadError::Io`]
+/// for socket failures.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| ReadError::Malformed(format!("unsupported method in `{request_line}`")))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("malformed header `{line}`")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length `{value}`")))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ReadError::Io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::Malformed("request body is not UTF-8".to_string()))?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Request/header lines past 8 KiB are hostile input, not HTTP.
+const MAX_LINE_BYTES: usize = 8192;
+
+/// A header section with more entries than this is hostile input.
+const MAX_HEADERS: usize = 128;
+
+/// Reads one CRLF-terminated line, enforcing [`MAX_LINE_BYTES`] *while*
+/// reading — an attacker streaming an endless unterminated line is cut off
+/// at the cap instead of growing a buffer without bound.
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buffer = reader.fill_buf().map_err(ReadError::Io)?;
+        if buffer.is_empty() {
+            break; // EOF: return whatever arrived (empty = clean close).
+        }
+        let newline = buffer.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buffer.len(), |i| i + 1);
+        if line.len() + take > MAX_LINE_BYTES {
+            return Err(ReadError::Malformed("header line too long".to_string()));
+        }
+        line.extend_from_slice(&buffer[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|_| ReadError::Malformed("header line is not UTF-8".to_string()))
+}
+
+/// One HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Extra header `(name, value)` pairs beyond the framing headers.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Builds a JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks a response header up by (case-insensitive) name.
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialises the response onto `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str(if close {
+            "connection: close\r\n\r\n"
+        } else {
+            "connection: keep-alive\r\n\r\n"
+        });
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips one request/response pair over a real socket.
+    fn exchange(raw_request: &str, max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw_request.to_string();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Ignore write errors: the server may cut hostile input off
+            // before the client finishes sending.
+            let _ = stream.write_all(raw.as_bytes());
+            let _ = stream.flush();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let result = read_request(&mut reader, max_body);
+        client.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request = exchange(
+            "POST /simulate?wait=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(request.method, Method::Post);
+        assert_eq!(request.path, "/simulate");
+        assert_eq!(request.query.as_deref(), Some("wait=1"));
+        assert_eq!(request.body, "{\"a\":1}");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert!(!request.wants_close());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let err = exchange("POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 10).unwrap_err();
+        assert!(matches!(err, ReadError::TooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn unterminated_lines_are_cut_off_at_the_cap() {
+        // 64 KiB with no newline: rejected once the cap is hit, not
+        // buffered indefinitely.
+        let flood = "G".repeat(64 * 1024);
+        let err = exchange(&flood, 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(m) if m.contains("too long")));
+    }
+
+    #[test]
+    fn rejects_unbounded_header_sections() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..200 {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = exchange(&raw, 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(m) if m.contains("headers")));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            exchange("NOPE /x HTTP/1.1\r\n\r\n", 10).unwrap_err(),
+            ReadError::Malformed(_)
+        ));
+        assert!(matches!(
+            exchange("GET /x SPDY/9\r\n\r\n", 10).unwrap_err(),
+            ReadError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_serialises_with_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::json(200, "{\"ok\":true}")
+                .header("cache", "hit")
+                .write_to(&mut stream, true)
+                .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("cache: hit\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

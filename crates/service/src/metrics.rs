@@ -1,0 +1,79 @@
+//! Service-wide counters surfaced through `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Lock-free request/response counters. Cache and scheduler counters live
+/// with their owners ([`ResultCache`](crate::ResultCache),
+/// [`Scheduler`](crate::Scheduler)) and are merged into the `/metrics` body
+/// by the app layer.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Total HTTP responses written — one per request the server answered,
+    /// including framing-level `400`/`413` rejections and router-level
+    /// `404`/`405`s that never reach a handler.
+    pub requests: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// `POST /simulate` requests.
+    pub simulate_requests: AtomicU64,
+    /// `POST /exact` requests.
+    pub exact_requests: AtomicU64,
+    /// `POST /synthesize` requests.
+    pub synthesize_requests: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed counters with the clock started now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            simulate_requests: AtomicU64::new(0),
+            exact_requests: AtomicU64::new(0),
+            synthesize_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Milliseconds since the service started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let metrics = Metrics::new();
+        Metrics::bump(&metrics.requests);
+        Metrics::bump(&metrics.requests);
+        Metrics::bump(&metrics.responses_4xx);
+        assert_eq!(Metrics::read(&metrics.requests), 2);
+        assert_eq!(Metrics::read(&metrics.responses_4xx), 1);
+        assert_eq!(Metrics::read(&metrics.responses_5xx), 0);
+    }
+}

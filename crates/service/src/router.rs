@@ -1,0 +1,261 @@
+//! Method + path routing with `:param` captures.
+//!
+//! [`Router`] is the embeddable dispatch table behind the service's
+//! [`Server`](crate::Server): each route pairs a [`Method`] with a pattern
+//! like `/jobs/:id` and a handler closure. Embedders can mount their own
+//! routes next to (or instead of) the stock service endpoints.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use crate::http::{Method, Request, Response};
+
+/// The per-request context handed to route handlers.
+#[derive(Debug)]
+pub struct RouteContext<'a> {
+    /// The parsed request.
+    pub request: &'a Request,
+    /// Pattern captures, in pattern order (`/jobs/:id` yields one capture).
+    pub params: Vec<(&'a str, String)>,
+    /// The peer's socket address (used for loopback-only endpoints).
+    pub peer: SocketAddr,
+}
+
+impl RouteContext<'_> {
+    /// Looks a capture up by its `:name`.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns a query-string parameter (`?wait=1` style) by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.request.query.as_deref()?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// A route handler.
+pub type Handler = Arc<dyn Fn(&RouteContext<'_>) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(&'static str),
+}
+
+/// A method + pattern dispatch table.
+///
+/// # Example
+///
+/// ```
+/// use service::{Method, Response, Router};
+///
+/// let mut router = Router::new();
+/// router.route(Method::Get, "/ping/:name", |ctx| {
+///     Response::json(200, format!("{{\"pong\":\"{}\"}}", ctx.param("name").unwrap()))
+/// });
+/// assert!(router.len() == 1);
+/// ```
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Returns the number of mounted routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` when no routes are mounted.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Mounts a handler for `method` + `pattern`.
+    ///
+    /// Pattern segments starting with `:` capture the corresponding path
+    /// segment under that name (e.g. `/jobs/:id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern does not start with `/` — route tables are
+    /// static program text, so this is a programming error, not input.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &'static str,
+        handler: impl Fn(&RouteContext<'_>) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        assert!(pattern.starts_with('/'), "route patterns start with `/`");
+        let segments = pattern
+            .split('/')
+            .skip(1)
+            .map(|segment| match segment.strip_prefix(':') {
+                Some(name) => Segment::Param(name),
+                None => Segment::Literal(segment.to_string()),
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Dispatches a request: `404` for an unknown path, `405` when the path
+    /// exists under a different method.
+    pub fn dispatch(&self, request: &Request, peer: SocketAddr) -> Response {
+        let path_segments: Vec<&str> = request.path.split('/').skip(1).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = match_segments(&route.segments, &path_segments) else {
+                continue;
+            };
+            path_matched = true;
+            if route.method != request.method {
+                continue;
+            }
+            let ctx = RouteContext {
+                request,
+                params,
+                peer,
+            };
+            return (route.handler)(&ctx);
+        }
+        if path_matched {
+            Response::json(
+                405,
+                format!(
+                    "{{\"error\":\"method {} not allowed for {}\"}}",
+                    request.method.as_str(),
+                    request.path
+                ),
+            )
+        } else {
+            Response::json(
+                404,
+                format!("{{\"error\":\"no route for {}\"}}", request.path),
+            )
+        }
+    }
+}
+
+fn match_segments<'p>(pattern: &'p [Segment], path: &[&str]) -> Option<Vec<(&'p str, String)>> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = Vec::new();
+    for (segment, &actual) in pattern.iter().zip(path) {
+        match segment {
+            Segment::Literal(expected) if expected == actual => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => params.push((*name, actual.to_string())),
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: Method, path: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: None,
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    fn peer() -> SocketAddr {
+        "127.0.0.1:9".parse().unwrap()
+    }
+
+    fn test_router() -> Router {
+        let mut router = Router::new();
+        router.route(Method::Get, "/healthz", |_| Response::json(200, "{}"));
+        router.route(Method::Get, "/jobs/:id", |ctx| {
+            Response::json(200, format!("{{\"id\":\"{}\"}}", ctx.param("id").unwrap()))
+        });
+        router.route(Method::Delete, "/jobs/:id", |_| Response::json(200, "{}"));
+        router
+    }
+
+    #[test]
+    fn dispatches_literals_and_params() {
+        let router = test_router();
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Get, "/healthz"), peer())
+                .status,
+            200
+        );
+        let got = router.dispatch(&request(Method::Get, "/jobs/42"), peer());
+        assert_eq!(got.body, "{\"id\":\"42\"}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_wrong_method_is_405() {
+        let router = test_router();
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Get, "/nope"), peer())
+                .status,
+            404
+        );
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Post, "/healthz"), peer())
+                .status,
+            405
+        );
+        // Params don't match a shorter path.
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Get, "/jobs"), peer())
+                .status,
+            404
+        );
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let mut req = request(Method::Get, "/healthz");
+        req.query = Some("wait=1&x=&flag".to_string());
+        let ctx = RouteContext {
+            request: &req,
+            params: Vec::new(),
+            peer: peer(),
+        };
+        assert_eq!(ctx.query_param("wait"), Some("1"));
+        assert_eq!(ctx.query_param("x"), Some(""));
+        assert_eq!(ctx.query_param("flag"), Some(""));
+        assert_eq!(ctx.query_param("missing"), None);
+    }
+}

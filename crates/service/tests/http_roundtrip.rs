@@ -1,0 +1,380 @@
+//! End-to-end integration tests over real sockets: cache semantics, job
+//! lifecycle, graceful shutdown and conformance of served results against
+//! the library run directly.
+
+use std::time::Duration;
+
+use gillespie::{Ensemble, EnsembleOptions, SimulationOptions, SpeciesThresholdClassifier};
+use service::{serve, App, Client, Method, Request, ServiceConfig};
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        max_body_bytes: 1 << 20,
+    }
+}
+
+fn coin_request(seed: u64, trials: u64, wait: bool) -> String {
+    format!(
+        "{{\"network\":\"x -> h @ 3\\nx -> t @ 1\",\"initial\":{{\"x\":1}},\
+         \"trials\":{trials},\"seed\":{seed},\"wait\":{wait},\
+         \"classifier\":[\
+         {{\"species\":\"h\",\"at_least\":1,\"outcome\":\"heads\"}},\
+         {{\"species\":\"t\",\"at_least\":1,\"outcome\":\"tails\"}}]}}"
+    )
+}
+
+/// Reads `path.to.key` out of a JSON body.
+fn json_number(body: &str, path: &[&str]) -> f64 {
+    let mut value = service::json::parse(body).expect("valid JSON body");
+    for key in path {
+        value = value
+            .get(key)
+            .unwrap_or_else(|| panic!("missing `{key}` in {body}"))
+            .clone();
+    }
+    value.as_f64(path.last().unwrap()).expect("numeric field")
+}
+
+/// The tentpole acceptance test: the same ensemble job twice over HTTP —
+/// the second response comes from the cache, byte-identical, and
+/// `GET /metrics` shows exactly one cache hit.
+#[test]
+fn repeated_request_is_a_byte_identical_cache_hit() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+
+    let request = coin_request(7, 2_000, true);
+    let fresh = client
+        .post("/simulate", &request)
+        .expect("first round trip");
+    assert_eq!(fresh.status, 200, "body: {}", fresh.body);
+    assert_eq!(fresh.header("cache"), Some("miss"));
+    // The report is self-describing: the seed rides in the body…
+    assert_eq!(json_number(&fresh.body, &["seed"]), 7.0);
+
+    let cached = client
+        .post("/simulate", &request)
+        .expect("second round trip");
+    assert_eq!(cached.status, 200);
+    assert_eq!(cached.header("cache"), Some("hit"));
+    // …so cached and fresh responses differ *only* in the cache header.
+    assert_eq!(
+        cached.body, fresh.body,
+        "cache replay must be byte-identical"
+    );
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(json_number(&metrics.body, &["cache", "hits"]), 1.0);
+    assert_eq!(json_number(&metrics.body, &["cache", "misses"]), 1.0);
+    assert_eq!(json_number(&metrics.body, &["scheduler", "completed"]), 1.0);
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// Served ensemble reports must not diverge from a single-threaded library
+/// run — the scheduler's chunked fan-out is bit-faithful.
+#[test]
+fn served_reports_match_a_single_threaded_run() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+    let reply = client
+        .post("/simulate", &coin_request(99, 3_000, true))
+        .expect("round trip");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+
+    let crn: crn::Crn = "x -> h @ 3\nx -> t @ 1".parse().expect("network");
+    let initial = crn.state_from_counts([("x", 1)]).expect("state");
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "h", 1, "heads")
+        .expect("rule")
+        .rule_named(&crn, "t", 1, "tails")
+        .expect("rule");
+    let report = Ensemble::new(&crn, initial, classifier)
+        .options(
+            EnsembleOptions::new()
+                .trials(3_000)
+                .master_seed(99)
+                .threads(1)
+                .simulation(SimulationOptions::new().max_events(10_000_000)),
+        )
+        .run()
+        .expect("local run");
+
+    assert_eq!(
+        json_number(&reply.body, &["report", "counts", "heads"]),
+        report.count("heads") as f64
+    );
+    assert_eq!(
+        json_number(&reply.body, &["report", "counts", "tails"]),
+        report.count("tails") as f64
+    );
+    assert_eq!(
+        json_number(&reply.body, &["report", "mean_final_time"]),
+        report.mean_final_time,
+        "floating-point statistics must be bit-identical"
+    );
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// A lambda-switch `POST /synthesize` round trip must match the exact CME
+/// goldens pinned in `tests/exact_verification.rs`.
+#[test]
+fn synthesize_round_trip_matches_exact_verification_goldens() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+    let request = "{\"input\":\"moi\",\
+        \"response\":{\"constant\":2,\"log2\":1,\"linear\":1},\
+        \"outcomes\":[\"lysis\",\"lysogeny\"],\"outputs\":[\"cro2\",\"ci2\"],\
+        \"thresholds\":[1,1],\"food\":[1,1],\"input_total\":8,\
+        \"input_range\":[1,4],\"evaluate\":[1,2],\"wait\":true}";
+    let reply = client.post("/synthesize", request).expect("round trip");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+
+    let body = service::json::parse(&reply.body).expect("valid body");
+    let evaluations = body
+        .get("evaluations")
+        .expect("evaluations")
+        .as_array("evaluations")
+        .expect("array");
+    // The same goldens as tests/exact_verification.rs, to the same 1e-9.
+    let golden = [(1.0, 0.374_999_999_750), (2.0, 0.624_998_998_258)];
+    assert_eq!(evaluations.len(), golden.len());
+    for (evaluation, (x, expected)) in evaluations.iter().zip(golden) {
+        assert_eq!(evaluation.get("x").unwrap().as_f64("x").unwrap(), x);
+        let lysis = evaluation
+            .get("exact")
+            .expect("exact")
+            .get("lysis")
+            .expect("lysis")
+            .as_f64("lysis")
+            .expect("number");
+        assert!(
+            (lysis - expected).abs() < 1e-9,
+            "x={x}: served {lysis:.12} vs golden {expected:.12}"
+        );
+    }
+
+    // The cached replay agrees byte for byte.
+    let cached = client.post("/synthesize", request).expect("replay");
+    assert_eq!(cached.header("cache"), Some("hit"));
+    assert_eq!(cached.body, reply.body);
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// `POST /exact` answers a first-passage query with the exact probability.
+#[test]
+fn exact_endpoint_serves_first_passage_probabilities() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+    let request = "{\"network\":\"x -> heads @ 3\\nx -> tails @ 1\",\
+        \"initial\":{\"x\":1},\
+        \"bounds\":{\"policy\":\"strict\",\"default_cap\":1},\
+        \"analysis\":{\"type\":\"first_passage\",\"outcomes\":[\
+        {\"name\":\"heads\",\"species\":\"heads\",\"at_least\":1},\
+        {\"name\":\"tails\",\"species\":\"tails\",\"at_least\":1}]},\
+        \"wait\":true}";
+    let reply = client.post("/exact", request).expect("round trip");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let heads = json_number(&reply.body, &["probabilities", "heads"]);
+    assert!((heads - 0.75).abs() < 1e-12, "exact P(heads) = {heads}");
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// Async lifecycle: submit without `wait`, poll to completion, then cancel
+/// a long job and watch its worker slot go to the next job.
+#[test]
+fn cancellation_frees_the_worker_slot() {
+    let mut config = test_config();
+    config.workers = 1; // a single slot makes occupancy observable
+    let handle = serve(config).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+
+    // A long-running job: tens of millions of quick trials.
+    let long = client
+        .post("/simulate", &coin_request(1, 50_000_000, false))
+        .expect("submit long");
+    assert_eq!(long.status, 202, "body: {}", long.body);
+    let long_id = json_number(&long.body, &["job"]) as u64;
+
+    // A short job queued behind it.
+    let short = client
+        .post("/simulate", &coin_request(2, 1_000, false))
+        .expect("submit short");
+    assert_eq!(short.status, 202);
+    let short_id = json_number(&short.body, &["job"]) as u64;
+
+    // Cancel the long job; its trial-granular token poll frees the slot.
+    let cancelled = client.delete(&format!("/jobs/{long_id}")).expect("cancel");
+    assert_eq!(cancelled.status, 202, "body: {}", cancelled.body);
+
+    // The short job now completes…
+    let done = client
+        .get(&format!("/jobs/{short_id}?wait=1"))
+        .expect("poll short");
+    assert_eq!(done.status, 200, "body: {}", done.body);
+    assert_eq!(done.header("x-job-state"), Some("completed"));
+    assert_eq!(done.header("cache"), Some("miss"));
+
+    // …and the long job settles as cancelled.
+    let long_status = client
+        .get(&format!("/jobs/{long_id}?wait=1"))
+        .expect("poll long");
+    assert_eq!(long_status.header("x-job-state"), Some("cancelled"));
+    // Cancelling again conflicts.
+    let again = client
+        .delete(&format!("/jobs/{long_id}"))
+        .expect("re-cancel");
+    assert_eq!(again.status, 409);
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// 64 jobs in flight on the scheduler at once: everything completes, and
+/// spot-checked reports match fresh library runs.
+#[test]
+fn sustains_64_concurrent_in_flight_jobs() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+
+    let mut ids = Vec::new();
+    for seed in 0..64u64 {
+        let reply = client
+            .post("/simulate", &coin_request(seed, 50_000, false))
+            .expect("submit");
+        assert_eq!(reply.status, 202, "seed {seed}: {}", reply.body);
+        ids.push((seed, json_number(&reply.body, &["job"]) as u64));
+    }
+    // All 64 were accepted before any could finish submitting's worth of
+    // work; now they must all complete without deadlock.
+    for (seed, id) in &ids {
+        let done = client.get(&format!("/jobs/{id}?wait=1")).expect("poll");
+        assert_eq!(
+            done.header("x-job-state"),
+            Some("completed"),
+            "seed {seed}: {}",
+            done.body
+        );
+        assert_eq!(json_number(&done.body, &["seed"]), *seed as f64);
+    }
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(
+        json_number(&metrics.body, &["scheduler", "completed"]),
+        64.0
+    );
+    assert_eq!(json_number(&metrics.body, &["scheduler", "failed"]), 0.0);
+
+    // Divergence spot check against a single-threaded library run.
+    let crn: crn::Crn = "x -> h @ 3\nx -> t @ 1".parse().expect("network");
+    let initial = crn.state_from_counts([("x", 1)]).expect("state");
+    for seed in [0u64, 31, 63] {
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "h", 1, "heads")
+            .expect("rule")
+            .rule_named(&crn, "t", 1, "tails")
+            .expect("rule");
+        let report = Ensemble::new(&crn, initial.clone(), classifier)
+            .options(
+                EnsembleOptions::new()
+                    .trials(50_000)
+                    .master_seed(seed)
+                    .threads(1)
+                    .simulation(SimulationOptions::new().max_events(10_000_000)),
+            )
+            .run()
+            .expect("local run");
+        let (_, id) = ids[seed as usize];
+        let served = client.get(&format!("/jobs/{id}")).expect("fetch");
+        assert_eq!(
+            json_number(&served.body, &["report", "counts", "heads"]),
+            report.count("heads") as f64,
+            "seed {seed} diverged from the single-threaded run"
+        );
+    }
+
+    handle.shutdown(Duration::from_secs(5));
+    handle.join();
+}
+
+/// Malformed input surfaces as a 400 with the parser's line+column.
+#[test]
+fn bad_requests_name_line_and_column() {
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+
+    let reply = client
+        .post("/simulate", "{\"network\":\"x -> h @ fast\",\"trials\":10}")
+        .expect("round trip");
+    assert_eq!(reply.status, 400);
+    assert!(
+        reply.body.contains("line 1, column 10"),
+        "error should pinpoint the bad rate: {}",
+        reply.body
+    );
+
+    let reply = client.post("/simulate", "not json").expect("round trip");
+    assert_eq!(reply.status, 400);
+
+    let reply = client.get("/jobs/999").expect("round trip");
+    assert_eq!(reply.status, 404);
+
+    let reply = client.post("/healthz", "{}").expect("round trip");
+    assert_eq!(reply.status, 405);
+
+    let reply = client.get("/nope").expect("round trip");
+    assert_eq!(reply.status, 404);
+
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// `POST /shutdown` is refused for non-loopback peers (checked at the
+/// router level with a synthetic peer address) and drains in-flight jobs
+/// for loopback callers.
+#[test]
+fn shutdown_is_loopback_only_and_drains_in_flight_jobs() {
+    // Router-level check of the loopback guard.
+    let app = App::new(test_config());
+    let router = app.router();
+    let request = Request {
+        method: Method::Post,
+        path: "/shutdown".to_string(),
+        query: None,
+        headers: Vec::new(),
+        body: String::new(),
+    };
+    let refused = router.dispatch(&request, "203.0.113.9:4444".parse().expect("addr"));
+    assert_eq!(refused.status, 403);
+
+    // Full-stack drain over a socket.
+    let handle = serve(test_config()).expect("bind");
+    let client = Client::new(handle.addr()).expect("client");
+    let submitted = client
+        .post("/simulate", &coin_request(5, 200_000, false))
+        .expect("submit");
+    assert_eq!(submitted.status, 202);
+    let id = json_number(&submitted.body, &["job"]) as u64;
+
+    let drained = client
+        .post("/shutdown", "{\"deadline_ms\":30000}")
+        .expect("shutdown");
+    assert_eq!(drained.status, 200, "body: {}", drained.body);
+    assert!(json_number(&drained.body, &["finished"]) >= 1.0);
+
+    // The in-flight job finished rather than being killed.
+    let app = handle.app();
+    let snapshot = app.scheduler().status(id).expect("job known");
+    assert_eq!(snapshot.state, service::JobState::Completed);
+    handle.join();
+}

@@ -1,0 +1,168 @@
+//! Load generator: N concurrent clients hammering an in-process service.
+//!
+//! Each client thread submits ensemble jobs (unique seeds, so every one is
+//! a cache miss), polls them to completion and verifies the served report
+//! against a single-threaded library run. The driver records the peak
+//! number of in-flight jobs observed on the scheduler and fails loudly on
+//! any divergence, deadlock (via timeout) or failed job.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example loadtest -- [clients] [jobs-per-client] [trials]
+//! ```
+//!
+//! Defaults: 64 clients × 2 jobs × 20 000 trials — comfortably past the
+//! acceptance bar of 64 concurrent in-flight jobs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stochsynth::gillespie::{
+    Ensemble, EnsembleOptions, SimulationOptions, SpeciesThresholdClassifier,
+};
+use stochsynth::service::{serve, Client, ServiceConfig};
+
+const NETWORK: &str = "x -> h @ 3\nx -> t @ 1";
+
+fn simulate_request(seed: u64, trials: u64) -> String {
+    format!(
+        "{{\"network\":\"x -> h @ 3\\nx -> t @ 1\",\"initial\":{{\"x\":1}},\
+         \"trials\":{trials},\"seed\":{seed},\"priority\":{},\
+         \"classifier\":[\
+         {{\"species\":\"h\",\"at_least\":1,\"outcome\":\"heads\"}},\
+         {{\"species\":\"t\",\"at_least\":1,\"outcome\":\"tails\"}}]}}",
+        seed % 10
+    )
+}
+
+fn field(body: &str, path: &[&str]) -> f64 {
+    let mut value = stochsynth::service::json::parse(body).expect("valid JSON");
+    for key in path {
+        value = value
+            .get(key)
+            .unwrap_or_else(|| panic!("missing `{key}` in {body}"))
+            .clone();
+    }
+    value.as_f64("field").expect("number")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let clients = *args.first().unwrap_or(&64) as usize;
+    let jobs_per_client = *args.get(1).unwrap_or(&2);
+    let trials = *args.get(2).unwrap_or(&20_000);
+
+    let handle = serve(ServiceConfig {
+        queue_capacity: clients * jobs_per_client as usize + 16,
+        ..ServiceConfig::default()
+    })?;
+    println!(
+        "loadtest: {clients} clients x {jobs_per_client} jobs x {trials} trials against {}",
+        handle.addr()
+    );
+
+    let peak_in_flight = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for client_index in 0..clients {
+        let addr = handle.addr();
+        let peak = Arc::clone(&peak_in_flight);
+        threads.push(std::thread::spawn(move || -> Result<u64, String> {
+            let client = Client::new(addr)?;
+            let mut completed = 0u64;
+            for job_index in 0..jobs_per_client {
+                let seed = client_index as u64 * 10_000 + job_index;
+                let submitted = client.post("/simulate", &simulate_request(seed, trials))?;
+                if submitted.status != 202 {
+                    return Err(format!(
+                        "seed {seed}: submit returned HTTP {}: {}",
+                        submitted.status, submitted.body
+                    ));
+                }
+                let id = field(&submitted.body, &["job"]) as u64;
+
+                // Sample the scheduler occupancy while the job is in flight.
+                let metrics = client.get("/metrics")?;
+                let in_flight = field(&metrics.body, &["scheduler", "queued"])
+                    + field(&metrics.body, &["scheduler", "running"]);
+                peak.fetch_max(in_flight as u64, Ordering::Relaxed);
+
+                let done = client.get(&format!("/jobs/{id}?wait=1"))?;
+                if done.header("x-job-state") != Some("completed") {
+                    return Err(format!(
+                        "seed {seed}: job ended as {:?}",
+                        done.header("x-job-state")
+                    ));
+                }
+
+                // Conformance: the served report must match a fresh
+                // single-threaded run bit for bit.
+                let crn: crn::Crn = NETWORK.parse().expect("network");
+                let initial = crn.state_from_counts([("x", 1)]).expect("state");
+                let classifier = SpeciesThresholdClassifier::new()
+                    .rule_named(&crn, "h", 1, "heads")
+                    .expect("rule")
+                    .rule_named(&crn, "t", 1, "tails")
+                    .expect("rule");
+                let reference = Ensemble::new(&crn, initial, classifier)
+                    .options(
+                        EnsembleOptions::new()
+                            .trials(trials)
+                            .master_seed(seed)
+                            .threads(1)
+                            .simulation(SimulationOptions::new().max_events(10_000_000)),
+                    )
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                let served_heads = field(&done.body, &["report", "counts", "heads"]) as u64;
+                let served_time = field(&done.body, &["report", "mean_final_time"]);
+                if served_heads != reference.count("heads")
+                    || served_time != reference.mean_final_time
+                {
+                    return Err(format!(
+                        "seed {seed}: served report diverged from the single-threaded run \
+                         (heads {served_heads} vs {}, mean_final_time {served_time} vs {})",
+                        reference.count("heads"),
+                        reference.mean_final_time
+                    ));
+                }
+                completed += 1;
+            }
+            Ok(completed)
+        }));
+    }
+
+    let mut total_jobs = 0u64;
+    for thread in threads {
+        total_jobs += thread.join().expect("client thread")?;
+    }
+    let elapsed = started.elapsed();
+
+    let client = Client::new(handle.addr())?;
+    let metrics = client.get("/metrics").map_err(std::io::Error::other)?;
+    println!("\nfinal metrics:\n{}", metrics.body);
+    println!(
+        "\nloadtest: {total_jobs} jobs x {trials} trials in {:.2}s \
+         ({:.1} jobs/s, {:.0} trials/s), peak in-flight {} jobs, steals {}",
+        elapsed.as_secs_f64(),
+        total_jobs as f64 / elapsed.as_secs_f64(),
+        (total_jobs * trials) as f64 / elapsed.as_secs_f64(),
+        peak_in_flight.load(Ordering::Relaxed),
+        field(&metrics.body, &["scheduler", "steals"]),
+    );
+    assert_eq!(
+        field(&metrics.body, &["scheduler", "failed"]),
+        0.0,
+        "no job may fail under load"
+    );
+
+    handle.shutdown(Duration::from_secs(5));
+    handle.join();
+    println!("loadtest passed: no divergence, no deadlock, no failed jobs");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart for the simulation service: start an in-process server, run
+//! an ensemble over HTTP, see the deterministic cache replay it byte for
+//! byte, and ask the exact-CME endpoint for the ground truth.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example service_client
+//! ```
+//!
+//! Against a standalone server, the same requests work through the
+//! `stochsynth-cli` binary — see the README's *Running as a service*.
+
+use std::time::Duration;
+
+use stochsynth::service::{serve, Client, ServiceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An in-process service instance on an ephemeral port.
+    let handle = serve(ServiceConfig::default())?;
+    println!("service listening on {}", handle.addr());
+    let client = Client::new(handle.addr())?;
+
+    // 2. A biased coin as an ensemble job: `wait: true` blocks until the
+    //    scheduler has fanned the trials out and merged the report.
+    let request = r#"{
+        "network": "x -> h @ 3\nx -> t @ 1",
+        "initial": {"x": 1},
+        "trials": 10000,
+        "seed": 7,
+        "method": "direct",
+        "wait": true,
+        "classifier": [
+            {"species": "h", "at_least": 1, "outcome": "heads"},
+            {"species": "t", "at_least": 1, "outcome": "tails"}
+        ]
+    }"#;
+    let fresh = client.post("/simulate", request).map_err(to_io)?;
+    println!(
+        "\nPOST /simulate (cache: {}):\n{}",
+        fresh.header("cache").unwrap_or("?"),
+        fresh.body
+    );
+
+    // 3. The identical request replays from the cache, byte for byte.
+    let cached = client.post("/simulate", request).map_err(to_io)?;
+    assert_eq!(cached.body, fresh.body, "cache replays are byte-identical");
+    println!(
+        "\nsame request again (cache: {}): body identical = {}",
+        cached.header("cache").unwrap_or("?"),
+        cached.body == fresh.body
+    );
+
+    // 4. The exact answer, for comparison: P(heads) = 3/4 from the CME.
+    let exact = client
+        .post(
+            "/exact",
+            r#"{
+                "network": "x -> h @ 3\nx -> t @ 1",
+                "initial": {"x": 1},
+                "bounds": {"policy": "strict", "default_cap": 1},
+                "analysis": {"type": "first_passage", "outcomes": [
+                    {"name": "heads", "species": "h", "at_least": 1},
+                    {"name": "tails", "species": "t", "at_least": 1}
+                ]},
+                "wait": true
+            }"#,
+        )
+        .map_err(to_io)?;
+    println!("\nPOST /exact:\n{}", exact.body);
+
+    // 5. Metrics show the one hit, then drain and stop.
+    let metrics = client.get("/metrics").map_err(to_io)?;
+    println!("\nGET /metrics:\n{}", metrics.body);
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+    println!("\nservice drained cleanly");
+    Ok(())
+}
+
+fn to_io(message: String) -> std::io::Error {
+    std::io::Error::other(message)
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Service smoke test: boot `stochsynthd` on an ephemeral port, drive it
+# through simulate/exact/synthesize round trips with `stochsynth-cli`, and
+# assert that a repeated request is a cache hit with a byte-identical body.
+#
+# Run from the workspace root (CI runs it after `cargo build --release`):
+#
+#   ./scripts/service_smoke.sh [path-to-target-dir]
+set -euo pipefail
+
+TARGET_DIR="${1:-target/release}"
+DAEMON="$TARGET_DIR/stochsynthd"
+CLI="$TARGET_DIR/stochsynth-cli"
+WORK="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+[ -x "$DAEMON" ] || { echo "missing $DAEMON (build with: cargo build --release)"; exit 2; }
+[ -x "$CLI" ] || { echo "missing $CLI"; exit 2; }
+
+# --- boot on an ephemeral port -------------------------------------------
+"$DAEMON" --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/addr" >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORK/addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.log"; exit 1; }
+    sleep 0.1
+done
+SERVER="$(cat "$WORK/addr")"
+echo "stochsynthd up on $SERVER"
+"$CLI" health --server "$SERVER" >/dev/null
+
+# --- simulate: fresh, then byte-identical cache hit ----------------------
+cat >"$WORK/simulate.json" <<'EOF'
+{
+  "network": "x -> h @ 3\nx -> t @ 1",
+  "initial": {"x": 1},
+  "trials": 2000,
+  "seed": 7,
+  "classifier": [
+    {"species": "h", "at_least": 1, "outcome": "heads"},
+    {"species": "t", "at_least": 1, "outcome": "tails"}
+  ]
+}
+EOF
+"$CLI" submit --server "$SERVER" --endpoint simulate --file "$WORK/simulate.json" --wait \
+    >"$WORK/fresh.body" 2>"$WORK/fresh.meta"
+grep -q '^cache: miss$' "$WORK/fresh.meta" || { echo "first simulate was not a miss"; cat "$WORK/fresh.meta"; exit 1; }
+
+"$CLI" submit --server "$SERVER" --endpoint simulate --file "$WORK/simulate.json" --wait \
+    >"$WORK/cached.body" 2>"$WORK/cached.meta"
+grep -q '^cache: hit$' "$WORK/cached.meta" || { echo "repeated simulate was not a cache hit"; cat "$WORK/cached.meta"; exit 1; }
+cmp "$WORK/fresh.body" "$WORK/cached.body" || { echo "cached body differs from fresh body"; exit 1; }
+echo "simulate: cache hit is byte-identical"
+
+# --- exact: the coin's ground truth --------------------------------------
+cat >"$WORK/exact.json" <<'EOF'
+{
+  "network": "x -> h @ 3\nx -> t @ 1",
+  "initial": {"x": 1},
+  "bounds": {"policy": "strict", "default_cap": 1},
+  "analysis": {"type": "first_passage", "outcomes": [
+    {"name": "heads", "species": "h", "at_least": 1},
+    {"name": "tails", "species": "t", "at_least": 1}
+  ]}
+}
+EOF
+"$CLI" submit --server "$SERVER" --endpoint exact --file "$WORK/exact.json" --wait >"$WORK/exact.body"
+grep -q '"heads":0.75' "$WORK/exact.body" || { echo "exact endpoint wrong:"; cat "$WORK/exact.body"; exit 1; }
+echo "exact: P(heads) = 0.75"
+
+# --- synthesize: scaled lambda response ----------------------------------
+cat >"$WORK/synthesize.json" <<'EOF'
+{
+  "input": "moi",
+  "response": {"constant": 2, "log2": 1, "linear": 1},
+  "outcomes": ["lysis", "lysogeny"],
+  "outputs": ["cro2", "ci2"],
+  "thresholds": [1, 1],
+  "food": [1, 1],
+  "input_total": 8,
+  "input_range": [1, 4],
+  "evaluate": [2]
+}
+EOF
+"$CLI" submit --server "$SERVER" --endpoint synthesize --file "$WORK/synthesize.json" --wait >"$WORK/synth.body"
+grep -q '"lysis":0.62499' "$WORK/synth.body" || { echo "synthesize endpoint wrong:"; cat "$WORK/synth.body"; exit 1; }
+echo "synthesize: P(lysis | moi=2) matches the exact golden"
+
+# --- metrics must show exactly one cache hit -----------------------------
+"$CLI" metrics --server "$SERVER" >"$WORK/metrics.body"
+grep -q '"hits":1' "$WORK/metrics.body" || { echo "expected exactly one cache hit:"; cat "$WORK/metrics.body"; exit 1; }
+echo "metrics: exactly one cache hit recorded"
+
+# --- graceful shutdown ---------------------------------------------------
+"$CLI" shutdown --server "$SERVER" --deadline-ms 10000 >/dev/null
+wait "$DAEMON_PID"
+echo "service smoke test passed"

@@ -21,7 +21,11 @@
 //!   state-space enumeration, sparse generator matrices, uniformization
 //!   ([`cme::transient`]) and first-passage outcome analysis
 //!   ([`cme::FirstPassage`]) — the noise-free oracle behind the test
-//!   suites.
+//!   suites;
+//! * [`service`] — simulation as a service: a dependency-free HTTP/1.1
+//!   JSON job server ([`service::serve`], the `stochsynthd` binary) with a
+//!   bounded work-stealing scheduler, a deterministic byte-identical
+//!   result cache and embeddable [`Server`]/[`Router`] building blocks.
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -49,13 +53,15 @@ pub use crn;
 pub use gillespie;
 pub use lambda;
 pub use numerics;
+pub use service;
 pub use synthesis;
 
 pub use cme::{CmeError, FirstPassage, OutcomeDistribution, PopulationBounds, StateSpace};
 pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
 pub use gillespie::{
-    CompositionRejection, DirectMethod, Ensemble, EnsembleOptions, EnsembleReport,
+    CompositionRejection, DirectMethod, Ensemble, EnsembleOptions, EnsemblePartial, EnsembleReport,
     FirstReactionMethod, NextReactionMethod, Simulation, SimulationError, SimulationOptions,
     SimulationResult, SsaMethod, SsaStepper, StepperKind, StopCondition, TauLeaping,
 };
+pub use service::{Client, Router, Scheduler, Server, ServiceConfig, ServiceHandle};
 pub use synthesis::{StochasticModule, TargetDistribution};
