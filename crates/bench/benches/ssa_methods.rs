@@ -29,25 +29,37 @@ use gillespie::{Simulation, SimulationOptions, SsaMethod, StopCondition};
 /// Runs every stepper on `system` for 5000 events per trajectory.
 fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem) {
     let mut group = c.benchmark_group(format!("ssa_methods/{name}"));
-    for method in SsaMethod::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, &method| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    Simulation::new(&system.crn, method.stepper())
-                        .options(
-                            SimulationOptions::new()
-                                .seed(seed)
-                                .stop(StopCondition::events(5_000)),
-                        )
-                        .run(&system.initial)
-                        .expect("trajectory")
-                });
-            },
-        );
+    // Every concrete method, plus the adaptive portfolio resolved once up
+    // front (classification amortises over an ensemble, so the steady-state
+    // cost of `auto` is the cost of whatever it resolved to —
+    // `bench_compare` gates that it lands within 10% of the per-scenario
+    // best concrete stepper). The `auto` row is measured *before* the
+    // tau-leaping row: tau's long sustained iterations (tens of ms each on
+    // the large scenarios) shift the CPU's frequency state, which would
+    // bias an identical-workload row sampled right after it.
+    let auto = SsaMethod::Auto.resolve(&system.crn, &system.initial);
+    let mut rows: Vec<(&str, SsaMethod)> =
+        SsaMethod::ALL.into_iter().map(|m| (m.name(), m)).collect();
+    let tau = rows
+        .iter()
+        .position(|&(_, m)| m == SsaMethod::TauLeaping)
+        .expect("tau-leaping is one of the concrete methods");
+    rows.insert(tau, ("auto", auto));
+    for (id, method) in rows {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &method, |b, &method| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(&system.crn, method.stepper())
+                    .options(
+                        SimulationOptions::new()
+                            .seed(seed)
+                            .stop(StopCondition::events(5_000)),
+                    )
+                    .run(&system.initial)
+                    .expect("trajectory")
+            });
+        });
     }
     group.finish();
 }

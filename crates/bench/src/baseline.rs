@@ -196,6 +196,48 @@ impl Comparison {
     }
 }
 
+/// Checks the adaptive-portfolio contract on a fresh `ssa_methods` run:
+/// within every scenario group, the `auto` column's median must land
+/// within `slack` (0.10 = 10%) of the best *concrete* stepper's median.
+///
+/// Benchmark ids are `suite/scenario/method`; groups without an `auto`
+/// column (other suites, pre-portfolio baselines) are skipped. Returns one
+/// human-readable message per violated scenario, empty when the contract
+/// holds.
+pub fn portfolio_violations(fresh: &Baseline, slack: f64) -> Vec<String> {
+    let mut groups: BTreeMap<&str, Vec<&BenchmarkStats>> = BTreeMap::new();
+    for bench in &fresh.benchmarks {
+        if let Some((group, _method)) = bench.id.rsplit_once('/') {
+            groups.entry(group).or_default().push(bench);
+        }
+    }
+    let mut violations = Vec::new();
+    for (group, members) in groups {
+        let Some(auto) = members
+            .iter()
+            .find(|b| b.id.rsplit_once('/').is_some_and(|(_, m)| m == "auto"))
+        else {
+            continue;
+        };
+        let best = members
+            .iter()
+            .filter(|b| b.id != auto.id)
+            .map(|b| b.median_ns)
+            .fold(f64::INFINITY, f64::min);
+        if auto.median_ns > best * (1.0 + slack) {
+            violations.push(format!(
+                "{group}: auto median {:.0} ns exceeds best concrete stepper \
+                 {:.0} ns by {:.1}% (allowed {:.0}%)",
+                auto.median_ns,
+                best,
+                (auto.median_ns / best - 1.0) * 100.0,
+                slack * 100.0
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +338,38 @@ mod tests {
         let comparison = Comparison::between(&base, &regressed, false);
         assert!(!comparison.passes(0.25, 50_000.0));
         assert_eq!(comparison.regressions(0.25, 50_000.0)[0].id, "hot");
+    }
+
+    #[test]
+    fn portfolio_gate_bounds_auto_against_the_best_concrete_stepper() {
+        // `auto` within 10% of the best concrete column: passes.
+        let fresh = baseline_of(&[
+            ("ssa_methods/chain_10/direct", 100.0),
+            ("ssa_methods/chain_10/next-reaction", 160.0),
+            ("ssa_methods/chain_10/auto", 108.0),
+            ("ssa_methods/lambda/tau-leaping", 80.0),
+            ("ssa_methods/lambda/direct", 300.0),
+            ("ssa_methods/lambda/auto", 85.0),
+        ]);
+        assert!(portfolio_violations(&fresh, 0.10).is_empty());
+        // `auto` resolved to the wrong stepper in one scenario: that
+        // scenario (and only that one) is reported.
+        let wrong = baseline_of(&[
+            ("ssa_methods/chain_10/direct", 100.0),
+            ("ssa_methods/chain_10/auto", 105.0),
+            ("ssa_methods/lambda/tau-leaping", 80.0),
+            ("ssa_methods/lambda/direct", 300.0),
+            ("ssa_methods/lambda/auto", 295.0),
+        ]);
+        let violations = portfolio_violations(&wrong, 0.10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].starts_with("ssa_methods/lambda:"));
+        // Groups without an `auto` column are not the portfolio's problem.
+        let concrete_only = baseline_of(&[
+            ("ensemble_scaling/chain/threads_1", 100.0),
+            ("ensemble_scaling/chain/threads_8", 20.0),
+        ]);
+        assert!(portfolio_violations(&concrete_only, 0.10).is_empty());
     }
 
     #[test]

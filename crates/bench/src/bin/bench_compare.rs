@@ -28,14 +28,19 @@
 //!   `0` (default) compares raw medians — use it when both runs come from
 //!   the same machine.
 //!
-//! Exit codes: `0` gate passed, `1` regression (or vanished benchmark),
-//! `2` usage or I/O error. See the README's *Benchmark regression policy*
-//! for when and how to re-baseline intentionally.
+//! Besides the baseline diff, the gate enforces the adaptive-portfolio
+//! contract: in every fresh scenario group that carries an `auto` column,
+//! the `auto` median must be within 10% of the best concrete stepper.
+//!
+//! Exit codes: `0` gate passed, `1` regression (or vanished benchmark, or
+//! portfolio violation), `2` usage or I/O error. See the README's
+//! *Benchmark regression policy* for when and how to re-baseline
+//! intentionally.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bench::baseline::{parse_baseline, Baseline, Comparison};
+use bench::baseline::{parse_baseline, portfolio_violations, Baseline, Comparison};
 use bench::{Args, Table};
 
 fn load(path: &Path) -> Result<Baseline, String> {
@@ -142,6 +147,14 @@ fn run() -> Result<bool, String> {
             println!("new (unbaselined): {id}");
         }
         if !comparison.passes(threshold, floor_ns) {
+            all_pass = false;
+        }
+        // Portfolio contract: wherever a scenario has an `auto` column, the
+        // adaptive stepper must land within 10% of the best concrete one in
+        // the *fresh* run — a misclassification is a gate failure even if
+        // no baselined id regressed.
+        for violation in portfolio_violations(&fresh, 0.10) {
+            println!("PORTFOLIO: {violation}");
             all_pass = false;
         }
     }

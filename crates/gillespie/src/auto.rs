@@ -1,0 +1,356 @@
+//! The adaptive solver portfolio behind [`StepperKind::Auto`].
+//!
+//! No single SSA variant wins everywhere (the `ssa_methods` benchmark in
+//! the `bench` crate quantifies the crossovers): the direct method's low
+//! constant wins on small networks, the Gibson–Bruck next-reaction method
+//! wins once the per-event `O(R)` scan starts to bite *as long as the
+//! active working set stays small*, composition–rejection's `O(1)`
+//! selection pays off when many channels are concurrently fireable (or at
+//! extreme reaction counts), and tau-leaping wins *iff* populations are
+//! dense enough that one leap amortises many events. [`classify`] measures exactly those regime
+//! features on the concrete `(network, initial state)` pair and picks the
+//! empirically best stepper.
+//!
+//! # Determinism
+//!
+//! The verdict is a **pure function of the parsed network and initial
+//! state**. The one dynamic feature — leap occupancy — comes from a short
+//! pilot trajectory driven by a *fixed internal seed* ([`PILOT_SEED`]),
+//! never by the caller's ensemble seed, thread count or environment. The
+//! property tests in `tests/proptests.rs` pin this purity, and the
+//! determinism suite pins that an `Auto` ensemble is bit-identical to one
+//! that requests the resolved kind explicitly. That purity is also what
+//! lets the `service` crate fold the *resolved* kind into its cache key
+//! and still replay cached responses byte-for-byte.
+
+use crn::{Crn, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+use serde::Serialize;
+
+use crate::direct::DirectMethod;
+use crate::propensity::propensities;
+use crate::simulator::{SsaStepper, StepOutcome, StepperKind};
+use crate::tau_leap::TauLeaping;
+
+/// Fixed seed of the classifier's pilot trajectory. Internal by design:
+/// feeding the caller's seed in here would make the resolved kind depend on
+/// the ensemble configuration instead of the network.
+const PILOT_SEED: u64 = 0x5EED_0A07;
+
+/// Total pilot events and the stride between leap-occupancy probes. The
+/// pilot exists to see past an unrepresentative initial state (e.g. a
+/// source-driven cascade that starts empty), so it is deliberately short —
+/// its cost is amortised over a whole ensemble, and probes at 0, 64, 128,
+/// 192 and 256 events are enough to see the occupancy settle.
+const PILOT_EVENTS: u64 = 256;
+const PROBE_STRIDE: u64 = 64;
+
+/// Networks at or below this reaction count go to the direct method: its
+/// per-event constant beats every queue/bin structure while the `O(R)` CDF
+/// scan is still trivially cheap (the benchmark crossover sits between the
+/// `chain_10` and `chain_50` scenarios).
+const SMALL_NET_MAX_REACTIONS: usize = 48;
+
+/// Networks at or above this reaction count go to composition–rejection
+/// unconditionally: whatever the dependency shape, an `O(log R)` queue
+/// eventually loses to `O(1)` selection.
+const CR_MIN_REACTIONS: usize = 10_000;
+
+/// Mid-size networks whose pilot trajectory shows at least this many
+/// *concurrently fireable* channels go to composition–rejection instead of
+/// next-reaction. The next-reaction method's edge lives where the active
+/// working set is tiny — most of its heap holds `t = ∞` idle channels and
+/// dependent updates barely reshuffle it — but once hundreds of channels
+/// are simultaneously active every dependent refresh is a real `O(log R)`
+/// sift, while composition–rejection re-bins each dependent in `O(1)`.
+/// Measured on the benchmark suite: the reversible chains (next-reaction's
+/// wins) probe at 9 active channels, while the gene-regulatory tree, the
+/// source-driven cascade and the dimerisation grid (all now
+/// composition–rejection wins) probe at 92, 502 and 631.
+const CR_MIN_ACTIVE_CHANNELS: usize = 64;
+
+/// Minimum expected reaction firings per tau-leap (minimum over all pilot
+/// probes of `τ·a₀`) for tau-leaping to be worth its per-leap overhead.
+/// Tuned against the benchmark suite: the lambda-switch ensemble — the one
+/// scenario where tau-leaping actually wins — probes at ~365, while the
+/// densest scenario where it loses (the dimerisation grid, 37× slower than
+/// next-reaction) probes at 120; see the decision table in the README.
+const TAU_MIN_OCCUPANCY: f64 = 200.0;
+
+/// The features [`classify`] measured and the verdict it reached.
+///
+/// Returned so callers can surface *why* a kind was chosen — the service
+/// exposes this as the `classifier_report` field of `auto` responses.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassifierReport {
+    /// Number of reaction channels in the network.
+    pub reactions: usize,
+    /// Number of species in the network.
+    pub species: usize,
+    /// Channels with positive propensity in the initial state.
+    pub active_channels: usize,
+    /// `log₂(a_max / a_min)` over the positive initial propensities — the
+    /// binade spread that sizes composition–rejection's group structure
+    /// (0 when fewer than two channels are active).
+    pub binade_spread: f64,
+    /// Minimum over the pilot probes of `τ·a₀`, the expected number of
+    /// reaction firings a single tau-leap would batch. `None` when the
+    /// network is exhausted at every probe point (no leap is possible).
+    pub leap_occupancy: Option<f64>,
+    /// Maximum number of concurrently fireable channels observed across
+    /// the pilot probes — the feature that separates next-reaction's
+    /// regime (a tiny active working set) from composition–rejection's
+    /// (hundreds of simultaneously active channels). `None` for an empty
+    /// network (no pilot runs).
+    pub pilot_active_channels: Option<usize>,
+    /// The concrete stepper kind the portfolio resolved to.
+    pub resolved: StepperKind,
+    /// One-line human-readable justification of the verdict.
+    pub reason: &'static str,
+}
+
+/// Classifies `(crn, initial)` and resolves the portfolio to the concrete
+/// [`StepperKind`] expected to be fastest, with the measured features.
+///
+/// Deterministic: see the [module docs](self) for the purity contract.
+/// Prefer [`StepperKind::resolve`] when only the verdict is needed.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let crn: crn::Crn = "a + b -> c @ 0.1\nc -> a + b @ 0.2".parse()?;
+/// let initial = crn.state_from_counts([("a", 50), ("b", 40)])?;
+/// let report = gillespie::classify(&crn, &initial);
+/// // Two reactions: squarely in the direct method's regime.
+/// assert_eq!(report.resolved, gillespie::StepperKind::Direct);
+/// assert_eq!(report.resolved, gillespie::StepperKind::Auto.resolve(&crn, &initial));
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify(crn: &Crn, initial: &State) -> ClassifierReport {
+    let reactions = crn.reactions().len();
+    let species = crn.species_len();
+
+    let mut propensity_buf = Vec::new();
+    propensities(crn, initial, &mut propensity_buf);
+    let active_channels = propensity_buf.iter().filter(|&&a| a > 0.0).count();
+    let binade_spread = {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for &a in propensity_buf.iter().filter(|&&a| a > 0.0) {
+            lo = lo.min(a);
+            hi = hi.max(a);
+        }
+        if active_channels >= 2 {
+            (hi / lo).log2()
+        } else {
+            0.0
+        }
+    };
+
+    let pilot = if reactions == 0 {
+        PilotProbe::default()
+    } else {
+        run_pilot(crn, initial)
+    };
+    let leap_occupancy = pilot.leap_occupancy;
+    let pilot_active_channels = if reactions == 0 {
+        None
+    } else {
+        Some(pilot.max_active)
+    };
+
+    let (resolved, reason) = if reactions == 0 {
+        (
+            StepperKind::Direct,
+            "empty network: nothing to select between",
+        )
+    } else if leap_occupancy.is_some_and(|occ| occ >= TAU_MIN_OCCUPANCY) {
+        (
+            StepperKind::TauLeaping,
+            "dense populations: every pilot probe batches enough firings per leap",
+        )
+    } else if reactions <= SMALL_NET_MAX_REACTIONS {
+        (
+            StepperKind::Direct,
+            "small network: the direct method's per-event constant wins",
+        )
+    } else if reactions >= CR_MIN_REACTIONS {
+        (
+            StepperKind::CompositionRejection,
+            "very large network: O(1) selection beats the O(log R) queue",
+        )
+    } else if pilot.max_active >= CR_MIN_ACTIVE_CHANNELS {
+        (
+            StepperKind::CompositionRejection,
+            "many concurrently active channels: O(1) re-binning beats heap sifts",
+        )
+    } else {
+        (
+            StepperKind::NextReaction,
+            "mid-size network with a small active working set: next-reaction wins",
+        )
+    };
+
+    ClassifierReport {
+        reactions,
+        species,
+        active_channels,
+        binade_spread,
+        leap_occupancy,
+        pilot_active_channels,
+        resolved,
+        reason,
+    }
+}
+
+/// The dynamic features the pilot trajectory measured at its probes.
+#[derive(Debug, Default)]
+struct PilotProbe {
+    /// Minimum observed leap occupancy `τ·a₀` across the probes — a
+    /// conservative estimate of how many firings a tau-leap would batch
+    /// *throughout* the transient, not just at `t = 0`. `None` when the
+    /// network was exhausted at every probe.
+    leap_occupancy: Option<f64>,
+    /// Maximum number of channels with positive propensity across probes.
+    max_active: usize,
+}
+
+/// Runs the fixed-seed pilot trajectory (direct method, [`PILOT_EVENTS`]
+/// events), measuring leap occupancy and active-channel concurrency at the
+/// probe checkpoints.
+fn run_pilot(crn: &Crn, initial: &State) -> PilotProbe {
+    let mut probe = TauLeaping::new();
+    let mut features = PilotProbe::default();
+    let mut propensity_buf = Vec::new();
+    let mut fold = |state: &State, probe: &mut TauLeaping, buf: &mut Vec<f64>| {
+        let a0 = propensities(crn, state, buf);
+        features.max_active = features
+            .max_active
+            .max(buf.iter().filter(|&&a| a > 0.0).count());
+        if a0 <= 0.0 {
+            return;
+        }
+        if let Some(tau) = probe.candidate_tau(crn, state) {
+            let occ = tau * a0;
+            features.leap_occupancy =
+                Some(features.leap_occupancy.map_or(occ, |prev| prev.min(occ)));
+        } else {
+            // Fireable but fully critical: a leap would batch nothing.
+            features.leap_occupancy = Some(0.0);
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(PILOT_SEED);
+    let mut pilot = DirectMethod::new();
+    let mut state = initial.clone();
+    let mut time = 0.0f64;
+    pilot.initialize(crn, &state, &mut rng);
+    fold(&state, &mut probe, &mut propensity_buf);
+    'pilot: for _ in 0..PILOT_EVENTS / PROBE_STRIDE {
+        for _ in 0..PROBE_STRIDE {
+            match pilot.step(crn, &mut state, &mut time, &mut rng) {
+                StepOutcome::Fired { .. } => {}
+                StepOutcome::Leaped { .. } => unreachable!("the direct method never leaps"),
+                StepOutcome::Exhausted => break 'pilot,
+            }
+        }
+        fold(&state, &mut probe, &mut propensity_buf);
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_resolves_to_direct() {
+        let crn: Crn = "".parse().unwrap();
+        let report = classify(&crn, &crn.zero_state());
+        assert_eq!(report.resolved, StepperKind::Direct);
+        assert_eq!(report.reactions, 0);
+        assert_eq!(report.leap_occupancy, None);
+        assert_eq!(report.pilot_active_channels, None);
+    }
+
+    #[test]
+    fn small_network_resolves_to_direct() {
+        let crn: Crn = "a + b -> c @ 0.1\nc -> a + b @ 0.2".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 50), ("b", 40)]).unwrap();
+        let report = classify(&crn, &initial);
+        assert_eq!(report.resolved, StepperKind::Direct);
+        assert_eq!(report.reactions, 2);
+        assert_eq!(report.active_channels, 1);
+        assert_eq!(report.binade_spread, 0.0);
+    }
+
+    #[test]
+    fn sparse_mid_size_network_resolves_to_next_reaction() {
+        // A reversible chain keeps its population wave in a handful of
+        // species, so only ~9 channels are ever simultaneously fireable.
+        let system = crn::generators::reversible_chain(200, 1.0, 0.5, 200);
+        let report = classify(&system.crn, &system.initial);
+        assert_eq!(report.resolved, StepperKind::NextReaction);
+        assert!(report.reactions > SMALL_NET_MAX_REACTIONS);
+        assert!(report.pilot_active_channels.unwrap() < CR_MIN_ACTIVE_CHANNELS);
+    }
+
+    #[test]
+    fn concurrently_active_mid_size_network_resolves_to_composition_rejection() {
+        // A dimerisation grid keeps every binding/unbinding channel live at
+        // once — the shape where per-dependent heap sifts lose to O(1)
+        // re-binning.
+        let system = crn::generators::dimerisation_grid(16, 16, 0.002, 1.0, 25);
+        let report = classify(&system.crn, &system.initial);
+        assert_eq!(report.resolved, StepperKind::CompositionRejection);
+        assert!(report.reactions < CR_MIN_REACTIONS);
+        assert!(report.pilot_active_channels.unwrap() >= CR_MIN_ACTIVE_CHANNELS);
+    }
+
+    #[test]
+    fn dense_populations_resolve_to_tau_leaping() {
+        let system = crn::generators::lambda_switch_ensemble(200, 1.0, 0.1, 0.001, 30);
+        let report = classify(&system.crn, &system.initial);
+        assert_eq!(
+            report.resolved,
+            StepperKind::TauLeaping,
+            "leap occupancy was {:?}",
+            report.leap_occupancy
+        );
+        assert!(report.leap_occupancy.unwrap() >= TAU_MIN_OCCUPANCY);
+    }
+
+    #[test]
+    fn exhausted_initial_state_falls_back_to_size() {
+        let crn: Crn = "a + b -> c @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 3)]).unwrap();
+        let report = classify(&crn, &initial);
+        assert_eq!(report.resolved, StepperKind::Direct);
+        assert_eq!(report.active_channels, 0);
+        assert_eq!(report.leap_occupancy, None);
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let system = crn::generators::gene_regulatory_tree(4, 3, 0.2, 0.5, 8.0, 1.0);
+        let a = classify(&system.crn, &system.initial);
+        let b = classify(&system.crn, &system.initial);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.resolved,
+            StepperKind::Auto.resolve(&system.crn, &system.initial)
+        );
+    }
+
+    #[test]
+    fn concrete_kinds_resolve_to_themselves() {
+        let crn: Crn = "a -> b @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 5)]).unwrap();
+        for kind in StepperKind::ALL {
+            assert_eq!(kind.resolve(&crn, &initial), kind);
+        }
+    }
+}

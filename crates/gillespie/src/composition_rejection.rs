@@ -1,14 +1,11 @@
 //! Composition–rejection SSA for large reaction networks.
 
-use std::collections::BTreeMap;
-
 use crn::{Crn, State};
-use numerics::ExactSum;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::engine::ReactionDependencyGraph;
-use crate::propensity::{propensities, propensity};
+use crate::propensity::PropensitySet;
 use crate::simulator::{SsaStepper, StepOutcome};
 
 /// Sentinel for "this reaction is in no group" (zero propensity).
@@ -34,7 +31,8 @@ const NO_GROUP: i32 = i32::MIN;
 /// The direct method's per-event `O(R)` CDF scan disappears; what remains
 /// per event is the `O(D)` incremental propensity refresh driven by the
 /// engine's shared [`ReactionDependencyGraph`] — after a firing, only the
-/// dependent channels are re-evaluated and moved between bins.
+/// dependent channels are re-evaluated (in one pass over the
+/// [`PropensitySet`]'s contiguous SoA arrays) and moved between bins.
 ///
 /// # Exact group-sum bookkeeping
 ///
@@ -42,14 +40,30 @@ const NO_GROUP: i32 = i32::MIN;
 /// maintained as plain `f64` running sums (`sum += a_new − a_old`) they
 /// drift away from a from-scratch recompute, making trajectories depend on
 /// the *history* of the data structure rather than its contents. This
-/// implementation instead keeps each group's sum in a
-/// [`numerics::ExactSum`] ledger — an exact fixed-point accumulator whose
-/// `f64` readout is a pure function of the group's current members. A
-/// stepper that has incrementally tracked millions of firings therefore
-/// reports **bitwise** the same group sums as a fresh stepper initialised
-/// from the final state, which is pinned by the property tests in
-/// `tests/proptests.rs` (and is what keeps ensemble reports bit-identical
-/// across thread counts, like every other stepper).
+/// implementation exploits the binning invariant to make the sums exact by
+/// construction: every member of binade `g` is `m · 2^(g−52)` for an
+/// integer significand `m` (`2⁵² ≤ m < 2⁵³`), so a group's exact sum is
+/// `(Σ m) · 2^(g−52)` — and `Σ m` is a plain integer, maintained
+/// incrementally in a `u128` with arithmetic that cannot round, drift, or
+/// depend on operation order. The `f64` readout (one round-to-nearest of
+/// the integer, one exact power-of-two multiply) is therefore a pure
+/// function of the group's current members: a stepper that has
+/// incrementally tracked millions of firings reports **bitwise** the same
+/// group sums as a fresh stepper initialised from the final state, which
+/// is pinned by the property tests in `tests/proptests.rs` (and is what
+/// keeps ensemble reports bit-identical across thread counts, like every
+/// other stepper). The same readout is what a [`numerics::ExactSum`]
+/// superaccumulator computes for the same multiset — the unit tests pin
+/// the two against each other — but the integer ledger needs two machine
+/// adds per update instead of limb-array bookkeeping, which is what
+/// removed the small-network floor the `ssa_methods` benchmark used to
+/// show.
+///
+/// A constant-factor refinement rides along: the groups live in a
+/// binade-sorted `Vec` rather than a `BTreeMap`. Their number is bounded
+/// by the propensity dynamic range (a few dozen in practice), so
+/// binary-searched inserts stay cheap while the per-event composition walk
+/// becomes a linear scan over contiguous memory.
 ///
 /// # When to use it
 ///
@@ -60,48 +74,51 @@ const NO_GROUP: i32 = i32::MIN;
 /// scale models. For small networks the direct method's lower constant
 /// wins; for sparse networks whose propensities span many binades,
 /// [`NextReactionMethod`](crate::NextReactionMethod) is the alternative.
+/// [`StepperKind::Auto`](crate::StepperKind) applies exactly that decision
+/// table automatically.
 #[derive(Debug, Default, Clone)]
 pub struct CompositionRejection {
-    propensities: Vec<f64>,
+    propensities: PropensitySet,
     deps: ReactionDependencyGraph,
     /// Binade of each reaction's propensity (`NO_GROUP` when zero).
     group_of: Vec<i32>,
     /// Index of each reaction within its group's member list.
     slot_of: Vec<usize>,
-    /// Active groups, keyed by binade. A `BTreeMap` keeps the composition
-    /// walk in deterministic (ascending-binade) order, and groups are
-    /// removed the moment they empty, so the map is always in the canonical
-    /// form a from-scratch rebuild would produce.
-    groups: BTreeMap<i32, Group>,
+    /// Binade groups, sorted by ascending binade. A group that empties is
+    /// kept as a shell rather than removed: its sum is exactly `0.0`, which
+    /// is invisible to both the total (`x + 0.0 == x` bitwise for the
+    /// non-negative sums here) and the composition walk, and keeping it
+    /// avoids memmove churn of these ledger-carrying structs every time a
+    /// propensity oscillates across a binade boundary. The shell count is
+    /// bounded by the dynamic range of binades ever visited.
+    groups: Vec<Group>,
 }
 
 /// One log₂ bin of channels, with its exact propensity-sum ledger.
 #[derive(Debug, Clone)]
 struct Group {
+    binade: i32,
     members: Vec<usize>,
-    ledger: ExactSum,
+    /// Exact integer ledger: the sum of the members' significands. Each
+    /// member's propensity is `m · 2^(binade − 52)` for the integer `m`
+    /// extracted by [`significand`], so this sum times that power of two
+    /// *is* the exact group sum. `u128` cannot overflow: `m < 2⁵³` and the
+    /// member count is bounded by the reaction count.
+    sum_sig: u128,
     /// Cached `f64` readout of the ledger; refreshed lazily (`dirty`).
     cached_sum: f64,
     dirty: bool,
 }
 
 impl Group {
-    fn new() -> Self {
+    fn new(binade: i32) -> Self {
         Group {
+            binade,
             members: Vec::new(),
-            ledger: ExactSum::new(),
+            sum_sig: 0,
             cached_sum: 0.0,
             dirty: true,
         }
-    }
-
-    #[inline]
-    fn sum(&mut self) -> f64 {
-        if self.dirty {
-            self.cached_sum = self.ledger.value();
-            self.dirty = false;
-        }
-        self.cached_sum
     }
 }
 
@@ -134,50 +151,119 @@ fn binade_sup(g: i32) -> f64 {
     }
 }
 
+/// The integer significand of propensity `a` in binade `g`: the `m` such
+/// that `a = m · 2^(g − 52)` for normal `a`, or `a = m · 2^(−1074)` for
+/// subnormal `a` (where the exponent is fixed and the mantissa carries no
+/// implicit bit). Exact — both forms read the bits straight out of the
+/// IEEE representation.
+#[inline]
+fn significand(a: f64, g: i32) -> u128 {
+    const MANTISSA: u64 = (1 << 52) - 1;
+    let bits = a.to_bits() & MANTISSA;
+    if g >= -1022 {
+        (bits | (1 << 52)) as u128
+    } else {
+        bits as u128
+    }
+}
+
+/// Rounds a group's exact integer ledger to the nearest `f64`.
+///
+/// The exact sum is `sum_sig · 2^e` with `e = g − 52` (normal binades) or
+/// `e = −1074` (subnormal binades, whose members all share that fixed
+/// exponent). `u128 as f64` rounds the integer to nearest (ties to even)
+/// once; the power-of-two multiply is then exact, because a non-empty
+/// normal-binade group sums to at least `2^g ≥ 2^−1022` (no subnormal
+/// rounding) and a subnormal-scale product of an integer `< 2⁵³` is always
+/// representable. This is bit-for-bit the readout a
+/// [`numerics::ExactSum`] superaccumulator holding the same members
+/// produces — both are a single round-to-nearest of the same exact value
+/// — pinned by the `integer_ledger_matches_the_superaccumulator` test.
+#[inline]
+fn readout(sum_sig: u128, g: i32) -> f64 {
+    let exp = if g >= -1022 { g - 52 } else { -1074 };
+    let scale = if exp >= -1022 {
+        f64::from_bits(((exp + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (exp + 1074))
+    };
+    (sum_sig as f64) * scale
+}
+
+/// The sum of `group`, refreshing its cache if an update dirtied it. Clean
+/// groups — the common case, since a firing dirties only the handful of
+/// groups holding its dependents — cost a single `f64` load, so the
+/// per-event `total()` and composition walk stay cheap even when they
+/// visit every group twice.
+#[inline]
+fn group_sum(group: &mut Group) -> f64 {
+    if group.dirty {
+        group.cached_sum = readout(group.sum_sig, group.binade);
+        group.dirty = false;
+    }
+    group.cached_sum
+}
+
 impl CompositionRejection {
     /// Creates a new composition–rejection stepper.
     pub fn new() -> Self {
         CompositionRejection::default()
     }
 
+    /// Index of binade `g` in the sorted group vector.
+    #[inline]
+    fn group_index(&self, g: i32) -> Result<usize, usize> {
+        self.groups.binary_search_by(|group| group.binade.cmp(&g))
+    }
+
     /// Inserts reaction `r` (propensity `a > 0`) into its binade group.
     fn insert(&mut self, r: usize, a: f64) {
         let g = binade(a);
-        let group = self.groups.entry(g).or_insert_with(Group::new);
+        let idx = match self.group_index(g) {
+            Ok(idx) => idx,
+            Err(idx) => {
+                self.groups.insert(idx, Group::new(g));
+                idx
+            }
+        };
+        let group = &mut self.groups[idx];
         self.group_of[r] = g;
         self.slot_of[r] = group.members.len();
         group.members.push(r);
-        group.ledger.add(a);
+        group.sum_sig += significand(a, g);
         group.dirty = true;
     }
 
-    /// Removes reaction `r` (old propensity `a_old > 0`) from its group,
-    /// dropping the group entirely once it empties.
+    /// Removes reaction `r` (old propensity `a_old > 0`) from its group.
+    /// An emptied group stays in place as a zero-sum shell (see `groups`).
     fn evict(&mut self, r: usize, a_old: f64) {
         let g = self.group_of[r];
         let slot = self.slot_of[r];
-        let group = self.groups.get_mut(&g).expect("member implies group");
+        let idx = self.group_index(g).expect("member implies group");
+        let group = &mut self.groups[idx];
         group.members.swap_remove(slot);
         if let Some(&moved) = group.members.get(slot) {
             self.slot_of[moved] = slot;
         }
-        group.ledger.remove(a_old);
+        group.sum_sig -= significand(a_old, g);
         group.dirty = true;
         self.group_of[r] = NO_GROUP;
-        if group.members.is_empty() {
-            debug_assert!(group.ledger.is_zero(), "emptied group must sum to 0");
-            self.groups.remove(&g);
-        }
+        debug_assert!(
+            !group.members.is_empty() || group.sum_sig == 0,
+            "emptied group must sum to 0"
+        );
     }
 
     /// Records that reaction `r`'s propensity changed from `a_old` to
-    /// `a_new`, moving it between bins if its binade changed.
+    /// `a_new`, moving it between bins only when its binade actually
+    /// changed — the common stay-in-binade case is a pair of O(1) ledger
+    /// digit updates.
     fn update(&mut self, r: usize, a_new: f64) {
-        let a_old = self.propensities[r];
+        let a_old = self.propensities.value(r);
         if a_old.to_bits() == a_new.to_bits() {
             return;
         }
-        self.propensities[r] = a_new;
+        self.propensities.store(r, a_new);
         match (a_old > 0.0, a_new > 0.0) {
             (false, false) => {}
             (false, true) => self.insert(r, a_new),
@@ -185,9 +271,10 @@ impl CompositionRejection {
             (true, true) => {
                 let g_new = binade(a_new);
                 if self.group_of[r] == g_new {
-                    let group = self.groups.get_mut(&g_new).expect("member implies group");
-                    group.ledger.remove(a_old);
-                    group.ledger.add(a_new);
+                    let idx = self.group_index(g_new).expect("member implies group");
+                    let group = &mut self.groups[idx];
+                    group.sum_sig =
+                        group.sum_sig - significand(a_old, g_new) + significand(a_new, g_new);
                     group.dirty = true;
                 } else {
                     self.evict(r, a_old);
@@ -201,7 +288,7 @@ impl CompositionRejection {
     /// ascending-binade order (deterministic, and identical to what a fresh
     /// rebuild computes because each group sum is ledger-exact).
     fn total(&mut self) -> f64 {
-        self.groups.values_mut().map(Group::sum).sum()
+        self.groups.iter_mut().map(group_sum).sum()
     }
 
     /// The incrementally maintained propensity vector — the values the
@@ -209,21 +296,24 @@ impl CompositionRejection {
     /// the property-test suite, which pins it bitwise against a full
     /// recompute from the current state.
     pub fn maintained_propensities(&self) -> &[f64] {
-        &self.propensities
+        self.propensities.values()
     }
 
     /// Diagnostic/validation snapshot of the group bookkeeping: for every
-    /// active binade (ascending), its exact propensity sum and its member
+    /// occupied binade (ascending), its exact propensity sum and its member
     /// reactions (sorted). The property-test suite compares this bitwise
     /// against a freshly initialised stepper after arbitrary firing
-    /// sequences; it is not part of the simulation hot path.
+    /// sequences; it is not part of the simulation hot path, so it always
+    /// re-rounds the integer ledger (bypassing the cache) and skips the
+    /// empty shells the hot path carries.
     pub fn group_ledger(&mut self) -> Vec<(i32, f64, Vec<usize>)> {
         self.groups
-            .iter_mut()
-            .map(|(&g, group)| {
+            .iter()
+            .filter(|group| !group.members.is_empty())
+            .map(|group| {
                 let mut members = group.members.clone();
                 members.sort_unstable();
-                (g, group.sum(), members)
+                (group.binade, readout(group.sum_sig, group.binade), members)
             })
             .collect()
     }
@@ -231,7 +321,7 @@ impl CompositionRejection {
 
 impl SsaStepper for CompositionRejection {
     fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
-        propensities(crn, state, &mut self.propensities);
+        self.propensities.prime(crn, state);
         self.deps.rebuild(crn);
         let n = crn.reactions().len();
         self.groups.clear();
@@ -240,7 +330,7 @@ impl SsaStepper for CompositionRejection {
         self.slot_of.clear();
         self.slot_of.resize(n, 0);
         for r in 0..n {
-            let a = self.propensities[r];
+            let a = self.propensities.value(r);
             if a > 0.0 {
                 self.insert(r, a);
             }
@@ -263,31 +353,33 @@ impl SsaStepper for CompositionRejection {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         *time += -u.ln() / total;
 
-        // Composition: pick a group proportionally to its sum. Round-off
-        // can leave the target positive after the last group; the walk then
-        // settles on the last (highest-binade) group, mirroring the
-        // walk-back in `select_by_weight`.
+        // Composition: pick a group proportionally to its sum, skipping
+        // zero-sum shells. Round-off can leave the target positive after
+        // the last group; the walk then settles on the last *occupied*
+        // (highest-binade) group, mirroring the walk-back in
+        // `select_by_weight`.
         let mut target: f64 = rng.gen::<f64>() * total;
-        let mut chosen_binade = i32::MIN;
-        for (&g, group) in self.groups.iter_mut() {
-            target -= group.sum();
-            chosen_binade = g;
+        let mut chosen_group = usize::MAX;
+        for (idx, group) in self.groups.iter_mut().enumerate() {
+            let sum = group_sum(group);
+            if sum <= 0.0 {
+                continue;
+            }
+            chosen_group = idx;
+            target -= sum;
             if target < 0.0 {
                 break;
             }
         }
-        let group = self
-            .groups
-            .get(&chosen_binade)
-            .expect("positive total implies at least one group");
+        let group = &self.groups[chosen_group];
 
         // Rejection: uniform member, accepted with probability a / 2^(g+1)
         // — at least ½ because every member propensity is ≥ 2^g.
-        let sup = binade_sup(chosen_binade);
+        let sup = binade_sup(group.binade);
         let chosen = loop {
             let idx = rng.gen_range(0..group.members.len());
             let r = group.members[idx];
-            if rng.gen::<f64>() * sup < self.propensities[r] {
+            if rng.gen::<f64>() * sup < self.propensities.value(r) {
                 break r;
             }
         };
@@ -300,7 +392,7 @@ impl SsaStepper for CompositionRejection {
         // out of `self` for the loop because `update` needs `&mut self`.
         let deps = std::mem::take(&mut self.deps);
         for &dep in deps.dependents(chosen) {
-            let a_new = propensity(&crn.reactions()[dep], state);
+            let a_new = self.propensities.eval(dep, state);
             self.update(dep, a_new);
         }
         self.deps = deps;
@@ -339,6 +431,59 @@ mod tests {
             assert_eq!(binade(binade_sup(g)), g + 1);
             let just_below = f64::from_bits(binade_sup(g).to_bits() - 1);
             assert_eq!(binade(just_below), g);
+        }
+    }
+
+    #[test]
+    fn integer_ledger_matches_the_superaccumulator() {
+        // The integer significand ledger claims to round exactly like a
+        // numerics::ExactSum superaccumulator holding the same members.
+        // Drive a network whose propensities need rounding when summed
+        // (multiples of 0.1 and 0.025 are not exactly representable) and
+        // whose binades spread widely, and pin every group sum — and the
+        // hot-path total — against the superaccumulator, bit for bit,
+        // along a firing history.
+        let crn: Crn = "a -> b @ 0.1\na -> c @ 0.11\na -> d @ 0.025\n\
+                        a -> e @ 0.027\na -> f @ 1e-7\na -> g @ 97000"
+            .parse()
+            .unwrap();
+        let initial = crn.state_from_counts([("a", 70)]).unwrap();
+        let mut rng = {
+            use rand::SeedableRng;
+            StdRng::seed_from_u64(1)
+        };
+        let mut method = CompositionRejection::new();
+        let mut state = initial.clone();
+        let mut time = 0.0;
+        method.initialize(&crn, &state, &mut rng);
+        assert!(
+            method
+                .group_ledger()
+                .iter()
+                .any(|(_, _, members)| members.len() >= 2),
+            "test network must produce at least one multi-member group"
+        );
+        for _ in 0..50 {
+            let groups = method.group_ledger();
+            let mut exact_total = numerics::ExactSum::new();
+            for (_, sum, members) in &groups {
+                let mut acc = numerics::ExactSum::new();
+                for &r in members {
+                    acc.add(method.maintained_propensities()[r]);
+                }
+                assert_eq!(sum.to_bits(), acc.value().to_bits());
+                exact_total.add(acc.value());
+            }
+            // The hot-path total is the left-to-right f64 sum of the group
+            // sums in ascending-binade order; recompute it the same way.
+            let via_groups: f64 = groups.iter().map(|(_, sum, _)| sum).sum();
+            assert_eq!(method.total().to_bits(), via_groups.to_bits());
+            if matches!(
+                method.step(&crn, &mut state, &mut time, &mut rng),
+                StepOutcome::Exhausted
+            ) {
+                break;
+            }
         }
     }
 

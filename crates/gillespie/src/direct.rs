@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::engine::ReactionDependencyGraph;
-use crate::propensity::{propensities, propensity};
+use crate::propensity::PropensitySet;
 use crate::simulator::{select_by_weight, SsaStepper, StepOutcome};
 
 /// Gillespie's direct method (Gillespie 1977), with incremental propensity
@@ -36,7 +36,7 @@ use crate::simulator::{select_by_weight, SsaStepper, StepOutcome};
 /// variant that also avoids the `O(R)` scan.
 #[derive(Debug, Default, Clone)]
 pub struct DirectMethod {
-    propensities: Vec<f64>,
+    propensities: PropensitySet,
     deps: ReactionDependencyGraph,
 }
 
@@ -49,7 +49,7 @@ impl DirectMethod {
 
 impl SsaStepper for DirectMethod {
     fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
-        propensities(crn, state, &mut self.propensities);
+        self.propensities.prime(crn, state);
         self.deps.rebuild(crn);
     }
 
@@ -62,7 +62,7 @@ impl SsaStepper for DirectMethod {
     ) -> StepOutcome {
         // Sum in index order: bitwise identical to the full-recompute path,
         // which accumulates the total while filling the vector.
-        let total: f64 = self.propensities.iter().sum();
+        let total: f64 = self.propensities.values().iter().sum();
         if total <= 0.0 {
             return StepOutcome::Exhausted;
         }
@@ -71,13 +71,14 @@ impl SsaStepper for DirectMethod {
         *time += -u.ln() / total;
 
         // Select the firing reaction by inverting the discrete CDF.
-        let chosen = select_by_weight(&self.propensities, total, rng);
+        let chosen = select_by_weight(self.propensities.values(), total, rng);
         state
             .apply(&crn.reactions()[chosen])
             .expect("selected reaction must be fireable: propensity was positive");
-        // Refresh only the propensities the firing could have changed.
+        // Refresh only the propensities the firing could have changed — a
+        // single pass over the SoA layout's contiguous term arrays.
         for &dep in self.deps.dependents(chosen) {
-            self.propensities[dep] = propensity(&crn.reactions()[dep], state);
+            self.propensities.refresh(dep, state);
         }
         StepOutcome::Fired { reaction: chosen }
     }
@@ -184,8 +185,12 @@ mod tests {
             match method.step(&crn, &mut state, &mut time, &mut rng) {
                 StepOutcome::Fired { .. } => {
                     let mut fresh = Vec::new();
-                    propensities(&crn, &state, &mut fresh);
-                    assert_eq!(method.propensities, fresh, "drift after event {event}");
+                    crate::propensity::propensities(&crn, &state, &mut fresh);
+                    assert_eq!(
+                        method.propensities.values(),
+                        fresh.as_slice(),
+                        "drift after event {event}"
+                    );
                 }
                 StepOutcome::Leaped { .. } => unreachable!("the direct method never leaps"),
                 StepOutcome::Exhausted => break,

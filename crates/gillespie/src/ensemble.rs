@@ -38,7 +38,9 @@ pub struct EnsembleOptions {
     pub master_seed: u64,
     /// Number of worker threads (`0` means "one per available CPU").
     pub threads: usize,
-    /// Which stepper to use (exact SSA variants or tau-leaping).
+    /// Which stepper to use (exact SSA variants, tau-leaping, or
+    /// [`StepperKind::Auto`] to let the portfolio classifier pick — the
+    /// resolved concrete kind is recorded in [`EnsembleReport::method`]).
     pub method: StepperKind,
     /// Per-trajectory options (stop condition, recording, event limit). The
     /// per-trajectory seed is overridden by the ensemble.
@@ -124,6 +126,13 @@ pub struct EnsembleReport {
     /// request are distinguishable only by transport metadata, never by the
     /// report body.
     pub master_seed: u64,
+    /// The *concrete* stepper kind the trials ran with. When the ensemble
+    /// was configured with [`StepperKind::Auto`] this is the kind the
+    /// portfolio classifier resolved to — never `Auto` itself — so a report
+    /// produced by `Auto` is indistinguishable from one that requested the
+    /// resolved kind explicitly (they are bit-identical, which the
+    /// determinism suite pins).
+    pub method: StepperKind,
     /// Outcome counts, sorted by outcome label.
     pub counts: Vec<OutcomeCount>,
     /// Number of trajectories the classifier could not assign.
@@ -295,15 +304,19 @@ where
     /// run finished.
     pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<EnsembleReport, SimulationError> {
         self.validate()?;
+        // Resolve `Auto` once, before the fan-out, so every worker runs the
+        // same concrete stepper and the pilot classification is not repeated
+        // per range.
+        let method = self.resolved_method();
         let threads = self.options.effective_threads();
         let trials = self.options.trials;
         let partials = run_chunked_cancellable(threads, trials, cancel, |range, token| {
-            self.run_range_on(range.start, range.end, token)
+            self.run_range_on(range.start, range.end, method, token)
         })?;
         if cancel.is_cancelled() {
             return Err(SimulationError::Cancelled);
         }
-        self.merge(partials)
+        self.merge_resolved(partials, method)
     }
 
     /// Runs the contiguous trial block `[start, end)` on the calling thread
@@ -335,7 +348,7 @@ where
                 ),
             });
         }
-        self.run_range_on(start, end, cancel)
+        self.run_range_on(start, end, self.resolved_method(), cancel)
     }
 
     /// Merges range partials back into the full-ensemble report.
@@ -348,9 +361,16 @@ where
     ///
     /// Returns [`SimulationError::InvalidEnsembleConfig`] unless the
     /// partials are all complete and cover `0..trials` exactly once.
-    pub fn merge(
+    pub fn merge(&self, partials: Vec<EnsemblePartial>) -> Result<EnsembleReport, SimulationError> {
+        self.merge_resolved(partials, self.resolved_method())
+    }
+
+    /// [`Ensemble::merge`] with the portfolio already resolved, so a full
+    /// run classifies the network exactly once.
+    fn merge_resolved(
         &self,
         mut partials: Vec<EnsemblePartial>,
+        method: StepperKind,
     ) -> Result<EnsembleReport, SimulationError> {
         partials.sort_by_key(|p| p.start);
         let mut expected = 0u64;
@@ -407,6 +427,7 @@ where
         Ok(EnsembleReport {
             trials,
             master_seed: self.options.master_seed,
+            method,
             counts: counts
                 .into_iter()
                 .map(|(outcome, count)| OutcomeCount { outcome, count })
@@ -432,14 +453,23 @@ where
         Ok(())
     }
 
-    /// The shared per-range worker body; `start`/`end` are assumed valid.
+    /// The configured method with [`StepperKind::Auto`] resolved against
+    /// this ensemble's network and initial state (a no-op for concrete
+    /// kinds).
+    fn resolved_method(&self) -> StepperKind {
+        self.options.method.resolve(self.crn, &self.initial)
+    }
+
+    /// The shared per-range worker body; `start`/`end` are assumed valid and
+    /// `method` is already resolved to a concrete kind.
     fn run_range_on(
         &self,
         start: u64,
         end: u64,
+        method: StepperKind,
         cancel: &CancelToken,
     ) -> Result<EnsemblePartial, SimulationError> {
-        let mut stepper = self.options.method.stepper();
+        let mut stepper = method.stepper();
         // One state buffer per range, re-primed from the initial state each
         // trial; `run_trial` hands the allocation back through the result's
         // `final_state`.

@@ -137,6 +137,7 @@ mod tests {
         let report = EnsembleReport {
             trials: 10,
             master_seed: 0,
+            method: crate::StepperKind::Direct,
             counts: vec![
                 OutcomeCount {
                     outcome: Outcome::new("win"),

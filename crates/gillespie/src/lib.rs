@@ -23,7 +23,10 @@
 //! with a controlled `O(ε)` distribution bias pinned against the exact SSA
 //! by the chi-square/Kolmogorov–Smirnov conformance harness in
 //! `tests/statistical_validation.rs`. [`StepperKind`] selects between all
-//! five at run time.
+//! five at run time, and [`StepperKind::Auto`] picks for you: the
+//! [`classify`] portfolio classifier measures the network (size, propensity
+//! spread, leap occupancy from a deterministic pilot run) and resolves to
+//! the empirically best concrete stepper.
 //!
 //! On top of the single-trajectory simulators, the [`Ensemble`] runner
 //! executes Monte-Carlo ensembles across threads and classifies trajectory
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod auto;
 mod composition_rejection;
 mod direct;
 pub mod engine;
@@ -68,6 +72,7 @@ mod stop;
 mod tau_leap;
 mod trajectory;
 
+pub use auto::{classify, ClassifierReport};
 pub use composition_rejection::CompositionRejection;
 pub use direct::DirectMethod;
 pub use engine::ReactionDependencyGraph;
@@ -76,7 +81,7 @@ pub use error::SimulationError;
 pub use first_reaction::FirstReactionMethod;
 pub use next_reaction::NextReactionMethod;
 pub use outcome::{Outcome, OutcomeClassifier, SpeciesThresholdClassifier, ThresholdRule};
-pub use propensity::{propensities, propensity, total_propensity};
+pub use propensity::{propensities, propensity, total_propensity, PropensitySet};
 pub use simulator::{
     Simulation, SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepOutcome,
     StepperKind,

@@ -63,6 +63,139 @@ pub fn total_propensity(crn: &Crn, state: &State) -> f64 {
     crn.reactions().iter().map(|r| propensity(r, state)).sum()
 }
 
+/// Structure-of-arrays propensity evaluator: the reactant structure of a
+/// network flattened into contiguous CSR arrays, plus the current propensity
+/// of every reaction.
+///
+/// [`propensity`] dispatches through each [`Reaction`]'s own term vector — a
+/// pointer chase per reaction that dominates the per-event dependent-refresh
+/// loop of the incremental steppers. `PropensitySet` lays the same data out
+/// as four flat arrays (rates, row offsets, species indices, coefficients)
+/// so a batch of dependent re-evaluations from a
+/// [`ReactionDependencyGraph`](crate::ReactionDependencyGraph) fan-out is
+/// one pass over contiguous memory.
+///
+/// Evaluation replicates [`propensity`]'s floating-point operations in the
+/// exact same order, so the stored values are **bitwise identical** to a
+/// per-reaction recompute — which is what lets [`DirectMethod`]
+/// (crate::DirectMethod) and
+/// [`CompositionRejection`](crate::CompositionRejection) adopt it without
+/// perturbing any pinned trajectory.
+#[derive(Debug, Default, Clone)]
+pub struct PropensitySet {
+    /// Stochastic rate constant per reaction.
+    rates: Vec<f64>,
+    /// CSR row starts into the term arrays (length `reactions + 1`).
+    offsets: Vec<u32>,
+    /// Flattened reactant species indices, in declaration order.
+    species: Vec<u32>,
+    /// Flattened reactant coefficients (parallel to `species`).
+    coeffs: Vec<u32>,
+    /// Precomputed `factorial(coefficient)` per term (parallel to `species`).
+    facts: Vec<f64>,
+    /// Current propensity of every reaction.
+    values: Vec<f64>,
+}
+
+impl PropensitySet {
+    /// Creates an empty set; call [`PropensitySet::prime`] before use.
+    pub fn new() -> Self {
+        PropensitySet::default()
+    }
+
+    /// Rebuilds the flattened reactant layout for `crn` and evaluates every
+    /// propensity in `state`, returning the total (accumulated in reaction
+    /// order, exactly like [`propensities`]). Allocations are reused across
+    /// calls, so per-trial re-priming in an ensemble worker is cheap.
+    pub fn prime(&mut self, crn: &Crn, state: &State) -> f64 {
+        self.rates.clear();
+        self.offsets.clear();
+        self.species.clear();
+        self.coeffs.clear();
+        self.facts.clear();
+        let reactions = crn.reactions();
+        self.rates.reserve(reactions.len());
+        self.offsets.reserve(reactions.len() + 1);
+        self.offsets.push(0);
+        for reaction in reactions {
+            self.rates.push(reaction.rate());
+            for term in reaction.reactants() {
+                self.species.push(term.species.index() as u32);
+                self.coeffs.push(term.coefficient);
+                self.facts.push(factorial(term.coefficient));
+            }
+            self.offsets.push(self.species.len() as u32);
+        }
+        self.values.clear();
+        self.values.resize(reactions.len(), 0.0);
+        let mut total = 0.0;
+        for r in 0..reactions.len() {
+            let a = self.eval(r, state);
+            self.values[r] = a;
+            total += a;
+        }
+        total
+    }
+
+    /// Evaluates reaction `r`'s propensity in `state` without storing it —
+    /// bitwise identical to `propensity(&crn.reactions()[r], state)`.
+    #[inline]
+    pub fn eval(&self, r: usize, state: &State) -> f64 {
+        let counts = state.counts();
+        let start = self.offsets[r] as usize;
+        let end = self.offsets[r + 1] as usize;
+        let mut combinations = 1.0f64;
+        for term in start..end {
+            let count = match counts.get(self.species[term] as usize) {
+                Some(&c) => c,
+                None => return 0.0,
+            };
+            let coefficient = self.coeffs[term];
+            if count < u64::from(coefficient) {
+                return 0.0;
+            }
+            combinations *= falling_factorial(count, coefficient) / self.facts[term];
+        }
+        self.rates[r] * combinations
+    }
+
+    /// Re-evaluates reaction `r` in `state`, stores and returns the value.
+    #[inline]
+    pub fn refresh(&mut self, r: usize, state: &State) -> f64 {
+        let a = self.eval(r, state);
+        self.values[r] = a;
+        a
+    }
+
+    /// Overwrites the stored value of reaction `r` (for steppers that
+    /// evaluate first and commit after updating their own bookkeeping).
+    #[inline]
+    pub fn store(&mut self, r: usize, a: f64) {
+        self.values[r] = a;
+    }
+
+    /// The stored propensity of reaction `r`.
+    #[inline]
+    pub fn value(&self, r: usize) -> f64 {
+        self.values[r]
+    }
+
+    /// The full stored propensity vector, in reaction order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of reactions in the primed layout.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty (unprimed or a reaction-free network).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
 fn falling_factorial(n: u64, k: u32) -> f64 {
     let mut acc = 1.0f64;
     for i in 0..u64::from(k) {
@@ -150,5 +283,33 @@ mod tests {
         let crn = crn_of("a + b -> c @ 1");
         let state = crn.state_from_counts([("a", 10)]).unwrap();
         assert_eq!(propensity(&crn.reactions()[0], &state), 0.0);
+    }
+
+    #[test]
+    fn soa_set_matches_per_reaction_eval_bitwise() {
+        // Mixed orders, repeated reactants, an idle channel and a source —
+        // every code path of the flattened evaluator.
+        let crn = crn_of(
+            "0 -> a @ 2.5\n2 a + b -> c @ 0.37\na -> b @ 1e-3\n3 c -> a @ 7.25\nq + a -> c @ 5",
+        );
+        let mut set = PropensitySet::new();
+        for counts in [
+            vec![("a", 4u64), ("b", 3), ("c", 6)],
+            vec![("a", 1), ("c", 2)],
+            vec![("a", 1_000_000), ("b", 77), ("c", 1), ("q", 3)],
+        ] {
+            let state = crn.state_from_counts(counts).unwrap();
+            let mut reference = Vec::new();
+            let ref_total = propensities(&crn, &state, &mut reference);
+            let total = set.prime(&crn, &state);
+            assert_eq!(set.len(), crn.reactions().len());
+            assert_eq!(total.to_bits(), ref_total.to_bits());
+            for (r, &a) in reference.iter().enumerate() {
+                assert_eq!(set.value(r).to_bits(), a.to_bits(), "reaction {r}");
+                assert_eq!(set.eval(r, &state).to_bits(), a.to_bits(), "reaction {r}");
+            }
+            assert_eq!(set.values(), reference.as_slice());
+        }
+        assert!(!set.is_empty());
     }
 }

@@ -117,6 +117,14 @@ pub enum StepperKind {
     /// Explicit Poisson tau-leaping with Cao–Gillespie adaptive step
     /// selection (approximate, fast for high-population networks).
     TauLeaping,
+    /// Adaptive portfolio: classify the network (size, propensity spread,
+    /// leap occupancy from a short deterministic pilot run) and delegate to
+    /// the empirically best concrete stepper. Resolve with
+    /// [`StepperKind::resolve`] (or [`classify`](crate::classify) for the
+    /// full feature report) before instantiating a stepper; the ensemble
+    /// runner and the service do this automatically and record the resolved
+    /// concrete kind in their reports.
+    Auto,
 }
 
 /// Backwards-compatible name for [`StepperKind`], predating the addition of
@@ -124,7 +132,9 @@ pub enum StepperKind {
 pub type SsaMethod = StepperKind;
 
 impl StepperKind {
-    /// All built-in methods (exact and approximate), convenient for sweeps.
+    /// All built-in *concrete* methods (exact and approximate), convenient
+    /// for sweeps. [`StepperKind::Auto`] is deliberately absent: it always
+    /// resolves to one of these.
     pub const ALL: [StepperKind; 5] = [
         StepperKind::Direct,
         StepperKind::FirstReaction,
@@ -143,6 +153,12 @@ impl StepperKind {
     ];
 
     /// Instantiates a fresh stepper for this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`StepperKind::Auto`]: the portfolio is a *selection
+    /// policy*, not a stepper, and must be resolved against a concrete
+    /// network and initial state first via [`StepperKind::resolve`].
     pub fn stepper(self) -> Box<dyn SsaStepper + Send> {
         match self {
             StepperKind::Direct => Box::new(crate::DirectMethod::new()),
@@ -150,6 +166,26 @@ impl StepperKind {
             StepperKind::NextReaction => Box::new(crate::NextReactionMethod::new()),
             StepperKind::CompositionRejection => Box::new(crate::CompositionRejection::new()),
             StepperKind::TauLeaping => Box::new(crate::TauLeaping::new()),
+            StepperKind::Auto => {
+                panic!(
+                    "StepperKind::Auto must be resolved against a network first: \
+                        call `kind.resolve(&crn, &initial)` and instantiate the result"
+                )
+            }
+        }
+    }
+
+    /// Resolves this kind to a concrete stepper kind for the given network
+    /// and initial state. Concrete kinds return themselves unchanged;
+    /// [`StepperKind::Auto`] runs the [`classify`](crate::classify)
+    /// portfolio classifier, whose verdict is a deterministic pure function
+    /// of `(crn, initial)` — the pilot run uses a fixed internal seed, so
+    /// the same request always resolves to the same kind on every thread,
+    /// process and machine.
+    pub fn resolve(self, crn: &Crn, initial: &State) -> StepperKind {
+        match self {
+            StepperKind::Auto => crate::auto::classify(crn, initial).resolved,
+            concrete => concrete,
         }
     }
 
@@ -161,13 +197,15 @@ impl StepperKind {
             StepperKind::NextReaction => "next-reaction",
             StepperKind::CompositionRejection => "composition-rejection",
             StepperKind::TauLeaping => "tau-leaping",
+            StepperKind::Auto => "auto",
         }
     }
 
     /// Returns `true` for the exact SSA variants, `false` for approximate
-    /// ones.
+    /// ones. [`StepperKind::Auto`] reports `false`: it may resolve to
+    /// tau-leaping, so exactness cannot be promised before resolution.
     pub fn is_exact(self) -> bool {
-        !matches!(self, StepperKind::TauLeaping)
+        !matches!(self, StepperKind::TauLeaping | StepperKind::Auto)
     }
 }
 

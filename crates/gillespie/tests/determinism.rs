@@ -323,3 +323,60 @@ fn tau_leaping_reports_are_bit_identical_across_thread_counts() {
         );
     }
 }
+
+/// The adaptive portfolio is a pure *selection* layer: an ensemble
+/// configured with `StepperKind::Auto` must produce a report bit-identical
+/// to one that explicitly requests the kind the classifier resolved to —
+/// same trajectories, same floating-point means, and a `method` field that
+/// records the concrete kind (never `Auto`). This is the contract that lets
+/// the service fold the resolved kind into its cache key and replay cached
+/// `auto` responses byte-for-byte.
+#[test]
+fn auto_ensembles_are_bit_identical_to_the_resolved_kind() {
+    use gillespie::classify;
+
+    // Three networks spanning the classifier's regimes: a small net
+    // (direct), a mid-size cascade (next-reaction), and a dense-population
+    // switch ensemble (tau-leaping).
+    let systems = vec![
+        crn::generators::reversible_chain(10, 1.0, 0.5, 200),
+        crn::generators::linear_cascade(100, 50.0, 1.0, 200),
+        crn::generators::lambda_switch_ensemble(20, 1.0, 0.1, 0.001, 30),
+    ];
+    let mut resolved_kinds = std::collections::BTreeSet::new();
+    for system in &systems {
+        let resolved = SsaMethod::Auto.resolve(&system.crn, &system.initial);
+        assert_ne!(resolved, SsaMethod::Auto, "resolution must be concrete");
+        assert_eq!(resolved, classify(&system.crn, &system.initial).resolved);
+        resolved_kinds.insert(resolved.name());
+
+        let run = |method: SsaMethod, threads: usize| {
+            let classifier = SpeciesThresholdClassifier::new();
+            Ensemble::new(&system.crn, system.initial.clone(), classifier)
+                .options(
+                    EnsembleOptions::new()
+                        .trials(37)
+                        .master_seed(20_260_808)
+                        .threads(threads)
+                        .method(method)
+                        .simulation(SimulationOptions::new().stop(StopCondition::events(200))),
+                )
+                .run()
+                .unwrap()
+        };
+        let auto = run(SsaMethod::Auto, 1);
+        let explicit = run(resolved, 1);
+        assert_eq!(auto, explicit, "auto != explicit {}", resolved.name());
+        assert_eq!(
+            auto.method, resolved,
+            "report must record the resolved kind"
+        );
+        // And the thread-count invariance contract holds through the
+        // portfolio layer too.
+        assert_eq!(auto, run(SsaMethod::Auto, 4), "auto differs across threads");
+    }
+    assert!(
+        resolved_kinds.len() >= 2,
+        "test networks should exercise more than one regime, got {resolved_kinds:?}"
+    );
+}

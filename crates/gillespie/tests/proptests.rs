@@ -354,3 +354,41 @@ proptest! {
         prop_assert_eq!(all, individually.iter().all(|&b| b));
     }
 }
+
+proptest! {
+    /// The portfolio classifier's verdict is a pure function of the parsed
+    /// network and initial state: re-classifying, re-parsing the same
+    /// source text, and classifying on a different thread all resolve to
+    /// the same concrete kind with the same feature report — nothing
+    /// environmental (caller seeds, thread identity, prior classifications)
+    /// leaks in. This purity is what makes `auto` cache keys replayable.
+    #[test]
+    fn auto_classification_is_a_pure_function_of_the_network(
+        crn in conversion_network(),
+        a in 0u64..5_000,
+        b in 0u64..5_000,
+        c in 0u64..5_000,
+    ) {
+        use gillespie::{classify, SsaMethod};
+        let initial = crn
+            .state_from_counts([("a", a), ("b", b), ("c", c)])
+            .expect("state");
+        let first = classify(&crn, &initial);
+        prop_assert_ne!(first.resolved, SsaMethod::Auto);
+        prop_assert_eq!(&first, &classify(&crn, &initial));
+        prop_assert_eq!(first.resolved, SsaMethod::Auto.resolve(&crn, &initial));
+
+        // Same source text, freshly parsed on another thread.
+        let text = format!("{crn}");
+        let elsewhere = std::thread::spawn(move || {
+            let reparsed: Crn = text.parse().expect("round-trip");
+            let initial = reparsed
+                .state_from_counts([("a", a), ("b", b), ("c", c)])
+                .expect("state");
+            classify(&reparsed, &initial)
+        })
+        .join()
+        .expect("classifier thread");
+        prop_assert_eq!(first, elsewhere);
+    }
+}

@@ -18,7 +18,10 @@
 //! nearest `f64` (ties to even), so two accumulators holding the same
 //! multiset of values — one built incrementally over an arbitrary
 //! add/remove history, one rebuilt from scratch — read out bit-identical
-//! floats, always.
+//! floats, always. Readout cost tracks the *occupied* limb window — the
+//! dynamic range of the accumulated values — not the accumulator's full
+//! width, which matters to callers that read after nearly every update
+//! (the composition–rejection group sums).
 
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +80,14 @@ pub struct ExactSum {
     dirty_lo: u32,
     /// Highest limb touched since the last normalisation.
     dirty_hi: u32,
+    /// Lowest limb that may be non-zero (`LIMBS` = ledger provably empty).
+    /// Conservative: limbs outside `occ_lo..=occ_hi` are guaranteed zero,
+    /// so readouts scan only the occupied window — for values clustered
+    /// within a few binades (propensity-group sums) that is a handful of
+    /// limbs instead of the accumulator's full width.
+    occ_lo: u32,
+    /// Highest limb that may be non-zero.
+    occ_hi: u32,
 }
 
 impl Default for ExactSum {
@@ -86,6 +97,8 @@ impl Default for ExactSum {
             deferred_ops: 0,
             dirty_lo: LIMBS as u32,
             dirty_hi: 0,
+            occ_lo: LIMBS as u32,
+            occ_hi: 0,
         }
     }
 }
@@ -119,7 +132,12 @@ impl ExactSum {
     /// Returns `true` if the exact total is zero.
     pub fn is_zero(&mut self) -> bool {
         self.normalize();
-        self.limbs.iter().all(|&l| l == 0)
+        let lo = self.occ_lo as usize;
+        if lo >= LIMBS {
+            return true;
+        }
+        let hi = (self.occ_hi as usize).min(LIMBS - 1);
+        self.limbs[lo..=hi].iter().all(|&l| l == 0)
     }
 
     /// Reads the exact total out as the nearest `f64` (round half to even).
@@ -133,10 +151,23 @@ impl ExactSum {
     /// Panics if the exact total is negative (more was removed than added).
     pub fn value(&mut self) -> f64 {
         self.normalize();
-        let top = match self.limbs.iter().rposition(|&l| l != 0) {
-            Some(top) => top,
-            None => return 0.0,
+        let lo = self.occ_lo as usize;
+        if lo >= LIMBS {
+            return 0.0;
+        }
+        let hi = (self.occ_hi as usize).min(LIMBS - 1);
+        let top = match self.limbs[lo..=hi].iter().rposition(|&l| l != 0) {
+            Some(pos) => lo + pos,
+            None => {
+                // Everything cancelled away: record the provably-empty
+                // window so the next readout is O(1).
+                self.occ_lo = LIMBS as u32;
+                self.occ_hi = 0;
+                return 0.0;
+            }
         };
+        // Tighten the window's top to the actual highest non-zero limb.
+        self.occ_hi = top as u32;
         // Assemble the three highest limbs (up to 96 bits — always enough,
         // because the top limb is non-zero, so with `top >= 2` the window
         // holds at least 65 significant bits) and track whether anything
@@ -150,7 +181,7 @@ impl ExactSum {
         };
         let window =
             (limb(top as isize) << 64) | (limb(top as isize - 1) << 32) | limb(top as isize - 2);
-        let mut sticky = (0..top.saturating_sub(2)).any(|i| self.limbs[i] != 0);
+        let mut sticky = (lo..top.saturating_sub(2)).any(|i| self.limbs[i] != 0);
         // The window's least significant bit has weight 2^window_exp.
         let window_exp = LIMB_BITS as i32 * (top as i32 - 2) + MIN_EXP;
 
@@ -203,6 +234,8 @@ impl ExactSum {
         self.limbs[limb + 2] += sign * ((wide >> 64) as u32 as i64);
         self.dirty_lo = self.dirty_lo.min(limb as u32);
         self.dirty_hi = self.dirty_hi.max(limb as u32 + 2);
+        self.occ_lo = self.occ_lo.min(limb as u32);
+        self.occ_hi = self.occ_hi.max(limb as u32 + 2);
         self.deferred_ops += 1;
         if self.deferred_ops >= MAX_DEFERRED_OPS {
             self.normalize();
@@ -233,6 +266,8 @@ impl ExactSum {
             self.limbs[i] = low as i64;
             i += 1;
         }
+        // Carries may have run out above the previously occupied window.
+        self.occ_hi = self.occ_hi.max(i as u32 - 1);
         self.deferred_ops = 0;
         self.dirty_lo = LIMBS as u32;
         self.dirty_hi = 0;

@@ -11,8 +11,8 @@
 use cme::{FirstPassage, PopulationBounds, StateSpace};
 use crn::{Crn, State};
 use gillespie::{
-    EnsembleOptions, EnsembleReport, SimulationOptions, SpeciesThresholdClassifier, StepperKind,
-    StopCondition,
+    ClassifierReport, EnsembleOptions, EnsembleReport, SimulationOptions,
+    SpeciesThresholdClassifier, StepperKind, StopCondition,
 };
 use numerics::LogLinearFit;
 use synthesis::{LogLinearSynthesizer, SynthesizedResponse};
@@ -38,8 +38,15 @@ pub struct SimulateRequest {
     pub crn: Crn,
     /// The initial state.
     pub initial: State,
-    /// Which stepper runs the trials.
+    /// Which stepper the request asked for (possibly [`StepperKind::Auto`]).
     pub method: StepperKind,
+    /// The concrete stepper the trials actually run with. Equal to `method`
+    /// unless `method` is `auto`, in which case the portfolio classifier
+    /// resolved it at parse time — once per request, so every scheduled
+    /// chunk runs the same kind and the cache key is stable.
+    pub resolved: StepperKind,
+    /// The classifier's feature report; present only for `auto` requests.
+    pub classifier_report: Option<ClassifierReport>,
     /// Number of Monte-Carlo trials.
     pub trials: u64,
     /// Master seed (trial `i` uses `seed + i`). Defaults to 0 so every
@@ -119,10 +126,18 @@ impl SimulateRequest {
         }
         let priority = parse_priority(body)?;
         let wait = opt_bool(body, "wait")?.unwrap_or(false);
+        let (resolved, classifier_report) = if method == StepperKind::Auto {
+            let report = gillespie::classify(&crn, &initial);
+            (report.resolved, Some(report))
+        } else {
+            (method, None)
+        };
         Ok(SimulateRequest {
             crn,
             initial,
             method,
+            resolved,
+            classifier_report,
             trials,
             seed,
             stop,
@@ -136,12 +151,23 @@ impl SimulateRequest {
     /// The canonical cache key: every field that determines the result, in
     /// a fixed order, with the network in its canonical label-free text
     /// form.
+    ///
+    /// An `auto` request keys on `method=auto(<resolved>)`: the resolved
+    /// kind is a pure function of the network and initial state (already
+    /// part of the key), so replays are byte-identical — and the key stays
+    /// distinct from an explicit request for the same concrete kind, whose
+    /// response body differs (no `classifier_report`).
     pub fn cache_key(&self) -> String {
+        let method = if self.method == StepperKind::Auto {
+            format!("auto({})", self.resolved.name())
+        } else {
+            self.method.name().to_string()
+        };
         format!(
             "simulate|v1|{}|initial={}|method={}|trials={}|seed={}|stop={}|max_events={}|rules={}",
             canon_network(&self.crn),
             canon_state(&self.crn, &self.initial),
-            self.method.name(),
+            method,
             self.trials,
             self.seed,
             canon_stop(&self.stop),
@@ -170,12 +196,14 @@ impl SimulateRequest {
         Ok(classifier)
     }
 
-    /// The ensemble options equivalent to this request.
+    /// The ensemble options equivalent to this request. Always carries the
+    /// *resolved* concrete kind: resolution happened once at parse time, so
+    /// chunked scheduling never re-runs the classifier.
     pub fn ensemble_options(&self) -> EnsembleOptions {
         EnsembleOptions::new()
             .trials(self.trials)
             .master_seed(self.seed)
-            .method(self.method)
+            .method(self.resolved)
             .simulation(
                 SimulationOptions::new()
                     .stop(self.stop.clone())
@@ -183,16 +211,25 @@ impl SimulateRequest {
             )
     }
 
-    /// Renders the result body for a finished ensemble.
+    /// Renders the result body for a finished ensemble. `method` echoes the
+    /// request; `resolved_stepper` reports the concrete kind the trials ran
+    /// with (they differ only for `auto` requests, which additionally get
+    /// the classifier's feature report).
     pub fn render_report(&self, report: &EnsembleReport) -> String {
         let counts: Vec<(String, Json)> = report
             .counts
             .iter()
             .map(|c| (c.outcome.as_str().to_string(), Json::count(c.count)))
             .collect();
-        Json::object([
+        let mut members = vec![
             ("kind", Json::str("simulate")),
             ("method", Json::str(self.method.name())),
+            ("resolved_stepper", Json::str(report.method.name())),
+        ];
+        if let Some(classifier) = &self.classifier_report {
+            members.push(("classifier_report", render_classifier(classifier)));
+        }
+        members.extend([
             ("trials", Json::count(report.trials)),
             ("seed", Json::count(report.master_seed)),
             (
@@ -207,8 +244,8 @@ impl SimulateRequest {
                     ),
                 ]),
             ),
-        ])
-        .render()
+        ]);
+        Json::object(members).render()
     }
 }
 
@@ -713,12 +750,15 @@ fn parse_initial(body: &Json, crn: &Crn) -> Result<State, ServiceError> {
 }
 
 fn parse_method(name: &str) -> Result<StepperKind, ServiceError> {
+    if name == StepperKind::Auto.name() {
+        return Ok(StepperKind::Auto);
+    }
     StepperKind::ALL
         .into_iter()
         .find(|kind| kind.name() == name)
         .ok_or_else(|| {
             bad(format!(
-                "unknown method `{name}` (expected one of {})",
+                "unknown method `{name}` (expected one of {}, auto)",
                 StepperKind::ALL
                     .iter()
                     .map(|k| k.name())
@@ -726,6 +766,32 @@ fn parse_method(name: &str) -> Result<StepperKind, ServiceError> {
                     .join(", ")
             ))
         })
+}
+
+/// Renders the portfolio classifier's feature report for `auto` responses
+/// (and the debug surface of `/metrics` consumers).
+fn render_classifier(report: &ClassifierReport) -> Json {
+    Json::object([
+        ("reactions", Json::count(report.reactions as u64)),
+        ("species", Json::count(report.species as u64)),
+        (
+            "active_channels",
+            Json::count(report.active_channels as u64),
+        ),
+        ("binade_spread", Json::num(report.binade_spread)),
+        (
+            "leap_occupancy",
+            report.leap_occupancy.map_or(Json::Null, Json::num),
+        ),
+        (
+            "pilot_active_channels",
+            report
+                .pilot_active_channels
+                .map_or(Json::Null, |n| Json::count(n as u64)),
+        ),
+        ("resolved", Json::str(report.resolved.name())),
+        ("reason", Json::str(report.reason)),
+    ])
 }
 
 fn parse_stop(value: &Json, crn: &Crn) -> Result<StopCondition, ServiceError> {
@@ -991,6 +1057,98 @@ mod tests {
             ",\"initial\":{\"x\":1},\"seed\":8",
         );
         assert_ne!(key_a, SimulateRequest::parse(&c).unwrap().cache_key());
+    }
+
+    #[test]
+    fn auto_requests_resolve_at_parse_time() {
+        let body = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"method\":\"auto\"",
+        );
+        let request = SimulateRequest::parse(&body).unwrap();
+        assert_eq!(request.method, StepperKind::Auto);
+        // A two-reaction network is squarely in the direct method's regime.
+        assert_eq!(request.resolved, StepperKind::Direct);
+        let classifier = request.classifier_report.as_ref().unwrap();
+        assert_eq!(classifier.resolved, StepperKind::Direct);
+        assert_eq!(classifier.reactions, 2);
+        // The ensemble runs the resolved kind, never `Auto` itself.
+        assert_eq!(request.ensemble_options().method, StepperKind::Direct);
+
+        // The cache key embeds the resolution — replayable, but distinct
+        // from an explicit request for the same concrete kind (the bodies
+        // differ: only `auto` carries a classifier report).
+        let key = request.cache_key();
+        assert!(key.contains("method=auto(direct)"), "key: {key}");
+        let explicit = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"method\":\"direct\"",
+        );
+        let explicit_key = SimulateRequest::parse(&explicit).unwrap().cache_key();
+        assert_ne!(key, explicit_key);
+        assert!(
+            explicit_key.contains("method=direct"),
+            "key: {explicit_key}"
+        );
+    }
+
+    #[test]
+    fn auto_reports_carry_the_resolved_stepper() {
+        let body = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"method\":\"auto\",\"seed\":3",
+        );
+        let request = SimulateRequest::parse(&body).unwrap();
+        let classifier = request.classifier().unwrap();
+        let report = gillespie::Ensemble::new(&request.crn, request.initial.clone(), classifier)
+            .options(request.ensemble_options())
+            .run()
+            .unwrap();
+        assert_eq!(report.method, StepperKind::Direct);
+        let rendered = parse(&request.render_report(&report)).unwrap();
+        let field = |k: &str| rendered.get(k).unwrap().as_str(k).unwrap().to_string();
+        assert_eq!(field("method"), "auto");
+        assert_eq!(field("resolved_stepper"), "direct");
+        let classifier_json = rendered.get("classifier_report").unwrap();
+        assert_eq!(
+            classifier_json
+                .get("resolved")
+                .unwrap()
+                .as_str("resolved")
+                .unwrap(),
+            "direct"
+        );
+        assert!(classifier_json.get("reason").is_some());
+
+        // Explicit requests still render, with `resolved_stepper` matching
+        // the method and no classifier report.
+        let explicit = simulate_body(
+            "x -> h @ 3\nx -> t @ 1",
+            ",\"initial\":{\"x\":1},\"method\":\"next-reaction\",\"seed\":3",
+        );
+        let explicit = SimulateRequest::parse(&explicit).unwrap();
+        let report = gillespie::Ensemble::new(
+            &explicit.crn,
+            explicit.initial.clone(),
+            explicit.classifier().unwrap(),
+        )
+        .options(explicit.ensemble_options())
+        .run()
+        .unwrap();
+        let rendered = parse(&explicit.render_report(&report)).unwrap();
+        assert_eq!(
+            rendered.get("method").unwrap().as_str("method").unwrap(),
+            "next-reaction"
+        );
+        assert_eq!(
+            rendered
+                .get("resolved_stepper")
+                .unwrap()
+                .as_str("resolved_stepper")
+                .unwrap(),
+            "next-reaction"
+        );
+        assert!(rendered.get("classifier_report").is_none());
     }
 
     #[test]

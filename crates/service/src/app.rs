@@ -200,6 +200,33 @@ impl App {
                 ]),
             ),
             (
+                "auto_resolutions",
+                Json::object([
+                    (
+                        "direct",
+                        Json::count(Metrics::read(&self.metrics.auto_resolved_direct)),
+                    ),
+                    (
+                        "first_reaction",
+                        Json::count(Metrics::read(&self.metrics.auto_resolved_first_reaction)),
+                    ),
+                    (
+                        "next_reaction",
+                        Json::count(Metrics::read(&self.metrics.auto_resolved_next_reaction)),
+                    ),
+                    (
+                        "composition_rejection",
+                        Json::count(Metrics::read(
+                            &self.metrics.auto_resolved_composition_rejection,
+                        )),
+                    ),
+                    (
+                        "tau_leaping",
+                        Json::count(Metrics::read(&self.metrics.auto_resolved_tau_leaping)),
+                    ),
+                ]),
+            ),
+            (
                 "cache",
                 Json::object([
                     ("entries", Json::count(cache.entries as u64)),
@@ -328,6 +355,12 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
         Ok(request) => Arc::new(request),
         Err(error) => return error_response(&error),
     };
+    // Count what the portfolio decided (even when the cache answers the
+    // request): the per-kind histogram in `/metrics` is how operators see
+    // which regimes their workloads land in.
+    if request.method == gillespie::StepperKind::Auto {
+        Metrics::bump(app.metrics.auto_resolution_counter(request.resolved));
+    }
     let key = request.cache_key();
 
     // Chunking: aim for ~4 tasks per worker so stealing has something to

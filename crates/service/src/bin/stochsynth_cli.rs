@@ -2,6 +2,8 @@
 //!
 //! ```sh
 //! stochsynth-cli submit   --server 127.0.0.1:8080 --endpoint simulate --file req.json --wait
+//! stochsynth-cli simulate --server 127.0.0.1:8080 --network "a -> b @ 1" \
+//!                         --initial a=100 --stepper auto --trials 1000
 //! stochsynth-cli poll     --server 127.0.0.1:8080 --job 3
 //! stochsynth-cli fetch    --server 127.0.0.1:8080 --job 3
 //! stochsynth-cli cancel   --server 127.0.0.1:8080 --job 3
@@ -25,6 +27,10 @@ const USAGE: &str = "usage: stochsynth-cli <command> --server HOST:PORT [options
 
 commands:
   submit    --endpoint simulate|exact|synthesize --file REQ.json|- [--wait]
+  simulate  --network TEXT | --network-file PATH [--initial a=5,b=3]
+            [--stepper direct|first-reaction|next-reaction|composition-rejection|tau-leaping|auto]
+            [--trials N] [--seed N]
+            synchronous ensemble; with `auto` the resolved stepper goes to stderr
   poll      --job ID          block until the job is terminal, print its body
   fetch     --job ID          print the job's current status/result
   cancel    --job ID
@@ -129,6 +135,59 @@ fn run() -> Result<ExitCode, String> {
                 body = service::json::Json::Object(members).render();
             }
             client.post(&format!("/{endpoint}"), &body)?
+        }
+        "simulate" => {
+            let network = match (flags.get("network"), flags.get("network-file")) {
+                (Some(text), None) => text.clone(),
+                (None, Some(path)) => read_request_file(path)?,
+                _ => {
+                    return Err(format!(
+                        "simulate needs exactly one of --network or --network-file\n{USAGE}"
+                    ))
+                }
+            };
+            let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+                match flags.get(flag) {
+                    None => Ok(default),
+                    Some(value) => value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--{flag}: invalid value `{value}`")),
+                }
+            };
+            let trials = parse_u64("trials", 1_000)?;
+            let seed = parse_u64("seed", 0)?;
+            let stepper = flags.get("stepper").map(String::as_str).unwrap_or("direct");
+            use service::json::Json;
+            let mut members = vec![
+                ("network".to_string(), Json::str(network)),
+                ("method".to_string(), Json::str(stepper)),
+                ("trials".to_string(), Json::count(trials)),
+                ("seed".to_string(), Json::count(seed)),
+                ("wait".to_string(), Json::Bool(true)),
+            ];
+            if let Some(initial) = flags.get("initial") {
+                let mut counts = Vec::new();
+                for pair in initial.split(',').filter(|p| !p.is_empty()) {
+                    let (name, count) = pair.split_once('=').ok_or_else(|| {
+                        format!("--initial: expected `species=count`, got `{pair}`")
+                    })?;
+                    let count = count
+                        .parse::<u64>()
+                        .map_err(|_| format!("--initial: invalid count in `{pair}`"))?;
+                    counts.push((name.to_string(), Json::count(count)));
+                }
+                members.push(("initial".to_string(), Json::Object(counts)));
+            }
+            let reply = client.post("/simulate", &Json::Object(members).render())?;
+            // Surface the portfolio's decision where scripts can see it
+            // without parsing the result body.
+            if let Some(resolved) = service::json::parse(&reply.body).ok().and_then(|body| {
+                let value = body.get("resolved_stepper")?;
+                value.as_str("resolved_stepper").ok().map(str::to_string)
+            }) {
+                eprintln!("resolved-stepper: {resolved}");
+            }
+            reply
         }
         "poll" => client.get(&format!("{}?wait=1", job_path()?))?,
         "fetch" => client.get(&job_path()?)?,

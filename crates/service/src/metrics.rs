@@ -24,6 +24,16 @@ pub struct Metrics {
     pub exact_requests: AtomicU64,
     /// `POST /synthesize` requests.
     pub synthesize_requests: AtomicU64,
+    /// `method: auto` simulate requests resolved to the direct method.
+    pub auto_resolved_direct: AtomicU64,
+    /// `method: auto` simulate requests resolved to first-reaction.
+    pub auto_resolved_first_reaction: AtomicU64,
+    /// `method: auto` simulate requests resolved to next-reaction.
+    pub auto_resolved_next_reaction: AtomicU64,
+    /// `method: auto` simulate requests resolved to composition–rejection.
+    pub auto_resolved_composition_rejection: AtomicU64,
+    /// `method: auto` simulate requests resolved to tau-leaping.
+    pub auto_resolved_tau_leaping: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -43,6 +53,30 @@ impl Metrics {
             simulate_requests: AtomicU64::new(0),
             exact_requests: AtomicU64::new(0),
             synthesize_requests: AtomicU64::new(0),
+            auto_resolved_direct: AtomicU64::new(0),
+            auto_resolved_first_reaction: AtomicU64::new(0),
+            auto_resolved_next_reaction: AtomicU64::new(0),
+            auto_resolved_composition_rejection: AtomicU64::new(0),
+            auto_resolved_tau_leaping: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-kind resolution counter for an `auto` request that resolved
+    /// to `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is `Auto` itself — resolution always produces a
+    /// concrete kind.
+    pub fn auto_resolution_counter(&self, kind: gillespie::StepperKind) -> &AtomicU64 {
+        use gillespie::StepperKind;
+        match kind {
+            StepperKind::Direct => &self.auto_resolved_direct,
+            StepperKind::FirstReaction => &self.auto_resolved_first_reaction,
+            StepperKind::NextReaction => &self.auto_resolved_next_reaction,
+            StepperKind::CompositionRejection => &self.auto_resolved_composition_rejection,
+            StepperKind::TauLeaping => &self.auto_resolved_tau_leaping,
+            StepperKind::Auto => unreachable!("auto always resolves to a concrete kind"),
         }
     }
 

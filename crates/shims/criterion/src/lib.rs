@@ -99,11 +99,14 @@ impl Bencher {
     /// Times `routine`, collecting `sample_size` samples of a batched
     /// iteration count chosen so each sample runs long enough to measure.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: run until ~50 ms or 10 iterations, estimating cost.
+        // Warm-up: run for ~50 ms, estimating cost. The full budget is
+        // always consumed (no iteration cap) so fast routines get the same
+        // frequency-state settling time as slow ones — the preceding
+        // benchmark may have left the CPU throttled or boosted.
         let warmup_budget = Duration::from_millis(50);
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
-        while warmup_start.elapsed() < warmup_budget && warmup_iters < 10 {
+        while warmup_start.elapsed() < warmup_budget {
             std_black_box(routine());
             warmup_iters += 1;
         }
