@@ -10,15 +10,20 @@
 //! * `simulate_cold` — a full job through the work-stealing scheduler
 //!   (unique seed per iteration, so the cache never helps): submit,
 //!   fan-out, merge, render, cache-insert, respond.
+//! * `simulate_sharded` — the same cold job through a two-worker fabric:
+//!   the coordinator plans shards, dispatches each over HTTP to a worker
+//!   daemon, parses the partial wire documents and merges them — the
+//!   full distributed hop, on loopback.
 //!
-//! The gap between `cache_hit` and `cold` is the argument for the cache;
-//! the regression gate (`bench_compare`, CI's bench-smoke job) watches all
-//! three against `BENCH_service_throughput.json`.
+//! The gap between `cache_hit` and `cold` is the argument for the cache,
+//! and `sharded` minus `cold` prices the fabric's per-shard HTTP hop; the
+//! regression gate (`bench_compare`, CI's bench-smoke job) watches all
+//! four against `BENCH_service_throughput.json`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use service::{serve, Client, ServiceConfig, ServiceHandle};
+use service::{serve, Client, FabricConfig, ServiceConfig, ServiceHandle};
 
 fn simulate_request(seed: u64) -> String {
     format!(
@@ -78,8 +83,41 @@ fn bench_service(c: &mut Criterion) {
             assert_eq!(reply.header("cache"), Some("miss"), "{}", reply.body);
         })
     });
+    // The same cold job sharded across a two-worker loopback fabric:
+    // plan → HTTP dispatch → partial parse → exact merge, per iteration.
+    let workers: Vec<ServiceHandle> = (0..2)
+        .map(|_| serve(ServiceConfig::default()).expect("bind worker"))
+        .collect();
+    let coordinator = serve(ServiceConfig {
+        cache_capacity: 1 << 14,
+        queue_capacity: 1024,
+        fabric: Some(FabricConfig {
+            workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+            shard_trials: 125, // 500-trial job → 4 shards
+            ..FabricConfig::default()
+        }),
+        ..ServiceConfig::default()
+    })
+    .expect("bind coordinator");
+    let fabric_client = Client::new(coordinator.addr()).expect("client");
+    let next_sharded_seed = AtomicU64::new(1_000_000_001);
+    group.bench_function("simulate_sharded", |b| {
+        b.iter(|| {
+            let seed = next_sharded_seed.fetch_add(1, Ordering::Relaxed);
+            let reply = fabric_client
+                .post("/simulate", &simulate_request(seed))
+                .expect("sharded simulate");
+            assert_eq!(reply.header("cache"), Some("miss"), "{}", reply.body);
+        })
+    });
     group.finish();
 
+    coordinator.shutdown(std::time::Duration::from_secs(5));
+    coordinator.join();
+    for worker in workers {
+        worker.shutdown(std::time::Duration::from_secs(5));
+        worker.join();
+    }
     handle.shutdown(std::time::Duration::from_secs(5));
     handle.join();
 }

@@ -9,9 +9,11 @@
 //! * trial `i` always seeds its RNG with `master_seed + i`;
 //! * every worker owns a contiguous trial range and a private accumulator —
 //!   no locks anywhere on the hot path;
-//! * partial results merge in worker order, and floating-point statistics
-//!   are reduced in trial order, so even `mean_final_time` is the same to
-//!   the last bit for `threads = 1` and `threads = 64`.
+//! * floating-point statistics accumulate in [`numerics::ExactSum`]
+//!   superaccumulators, whose readout is a pure function of the *multiset*
+//!   of accumulated values — so even `mean_final_time` is the same to the
+//!   last bit for `threads = 1` and `threads = 64`, and for any sharding
+//!   of the trial range across processes or machines.
 //!
 //! Each worker also recycles its stepper and state allocations across all of
 //! its trials, so an `N`-trial ensemble performs `O(threads)` setup
@@ -20,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use crn::{Crn, State};
+use numerics::ExactSum;
 use rand::rngs::StdRng;
 use rand::SeedableRng as _;
 use serde::{Deserialize, Serialize};
@@ -28,6 +31,7 @@ use crate::engine::{run_chunked_cancellable, CancelToken};
 use crate::error::SimulationError;
 use crate::outcome::{Outcome, OutcomeClassifier};
 use crate::simulator::{run_trial, SimulationOptions, StepperKind};
+use crate::stats::Moments;
 
 /// Options controlling an ensemble run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,8 +143,16 @@ pub struct EnsembleReport {
     pub undecided: u64,
     /// Mean number of reaction events per trajectory.
     pub mean_events: f64,
+    /// Unbiased sample variance of the per-trajectory event count (0 below
+    /// two trials). Computed from exact integer sums, so it is — like every
+    /// field of the report — bit-identical across thread counts and
+    /// shardings.
+    pub events_variance: f64,
     /// Mean simulated end time per trajectory.
     pub mean_final_time: f64,
+    /// Unbiased sample variance of the simulated end time (0 below two
+    /// trials), computed from exact sums of `t` and `fl(t·t)`.
+    pub final_time_variance: f64,
 }
 
 impl EnsembleReport {
@@ -185,11 +197,18 @@ impl EnsembleReport {
 /// Produced by [`Ensemble::run_range`] and merged back into an
 /// [`EnsembleReport`] by [`Ensemble::merge`]. Splitting an ensemble into
 /// ranges, running them on arbitrary threads (in any order, on any
-/// machine) and merging the partials in trial order reproduces the
-/// single-threaded report **bit for bit**, because trial `i` always seeds
-/// its RNG with `master_seed + i` and the floating-point statistics are
-/// reduced in trial order. This is the fan-out surface the `service`
-/// crate's work-stealing job scheduler is built on.
+/// machine) and merging the partials reproduces the single-threaded report
+/// **bit for bit**, because trial `i` always seeds its RNG with
+/// `master_seed + i` and the floating-point statistics accumulate in
+/// [`numerics::ExactSum`] superaccumulators whose readout is independent
+/// of summation order — and therefore of the partitioning. This is the
+/// fan-out surface the `service` crate's work-stealing job scheduler and
+/// its distributed fabric are built on.
+///
+/// A partial is `O(outcomes)` memory regardless of how many trials it
+/// covers: per-trial data is folded into exact sums and a streaming
+/// [`Moments`] accumulator as each trial finishes, never stored. That is
+/// what bounds coordinator and worker memory on million-trial jobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsemblePartial {
     /// First trial index of the assigned range (inclusive).
@@ -202,12 +221,48 @@ pub struct EnsemblePartial {
     counts: BTreeMap<Outcome, u64>,
     undecided: u64,
     total_events: u64,
-    /// Final simulated time of each trial in the range, in trial order.
-    /// Kept per-trial (rather than pre-summed) so the global reduction
-    /// happens in trial order: floating-point addition is not associative,
-    /// and summing per-range subtotals would make `mean_final_time` depend
-    /// on the partitioning.
-    final_times: Vec<f64>,
+    /// Exact Σ events² over the range (u128: 2⁶⁴ trials of 2³² events each
+    /// stay in range), feeding the report's event variance.
+    events_squared: u128,
+    /// Exact Σ final_time. The superaccumulator readout is a pure function
+    /// of the multiset of accumulated values, which is what keeps
+    /// `mean_final_time` bit-identical across partitionings.
+    time_sum: ExactSum,
+    /// Exact Σ fl(final_time²), feeding the report's time variance.
+    time_squared_sum: ExactSum,
+    /// Streaming Welford moments of the final times — the shard-level
+    /// monitoring surface (not byte-pinned; the report's statistics come
+    /// from the exact sums above).
+    time_moments: Moments,
+}
+
+/// The flattened wire form of an [`EnsemblePartial`], for transports that
+/// serialise partials between processes (the `service` crate's distributed
+/// fabric). Outcomes travel as label strings and the exact sums as their
+/// canonical hex encodings, so [`EnsemblePartial::from_parts`]
+/// reconstructs a partial that merges bit-identically to the original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsemblePartialParts {
+    /// First trial index (inclusive).
+    pub start: u64,
+    /// One past the last trial index.
+    pub end: u64,
+    /// Trials actually completed.
+    pub done: u64,
+    /// `(outcome label, count)` pairs, sorted by label.
+    pub counts: Vec<(String, u64)>,
+    /// Undecided trajectories.
+    pub undecided: u64,
+    /// Σ events over the range.
+    pub total_events: u64,
+    /// Σ events², rendered as a decimal string (u128 exceeds u64 JSON).
+    pub events_squared: String,
+    /// Canonical hex encoding of the exact Σ final_time.
+    pub time_sum: String,
+    /// Canonical hex encoding of the exact Σ fl(final_time²).
+    pub time_squared_sum: String,
+    /// The streaming moments triple `(count, mean, m2)`.
+    pub time_moments: (u64, f64, f64),
 }
 
 impl EnsemblePartial {
@@ -225,6 +280,74 @@ impl EnsemblePartial {
     /// cancelled range stops early and stays incomplete).
     pub fn is_complete(&self) -> bool {
         self.done == self.end - self.start
+    }
+
+    /// The streaming mean/variance moments of the final times seen so far
+    /// — what distributed coordinators aggregate to expose running
+    /// statistics of an in-flight job.
+    pub fn time_moments(&self) -> &Moments {
+        &self.time_moments
+    }
+
+    /// Flattens the partial into its wire form.
+    pub fn to_parts(&self) -> EnsemblePartialParts {
+        EnsemblePartialParts {
+            start: self.start,
+            end: self.end,
+            done: self.done,
+            counts: self
+                .counts
+                .iter()
+                .map(|(outcome, &count)| (outcome.as_str().to_string(), count))
+                .collect(),
+            undecided: self.undecided,
+            total_events: self.total_events,
+            events_squared: self.events_squared.to_string(),
+            time_sum: self.time_sum.encode(),
+            time_squared_sum: self.time_squared_sum.encode(),
+            time_moments: self.time_moments.parts(),
+        }
+    }
+
+    /// Reconstructs a partial from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidEnsembleConfig`] for malformed
+    /// encodings or an inconsistent range.
+    pub fn from_parts(parts: EnsemblePartialParts) -> Result<EnsemblePartial, SimulationError> {
+        let invalid = |message: String| SimulationError::InvalidEnsembleConfig { message };
+        if parts.start >= parts.end || parts.done > parts.end - parts.start {
+            return Err(invalid(format!(
+                "inconsistent partial range [{}, {}) with {} trials done",
+                parts.start, parts.end, parts.done
+            )));
+        }
+        let events_squared = parts
+            .events_squared
+            .parse::<u128>()
+            .map_err(|_| invalid(format!("bad events_squared `{}`", parts.events_squared)))?;
+        let time_sum =
+            ExactSum::decode(&parts.time_sum).map_err(|e| invalid(format!("bad time_sum: {e}")))?;
+        let time_squared_sum = ExactSum::decode(&parts.time_squared_sum)
+            .map_err(|e| invalid(format!("bad time_squared_sum: {e}")))?;
+        let (count, mean, m2) = parts.time_moments;
+        Ok(EnsemblePartial {
+            start: parts.start,
+            end: parts.end,
+            done: parts.done,
+            counts: parts
+                .counts
+                .into_iter()
+                .map(|(label, count)| (Outcome::new(label), count))
+                .collect(),
+            undecided: parts.undecided,
+            total_events: parts.total_events,
+            events_squared,
+            time_sum,
+            time_squared_sum,
+            time_moments: Moments::from_parts(count, mean, m2),
+        })
     }
 }
 
@@ -410,20 +533,28 @@ where
         let mut counts: BTreeMap<Outcome, u64> = BTreeMap::new();
         let mut undecided = 0u64;
         let mut total_events = 0u64;
-        let mut total_time = 0.0f64;
+        let mut events_squared = 0u128;
+        let mut time_sum = ExactSum::new();
+        let mut time_squared_sum = ExactSum::new();
         for partial in partials {
             for (outcome, count) in partial.counts {
                 *counts.entry(outcome).or_insert(0) += count;
             }
             undecided += partial.undecided;
             total_events += partial.total_events;
-            for t in partial.final_times {
-                total_time += t;
-            }
+            events_squared += partial.events_squared;
+            // Exact merges: the readouts below see the multiset of all
+            // per-trial values, never per-shard subtotals, so the report
+            // is bit-identical for every partitioning.
+            time_sum.merge(&partial.time_sum);
+            time_squared_sum.merge(&partial.time_squared_sum);
         }
         for outcome in self.classifier.outcomes() {
             counts.entry(outcome).or_insert(0);
         }
+        let total_time = time_sum.value();
+        let mean_events = total_events as f64 / trials as f64;
+        let mean_final_time = total_time / trials as f64;
         Ok(EnsembleReport {
             trials,
             master_seed: self.options.master_seed,
@@ -433,8 +564,20 @@ where
                 .map(|(outcome, count)| OutcomeCount { outcome, count })
                 .collect(),
             undecided,
-            mean_events: total_events as f64 / trials as f64,
-            mean_final_time: total_time / trials as f64,
+            mean_events,
+            events_variance: sample_variance(
+                trials,
+                events_squared as f64,
+                total_events as f64,
+                mean_events,
+            ),
+            mean_final_time,
+            final_time_variance: sample_variance(
+                trials,
+                time_squared_sum.value(),
+                total_time,
+                mean_final_time,
+            ),
         })
     }
 
@@ -481,7 +624,10 @@ where
             counts: BTreeMap::new(),
             undecided: 0,
             total_events: 0,
-            final_times: Vec::with_capacity((end - start) as usize),
+            events_squared: 0,
+            time_sum: ExactSum::new(),
+            time_squared_sum: ExactSum::new(),
+            time_moments: Moments::new(),
         };
         for trial in start..end {
             if cancel.is_cancelled() {
@@ -499,7 +645,15 @@ where
                 &mut rng,
             )?;
             partial.total_events += result.events;
-            partial.final_times.push(result.final_time);
+            partial.events_squared += u128::from(result.events) * u128::from(result.events);
+            partial.time_sum.add(result.final_time);
+            // Clamp the square at f64::MAX: the superaccumulator rejects
+            // infinities, and the clamp is the same pure function of the
+            // trial everywhere, so determinism is unaffected.
+            partial
+                .time_squared_sum
+                .add((result.final_time * result.final_time).min(f64::MAX));
+            partial.time_moments.push(result.final_time);
             match self.classifier.classify(&result) {
                 Some(outcome) => *partial.counts.entry(outcome).or_insert(0) += 1,
                 None => partial.undecided += 1,
@@ -509,6 +663,18 @@ where
         }
         Ok(partial)
     }
+}
+
+/// Unbiased sample variance from exact totals, `(Σx² − Σx·x̄)/(n−1)`,
+/// clamped at zero against rounding in the final subtraction. Every input
+/// is a partition-independent exact readout and the formula is a fixed
+/// sequence of f64 operations, so the result is bit-identical across
+/// shardings.
+fn sample_variance(n: u64, sum_squares: f64, total: f64, mean: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    ((sum_squares - total * mean) / (n - 1) as f64).max(0.0)
 }
 
 #[cfg(test)]
@@ -604,6 +770,108 @@ mod tests {
         let merged = ensemble.merge(partials).unwrap();
         assert_eq!(merged, reference);
         assert_eq!(merged.master_seed, 9);
+    }
+
+    #[test]
+    fn merged_statistics_are_partition_independent_bitwise() {
+        // The old contract was "merge reduces in trial order"; the exact
+        // accumulators strengthen it: ANY tiling of the trial range gives
+        // the bit-identical report, because readouts are pure functions of
+        // the multiset of per-trial values.
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn)).options(
+            EnsembleOptions::new()
+                .trials(400)
+                .master_seed(11)
+                .threads(1),
+        );
+        let reference = ensemble.run().unwrap();
+        let token = CancelToken::new();
+        for boundaries in [
+            vec![0, 400],
+            vec![0, 1, 399, 400],
+            vec![0, 97, 194, 291, 400],
+        ] {
+            let partials: Vec<EnsemblePartial> = boundaries
+                .windows(2)
+                .map(|w| ensemble.run_range(w[0], w[1], &token).unwrap())
+                .collect();
+            let merged = ensemble.merge(partials).unwrap();
+            assert_eq!(merged, reference, "tiling {boundaries:?}");
+            assert_eq!(
+                merged.mean_final_time.to_bits(),
+                reference.mean_final_time.to_bits()
+            );
+            assert_eq!(
+                merged.final_time_variance.to_bits(),
+                reference.final_time_variance.to_bits()
+            );
+            assert_eq!(
+                merged.events_variance.to_bits(),
+                reference.events_variance.to_bits()
+            );
+        }
+        assert!(reference.final_time_variance > 0.0);
+        assert!(reference.events_variance >= 0.0);
+    }
+
+    #[test]
+    fn partials_round_trip_through_wire_parts_bitwise() {
+        // Serialise every partial, reconstruct, merge: the report must be
+        // bit-identical to merging the originals — the contract remote
+        // workers rely on.
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(250).master_seed(4).threads(1));
+        let reference = ensemble.run().unwrap();
+        let token = CancelToken::new();
+        let partials = [
+            ensemble.run_range(0, 100, &token).unwrap(),
+            ensemble.run_range(100, 250, &token).unwrap(),
+        ];
+        let round_tripped: Vec<EnsemblePartial> = partials
+            .iter()
+            .map(|p| {
+                let parts = p.to_parts();
+                let rebuilt = EnsemblePartial::from_parts(parts).unwrap();
+                assert_eq!(&rebuilt, p);
+                rebuilt
+            })
+            .collect();
+        assert_eq!(ensemble.merge(round_tripped).unwrap(), reference);
+        // Malformed encodings are rejected, not misread.
+        let mut bad = partials[0].to_parts();
+        bad.time_sum = "not hex".to_string();
+        assert!(matches!(
+            EnsemblePartial::from_parts(bad).unwrap_err(),
+            SimulationError::InvalidEnsembleConfig { .. }
+        ));
+        let mut bad = partials[0].to_parts();
+        bad.done = bad.end - bad.start + 1;
+        assert!(EnsemblePartial::from_parts(bad).is_err());
+    }
+
+    #[test]
+    fn partial_memory_is_independent_of_trial_count() {
+        // The streaming accumulators keep a partial O(outcomes) even for
+        // huge ranges: the wire form of a 20k-trial partial is the same
+        // shape as a 20-trial one (no per-trial vectors anywhere).
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let token = CancelToken::new();
+        let small = Ensemble::new(&crn, initial.clone(), coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(20).master_seed(2))
+            .run_range(0, 20, &token)
+            .unwrap();
+        let large = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(20_000).master_seed(2))
+            .run_range(0, 20_000, &token)
+            .unwrap();
+        assert_eq!(large.to_parts().counts.len(), small.to_parts().counts.len());
+        assert_eq!(large.time_moments().count(), 20_000);
+        assert!(large.time_moments().variance() > 0.0);
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
             ],
             undecided: 1,
             mean_events: 3.0,
+            events_variance: 0.5,
             mean_final_time: 1.0,
+            final_time_variance: 0.25,
         };
         let csv = report.to_csv();
         assert!(csv.contains("win,7,0.7"));

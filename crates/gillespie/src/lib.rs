@@ -76,7 +76,9 @@ pub use auto::{classify, ClassifierReport};
 pub use composition_rejection::CompositionRejection;
 pub use direct::DirectMethod;
 pub use engine::ReactionDependencyGraph;
-pub use ensemble::{Ensemble, EnsembleOptions, EnsemblePartial, EnsembleReport, OutcomeCount};
+pub use ensemble::{
+    Ensemble, EnsembleOptions, EnsemblePartial, EnsemblePartialParts, EnsembleReport, OutcomeCount,
+};
 pub use error::SimulationError;
 pub use first_reaction::FirstReactionMethod;
 pub use next_reaction::NextReactionMethod;
@@ -86,7 +88,7 @@ pub use simulator::{
     Simulation, SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepOutcome,
     StepperKind,
 };
-pub use stats::{SpeciesStatistics, TrajectorySummary};
+pub use stats::{Moments, SpeciesStatistics, TrajectorySummary};
 pub use stop::StopCondition;
 pub use tau_leap::TauLeaping;
 pub use trajectory::{RecordingMode, Trajectory, TrajectoryPoint};

@@ -324,6 +324,64 @@ fn tau_leaping_reports_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// The multi-node contract: a report assembled from range partials that
+/// were serialised to their wire parts, shuffled across "nodes", rebuilt
+/// and merged — exactly what the service fabric does over HTTP — is
+/// bit-identical to the single-process run, for every cluster shape. The
+/// exact accumulators make the merged statistics a pure function of the
+/// trial multiset, so shard boundaries, shard order and retried shards
+/// cannot perturb a single bit.
+#[test]
+fn sharded_reports_survive_the_wire_bit_identically() {
+    use gillespie::engine::CancelToken;
+    use gillespie::EnsemblePartial;
+
+    let crn: Crn = "x -> h @ 3\nx -> t @ 1".parse().unwrap();
+    let initial = crn.state_from_counts([("x", 1)]).unwrap();
+    let build = || {
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "h", 1, "heads")
+            .unwrap()
+            .rule_named(&crn, "t", 1, "tails")
+            .unwrap();
+        Ensemble::new(&crn, initial.clone(), classifier).options(
+            EnsembleOptions::new()
+                .trials(503)
+                .master_seed(77)
+                .threads(2),
+        )
+    };
+    let reference = build().run().unwrap();
+    let token = CancelToken::new();
+    // Cluster shapes: 1, 2 and 4 "nodes", uneven shard sizes, shards
+    // delivered out of order (as racing workers would deliver them).
+    for boundaries in [
+        vec![0u64, 503],
+        vec![0, 251, 503],
+        vec![0, 100, 251, 377, 503],
+    ] {
+        let ensemble = build();
+        let mut shards: Vec<EnsemblePartial> = boundaries
+            .windows(2)
+            .map(|w| {
+                let parts = ensemble.run_range(w[0], w[1], &token).unwrap().to_parts();
+                EnsemblePartial::from_parts(parts).unwrap()
+            })
+            .collect();
+        shards.reverse();
+        let merged = build().merge(shards).unwrap();
+        assert_eq!(merged, reference, "cluster shape {boundaries:?}");
+        for (ours, single) in [
+            (merged.mean_events, reference.mean_events),
+            (merged.events_variance, reference.events_variance),
+            (merged.mean_final_time, reference.mean_final_time),
+            (merged.final_time_variance, reference.final_time_variance),
+        ] {
+            assert_eq!(ours.to_bits(), single.to_bits(), "shape {boundaries:?}");
+        }
+    }
+}
+
 /// The adaptive portfolio is a pure *selection* layer: an ensemble
 /// configured with `StepperKind::Auto` must produce a report bit-identical
 /// to one that explicitly requests the kind the classifier resolved to —

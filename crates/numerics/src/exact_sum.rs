@@ -103,6 +103,21 @@ impl Default for ExactSum {
     }
 }
 
+impl PartialEq for ExactSum {
+    /// Two accumulators are equal iff they hold the same exact value,
+    /// regardless of how the adds were ordered or batched: equality
+    /// compares the canonical (normalised) limb form, not the raw ledger.
+    fn eq(&self, other: &ExactSum) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.normalize();
+        b.normalize();
+        a.limbs == b.limbs
+    }
+}
+
+impl Eq for ExactSum {}
+
 impl ExactSum {
     /// Creates an empty accumulator (exact value `0`).
     pub fn new() -> Self {
@@ -240,6 +255,103 @@ impl ExactSum {
         if self.deferred_ops >= MAX_DEFERRED_OPS {
             self.normalize();
         }
+    }
+
+    /// Adds another accumulator's ledger into this one, exactly.
+    ///
+    /// The result is the accumulator that would have been produced by
+    /// replaying both ledgers' histories into one accumulator, in any
+    /// order — which is what lets per-shard sums computed on different
+    /// machines merge into the bit-identical global sum.
+    pub fn merge(&mut self, other: &ExactSum) {
+        let mut other = other.clone();
+        other.normalize();
+        let lo = other.occ_lo as usize;
+        if lo >= LIMBS {
+            return; // other is provably empty
+        }
+        let hi = (other.occ_hi as usize).min(LIMBS - 1);
+        for i in lo..=hi {
+            self.limbs[i] += other.limbs[i];
+        }
+        // A normalised ledger contributes less than 2³² per limb — the same
+        // per-limb bound as one `add`/`remove`, so it counts as one deferred
+        // operation.
+        self.dirty_lo = self.dirty_lo.min(lo as u32);
+        self.dirty_hi = self.dirty_hi.max(hi as u32);
+        self.occ_lo = self.occ_lo.min(lo as u32);
+        self.occ_hi = self.occ_hi.max(hi as u32);
+        self.deferred_ops += 1;
+        if self.deferred_ops >= MAX_DEFERRED_OPS {
+            self.normalize();
+        }
+    }
+
+    /// Encodes the exact total as a canonical lowercase-hex integer (in
+    /// units of `2⁻¹⁰⁷⁴`, the smallest subnormal). Two accumulators holding
+    /// the same multiset of values encode identically, regardless of their
+    /// add/remove histories — the wire format distributed shards use to
+    /// ship exact partial sums without losing a single bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact total is negative (more removed than added).
+    pub fn encode(&self) -> String {
+        let mut canonical = self.clone();
+        canonical.normalize();
+        let lo = canonical.occ_lo as usize;
+        if lo >= LIMBS {
+            return "0".to_string();
+        }
+        let hi = (canonical.occ_hi as usize).min(LIMBS - 1);
+        let top = match canonical.limbs[..=hi].iter().rposition(|&l| l != 0) {
+            Some(top) => top,
+            None => return "0".to_string(),
+        };
+        assert!(
+            canonical.limbs[..=top].iter().all(|&l| l >= 0),
+            "cannot encode a negative exact total"
+        );
+        let mut out = format!("{:x}", canonical.limbs[top]);
+        for i in (0..top).rev() {
+            out.push_str(&format!("{:08x}", canonical.limbs[i]));
+        }
+        out
+    }
+
+    /// Decodes an [`encode`](Self::encode)d exact total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-hex input or totals wider than the
+    /// accumulator.
+    pub fn decode(text: &str) -> Result<ExactSum, String> {
+        let text = text.trim();
+        if text.is_empty() || text.len() > LIMBS * 8 {
+            return Err(format!("invalid exact-sum encoding `{text}`"));
+        }
+        let mut acc = ExactSum::new();
+        let bytes = text.as_bytes();
+        let mut limb = 0usize;
+        let mut end = bytes.len();
+        while end > 0 {
+            let start = end.saturating_sub(8);
+            let digits = std::str::from_utf8(&bytes[start..end])
+                .map_err(|_| format!("invalid exact-sum encoding `{text}`: not ASCII hex"))?;
+            let value = u32::from_str_radix(digits, 16)
+                .map_err(|_| format!("invalid exact-sum encoding `{text}`: bad digits"))?;
+            if limb >= LIMBS {
+                return Err(format!("exact-sum encoding `{text}` is too wide"));
+            }
+            acc.limbs[limb] = i64::from(value);
+            limb += 1;
+            end = start;
+        }
+        if acc.limbs.iter().any(|&l| l != 0) {
+            acc.occ_lo = 0;
+            acc.occ_hi = (limb - 1) as u32;
+        }
+        Ok(acc)
     }
 
     /// Propagates deferred carries so every limb lies in `[0, 2³²)`. The
@@ -442,6 +554,53 @@ mod tests {
         }
         // Remaining: odd i. Σ i·0.5 over odd i < 100000 = 0.5 · 50000².
         assert_eq!(acc.value(), 0.5 * 50_000.0f64 * 50_000.0);
+    }
+
+    #[test]
+    fn merge_matches_single_accumulator_bitwise() {
+        let values = [1e300, 3.7e-12, 0.1, 9.9e15, 1.0 / 3.0, 2.5e-280, 42.0];
+        let mut whole = exact_of(&values);
+        // Split into uneven shards, merge in a scrambled order.
+        let mut merged = ExactSum::new();
+        for shard in [&values[4..], &values[..2], &values[2..4]] {
+            merged.merge(&exact_of(shard));
+        }
+        assert_eq!(whole.value().to_bits(), merged.value().to_bits());
+        // Merging an empty accumulator is a no-op.
+        merged.merge(&ExactSum::new());
+        assert_eq!(whole.value().to_bits(), merged.value().to_bits());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        for values in [
+            &[][..],
+            &[1.0][..],
+            &[1e300, 3.7e-12, 0.1, 5e-324][..],
+            &[0.25, 0.125, 1e16][..],
+        ] {
+            let acc = exact_of(values);
+            let encoded = acc.encode();
+            let mut decoded = ExactSum::decode(&encoded).unwrap();
+            let mut original = acc.clone();
+            assert_eq!(
+                original.value().to_bits(),
+                decoded.value().to_bits(),
+                "round trip of {values:?} via `{encoded}`"
+            );
+            // The canonical form is stable: re-encoding is the identity.
+            assert_eq!(decoded.encode(), encoded);
+        }
+        assert_eq!(ExactSum::new().encode(), "0");
+        assert_eq!(ExactSum::decode("0").unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ExactSum::decode("").is_err());
+        assert!(ExactSum::decode("xyz").is_err());
+        assert!(ExactSum::decode("-1").is_err());
+        assert!(ExactSum::decode(&"f".repeat(69 * 8 + 1)).is_err());
     }
 
     #[test]

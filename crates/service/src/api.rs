@@ -11,8 +11,8 @@
 use cme::{FirstPassage, PopulationBounds, StateSpace};
 use crn::{Crn, State};
 use gillespie::{
-    ClassifierReport, EnsembleOptions, EnsembleReport, SimulationOptions,
-    SpeciesThresholdClassifier, StepperKind, StopCondition,
+    ClassifierReport, EnsembleOptions, EnsemblePartial, EnsemblePartialParts, EnsembleReport,
+    SimulationOptions, SpeciesThresholdClassifier, StepperKind, StopCondition,
 };
 use numerics::LogLinearFit;
 use synthesis::{LogLinearSynthesizer, SynthesizedResponse};
@@ -62,6 +62,11 @@ pub struct SimulateRequest {
     pub priority: u8,
     /// Whether the response should block until the job finishes.
     pub wait: bool,
+    /// When present, run only trials `range.0..range.1` and answer with an
+    /// [`EnsemblePartial`](gillespie::EnsemblePartial) wire document instead
+    /// of a full report. This is how a fabric coordinator shards an
+    /// ensemble across workers.
+    pub range: Option<(u64, u64)>,
 }
 
 impl SimulateRequest {
@@ -126,6 +131,21 @@ impl SimulateRequest {
         }
         let priority = parse_priority(body)?;
         let wait = opt_bool(body, "wait")?.unwrap_or(false);
+        let range = match body.get("range") {
+            None => None,
+            Some(value) => {
+                let (start, end) = parse_pair_u64(value, "range")?;
+                if start >= end {
+                    return Err(bad(format!("`range` [{start}, {end}) is empty")));
+                }
+                if end > trials {
+                    return Err(bad(format!(
+                        "`range` [{start}, {end}) exceeds trials={trials}"
+                    )));
+                }
+                Some((start, end))
+            }
+        };
         let (resolved, classifier_report) = if method == StepperKind::Auto {
             let report = gillespie::classify(&crn, &initial);
             (report.resolved, Some(report))
@@ -145,6 +165,7 @@ impl SimulateRequest {
             rules,
             priority,
             wait,
+            range,
         })
     }
 
@@ -163,7 +184,7 @@ impl SimulateRequest {
         } else {
             self.method.name().to_string()
         };
-        format!(
+        let mut key = format!(
             "simulate|v1|{}|initial={}|method={}|trials={}|seed={}|stop={}|max_events={}|rules={}",
             canon_network(&self.crn),
             canon_state(&self.crn, &self.initial),
@@ -177,7 +198,14 @@ impl SimulateRequest {
                 .map(|(s, t, o)| format!("{s}>={t}=>{o}"))
                 .collect::<Vec<_>>()
                 .join(","),
-        )
+        );
+        if let Some((start, end)) = self.range {
+            // Shard results are cached at shard granularity on the workers:
+            // the same range of the same job replays byte-for-byte, while
+            // different shardings of one job stay distinct entries.
+            key.push_str(&format!("|range={start}..{end}"));
+        }
+        key
     }
 
     /// Builds the classifier from the parsed rules.
@@ -239,13 +267,155 @@ impl SimulateRequest {
                     ("undecided".to_string(), Json::count(report.undecided)),
                     ("mean_events".to_string(), Json::num(report.mean_events)),
                     (
+                        "events_variance".to_string(),
+                        Json::num(report.events_variance),
+                    ),
+                    (
                         "mean_final_time".to_string(),
                         Json::num(report.mean_final_time),
+                    ),
+                    (
+                        "final_time_variance".to_string(),
+                        Json::num(report.final_time_variance),
                     ),
                 ]),
             ),
         ]);
         Json::object(members).render()
+    }
+
+    /// Re-renders this request as the canonical JSON body a coordinator
+    /// sends to a worker for one shard. The method is the *resolved*
+    /// concrete kind — classification happened once on the coordinator, so
+    /// every worker runs the same stepper without re-measuring the network —
+    /// and `wait` is forced so the shard's partial comes back in-band.
+    pub fn to_wire(&self, range: (u64, u64)) -> String {
+        let initial: Vec<(String, Json)> = self
+            .crn
+            .species()
+            .iter()
+            .filter_map(|species| {
+                let count = self.initial.count(species.id());
+                (count > 0).then(|| (species.name().to_string(), Json::count(count)))
+            })
+            .collect();
+        let classifier: Vec<Json> = self
+            .rules
+            .iter()
+            .map(|(species, threshold, outcome)| {
+                Json::object([
+                    ("species", Json::str(species.clone())),
+                    ("at_least", Json::count(*threshold)),
+                    ("outcome", Json::str(outcome.clone())),
+                ])
+            })
+            .collect();
+        let mut members = vec![
+            ("network", Json::str(self.crn.to_text())),
+            ("initial", Json::Object(initial)),
+            ("method", Json::str(self.resolved.name())),
+            ("trials", Json::count(self.trials)),
+            ("seed", Json::count(self.seed)),
+            ("stop", render_stop(&self.crn, &self.stop)),
+            ("max_events", Json::count(self.max_events)),
+        ];
+        if !classifier.is_empty() {
+            members.push(("classifier", Json::Array(classifier)));
+        }
+        members.extend([
+            ("wait", Json::Bool(true)),
+            (
+                "range",
+                Json::Array(vec![Json::count(range.0), Json::count(range.1)]),
+            ),
+        ]);
+        Json::object(members).render()
+    }
+
+    /// Renders a shard's partial as its wire document. Exact accumulators
+    /// travel as canonical hex integers and `u128` squares as decimal
+    /// strings, so [`parse_partial`](Self::parse_partial) reconstructs the
+    /// partial bit-for-bit and the merged report cannot depend on which
+    /// worker ran which shard.
+    pub fn render_partial(partial: &EnsemblePartial) -> String {
+        let parts = partial.to_parts();
+        let counts: Vec<(String, Json)> = parts
+            .counts
+            .iter()
+            .map(|(outcome, count)| (outcome.clone(), Json::count(*count)))
+            .collect();
+        Json::object([
+            ("kind", Json::str("partial")),
+            ("start", Json::count(parts.start)),
+            ("end", Json::count(parts.end)),
+            ("done", Json::count(parts.done)),
+            ("counts", Json::Object(counts)),
+            ("undecided", Json::count(parts.undecided)),
+            ("total_events", Json::count(parts.total_events)),
+            ("events_squared", Json::str(parts.events_squared)),
+            ("time_sum", Json::str(parts.time_sum)),
+            ("time_squared_sum", Json::str(parts.time_squared_sum)),
+            (
+                "time_moments",
+                Json::Array(vec![
+                    Json::count(parts.time_moments.0),
+                    Json::num(parts.time_moments.1),
+                    Json::num(parts.time_moments.2),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a worker's partial document back into an
+    /// [`EnsemblePartial`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] naming the offending field; range and
+    /// encoding validation happens in
+    /// [`EnsemblePartial::from_parts`].
+    pub fn parse_partial(body: &Json) -> Result<EnsemblePartial, ServiceError> {
+        if body.get("kind").and_then(|k| k.as_str("kind").ok()) != Some("partial") {
+            return Err(bad("not a partial document (missing `kind: partial`)"));
+        }
+        let field = |key: &'static str| -> Result<&Json, ServiceError> {
+            body.get(key)
+                .ok_or_else(|| bad(format!("partial missing `{key}`")))
+        };
+        let num = |key: &'static str| -> Result<u64, ServiceError> {
+            field(key)?.as_u64(key).map_err(bad)
+        };
+        let text = |key: &'static str| -> Result<String, ServiceError> {
+            Ok(field(key)?.as_str(key).map_err(bad)?.to_string())
+        };
+        let mut counts = Vec::new();
+        for (outcome, count) in field("counts")?.as_object("counts").map_err(bad)? {
+            counts.push((outcome.clone(), count.as_u64("counts").map_err(bad)?));
+        }
+        let moments = field("time_moments")?
+            .as_array("time_moments")
+            .map_err(bad)?;
+        if moments.len() != 3 {
+            return Err(bad("`time_moments` must be a [count, mean, m2] triple"));
+        }
+        let parts = EnsemblePartialParts {
+            start: num("start")?,
+            end: num("end")?,
+            done: num("done")?,
+            counts,
+            undecided: num("undecided")?,
+            total_events: num("total_events")?,
+            events_squared: text("events_squared")?,
+            time_sum: text("time_sum")?,
+            time_squared_sum: text("time_squared_sum")?,
+            time_moments: (
+                moments[0].as_u64("time_moments[0]").map_err(bad)?,
+                moments[1].as_f64("time_moments[1]").map_err(bad)?,
+                moments[2].as_f64("time_moments[2]").map_err(bad)?,
+            ),
+        };
+        EnsemblePartial::from_parts(parts).map_err(|e| bad(e.to_string()))
     }
 }
 
@@ -973,6 +1143,47 @@ fn canon_state(crn: &Crn, state: &State) -> String {
         })
         .collect::<Vec<_>>()
         .join(",")
+}
+
+/// Renders a stop condition back into the request JSON [`parse_stop`]
+/// accepts — the inverse used when a coordinator re-issues a request to a
+/// worker.
+fn render_stop(crn: &Crn, stop: &StopCondition) -> Json {
+    let species_name = |id: &crn::SpeciesId| crn.species()[id.index()].name().to_string();
+    match stop {
+        StopCondition::Exhaustion => Json::object([("type", Json::str("exhaustion"))]),
+        StopCondition::Time(t) => Json::object([("type", Json::str("time")), ("t", Json::num(*t))]),
+        StopCondition::Events(n) => {
+            Json::object([("type", Json::str("events")), ("n", Json::count(*n))])
+        }
+        StopCondition::SpeciesAtLeast { species, count } => Json::object([
+            ("type", Json::str("species_at_least")),
+            ("species", Json::str(species_name(species))),
+            ("count", Json::count(*count)),
+        ]),
+        StopCondition::SpeciesAtMost { species, count } => Json::object([
+            ("type", Json::str("species_at_most")),
+            ("species", Json::str(species_name(species))),
+            ("count", Json::count(*count)),
+        ]),
+        StopCondition::AnyOf(conditions) => Json::object([
+            ("type", Json::str("any_of")),
+            (
+                "conditions",
+                Json::Array(conditions.iter().map(|c| render_stop(crn, c)).collect()),
+            ),
+        ]),
+        StopCondition::AllOf(conditions) => Json::object([
+            ("type", Json::str("all_of")),
+            (
+                "conditions",
+                Json::Array(conditions.iter().map(|c| render_stop(crn, c)).collect()),
+            ),
+        ]),
+        // `StopCondition` is non-exhaustive, but a `SimulateRequest` only
+        // ever holds conditions `parse_stop` produced, all covered above.
+        other => unreachable!("stop condition {other:?} cannot come from a parsed request"),
+    }
 }
 
 /// Renders a stop condition canonically (species by id, fixed field order).

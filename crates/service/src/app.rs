@@ -12,8 +12,17 @@
 //! | `GET /jobs/:id` | Job status, or the result body once completed |
 //! | `DELETE /jobs/:id` | Cancels a queued or running job |
 //! | `GET /healthz` | Liveness |
-//! | `GET /metrics` | Request, cache and scheduler counters |
+//! | `GET /metrics` | Request, cache, scheduler and fabric counters |
+//! | `GET /fabric` | Fabric counters, streaming statistics and worker pool |
+//! | `POST /fabric/workers` | Loopback-only worker registration |
 //! | `POST /shutdown` | Loopback-only graceful drain |
+//!
+//! A daemon started with fabric workers configured acts as a
+//! **coordinator**: `/simulate` ensembles are split into trial-range
+//! shards and dispatched to the pool (see [`crate::fabric`]). Any daemon
+//! answers shard requests (`"range": [start, end)`) with a partial
+//! document instead of a full report, which is also how workers cache
+//! shards for federation.
 //!
 //! Result-bearing responses carry a `cache: hit|miss` header; bodies are
 //! **byte-identical** between a fresh computation and its cached replay
@@ -29,6 +38,7 @@ use gillespie::{Ensemble, EnsemblePartial};
 use crate::api::{ExactRequest, SimulateRequest, SynthesizeRequest};
 use crate::cache::ResultCache;
 use crate::error::ServiceError;
+use crate::fabric::{Fabric, FabricConfig};
 use crate::http::{Method, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
@@ -55,6 +65,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
+    /// When set, this daemon coordinates a worker fabric: `/simulate`
+    /// ensembles shard across the configured pool instead of running on
+    /// the local scheduler threads.
+    pub fabric: Option<FabricConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +79,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 256,
             max_body_bytes: 1 << 20,
+            fabric: None,
         }
     }
 }
@@ -74,6 +89,7 @@ pub struct App {
     scheduler: Scheduler,
     cache: ResultCache,
     metrics: Metrics,
+    fabric: Option<Arc<Fabric>>,
     config: ServiceConfig,
     /// Set once the listener is bound; `/shutdown` self-connects through it
     /// to wake the accept loop.
@@ -91,10 +107,12 @@ impl std::fmt::Debug for App {
 impl App {
     /// Creates the service state (scheduler workers start immediately).
     pub fn new(config: ServiceConfig) -> Arc<App> {
+        let fabric = config.fabric.clone().map(|f| Arc::new(Fabric::new(f)));
         Arc::new(App {
             scheduler: Scheduler::new(config.workers, config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             metrics: Metrics::new(),
+            fabric,
             config,
             local_addr: OnceLock::new(),
             stopping: Mutex::new(false),
@@ -109,6 +127,11 @@ impl App {
     /// The result cache, for embedders and tests.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The fabric coordinator, when this daemon was configured with one.
+    pub fn fabric(&self) -> Option<&Arc<Fabric>> {
+        self.fabric.as_ref()
     }
 
     /// Builds the route table for this app.
@@ -149,6 +172,17 @@ impl App {
             Response::json(200, app.render_metrics())
         });
         let app = Arc::clone(self);
+        router.route(Method::Get, "/fabric", move |_| match &app.fabric {
+            Some(fabric) => Response::json(200, fabric.render().render()),
+            None => error_response(&ServiceError::bad_request(
+                "this daemon is not a fabric coordinator",
+            )),
+        });
+        let app = Arc::clone(self);
+        router.route(Method::Post, "/fabric/workers", move |ctx| {
+            register_worker(&app, ctx)
+        });
+        let app = Arc::clone(self);
         router.route(Method::Post, "/shutdown", move |ctx| shutdown(&app, ctx));
         router
     }
@@ -168,7 +202,7 @@ impl App {
     fn render_metrics(&self) -> String {
         let cache = self.cache.stats();
         let scheduler = self.scheduler.stats();
-        Json::object([
+        let mut members = Json::object([
             ("uptime_ms", Json::count(self.metrics.uptime_ms())),
             (
                 "http",
@@ -249,8 +283,13 @@ impl App {
                     ("steals", Json::count(scheduler.steals)),
                 ]),
             ),
-        ])
-        .render()
+        ]);
+        if let Some(fabric) = &self.fabric {
+            if let Json::Object(m) = &mut members {
+                m.push(("fabric".to_string(), fabric.render()));
+            }
+        }
+        members.render()
     }
 }
 
@@ -350,6 +389,43 @@ fn parse_body(ctx: &RouteContext<'_>) -> Result<Json, ServiceError> {
         .map_err(|e| ServiceError::bad_request(format!("invalid JSON body: {e}")))
 }
 
+/// `POST /fabric/workers` — registers a worker address with the
+/// coordinator at run time (loopback-only, like `/shutdown`: the pool an
+/// operator dispatches compute to is operator configuration, not a public
+/// surface).
+fn register_worker(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    if !ctx.peer.ip().is_loopback() {
+        return error_response(&ServiceError::Forbidden {
+            message: "POST /fabric/workers is only accepted from loopback".to_string(),
+        });
+    }
+    let Some(fabric) = &app.fabric else {
+        return error_response(&ServiceError::bad_request(
+            "this daemon is not a fabric coordinator",
+        ));
+    };
+    let addr = match parse_body(ctx).and_then(|body| {
+        body.get("addr")
+            .ok_or_else(|| ServiceError::bad_request("missing `addr`"))?
+            .as_str("addr")
+            .map(str::to_string)
+            .map_err(ServiceError::bad_request)
+    }) {
+        Ok(addr) => addr,
+        Err(error) => return error_response(&error),
+    };
+    let registered = fabric.registry().register(&addr);
+    Response::json(
+        200,
+        Json::object([
+            ("addr", Json::str(addr)),
+            ("registered", Json::Bool(registered)),
+            ("workers", Json::count(fabric.registry().len() as u64)),
+        ])
+        .render(),
+    )
+}
+
 fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     let request = match parse_body(ctx).and_then(|body| SimulateRequest::parse(&body)) {
         Ok(request) => Arc::new(request),
@@ -363,25 +439,89 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     }
     let key = request.cache_key();
 
-    // Chunking: aim for ~4 tasks per worker so stealing has something to
-    // steal, without shattering small ensembles into per-trial tasks.
-    let workers = app.scheduler.stats().workers as u64;
-    let target_chunks = (workers * 4).clamp(1, request.trials);
-    let chunk_size = request.trials.div_ceil(target_chunks);
-    let chunks = request.trials.div_ceil(chunk_size) as usize;
+    // A shard request (`"range": [start, end)`) runs its trial range as
+    // one chunk and answers with a partial wire document — the worker side
+    // of the fabric. The partial is cached under the range-suffixed key,
+    // so a coordinator retrying or re-dispatching a shard replays it
+    // byte-for-byte.
+    if let Some((start, end)) = request.range {
+        let run_request = Arc::clone(&request);
+        let run_chunk = move |_: usize, cancel: &gillespie::engine::CancelToken| {
+            let classifier = run_request.classifier().map_err(|e| e.to_string())?;
+            let ensemble = Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
+                .options(run_request.ensemble_options());
+            let partial = ensemble
+                .run_range(start, end, cancel)
+                .map_err(|e| e.to_string())?;
+            Ok(ChunkOutput::Body(SimulateRequest::render_partial(&partial)))
+        };
+        let finish_key = key.clone();
+        let finish_app = Arc::clone(app);
+        let finish = move |mut outputs: Vec<ChunkOutput>| {
+            let ChunkOutput::Body(body) = outputs.remove(0) else {
+                unreachable!("shard chunks produce bodies")
+            };
+            finish_app.cache.insert(&finish_key, &body);
+            Ok(body)
+        };
+        return submit_cached_job(
+            app,
+            "simulate-shard",
+            key,
+            request.priority,
+            request.wait,
+            JobWork {
+                chunks: 1,
+                run_chunk: Box::new(run_chunk),
+                finish: Box::new(finish),
+            },
+        );
+    }
 
-    let run_request = Arc::clone(&request);
-    let trials = request.trials;
-    let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
-        let start = index as u64 * chunk_size;
-        let end = (start + chunk_size).min(trials);
-        let classifier = run_request.classifier().map_err(|e| e.to_string())?;
-        let ensemble = Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
-            .options(run_request.ensemble_options());
-        let partial = ensemble
-            .run_range(start, end, cancel)
-            .map_err(|e| e.to_string())?;
-        Ok(ChunkOutput::Partial(partial))
+    // Chunk the ensemble. On a coordinator the chunks are fabric shards
+    // dispatched to the worker pool; locally they are trial ranges sized
+    // for ~4 tasks per scheduler worker so stealing has something to
+    // steal, without shattering small ensembles into per-trial tasks.
+    let fabric = app
+        .fabric
+        .as_ref()
+        .filter(|f| !f.registry().is_empty())
+        .cloned();
+    type ChunkRunner = Box<
+        dyn Fn(usize, &gillespie::engine::CancelToken) -> Result<ChunkOutput, String> + Send + Sync,
+    >;
+    let (chunks, run_chunk): (usize, ChunkRunner) = match fabric {
+        Some(fabric) => {
+            let plan = fabric.plan(request.trials);
+            let run_request = Arc::clone(&request);
+            let chunks = plan.len();
+            let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+                let partial = fabric.run_shard(&run_request, plan[index], cancel)?;
+                Ok(ChunkOutput::Partial(Box::new(partial)))
+            };
+            (chunks, Box::new(run_chunk) as _)
+        }
+        None => {
+            let workers = app.scheduler.stats().workers as u64;
+            let target_chunks = (workers * 4).clamp(1, request.trials);
+            let chunk_size = request.trials.div_ceil(target_chunks);
+            let chunks = request.trials.div_ceil(chunk_size) as usize;
+            let run_request = Arc::clone(&request);
+            let trials = request.trials;
+            let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+                let start = index as u64 * chunk_size;
+                let end = (start + chunk_size).min(trials);
+                let classifier = run_request.classifier().map_err(|e| e.to_string())?;
+                let ensemble =
+                    Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
+                        .options(run_request.ensemble_options());
+                let partial = ensemble
+                    .run_range(start, end, cancel)
+                    .map_err(|e| e.to_string())?;
+                Ok(ChunkOutput::Partial(Box::new(partial)))
+            };
+            (chunks, Box::new(run_chunk) as _)
+        }
     };
 
     let finish_request = Arc::clone(&request);
@@ -391,7 +531,7 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
         let partials: Vec<EnsemblePartial> = outputs
             .into_iter()
             .map(|output| match output {
-                ChunkOutput::Partial(partial) => partial,
+                ChunkOutput::Partial(partial) => *partial,
                 ChunkOutput::Body(_) => unreachable!("simulate chunks produce partials"),
             })
             .collect();
@@ -416,7 +556,7 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
         request.wait,
         JobWork {
             chunks,
-            run_chunk: Box::new(run_chunk),
+            run_chunk,
             finish: Box::new(finish),
         },
     )

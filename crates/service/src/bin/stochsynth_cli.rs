@@ -9,6 +9,8 @@
 //! stochsynth-cli cancel   --server 127.0.0.1:8080 --job 3
 //! stochsynth-cli health   --server 127.0.0.1:8080
 //! stochsynth-cli metrics  --server 127.0.0.1:8080
+//! stochsynth-cli fabric   --server 127.0.0.1:8080
+//! stochsynth-cli fabric   --server 127.0.0.1:8080 --register 127.0.0.1:9004
 //! stochsynth-cli shutdown --server 127.0.0.1:8080 --deadline-ms 5000
 //! ```
 //!
@@ -36,6 +38,8 @@ commands:
   cancel    --job ID
   health
   metrics
+  fabric    [--register HOST:PORT]   show coordinator fabric state, or
+                                     register a worker first
   shutdown  [--deadline-ms N]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -194,6 +198,13 @@ fn run() -> Result<ExitCode, String> {
         "cancel" => client.delete(&job_path()?)?,
         "health" => client.get("/healthz")?,
         "metrics" => client.get("/metrics")?,
+        "fabric" => match flags.get("register") {
+            Some(worker) => client.post(
+                "/fabric/workers",
+                &format!("{{\"addr\":{}}}", service::json::Json::str(worker).render()),
+            )?,
+            None => client.get("/fabric")?,
+        },
         "shutdown" => {
             let deadline = flags
                 .get("deadline-ms")

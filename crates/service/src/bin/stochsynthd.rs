@@ -4,17 +4,25 @@
 //! stochsynthd --addr 127.0.0.1:8080 --workers 8 --queue 256 --cache 256
 //! # ephemeral port for scripts/CI: bind port 0 and read the address back
 //! stochsynthd --addr 127.0.0.1:0 --port-file /tmp/stochsynthd.addr
+//! # fabric coordinator: shard /simulate ensembles across three workers
+//! stochsynthd --addr 127.0.0.1:8080 \
+//!     --fabric-worker 127.0.0.1:9001 --fabric-worker 127.0.0.1:9002 \
+//!     --fabric-worker 127.0.0.1:9003 --shard-trials 1000
 //! ```
 //!
 //! The process serves until `POST /shutdown` (loopback-only) drains it —
-//! see the README's *Running as a service* section for the API.
+//! see the README's *Running as a service* and *Running as a fabric*
+//! sections for the API.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use service::{serve, ServiceConfig};
+use service::{serve, FabricConfig, ServiceConfig};
 
 const USAGE: &str = "usage: stochsynthd [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache N] [--max-body BYTES] [--port-file PATH]";
+                     [--cache N] [--max-body BYTES] [--port-file PATH] \
+                     [--fabric-worker HOST:PORT]... [--shard-trials N] \
+                     [--shard-attempts N] [--shard-backoff-ms MS] [--shard-timeout-s S]";
 
 struct Args {
     config: ServiceConfig,
@@ -23,6 +31,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut config = ServiceConfig::default();
+    let mut fabric = FabricConfig::default();
     let mut port_file = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -34,6 +43,31 @@ fn parse_args() -> Result<Args, String> {
             .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
         match flag.as_str() {
             "--addr" => config.addr = value,
+            "--fabric-worker" => fabric.workers.push(value),
+            "--shard-trials" => {
+                fabric.shard_trials = value
+                    .parse()
+                    .map_err(|_| format!("--shard-trials: invalid count `{value}`"))?
+            }
+            "--shard-attempts" => {
+                fabric.max_attempts = value
+                    .parse()
+                    .map_err(|_| format!("--shard-attempts: invalid count `{value}`"))?
+            }
+            "--shard-backoff-ms" => {
+                fabric.backoff = Duration::from_millis(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--shard-backoff-ms: invalid delay `{value}`"))?,
+                )
+            }
+            "--shard-timeout-s" => {
+                fabric.request_timeout = Duration::from_secs(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--shard-timeout-s: invalid timeout `{value}`"))?,
+                )
+            }
             "--workers" => {
                 config.workers = value
                     .parse()
@@ -57,6 +91,11 @@ fn parse_args() -> Result<Args, String> {
             "--port-file" => port_file = Some(value),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    // Sharding flags only matter once at least one worker is registered;
+    // without workers the daemon stays a plain single-node service.
+    if !fabric.workers.is_empty() {
+        config.fabric = Some(fabric);
     }
     Ok(Args { config, port_file })
 }

@@ -3,10 +3,11 @@
 //! Used by `stochsynth-cli`, the load generator and the integration tests.
 //! One connection per request (`Connection: close`), JSON bodies only.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use crate::http::{self, ReadError};
 use crate::json::{self, Json};
 
 /// One received HTTP response.
@@ -48,39 +49,71 @@ impl HttpReply {
 /// A blocking JSON-over-HTTP client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
-    addr: SocketAddr,
+    addrs: Vec<SocketAddr>,
     timeout: Duration,
+    connect_timeout: Duration,
 }
 
 impl Client {
     /// Creates a client for `addr` (anything resolvable, e.g.
     /// `"127.0.0.1:8080"`) with a 600-second I/O timeout — long enough for
-    /// `wait: true` submissions of heavyweight jobs.
+    /// `wait: true` submissions of heavyweight jobs — and a 10-second
+    /// connect timeout.
+    ///
+    /// Every resolved address is kept, and each connect tries them in
+    /// resolution order until one answers: a name resolving to `[::1,
+    /// 127.0.0.1]` still reaches a server listening only on IPv4, instead
+    /// of failing on the first (IPv6) candidate as the old single-address
+    /// client did.
     ///
     /// # Errors
     ///
     /// Returns a message when the address does not resolve.
     pub fn new(addr: impl ToSocketAddrs) -> Result<Client, String> {
-        let addr = addr
+        let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| format!("cannot resolve server address: {e}"))?
-            .next()
-            .ok_or("server address resolved to nothing")?;
+            .collect();
+        if addrs.is_empty() {
+            return Err("server address resolved to nothing".to_string());
+        }
         Ok(Client {
-            addr,
+            addrs,
             timeout: Duration::from_secs(600),
+            connect_timeout: Duration::from_secs(10),
         })
     }
 
-    /// Overrides the per-request I/O timeout.
+    /// Overrides the per-request I/O timeout. Also tightens the connect
+    /// timeout to at most this value, so a client configured for fast
+    /// failure never spends longer connecting than it would reading.
     pub fn timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self.connect_timeout = self.connect_timeout.min(timeout);
         self
     }
 
-    /// The server address this client talks to.
+    /// Overrides the per-address connect timeout.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The first server address this client talks to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.addrs[0]
+    }
+
+    /// Opens a connection, trying each resolved address in order.
+    fn connect(&self) -> Result<TcpStream, String> {
+        let mut last_error = String::new();
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.connect_timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_error = format!("cannot connect to {addr}: {e}"),
+            }
+        }
+        Err(last_error)
     }
 
     /// Sends `GET path`.
@@ -112,8 +145,7 @@ impl Client {
     }
 
     fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply, String> {
-        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))
-            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        let stream = self.connect()?;
         stream
             .set_read_timeout(Some(self.timeout))
             .map_err(|e| e.to_string())?;
@@ -125,7 +157,7 @@ impl Client {
         let request = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
              content-length: {}\r\nconnection: close\r\n\r\n{body}",
-            self.addr,
+            self.addrs[0],
             body.len()
         );
         write_half
@@ -150,27 +182,35 @@ impl Client {
                 let name = name.trim().to_ascii_lowercase();
                 let value = value.trim().to_string();
                 if name == "content-length" {
-                    content_length = value.parse().ok();
+                    // Same smuggling hygiene as the server side: conflicting
+                    // duplicates are an attack or a broken proxy, never
+                    // something to silently resolve by last-write-wins.
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| format!("bad content-length `{value}`"))?;
+                    match content_length {
+                        Some(previous) if previous != parsed => {
+                            return Err(format!(
+                                "conflicting content-length headers ({previous} vs {parsed})"
+                            ));
+                        }
+                        _ => content_length = Some(parsed),
+                    }
                 }
                 headers.push((name, value));
             }
         }
-        let body = match content_length {
-            Some(length) => {
-                let mut buffer = vec![0u8; length];
-                reader
-                    .read_exact(&mut buffer)
-                    .map_err(|e| format!("body read failed: {e}"))?;
-                String::from_utf8(buffer).map_err(|_| "body is not UTF-8".to_string())?
-            }
-            None => {
-                let mut text = String::new();
-                reader
-                    .read_to_string(&mut text)
-                    .map_err(|e| format!("body read failed: {e}"))?;
-                text
-            }
-        };
+        // The protocol frames every body with `Content-Length`. An unframed
+        // response used to fall back to read-to-EOF, which on a keep-alive
+        // connection blocks for the full I/O timeout (10 minutes by
+        // default); fail fast instead.
+        let length =
+            content_length.ok_or("response has no content-length; refusing to read to EOF")?;
+        let mut buffer = vec![0u8; length];
+        reader
+            .read_exact(&mut buffer)
+            .map_err(|e| format!("body read failed: {e}"))?;
+        let body = String::from_utf8(buffer).map_err(|_| "body is not UTF-8".to_string())?;
         Ok(HttpReply {
             status,
             headers,
@@ -179,13 +219,14 @@ impl Client {
     }
 }
 
+/// Reads one response line through the server-side capped reader, so a
+/// hostile or broken server streaming an endless header line is cut off at
+/// the same 8 KiB bound `http::read_request` enforces on requests.
 fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read failed: {e}"))?;
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(line)
+    http::read_line(reader).map_err(|e| match e {
+        ReadError::Malformed(m) => format!("malformed response: {m}"),
+        ReadError::Io(e) => format!("read failed: {e}"),
+        ReadError::Closed => "connection closed".to_string(),
+        ReadError::TooLarge { limit } => format!("response line exceeds {limit} bytes"),
+    })
 }

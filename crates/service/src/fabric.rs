@@ -1,0 +1,369 @@
+//! The distributed ensemble fabric: shard dispatch, retry and merge.
+//!
+//! A coordinator daemon configured with worker addresses splits each
+//! `/simulate` ensemble into trial-range shards, posts every shard to a
+//! worker as a `"range": [start, end)` request, and merges the returned
+//! [`EnsemblePartial`](gillespie::EnsemblePartial) wire documents into the
+//! final report. Three properties hold by construction:
+//!
+//! * **Byte determinism** — trial `i` runs with seed `master_seed + i` on
+//!   whichever worker gets its shard, and partials merge through exact
+//!   accumulators whose readout is a pure function of the per-trial value
+//!   multiset. The merged `EnsembleReport` is therefore bit-identical to a
+//!   single-process run for *any* cluster shape, shard size, worker
+//!   failure or retry pattern.
+//! * **Bounded memory** — a shard travels as outcome counts plus `O(1)`
+//!   exact accumulators, never per-trial samples, so a million-trial job
+//!   costs the coordinator one small document per shard regardless of
+//!   trial count. Running statistics stream through a
+//!   [`Moments`](gillespie::Moments) accumulator as shards land.
+//! * **Fault tolerance** — a failed dispatch (dead worker, timeout, error
+//!   status) retries on the next healthy worker with bounded doubling
+//!   backoff; the worker registry's consecutive-failure counter steers
+//!   round-robin away from dead workers until they answer again.
+//!
+//! Cache federation has two tiers: the coordinator's own
+//! [`ResultCache`](crate::ResultCache) answers whole-job replays, and each
+//! worker caches its shards under range-suffixed keys, so a re-sharded or
+//! partially retried job reuses every shard the pool has seen before. The
+//! per-tier hit/miss counters are exposed through `GET /fabric` and the
+//! `fabric` section of `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use gillespie::engine::CancelToken;
+use gillespie::{EnsemblePartial, Moments};
+
+use crate::api::SimulateRequest;
+use crate::client::Client;
+use crate::json::Json;
+use crate::registry::{WorkerRegistry, WorkerSnapshot};
+
+/// Configuration of a fabric coordinator.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Worker addresses to register at startup.
+    pub workers: Vec<String>,
+    /// Trials per shard. `0` sizes shards automatically (about four per
+    /// worker). A fixed explicit value makes shard boundaries independent
+    /// of the pool size, which maximises worker-cache reuse when the
+    /// cluster shape changes between runs.
+    pub shard_trials: u64,
+    /// Dispatch attempts per shard before the job fails.
+    pub max_attempts: u32,
+    /// Initial retry backoff; doubles per attempt.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Per-shard HTTP I/O timeout.
+    pub request_timeout: Duration,
+    /// Per-address connect timeout (kept short so a dead worker costs
+    /// little before the shard rebalances).
+    pub connect_timeout: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            workers: Vec::new(),
+            shard_trials: 0,
+            max_attempts: 6,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(600),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A point-in-time copy of the fabric counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Shards handed to workers (including retried dispatches).
+    pub shards_dispatched: u64,
+    /// Shards merged successfully.
+    pub shards_completed: u64,
+    /// Dispatches that had to be retried on another (or the same) worker.
+    pub shard_retries: u64,
+    /// Individual dispatch failures (connect, timeout, error status).
+    pub worker_failures: u64,
+    /// Shards a worker answered from its own result cache.
+    pub remote_cache_hits: u64,
+    /// Shards a worker had to compute.
+    pub remote_cache_misses: u64,
+}
+
+/// The coordinator side of the distributed ensemble fabric.
+#[derive(Debug)]
+pub struct Fabric {
+    registry: WorkerRegistry,
+    config: FabricConfig,
+    shards_dispatched: AtomicU64,
+    shards_completed: AtomicU64,
+    shard_retries: AtomicU64,
+    worker_failures: AtomicU64,
+    remote_cache_hits: AtomicU64,
+    remote_cache_misses: AtomicU64,
+    /// Running final-time statistics over every trial merged so far, fed
+    /// by shard moments as they land — the streaming monitoring surface of
+    /// long jobs (`GET /fabric` exposes it mid-flight).
+    streamed: Mutex<Moments>,
+}
+
+impl Fabric {
+    /// Creates a fabric and registers the configured workers.
+    pub fn new(config: FabricConfig) -> Fabric {
+        let registry = WorkerRegistry::new();
+        for addr in &config.workers {
+            registry.register(addr);
+        }
+        Fabric {
+            registry,
+            config,
+            shards_dispatched: AtomicU64::new(0),
+            shards_completed: AtomicU64::new(0),
+            shard_retries: AtomicU64::new(0),
+            worker_failures: AtomicU64::new(0),
+            remote_cache_hits: AtomicU64::new(0),
+            remote_cache_misses: AtomicU64::new(0),
+            streamed: Mutex::new(Moments::new()),
+        }
+    }
+
+    /// The worker registry (for `/fabric/workers` registration and tests).
+    pub fn registry(&self) -> &WorkerRegistry {
+        &self.registry
+    }
+
+    /// The configuration the fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Splits `trials` into shard ranges `[start, end)`.
+    pub fn plan(&self, trials: u64) -> Vec<(u64, u64)> {
+        let shard = if self.config.shard_trials > 0 {
+            self.config.shard_trials
+        } else {
+            let workers = self.registry.len().max(1) as u64;
+            trials.div_ceil(workers * 4)
+        }
+        .max(1);
+        let mut ranges = Vec::with_capacity(trials.div_ceil(shard) as usize);
+        let mut start = 0;
+        while start < trials {
+            let end = (start + shard).min(trials);
+            ranges.push((start, end));
+            start = end;
+        }
+        ranges
+    }
+
+    /// Runs one shard on the worker pool: dispatch, retry with bounded
+    /// doubling backoff, rebalance onto surviving workers, and parse the
+    /// returned partial.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the shard and the last failure, once
+    /// `max_attempts` dispatches failed or the job was cancelled.
+    pub fn run_shard(
+        &self,
+        request: &SimulateRequest,
+        range: (u64, u64),
+        cancel: &CancelToken,
+    ) -> Result<EnsemblePartial, String> {
+        let body = request.to_wire(range);
+        let mut backoff = self.config.backoff;
+        let mut last_error = "no workers registered".to_string();
+        for attempt in 0..self.config.max_attempts {
+            if cancel.is_cancelled() {
+                return Err("job cancelled".to_string());
+            }
+            if attempt > 0 {
+                self.shard_retries.fetch_add(1, Ordering::Relaxed);
+                sleep_cancellable(backoff, cancel);
+                backoff = (backoff * 2).min(self.config.backoff_cap);
+            }
+            let Some(addr) = self.registry.next_worker() else {
+                return Err("no workers registered".to_string());
+            };
+            self.shards_dispatched.fetch_add(1, Ordering::Relaxed);
+            match self.dispatch(&addr, &body) {
+                Ok((partial, cache_hit)) => {
+                    self.registry.record_success(&addr, cache_hit);
+                    if cache_hit {
+                        self.remote_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.remote_cache_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.shards_completed.fetch_add(1, Ordering::Relaxed);
+                    self.streamed
+                        .lock()
+                        .expect("streamed moments lock")
+                        .merge(partial.time_moments());
+                    return Ok(partial);
+                }
+                Err(error) => {
+                    self.registry.record_failure(&addr);
+                    self.worker_failures.fetch_add(1, Ordering::Relaxed);
+                    last_error = format!("worker {addr}: {error}");
+                }
+            }
+        }
+        Err(format!(
+            "shard [{}, {}) failed after {} attempts: {last_error}",
+            range.0, range.1, self.config.max_attempts
+        ))
+    }
+
+    /// One dispatch: post the shard request, check the status, parse the
+    /// partial, report whether the worker's cache answered it.
+    fn dispatch(&self, addr: &str, body: &str) -> Result<(EnsemblePartial, bool), String> {
+        let client = Client::new(addr)?
+            .timeout(self.config.request_timeout)
+            .connect_timeout(self.config.connect_timeout);
+        let reply = client.post("/simulate", body)?;
+        if !reply.is_success() {
+            return Err(format!("status {}: {}", reply.status, reply.body));
+        }
+        let cache_hit = reply.header("cache") == Some("hit");
+        let json = reply.json()?;
+        let partial = SimulateRequest::parse_partial(&json).map_err(|e| e.to_string())?;
+        Ok((partial, cache_hit))
+    }
+
+    /// The fabric counters.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            shards_dispatched: self.shards_dispatched.load(Ordering::Relaxed),
+            shards_completed: self.shards_completed.load(Ordering::Relaxed),
+            shard_retries: self.shard_retries.load(Ordering::Relaxed),
+            worker_failures: self.worker_failures.load(Ordering::Relaxed),
+            remote_cache_hits: self.remote_cache_hits.load(Ordering::Relaxed),
+            remote_cache_misses: self.remote_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the fabric state (counters, streaming statistics, worker
+    /// pool) — the body of `GET /fabric` and the `fabric` section of
+    /// `GET /metrics`.
+    pub fn render(&self) -> Json {
+        let stats = self.stats();
+        let streamed = self.streamed.lock().expect("streamed moments lock");
+        let workers: Vec<Json> = self.registry.snapshot().iter().map(render_worker).collect();
+        Json::object([
+            ("shards_dispatched", Json::count(stats.shards_dispatched)),
+            ("shards_completed", Json::count(stats.shards_completed)),
+            ("shard_retries", Json::count(stats.shard_retries)),
+            ("worker_failures", Json::count(stats.worker_failures)),
+            ("remote_cache_hits", Json::count(stats.remote_cache_hits)),
+            (
+                "remote_cache_misses",
+                Json::count(stats.remote_cache_misses),
+            ),
+            (
+                "streaming",
+                Json::object([
+                    ("trials", Json::count(streamed.count())),
+                    ("mean_final_time", Json::num(streamed.mean())),
+                    ("final_time_variance", Json::num(streamed.variance())),
+                ]),
+            ),
+            ("workers", Json::Array(workers)),
+        ])
+    }
+}
+
+fn render_worker(worker: &WorkerSnapshot) -> Json {
+    Json::object([
+        ("addr", Json::str(worker.addr.clone())),
+        ("healthy", Json::Bool(worker.healthy)),
+        (
+            "consecutive_failures",
+            Json::count(u64::from(worker.consecutive_failures)),
+        ),
+        ("dispatched", Json::count(worker.dispatched)),
+        ("completed", Json::count(worker.completed)),
+        ("failed", Json::count(worker.failed)),
+        ("cache_hits", Json::count(worker.cache_hits)),
+        ("cache_misses", Json::count(worker.cache_misses)),
+    ])
+}
+
+/// Sleeps up to `total`, polling the cancel token every few milliseconds
+/// so a cancelled job stops backing off promptly.
+fn sleep_cancellable(total: Duration, cancel: &CancelToken) {
+    let slice = Duration::from_millis(10);
+    let mut remaining = total;
+    while !remaining.is_zero() && !cancel.is_cancelled() {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_tiles_the_trial_range_exactly() {
+        let fabric = Fabric::new(FabricConfig {
+            shard_trials: 100,
+            ..FabricConfig::default()
+        });
+        let plan = fabric.plan(250);
+        assert_eq!(plan, vec![(0, 100), (100, 200), (200, 250)]);
+        // Explicit shard size is independent of the worker pool.
+        assert_eq!(fabric.plan(100), vec![(0, 100)]);
+        assert_eq!(fabric.plan(1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn auto_plan_scales_with_the_pool() {
+        let fabric = Fabric::new(FabricConfig {
+            workers: vec!["a".to_string(), "b".to_string()],
+            ..FabricConfig::default()
+        });
+        let plan = fabric.plan(800);
+        assert_eq!(plan.len(), 8, "plan: {plan:?}");
+        assert_eq!(plan.first(), Some(&(0, 100)));
+        assert_eq!(plan.last(), Some(&(700, 800)));
+        // The tiling is gapless.
+        for window in plan.windows(2) {
+            assert_eq!(window[0].1, window[1].0);
+        }
+    }
+
+    #[test]
+    fn run_shard_without_workers_fails_fast() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let body =
+            crate::json::parse("{\"network\":\"x -> h @ 1\",\"initial\":{\"x\":1},\"trials\":10}")
+                .unwrap();
+        let request = SimulateRequest::parse(&body).unwrap();
+        let err = fabric
+            .run_shard(&request, (0, 10), &CancelToken::new())
+            .unwrap_err();
+        assert!(err.contains("no workers"), "err: {err}");
+    }
+
+    #[test]
+    fn cancelled_jobs_stop_dispatching() {
+        let fabric = Fabric::new(FabricConfig {
+            workers: vec!["127.0.0.1:1".to_string()],
+            ..FabricConfig::default()
+        });
+        let body =
+            crate::json::parse("{\"network\":\"x -> h @ 1\",\"initial\":{\"x\":1},\"trials\":10}")
+                .unwrap();
+        let request = SimulateRequest::parse(&body).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = fabric.run_shard(&request, (0, 10), &token).unwrap_err();
+        assert!(err.contains("cancelled"), "err: {err}");
+    }
+}

@@ -128,7 +128,7 @@ pub fn read_request(
     };
 
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut declared_length: Option<usize> = None;
     loop {
         if headers.len() >= MAX_HEADERS {
             return Err(ReadError::Malformed(format!(
@@ -145,12 +145,26 @@ pub fn read_request(
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value
+            let parsed: usize = value
                 .parse()
                 .map_err(|_| ReadError::Malformed(format!("bad content-length `{value}`")))?;
+            // Duplicate `Content-Length` headers with different values are
+            // the classic request-smuggling vector: a front proxy and this
+            // server disagreeing on which one wins desynchronises the
+            // connection. RFC 7230 §3.3.2 lets identical repeats collapse;
+            // anything else is rejected, never silently last-write-wins.
+            match declared_length {
+                Some(previous) if previous != parsed => {
+                    return Err(ReadError::Malformed(format!(
+                        "conflicting content-length headers ({previous} vs {parsed})"
+                    )));
+                }
+                _ => declared_length = Some(parsed),
+            }
         }
         headers.push((name, value));
     }
+    let content_length = declared_length.unwrap_or(0);
     if content_length > max_body {
         return Err(ReadError::TooLarge { limit: max_body });
     }
@@ -176,8 +190,9 @@ const MAX_HEADERS: usize = 128;
 
 /// Reads one CRLF-terminated line, enforcing [`MAX_LINE_BYTES`] *while*
 /// reading — an attacker streaming an endless unterminated line is cut off
-/// at the cap instead of growing a buffer without bound.
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ReadError> {
+/// at the cap instead of growing a buffer without bound. Shared with the
+/// client, which needs the same discipline against hostile *servers*.
+pub(crate) fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ReadError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
         let buffer = reader.fill_buf().map_err(ReadError::Io)?;
@@ -348,6 +363,24 @@ mod tests {
         raw.push_str("\r\n");
         let err = exchange(&raw, 1024).unwrap_err();
         assert!(matches!(err, ReadError::Malformed(m) if m.contains("headers")));
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_lengths() {
+        // Smuggling hygiene: two different lengths must kill the request…
+        let err = exchange(
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 4\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(m) if m.contains("conflicting")));
+        // …while identical repeats collapse per RFC 7230 §3.3.2.
+        let request = exchange(
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(request.body, "{\"a\":1}");
     }
 
     #[test]

@@ -64,9 +64,11 @@ pub mod api;
 mod app;
 mod cache;
 mod error;
+mod fabric;
 pub mod http;
 pub mod json;
 mod metrics;
+mod registry;
 mod router;
 mod scheduler;
 mod server;
@@ -77,8 +79,10 @@ pub use app::{serve, App, ServiceConfig, ServiceHandle};
 pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, HttpReply};
 pub use error::ServiceError;
+pub use fabric::{Fabric, FabricConfig, FabricStats};
 pub use http::{Method, Request, Response};
 pub use metrics::Metrics;
+pub use registry::{WorkerRegistry, WorkerSnapshot};
 pub use router::{Handler, RouteContext, Router};
 pub use scheduler::{
     ChunkOutput, DrainReport, JobId, JobSnapshot, JobState, JobWork, Scheduler, SchedulerStats,

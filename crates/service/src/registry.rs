@@ -1,0 +1,245 @@
+//! The fabric coordinator's view of its worker pool.
+//!
+//! A [`WorkerRegistry`] tracks the daemons a coordinator may dispatch
+//! shards to: their addresses, a consecutive-failure health counter, and
+//! per-worker dispatch/cache counters surfaced through `GET /fabric`.
+//! Registration stores only the address string — no connection is opened
+//! until a shard is dispatched, so registering a worker that is still
+//! booting (or temporarily down) is always allowed; health emerges from
+//! dispatch outcomes.
+
+use std::sync::Mutex;
+
+/// A worker is skipped by round-robin selection after this many
+/// *consecutive* dispatch failures; any success resets the counter. The
+/// worker stays registered — if every worker trips the threshold the
+/// selector falls back to round-robin over all of them rather than
+/// refusing to dispatch, so a full-pool outage degrades to retries instead
+/// of instant job failure.
+const UNHEALTHY_AFTER: u32 = 3;
+
+#[derive(Debug, Clone)]
+struct WorkerEntry {
+    addr: String,
+    consecutive_failures: u32,
+    dispatched: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// A point-in-time copy of one worker's registry entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// The worker's address, as registered.
+    pub addr: String,
+    /// `false` once [`UNHEALTHY_AFTER`] consecutive dispatches failed.
+    pub healthy: bool,
+    /// The current consecutive-failure count.
+    pub consecutive_failures: u32,
+    /// Shards handed to this worker (including ones that later failed).
+    pub dispatched: u64,
+    /// Shards this worker answered successfully.
+    pub completed: u64,
+    /// Dispatches that failed (connection, timeout or error status).
+    pub failed: u64,
+    /// Completed shards the worker answered from its own result cache.
+    pub cache_hits: u64,
+    /// Completed shards the worker had to compute.
+    pub cache_misses: u64,
+}
+
+/// The set of workers a fabric coordinator dispatches shards to.
+#[derive(Debug, Default)]
+pub struct WorkerRegistry {
+    workers: Mutex<Vec<WorkerEntry>>,
+    /// Round-robin cursor (guarded by the same mutex discipline: only
+    /// touched while `workers` is held).
+    cursor: Mutex<usize>,
+}
+
+impl WorkerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> WorkerRegistry {
+        WorkerRegistry::default()
+    }
+
+    /// Registers a worker address. Duplicate registrations are idempotent;
+    /// returns `true` when the address was new.
+    pub fn register(&self, addr: &str) -> bool {
+        let mut workers = self.workers.lock().expect("registry lock");
+        if workers.iter().any(|w| w.addr == addr) {
+            return false;
+        }
+        workers.push(WorkerEntry {
+            addr: addr.to_string(),
+            consecutive_failures: 0,
+            dispatched: 0,
+            completed: 0,
+            failed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        true
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.lock().expect("registry lock").len()
+    }
+
+    /// `true` when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Picks the next worker round-robin, skipping unhealthy entries. When
+    /// *every* worker is unhealthy the skip is waived — the caller's retry
+    /// loop is the backstop, and one of the workers may be back already.
+    /// Returns `None` only for an empty registry. Counts a dispatch
+    /// against the returned worker.
+    pub fn next_worker(&self) -> Option<String> {
+        let mut workers = self.workers.lock().expect("registry lock");
+        if workers.is_empty() {
+            return None;
+        }
+        let mut cursor = self.cursor.lock().expect("cursor lock");
+        let n = workers.len();
+        let all_unhealthy = workers
+            .iter()
+            .all(|w| w.consecutive_failures >= UNHEALTHY_AFTER);
+        for offset in 0..n {
+            let index = (*cursor + offset) % n;
+            if all_unhealthy || workers[index].consecutive_failures < UNHEALTHY_AFTER {
+                *cursor = (index + 1) % n;
+                workers[index].dispatched += 1;
+                return Some(workers[index].addr.clone());
+            }
+        }
+        None
+    }
+
+    /// Records a successful shard on `addr`; `cache_hit` says whether the
+    /// worker answered from its result cache.
+    pub fn record_success(&self, addr: &str, cache_hit: bool) {
+        let mut workers = self.workers.lock().expect("registry lock");
+        if let Some(worker) = workers.iter_mut().find(|w| w.addr == addr) {
+            worker.consecutive_failures = 0;
+            worker.completed += 1;
+            if cache_hit {
+                worker.cache_hits += 1;
+            } else {
+                worker.cache_misses += 1;
+            }
+        }
+    }
+
+    /// Records a failed dispatch on `addr` (connect failure, timeout or
+    /// error status).
+    pub fn record_failure(&self, addr: &str) {
+        let mut workers = self.workers.lock().expect("registry lock");
+        if let Some(worker) = workers.iter_mut().find(|w| w.addr == addr) {
+            worker.consecutive_failures += 1;
+            worker.failed += 1;
+        }
+    }
+
+    /// A point-in-time copy of every worker entry, in registration order.
+    pub fn snapshot(&self) -> Vec<WorkerSnapshot> {
+        self.workers
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|w| WorkerSnapshot {
+                addr: w.addr.clone(),
+                healthy: w.consecutive_failures < UNHEALTHY_AFTER,
+                consecutive_failures: w.consecutive_failures,
+                dispatched: w.dispatched,
+                completed: w.completed,
+                failed: w.failed,
+                cache_hits: w.cache_hits,
+                cache_misses: w.cache_misses,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = WorkerRegistry::new();
+        assert!(registry.register("127.0.0.1:9001"));
+        assert!(!registry.register("127.0.0.1:9001"));
+        assert!(registry.register("127.0.0.1:9002"));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy_workers() {
+        let registry = WorkerRegistry::new();
+        registry.register("a");
+        registry.register("b");
+        registry.register("c");
+        // Trip `b` past the health threshold.
+        for _ in 0..UNHEALTHY_AFTER {
+            registry.record_failure("b");
+        }
+        let picks: Vec<String> = (0..4).map(|_| registry.next_worker().unwrap()).collect();
+        assert!(!picks.contains(&"b".to_string()), "picks: {picks:?}");
+        assert!(picks.contains(&"a".to_string()));
+        assert!(picks.contains(&"c".to_string()));
+        // One success re-admits it.
+        registry.record_success("b", false);
+        let picks: Vec<String> = (0..3).map(|_| registry.next_worker().unwrap()).collect();
+        assert!(picks.contains(&"b".to_string()), "picks: {picks:?}");
+    }
+
+    #[test]
+    fn all_unhealthy_falls_back_to_round_robin() {
+        let registry = WorkerRegistry::new();
+        registry.register("a");
+        registry.register("b");
+        for addr in ["a", "b"] {
+            for _ in 0..UNHEALTHY_AFTER {
+                registry.record_failure(addr);
+            }
+        }
+        // Still dispatches — the retry loop, not the selector, decides when
+        // to give up.
+        assert!(registry.next_worker().is_some());
+        let snapshot = registry.snapshot();
+        assert!(snapshot.iter().all(|w| !w.healthy));
+    }
+
+    #[test]
+    fn snapshot_reports_counters() {
+        let registry = WorkerRegistry::new();
+        registry.register("a");
+        assert!(registry.next_worker().is_some());
+        registry.record_success("a", true);
+        assert!(registry.next_worker().is_some());
+        registry.record_success("a", false);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].dispatched, 2);
+        assert_eq!(snapshot[0].completed, 2);
+        assert_eq!(snapshot[0].cache_hits, 1);
+        assert_eq!(snapshot[0].cache_misses, 1);
+        assert_eq!(snapshot[0].failed, 0);
+        assert!(snapshot[0].healthy);
+        assert!(registry.next_worker().is_some());
+        registry.record_failure("a");
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot[0].failed, 1);
+        assert_eq!(snapshot[0].consecutive_failures, 1);
+    }
+
+    #[test]
+    fn empty_registry_yields_no_worker() {
+        assert_eq!(WorkerRegistry::new().next_worker(), None);
+    }
+}

@@ -88,10 +88,13 @@ impl JobState {
 }
 
 /// The output of one task (chunk) of a job.
+///
+/// The partial is boxed: its exact accumulators are ~1.2 KiB inline, and
+/// outputs sit in a `Vec` sized to the chunk count while the job drains.
 #[derive(Debug)]
 pub enum ChunkOutput {
     /// A block of ensemble trials, merged in chunk order at finish time.
-    Partial(EnsemblePartial),
+    Partial(Box<EnsemblePartial>),
     /// A complete rendered body (single-chunk analysis jobs).
     Body(String),
 }

@@ -14,6 +14,7 @@ fn test_config() -> ServiceConfig {
         queue_capacity: 256,
         cache_capacity: 64,
         max_body_bytes: 1 << 20,
+        fabric: None,
     }
 }
 
@@ -337,6 +338,99 @@ fn bad_requests_name_line_and_column() {
 
     handle.shutdown(Duration::from_secs(2));
     handle.join();
+}
+
+/// A throwaway server that answers its first connection with a canned,
+/// possibly malformed, HTTP response — for client-hardening regressions.
+fn canned_server(response: &'static str) -> std::net::SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            use std::io::{Read, Write};
+            let mut scratch = [0u8; 4096];
+            let _ = stream.read(&mut scratch);
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
+    addr
+}
+
+/// An address nothing listens on: bind an ephemeral port, then drop the
+/// listener so connects are refused.
+fn dead_addr() -> std::net::SocketAddr {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind")
+        .local_addr()
+        .expect("addr")
+}
+
+/// Regression: `Client::new` used to keep only the *first* resolved
+/// address, so a multi-address resolution whose first candidate was dead
+/// failed outright. Every address must be tried in order.
+#[test]
+fn client_tries_every_resolved_address() {
+    let handle = serve(test_config()).expect("bind");
+    let addrs = [dead_addr(), handle.addr()];
+    let client = Client::new(&addrs[..]).expect("client");
+    let reply = client.get("/healthz").expect("second address must answer");
+    assert_eq!(reply.status, 200);
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+}
+
+/// Regression: duplicate `Content-Length` headers with conflicting values
+/// were resolved last-write-wins — classic request-smuggling surface. Both
+/// sides of the transport must reject the conflict outright.
+#[test]
+fn conflicting_content_lengths_are_rejected_on_both_sides() {
+    // Server side: a raw request with two disagreeing lengths gets a 400.
+    let handle = serve(test_config()).expect("bind");
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(
+            b"POST /simulate HTTP/1.1\r\nhost: test\r\ncontent-length: 2\r\n\
+              content-length: 3\r\nconnection: close\r\n\r\n{}",
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "conflicting lengths must be a 400: {response}"
+    );
+    handle.shutdown(Duration::from_secs(2));
+    handle.join();
+
+    // Client side: a response with disagreeing lengths is a transport error.
+    let addr =
+        canned_server("HTTP/1.1 200 OK\r\ncontent-length: 5\r\ncontent-length: 7\r\n\r\nhello");
+    let client = Client::new(addr).expect("client");
+    let err = client
+        .get("/healthz")
+        .expect_err("must reject the conflict");
+    assert!(err.contains("conflicting"), "err: {err}");
+}
+
+/// Regression: a response without `Content-Length` used to fall back to
+/// read-to-EOF, hanging a keep-alive connection for the full I/O timeout.
+/// The client must fail fast instead.
+#[test]
+fn client_fails_fast_on_unframed_responses() {
+    let addr = canned_server("HTTP/1.1 200 OK\r\nconnection: keep-alive\r\n\r\nunframed body");
+    let client = Client::new(addr)
+        .expect("client")
+        .timeout(Duration::from_secs(30));
+    let start = std::time::Instant::now();
+    let err = client
+        .get("/healthz")
+        .expect_err("must refuse unframed body");
+    assert!(err.contains("content-length"), "err: {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "must fail fast, not wait out the I/O timeout"
+    );
 }
 
 /// `POST /shutdown` is refused for non-loopback peers (checked at the

@@ -2,6 +2,9 @@
 # Service smoke test: boot `stochsynthd` on an ephemeral port, drive it
 # through simulate/exact/synthesize round trips with `stochsynth-cli`, and
 # assert that a repeated request is a cache hit with a byte-identical body.
+# Then boot a three-worker fabric, kill a worker mid-pool, and assert the
+# sharded report is byte-identical to the single-node bytes with the
+# failure visible in the federated cache metrics.
 #
 # Run from the workspace root (CI runs it after `cargo build --release`):
 #
@@ -12,20 +15,33 @@ TARGET_DIR="${1:-target/release}"
 DAEMON="$TARGET_DIR/stochsynthd"
 CLI="$TARGET_DIR/stochsynth-cli"
 WORK="$(mktemp -d)"
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Boots a daemon with the given log/addr basename; extra flags pass through.
+# Sets BOOTED_ADDR and appends the PID to PIDS.
+boot_daemon() {
+    local name="$1"; shift
+    "$DAEMON" --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/$name.addr" "$@" \
+        >"$WORK/$name.log" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/$name.addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$WORK/$name.log"; exit 1; }
+        sleep 0.1
+    done
+    BOOTED_ADDR="$(cat "$WORK/$name.addr")"
+    BOOTED_PID="$pid"
+}
 
 [ -x "$DAEMON" ] || { echo "missing $DAEMON (build with: cargo build --release)"; exit 2; }
 [ -x "$CLI" ] || { echo "missing $CLI"; exit 2; }
 
 # --- boot on an ephemeral port -------------------------------------------
-"$DAEMON" --addr 127.0.0.1:0 --workers 2 --port-file "$WORK/addr" >"$WORK/daemon.log" 2>&1 &
-DAEMON_PID=$!
-for _ in $(seq 1 100); do
-    [ -s "$WORK/addr" ] && break
-    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.log"; exit 1; }
-    sleep 0.1
-done
-SERVER="$(cat "$WORK/addr")"
+boot_daemon single
+SERVER="$BOOTED_ADDR"
+DAEMON_PID="$BOOTED_PID"
 echo "stochsynthd up on $SERVER"
 "$CLI" health --server "$SERVER" >/dev/null
 
@@ -90,6 +106,54 @@ echo "synthesize: P(lysis | moi=2) matches the exact golden"
 "$CLI" metrics --server "$SERVER" >"$WORK/metrics.body"
 grep -q '"hits":1' "$WORK/metrics.body" || { echo "expected exactly one cache hit:"; cat "$WORK/metrics.body"; exit 1; }
 echo "metrics: exactly one cache hit recorded"
+
+# --- fabric: three workers, byte-identical sharded reports ---------------
+boot_daemon worker1; W1="$BOOTED_ADDR"; W1_PID="$BOOTED_PID"
+boot_daemon worker2; W2="$BOOTED_ADDR"
+boot_daemon worker3; W3="$BOOTED_ADDR"
+boot_daemon coordinator \
+    --fabric-worker "$W1" --fabric-worker "$W2" --fabric-worker "$W3" \
+    --shard-trials 250 --shard-backoff-ms 10
+COORD="$BOOTED_ADDR"
+echo "fabric up: coordinator $COORD over workers $W1 $W2 $W3"
+
+# The sharded run must be byte-identical to the single-node bytes.
+"$CLI" submit --server "$COORD" --endpoint simulate --file "$WORK/simulate.json" --wait \
+    >"$WORK/sharded.body"
+cmp "$WORK/fresh.body" "$WORK/sharded.body" || { echo "sharded body differs from single-node body"; exit 1; }
+"$CLI" fabric --server "$COORD" >"$WORK/fabric.body"
+grep -q '"shards_completed":8' "$WORK/fabric.body" || { echo "expected 8 shards:"; cat "$WORK/fabric.body"; exit 1; }
+echo "fabric: 3-worker sharded report byte-identical to single-node"
+
+# Kill a worker; the next job's shards must rebalance onto the survivors
+# and still reproduce the single-node bytes exactly.
+kill -9 "$W1_PID"
+sed 's/"seed": 7/"seed": 8/' "$WORK/simulate.json" >"$WORK/simulate8.json"
+"$CLI" submit --server "$SERVER" --endpoint simulate --file "$WORK/simulate8.json" --wait \
+    >"$WORK/fresh8.body"
+"$CLI" submit --server "$COORD" --endpoint simulate --file "$WORK/simulate8.json" --wait \
+    >"$WORK/sharded8.body"
+cmp "$WORK/fresh8.body" "$WORK/sharded8.body" || { echo "post-kill sharded body differs"; exit 1; }
+"$CLI" fabric --server "$COORD" >"$WORK/fabric.body"
+grep -q '"worker_failures":0' "$WORK/fabric.body" && { echo "expected worker failures:"; cat "$WORK/fabric.body"; exit 1; }
+echo "fabric: killed worker rebalanced, bytes unchanged, failures recorded"
+
+# Cache federation: a fresh coordinator over the two survivors (one booted
+# with a flag, one registered at runtime) re-shards the first job and is
+# answered partly from the workers' shard caches.
+boot_daemon coordinator2 --fabric-worker "$W2" --shard-trials 250 --shard-backoff-ms 10
+COORD2="$BOOTED_ADDR"
+"$CLI" fabric --server "$COORD2" --register "$W3" >/dev/null
+"$CLI" submit --server "$COORD2" --endpoint simulate --file "$WORK/simulate.json" --wait \
+    >"$WORK/federated.body"
+cmp "$WORK/fresh.body" "$WORK/federated.body" || { echo "federated replay differs"; exit 1; }
+"$CLI" fabric --server "$COORD2" >"$WORK/fabric2.body"
+grep -q '"remote_cache_hits":0' "$WORK/fabric2.body" && { echo "expected worker-tier cache hits:"; cat "$WORK/fabric2.body"; exit 1; }
+echo "fabric: federated worker caches answered the re-sharded replay"
+
+for peer in "$COORD2" "$COORD" "$W3" "$W2"; do
+    "$CLI" shutdown --server "$peer" --deadline-ms 10000 >/dev/null
+done
 
 # --- graceful shutdown ---------------------------------------------------
 "$CLI" shutdown --server "$SERVER" --deadline-ms 10000 >/dev/null
