@@ -8,7 +8,7 @@
 //! the "Exact verification" README section: how large a system can the CME
 //! oracle afford, and where does the time go as the window grows.
 
-use cme::{FirstPassage, GeneratorMatrix, PopulationBounds, StateSpace};
+use cme::{Checker, FirstPassage, GeneratorMatrix, PopulationBounds, StateSpace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crn::Crn;
 use synthesis::StochasticModule;
@@ -86,10 +86,36 @@ fn bench_first_passage(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `POST /check` sweep workload in miniature: a four-point robustness
+/// landscape of race verdicts, each grid point an independent
+/// enumerate + embedded-chain solve of a ten-token biased-coin tournament.
+/// Prices what one cached grid point of a model-checking sweep costs the
+/// service before any fabric dispatch.
+fn bench_check_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cme_transient/check_sweep");
+    group.bench_function(BenchmarkId::from_parameter("race_landscape_4pt"), |b| {
+        b.iter(|| {
+            cme::sweep::landscape(&[1.0, 2.0, 4.0, 8.0], |k| {
+                let crn: Crn = format!("x -> h @ {k}\nx -> t @ 1")
+                    .parse()
+                    .expect("network");
+                let initial = crn.state_from_counts([("x", 10)]).expect("state");
+                let checker = Checker::new(&crn, initial, PopulationBounds::strict(10));
+                checker
+                    .reach_before_species(("h", 6), ("t", 6))
+                    .map(|race| race.target)
+            })
+            .expect("landscape")
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_transient_scaling,
     bench_dimerisation,
-    bench_first_passage
+    bench_first_passage,
+    bench_check_sweep
 );
 criterion_main!(benches);

@@ -41,6 +41,48 @@ impl GeneratorMatrix {
     /// transitions (several reactions connecting the same pair of states)
     /// into a single entry.
     pub fn from_space(space: &StateSpace) -> Self {
+        Self::build(space, |_| false)
+    }
+
+    /// Builds the generator with the rows of every state matching `absorbing`
+    /// zeroed out: those states keep their index but lose all outflow (and
+    /// leak), so probability mass entering them stays put.
+    ///
+    /// This is the *target-set absorption* construction used by time-bounded
+    /// reachability: run the free chain to `t₁`, then evolve the same
+    /// probability vector under the absorbed generator to `t₂` — the mass
+    /// sitting on target states at `t₂` is exactly the probability of having
+    /// visited the target during `[t₁, t₂]`. Because the absorbed generator
+    /// shares the free space's state indexing, the two phases compose without
+    /// re-enumeration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), cme::CmeError> {
+    /// use cme::{GeneratorMatrix, PopulationBounds, StateSpace};
+    ///
+    /// let crn: crn::Crn = "a -> b @ 1\nb -> a @ 2".parse().expect("network");
+    /// let b = crn.species_id("b").expect("species");
+    /// let initial = crn.state_from_counts([("a", 2)]).expect("state");
+    /// let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::strict(2))?;
+    /// let absorbed = GeneratorMatrix::from_space_absorbing(&space, |s| s.count(b) >= 2);
+    /// // The b=2 state has been made absorbing: zero outflow.
+    /// assert!(absorbed.uniformization_rate() < GeneratorMatrix::from_space(&space).uniformization_rate() + 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_space_absorbing<F>(space: &StateSpace, absorbing: F) -> Self
+    where
+        F: Fn(&crn::State) -> bool,
+    {
+        Self::build(space, absorbing)
+    }
+
+    fn build<F>(space: &StateSpace, absorbing: F) -> Self
+    where
+        F: Fn(&crn::State) -> bool,
+    {
         let n = space.len();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut cols = Vec::with_capacity(space.transition_count() + n);
@@ -50,6 +92,13 @@ impl GeneratorMatrix {
         row_ptr.push(0);
         let mut row: Vec<(usize, f64)> = Vec::new();
         for i in 0..n {
+            if absorbing(space.state(i)) {
+                cols.push(i);
+                vals.push(0.0);
+                row_ptr.push(cols.len());
+                leak.push(0.0);
+                continue;
+            }
             row.clear();
             row.extend(space.transitions(i));
             row.sort_unstable_by_key(|&(j, _)| j);

@@ -19,7 +19,12 @@
 //! 4. [`FirstPassage`] — exact absorption probabilities into outcome
 //!    classes (the winner-take-all module's outcome distribution is a
 //!    first-passage problem, so its programmed probabilities can be
-//!    verified to machine precision rather than Monte-Carlo precision).
+//!    verified to machine precision rather than Monte-Carlo precision);
+//! 5. [`Checker`] — a time-bounded probabilistic model checker layered on
+//!    1–4: `P(reach A before B)`, `P(X_s ≥ k within [t₁, t₂])`, expected
+//!    first-passage times and stationary mass, with [`sweep`] computing
+//!    robustness landscapes and satisfaction boundaries over parameter
+//!    grids.
 //!
 //! # Example
 //!
@@ -50,15 +55,19 @@
 #![warn(missing_docs)]
 
 mod bounds;
+pub mod check;
 mod error;
 mod generator;
 mod outcome;
 mod space;
+pub mod sweep;
 mod transient;
 
 pub use bounds::{BoundaryPolicy, PopulationBounds};
+pub use check::{Checker, HittingTime, RaceVerdict, StationaryDistribution, WindowVerdict};
 pub use error::CmeError;
 pub use generator::GeneratorMatrix;
 pub use outcome::{FirstPassage, OutcomeDistribution};
 pub use space::StateSpace;
+pub use sweep::{Landscape, LandscapePoint};
 pub use transient::{transient, TransientSolution};

@@ -424,7 +424,7 @@ fn add_edge(edges: &mut Vec<(usize, f64)>, target: usize, rate: f64) {
 /// Iterative Tarjan over the state-space transition graph. Components are
 /// returned in Tarjan emission order: every component appears *before* the
 /// components that can reach it (sinks first).
-fn strongly_connected_components(space: &StateSpace) -> Vec<Vec<usize>> {
+pub(crate) fn strongly_connected_components(space: &StateSpace) -> Vec<Vec<usize>> {
     let n = space.len();
     const UNVISITED: usize = usize::MAX;
     let mut index = vec![UNVISITED; n];

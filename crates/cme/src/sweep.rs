@@ -1,0 +1,217 @@
+//! Parameter-grid robustness landscapes and satisfaction boundaries.
+//!
+//! A *landscape* evaluates one scalar robustness measure — any
+//! [`Checker`](crate::Checker) verdict reduced to a number, such as an
+//! error-mass probability — across a grid of parameter values. A
+//! *satisfaction boundary* refines a landscape crossing to the exact
+//! parameter value where the measure meets a threshold, by bisection in
+//! log-parameter space (rate constants live on a log scale).
+//!
+//! Both are pure `f64` computations driven by deterministic solves, so
+//! boundaries can be pinned as goldens to tight tolerances.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), cme::CmeError> {
+//! use cme::sweep;
+//!
+//! // A toy robustness measure with a known 1e-3 crossing at x = 1000.
+//! let eval = |x: f64| Ok(1.0 / x);
+//! let grid = [10.0, 100.0, 1_000.0, 10_000.0];
+//! let landscape = sweep::landscape(&grid, eval)?;
+//! assert_eq!(landscape.points().len(), 4);
+//! let bracket = landscape.crossing(1e-3).expect("bracketed");
+//! assert_eq!((bracket.0.parameter, bracket.1.parameter), (100.0, 1_000.0));
+//!
+//! let boundary = sweep::satisfaction_boundary(100.0, 10_000.0, 1e-3, 1e-12, eval)?;
+//! assert!((boundary - 1_000.0).abs() / 1_000.0 < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CmeError;
+
+/// One evaluated grid point of a robustness landscape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LandscapePoint {
+    /// The swept parameter value.
+    pub parameter: f64,
+    /// The robustness measure at that parameter.
+    pub value: f64,
+}
+
+/// A robustness measure evaluated over a parameter grid, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landscape {
+    points: Vec<LandscapePoint>,
+}
+
+impl Landscape {
+    /// Returns the evaluated grid points in the order they were supplied.
+    pub fn points(&self) -> &[LandscapePoint] {
+        &self.points
+    }
+
+    /// Returns the values alone, aligned with the input grid.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Finds the first adjacent pair of grid points whose values bracket
+    /// `threshold` (one strictly above, one at-or-below), returning them in
+    /// grid order. `None` when the landscape never crosses.
+    pub fn crossing(&self, threshold: f64) -> Option<(LandscapePoint, LandscapePoint)> {
+        self.points.windows(2).find_map(|pair| {
+            let (a, b) = (pair[0], pair[1]);
+            let above = |p: LandscapePoint| p.value > threshold;
+            (above(a) != above(b)).then_some((a, b))
+        })
+    }
+}
+
+/// Evaluates `eval` at every grid value, propagating the first solver
+/// error. Grid values must be finite.
+pub fn landscape<E>(grid: &[f64], mut eval: E) -> Result<Landscape, CmeError>
+where
+    E: FnMut(f64) -> Result<f64, CmeError>,
+{
+    let mut points = Vec::with_capacity(grid.len());
+    for &parameter in grid {
+        if !parameter.is_finite() {
+            return Err(CmeError::InvalidInput {
+                message: format!("grid value {parameter} is not finite"),
+            });
+        }
+        points.push(LandscapePoint {
+            parameter,
+            value: eval(parameter)?,
+        });
+    }
+    Ok(Landscape { points })
+}
+
+/// Finds the parameter in `[lo, hi]` where the monotone measure `eval`
+/// crosses `threshold`, by bisection on the logarithm of the parameter,
+/// down to relative width `rel_tol`.
+///
+/// Requires `0 < lo < hi`, both finite, and the endpoint values to straddle
+/// the threshold (otherwise the boundary is outside the bracket and an
+/// [`CmeError::InvalidInput`] is returned). If an endpoint already sits
+/// exactly on the threshold, that endpoint is returned.
+pub fn satisfaction_boundary<E>(
+    lo: f64,
+    hi: f64,
+    threshold: f64,
+    rel_tol: f64,
+    mut eval: E,
+) -> Result<f64, CmeError>
+where
+    E: FnMut(f64) -> Result<f64, CmeError>,
+{
+    if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
+        return Err(CmeError::InvalidInput {
+            message: format!("bracket [{lo}, {hi}] must be finite with 0 < lo < hi"),
+        });
+    }
+    if !(rel_tol.is_finite() && rel_tol > 0.0) {
+        return Err(CmeError::InvalidInput {
+            message: format!("relative tolerance {rel_tol} must be a positive number"),
+        });
+    }
+    let f_lo = eval(lo)?;
+    let f_hi = eval(hi)?;
+    if f_lo == threshold {
+        return Ok(lo);
+    }
+    if f_hi == threshold {
+        return Ok(hi);
+    }
+    let lo_above = f_lo > threshold;
+    if lo_above == (f_hi > threshold) {
+        return Err(CmeError::InvalidInput {
+            message: format!(
+                "bracket endpoints do not straddle the threshold: f({lo}) = {f_lo}, \
+                 f({hi}) = {f_hi}, threshold = {threshold}"
+            ),
+        });
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > rel_tol * lo {
+        let mid = ((lo.ln() + hi.ln()) * 0.5).exp();
+        // Guard against a bracket too tight for the geometric midpoint to
+        // make progress in floating point.
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let f_mid = eval(mid)?;
+        if f_mid == threshold {
+            return Ok(mid);
+        }
+        if (f_mid > threshold) == lo_above {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(((lo.ln() + hi.ln()) * 0.5).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn landscape_preserves_grid_order() {
+        let landscape = landscape(&[4.0, 1.0, 9.0], |x| Ok(x * x)).unwrap();
+        assert_eq!(landscape.values(), vec![16.0, 1.0, 81.0]);
+        assert_eq!(landscape.points()[1].parameter, 1.0);
+    }
+
+    #[test]
+    fn crossing_brackets_the_threshold() {
+        let landscape = landscape(&[1.0, 10.0, 100.0], |x| Ok(1.0 / x)).unwrap();
+        let (a, b) = landscape.crossing(0.05).unwrap();
+        assert_eq!((a.parameter, b.parameter), (10.0, 100.0));
+        assert!(landscape.crossing(10.0).is_none());
+    }
+
+    #[test]
+    fn boundary_converges_on_analytic_crossing() {
+        // 1/x crosses 1e-4 at x = 1e4.
+        let boundary = satisfaction_boundary(1.0, 1e6, 1e-4, 1e-12, |x| Ok(1.0 / x)).unwrap();
+        assert!((boundary - 1e4).abs() / 1e4 < 1e-9, "boundary {boundary}");
+    }
+
+    #[test]
+    fn boundary_handles_increasing_measures() {
+        // x² crosses 100 at x = 10 (measure increasing in the parameter).
+        let boundary = satisfaction_boundary(1.0, 1e3, 100.0, 1e-12, |x| Ok(x * x)).unwrap();
+        assert!((boundary - 10.0).abs() / 10.0 < 1e-9, "boundary {boundary}");
+    }
+
+    #[test]
+    fn boundary_is_deterministic() {
+        let run = || satisfaction_boundary(0.5, 8192.0, 3e-3, 1e-12, |x| Ok(1.0 / x)).unwrap();
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn invalid_brackets_are_rejected() {
+        assert!(satisfaction_boundary(2.0, 1.0, 0.5, 1e-9, Ok).is_err());
+        assert!(satisfaction_boundary(0.0, 1.0, 0.5, 1e-9, Ok).is_err());
+        assert!(satisfaction_boundary(1.0, 2.0, 9.0, 1e-9, Ok).is_err());
+        assert!(satisfaction_boundary(1.0, 2.0, 1.5, 0.0, Ok).is_err());
+    }
+
+    #[test]
+    fn solver_errors_propagate() {
+        let err = landscape(&[1.0], |_| {
+            Err(CmeError::InvalidInput {
+                message: "boom".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, CmeError::InvalidInput { .. }));
+    }
+}

@@ -1,13 +1,16 @@
 //! Property-based tests of the exact CME layer.
 //!
-//! Three structural invariants hold for *every* well-formed input, not just
+//! Structural invariants that hold for *every* well-formed input, not just
 //! hand-picked examples: the generator is conservative (rows sum to zero on
 //! closed systems, to −leak under truncation), uniformization returns a
 //! probability vector up to its own reported error bounds, and the exact
 //! outcome distribution does not depend on the order in which states (or
-//! reactions, or species) happen to be enumerated.
+//! reactions, or species) happen to be enumerated. The model checker
+//! inherits its own battery: verdict probabilities live in [0, 1], window
+//! probabilities are monotone in the deadline, race verdicts partition all
+//! mass, and every verdict is invariant under enumeration order.
 
-use cme::{CmeError, FirstPassage, GeneratorMatrix, PopulationBounds, StateSpace};
+use cme::{Checker, CmeError, FirstPassage, GeneratorMatrix, PopulationBounds, StateSpace};
 use crn::{Crn, CrnBuilder};
 use proptest::prelude::*;
 
@@ -286,5 +289,168 @@ proptest! {
         .expect("truncating bounds never refuse");
         let leaking = (0..space.len()).filter(|&i| space.leak_rate(i) > 0.0).count();
         prop_assert_eq!(leaking, 1);
+    }
+}
+
+/// Builds the checker tests' racing network `x -> a @ ka | x -> b @ kb`
+/// with the reversible distraction `a -> b @ k_iso`, with every internal
+/// index permuted on request. All variants are the same process.
+fn racing_crn(
+    ka: f64,
+    kb: f64,
+    k_iso: f64,
+    species_reversed: bool,
+    reactions_reversed: bool,
+) -> Crn {
+    let mut builder = CrnBuilder::new();
+    let names: &[&str] = if species_reversed {
+        &["b", "a", "x"]
+    } else {
+        &["x", "a", "b"]
+    };
+    for name in names {
+        builder.species(name);
+    }
+    let x = builder.species("x");
+    let a = builder.species("a");
+    let b = builder.species("b");
+    let mut spec: Vec<(crn::SpeciesId, crn::SpeciesId, f64)> =
+        vec![(x, a, ka), (x, b, kb), (a, b, k_iso)];
+    if reactions_reversed {
+        spec.reverse();
+    }
+    for (from, to, rate) in spec {
+        builder
+            .reaction()
+            .reactant(from, 1)
+            .product(to, 1)
+            .rate(rate)
+            .add()
+            .expect("reaction");
+    }
+    builder.build().expect("network")
+}
+
+proptest! {
+    /// Race verdicts are a partition of probability mass: under strict
+    /// bounds `P(A before B) + P(B before A) + P(never) = 1` to 1e-12,
+    /// the two orderings agree on every component, and each component is
+    /// a genuine probability.
+    #[test]
+    fn race_verdicts_partition_all_mass(
+        ka in 0.01f64..100.0,
+        kb in 0.01f64..100.0,
+        k_iso in 0.01f64..50.0,
+        n in 1u64..6,
+        threshold in 1u64..4,
+    ) {
+        prop_assume!(threshold <= n);
+        let crn = racing_crn(ka, kb, k_iso, false, false);
+        let initial = crn.state_from_counts([("x", n)]).expect("state");
+        let checker = Checker::new(&crn, initial, PopulationBounds::strict(n));
+        let ab = checker
+            .reach_before_species(("a", threshold), ("b", threshold))
+            .expect("race a-first");
+        let ba = checker
+            .reach_before_species(("b", threshold), ("a", threshold))
+            .expect("race b-first");
+        for p in [ab.target, ab.competitor, ab.never, ba.target, ba.competitor, ba.never] {
+            prop_assert!((-1e-15..=1.0 + 1e-12).contains(&p), "not a probability: {p}");
+        }
+        prop_assert_eq!(ab.escaped, 0.0, "strict bounds lose no mass");
+        prop_assert!(
+            (ab.target + ba.target + ab.never - 1.0).abs() < 1e-12,
+            "partition: {} + {} + {} ≠ 1",
+            ab.target, ba.target, ab.never
+        );
+        // Swapping the roles must swap the verdict, not change it.
+        prop_assert!((ab.target - ba.competitor).abs() < 1e-12);
+        prop_assert!((ab.competitor - ba.target).abs() < 1e-12);
+        prop_assert!((ab.never - ba.never).abs() < 1e-12);
+    }
+
+    /// `P(X ≥ k within [0, t])` is monotone non-decreasing in the deadline
+    /// and always a probability, whatever the chain and rates.
+    #[test]
+    fn window_probability_is_monotone_in_the_deadline(
+        k1 in 0.01f64..50.0,
+        k2 in 0.01f64..50.0,
+        n in 1u64..12,
+        threshold in 1u64..12,
+        t_base in 0.01f64..1.5,
+    ) {
+        prop_assume!(threshold <= n);
+        let crn = reversible_crn(k1, k2, false, false, false);
+        let initial = crn.state_from_counts([("a", n)]).expect("state");
+        let checker = Checker::new(&crn, initial, PopulationBounds::strict(n));
+        let mut last = 0.0f64;
+        for factor in [1.0, 2.0, 4.0, 8.0] {
+            let verdict = checker
+                .species_within("b", threshold, (0.0, t_base * factor))
+                .expect("window verdict");
+            prop_assert!(
+                (-1e-15..=1.0 + 1e-12).contains(&verdict.probability),
+                "not a probability: {}",
+                verdict.probability
+            );
+            prop_assert!(
+                verdict.probability + 1e-9 >= last,
+                "shrank from {last} to {} at deadline factor {factor}",
+                verdict.probability
+            );
+            last = verdict.probability;
+        }
+    }
+
+    /// Every checker verdict — race split, window probability, hitting-time
+    /// law — is invariant under state-enumeration order: permuting species
+    /// declarations and the reaction list changes every internal index and
+    /// the BFS discovery sequence, but no verdict by more than 1e-12.
+    #[test]
+    fn checker_verdicts_are_invariant_under_enumeration_order(
+        ka in 0.01f64..100.0,
+        kb in 0.01f64..100.0,
+        k_iso in 0.01f64..50.0,
+        n in 1u64..5,
+        threshold in 1u64..4,
+        t in 0.05f64..2.0,
+    ) {
+        prop_assume!(threshold <= n);
+        let solve = |species_reversed: bool, reactions_reversed: bool| -> Vec<f64> {
+            let crn = racing_crn(ka, kb, k_iso, species_reversed, reactions_reversed);
+            let initial = crn.state_from_counts([("x", n)]).expect("state");
+            let checker = Checker::new(&crn, initial, PopulationBounds::strict(n));
+            let race = checker
+                .reach_before_species(("a", threshold), ("b", threshold))
+                .expect("race");
+            let window = checker
+                .species_within("b", threshold, (0.0, t))
+                .expect("window");
+            let hit = checker
+                .hitting_time_species("b", threshold)
+                .expect("hitting time");
+            vec![
+                race.target,
+                race.competitor,
+                race.never,
+                window.probability,
+                hit.probability,
+                hit.conditional_mean.unwrap_or(-1.0),
+            ]
+        };
+        let reference = solve(false, false);
+        for (species_reversed, reactions_reversed) in
+            [(false, true), (true, false), (true, true)]
+        {
+            let variant = solve(species_reversed, reactions_reversed);
+            for (i, (&r, &v)) in reference.iter().zip(&variant).enumerate() {
+                prop_assert!(
+                    (r - v).abs() < 1e-12,
+                    "species_reversed={species_reversed}, \
+                     reactions_reversed={reactions_reversed}, verdict {i}: \
+                     {r:.15} vs {v:.15}"
+                );
+            }
+        }
     }
 }

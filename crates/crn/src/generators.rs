@@ -355,6 +355,75 @@ pub fn lambda_switch_ensemble(
     GeneratedSystem { crn, initial }
 }
 
+/// Competitive race: `tokens` copies of `x` each independently decay into
+/// `a` (at `k_a`) or `b` (at `k_b`).
+///
+/// The workhorse family for model-checking oracles because every verdict
+/// has a closed form: each token lands on `a` with probability
+/// `k_a / (k_a + k_b)` independently, so `P(a ≥ j before b ≥ k)` is a
+/// negative-binomial tail and the time to the first decision is
+/// `Exp(tokens·(k_a + k_b))`. Sweeping `k_a` moves the whole landscape
+/// analytically.
+///
+/// # Panics
+///
+/// Panics if `tokens` is zero or a rate is not positive.
+pub fn competitive_race(tokens: u64, k_a: f64, k_b: f64) -> GeneratedSystem {
+    assert!(tokens > 0, "token count must be positive");
+    assert!(
+        k_a > 0.0 && k_b > 0.0,
+        "race rates must be positive, got {k_a} / {k_b}"
+    );
+    let mut b = CrnBuilder::new();
+    let x = b.species("x");
+    let a = b.species("a");
+    let bee = b.species("b");
+    b.reaction()
+        .reactant(x, 1)
+        .product(a, 1)
+        .rate(k_a)
+        .add()
+        .expect("a branch");
+    b.reaction()
+        .reactant(x, 1)
+        .product(bee, 1)
+        .rate(k_b)
+        .add()
+        .expect("b branch");
+    let crn = b.build().expect("race network");
+    let mut initial = crn.zero_state();
+    initial.set(x, tokens);
+    GeneratedSystem { crn, initial }
+}
+
+/// Immigration–death process: `∅ -> a @ birth`, `a -> ∅ @ death` per copy.
+///
+/// The canonical stationary-law family: the exact stationary distribution
+/// is Poisson with mean `birth / death`, making it the reference target for
+/// stationary-mass checks and finite-state-projection quality sweeps (the
+/// truncation leak at cap `c` is the Poisson tail above `c`).
+///
+/// # Panics
+///
+/// Panics if a rate is not positive.
+pub fn birth_death(birth: f64, death: f64) -> GeneratedSystem {
+    assert!(
+        birth > 0.0 && death > 0.0,
+        "birth-death rates must be positive, got {birth} / {death}"
+    );
+    let mut b = CrnBuilder::new();
+    let a = b.species("a");
+    b.reaction().product(a, 1).rate(birth).add().expect("birth");
+    b.reaction()
+        .reactant(a, 1)
+        .rate(death)
+        .add()
+        .expect("death");
+    let crn = b.build().expect("birth-death network");
+    let initial = crn.zero_state();
+    GeneratedSystem { crn, initial }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +486,28 @@ mod tests {
         assert_eq!(sys.crn.species_len(), 50);
         assert_eq!(sys.crn.reactions().len(), 150);
         assert_eq!(sys.initial.total(), 50 * 30);
+    }
+
+    #[test]
+    fn race_has_two_channels_and_seeded_tokens() {
+        let sys = competitive_race(7, 3.0, 1.0);
+        assert_eq!(sys.crn.species_len(), 3);
+        assert_eq!(sys.crn.reactions().len(), 2);
+        assert_eq!(sys.initial.total(), 7);
+        assert_eq!(sys.initial.count(sys.crn.species_id("x").unwrap()), 7);
+    }
+
+    #[test]
+    fn birth_death_starts_empty() {
+        let sys = birth_death(2.0, 0.5);
+        assert_eq!(sys.crn.reactions().len(), 2);
+        assert_eq!(sys.initial.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn race_rejects_zero_rate() {
+        competitive_race(1, 1.0, 0.0);
     }
 
     #[test]

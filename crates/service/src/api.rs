@@ -8,7 +8,7 @@
 //! so two requests that differ only in whitespace, key order or comments
 //! hash to the same result.
 
-use cme::{FirstPassage, PopulationBounds, StateSpace};
+use cme::{Checker, FirstPassage, PopulationBounds, StateSpace};
 use crn::{Crn, State};
 use gillespie::{
     ClassifierReport, EnsembleOptions, EnsemblePartial, EnsemblePartialParts, EnsembleReport,
@@ -664,6 +664,479 @@ impl ExactRequest {
                 .render())
             }
         }
+    }
+}
+
+/// A threshold predicate — `species` holding at least `at_least` copies —
+/// the uniform target language of every `/check` property kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckTarget {
+    /// The species the predicate counts.
+    pub species: String,
+    /// The threshold count.
+    pub at_least: u64,
+}
+
+impl CheckTarget {
+    fn parse(value: &Json, what: &str, crn: &Crn) -> Result<CheckTarget, ServiceError> {
+        let species = value
+            .get("species")
+            .ok_or_else(|| bad(format!("{what} missing `species`")))?
+            .as_str(what)
+            .map_err(bad)?
+            .to_string();
+        if crn.species_id(&species).is_none() {
+            return Err(bad(format!("{what}: unknown species `{species}`")));
+        }
+        let at_least = value
+            .get("at_least")
+            .ok_or_else(|| bad(format!("{what} missing `at_least`")))?
+            .as_u64(what)
+            .map_err(bad)?;
+        Ok(CheckTarget { species, at_least })
+    }
+
+    fn canon(&self) -> String {
+        format!("{}>={}", self.species, self.at_least)
+    }
+
+    fn render(&self) -> Json {
+        Json::object([
+            ("species", Json::str(self.species.clone())),
+            ("at_least", Json::count(self.at_least)),
+        ])
+    }
+}
+
+/// The property of a `POST /check` request, mapped one-to-one onto the
+/// [`Checker`] query family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckProperty {
+    /// `P(reach target before competitor)`.
+    ReachBefore {
+        /// The set the probability is for.
+        target: CheckTarget,
+        /// The competing absorbing set.
+        competitor: CheckTarget,
+    },
+    /// `P(target within [t₁, t₂])`.
+    ReachWithin {
+        /// The set to visit.
+        target: CheckTarget,
+        /// The time window.
+        window: (f64, f64),
+    },
+    /// Expected first-passage time into the target set.
+    HittingTime {
+        /// The set to hit.
+        target: CheckTarget,
+    },
+    /// Stationary mass of the target set (and the target species' mean).
+    Stationary {
+        /// The set to weigh.
+        target: CheckTarget,
+    },
+}
+
+impl CheckProperty {
+    fn parse(value: &Json, crn: &Crn) -> Result<CheckProperty, ServiceError> {
+        let kind = value
+            .get("type")
+            .ok_or_else(|| bad("`property` missing `type`"))?
+            .as_str("property.type")
+            .map_err(bad)?;
+        let target = CheckTarget::parse(
+            value
+                .get("target")
+                .ok_or_else(|| bad("`property` missing `target`"))?,
+            "property.target",
+            crn,
+        )?;
+        match kind {
+            "reach_before" => {
+                let competitor = CheckTarget::parse(
+                    value
+                        .get("competitor")
+                        .ok_or_else(|| bad("reach_before property missing `competitor`"))?,
+                    "property.competitor",
+                    crn,
+                )?;
+                Ok(CheckProperty::ReachBefore { target, competitor })
+            }
+            "reach_within" => {
+                let items = value
+                    .get("window")
+                    .ok_or_else(|| bad("reach_within property missing `window`"))?
+                    .as_array("property.window")
+                    .map_err(bad)?;
+                if items.len() != 2 {
+                    return Err(bad("`property.window` must be a two-element array"));
+                }
+                let window = (
+                    items[0].as_f64("property.window[0]").map_err(bad)?,
+                    items[1].as_f64("property.window[1]").map_err(bad)?,
+                );
+                Ok(CheckProperty::ReachWithin { target, window })
+            }
+            "hitting_time" => Ok(CheckProperty::HittingTime { target }),
+            "stationary" => Ok(CheckProperty::Stationary { target }),
+            other => Err(bad(format!(
+                "unknown property type `{other}` (expected `reach_before`, `reach_within`, \
+                 `hitting_time` or `stationary`)"
+            ))),
+        }
+    }
+
+    /// The wire name of the property kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CheckProperty::ReachBefore { .. } => "reach_before",
+            CheckProperty::ReachWithin { .. } => "reach_within",
+            CheckProperty::HittingTime { .. } => "hitting_time",
+            CheckProperty::Stationary { .. } => "stationary",
+        }
+    }
+
+    fn canon(&self) -> String {
+        match self {
+            CheckProperty::ReachBefore { target, competitor } => format!(
+                "reach_before:target={}:competitor={}",
+                target.canon(),
+                competitor.canon()
+            ),
+            CheckProperty::ReachWithin { target, window } => format!(
+                "reach_within:target={}:window=[{},{}]",
+                target.canon(),
+                window.0,
+                window.1
+            ),
+            CheckProperty::HittingTime { target } => {
+                format!("hitting_time:target={}", target.canon())
+            }
+            CheckProperty::Stationary { target } => {
+                format!("stationary:target={}", target.canon())
+            }
+        }
+    }
+
+    /// Renders the property back into the request JSON [`Self::parse`]
+    /// accepts — the inverse used when a coordinator re-issues a grid
+    /// point to a worker.
+    fn render_wire(&self) -> Json {
+        let mut members = vec![("type", Json::str(self.kind_name()))];
+        match self {
+            CheckProperty::ReachBefore { target, competitor } => {
+                members.push(("target", target.render()));
+                members.push(("competitor", competitor.render()));
+            }
+            CheckProperty::ReachWithin { target, window } => {
+                members.push(("target", target.render()));
+                members.push((
+                    "window",
+                    Json::Array(vec![Json::num(window.0), Json::num(window.1)]),
+                ));
+            }
+            CheckProperty::HittingTime { target } | CheckProperty::Stationary { target } => {
+                members.push(("target", target.render()));
+            }
+        }
+        Json::object(members)
+    }
+}
+
+/// One fully-resolved `/check` solve: a concrete network (sweep
+/// placeholder substituted), initial state, bounds and property. Grid
+/// points are independent — each carries everything a worker needs.
+#[derive(Debug, Clone)]
+pub struct CheckPoint {
+    /// The parsed network.
+    pub crn: Crn,
+    /// The substituted network text (what a coordinator posts to workers).
+    network_text: String,
+    /// The `initial` request field, for wire re-rendering.
+    initial_wire: Json,
+    /// The `bounds` request field, for wire re-rendering.
+    bounds_wire: Json,
+    /// The initial state.
+    pub initial: State,
+    /// Population bounds for the state-space enumeration.
+    pub bounds: PopulationBounds,
+    /// Canonical rendering of the bounds.
+    bounds_canonical: String,
+    /// The property to check.
+    pub property: CheckProperty,
+}
+
+impl CheckPoint {
+    fn parse(network_text: &str, body: &Json) -> Result<CheckPoint, ServiceError> {
+        let crn = crn::parse_network(network_text).map_err(|e| bad(e.to_string()))?;
+        let initial = parse_initial(body, &crn)?;
+        let bounds_value = body.get("bounds").ok_or_else(|| bad("missing `bounds`"))?;
+        let (bounds, bounds_canonical) = parse_bounds(bounds_value)?;
+        let property = CheckProperty::parse(
+            body.get("property")
+                .ok_or_else(|| bad("missing `property`"))?,
+            &crn,
+        )?;
+        Ok(CheckPoint {
+            network_text: network_text.to_string(),
+            initial_wire: body
+                .get("initial")
+                .cloned()
+                .unwrap_or(Json::Object(Vec::new())),
+            bounds_wire: bounds_value.clone(),
+            crn,
+            initial,
+            bounds,
+            bounds_canonical,
+            property,
+        })
+    }
+
+    /// The canonical cache key of this grid point. A worker computing the
+    /// same substituted network derives the identical key, which is what
+    /// makes the per-point cache federate across the fabric.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "check|v1|{}|initial={}|bounds={}|property={}",
+            canon_network(&self.crn),
+            canon_state(&self.crn, &self.initial),
+            self.bounds_canonical,
+            self.property.canon(),
+        )
+    }
+
+    /// The single-point `/check` body a coordinator posts to a worker:
+    /// the substituted network, no sweep, `wait: true`.
+    pub fn to_wire(&self) -> String {
+        Json::object([
+            ("network", Json::str(self.network_text.clone())),
+            ("initial", self.initial_wire.clone()),
+            ("bounds", self.bounds_wire.clone()),
+            ("property", self.property.render_wire()),
+            ("wait", Json::Bool(true)),
+        ])
+        .render()
+    }
+
+    /// Evaluates the property and renders the verdict document. Every kind
+    /// carries a headline `value` field (the number a sweep plots) plus its
+    /// full verdict breakdown.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::JobFailed`] wrapping the CME error.
+    pub fn execute(&self) -> Result<String, ServiceError> {
+        let failed = |e: cme::CmeError| ServiceError::JobFailed {
+            message: e.to_string(),
+        };
+        let checker = Checker::new(&self.crn, self.initial.clone(), self.bounds.clone());
+        let mut members = vec![
+            ("kind", Json::str("check")),
+            ("property", Json::str(self.property.kind_name())),
+        ];
+        match &self.property {
+            CheckProperty::ReachBefore { target, competitor } => {
+                let verdict = checker
+                    .reach_before_species(
+                        (&target.species, target.at_least),
+                        (&competitor.species, competitor.at_least),
+                    )
+                    .map_err(failed)?;
+                members.extend([
+                    ("states", Json::count(verdict.states as u64)),
+                    ("value", Json::num(verdict.target)),
+                    ("target", Json::num(verdict.target)),
+                    ("competitor", Json::num(verdict.competitor)),
+                    ("never", Json::num(verdict.never)),
+                    ("escaped", Json::num(verdict.escaped)),
+                ]);
+            }
+            CheckProperty::ReachWithin { target, window } => {
+                let verdict = checker
+                    .species_within(&target.species, target.at_least, *window)
+                    .map_err(failed)?;
+                members.extend([
+                    ("states", Json::count(verdict.states as u64)),
+                    ("value", Json::num(verdict.probability)),
+                    ("probability", Json::num(verdict.probability)),
+                    ("error_bound", Json::num(verdict.error_bound)),
+                    ("terms", Json::count(verdict.terms as u64)),
+                ]);
+            }
+            CheckProperty::HittingTime { target } => {
+                let verdict = checker
+                    .hitting_time_species(&target.species, target.at_least)
+                    .map_err(failed)?;
+                let mean = verdict.conditional_mean.map_or(Json::Null, Json::num);
+                members.extend([
+                    ("states", Json::count(verdict.states as u64)),
+                    ("value", mean.clone()),
+                    ("probability", Json::num(verdict.probability)),
+                    ("conditional_mean", mean),
+                ]);
+            }
+            CheckProperty::Stationary { target } => {
+                let stationary = checker.stationary().map_err(failed)?;
+                let id = self
+                    .crn
+                    .species_id(&target.species)
+                    .expect("species validated at parse time");
+                let mass = stationary.mass(|s| s.count(id) >= target.at_least);
+                members.extend([
+                    ("states", Json::count(stationary.space().len() as u64)),
+                    ("value", Json::num(mass)),
+                    ("mass", Json::num(mass)),
+                    ("expectation", Json::num(stationary.expectation(id))),
+                    (
+                        "recurrent_states",
+                        Json::count(stationary.recurrent_states() as u64),
+                    ),
+                    ("boundary_mass", Json::num(stationary.boundary_mass())),
+                ]);
+            }
+        }
+        Ok(Json::object(members).render())
+    }
+}
+
+/// A parsed `POST /check` request: one property check, or a parameter
+/// sweep of the same check — `sweep.parameter` names a `{placeholder}` in
+/// the network text that each grid value substitutes, and every resulting
+/// point is validated up front and solved independently.
+#[derive(Debug, Clone)]
+pub struct CheckRequest {
+    /// The fully-resolved grid points (exactly one when there is no sweep).
+    pub points: Vec<CheckPoint>,
+    /// The sweep parameter name and grid, in request order.
+    pub sweep: Option<(String, Vec<f64>)>,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Whether to block until done.
+    pub wait: bool,
+}
+
+impl CheckRequest {
+    /// Parses and validates the request body, substituting the sweep
+    /// placeholder and fully validating every grid point.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] naming the offending field (or grid
+    /// point, when one substitution fails to parse).
+    pub fn parse(body: &Json) -> Result<CheckRequest, ServiceError> {
+        let text = body
+            .get("network")
+            .ok_or_else(|| bad("missing `network`"))?
+            .as_str("network")
+            .map_err(bad)?;
+        let sweep = match body.get("sweep") {
+            None => None,
+            Some(value) => {
+                let parameter = value
+                    .get("parameter")
+                    .ok_or_else(|| bad("`sweep` missing `parameter`"))?
+                    .as_str("sweep.parameter")
+                    .map_err(bad)?
+                    .to_string();
+                let mut values = Vec::new();
+                for (i, item) in value
+                    .get("values")
+                    .ok_or_else(|| bad("`sweep` missing `values`"))?
+                    .as_array("sweep.values")
+                    .map_err(bad)?
+                    .iter()
+                    .enumerate()
+                {
+                    let v = item.as_f64(&format!("sweep.values[{i}]")).map_err(bad)?;
+                    if !v.is_finite() {
+                        return Err(bad(format!("sweep.values[{i}]: {v} is not finite")));
+                    }
+                    values.push(v);
+                }
+                if values.is_empty() {
+                    return Err(bad("`sweep.values` must not be empty"));
+                }
+                Some((parameter, values))
+            }
+        };
+        let points = match &sweep {
+            None => {
+                if text.contains('{') {
+                    return Err(bad(
+                        "network contains a `{placeholder}` but no `sweep` was given",
+                    ));
+                }
+                vec![CheckPoint::parse(text, body)?]
+            }
+            Some((parameter, values)) => {
+                let placeholder = format!("{{{parameter}}}");
+                if !text.contains(&placeholder) {
+                    return Err(bad(format!(
+                        "network does not contain the sweep placeholder `{placeholder}`"
+                    )));
+                }
+                values
+                    .iter()
+                    .map(|v| CheckPoint::parse(&text.replace(&placeholder, &v.to_string()), body))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        Ok(CheckRequest {
+            points,
+            sweep,
+            priority: parse_priority(body)?,
+            wait: opt_bool(body, "wait")?.unwrap_or(false),
+        })
+    }
+
+    /// The canonical cache key of the whole request. A sweep keys on the
+    /// parameter name plus every point key, so any change to the grid, the
+    /// template or the property re-keys the document.
+    pub fn cache_key(&self) -> String {
+        match &self.sweep {
+            None => self.points[0].cache_key(),
+            Some((parameter, _)) => format!(
+                "check_sweep|v1|parameter={parameter}|{}",
+                self.points
+                    .iter()
+                    .map(CheckPoint::cache_key)
+                    .collect::<Vec<_>>()
+                    .join(";"),
+            ),
+        }
+    }
+
+    /// Assembles the sweep document from the rendered per-point bodies, in
+    /// grid order. Bodies are parsed and re-embedded (never string-spliced);
+    /// `Json` rendering is canonical and float formatting round-trips, so
+    /// the document is byte-identical however the points were computed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::JobFailed`] when a point body is not valid JSON.
+    pub fn render_sweep(&self, bodies: &[String]) -> Result<String, ServiceError> {
+        let (parameter, values) = self.sweep.as_ref().expect("render_sweep needs a sweep");
+        let mut points = Vec::with_capacity(bodies.len());
+        for (v, body) in values.iter().zip(bodies) {
+            let result = crate::json::parse(body).map_err(|e| ServiceError::JobFailed {
+                message: format!("check point returned invalid JSON: {e}"),
+            })?;
+            points.push(Json::object([
+                ("parameter", Json::num(*v)),
+                ("result", result),
+            ]));
+        }
+        Ok(Json::object([
+            ("kind", Json::str("check_sweep")),
+            ("parameter", Json::str(parameter.clone())),
+            (
+                "values",
+                Json::Array(values.iter().map(|&v| Json::num(v)).collect()),
+            ),
+            ("points", Json::Array(points)),
+        ])
+        .render())
     }
 }
 

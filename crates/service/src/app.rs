@@ -9,6 +9,7 @@
 //! | `POST /simulate` | Ensemble job (any [`StepperKind`](gillespie::StepperKind)); cached |
 //! | `POST /exact` | CME first-passage / transient analysis; cached |
 //! | `POST /synthesize` | The paper's synthesis pipeline + exact evaluation; cached |
+//! | `POST /check` | Model-checker verdict (races, time windows, hitting times, stationary mass) or a parameter sweep of one; cached per grid point |
 //! | `GET /jobs/:id` | Job status, or the result body once completed |
 //! | `DELETE /jobs/:id` | Cancels a queued or running job |
 //! | `GET /healthz` | Liveness |
@@ -35,7 +36,7 @@ use std::time::Duration;
 
 use gillespie::{Ensemble, EnsemblePartial};
 
-use crate::api::{ExactRequest, SimulateRequest, SynthesizeRequest};
+use crate::api::{CheckRequest, ExactRequest, SimulateRequest, SynthesizeRequest};
 use crate::cache::ResultCache;
 use crate::error::ServiceError;
 use crate::fabric::{Fabric, FabricConfig};
@@ -153,6 +154,11 @@ impl App {
             submit_synthesize(&app, ctx)
         });
         let app = Arc::clone(self);
+        router.route(Method::Post, "/check", move |ctx| {
+            Metrics::bump(&app.metrics.check_requests);
+            submit_check(&app, ctx)
+        });
+        let app = Arc::clone(self);
         router.route(Method::Get, "/jobs/:id", move |ctx| job_status(&app, ctx));
         let app = Arc::clone(self);
         router.route(Method::Delete, "/jobs/:id", move |ctx| {
@@ -230,6 +236,10 @@ impl App {
                     (
                         "synthesize_requests",
                         Json::count(Metrics::read(&self.metrics.synthesize_requests)),
+                    ),
+                    (
+                        "check_requests",
+                        Json::count(Metrics::read(&self.metrics.check_requests)),
                     ),
                 ]),
             ),
@@ -605,6 +615,84 @@ fn submit_synthesize(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     let (priority, wait) = (request.priority, request.wait);
     let work = analysis_job(app, key.clone(), move || request.execute());
     submit_cached_job(app, "synthesize", key, priority, wait, work)
+}
+
+fn submit_check(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let request = match parse_body(ctx).and_then(|body| CheckRequest::parse(&body)) {
+        Ok(request) => request,
+        Err(error) => return error_response(&error),
+    };
+    let (priority, wait) = (request.priority, request.wait);
+    let key = request.cache_key();
+    if request.sweep.is_none() {
+        let point = request
+            .points
+            .into_iter()
+            .next()
+            .expect("a sweepless request has exactly one point");
+        let work = analysis_job(app, key.clone(), move || point.execute());
+        return submit_cached_job(app, "check", key, priority, wait, work);
+    }
+
+    // A sweep runs each grid point as its own chunk — locally on the
+    // scheduler threads, or fanned out to `/check` on the worker pool when
+    // this daemon coordinates a fabric. Every point consults (and fills)
+    // the per-point cache before the sweep document is assembled, so
+    // re-gridded sweeps and single-point replays reuse each other's
+    // solves, on top of the whole-document key.
+    let request = Arc::new(request);
+    let chunks = request.points.len();
+    let fabric = app
+        .fabric
+        .as_ref()
+        .filter(|f| !f.registry().is_empty())
+        .cloned();
+    let run_request = Arc::clone(&request);
+    let run_app = Arc::clone(app);
+    let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+        let point = &run_request.points[index];
+        let point_key = point.cache_key();
+        if let Some(body) = run_app.cache.lookup(&point_key) {
+            return Ok(ChunkOutput::Body(body));
+        }
+        let body = match &fabric {
+            Some(fabric) => fabric.run_check(point, index, cancel)?,
+            None => point.execute().map_err(|e| e.to_string())?,
+        };
+        run_app.cache.insert(&point_key, &body);
+        Ok(ChunkOutput::Body(body))
+    };
+
+    let finish_request = Arc::clone(&request);
+    let finish_app = Arc::clone(app);
+    let finish_key = key.clone();
+    let finish = move |outputs: Vec<ChunkOutput>| {
+        let bodies: Vec<String> = outputs
+            .into_iter()
+            .map(|output| match output {
+                ChunkOutput::Body(body) => body,
+                ChunkOutput::Partial(_) => unreachable!("check chunks produce bodies"),
+            })
+            .collect();
+        let body = finish_request
+            .render_sweep(&bodies)
+            .map_err(|e| e.to_string())?;
+        finish_app.cache.insert(&finish_key, &body);
+        Ok(body)
+    };
+
+    submit_cached_job(
+        app,
+        "check-sweep",
+        key,
+        priority,
+        wait,
+        JobWork {
+            chunks,
+            run_chunk: Box::new(run_chunk),
+            finish: Box::new(finish),
+        },
+    )
 }
 
 fn parse_job_id(ctx: &RouteContext<'_>) -> Result<JobId, ServiceError> {

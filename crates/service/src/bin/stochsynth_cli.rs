@@ -4,6 +4,9 @@
 //! stochsynth-cli submit   --server 127.0.0.1:8080 --endpoint simulate --file req.json --wait
 //! stochsynth-cli simulate --server 127.0.0.1:8080 --network "a -> b @ 1" \
 //!                         --initial a=100 --stepper auto --trials 1000
+//! stochsynth-cli check    --server 127.0.0.1:8080 --network "x -> h @ {k}\nx -> t @ 1" \
+//!                         --initial x=1 --cap 1 --type reach_before \
+//!                         --target h>=1 --competitor t>=1 --sweep k=1,3,9
 //! stochsynth-cli poll     --server 127.0.0.1:8080 --job 3
 //! stochsynth-cli fetch    --server 127.0.0.1:8080 --job 3
 //! stochsynth-cli cancel   --server 127.0.0.1:8080 --job 3
@@ -28,11 +31,18 @@ use service::{Client, HttpReply};
 const USAGE: &str = "usage: stochsynth-cli <command> --server HOST:PORT [options]
 
 commands:
-  submit    --endpoint simulate|exact|synthesize --file REQ.json|- [--wait]
+  submit    --endpoint simulate|exact|synthesize|check --file REQ.json|- [--wait]
   simulate  --network TEXT | --network-file PATH [--initial a=5,b=3]
             [--stepper direct|first-reaction|next-reaction|composition-rejection|tau-leaping|auto]
             [--trials N] [--seed N]
             synchronous ensemble; with `auto` the resolved stepper goes to stderr
+  check     --network TEXT | --network-file PATH [--initial a=5,b=3]
+            --cap N [--policy strict|truncating]
+            --type reach_before|reach_within|hitting_time|stationary
+            --target SPECIES>=COUNT [--competitor SPECIES>=COUNT] [--window T1,T2]
+            [--sweep PARAM=V1,V2,...]
+            synchronous model-checker verdict; with --sweep the network's
+            `{PARAM}` placeholder is swept over the grid
   poll      --job ID          block until the job is terminal, print its body
   fetch     --job ID          print the job's current status/result
   cancel    --job ID
@@ -119,7 +129,10 @@ fn run() -> Result<ExitCode, String> {
             let endpoint = flags
                 .get("endpoint")
                 .ok_or_else(|| format!("--endpoint is required\n{USAGE}"))?;
-            if !matches!(endpoint.as_str(), "simulate" | "exact" | "synthesize") {
+            if !matches!(
+                endpoint.as_str(),
+                "simulate" | "exact" | "synthesize" | "check"
+            ) {
                 return Err(format!("unknown endpoint `{endpoint}`\n{USAGE}"));
             }
             let file = flags
@@ -192,6 +205,119 @@ fn run() -> Result<ExitCode, String> {
                 eprintln!("resolved-stepper: {resolved}");
             }
             reply
+        }
+        "check" => {
+            let network = match (flags.get("network"), flags.get("network-file")) {
+                (Some(text), None) => text.clone(),
+                (None, Some(path)) => read_request_file(path)?,
+                _ => {
+                    return Err(format!(
+                        "check needs exactly one of --network or --network-file\n{USAGE}"
+                    ))
+                }
+            };
+            use service::json::Json;
+            let parse_target = |flag: &str| -> Result<Json, String> {
+                let spec = flags
+                    .get(flag)
+                    .ok_or_else(|| format!("--{flag} is required\n{USAGE}"))?;
+                let (species, count) = spec
+                    .split_once(">=")
+                    .ok_or_else(|| format!("--{flag}: expected `species>=count`, got `{spec}`"))?;
+                let count = count
+                    .parse::<u64>()
+                    .map_err(|_| format!("--{flag}: invalid count in `{spec}`"))?;
+                Ok(Json::Object(vec![
+                    ("species".to_string(), Json::str(species)),
+                    ("at_least".to_string(), Json::count(count)),
+                ]))
+            };
+            let kind = flags
+                .get("type")
+                .ok_or_else(|| format!("--type is required\n{USAGE}"))?;
+            let mut property = vec![
+                ("type".to_string(), Json::str(kind.clone())),
+                ("target".to_string(), parse_target("target")?),
+            ];
+            if kind == "reach_before" {
+                property.push(("competitor".to_string(), parse_target("competitor")?));
+            }
+            if kind == "reach_within" {
+                let window = flags
+                    .get("window")
+                    .ok_or_else(|| format!("--window is required for reach_within\n{USAGE}"))?;
+                let (t1, t2) = window
+                    .split_once(',')
+                    .ok_or_else(|| format!("--window: expected `t1,t2`, got `{window}`"))?;
+                let parse_t = |t: &str| {
+                    t.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("--window: invalid time `{t}`"))
+                };
+                property.push((
+                    "window".to_string(),
+                    Json::Array(vec![Json::num(parse_t(t1)?), Json::num(parse_t(t2)?)]),
+                ));
+            }
+            let cap = flags
+                .get("cap")
+                .ok_or_else(|| format!("--cap is required\n{USAGE}"))?;
+            let cap = cap
+                .parse::<u64>()
+                .map_err(|_| format!("--cap: invalid value `{cap}`"))?;
+            let policy = flags
+                .get("policy")
+                .map(String::as_str)
+                .unwrap_or("truncating");
+            let mut members = vec![
+                ("network".to_string(), Json::str(network)),
+                (
+                    "bounds".to_string(),
+                    Json::Object(vec![
+                        ("policy".to_string(), Json::str(policy)),
+                        ("default_cap".to_string(), Json::count(cap)),
+                    ]),
+                ),
+                ("property".to_string(), Json::Object(property)),
+                ("wait".to_string(), Json::Bool(true)),
+            ];
+            if let Some(initial) = flags.get("initial") {
+                let mut counts = Vec::new();
+                for pair in initial.split(',').filter(|p| !p.is_empty()) {
+                    let (name, count) = pair.split_once('=').ok_or_else(|| {
+                        format!("--initial: expected `species=count`, got `{pair}`")
+                    })?;
+                    let count = count
+                        .parse::<u64>()
+                        .map_err(|_| format!("--initial: invalid count in `{pair}`"))?;
+                    counts.push((name.to_string(), Json::count(count)));
+                }
+                members.push(("initial".to_string(), Json::Object(counts)));
+            }
+            if let Some(sweep) = flags.get("sweep") {
+                let (parameter, grid) = sweep
+                    .split_once('=')
+                    .ok_or_else(|| format!("--sweep: expected `param=v1,v2,...`, got `{sweep}`"))?;
+                let mut values = Vec::new();
+                for v in grid.split(',').filter(|v| !v.is_empty()) {
+                    values.push(Json::num(
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("--sweep: invalid grid value `{v}`"))?,
+                    ));
+                }
+                if values.is_empty() {
+                    return Err("--sweep: needs at least one grid value".to_string());
+                }
+                members.push((
+                    "sweep".to_string(),
+                    Json::Object(vec![
+                        ("parameter".to_string(), Json::str(parameter)),
+                        ("values".to_string(), Json::Array(values)),
+                    ]),
+                ));
+            }
+            client.post("/check", &Json::Object(members).render())?
         }
         "poll" => client.get(&format!("{}?wait=1", job_path()?))?,
         "fetch" => client.get(&job_path()?)?,

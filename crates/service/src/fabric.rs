@@ -28,6 +28,11 @@
 //! partially retried job reuses every shard the pool has seen before. The
 //! per-tier hit/miss counters are exposed through `GET /fabric` and the
 //! `fabric` section of `GET /metrics`.
+//!
+//! `/check` parameter sweeps ride the same machinery: each grid point is a
+//! work unit dispatched to `/check` on a worker ([`Fabric::run_check`]),
+//! retried and counted exactly like a simulate shard, with the per-point
+//! verdict cached worker-side under the point's canonical key.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -36,7 +41,7 @@ use std::time::Duration;
 use gillespie::engine::CancelToken;
 use gillespie::{EnsemblePartial, Moments};
 
-use crate::api::SimulateRequest;
+use crate::api::{CheckPoint, SimulateRequest};
 use crate::client::Client;
 use crate::json::Json;
 use crate::registry::{WorkerRegistry, WorkerSnapshot};
@@ -78,7 +83,9 @@ impl Default for FabricConfig {
     }
 }
 
-/// A point-in-time copy of the fabric counters.
+/// A point-in-time copy of the fabric counters. "Shard" counts every
+/// dispatched work unit: simulate trial-range shards and `/check` grid
+/// points alike.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricStats {
     /// Shards handed to workers (including retried dispatches).
@@ -176,6 +183,61 @@ impl Fabric {
         cancel: &CancelToken,
     ) -> Result<EnsemblePartial, String> {
         let body = request.to_wire(range);
+        let what = format!("shard [{}, {})", range.0, range.1);
+        let partial = self.post_with_retry("/simulate", &body, &what, cancel, |body| {
+            let json = crate::json::parse(body)?;
+            SimulateRequest::parse_partial(&json).map_err(|e| e.to_string())
+        })?;
+        self.streamed
+            .lock()
+            .expect("streamed moments lock")
+            .merge(partial.time_moments());
+        Ok(partial)
+    }
+
+    /// Runs one `/check` grid point on the worker pool, returning the
+    /// worker's rendered verdict body verbatim (bodies travel opaquely so
+    /// the sweep document stays byte-identical to a local solve). Shares
+    /// the shard dispatch/retry machinery and counters — a point a worker
+    /// answers from its cache counts as a remote cache hit, exactly like a
+    /// replayed shard.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the grid point and the last failure, once
+    /// `max_attempts` dispatches failed or the job was cancelled.
+    pub fn run_check(
+        &self,
+        point: &CheckPoint,
+        index: usize,
+        cancel: &CancelToken,
+    ) -> Result<String, String> {
+        let body = point.to_wire();
+        let what = format!("check point {index}");
+        self.post_with_retry("/check", &body, &what, cancel, |body| {
+            // A worker that hit its wait timeout answers 200 with a job
+            // *status* document; treat anything but a verdict as a failed
+            // dispatch so the point retries rather than polluting the sweep.
+            let json = crate::json::parse(body)?;
+            match json.get("kind").and_then(|k| k.as_str("kind").ok()) {
+                Some("check") => Ok(body.to_string()),
+                _ => Err("worker answered without a check verdict".to_string()),
+            }
+        })
+    }
+
+    /// The shared dispatch driver: post `body` to `path` on the pool,
+    /// retrying with bounded doubling backoff and rebalancing onto
+    /// surviving workers; `parse` validates each answer (a parse failure
+    /// counts as a worker failure and retries like any other).
+    fn post_with_retry<T>(
+        &self,
+        path: &str,
+        body: &str,
+        what: &str,
+        cancel: &CancelToken,
+        parse: impl Fn(&str) -> Result<T, String>,
+    ) -> Result<T, String> {
         let mut backoff = self.config.backoff;
         let mut last_error = "no workers registered".to_string();
         for attempt in 0..self.config.max_attempts {
@@ -191,8 +253,11 @@ impl Fabric {
                 return Err("no workers registered".to_string());
             };
             self.shards_dispatched.fetch_add(1, Ordering::Relaxed);
-            match self.dispatch(&addr, &body) {
-                Ok((partial, cache_hit)) => {
+            match self
+                .dispatch(&addr, path, body)
+                .and_then(|(body, hit)| parse(&body).map(|parsed| (parsed, hit)))
+            {
+                Ok((parsed, cache_hit)) => {
                     self.registry.record_success(&addr, cache_hit);
                     if cache_hit {
                         self.remote_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -200,11 +265,7 @@ impl Fabric {
                         self.remote_cache_misses.fetch_add(1, Ordering::Relaxed);
                     }
                     self.shards_completed.fetch_add(1, Ordering::Relaxed);
-                    self.streamed
-                        .lock()
-                        .expect("streamed moments lock")
-                        .merge(partial.time_moments());
-                    return Ok(partial);
+                    return Ok(parsed);
                 }
                 Err(error) => {
                     self.registry.record_failure(&addr);
@@ -214,25 +275,23 @@ impl Fabric {
             }
         }
         Err(format!(
-            "shard [{}, {}) failed after {} attempts: {last_error}",
-            range.0, range.1, self.config.max_attempts
+            "{what} failed after {} attempts: {last_error}",
+            self.config.max_attempts
         ))
     }
 
-    /// One dispatch: post the shard request, check the status, parse the
-    /// partial, report whether the worker's cache answered it.
-    fn dispatch(&self, addr: &str, body: &str) -> Result<(EnsemblePartial, bool), String> {
+    /// One dispatch: post the request, check the status, report the body
+    /// and whether the worker's cache answered it.
+    fn dispatch(&self, addr: &str, path: &str, body: &str) -> Result<(String, bool), String> {
         let client = Client::new(addr)?
             .timeout(self.config.request_timeout)
             .connect_timeout(self.config.connect_timeout);
-        let reply = client.post("/simulate", body)?;
+        let reply = client.post(path, body)?;
         if !reply.is_success() {
             return Err(format!("status {}: {}", reply.status, reply.body));
         }
         let cache_hit = reply.header("cache") == Some("hit");
-        let json = reply.json()?;
-        let partial = SimulateRequest::parse_partial(&json).map_err(|e| e.to_string())?;
-        Ok((partial, cache_hit))
+        Ok((reply.body, cache_hit))
     }
 
     /// The fabric counters.

@@ -7,7 +7,9 @@
 //! subsystem that composes **every** crate: `crn` parses wire-format
 //! networks (with line+column errors), `gillespie` fans ensemble trials out
 //! through the engine's deterministic range/merge machinery, `cme` answers
-//! `/exact`, and `synthesis`/`lambda` drive `/synthesize`.
+//! `/exact` and the model-checking endpoint `/check` (single verdicts or
+//! parameter-sweep robustness landscapes, each grid point an independent
+//! cached solve), and `synthesis`/`lambda` drive `/synthesize`.
 //!
 //! The three pillars:
 //!

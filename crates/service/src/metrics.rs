@@ -24,6 +24,8 @@ pub struct Metrics {
     pub exact_requests: AtomicU64,
     /// `POST /synthesize` requests.
     pub synthesize_requests: AtomicU64,
+    /// `POST /check` requests.
+    pub check_requests: AtomicU64,
     /// `method: auto` simulate requests resolved to the direct method.
     pub auto_resolved_direct: AtomicU64,
     /// `method: auto` simulate requests resolved to first-reaction.
@@ -53,6 +55,7 @@ impl Metrics {
             simulate_requests: AtomicU64::new(0),
             exact_requests: AtomicU64::new(0),
             synthesize_requests: AtomicU64::new(0),
+            check_requests: AtomicU64::new(0),
             auto_resolved_direct: AtomicU64::new(0),
             auto_resolved_first_reaction: AtomicU64::new(0),
             auto_resolved_next_reaction: AtomicU64::new(0),

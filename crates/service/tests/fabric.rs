@@ -239,6 +239,202 @@ fn worker_caches_answer_resharded_replays() {
     shutdown_all(workers);
 }
 
+/// A `/check` parameter sweep over the biased-coin race: `P(h before t)`
+/// with the heads rate swept through the grid, each point exactly
+/// `k / (k + 1)`.
+fn check_sweep_request(values: &str) -> String {
+    format!(
+        "{{\"network\":\"x -> h @ {{k}}\\nx -> t @ 1\",\"initial\":{{\"x\":1}},\
+         \"bounds\":{{\"policy\":\"strict\",\"default_cap\":1}},\
+         \"property\":{{\"type\":\"reach_before\",\
+         \"target\":{{\"species\":\"h\",\"at_least\":1}},\
+         \"competitor\":{{\"species\":\"t\",\"at_least\":1}}}},\
+         \"sweep\":{{\"parameter\":\"k\",\"values\":[{values}]}},\"wait\":true}}"
+    )
+}
+
+/// `/check` sweep determinism: the same robustness landscape computed
+/// single-process and by 1-, 2- and 4-worker fabrics must produce
+/// byte-identical sweep documents — grid points are pure solves, so the
+/// cluster shape must be unobservable.
+#[test]
+fn check_sweeps_are_byte_identical_across_cluster_shapes() {
+    let request = check_sweep_request("1,3,9");
+
+    let single = serve(worker_config()).expect("bind");
+    let reference = Client::new(single.addr())
+        .expect("client")
+        .post("/check", &request)
+        .expect("single-process sweep");
+    assert_eq!(reference.status, 200, "body: {}", reference.body);
+    // Spot-check the landscape itself: P(h before t) = k / (k + 1).
+    let sweep = service::json::parse(&reference.body).expect("sweep JSON");
+    let service::json::Json::Array(items) = sweep.get("points").expect("points").clone() else {
+        panic!("points must be an array")
+    };
+    assert_eq!(items.len(), 3);
+    for (i, k) in [1.0f64, 3.0, 9.0].iter().enumerate() {
+        let result = items[i].get("result").expect("result");
+        let got = result.get("value").expect("value").as_f64("value").unwrap();
+        assert!(
+            (got - k / (k + 1.0)).abs() < 1e-12,
+            "point {i}: {got} vs {}",
+            k / (k + 1.0)
+        );
+    }
+    shutdown_all([single]);
+
+    for pool_size in [1usize, 2, 4] {
+        let (workers, addrs) = boot_workers(pool_size);
+        let coordinator = boot_coordinator(addrs, 250);
+        let reply = Client::new(coordinator.addr())
+            .expect("client")
+            .post("/check", &request)
+            .expect("fabric sweep");
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        assert_eq!(
+            reply.body, reference.body,
+            "{pool_size}-worker fabric sweep diverged from the single-process document"
+        );
+
+        // Every grid point was dispatched as its own fabric work unit.
+        let fabric = Client::new(coordinator.addr())
+            .expect("client")
+            .get("/fabric")
+            .expect("fabric state");
+        assert_eq!(json_number(&fabric.body, &["shards_completed"]), 3.0);
+
+        shutdown_all([coordinator]);
+        shutdown_all(workers);
+    }
+}
+
+/// Fault injection on a sweep: a dead-on-arrival worker plus a worker shot
+/// right after submission still yield the exact single-process sweep
+/// bytes — grid points rebalance onto survivors like simulate shards.
+#[test]
+fn check_sweep_rebalances_after_worker_death() {
+    let request = check_sweep_request("1,2,3,4,5,6,7,8");
+
+    let single = serve(worker_config()).expect("bind");
+    let reference = Client::new(single.addr())
+        .expect("client")
+        .post("/check", &request)
+        .expect("single-process sweep");
+    assert_eq!(reference.status, 200, "body: {}", reference.body);
+    shutdown_all([single]);
+
+    let (mut workers, mut addrs) = boot_workers(2);
+    addrs.insert(0, dead_worker_addr());
+    let coordinator = boot_coordinator(addrs, 100);
+    let client = Client::new(coordinator.addr()).expect("client");
+
+    let submitted = client
+        .post(
+            "/check",
+            &request.replace("\"wait\":true", "\"wait\":false"),
+        )
+        .expect("submit");
+    assert_eq!(submitted.status, 202, "body: {}", submitted.body);
+    let id = json_number(&submitted.body, &["job"]) as u64;
+    let victim = workers.remove(0);
+    victim.shutdown(Duration::from_secs(5));
+    victim.join();
+
+    let done = client
+        .get(&format!("/jobs/{id}?wait=1"))
+        .expect("poll to completion");
+    assert_eq!(
+        done.header("x-job-state"),
+        Some("completed"),
+        "{}",
+        done.body
+    );
+    assert_eq!(
+        done.body, reference.body,
+        "fault-injected sweep diverged from the single-process bytes"
+    );
+
+    // The dead worker was dispatched to, failed, and the points retried.
+    let fabric = client.get("/fabric").expect("fabric state");
+    assert_eq!(json_number(&fabric.body, &["shards_completed"]), 8.0);
+    assert!(json_number(&fabric.body, &["worker_failures"]) >= 1.0);
+    assert!(json_number(&fabric.body, &["shard_retries"]) >= 1.0);
+
+    shutdown_all([coordinator]);
+    shutdown_all(workers);
+}
+
+/// `/check` cache federation: a fresh coordinator re-running a sweep over
+/// a warm single-worker pool is answered entirely from the worker's
+/// per-point cache — every grid point counts exactly one remote hit — and
+/// the points also answer *single-point* `/check` requests directly.
+#[test]
+fn check_points_federate_through_worker_caches() {
+    let request = check_sweep_request("1,3,9,27");
+    let (workers, addrs) = boot_workers(1);
+
+    let first = boot_coordinator(addrs.clone(), 250);
+    let original = Client::new(first.addr())
+        .expect("client")
+        .post("/check", &request)
+        .expect("first sweep");
+    assert_eq!(original.status, 200, "body: {}", original.body);
+    let fabric = Client::new(first.addr())
+        .expect("client")
+        .get("/fabric")
+        .expect("fabric state");
+    assert_eq!(json_number(&fabric.body, &["remote_cache_misses"]), 4.0);
+    assert_eq!(json_number(&fabric.body, &["remote_cache_hits"]), 0.0);
+    shutdown_all([first]);
+
+    // A brand-new coordinator re-dispatches every point; each is a
+    // worker-tier hit, counted exactly once, and the document is
+    // byte-identical.
+    let second = boot_coordinator(addrs.clone(), 250);
+    let replay = Client::new(second.addr())
+        .expect("client")
+        .post("/check", &request)
+        .expect("replayed sweep");
+    assert_eq!(replay.header("cache"), Some("miss"), "coordinator tier");
+    assert_eq!(replay.body, original.body);
+    let fabric = Client::new(second.addr())
+        .expect("client")
+        .get("/fabric")
+        .expect("fabric state");
+    assert_eq!(json_number(&fabric.body, &["remote_cache_hits"]), 4.0);
+    assert_eq!(json_number(&fabric.body, &["remote_cache_misses"]), 0.0);
+
+    // Tier-1 on top: resubmitting to the same coordinator replays the
+    // whole document without touching the pool.
+    let cached = Client::new(second.addr())
+        .expect("client")
+        .post("/check", &request)
+        .expect("tier-1 replay");
+    assert_eq!(cached.header("cache"), Some("hit"));
+    assert_eq!(cached.body, original.body);
+
+    // The worker cached each point under its canonical single-point key:
+    // the same property posted as a plain (sweepless) `/check` with the
+    // substituted rate is answered from cache.
+    let point = "{\"network\":\"x -> h @ 3\\nx -> t @ 1\",\"initial\":{\"x\":1},\
+                 \"bounds\":{\"policy\":\"strict\",\"default_cap\":1},\
+                 \"property\":{\"type\":\"reach_before\",\
+                 \"target\":{\"species\":\"h\",\"at_least\":1},\
+                 \"competitor\":{\"species\":\"t\",\"at_least\":1}},\"wait\":true}";
+    let direct = Client::new(workers[0].addr())
+        .expect("client")
+        .post("/check", point)
+        .expect("single-point replay");
+    assert_eq!(direct.status, 200, "body: {}", direct.body);
+    assert_eq!(direct.header("cache"), Some("hit"), "body: {}", direct.body);
+    let value = json_number(&direct.body, &["value"]);
+    assert!((value - 0.75).abs() < 1e-12, "value {value}");
+
+    shutdown_all([second]);
+    shutdown_all(workers);
+}
+
 /// Workers can join a running coordinator through `POST /fabric/workers`;
 /// `GET /fabric` reflects the pool, and jobs shard as soon as the first
 /// worker registers. The endpoint is loopback-only, like `/shutdown`.

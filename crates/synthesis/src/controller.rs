@@ -1,0 +1,489 @@
+//! Controller synthesis: antithetic integral feedback and stationary
+//! morphing.
+//!
+//! The paper synthesizes networks that *compute with* stochasticity; this
+//! module synthesizes networks that *control* it, closing the loop with the
+//! exact model checker in [`cme`]:
+//!
+//! * [`AntitheticController`] — the antithetic integral feedback motif of
+//!   Briat, Gupta & Khammash. Two controller species `z₁`/`z₂` annihilate
+//!   each other; their difference integrates the error between a reference
+//!   `μ` and the measured output `θ·X`, which forces the stationary mean of
+//!   the sensed species to `μ/θ` *exactly*, for any ergodic plant.
+//! * [`stationary_morph`] — a Plesa-style stochastic-morphing construction:
+//!   a slow two-state switch gates two dynamics over the same species, and
+//!   in the slow-switching limit the stationary law converges to the
+//!   mixture `(1 − λ)·π_A + λ·π_B`.
+//!
+//! Both constructions return the augmented controller+plant network plus a
+//! matching initial state, so verdicts come straight from
+//! [`cme::Checker::stationary`].
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cme::PopulationBounds;
+//! use synthesis::controller::AntitheticController;
+//!
+//! // Plant: a single species x degraded at rate 1, driven by the
+//! // controller. Set point: μ/θ = 2.
+//! let plant: crn::Crn = "x -> 0 @ 1".parse()?;
+//! let controller = AntitheticController::new(2.0, 1.0, 100.0, 2.0)?;
+//! let loop_ = controller.close_loop(&plant, &plant.zero_state(), "x", "x")?;
+//! assert_eq!(loop_.set_point(), 2.0);
+//!
+//! let bounds = PopulationBounds::truncating(14).cap("z1", 8).cap("z2", 8);
+//! let mean = loop_.stationary_output(&bounds)?;
+//! assert!((mean - 2.0).abs() < 0.05, "stationary mean {mean}");
+//! # Ok(())
+//! # }
+//! ```
+
+use cme::{Checker, PopulationBounds};
+use crn::{Crn, CrnBuilder, State};
+
+use crate::error::SynthesisError;
+
+/// Controller species names reserved by the antithetic construction.
+const Z1: &str = "z1";
+const Z2: &str = "z2";
+/// Switch species names reserved by the morphing construction.
+const GATE_A: &str = "morphA";
+const GATE_B: &str = "morphB";
+
+fn positive(parameter: &'static str, value: f64) -> Result<f64, SynthesisError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(SynthesisError::InvalidRateParameter { parameter, value });
+    }
+    Ok(value)
+}
+
+/// The antithetic integral feedback motif (Briat, Gupta & Khammash 2016).
+///
+/// Four reactions close the loop around a plant:
+///
+/// ```text
+/// ∅        -> z1           @ μ   (reference)
+/// sensed   -> sensed + z2  @ θ   (measurement)
+/// z1 + z2  -> ∅            @ η   (annihilation)
+/// z1       -> z1 + actuated @ k  (actuation)
+/// ```
+///
+/// In stationarity `E[dz₁/dt − dz₂/dt] = μ − θ·E[sensed] = 0`, so the
+/// sensed species' stationary mean is pinned to the set point `μ/θ`
+/// independent of the plant parameters — integral action in molecules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntitheticController {
+    mu: f64,
+    theta: f64,
+    eta: f64,
+    k: f64,
+}
+
+impl AntitheticController {
+    /// Creates a controller with reference rate `mu`, measurement rate
+    /// `theta`, annihilation rate `eta` and actuation rate `k`.
+    ///
+    /// # Errors
+    ///
+    /// Every parameter must be finite and positive.
+    pub fn new(mu: f64, theta: f64, eta: f64, k: f64) -> Result<Self, SynthesisError> {
+        Ok(AntitheticController {
+            mu: positive("mu", mu)?,
+            theta: positive("theta", theta)?,
+            eta: positive("eta", eta)?,
+            k: positive("k", k)?,
+        })
+    }
+
+    /// The stationary mean the controller drives the sensed species to:
+    /// `μ/θ`.
+    pub fn set_point(&self) -> f64 {
+        self.mu / self.theta
+    }
+
+    /// Closes the loop: merges the four controller reactions into `plant`,
+    /// actuating production of `actuated` and measuring `sensed`.
+    ///
+    /// # Errors
+    ///
+    /// `actuated` and `sensed` must be plant species, and the plant must
+    /// not already use the reserved controller species names `z1`/`z2`.
+    pub fn close_loop(
+        &self,
+        plant: &Crn,
+        plant_initial: &State,
+        actuated: &str,
+        sensed: &str,
+    ) -> Result<ClosedLoop, SynthesisError> {
+        for name in [actuated, sensed] {
+            if plant.species_id(name).is_none() {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!("plant has no species '{name}' to wire the controller to"),
+                });
+            }
+        }
+        for reserved in [Z1, Z2] {
+            if plant.species_id(reserved).is_some() {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!(
+                        "plant already uses the reserved controller species '{reserved}'"
+                    ),
+                });
+            }
+        }
+        let mut b = CrnBuilder::new();
+        b.reaction()
+            .product_named(Z1, 1)
+            .rate(self.mu)
+            .label("reference")
+            .add()?;
+        b.reaction()
+            .reactant_named(sensed, 1)
+            .product_named(sensed, 1)
+            .product_named(Z2, 1)
+            .rate(self.theta)
+            .label("measurement")
+            .add()?;
+        b.reaction()
+            .reactant_named(Z1, 1)
+            .reactant_named(Z2, 1)
+            .rate(self.eta)
+            .label("annihilation")
+            .add()?;
+        b.reaction()
+            .reactant_named(Z1, 1)
+            .product_named(Z1, 1)
+            .product_named(actuated, 1)
+            .rate(self.k)
+            .label("actuation")
+            .add()?;
+        let crn = plant.merge(&b.build()?)?;
+        let initial = transplant_state(plant, plant_initial, &crn)?;
+        Ok(ClosedLoop {
+            crn,
+            initial,
+            set_point: self.set_point(),
+            sensed: sensed.to_string(),
+        })
+    }
+}
+
+/// A plant with the antithetic controller merged in, ready for simulation
+/// or exact verification.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    crn: Crn,
+    initial: State,
+    set_point: f64,
+    sensed: String,
+}
+
+impl ClosedLoop {
+    /// The closed-loop network (plant + controller reactions).
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The closed-loop initial state (plant initial, no controller
+    /// molecules).
+    pub fn initial(&self) -> &State {
+        &self.initial
+    }
+
+    /// The set point `μ/θ` the sensed species is driven to.
+    pub fn set_point(&self) -> f64 {
+        self.set_point
+    }
+
+    /// The name of the sensed (controlled) species.
+    pub fn sensed(&self) -> &str {
+        &self.sensed
+    }
+
+    /// Verifies the loop with the exact model checker: the stationary mean
+    /// copy number of the sensed species within `bounds`.
+    ///
+    /// For an ergodic closed loop this converges to
+    /// [`set_point`](Self::set_point) as the bounds window grows; the
+    /// residual gap is the finite-state-projection error (see
+    /// [`cme::StationaryDistribution::boundary_mass`]).
+    pub fn stationary_output(&self, bounds: &PopulationBounds) -> Result<f64, SynthesisError> {
+        let checker = Checker::new(&self.crn, self.initial.clone(), bounds.clone());
+        Ok(checker.stationary_expectation(&self.sensed)?)
+    }
+}
+
+/// A morphed pair of dynamics with a slow two-state switch, plus the
+/// matching initial state (switch in the A position).
+#[derive(Debug, Clone)]
+pub struct MorphedSystem {
+    crn: Crn,
+    initial: State,
+    weight: f64,
+}
+
+impl MorphedSystem {
+    /// The gated union network.
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// The initial state: the merged plant initials with the switch on the
+    /// A side.
+    pub fn initial(&self) -> &State {
+        &self.initial
+    }
+
+    /// The target mixture weight λ of the B dynamics.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The switch species names gating the A and B dynamics.
+    pub fn gates(&self) -> (&'static str, &'static str) {
+        (GATE_A, GATE_B)
+    }
+}
+
+/// Plesa-style stochastic morphing by slow switching: gates every reaction
+/// of `a` by a switch species `morphA` and every reaction of `b` by
+/// `morphB`, with the one-molecule switch toggling
+/// `morphA -> morphB @ switch_rate·λ` and
+/// `morphB -> morphA @ switch_rate·(1 − λ)`.
+///
+/// The switch spends a fraction λ of time on the B side, and when
+/// `switch_rate` is far below the plants' relaxation rates the chain fully
+/// re-equilibrates between toggles, so the stationary law of the shared
+/// species converges to the mixture `(1 − λ)·π_A + λ·π_B` as
+/// `switch_rate → 0`.
+///
+/// `a` and `b` are `(network, initial state)` pairs over the *same*
+/// species (species are unified by name; both sides must agree on any
+/// shared species' initial count).
+///
+/// # Errors
+///
+/// Rejects a non-finite `switch_rate ≤ 0`, a weight outside `(0, 1)`,
+/// plants that use the reserved switch names, and initial states that
+/// disagree on a shared species.
+pub fn stationary_morph(
+    a: (&Crn, &State),
+    b: (&Crn, &State),
+    weight: f64,
+    switch_rate: f64,
+) -> Result<MorphedSystem, SynthesisError> {
+    positive("switch_rate", switch_rate)?;
+    if !weight.is_finite() || weight <= 0.0 || weight >= 1.0 {
+        return Err(SynthesisError::InvalidSpecification {
+            message: format!("mixture weight {weight} must lie strictly inside (0, 1)"),
+        });
+    }
+    for (crn, _) in [a, b] {
+        for reserved in [GATE_A, GATE_B] {
+            if crn.species_id(reserved).is_some() {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!("plant already uses the reserved switch species '{reserved}'"),
+                });
+            }
+        }
+    }
+    let mut builder = CrnBuilder::new();
+    builder.species(GATE_A);
+    builder.species(GATE_B);
+    builder
+        .reaction()
+        .reactant_named(GATE_A, 1)
+        .product_named(GATE_B, 1)
+        .rate(switch_rate * weight)
+        .label("toggle-to-B")
+        .add()?;
+    builder
+        .reaction()
+        .reactant_named(GATE_B, 1)
+        .product_named(GATE_A, 1)
+        .rate(switch_rate * (1.0 - weight))
+        .label("toggle-to-A")
+        .add()?;
+    gate_reactions(&mut builder, a.0, GATE_A)?;
+    gate_reactions(&mut builder, b.0, GATE_B)?;
+    let crn = builder.build()?;
+    let mut initial = transplant_state(a.0, a.1, &crn)?;
+    // Fold in the B-side counts, insisting the two sides agree wherever
+    // they overlap — a disagreement would make the morph target ambiguous.
+    for (id, species) in b.0.species().iter().enumerate() {
+        let count = b.1.counts()[id];
+        let merged_id = crn
+            .species_id(species.name())
+            .expect("merged network keeps every species");
+        let current = initial.count(merged_id);
+        if a.0.species_id(species.name()).is_some() {
+            if current != count {
+                return Err(SynthesisError::InvalidSpecification {
+                    message: format!(
+                        "initial states disagree on shared species '{}': {current} vs {count}",
+                        species.name()
+                    ),
+                });
+            }
+        } else {
+            initial.set(merged_id, count);
+        }
+    }
+    let gate = crn.species_id(GATE_A).expect("switch species exists");
+    initial.set(gate, 1);
+    Ok(MorphedSystem {
+        crn,
+        initial,
+        weight,
+    })
+}
+
+/// Copies every reaction of `source` into `builder` with `gate` added as a
+/// catalyst (reactant and product), preserving rates and labels.
+fn gate_reactions(
+    builder: &mut CrnBuilder,
+    source: &Crn,
+    gate: &str,
+) -> Result<(), SynthesisError> {
+    let names: Vec<&str> = source.species().iter().map(|s| s.name()).collect();
+    for reaction in source.reactions() {
+        let mut rb = builder
+            .reaction()
+            .reactant_named(gate, 1)
+            .product_named(gate, 1)
+            .rate(reaction.rate());
+        for term in reaction.reactants() {
+            rb = rb.reactant_named(names[term.species.index()], term.coefficient);
+        }
+        for term in reaction.products() {
+            rb = rb.product_named(names[term.species.index()], term.coefficient);
+        }
+        if let Some(label) = reaction.label() {
+            rb = rb.label(label);
+        }
+        rb.add()?;
+    }
+    Ok(())
+}
+
+/// Re-expresses `state` (over `source`'s species) in `merged`'s id space.
+fn transplant_state(source: &Crn, state: &State, merged: &Crn) -> Result<State, SynthesisError> {
+    if state.counts().len() != source.species_len() {
+        return Err(SynthesisError::InvalidSpecification {
+            message: format!(
+                "initial state has {} species but the plant has {}",
+                state.counts().len(),
+                source.species_len()
+            ),
+        });
+    }
+    let mut out = merged.zero_state();
+    for (id, species) in source.species().iter().enumerate() {
+        let count = state.counts()[id];
+        if count > 0 {
+            let merged_id = merged
+                .species_id(species.name())
+                .expect("merged network keeps every species");
+            out.set(merged_id, count);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrading_plant() -> (Crn, State) {
+        let crn: Crn = "x -> 0 @ 1".parse().unwrap();
+        let initial = crn.zero_state();
+        (crn, initial)
+    }
+
+    #[test]
+    fn controller_validates_parameters() {
+        assert!(AntitheticController::new(1.0, 1.0, 1.0, 1.0).is_ok());
+        for bad in [
+            AntitheticController::new(0.0, 1.0, 1.0, 1.0),
+            AntitheticController::new(1.0, -2.0, 1.0, 1.0),
+            AntitheticController::new(1.0, 1.0, f64::NAN, 1.0),
+            AntitheticController::new(1.0, 1.0, 1.0, f64::INFINITY),
+        ] {
+            assert!(matches!(
+                bad,
+                Err(SynthesisError::InvalidRateParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn closed_loop_has_plant_plus_four_reactions() {
+        let (plant, initial) = degrading_plant();
+        let controller = AntitheticController::new(2.0, 1.0, 50.0, 1.0).unwrap();
+        let loop_ = controller.close_loop(&plant, &initial, "x", "x").unwrap();
+        assert_eq!(loop_.crn().reactions().len(), plant.reactions().len() + 4);
+        assert_eq!(loop_.set_point(), 2.0);
+        assert_eq!(loop_.sensed(), "x");
+        assert!(loop_.crn().species_id("z1").is_some());
+        assert!(loop_.crn().species_id("z2").is_some());
+    }
+
+    #[test]
+    fn closed_loop_rejects_bad_wiring() {
+        let (plant, initial) = degrading_plant();
+        let controller = AntitheticController::new(2.0, 1.0, 50.0, 1.0).unwrap();
+        assert!(controller
+            .close_loop(&plant, &initial, "missing", "x")
+            .is_err());
+        let clashing: Crn = "z1 -> 0 @ 1".parse().unwrap();
+        assert!(controller
+            .close_loop(&clashing, &clashing.zero_state(), "z1", "z1")
+            .is_err());
+    }
+
+    #[test]
+    fn antithetic_loop_tracks_set_point() {
+        let (plant, initial) = degrading_plant();
+        let controller = AntitheticController::new(2.0, 1.0, 100.0, 2.0).unwrap();
+        let loop_ = controller.close_loop(&plant, &initial, "x", "x").unwrap();
+        let bounds = PopulationBounds::truncating(14).cap("z1", 8).cap("z2", 8);
+        let mean = loop_.stationary_output(&bounds).unwrap();
+        assert!(
+            (mean - 2.0).abs() < 0.05,
+            "stationary output {mean} should track the set point 2"
+        );
+    }
+
+    #[test]
+    fn morph_interpolates_birth_death_laws() {
+        // π_A = Poisson(1), π_B = Poisson(4); λ = 1/4 ⇒ stationary mean
+        // 0.75·1 + 0.25·4 = 1.75 in the slow-switching limit.
+        let a = crn::generators::birth_death(1.0, 1.0);
+        let b = crn::generators::birth_death(4.0, 1.0);
+        let morph =
+            stationary_morph((&a.crn, &a.initial), (&b.crn, &b.initial), 0.25, 1e-4).unwrap();
+        let bounds = PopulationBounds::truncating(16);
+        let checker = Checker::new(morph.crn(), morph.initial().clone(), bounds);
+        let mean = checker.stationary_expectation("a").unwrap();
+        assert!(
+            (mean - 1.75).abs() < 0.01,
+            "morphed stationary mean {mean}, want ≈ 1.75"
+        );
+    }
+
+    #[test]
+    fn morph_rejects_inconsistent_weights_and_initials() {
+        let a = crn::generators::birth_death(1.0, 1.0);
+        let b = crn::generators::birth_death(4.0, 1.0);
+        for weight in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(
+                stationary_morph((&a.crn, &a.initial), (&b.crn, &b.initial), weight, 0.1).is_err()
+            );
+        }
+        let mut clash = b.initial.clone();
+        clash.set(b.crn.species_id("a").unwrap(), 3);
+        assert!(stationary_morph((&a.crn, &a.initial), (&b.crn, &clash), 0.5, 0.1).is_err());
+    }
+}

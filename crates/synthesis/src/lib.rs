@@ -24,6 +24,12 @@
 //!   outcome distribution an affine function of input quantities (the
 //!   paper's Example 2), plus fan-out and assimilation reactions that wire
 //!   deterministic modules into the stochastic module.
+//! * [`controller`] — the inverse direction: networks that *control*
+//!   stochasticity rather than compute with it. Antithetic integral
+//!   feedback ([`AntitheticController`]) pins a plant species' stationary
+//!   mean to an exact set point, and [`stationary_morph`] steers a
+//!   stationary law toward a mixture target; both are verified closed-loop
+//!   with the exact model checker in [`cme`].
 //! * [`LogLinearSynthesizer`] — the end-to-end flow of the paper's Section 3:
 //!   synthesize a network whose outcome probability follows
 //!   `a + b·log2(X) + c·X` (in percent) for an input quantity `X`, as used
@@ -60,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod compose;
+pub mod controller;
 mod distribution;
 mod error;
 pub mod glue;
@@ -70,6 +77,7 @@ mod stochastic;
 mod synthesizer;
 
 pub use compose::Composer;
+pub use controller::{stationary_morph, AntitheticController, ClosedLoop, MorphedSystem};
 pub use distribution::TargetDistribution;
 pub use error::SynthesisError;
 pub use preprocess::{AffineTerm, Preprocessor};

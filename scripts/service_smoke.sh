@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Service smoke test: boot `stochsynthd` on an ephemeral port, drive it
-# through simulate/exact/synthesize round trips with `stochsynth-cli`, and
-# assert that a repeated request is a cache hit with a byte-identical body.
+# through simulate/exact/synthesize/check round trips with `stochsynth-cli`,
+# and assert that a repeated request is a cache hit with a byte-identical
+# body.
 # Then boot a three-worker fabric, kill a worker mid-pool, and assert the
 # sharded report is byte-identical to the single-node bytes with the
 # failure visible in the federated cache metrics.
@@ -107,6 +108,35 @@ echo "synthesize: P(lysis | moi=2) matches the exact golden"
 grep -q '"hits":1' "$WORK/metrics.body" || { echo "expected exactly one cache hit:"; cat "$WORK/metrics.body"; exit 1; }
 echo "metrics: exactly one cache hit recorded"
 
+# --- check: model checker verdicts and a parameter sweep -----------------
+cat >"$WORK/check.json" <<'EOF'
+{
+  "network": "x -> h @ 3\nx -> t @ 1",
+  "initial": {"x": 1},
+  "bounds": {"policy": "strict", "default_cap": 1},
+  "property": {"type": "hitting_time", "target": {"species": "h", "at_least": 1}}
+}
+EOF
+"$CLI" submit --server "$SERVER" --endpoint check --file "$WORK/check.json" --wait >"$WORK/check.body"
+grep -q '"probability":0.75' "$WORK/check.body" || { echo "check endpoint wrong:"; cat "$WORK/check.body"; exit 1; }
+grep -q '"conditional_mean":0.25' "$WORK/check.body" || { echo "check hitting time wrong:"; cat "$WORK/check.body"; exit 1; }
+echo "check: E[T | hit h] = 0.25 at P = 0.75"
+
+printf 'x -> h @ {k}\nx -> t @ 1\n' >"$WORK/race.crn"
+check_sweep() {
+    "$CLI" check --server "$1" --network-file "$WORK/race.crn" --initial x=1 \
+        --cap 1 --policy strict --type reach_before \
+        --target 'h>=1' --competitor 't>=1' --sweep k=1,3,9
+}
+check_sweep "$SERVER" >"$WORK/sweep.body" 2>"$WORK/sweep.meta"
+grep -q '^cache: miss$' "$WORK/sweep.meta" || { echo "first sweep was not a miss"; cat "$WORK/sweep.meta"; exit 1; }
+grep -q '"kind":"check_sweep"' "$WORK/sweep.body" || { echo "sweep document wrong:"; cat "$WORK/sweep.body"; exit 1; }
+grep -q '"value":0.75' "$WORK/sweep.body" || { echo "sweep landscape wrong:"; cat "$WORK/sweep.body"; exit 1; }
+check_sweep "$SERVER" >"$WORK/sweep2.body" 2>"$WORK/sweep2.meta"
+grep -q '^cache: hit$' "$WORK/sweep2.meta" || { echo "repeated sweep was not a cache hit"; cat "$WORK/sweep2.meta"; exit 1; }
+cmp "$WORK/sweep.body" "$WORK/sweep2.body" || { echo "cached sweep differs from fresh sweep"; exit 1; }
+echo "check: swept P(h before t) over k, replay byte-identical"
+
 # --- fabric: three workers, byte-identical sharded reports ---------------
 boot_daemon worker1; W1="$BOOTED_ADDR"; W1_PID="$BOOTED_PID"
 boot_daemon worker2; W2="$BOOTED_ADDR"
@@ -150,6 +180,12 @@ cmp "$WORK/fresh.body" "$WORK/federated.body" || { echo "federated replay differ
 "$CLI" fabric --server "$COORD2" >"$WORK/fabric2.body"
 grep -q '"remote_cache_hits":0' "$WORK/fabric2.body" && { echo "expected worker-tier cache hits:"; cat "$WORK/fabric2.body"; exit 1; }
 echo "fabric: federated worker caches answered the re-sharded replay"
+
+# A fabric-dispatched check sweep (one grid point per worker dispatch) must
+# reproduce the single-node sweep document byte for byte.
+check_sweep "$COORD2" >"$WORK/sweep_fabric.body"
+cmp "$WORK/sweep.body" "$WORK/sweep_fabric.body" || { echo "fabric sweep differs from single-node sweep"; exit 1; }
+echo "fabric: check sweep byte-identical to single-node document"
 
 for peer in "$COORD2" "$COORD" "$W3" "$W2"; do
     "$CLI" shutdown --server "$peer" --deadline-ms 10000 >/dev/null

@@ -1,0 +1,288 @@
+//! Cross-method conformance oracle for the probabilistic model checker.
+//!
+//! Every verdict class the checker emits — race probabilities, time-window
+//! threshold probabilities and first-passage means — is re-derived here by
+//! large SSA ensembles and compared through the `numerics` goodness-of-fit
+//! harness, for **all five concrete steppers plus the `Auto` portfolio**.
+//! The checker solves the CME by uniformization/linear algebra while the
+//! ensembles sample trajectories event by event; agreement across two
+//! independent numerical routes (and six simulation methods) pins both
+//! sides at once.
+
+use gillespie::{
+    Ensemble, EnsembleOptions, Outcome, OutcomeClassifier, SimulationOptions, SimulationResult,
+    SpeciesThresholdClassifier, StepperKind, StopCondition,
+};
+use numerics::chi_square_goodness_of_fit;
+use stochsynth::cme::{Checker, PopulationBounds};
+use stochsynth::{Crn, SpeciesId};
+
+/// Master seed for every ensemble: the checker is deterministic, so a fixed
+/// seed makes the whole conformance suite reproducible bit for bit.
+const SEED: u64 = 20_070_604;
+
+/// Trials per (method, property) cell.
+const TRIALS: u64 = 2_000;
+
+/// The five concrete steppers plus the adaptive portfolio.
+fn all_methods() -> impl Iterator<Item = StepperKind> {
+    StepperKind::ALL.into_iter().chain([StepperKind::Auto])
+}
+
+/// `P(reach A before B)`: a five-coin tournament decided by majority.
+///
+/// From `x = 5` the biased coin `x -> h @ 3 | x -> t @ 1` flips five times;
+/// exactly one of `h ≥ 3` or `t ≥ 3` holds at exhaustion, so the race
+/// verdict partitions all mass between target and competitor. The checker's
+/// probabilities (a Binomial(5, 3/4) tail, computed via the embedded
+/// jump chain) serve as the expected law for a χ² goodness-of-fit test of
+/// each stepper's outcome frequencies.
+#[test]
+fn race_verdict_matches_ssa_outcome_frequencies() {
+    let crn: Crn = "x -> h @ 3\nx -> t @ 1".parse().unwrap();
+    let initial = crn.state_from_counts([("x", 5)]).unwrap();
+
+    let checker = Checker::new(&crn, initial.clone(), PopulationBounds::strict(5));
+    let race = checker
+        .reach_before_species(("h", 3), ("t", 3))
+        .expect("race verdict");
+    assert!(race.never.abs() < 1e-12, "majority always resolves");
+    assert!(race.escaped.abs() < 1e-12, "strict bounds lose no mass");
+    let expected = [race.target, race.competitor];
+
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "h", 3, "target")
+        .unwrap()
+        .rule_named(&crn, "t", 3, "competitor")
+        .unwrap();
+    for method in all_methods() {
+        let report = Ensemble::new(&crn, initial.clone(), classifier.clone())
+            .options(
+                EnsembleOptions::new()
+                    .trials(TRIALS)
+                    .master_seed(SEED)
+                    .method(method),
+            )
+            .run()
+            .expect("ensemble");
+        assert_eq!(
+            report.undecided,
+            0,
+            "{}: no trial may dangle",
+            method.name()
+        );
+        let observed = [report.count("target"), report.count("competitor")];
+        let gof = chi_square_goodness_of_fit(&observed, &expected).expect("χ² GOF");
+        assert!(
+            gof.passes(1e-3),
+            "{}: race frequencies {:?} reject checker law {:?} (p = {:.3e})",
+            method.name(),
+            observed,
+            expected,
+            gof.p_value
+        );
+    }
+}
+
+/// Classifies a trial as `reached` only when the threshold crossing landed
+/// inside the deadline. A plain final-state rule would over-count: at a time
+/// stop the engine applies the event whose firing time crosses the deadline
+/// before `is_met` halts the trial, so the final state sits one event past
+/// the window. Pairing a `species_at_least` stop (which freezes the trial at
+/// the crossing) with a final-time check recovers the within-window law.
+#[derive(Clone)]
+struct WithinDeadline {
+    species: SpeciesId,
+    threshold: u64,
+    deadline: f64,
+}
+
+impl OutcomeClassifier for WithinDeadline {
+    fn classify(&self, result: &SimulationResult) -> Option<Outcome> {
+        (result.final_state.count(self.species) >= self.threshold
+            && result.final_time <= self.deadline)
+            .then(|| Outcome::new("reached"))
+    }
+
+    fn outcomes(&self) -> Vec<Outcome> {
+        vec![Outcome::new("reached")]
+    }
+}
+
+/// `P(X_a ≥ k within [0, t])`: a conversion cascade against a deadline.
+///
+/// `x -> a @ 2` from `x = 12` produces `a` monotonically, so "`a` first
+/// reached 5 within the window" needs no path bookkeeping — only the
+/// deadline-aware classifier above. The checker integrates the
+/// hypoexponential first-passage law through the transient CME solve; each
+/// stepper's reached/missed split is tested against that probability.
+#[test]
+fn window_verdict_matches_ssa_deadline_frequencies() {
+    let crn: Crn = "x -> a @ 2".parse().unwrap();
+    let initial = crn.state_from_counts([("x", 12)]).unwrap();
+    let deadline = 0.25;
+
+    let checker = Checker::new(&crn, initial.clone(), PopulationBounds::strict(12));
+    let verdict = checker
+        .species_within("a", 5, (0.0, deadline))
+        .expect("window verdict");
+    assert!(
+        verdict.probability > 0.1 && verdict.probability < 0.9,
+        "deadline must split the ensemble to give the χ² test power, got {}",
+        verdict.probability
+    );
+    assert!(
+        verdict.error_bound < 1e-9,
+        "conserved chain truncates nothing"
+    );
+    let expected = [verdict.probability, 1.0 - verdict.probability];
+
+    let classifier = WithinDeadline {
+        species: crn.species_id("a").unwrap(),
+        threshold: 5,
+        deadline,
+    };
+    let stop = StopCondition::any_of(vec![
+        StopCondition::time(deadline),
+        StopCondition::named_species_at_least(&crn, "a", 5).unwrap(),
+    ]);
+    for method in all_methods() {
+        let report = Ensemble::new(&crn, initial.clone(), classifier.clone())
+            .options(
+                EnsembleOptions::new()
+                    .trials(TRIALS)
+                    .master_seed(SEED)
+                    .method(method)
+                    .simulation(SimulationOptions::new().stop(stop.clone())),
+            )
+            .run()
+            .expect("ensemble");
+        let reached = report.count("reached");
+        let observed = [reached, TRIALS - reached];
+        let gof = chi_square_goodness_of_fit(&observed, &expected).expect("χ² GOF");
+        assert!(
+            gof.passes(1e-3),
+            "{}: deadline frequencies {:?} reject checker law {:?} (p = {:.3e})",
+            method.name(),
+            observed,
+            expected,
+            gof.p_value
+        );
+    }
+}
+
+/// Expected first-passage time: full decay of a six-copy death chain.
+///
+/// `a -> b @ 1` from `a = 6` absorbs at `b = 6` after a sum of independent
+/// exponentials with rates 6, 5, …, 1 — mean `H₆ = 49/20`, variance
+/// `Σ 1/i² ≈ 1.4914`. The checker must land on the closed form to 1e-9;
+/// each stepper's empirical mean absorption time must agree with the
+/// checker's conditional mean within a 4.5σ CLT band.
+#[test]
+fn hitting_time_mean_matches_ssa_absorption_times() {
+    let crn: Crn = "a -> b @ 1".parse().unwrap();
+    let initial = crn.state_from_counts([("a", 6)]).unwrap();
+
+    let checker = Checker::new(&crn, initial.clone(), PopulationBounds::strict(6));
+    let hit = checker.hitting_time_species("b", 6).expect("hitting time");
+    assert!(
+        (hit.probability - 1.0).abs() < 1e-12,
+        "absorption is certain"
+    );
+    let mean = hit
+        .conditional_mean
+        .expect("conditional mean of a sure hit");
+    let exact_mean: f64 = (1..=6).map(|i| 1.0 / i as f64).sum();
+    let exact_var: f64 = (1..=6).map(|i| 1.0 / (i * i) as f64).sum();
+    assert!(
+        (mean - exact_mean).abs() < 1e-9,
+        "checker mean {mean} vs closed form {exact_mean}"
+    );
+
+    let tolerance = 4.5 * (exact_var / TRIALS as f64).sqrt();
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "b", 6, "absorbed")
+        .unwrap();
+    let stop = StopCondition::named_species_at_least(&crn, "b", 6).unwrap();
+    for method in all_methods() {
+        let report = Ensemble::new(&crn, initial.clone(), classifier.clone())
+            .options(
+                EnsembleOptions::new()
+                    .trials(TRIALS)
+                    .master_seed(SEED)
+                    .method(method)
+                    .simulation(SimulationOptions::new().stop(stop.clone())),
+            )
+            .run()
+            .expect("ensemble");
+        assert_eq!(
+            report.count("absorbed"),
+            TRIALS,
+            "{}: every trial absorbs",
+            method.name()
+        );
+        assert!(
+            (report.mean_final_time - mean).abs() < tolerance,
+            "{}: empirical mean {} vs checker mean {} (tolerance {})",
+            method.name(),
+            report.mean_final_time,
+            mean,
+            tolerance
+        );
+    }
+}
+
+/// The race partition is itself a probability law: target + competitor +
+/// never must carry all the mass the SSA ensemble distributes, even when a
+/// trap makes `never` strictly positive. The checker's three-way split is
+/// tested against a three-bin ensemble histogram.
+#[test]
+fn race_with_trap_matches_three_way_ssa_histogram() {
+    // From x the chain picks g (trap: neither h nor t ever fires) with
+    // probability 1/5, else flips the biased coin.
+    let crn: Crn = "x -> g @ 1\nx -> h @ 3\nx -> t @ 1".parse().unwrap();
+    let initial = crn.state_from_counts([("x", 1)]).unwrap();
+
+    let checker = Checker::new(&crn, initial.clone(), PopulationBounds::strict(1));
+    let race = checker
+        .reach_before_species(("h", 1), ("t", 1))
+        .expect("race verdict");
+    assert!(
+        (race.target + race.competitor + race.never + race.escaped - 1.0).abs() < 1e-12,
+        "verdict must partition all mass"
+    );
+    assert!((race.never - 0.2).abs() < 1e-12, "trap mass is exactly 1/5");
+    let expected = [race.target, race.competitor, race.never];
+
+    let classifier = SpeciesThresholdClassifier::new()
+        .rule_named(&crn, "h", 1, "target")
+        .unwrap()
+        .rule_named(&crn, "t", 1, "competitor")
+        .unwrap();
+    for method in all_methods() {
+        let report = Ensemble::new(&crn, initial.clone(), classifier.clone())
+            .options(
+                EnsembleOptions::new()
+                    .trials(TRIALS)
+                    .master_seed(SEED)
+                    .method(method),
+            )
+            .run()
+            .expect("ensemble");
+        // Trials swallowed by the trap match no classifier rule.
+        let observed = [
+            report.count("target"),
+            report.count("competitor"),
+            report.undecided,
+        ];
+        let gof = chi_square_goodness_of_fit(&observed, &expected).expect("χ² GOF");
+        assert!(
+            gof.passes(1e-3),
+            "{}: three-way frequencies {:?} reject checker law {:?} (p = {:.3e})",
+            method.name(),
+            observed,
+            expected,
+            gof.p_value
+        );
+    }
+}

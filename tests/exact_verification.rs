@@ -18,9 +18,10 @@
 
 use gillespie::{Ensemble, EnsembleOptions, StepperKind};
 use numerics::{chi_square_goodness_of_fit, LogLinearFit};
-use stochsynth::cme::{FirstPassage, PopulationBounds};
-use stochsynth::synthesis::{LogLinearSynthesizer, Preprocessor};
-use stochsynth::StochasticModule;
+use stochsynth::cme::sweep::{landscape, satisfaction_boundary};
+use stochsynth::cme::{CmeError, FirstPassage, PopulationBounds};
+use stochsynth::synthesis::{AntitheticController, LogLinearSynthesizer, Preprocessor};
+use stochsynth::{Crn, StochasticModule};
 
 fn example_1_module(gamma: f64) -> StochasticModule {
     StochasticModule::builder()
@@ -277,4 +278,90 @@ fn lambda_response_golden_values() {
             "MOI {moi}: mass accounting"
         );
     }
+}
+
+/// The exact probability that Example 1 never decides, as a function of γ —
+/// the measure the robustness landscape and satisfaction boundary below
+/// sweep. Shared by [`example_1_gamma_robustness_landscape_golden`].
+fn example_1_undecided_mass(gamma: f64) -> Result<f64, CmeError> {
+    let module = example_1_module(gamma);
+    let analysis = module
+        .exact_outcome_analysis(&[3, 4, 3], &module.exact_bounds(&[3, 4, 3]))
+        .map_err(|e| CmeError::InvalidInput {
+            message: e.to_string(),
+        })?;
+    Ok(analysis.undecided())
+}
+
+/// Example 1's γ robustness landscape, pinned. The winner-take-all error
+/// (undecided mass) falls monotonically in the rate-hierarchy separation γ;
+/// the landscape grid must reproduce the γ = 1000 golden of
+/// `example_1_golden_values_at_gamma_1000`, bracket the spec
+/// `P(undecided) ≤ 1e-6` between γ = 300 and γ = 1000, and the log-space
+/// bisection must land on the pinned boundary γ* where the error law
+/// crosses 1e-6 — all deterministic CME solves, golden to 1e-9 relative.
+#[test]
+fn example_1_gamma_robustness_landscape_golden() {
+    let grid = [100.0, 300.0, 1_000.0, 3_000.0];
+    let scan = landscape(&grid, example_1_undecided_mass).expect("landscape");
+    let values = scan.values();
+    for pair in values.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "undecided mass must fall monotonically in γ: {pair:?}"
+        );
+    }
+    // The γ = 1000 grid point is the same solve as the pinned golden.
+    assert!(
+        (values[2] - 1.446_769e-7).abs() < 1e-12,
+        "landscape γ=1000 point {:.6e} disagrees with the pinned golden",
+        values[2]
+    );
+    let (above, below) = scan
+        .crossing(1e-6)
+        .expect("the error law crosses 1e-6 inside the grid");
+    assert_eq!(above.parameter, 300.0);
+    assert_eq!(below.parameter, 1_000.0);
+
+    let boundary = satisfaction_boundary(100.0, 1_000.0, 1e-6, 1e-12, example_1_undecided_mass)
+        .expect("boundary");
+    let golden = 389.811_272_311;
+    assert!(
+        (boundary - golden).abs() < 1e-9 * golden,
+        "satisfaction boundary γ* = {boundary:.9} vs golden {golden:.9}"
+    );
+    let at_boundary = example_1_undecided_mass(boundary).expect("solve at γ*");
+    assert!(
+        (at_boundary - 1e-6).abs() < 1e-12,
+        "error law at γ* must sit on the spec: {at_boundary:.9e}"
+    );
+}
+
+/// Closed-loop golden: an antithetic integral controller (μ = 2, θ = 1,
+/// η = 100, k = 2) wrapped around the pure-death plant `x -> 0 @ 1` drives
+/// the stationary mean of `x` to the programmed set point μ/θ = 2 up to a
+/// small truncation offset. The exact stationary output on the pinned
+/// finite window is golden to 1e-9 — any drift in the controller wiring,
+/// the stationary solver or the bounds handling fails loudly.
+#[test]
+fn antithetic_closed_loop_set_point_golden() {
+    let plant: Crn = "x -> 0 @ 1".parse().expect("plant");
+    let controller = AntitheticController::new(2.0, 1.0, 100.0, 2.0).expect("controller");
+    let closed = controller
+        .close_loop(&plant, &plant.zero_state(), "x", "x")
+        .expect("closed loop");
+    assert_eq!(closed.set_point(), 2.0);
+    let bounds = PopulationBounds::truncating(14).cap("z1", 8).cap("z2", 8);
+    let output = closed
+        .stationary_output(&bounds)
+        .expect("stationary output");
+    let golden = 2.022_666_428_559;
+    assert!(
+        (output - golden).abs() < 1e-9,
+        "stationary E[x] {output:.12} vs golden {golden:.12}"
+    );
+    assert!(
+        (output - closed.set_point()).abs() < 0.05,
+        "output {output} must track the set point 2"
+    );
 }
