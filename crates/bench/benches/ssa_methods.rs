@@ -13,7 +13,12 @@
 //!   selection cost is independent of both the reaction count *and* the
 //!   dependency structure,
 //! * tau-leaping is orthogonal: it wins by firing many events per step
-//!   when populations allow it, not by selecting faster.
+//!   when populations allow it, not by selecting faster,
+//! * the hybrid multiscale stepper only pays off when the network really
+//!   has two timescales — the `multiscale_switch` scenario (rare promoter
+//!   flips over high-copy enzymatic turnover, fixed time horizon) is its
+//!   showcase, and `bench_compare` gates that hybrid posts the best
+//!   concrete median there.
 //!
 //! `bench_compare` (this crate's comparator binary) gates CI on the
 //! committed `BENCH_ssa_methods.json` baseline, so regressions on any of
@@ -22,12 +27,19 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crn::generators::{
     dimerisation_grid, gene_regulatory_tree, lambda_switch_ensemble, linear_cascade,
-    reversible_chain, GeneratedSystem,
+    multiscale_switch, reversible_chain, GeneratedSystem,
 };
 use gillespie::{Simulation, SimulationOptions, SsaMethod, StopCondition};
 
-/// Runs every stepper on `system` for 5000 events per trajectory.
-fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem) {
+/// Runs every stepper on `system` until `stop` is met.
+///
+/// Event-count stops keep the *work* fixed across methods whose cost is
+/// per-event (the selection-scaling scenarios). Scenarios whose point is
+/// that some steppers advance *time* faster per unit work (tau-leaping,
+/// hybrid) must use a time-based stop instead — an event budget would let
+/// a leaping method batch thousands of firings into one step and make the
+/// comparison meaningless.
+fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem, stop: &StopCondition) {
     let mut group = c.benchmark_group(format!("ssa_methods/{name}"));
     // Every concrete method, plus the adaptive portfolio resolved once up
     // front (classification amortises over an ensemble, so the steady-state
@@ -51,11 +63,7 @@ fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem) {
             b.iter(|| {
                 seed += 1;
                 Simulation::new(&system.crn, method.stepper())
-                    .options(
-                        SimulationOptions::new()
-                            .seed(seed)
-                            .stop(StopCondition::events(5_000)),
-                    )
+                    .options(SimulationOptions::new().seed(seed).stop(stop.clone()))
                     .run(&system.initial)
                     .expect("trajectory")
             });
@@ -65,21 +73,28 @@ fn bench_system(c: &mut Criterion, name: &str, system: &GeneratedSystem) {
 }
 
 fn bench_methods(c: &mut Criterion) {
+    let per_event = StopCondition::events(5_000);
     // Reversible isomerisation chains: the reaction count scales while the
     // dependency out-degree stays ≤ 4 — pure selection-cost scaling.
     for &length in &[10usize, 50, 200, 1000] {
         let system = reversible_chain(length, 1.0, 0.5, 200);
-        bench_system(c, &format!("chain_{length}"), &system);
+        bench_system(c, &format!("chain_{length}"), &system, &per_event);
     }
     // Source-driven irreversible cascade: 2002 channels, most of them idle
     // at any instant — the sparsest large network.
-    bench_system(c, "cascade_2000", &linear_cascade(2000, 50.0, 1.0, 2000));
+    bench_system(
+        c,
+        "cascade_2000",
+        &linear_cascade(2000, 50.0, 1.0, 2000),
+        &per_event,
+    );
     // Branched gene-regulatory tree (364 genes, 1454 reactions):
     // propensities spread over many binades as the activation wave runs.
     bench_system(
         c,
         "gene_tree_1454",
         &gene_regulatory_tree(5, 3, 0.2, 0.5, 8.0, 1.0),
+        &per_event,
     );
     // Reaction–diffusion style dimerisation grid (16×16 sites, 480
     // second-order bindings plus their 480 first-order unbindings, all
@@ -88,6 +103,7 @@ fn bench_methods(c: &mut Criterion) {
         c,
         "dimer_grid_960",
         &dimerisation_grid(16, 16, 0.002, 1.0, 25),
+        &per_event,
     );
     // 200 independent lambda switches in one network: block-diagonal
     // dependency graph, the scaled-out population-study shape.
@@ -95,6 +111,19 @@ fn bench_methods(c: &mut Criterion) {
         c,
         "lambda_switch_1200",
         &lambda_switch_ensemble(200, 1.0, 0.1, 0.001, 30),
+        &per_event,
+    );
+    // 90 two-state promoter modules driving high-copy enzymatic turnover
+    // (540 species, 720 reactions): promoter flips at rate 0.5 sit five
+    // orders of magnitude below ~2e4/module fast turnover. A fixed time
+    // horizon makes this the honest hybrid showcase — exact methods pay
+    // per firing, tau-leaping leaps, and the hybrid stepper integrates the
+    // fast partition as an ODE between slow events.
+    bench_system(
+        c,
+        "multiscale_switch_720",
+        &multiscale_switch(90, 0.5, 20_000.0, 2_000, 600),
+        &StopCondition::time(0.002),
     );
 }
 

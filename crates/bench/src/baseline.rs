@@ -238,6 +238,52 @@ pub fn portfolio_violations(fresh: &Baseline, slack: f64) -> Vec<String> {
     violations
 }
 
+/// Checks the hybrid-showcase contract on a fresh `ssa_methods` run: in
+/// every `multiscale_switch` scenario group, the `hybrid` column's median
+/// must be the best (lowest) of all concrete steppers — the whole point of
+/// the multiscale scenario is that fast/slow partitioning beats every pure
+/// method there.
+///
+/// Groups without a `hybrid` column (other suites, pre-hybrid baselines)
+/// are skipped; the `auto` column is excluded from the comparison since on
+/// this scenario it *is* hybrid. Returns one message per violated scenario,
+/// empty when the contract holds.
+pub fn hybrid_showcase_violations(fresh: &Baseline) -> Vec<String> {
+    let mut groups: BTreeMap<&str, Vec<&BenchmarkStats>> = BTreeMap::new();
+    for bench in &fresh.benchmarks {
+        if let Some((group, _method)) = bench.id.rsplit_once('/') {
+            if group.contains("multiscale_switch") {
+                groups.entry(group).or_default().push(bench);
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    for (group, members) in groups {
+        let method_of = |b: &BenchmarkStats| {
+            b.id.rsplit_once('/')
+                .map(|(_, m)| m.to_string())
+                .unwrap_or_default()
+        };
+        let Some(hybrid) = members.iter().find(|b| method_of(b) == "hybrid") else {
+            continue;
+        };
+        for other in &members {
+            let method = method_of(other);
+            if method == "hybrid" || method == "auto" {
+                continue;
+            }
+            if other.median_ns < hybrid.median_ns {
+                violations.push(format!(
+                    "{group}: hybrid median {:.0} ns loses to {method} at {:.0} ns \
+                     — the multiscale scenario must be a hybrid win",
+                    hybrid.median_ns, other.median_ns
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +416,32 @@ mod tests {
             ("ensemble_scaling/chain/threads_8", 20.0),
         ]);
         assert!(portfolio_violations(&concrete_only, 0.10).is_empty());
+    }
+
+    #[test]
+    fn hybrid_showcase_gate_requires_hybrid_to_win_multiscale() {
+        // Hybrid best in its scenario: passes; other scenarios are not
+        // the showcase's problem even when hybrid loses there.
+        let fresh = baseline_of(&[
+            ("ssa_methods/multiscale_switch/direct", 5_000_000.0),
+            ("ssa_methods/multiscale_switch/tau-leaping", 9_000_000.0),
+            ("ssa_methods/multiscale_switch/hybrid", 50_000.0),
+            ("ssa_methods/multiscale_switch/auto", 51_000.0),
+            ("ssa_methods/chain_10/direct", 100.0),
+            ("ssa_methods/chain_10/hybrid", 400.0),
+        ]);
+        assert!(hybrid_showcase_violations(&fresh).is_empty());
+        // A pure stepper beating hybrid on the multiscale scenario fails.
+        let beaten = baseline_of(&[
+            ("ssa_methods/multiscale_switch/direct", 40_000.0),
+            ("ssa_methods/multiscale_switch/hybrid", 50_000.0),
+        ]);
+        let violations = hybrid_showcase_violations(&beaten);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("loses to direct"));
+        // Pre-hybrid baselines (no hybrid column) are skipped.
+        let legacy = baseline_of(&[("ssa_methods/multiscale_switch/direct", 100.0)]);
+        assert!(hybrid_showcase_violations(&legacy).is_empty());
     }
 
     #[test]

@@ -28,9 +28,12 @@
 //!   `0` (default) compares raw medians — use it when both runs come from
 //!   the same machine.
 //!
-//! Besides the baseline diff, the gate enforces the adaptive-portfolio
-//! contract: in every fresh scenario group that carries an `auto` column,
-//! the `auto` median must be within 10% of the best concrete stepper.
+//! Besides the baseline diff, the gate enforces two structural contracts
+//! on the fresh run: the adaptive-portfolio contract (in every scenario
+//! group that carries an `auto` column, the `auto` median must be within
+//! 10% of the best concrete stepper) and the hybrid-showcase contract
+//! (in every `multiscale_switch` group, `hybrid` must post the lowest
+//! median of all concrete steppers).
 //!
 //! Exit codes: `0` gate passed, `1` regression (or vanished benchmark, or
 //! portfolio violation), `2` usage or I/O error. See the README's
@@ -40,7 +43,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bench::baseline::{parse_baseline, portfolio_violations, Baseline, Comparison};
+use bench::baseline::{
+    hybrid_showcase_violations, parse_baseline, portfolio_violations, Baseline, Comparison,
+};
 use bench::{Args, Table};
 
 fn load(path: &Path) -> Result<Baseline, String> {
@@ -155,6 +160,13 @@ fn run() -> Result<bool, String> {
         // no baselined id regressed.
         for violation in portfolio_violations(&fresh, 0.10) {
             println!("PORTFOLIO: {violation}");
+            all_pass = false;
+        }
+        // Showcase contract: the multiscale_switch scenario exists to prove
+        // the hybrid stepper's value, so hybrid losing to any pure stepper
+        // there means the partition heuristics rotted — fail the gate.
+        for violation in hybrid_showcase_violations(&fresh) {
+            println!("SHOWCASE: {violation}");
             all_pass = false;
         }
     }

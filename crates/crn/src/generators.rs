@@ -424,6 +424,139 @@ pub fn birth_death(birth: f64, death: f64) -> GeneratedSystem {
     GeneratedSystem { crn, initial }
 }
 
+/// Multiscale promoter/metabolite modules: `modules` independent copies of
+/// a slow two-state promoter driving a fast enzymatic pool — the
+/// fast/slow-partitioned shape the hybrid solver exists for.
+///
+/// Each module has 6 species (`gOff`, `gOn`, `s`, `e`, `es`, `p`) and 8
+/// reactions:
+///
+/// ```text
+/// gOff <-> gOn            @ k_switch            (slow promoter toggle)
+/// gOn  -> gOn + s         @ k_prod              (fast substrate burst)
+/// e + s <-> es            @ k_bind / k_unbind   (stiff enzyme cycle)
+/// es   -> e + p           @ k_cat
+/// p    -> ∅               @ 1
+/// s    -> ∅               @ k_dil               (slow dilution)
+/// ```
+///
+/// The enzyme kinetics are derived so the cycle turns over at roughly the
+/// production rate without runaway: `k_cat = 2·k_prod/enzymes`,
+/// `k_unbind = k_cat`, `k_bind = 2·k_cat/pool` and
+/// `k_dil = k_prod/(10·pool)`. With `pool` in the thousands and `k_prod`
+/// in the tens of thousands the per-channel fast propensities sit at
+/// 10³–10⁵ while the promoter toggles at `k_switch` ≈ 1 — five orders of
+/// timescale separation, which routes the simulator's auto portfolio to
+/// the hybrid stepper. Modules alternate
+/// between starting on (`gOn`, even indices) and off, each seeded with
+/// `pool` substrate and `enzymes` enzyme copies split evenly between free
+/// and substrate-bound (the cycle's quasi-steady state). 90+ modules give
+/// the 500-species scale of the benchmark scenario.
+///
+/// # Panics
+///
+/// Panics if `modules` is zero, a rate is not positive, or `pool`/`enzymes`
+/// is zero.
+pub fn multiscale_switch(
+    modules: usize,
+    k_switch: f64,
+    k_prod: f64,
+    pool: u64,
+    enzymes: u64,
+) -> GeneratedSystem {
+    assert!(modules > 0, "module count must be positive");
+    assert!(
+        k_switch > 0.0 && k_prod > 0.0,
+        "multiscale rates must be positive, got {k_switch} / {k_prod}"
+    );
+    assert!(
+        pool > 0 && enzymes > 0,
+        "pool and enzyme counts must be positive, got {pool} / {enzymes}"
+    );
+    let k_cat = 2.0 * k_prod / enzymes as f64;
+    let k_unbind = k_cat;
+    let k_bind = 2.0 * k_cat / pool as f64;
+    let k_dil = k_prod / (10.0 * pool as f64);
+
+    let mut b = CrnBuilder::new();
+    let mut initial_counts = Vec::with_capacity(modules * 3);
+    for m in 0..modules {
+        let g_off = b.species(format!("gOff_{m}"));
+        let g_on = b.species(format!("gOn_{m}"));
+        let s = b.species(format!("s_{m}"));
+        let e = b.species(format!("e_{m}"));
+        let es = b.species(format!("es_{m}"));
+        let p = b.species(format!("p_{m}"));
+
+        b.reaction()
+            .reactant(g_off, 1)
+            .product(g_on, 1)
+            .rate(k_switch)
+            .add()
+            .expect("promoter on");
+        b.reaction()
+            .reactant(g_on, 1)
+            .product(g_off, 1)
+            .rate(k_switch)
+            .add()
+            .expect("promoter off");
+        b.reaction()
+            .reactant(g_on, 1)
+            .product(g_on, 1)
+            .product(s, 1)
+            .rate(k_prod)
+            .add()
+            .expect("substrate burst");
+        b.reaction()
+            .reactant(e, 1)
+            .reactant(s, 1)
+            .product(es, 1)
+            .rate(k_bind)
+            .add()
+            .expect("enzyme binding");
+        b.reaction()
+            .reactant(es, 1)
+            .product(e, 1)
+            .product(s, 1)
+            .rate(k_unbind)
+            .add()
+            .expect("enzyme unbinding");
+        b.reaction()
+            .reactant(es, 1)
+            .product(e, 1)
+            .product(p, 1)
+            .rate(k_cat)
+            .add()
+            .expect("catalysis");
+        b.reaction()
+            .reactant(p, 1)
+            .rate(1.0)
+            .add()
+            .expect("product decay");
+        b.reaction()
+            .reactant(s, 1)
+            .rate(k_dil)
+            .add()
+            .expect("substrate dilution");
+
+        // Alternate starting promoter state so half the modules produce
+        // from t = 0, and seed the enzyme cycle at its quasi-steady state
+        // (half bound) so the fast partition is two-sided immediately
+        // instead of after an es build-up transient.
+        let gene = if m % 2 == 0 { g_on } else { g_off };
+        initial_counts.push((gene, 1));
+        initial_counts.push((s, pool));
+        initial_counts.push((e, enzymes - enzymes / 2));
+        initial_counts.push((es, enzymes / 2));
+    }
+    let crn = b.build().expect("multiscale network");
+    let mut initial = crn.zero_state();
+    for (species, count) in initial_counts {
+        initial.set(species, count);
+    }
+    GeneratedSystem { crn, initial }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +635,35 @@ mod tests {
         let sys = birth_death(2.0, 0.5);
         assert_eq!(sys.crn.reactions().len(), 2);
         assert_eq!(sys.initial.total(), 0);
+    }
+
+    #[test]
+    fn multiscale_switch_has_expected_shape() {
+        let sys = multiscale_switch(90, 0.5, 20_000.0, 2_000, 60);
+        assert_eq!(sys.crn.species_len(), 540, "6 species per module");
+        assert_eq!(sys.crn.reactions().len(), 720, "8 reactions per module");
+        // Even modules start on, odd modules off; enzymes split half bound.
+        let count = |name: &str| sys.initial.count(sys.crn.species_id(name).unwrap());
+        assert_eq!(count("gOn_0"), 1);
+        assert_eq!(count("gOff_0"), 0);
+        assert_eq!(count("gOn_1"), 0);
+        assert_eq!(count("gOff_1"), 1);
+        assert_eq!(count("s_0"), 2_000);
+        assert_eq!(count("e_0") + count("es_0"), 60);
+        assert_eq!(count("es_0"), 30);
+        assert_eq!(count("p_0"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "module count must be positive")]
+    fn multiscale_switch_rejects_zero_modules() {
+        multiscale_switch(0, 0.5, 20_000.0, 2_000, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool and enzyme counts must be positive")]
+    fn multiscale_switch_rejects_empty_pool() {
+        multiscale_switch(4, 0.5, 20_000.0, 0, 60);
     }
 
     #[test]

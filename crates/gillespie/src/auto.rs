@@ -29,6 +29,7 @@ use rand::SeedableRng as _;
 use serde::Serialize;
 
 use crate::direct::DirectMethod;
+use crate::hybrid::partition_masses;
 use crate::propensity::propensities;
 use crate::simulator::{SsaStepper, StepOutcome, StepperKind};
 use crate::tau_leap::TauLeaping;
@@ -78,6 +79,16 @@ const CR_MIN_ACTIVE_CHANNELS: usize = 64;
 /// next-reaction) probes at 120; see the decision table in the README.
 const TAU_MIN_OCCUPANCY: f64 = 200.0;
 
+/// Minimum timescale separation (expected slow-event waiting time over the
+/// Cao leap bound, minimum across pilot probes) for the hybrid multiscale
+/// stepper to be worth its partitioning machinery. At 100+ leaps per slow
+/// event the fast partition behaves as a quasi-continuum between slow
+/// firings — the regime where hybrid's ODE mean field crushes both exact
+/// stepping and pure tau-leaping. Genuinely multiscale: all benchmark
+/// scenarios other than `multiscale_switch` measure either no split
+/// (`None`) or a ratio below 1.
+const HYBRID_MIN_SEPARATION: f64 = 100.0;
+
 /// The features [`classify`] measured and the verdict it reached.
 ///
 /// Returned so callers can surface *why* a kind was chosen — the service
@@ -104,6 +115,12 @@ pub struct ClassifierReport {
     /// (hundreds of simultaneously active channels). `None` for an empty
     /// network (no pilot runs).
     pub pilot_active_channels: Option<usize>,
+    /// Minimum over the pilot probes of the expected slow-event waiting
+    /// time divided by the Cao leap bound, under the hybrid stepper's
+    /// fast/slow partition rule — how many leaps of fast dynamics fit
+    /// between consecutive slow events. `None` unless every probe saw a
+    /// genuine two-sided partition (both fast and slow mass positive).
+    pub timescale_separation: Option<f64>,
     /// The concrete stepper kind the portfolio resolved to.
     pub resolved: StepperKind,
     /// One-line human-readable justification of the verdict.
@@ -161,11 +178,17 @@ pub fn classify(crn: &Crn, initial: &State) -> ClassifierReport {
     } else {
         Some(pilot.max_active)
     };
+    let timescale_separation = pilot.timescale_separation();
 
     let (resolved, reason) = if reactions == 0 {
         (
             StepperKind::Direct,
             "empty network: nothing to select between",
+        )
+    } else if timescale_separation.is_some_and(|sep| sep >= HYBRID_MIN_SEPARATION) {
+        (
+            StepperKind::Hybrid,
+            "persistent fast/slow split: many leaps of fast dynamics per slow event",
         )
     } else if leap_occupancy.is_some_and(|occ| occ >= TAU_MIN_OCCUPANCY) {
         (
@@ -201,6 +224,7 @@ pub fn classify(crn: &Crn, initial: &State) -> ClassifierReport {
         binade_spread,
         leap_occupancy,
         pilot_active_channels,
+        timescale_separation,
         resolved,
         reason,
     }
@@ -216,6 +240,24 @@ struct PilotProbe {
     leap_occupancy: Option<f64>,
     /// Maximum number of channels with positive propensity across probes.
     max_active: usize,
+    /// Minimum observed `(1/a₀_slow)/τ` across probes under the hybrid
+    /// partition rule.
+    min_separation: Option<f64>,
+    /// Set when any probe saw a one-sided partition (no fast or no slow
+    /// mass): the network is not persistently multiscale.
+    separation_broken: bool,
+}
+
+impl PilotProbe {
+    /// The timescale-separation feature: `None` unless *every* probe saw a
+    /// two-sided fast/slow partition.
+    fn timescale_separation(&self) -> Option<f64> {
+        if self.separation_broken {
+            None
+        } else {
+            self.min_separation
+        }
+    }
 }
 
 /// Runs the fixed-seed pilot trajectory (direct method, [`PILOT_EVENTS`]
@@ -233,13 +275,29 @@ fn run_pilot(crn: &Crn, initial: &State) -> PilotProbe {
         if a0 <= 0.0 {
             return;
         }
-        if let Some(tau) = probe.candidate_tau(crn, state) {
+        let candidate_tau = probe.candidate_tau(crn, state);
+        if let Some(tau) = candidate_tau {
             let occ = tau * a0;
             features.leap_occupancy =
                 Some(features.leap_occupancy.map_or(occ, |prev| prev.min(occ)));
         } else {
             // Fireable but fully critical: a leap would batch nothing.
             features.leap_occupancy = Some(0.0);
+        }
+        // Timescale separation under the hybrid partition rule: expected
+        // slow-event waiting time over the leap bound, required two-sided
+        // at every probe.
+        let (a0_fast, a0_slow) = partition_masses(crn, state, buf);
+        match candidate_tau {
+            Some(tau) if a0_fast > 0.0 && a0_slow > 0.0 && tau > 0.0 => {
+                let separation = (1.0 / a0_slow) / tau;
+                features.min_separation = Some(
+                    features
+                        .min_separation
+                        .map_or(separation, |prev| prev.min(separation)),
+                );
+            }
+            _ => features.separation_broken = true,
         }
     };
 
@@ -321,6 +379,37 @@ mod tests {
             report.leap_occupancy
         );
         assert!(report.leap_occupancy.unwrap() >= TAU_MIN_OCCUPANCY);
+    }
+
+    #[test]
+    fn multiscale_networks_resolve_to_hybrid() {
+        // Slow promoter toggles (~0.5/s) under fast enzyme cycling
+        // (~10⁴–10⁵/s): every probe sees a two-sided partition with a huge
+        // waiting-time-to-leap ratio.
+        let system = crn::generators::multiscale_switch(8, 0.5, 20_000.0, 2_000, 60);
+        let report = classify(&system.crn, &system.initial);
+        assert_eq!(
+            report.resolved,
+            StepperKind::Hybrid,
+            "timescale separation was {:?}",
+            report.timescale_separation
+        );
+        assert!(report.timescale_separation.unwrap() >= HYBRID_MIN_SEPARATION);
+    }
+
+    #[test]
+    fn single_scale_networks_measure_no_separation() {
+        // Dense but single-scale: tau-leaping's regime must be untouched by
+        // the hybrid rule.
+        let system = crn::generators::lambda_switch_ensemble(200, 1.0, 0.1, 0.001, 30);
+        let report = classify(&system.crn, &system.initial);
+        assert!(
+            report
+                .timescale_separation
+                .is_none_or(|sep| sep < HYBRID_MIN_SEPARATION),
+            "unexpected separation {:?}",
+            report.timescale_separation
+        );
     }
 
     #[test]

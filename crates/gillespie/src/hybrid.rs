@@ -1,0 +1,1089 @@
+//! Hybrid multiscale stepper: fast channels leaped (or integrated as an
+//! ODE mean field), slow channels fired exactly from their integrated
+//! hazard.
+
+use crn::{Crn, Reaction, SpeciesId, State};
+use numerics::ode::Rk45;
+use rand::distributions::{Distribution, Poisson};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engine::ReactionDependencyGraph;
+use crate::propensity::{propensities, propensity};
+use crate::simulator::{select_by_weight, SsaStepper, StepOutcome};
+use crate::tau_leap::g_value;
+
+/// How many times a leap is halved after a negative-population rejection
+/// before the stepper gives up and resolves the region exactly.
+const MAX_LEAP_REJECTS: u32 = 16;
+
+/// Default rate threshold of the fast partition: a channel firing fewer
+/// than this many times per unit time is treated as a discrete stochastic
+/// event source, not as part of the continuum. Deliberately above every
+/// propensity in the low-copy oracle networks (which must run exactly) and
+/// well below the 10³–10⁵ per-channel rates of the multiscale regimes the
+/// stepper exists for.
+pub(crate) const DEFAULT_FAST_PROPENSITY_MIN: f64 = 250.0;
+
+/// Default population threshold shared with tau-leaping's critical rule: a
+/// channel within this many firings of exhausting a reactant stays in the
+/// slow (exact) partition regardless of its rate.
+const DEFAULT_CRITICAL_THRESHOLD: u64 = 10;
+
+/// When one slow-event waiting time would cover at least this many tau
+/// leaps, the fast partition is advanced as a deterministic RK45 mean field
+/// instead — the regime where the Cao bound is strangled by a stiff
+/// low-population cycle (e.g. enzyme turnover) and explicit leaping
+/// degenerates into thousands of tiny steps.
+pub(crate) const DEFAULT_ODE_MIN_LEAPS: f64 = 100.0;
+
+/// An ODE segment integrates at most this many expected slow-event waiting
+/// times before handing control back (the budget is then decremented by
+/// the hazard actually accumulated and the partition re-examined).
+const ODE_HORIZON_BUDGETS: f64 = 4.0;
+
+/// Decides whether a channel belongs to the fast partition in `state`:
+/// its propensity must clear `fast_min` *and* it must be at least `n_c`
+/// firings away from exhausting any species it **net-consumes** (the
+/// tau-leaping critical rule), so near-exhausted species always stay
+/// discrete. Catalytic reactants (net change ≥ 0, e.g. a promoter in
+/// `gOn -> gOn + s`) impose no headroom: the channel cannot deplete them.
+pub(crate) fn channel_is_fast(
+    reaction: &Reaction,
+    a: f64,
+    state: &State,
+    fast_min: f64,
+    n_c: u64,
+) -> bool {
+    if a < fast_min {
+        return false;
+    }
+    let headroom = reaction
+        .reactants()
+        .iter()
+        .filter_map(|t| {
+            let net = reaction.net_change(t.species);
+            (net < 0).then(|| state.count(t.species) / net.unsigned_abs())
+        })
+        .min()
+        .unwrap_or(u64::MAX);
+    headroom >= n_c
+}
+
+/// Splits the total propensity of `state` into the fast and slow partition
+/// masses `(a0_fast, a0_slow)` under the default hybrid partition rule —
+/// the feature the [`classify`](crate::classify) portfolio probes to detect
+/// timescale separation. Channels with zero propensity contribute to
+/// neither mass.
+pub(crate) fn partition_masses(crn: &Crn, state: &State, propensities: &[f64]) -> (f64, f64) {
+    let mut fast = 0.0;
+    let mut slow = 0.0;
+    for (j, reaction) in crn.reactions().iter().enumerate() {
+        let a = propensities[j];
+        if a <= 0.0 {
+            continue;
+        }
+        if channel_is_fast(
+            reaction,
+            a,
+            state,
+            DEFAULT_FAST_PROPENSITY_MIN,
+            DEFAULT_CRITICAL_THRESHOLD,
+        ) {
+            fast += a;
+        } else {
+            slow += a;
+        }
+    }
+    (fast, slow)
+}
+
+/// The mass-action propensity extended to a continuous (real-valued) state:
+/// `k · Π_s x_s(x_s−1)…(x_s−ν+1)/ν!` with each factor clamped at zero, so
+/// the mean field cannot push a rate negative.
+fn continuous_propensity(reaction: &Reaction, y: &[f64]) -> f64 {
+    let mut combinations = 1.0f64;
+    for term in reaction.reactants() {
+        let x = y[term.species.index()];
+        for l in 0..term.coefficient {
+            combinations *= (x - f64::from(l)).max(0.0);
+        }
+        for d in 2..=term.coefficient {
+            combinations /= f64::from(d);
+        }
+    }
+    reaction.rate() * combinations
+}
+
+/// Work counters a [`Hybrid`] trajectory accumulates, for diagnostics and
+/// tests — which regimes the stepper actually ran in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridDiagnostics {
+    /// Exact SSA steps taken (slow-partition-only states, fallback bursts).
+    pub exact_steps: u64,
+    /// Stochastic tau-leap segments over the fast partition.
+    pub tau_segments: u64,
+    /// Deterministic RK45 mean-field segments over the fast partition.
+    pub ode_segments: u64,
+    /// Accepted RK45 steps across all ODE segments.
+    pub ode_steps: u64,
+    /// Error-rejected RK45 steps across all ODE segments.
+    pub ode_rejected: u64,
+    /// Slow-channel firings triggered by the integrated-hazard budget.
+    pub slow_firings: u64,
+}
+
+/// Hybrid multiscale stepper (Haseltine & Rawlings 2002): dynamically
+/// partitions the reaction channels into a **fast** set — high-propensity
+/// channels with population headroom — and a **slow** remainder, then
+/// advances them by different machinery within one trajectory:
+///
+/// * the fast partition is advanced by Poisson tau-leaping with the
+///   Cao–Gillespie step bound, or — when a stiff low-population cycle
+///   forces the bound so far down that reaching the next slow event would
+///   take [`ODE_MIN_LEAPS`](DEFAULT_ODE_MIN_LEAPS)+ leaps — as a
+///   deterministic mean field integrated by the Dormand–Prince RK45 solver
+///   in [`numerics::ode`];
+/// * slow channels fire **exactly**, by time-rescaling: an `Exp(1)` budget
+///   `R` is drawn once, each fast segment subtracts the slow hazard
+///   `∫ a₀_slow dt` accumulated along the (leaped or integrated) fast
+///   trajectory, and when the budget crosses zero the segment stops at the
+///   crossing — located by bisection inside the RK45 step in ODE mode —
+///   and one slow channel fires, selected proportionally to the slow
+///   propensities at the firing state. The exponential's memorylessness
+///   makes the budget persistent across repartitions.
+///
+/// The partition is re-examined **every segment** against both thresholds
+/// (propensity ≥ [`fast_propensity_min`](Self::with_fast_propensity_min),
+/// reactant headroom ≥ the critical threshold), so population crossings
+/// migrate channels between partitions as the trajectory moves; when no
+/// channel qualifies as fast the stepper degrades to bursts of exact SSA
+/// steps that consume the RNG stream *identically* to
+/// [`DirectMethod`](crate::DirectMethod) — low-copy networks (the paper's
+/// synthesis circuits, the CME-oracle systems) run bit-for-bit as exact
+/// trajectories. All state commits are whole reaction firings (ODE
+/// segments round their channel integrals to integers with persistent
+/// carries), so conservation laws hold exactly in every mode, and leaps
+/// are all-or-nothing negativity-guarded with step halving and exact
+/// fallback, exactly like [`TauLeaping`](crate::TauLeaping).
+///
+/// Like every stepper in this crate it is driven per-trial with a
+/// per-trial RNG, so [`Ensemble`](crate::Ensemble) reports stay
+/// bit-identical across any thread count.
+///
+/// # Example
+///
+/// ```
+/// use gillespie::{Hybrid, Simulation, SimulationOptions, StopCondition};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A fast high-copy pool driving a slow conversion.
+/// let crn: crn::Crn = "0 -> x @ 2000\nx -> 0 @ 0.2\nx -> x + p @ 0.0002".parse()?;
+/// let result = Simulation::new(&crn, Hybrid::new())
+///     .options(SimulationOptions::new().seed(7).stop(StopCondition::time(0.5)))
+///     .run(&crn.zero_state())?;
+/// assert_eq!(result.final_time, 0.5);
+/// assert!(result.events > 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    epsilon: f64,
+    fast_propensity_min: f64,
+    critical_threshold: u64,
+    ssa_factor: f64,
+    ssa_burst: u32,
+    ode_min_leaps: f64,
+    // --- per-trajectory state ---
+    time_limit: f64,
+    exact_steps_left: u32,
+    /// Remaining `Exp(1)` hazard budget of the slow partition; `None` until
+    /// first needed and after every slow firing.
+    slow_budget: Option<f64>,
+    diagnostics: HybridDiagnostics,
+    propensities: Vec<f64>,
+    deps: ReactionDependencyGraph,
+    /// Per species: highest consuming reaction order and its largest
+    /// stoichiometric coefficient (inputs of Cao's `g_i`).
+    hor: Vec<u32>,
+    hor_coeff: Vec<u32>,
+    /// Per reaction: fractional ODE firing carry, persistent across
+    /// segments so rounding never drifts.
+    carry: Vec<f64>,
+    ode: Rk45,
+    // --- scratch buffers, reused across steps ---
+    fast: Vec<bool>,
+    fast_idx: Vec<usize>,
+    mu: Vec<f64>,
+    var: Vec<f64>,
+    delta: Vec<i64>,
+    firings: Vec<u64>,
+    dirty: Vec<bool>,
+    y: Vec<f64>,
+    carry_next: Vec<f64>,
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Hybrid {
+            epsilon: 0.03,
+            fast_propensity_min: DEFAULT_FAST_PROPENSITY_MIN,
+            critical_threshold: DEFAULT_CRITICAL_THRESHOLD,
+            ssa_factor: 10.0,
+            ssa_burst: 20,
+            ode_min_leaps: DEFAULT_ODE_MIN_LEAPS,
+            time_limit: f64::INFINITY,
+            exact_steps_left: 0,
+            slow_budget: None,
+            diagnostics: HybridDiagnostics::default(),
+            propensities: Vec::new(),
+            deps: ReactionDependencyGraph::new(),
+            hor: Vec::new(),
+            hor_coeff: Vec::new(),
+            carry: Vec::new(),
+            // Committed firings are floored to integers with persistent
+            // carries, so the mean field only has to be accurate to the
+            // O(1) discreteness noise it is overlaid on — the RK45 default
+            // (1e-6 relative) buys nothing but steps here. The CME-oracle
+            // harness pins the resulting distributional accuracy.
+            ode: Rk45::with_tolerances(1e-4, 1e-6),
+            fast: Vec::new(),
+            fast_idx: Vec::new(),
+            mu: Vec::new(),
+            var: Vec::new(),
+            delta: Vec::new(),
+            firings: Vec::new(),
+            dirty: Vec::new(),
+            y: Vec::new(),
+            carry_next: Vec::new(),
+        }
+    }
+}
+
+impl Hybrid {
+    /// Creates a hybrid stepper with the standard tuning: `ε = 0.03`, fast
+    /// partition at propensity ≥ 250 with ≥ 10 firings of headroom, exact
+    /// fallback bursts of 20 steps, ODE escalation at 100 leaps per slow
+    /// event.
+    pub fn new() -> Self {
+        Hybrid::default()
+    }
+
+    /// Sets the tau-leap error-control parameter `ε` for the fast
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "hybrid epsilon must lie in (0, 1), got {epsilon}"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the propensity threshold of the fast partition: channels firing
+    /// fewer than `rate` times per unit time are handled exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn with_fast_propensity_min(mut self, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "fast propensity threshold must be finite and positive, got {rate}"
+        );
+        self.fast_propensity_min = rate;
+        self
+    }
+
+    /// Sets the leaps-per-slow-event threshold above which a fast segment
+    /// is integrated as a deterministic RK45 mean field instead of leaped.
+    /// `f64::INFINITY` disables the ODE mode entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leaps >= 1`.
+    pub fn with_ode_min_leaps(mut self, leaps: f64) -> Self {
+        assert!(
+            leaps >= 1.0,
+            "ODE escalation threshold must be ≥ 1, got {leaps}"
+        );
+        self.ode_min_leaps = leaps;
+        self
+    }
+
+    /// The tau-leap error-control parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The fast-partition propensity threshold.
+    pub fn fast_propensity_min(&self) -> f64 {
+        self.fast_propensity_min
+    }
+
+    /// Work counters of the current (or last completed) trajectory; reset
+    /// by [`SsaStepper::initialize`].
+    pub fn diagnostics(&self) -> HybridDiagnostics {
+        self.diagnostics
+    }
+
+    /// Computes the fast/slow partition of `crn` in `state` without
+    /// advancing anything: `true` marks a fast channel. A diagnostic entry
+    /// point for the property-test suite; it reinitialises the stepper's
+    /// caches, so call it on a fresh stepper rather than mid-trajectory.
+    pub fn partition(&mut self, crn: &Crn, state: &State) -> Vec<bool> {
+        self.prepare(crn, state);
+        self.classify(crn, state);
+        self.fast.clone()
+    }
+
+    /// Rebuilds every per-trajectory cache for `crn`/`state`.
+    fn prepare(&mut self, crn: &Crn, state: &State) {
+        propensities(crn, state, &mut self.propensities);
+        self.deps.rebuild(crn);
+        let species_len = crn.species_len();
+        let reactions_len = crn.reactions().len();
+
+        self.hor.clear();
+        self.hor.resize(species_len, 0);
+        self.hor_coeff.clear();
+        self.hor_coeff.resize(species_len, 0);
+        for r in crn.reactions() {
+            let order = r.order();
+            for term in r.reactants() {
+                let i = term.species.index();
+                if order > self.hor[i] {
+                    self.hor[i] = order;
+                    self.hor_coeff[i] = term.coefficient;
+                } else if order == self.hor[i] {
+                    self.hor_coeff[i] = self.hor_coeff[i].max(term.coefficient);
+                }
+            }
+        }
+
+        self.mu.clear();
+        self.mu.resize(species_len, 0.0);
+        self.var.clear();
+        self.var.resize(species_len, 0.0);
+        self.delta.clear();
+        self.delta.resize(species_len, 0);
+        self.fast.clear();
+        self.fast.resize(reactions_len, false);
+        self.firings.clear();
+        self.firings.resize(reactions_len, 0);
+        self.dirty.clear();
+        self.dirty.resize(reactions_len, false);
+        self.carry.clear();
+        self.carry.resize(reactions_len, 0.0);
+
+        self.exact_steps_left = 0;
+        self.slow_budget = None;
+        self.time_limit = f64::INFINITY;
+        self.diagnostics = HybridDiagnostics::default();
+    }
+
+    /// Re-examines the partition in `state`; returns
+    /// `(a0, a0_fast, a0_slow)`.
+    fn classify(&mut self, crn: &Crn, state: &State) -> (f64, f64, f64) {
+        let mut a0 = 0.0;
+        let mut a0_fast = 0.0;
+        let mut a0_slow = 0.0;
+        for (j, reaction) in crn.reactions().iter().enumerate() {
+            let a = self.propensities[j];
+            self.fast[j] = false;
+            if a <= 0.0 {
+                continue;
+            }
+            a0 += a;
+            if channel_is_fast(
+                reaction,
+                a,
+                state,
+                self.fast_propensity_min,
+                self.critical_threshold,
+            ) {
+                self.fast[j] = true;
+                a0_fast += a;
+            } else {
+                a0_slow += a;
+            }
+        }
+        (a0, a0_fast, a0_slow)
+    }
+
+    /// The Cao–Gillespie `τ` bound over the fast partition — identical in
+    /// structure to tau-leaping's, with "leapable" meaning "fast". The
+    /// minimum runs over every species any reaction consumes (`hor > 0`),
+    /// the lesson of the transient-bias fix pinned by `tests/cme_oracle.rs`.
+    fn leap_candidate(&mut self, crn: &Crn, state: &State) -> f64 {
+        self.mu.fill(0.0);
+        self.var.fill(0.0);
+        for (j, reaction) in crn.reactions().iter().enumerate() {
+            if !self.fast[j] {
+                continue;
+            }
+            let a = self.propensities[j];
+            for term in reaction.reactants() {
+                let v = reaction.net_change(term.species) as f64;
+                if v != 0.0 {
+                    self.mu[term.species.index()] += v * a;
+                    self.var[term.species.index()] += v * v * a;
+                }
+            }
+            for term in reaction.products() {
+                if reaction.reactant_coefficient(term.species) == 0 {
+                    let v = f64::from(term.coefficient);
+                    self.mu[term.species.index()] += v * a;
+                    self.var[term.species.index()] += v * v * a;
+                }
+            }
+        }
+
+        let mut tau = f64::INFINITY;
+        for i in 0..crn.species_len() {
+            if self.hor[i] == 0 {
+                continue;
+            }
+            let x = state.count(SpeciesId::from_index(i));
+            let g = g_value(self.hor[i], self.hor_coeff[i], x);
+            let bound = (self.epsilon * x as f64 / g).max(1.0);
+            if self.mu[i] != 0.0 {
+                tau = tau.min(bound / self.mu[i].abs());
+            }
+            if self.var[i] > 0.0 {
+                tau = tau.min(bound * bound / self.var[i]);
+            }
+        }
+        tau
+    }
+
+    /// One exact SSA step over the maintained propensity vector — identical
+    /// in distribution *and RNG consumption* to
+    /// [`DirectMethod`](crate::DirectMethod), which is what makes all-slow
+    /// trajectories bit-reproducible against the exact stack.
+    fn exact_step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let total: f64 = self.propensities.iter().sum();
+        if total <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        self.diagnostics.exact_steps += 1;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+        let chosen = select_by_weight(&self.propensities, total, rng);
+        state
+            .apply(&crn.reactions()[chosen])
+            .expect("selected reaction must be fireable: propensity was positive");
+        for &dep in self.deps.dependents(chosen) {
+            self.propensities[dep] = propensity(&crn.reactions()[dep], state);
+        }
+        StepOutcome::Fired { reaction: chosen }
+    }
+
+    /// Starts a burst of exact steps and takes the first one.
+    fn exact_burst(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        self.exact_steps_left = self.ssa_burst.saturating_sub(1);
+        self.exact_step(crn, state, time, rng)
+    }
+
+    /// Accumulates `count` firings of reaction `j` into the per-species
+    /// delta buffer.
+    fn accumulate_delta(&mut self, crn: &Crn, j: usize, count: u64) {
+        let reaction = &crn.reactions()[j];
+        let count = count as i64;
+        for term in reaction.reactants() {
+            self.delta[term.species.index()] -= count * i64::from(term.coefficient);
+        }
+        for term in reaction.products() {
+            self.delta[term.species.index()] += count * i64::from(term.coefficient);
+        }
+    }
+
+    /// `true` when committing the accumulated deltas would drive a species
+    /// negative.
+    fn delta_violates(&self, state: &State) -> bool {
+        self.delta
+            .iter()
+            .enumerate()
+            .any(|(i, &d)| d < 0 && state.count(SpeciesId::from_index(i)) as i64 + d < 0)
+    }
+
+    /// Commits the accumulated deltas to the state.
+    fn commit_delta(&self, state: &mut State) {
+        for (i, &d) in self.delta.iter().enumerate() {
+            if d != 0 {
+                let id = SpeciesId::from_index(i);
+                state.set(id, (state.count(id) as i64 + d) as u64);
+            }
+        }
+    }
+
+    /// Refreshes exactly the propensities the fired channels can have
+    /// invalidated, via the shared dependency graph.
+    fn refresh_fired(&mut self, crn: &Crn, state: &State) {
+        self.dirty.fill(false);
+        for (j, &k) in self.firings.iter().enumerate() {
+            if k > 0 {
+                for &dep in self.deps.dependents(j) {
+                    self.dirty[dep] = true;
+                }
+            }
+        }
+        for (r, &dirty) in self.dirty.iter().enumerate() {
+            if dirty {
+                self.propensities[r] = propensity(&crn.reactions()[r], state);
+            }
+        }
+    }
+
+    /// Selects a slow channel proportionally to the current slow
+    /// propensities (total `a0_slow`), or `None` when no slow channel is
+    /// fireable.
+    fn select_slow(&self, a0_slow: f64, rng: &mut StdRng) -> Option<usize> {
+        if a0_slow <= 0.0 {
+            return None;
+        }
+        let mut target: f64 = rng.gen::<f64>() * a0_slow;
+        let mut chosen = None;
+        for (j, &is_fast) in self.fast.iter().enumerate() {
+            if is_fast || self.propensities[j] <= 0.0 {
+                continue;
+            }
+            target -= self.propensities[j];
+            chosen = Some(j);
+            if target < 0.0 {
+                break;
+            }
+        }
+        chosen
+    }
+
+    /// Advances one deterministic RK45 mean-field segment over the fast
+    /// partition, accumulating per-channel firing integrals and the slow
+    /// hazard; commits integer firings (with persistent carries) and fires
+    /// a slow channel if the hazard budget was crossed. Returns `None` when
+    /// the segment cannot be taken (integration failure, negativity) — the
+    /// caller falls back to exact steps; nothing has been committed.
+    #[allow(clippy::too_many_arguments)]
+    fn ode_segment(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+        budget: f64,
+        slow_wait: f64,
+        remaining: f64,
+    ) -> Option<StepOutcome> {
+        let n = crn.species_len();
+        self.fast_idx.clear();
+        for (j, &is_fast) in self.fast.iter().enumerate() {
+            if is_fast {
+                self.fast_idx.push(j);
+            }
+        }
+        let m = self.fast_idx.len();
+
+        let mut t_span = slow_wait * ODE_HORIZON_BUDGETS;
+        let mut capped_by_limit = false;
+        if remaining.is_finite() && remaining > 0.0 && t_span >= remaining {
+            t_span = remaining;
+            capped_by_limit = true;
+        }
+        if !t_span.is_finite() || t_span <= 0.0 {
+            return None;
+        }
+
+        // Augmented state: [species…, F_j per fast channel…, S].
+        let mut y = std::mem::take(&mut self.y);
+        y.clear();
+        y.reserve(n + m + 1);
+        for i in 0..n {
+            y.push(state.count(SpeciesId::from_index(i)) as f64);
+        }
+        y.extend(std::iter::repeat_n(0.0, m + 1));
+
+        let mut ode = std::mem::take(&mut self.ode);
+        let fast = &self.fast;
+        let fast_idx = &self.fast_idx;
+        let outcome = ode.integrate_until(
+            |_t, y: &[f64], dy: &mut [f64]| {
+                dy.fill(0.0);
+                for (fi, &j) in fast_idx.iter().enumerate() {
+                    let reaction = &crn.reactions()[j];
+                    let a = continuous_propensity(reaction, &y[..n]);
+                    dy[n + fi] = a;
+                    if a > 0.0 {
+                        for term in reaction.reactants() {
+                            dy[term.species.index()] -= a * f64::from(term.coefficient);
+                        }
+                        for term in reaction.products() {
+                            dy[term.species.index()] += a * f64::from(term.coefficient);
+                        }
+                    }
+                }
+                let mut slow = 0.0;
+                for (j, reaction) in crn.reactions().iter().enumerate() {
+                    if !fast[j] {
+                        slow += continuous_propensity(reaction, &y[..n]);
+                    }
+                }
+                dy[n + m] = slow;
+            },
+            |_t, y: &[f64]| y[n + m] - budget,
+            0.0,
+            t_span,
+            &mut y,
+        );
+        self.ode = ode;
+
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(_) => {
+                self.y = y;
+                return None;
+            }
+        };
+
+        // Round the channel integrals to whole firings with persistent
+        // carries, and guard the commit all-or-nothing.
+        self.delta.fill(0);
+        self.firings.fill(0);
+        self.carry_next.clear();
+        self.carry_next.resize(m, 0.0);
+        let mut total_firings = 0u64;
+        let mut sound = true;
+        for (fi, &j) in self.fast_idx.iter().enumerate() {
+            let integral = y[n + fi] + self.carry[j];
+            let whole = integral.floor();
+            if !(0.0..9.0e15).contains(&whole) {
+                sound = false;
+                break;
+            }
+            self.carry_next[fi] = integral - whole;
+            let k = whole as u64;
+            if k > 0 {
+                self.firings[j] = k;
+                total_firings += k;
+            }
+        }
+        if sound {
+            for j in 0..crn.reactions().len() {
+                let k = self.firings[j];
+                if k > 0 {
+                    self.accumulate_delta(crn, j, k);
+                }
+            }
+        }
+        if !sound || self.delta_violates(state) {
+            self.y = y;
+            return None;
+        }
+
+        self.commit_delta(state);
+        for (fi, &j) in self.fast_idx.iter().enumerate() {
+            self.carry[j] = self.carry_next[fi];
+        }
+        let hazard_spent = y[n + m];
+        self.y = y;
+        self.diagnostics.ode_segments += 1;
+        self.diagnostics.ode_steps += outcome.steps;
+        self.diagnostics.ode_rejected += outcome.rejected;
+
+        *time = if outcome.event {
+            *time + outcome.t
+        } else if capped_by_limit {
+            // Landing bit-exactly on the stop time keeps terminal
+            // distributions sampled at the same instant as every stepper.
+            self.time_limit
+        } else {
+            *time + t_span
+        };
+
+        self.refresh_fired(crn, state);
+        if outcome.event {
+            // The budget was exhausted mid-segment: one slow channel fires
+            // now, chosen from the slow propensities at the committed state.
+            let a0_slow_now: f64 = self
+                .fast
+                .iter()
+                .zip(&self.propensities)
+                .filter(|(&is_fast, _)| !is_fast)
+                .map(|(_, &a)| a.max(0.0))
+                .sum();
+            if let Some(j) = self.select_slow(a0_slow_now, rng) {
+                state
+                    .apply(&crn.reactions()[j])
+                    .expect("selected reaction must be fireable: propensity was positive");
+                total_firings += 1;
+                self.diagnostics.slow_firings += 1;
+                for &dep in self.deps.dependents(j) {
+                    self.propensities[dep] = propensity(&crn.reactions()[dep], state);
+                }
+            }
+            self.slow_budget = None;
+        } else {
+            self.slow_budget = Some((budget - hazard_spent).max(0.0));
+        }
+        Some(StepOutcome::Leaped {
+            firings: total_firings,
+        })
+    }
+}
+
+impl SsaStepper for Hybrid {
+    fn initialize(&mut self, crn: &Crn, state: &State, _rng: &mut StdRng) {
+        self.prepare(crn, state);
+    }
+
+    fn set_time_limit(&mut self, t_stop: f64) {
+        self.time_limit = t_stop;
+    }
+
+    fn step(
+        &mut self,
+        crn: &Crn,
+        state: &mut State,
+        time: &mut f64,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        // Inside a fallback burst: keep stepping exactly until it drains.
+        if self.exact_steps_left > 0 {
+            self.exact_steps_left -= 1;
+            return self.exact_step(crn, state, time, rng);
+        }
+
+        let (a0, a0_fast, a0_slow) = self.classify(crn, state);
+        if a0 <= 0.0 {
+            return StepOutcome::Exhausted;
+        }
+        // No channel qualifies as fast: the whole state is slow and the
+        // hybrid *is* the exact SSA here. (The budget is untouched — the
+        // exponential's memorylessness makes it indifferent to exact
+        // detours.)
+        if a0_fast <= 0.0 {
+            return self.exact_burst(crn, state, time, rng);
+        }
+
+        let mut tau1 = self.leap_candidate(crn, state);
+        let fallback_threshold = self.ssa_factor / a0;
+
+        // The slow partition fires by time-rescaling: draw (or resume) the
+        // Exp(1) hazard budget and convert it to a waiting time at the
+        // current slow mass.
+        let budget = if a0_slow > 0.0 {
+            let r = *self.slow_budget.get_or_insert_with(|| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln()
+            });
+            Some(r)
+        } else {
+            None
+        };
+        let slow_wait = budget.map_or(f64::INFINITY, |r| r / a0_slow);
+        let remaining = self.time_limit - *time;
+
+        // ODE escalation: when reaching the next slow event would take an
+        // unreasonable number of leaps, the fast partition is advanced as a
+        // deterministic mean field instead. Checked *before* the exact
+        // fallback: a stiff fast cycle (near-cancelling flows strangling
+        // the Cao bound below the SSA threshold) is precisely the regime
+        // the ODE mode exists for.
+        if let Some(r) = budget {
+            let horizon = if remaining.is_finite() && remaining > 0.0 {
+                slow_wait.min(remaining)
+            } else {
+                slow_wait
+            };
+            if tau1 > 0.0 && horizon / tau1 >= self.ode_min_leaps {
+                if let Some(out) = self.ode_segment(crn, state, time, rng, r, slow_wait, remaining)
+                {
+                    return out;
+                }
+                return self.exact_burst(crn, state, time, rng);
+            }
+        }
+
+        if tau1 <= fallback_threshold {
+            return self.exact_burst(crn, state, time, rng);
+        }
+
+        // Stochastic tau-leap segment over the fast partition.
+        for _ in 0..MAX_LEAP_REJECTS {
+            let mut fire_slow = slow_wait <= tau1;
+            let mut tau = tau1.min(slow_wait);
+            let mut clamped = false;
+            if remaining > 0.0 && remaining.is_finite() && tau > remaining {
+                // Land exactly on the driver's time stop; a slow event
+                // beyond it no longer happens within this trajectory.
+                tau = remaining;
+                fire_slow = false;
+                clamped = true;
+            }
+            if !tau.is_finite() {
+                // Degenerate network (no net state change anywhere).
+                return self.exact_step(crn, state, time, rng);
+            }
+
+            self.delta.fill(0);
+            self.firings.fill(0);
+            let mut total_firings = 0u64;
+            for j in 0..crn.reactions().len() {
+                if !self.fast[j] {
+                    continue;
+                }
+                let a = self.propensities[j];
+                let k = Poisson::new(a * tau).sample(rng);
+                if k > 0 {
+                    self.firings[j] = k;
+                    total_firings += k;
+                    self.accumulate_delta(crn, j, k);
+                }
+            }
+            if fire_slow {
+                if let Some(j) = self.select_slow(a0_slow, rng) {
+                    self.firings[j] += 1;
+                    total_firings += 1;
+                    self.accumulate_delta(crn, j, 1);
+                }
+            }
+
+            if self.delta_violates(state) {
+                // Reject the whole leap and retry with half the step;
+                // nothing was committed, so the budget is untouched.
+                tau1 = tau * 0.5;
+                if tau1 <= fallback_threshold {
+                    return self.exact_burst(crn, state, time, rng);
+                }
+                continue;
+            }
+
+            self.commit_delta(state);
+            *time = if clamped {
+                self.time_limit
+            } else {
+                *time + tau
+            };
+            if let Some(r) = budget {
+                if fire_slow {
+                    self.slow_budget = None;
+                    self.diagnostics.slow_firings += 1;
+                } else {
+                    self.slow_budget = Some((r - a0_slow * tau).max(0.0));
+                }
+            }
+            if total_firings > 0 {
+                self.refresh_fired(crn, state);
+            }
+            self.diagnostics.tau_segments += 1;
+            return StepOutcome::Leaped {
+                firings: total_firings,
+            };
+        }
+
+        // Persistent rejection: resolve the boundary region exactly.
+        self.exact_burst(crn, state, time, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectMethod;
+    use crate::simulator::{Simulation, SimulationOptions};
+    use crate::stop::StopCondition;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn low_copy_networks_run_bit_identical_to_direct() {
+        // Every propensity sits far below the fast threshold, so the hybrid
+        // is a chain of exact bursts consuming the RNG stream exactly like
+        // the direct method.
+        let crn: Crn = "a + b -> c @ 0.05\nc -> a + b @ 1\nb -> d @ 0.1\nd -> b @ 0.2"
+            .parse()
+            .unwrap();
+        let initial = crn.state_from_counts([("a", 30), ("b", 25)]).unwrap();
+        for seed in [1u64, 7, 42] {
+            let opts = SimulationOptions::new()
+                .seed(seed)
+                .stop(StopCondition::events(500));
+            let exact = Simulation::new(&crn, DirectMethod::new())
+                .options(opts.clone())
+                .run(&initial)
+                .unwrap();
+            let hybrid = Simulation::new(&crn, Hybrid::new())
+                .options(opts)
+                .run(&initial)
+                .unwrap();
+            assert_eq!(exact.final_state, hybrid.final_state, "seed {seed}");
+            assert_eq!(exact.final_time, hybrid.final_time, "seed {seed}");
+            assert_eq!(exact.events, hybrid.events);
+        }
+    }
+
+    #[test]
+    fn conserves_mass_on_a_closed_network() {
+        let crn: Crn = "a -> b @ 2\nb -> a @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 50_000)]).unwrap();
+        let result = Simulation::new(&crn, Hybrid::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(1)
+                    .stop(StopCondition::time(3.0)),
+            )
+            .run(&initial)
+            .unwrap();
+        assert_eq!(result.final_state.total(), 50_000);
+        assert_eq!(result.final_time, 3.0, "segments must land on the stop");
+        assert!(result.events > 100_000, "high-population run must leap");
+    }
+
+    #[test]
+    fn fast_pool_with_slow_drain_partitions_and_leaps() {
+        // Birth at 2000/s is fast; death at 0.2·x stays below the fast
+        // threshold for x < 1250, so it fires through the slow budget.
+        let crn: Crn = "0 -> x @ 2000\nx -> 0 @ 0.2".parse().unwrap();
+        let x = crn.species_id("x").unwrap();
+        let mut stepper = Hybrid::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = crn.zero_state();
+        let mut time = 0.0;
+        stepper.initialize(&crn, &state, &mut rng);
+        stepper.set_time_limit(0.5);
+        while time < 0.5 {
+            if stepper.step(&crn, &mut state, &mut time, &mut rng) == StepOutcome::Exhausted {
+                break;
+            }
+        }
+        let d = stepper.diagnostics();
+        assert!(d.tau_segments > 10, "expected leaping: {d:?}");
+        assert!(d.slow_firings > 10, "expected slow deaths: {d:?}");
+        // Mean at t=0.5 is 10000·(1 − e^{−0.1}) ≈ 952.
+        let count = state.count(x) as f64;
+        assert!(
+            (800.0..1120.0).contains(&count),
+            "final count {count} far from transient mean ≈ 952"
+        );
+    }
+
+    #[test]
+    fn partition_respects_both_thresholds() {
+        let crn: Crn = "0 -> x @ 2000\nx -> 0 @ 0.2\na -> b @ 100".parse().unwrap();
+        let state = crn.state_from_counts([("x", 100), ("a", 50)]).unwrap();
+        let partition = Hybrid::new().partition(&crn, &state);
+        // Birth: a = 2000 ≥ 250, no reactants → fast.
+        assert!(partition[0]);
+        // Death: a = 20 < 250 → slow.
+        assert!(!partition[1]);
+        // a → b: a = 5000 ≥ 250 and headroom 50 ≥ 10 → fast.
+        let crn2: Crn = "a -> b @ 100".parse().unwrap();
+        let s2 = crn2.state_from_counts([("a", 50)]).unwrap();
+        assert!(Hybrid::new().partition(&crn2, &s2)[0]);
+        // …but with only 5 molecules the headroom rule keeps it slow.
+        let s3 = crn2.state_from_counts([("a", 5)]).unwrap();
+        assert!(!Hybrid::new().partition(&crn2, &s3)[0]);
+    }
+
+    #[test]
+    fn ode_mode_engages_on_stiff_fast_cycles_and_conserves() {
+        // A stiff enzyme cycle (propensities ~10⁴–10⁵) under a slow
+        // promoter switch: the Cao bound collapses to ~10⁻⁴ of the slow
+        // waiting time, which escalates segments to the RK45 mean field.
+        let system = crn::generators::multiscale_switch(4, 0.5, 20_000.0, 2_000, 60);
+        let mut stepper = Hybrid::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut state = system.initial.clone();
+        let mut time = 0.0;
+        stepper.initialize(&system.crn, &state, &mut rng);
+        stepper.set_time_limit(0.05);
+        let mut steps = 0u64;
+        while time < 0.05 && steps < 200_000 {
+            match stepper.step(&system.crn, &mut state, &mut time, &mut rng) {
+                StepOutcome::Exhausted => break,
+                _ => steps += 1,
+            }
+        }
+        let d = stepper.diagnostics();
+        assert!(d.ode_segments > 0, "expected ODE segments: {d:?}");
+        // Conservation laws hold exactly in every mode: per module the
+        // promoter copies sum to 1 and the enzyme copies to 60.
+        for module in 0..4 {
+            let sp = |name: String| state.count(system.crn.species_id(&name).unwrap());
+            assert_eq!(
+                sp(format!("gOff_{module}")) + sp(format!("gOn_{module}")),
+                1,
+                "promoter conservation in module {module}"
+            );
+            assert_eq!(
+                sp(format!("e_{module}")) + sp(format!("es_{module}")),
+                60,
+                "enzyme conservation in module {module}"
+            );
+        }
+    }
+
+    #[test]
+    fn populations_never_go_negative_near_extinction() {
+        let crn: Crn = "a -> 0 @ 10".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 5_000)]).unwrap();
+        for seed in 0..20 {
+            let result = Simulation::new(&crn, Hybrid::new())
+                .options(SimulationOptions::new().seed(seed))
+                .run(&initial)
+                .unwrap();
+            assert_eq!(result.events, 5_000, "every molecule dies exactly once");
+            assert_eq!(result.final_state.total(), 0);
+        }
+    }
+
+    #[test]
+    fn continuous_propensity_matches_discrete_on_integers() {
+        let crn: Crn = "2 a -> b @ 3\na + b -> c @ 0.5".parse().unwrap();
+        let state = crn.state_from_counts([("a", 7), ("b", 4)]).unwrap();
+        let y: Vec<f64> = (0..crn.species_len())
+            .map(|i| state.count(SpeciesId::from_index(i)) as f64)
+            .collect();
+        for reaction in crn.reactions() {
+            assert_eq!(
+                continuous_propensity(reaction, &y),
+                propensity(reaction, &state),
+                "continuous extension must agree on lattice points"
+            );
+        }
+        // And clamp below zero rather than going negative.
+        let tiny = vec![0.5, 1.0, 0.0];
+        assert!(continuous_propensity(&crn.reactions()[0], &tiny) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn rejects_invalid_epsilon() {
+        let _ = Hybrid::new().with_epsilon(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast propensity threshold")]
+    fn rejects_invalid_fast_threshold() {
+        let _ = Hybrid::new().with_fast_propensity_min(f64::NAN);
+    }
+}

@@ -63,6 +63,7 @@ mod ensemble;
 mod error;
 mod export;
 mod first_reaction;
+mod hybrid;
 mod next_reaction;
 mod outcome;
 mod propensity;
@@ -81,6 +82,7 @@ pub use ensemble::{
 };
 pub use error::SimulationError;
 pub use first_reaction::FirstReactionMethod;
+pub use hybrid::{Hybrid, HybridDiagnostics};
 pub use next_reaction::NextReactionMethod;
 pub use outcome::{Outcome, OutcomeClassifier, SpeciesThresholdClassifier, ThresholdRule};
 pub use propensity::{propensities, propensity, total_propensity, PropensitySet};

@@ -117,6 +117,11 @@ pub enum StepperKind {
     /// Explicit Poisson tau-leaping with Cao–Gillespie adaptive step
     /// selection (approximate, fast for high-population networks).
     TauLeaping,
+    /// Hybrid multiscale stepper: high-propensity channels with population
+    /// headroom are tau-leaped or integrated as a deterministic RK45 mean
+    /// field, while the slow remainder fires exactly from its integrated
+    /// hazard (approximate, built for stiff fast/slow networks).
+    Hybrid,
     /// Adaptive portfolio: classify the network (size, propensity spread,
     /// leap occupancy from a short deterministic pilot run) and delegate to
     /// the empirically best concrete stepper. Resolve with
@@ -135,12 +140,13 @@ impl StepperKind {
     /// All built-in *concrete* methods (exact and approximate), convenient
     /// for sweeps. [`StepperKind::Auto`] is deliberately absent: it always
     /// resolves to one of these.
-    pub const ALL: [StepperKind; 5] = [
+    pub const ALL: [StepperKind; 6] = [
         StepperKind::Direct,
         StepperKind::FirstReaction,
         StepperKind::NextReaction,
         StepperKind::CompositionRejection,
         StepperKind::TauLeaping,
+        StepperKind::Hybrid,
     ];
 
     /// The exact methods only — use this for assertions that rely on exact
@@ -166,6 +172,7 @@ impl StepperKind {
             StepperKind::NextReaction => Box::new(crate::NextReactionMethod::new()),
             StepperKind::CompositionRejection => Box::new(crate::CompositionRejection::new()),
             StepperKind::TauLeaping => Box::new(crate::TauLeaping::new()),
+            StepperKind::Hybrid => Box::new(crate::Hybrid::new()),
             StepperKind::Auto => {
                 panic!(
                     "StepperKind::Auto must be resolved against a network first: \
@@ -197,6 +204,7 @@ impl StepperKind {
             StepperKind::NextReaction => "next-reaction",
             StepperKind::CompositionRejection => "composition-rejection",
             StepperKind::TauLeaping => "tau-leaping",
+            StepperKind::Hybrid => "hybrid",
             StepperKind::Auto => "auto",
         }
     }
@@ -205,7 +213,10 @@ impl StepperKind {
     /// ones. [`StepperKind::Auto`] reports `false`: it may resolve to
     /// tau-leaping, so exactness cannot be promised before resolution.
     pub fn is_exact(self) -> bool {
-        !matches!(self, StepperKind::TauLeaping | StepperKind::Auto)
+        !matches!(
+            self,
+            StepperKind::TauLeaping | StepperKind::Hybrid | StepperKind::Auto
+        )
     }
 }
 

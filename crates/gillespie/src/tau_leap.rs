@@ -353,7 +353,7 @@ impl TauLeaping {
 /// `coeff` the species' largest stoichiometry among those reactions. The
 /// small-`x` guards avoid division blow-ups; such species are critical and
 /// handled exactly anyway.
-fn g_value(hor: u32, coeff: u32, x: u64) -> f64 {
+pub(crate) fn g_value(hor: u32, coeff: u32, x: u64) -> f64 {
     let xf = x as f64;
     match (hor, coeff) {
         (0, _) | (1, _) => 1.0,

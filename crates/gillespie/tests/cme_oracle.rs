@@ -120,6 +120,57 @@ fn isomerisation_mid_relaxation_conforms_to_cme_for_every_method() {
     }
 }
 
+/// A **high-population** immigration–death process caught mid-relaxation —
+/// the regime where the hybrid stepper actually partitions: the birth
+/// channel (propensity 2000) runs fast while the death channel (≈ 190 at
+/// the transient mean) stays below the fast threshold and fires through
+/// the integrated-hazard budget. The low-copy tests above exercise
+/// hybrid's exact-burst degradation; this one exercises its fast/slow
+/// machinery against the exact CME transient. Tau-leaping rides along as
+/// the approximate control.
+#[test]
+fn high_population_birth_death_conforms_to_cme_for_partitioned_steppers() {
+    let lambda = 2000.0;
+    let mu = 0.2;
+    let t_end = 0.5; // mean = 10000·(1 − e^{−0.1}) ≈ 951.6, stationary 10000
+    let crn: Crn = format!("0 -> a @ {lambda}\na -> 0 @ {mu}")
+        .parse()
+        .expect("network");
+    let a = crn.species_id("a").expect("species");
+    let initial = crn.zero_state();
+
+    let space = StateSpace::enumerate(&crn, &initial, &PopulationBounds::truncating(1_400))
+        .expect("state space");
+    let solution = space.transient(t_end, 1e-10).expect("transient");
+    assert!(
+        solution.leaked + solution.truncation_error < 1e-9,
+        "truncation must be negligible"
+    );
+    let exact_mean = lambda / mu * (1.0 - (-mu * t_end).exp());
+    let cme_mean = space.expectation(&solution.probabilities, a);
+    assert!(
+        (cme_mean - exact_mean).abs() < 1e-6,
+        "CME mean {cme_mean} vs closed form {exact_mean}"
+    );
+
+    // Poisson transient: σ = √mean ≈ 30.8; window ±~3.5σ.
+    let (lo, hi) = (845u64, 1_060u64);
+    let expected = windowed(&space.marginal(&solution.probabilities, a), (lo, hi));
+    for method in [StepperKind::Hybrid, StepperKind::TauLeaping] {
+        let hist =
+            final_count_histogram(&crn, &initial, method, a, 60_000..63_000, t_end, (lo, hi));
+        let gof = chi_square_goodness_of_fit(hist.counts(), &expected).expect("test");
+        assert!(
+            gof.passes(ALPHA),
+            "{}: high-population goodness-of-fit failed: chi2 = {:.1}, dof = {}, p = {:.2e}",
+            method.name(),
+            gof.statistic,
+            gof.dof,
+            gof.p_value
+        );
+    }
+}
+
 /// The CME layer and the simulators must agree on what a propensity *is*:
 /// for every enumerated state of a second-order network, the state-space
 /// total outflow must equal `gillespie::total_propensity` bitwise.

@@ -324,6 +324,62 @@ fn tau_leaping_reports_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// The hybrid multiscale stepper honours the same contract: Poisson leap
+/// draws over the fast partition, Exp(1) slow-hazard budgets, ODE segments
+/// and exact fallback bursts are all consumed from the per-trial RNG, so
+/// the report is bit-identical across 1/2/4/8 worker threads. The network
+/// is a fast birth–death pool with a genuinely slow production channel, so
+/// trajectories partition (leap + slow firings) rather than degrade to
+/// pure exact stepping.
+#[test]
+fn hybrid_reports_are_bit_identical_across_thread_counts() {
+    let crn: Crn = "0 -> x @ 2000\n\
+                    x -> 0 @ 0.2\n\
+                    x -> x + p @ 0.0002\n\
+                    p -> 0 @ 0.5"
+        .parse()
+        .unwrap();
+    let initial = crn.zero_state();
+    let run = |threads: usize| {
+        let classifier = SpeciesThresholdClassifier::new()
+            .rule_named(&crn, "p", 1, "produced")
+            .unwrap();
+        Ensemble::new(&crn, initial.clone(), classifier)
+            .options(
+                EnsembleOptions::new()
+                    .trials(97) // deliberately not a multiple of any thread count
+                    .master_seed(20_260_808)
+                    .threads(threads)
+                    .method(SsaMethod::Hybrid)
+                    .simulation(SimulationOptions::new().stop(StopCondition::time(0.5))),
+            )
+            .run()
+            .unwrap()
+    };
+    let single = run(1);
+    // The workload must actually partition: ~1000 birth firings per trial
+    // are batched into leaps while the slow channels fire discretely.
+    assert!(
+        single.mean_events > 1_000.0,
+        "mean events {} — the network is not leaping",
+        single.mean_events
+    );
+    for threads in [2usize, 4, 8] {
+        let multi = run(threads);
+        assert_eq!(single, multi, "{threads} threads: reports differ");
+        assert_eq!(
+            single.mean_events.to_bits(),
+            multi.mean_events.to_bits(),
+            "{threads} threads: mean_events differs in the last bit"
+        );
+        assert_eq!(
+            single.mean_final_time.to_bits(),
+            multi.mean_final_time.to_bits(),
+            "{threads} threads: mean_final_time differs in the last bit"
+        );
+    }
+}
+
 /// The multi-node contract: a report assembled from range partials that
 /// were serialised to their wire parts, shuffled across "nodes", rebuilt
 /// and merged — exactly what the service fabric does over HTTP — is

@@ -392,3 +392,100 @@ proptest! {
         prop_assert_eq!(first, elsewhere);
     }
 }
+
+proptest! {
+    /// The hybrid multiscale stepper conserves mass exactly on closed
+    /// networks across **every** advancement mode — exact bursts, Poisson
+    /// tau leaps over the fast partition, and deterministic ODE segments
+    /// (whose channel integrals round to whole firings with persistent
+    /// carries). The rate spread sweeps the network from single-scale
+    /// (pure exact / pure tau) to strongly multiscale (ODE-dominated), so
+    /// the cases cover all three code paths.
+    #[test]
+    fn hybrid_conserves_mass_across_ode_and_tau_segments(
+        k_fast in 1.0f64..200.0,
+        k_slow in 1e-4f64..0.5,
+        a0 in 1_000u64..40_000,
+        c0 in 0u64..100,
+        seed in 0u64..10_000,
+    ) {
+        use gillespie::Hybrid;
+        let crn: Crn = format!(
+            "a -> b @ {k_fast}\nb -> a @ {k_fast}\nb -> c @ {k_slow}\nc -> b @ {}",
+            k_slow * 2.0
+        )
+        .parse()
+        .expect("network");
+        let initial = crn
+            .state_from_counts([("a", a0), ("c", c0)])
+            .expect("state");
+        let result = Simulation::new(&crn, Hybrid::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(seed)
+                    .stop(StopCondition::time(0.05)),
+            )
+            .run(&initial)
+            .expect("trajectory");
+        prop_assert_eq!(result.final_state.total(), a0 + c0, "mass leaked");
+        prop_assert_eq!(
+            result.final_time.to_bits(),
+            0.05f64.to_bits(),
+            "every segment type must land exactly on the time stop"
+        );
+    }
+
+    /// The fast/slow partition is a function of the *channel*, not of its
+    /// position in the reaction list: permuting the enumeration order
+    /// permutes the partition vector identically. (This is what makes the
+    /// hybrid's behaviour — and the classifier feature built on the same
+    /// rule — insensitive to how a model file happens to order reactions.)
+    #[test]
+    fn hybrid_partition_is_invariant_under_channel_enumeration_order(
+        r0 in 1.0f64..1e5,
+        r1 in 1e-3f64..1e3,
+        r2 in 1e-6f64..1.0,
+        r3 in 1e-3f64..1e3,
+        a0 in 0u64..5_000,
+        b0 in 0u64..5_000,
+        seed in 0u64..10_000,
+    ) {
+        use gillespie::Hybrid;
+        use rand::Rng as _;
+        let lines = [
+            format!("0 -> a @ {r0}"),
+            format!("a -> 0 @ {r1}"),
+            format!("a + b -> c @ {r2}"),
+            format!("c -> a + b @ {r3}"),
+            format!("b -> d @ {r1}"),
+            format!("d -> b @ {r3}"),
+        ];
+        // A seeded Fisher–Yates permutation of the channel order.
+        let mut order: Vec<usize> = (0..lines.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let counts = [("a", a0), ("b", b0), ("c", 40), ("d", 7)];
+
+        let base: Crn = lines.join("\n").parse().expect("network");
+        let base_partition =
+            Hybrid::new().partition(&base, &base.state_from_counts(counts).expect("state"));
+
+        let permuted_lines: Vec<&str> =
+            order.iter().map(|&i| lines[i].as_str()).collect();
+        let permuted: Crn = permuted_lines.join("\n").parse().expect("network");
+        let permuted_partition = Hybrid::new()
+            .partition(&permuted, &permuted.state_from_counts(counts).expect("state"));
+
+        for (pos, &orig) in order.iter().enumerate() {
+            prop_assert_eq!(
+                permuted_partition[pos],
+                base_partition[orig],
+                "channel `{}` classified differently at position {}",
+                lines[orig],
+                pos
+            );
+        }
+    }
+}

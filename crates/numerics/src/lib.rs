@@ -39,6 +39,7 @@ mod fit;
 mod histogram;
 mod linalg;
 mod lsq;
+pub mod ode;
 mod stats;
 
 pub use ci::{binomial_confidence_interval, wilson_interval, ConfidenceInterval};
@@ -52,4 +53,5 @@ pub use fit::{BasisFit, LogLinearFit};
 pub use histogram::Histogram;
 pub use linalg::Matrix;
 pub use lsq::least_squares;
+pub use ode::{OdeError, OdeOutcome, Rk45};
 pub use stats::{mean, std_dev, summary, variance, Summary};

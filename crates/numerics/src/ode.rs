@@ -1,0 +1,595 @@
+//! Adaptive explicit Runge–Kutta integration (Dormand–Prince 5(4)).
+//!
+//! The hybrid multiscale stepper in the `gillespie` crate advances its fast
+//! reaction partition as a deterministic mean field while accumulating the
+//! integrated hazard of the slow partition; what it needs from an ODE layer
+//! is (a) an embedded error estimate so stiffness shows up as small steps
+//! instead of silent inaccuracy, (b) an *event function* so integration can
+//! stop exactly where the slow hazard exhausts its exponential budget, and
+//! (c) bit-reproducible arithmetic — the integrator is pure `f64` with no
+//! time- or thread-dependent state, so a trajectory is a deterministic
+//! function of its inputs on every machine.
+//!
+//! [`Rk45`] implements the classic Dormand–Prince RK5(4) pair (the
+//! `dopri5`/`ode45` coefficients) with FSAL stage reuse, PI-free step-size
+//! control and Illinois false-position event location on accepted steps.
+//!
+//! # Example
+//!
+//! ```
+//! use numerics::ode::Rk45;
+//!
+//! // dy/dt = -y from y(0) = 1: y(2) = e^{-2}.
+//! let mut solver = Rk45::new();
+//! let mut y = vec![1.0];
+//! let outcome = solver
+//!     .integrate(|_t, y, dy| dy[0] = -y[0], 0.0, 2.0, &mut y)
+//!     .unwrap();
+//! assert!((y[0] - (-2.0f64).exp()).abs() < 1e-6);
+//! assert_eq!(outcome.t, 2.0);
+//! assert!(!outcome.event);
+//! ```
+
+use serde::Serialize;
+
+/// Hard cap on accepted + rejected steps per [`Rk45::integrate_until`] call;
+/// a safety net against pathological right-hand sides, far above anything a
+/// well-posed segment needs.
+const MAX_STEPS: u64 = 1_000_000;
+
+/// Iteration cap for event location. Illinois false-position needs a
+/// handful of iterations on smooth event functions; this bounds the
+/// pathological ones (it still beats plain bisection to machine precision).
+const EVENT_BISECTIONS: u32 = 80;
+
+/// Event-location stop width, relative to the accepted step: the bracket is
+/// good enough once it shrinks below this fraction of `h`. Every probe of
+/// the bracket costs a full six-stage RK attempt, so chasing the crossing
+/// to the last ulp multiplies the price of *every* event by ~10× for
+/// accuracy far beyond the integrator's own error control.
+const EVENT_LOCATION_REL_TOL: f64 = 1e-9;
+
+/// Errors from adaptive integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OdeError {
+    /// The error-controlled step size collapsed below the resolvable spacing
+    /// of the time axis — the problem is too stiff (or non-smooth) for an
+    /// explicit method at the requested tolerance.
+    StepSizeUnderflow,
+    /// The step budget ([`MAX_STEPS`]) was exhausted before reaching the end
+    /// of the integration interval.
+    StepLimitExceeded,
+    /// The right-hand side produced a non-finite derivative that persisted
+    /// through step-size reduction.
+    NonFiniteDerivative,
+}
+
+impl std::fmt::Display for OdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OdeError::StepSizeUnderflow => write!(f, "step size underflow (problem too stiff)"),
+            OdeError::StepLimitExceeded => write!(f, "step limit exceeded"),
+            OdeError::NonFiniteDerivative => write!(f, "non-finite derivative"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {}
+
+/// Where an integration stopped and how hard it worked.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OdeOutcome {
+    /// The time the state vector was left at: the requested end time, or the
+    /// located event crossing when `event` is `true`.
+    pub t: f64,
+    /// `true` when the event function crossed from negative to
+    /// non-negative and integration stopped at the located crossing.
+    pub event: bool,
+    /// Accepted steps.
+    pub steps: u64,
+    /// Error-rejected steps (each retried with a smaller `h`).
+    pub rejected: u64,
+}
+
+/// Dormand–Prince 5(4) adaptive integrator with event location.
+///
+/// The struct owns its stage buffers so repeated segments (the hybrid
+/// stepper integrates thousands per trajectory) allocate nothing after the
+/// first call. It is therefore `&mut self` to integrate; create one per
+/// worker thread.
+#[derive(Debug, Clone)]
+pub struct Rk45 {
+    rel_tol: f64,
+    abs_tol: f64,
+    // Stage and scratch buffers, resized lazily to the problem dimension.
+    k: [Vec<f64>; 7],
+    y_stage: Vec<f64>,
+    y_next: Vec<f64>,
+    y_base: Vec<f64>,
+}
+
+impl Default for Rk45 {
+    fn default() -> Self {
+        Rk45::new()
+    }
+}
+
+// Dormand–Prince Butcher tableau.
+const C: [f64; 7] = [0.0, 0.2, 0.3, 0.8, 8.0 / 9.0, 1.0, 1.0];
+const A: [[f64; 6]; 7] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [0.2, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+    [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+    [
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        0.0,
+        0.0,
+    ],
+    [
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        0.0,
+    ],
+    [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+];
+/// 5th-order weights (identical to the last `A` row: FSAL).
+const B5: [f64; 7] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+    0.0,
+];
+/// 4th-order (embedded) weights.
+const B4: [f64; 7] = [
+    5179.0 / 57600.0,
+    0.0,
+    7571.0 / 16695.0,
+    393.0 / 640.0,
+    -92097.0 / 339200.0,
+    187.0 / 2100.0,
+    1.0 / 40.0,
+];
+
+impl Rk45 {
+    /// Creates an integrator with the standard tolerances `rel = 1e-6`,
+    /// `abs = 1e-9`.
+    pub fn new() -> Self {
+        Rk45::with_tolerances(1e-6, 1e-9)
+    }
+
+    /// Creates an integrator with explicit relative/absolute tolerances.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tolerances are finite and strictly positive.
+    pub fn with_tolerances(rel_tol: f64, abs_tol: f64) -> Self {
+        assert!(
+            rel_tol > 0.0 && rel_tol.is_finite() && abs_tol > 0.0 && abs_tol.is_finite(),
+            "RK45 tolerances must be finite and positive, got rel={rel_tol}, abs={abs_tol}"
+        );
+        Rk45 {
+            rel_tol,
+            abs_tol,
+            k: Default::default(),
+            y_stage: Vec::new(),
+            y_next: Vec::new(),
+            y_base: Vec::new(),
+        }
+    }
+
+    /// The relative tolerance.
+    pub fn rel_tol(&self) -> f64 {
+        self.rel_tol
+    }
+
+    /// The absolute tolerance.
+    pub fn abs_tol(&self) -> f64 {
+        self.abs_tol
+    }
+
+    /// Integrates `dy/dt = f(t, y)` from `t0` to `t1` in place.
+    ///
+    /// # Errors
+    ///
+    /// See [`OdeError`]; on error `y` is left at the last accepted state.
+    pub fn integrate<F>(
+        &mut self,
+        f: F,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<OdeOutcome, OdeError>
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+    {
+        self.integrate_until(f, |_, _| -1.0, t0, t1, y)
+    }
+
+    /// Integrates from `t0` towards `t1`, stopping early at the first point
+    /// where the event function `g(t, y)` becomes non-negative.
+    ///
+    /// `g` must be negative at `(t0, y)` for the crossing to be meaningful
+    /// (if it is already non-negative the call returns immediately with
+    /// `event = true` at `t0`). Crossings are only tested at accepted step
+    /// endpoints and then located by bisection *within* the crossing step,
+    /// re-taking a single raw RK step of shrinking width from the step's
+    /// start state — so a `g` that wiggles back below zero inside one
+    /// error-controlled step can be missed; the hybrid stepper's hazard
+    /// integral is non-decreasing, which rules that out.
+    ///
+    /// # Errors
+    ///
+    /// See [`OdeError`]; on error `y` is left at the last accepted state.
+    pub fn integrate_until<F, G>(
+        &mut self,
+        mut f: F,
+        mut g: G,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<OdeOutcome, OdeError>
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+        G: FnMut(f64, &[f64]) -> f64,
+    {
+        let n = y.len();
+        debug_assert!(t1 >= t0, "integration must run forward: {t0} -> {t1}");
+        for stage in &mut self.k {
+            stage.clear();
+            stage.resize(n, 0.0);
+        }
+        self.y_stage.clear();
+        self.y_stage.resize(n, 0.0);
+        self.y_next.clear();
+        self.y_next.resize(n, 0.0);
+        self.y_base.clear();
+        self.y_base.resize(n, 0.0);
+
+        let mut outcome = OdeOutcome {
+            t: t0,
+            event: false,
+            steps: 0,
+            rejected: 0,
+        };
+        if g(t0, y) >= 0.0 {
+            outcome.event = true;
+            return Ok(outcome);
+        }
+        if t1 <= t0 {
+            outcome.t = t1.max(t0);
+            return Ok(outcome);
+        }
+
+        let span = t1 - t0;
+        let h_floor = f64::EPSILON * 16.0 * t1.abs().max(span);
+        let mut t = t0;
+        let mut h = span * 1e-2;
+        // FSAL: k[0] at the current point survives across accepted steps.
+        f(t, y, &mut self.k[0]);
+
+        loop {
+            if outcome.steps + outcome.rejected >= MAX_STEPS {
+                return Err(OdeError::StepLimitExceeded);
+            }
+            let last = h >= t1 - t;
+            if last {
+                h = t1 - t;
+            }
+
+            let err = self.attempt(&mut f, t, y, h);
+            if !err.is_finite() {
+                // A non-finite stage: shrink hard and retry; if the step is
+                // already at the floor the right-hand side is genuinely bad.
+                outcome.rejected += 1;
+                h *= 0.25;
+                if h < h_floor {
+                    return Err(OdeError::NonFiniteDerivative);
+                }
+                continue;
+            }
+            if err > 1.0 {
+                outcome.rejected += 1;
+                h *= (0.9 * err.powf(-0.2)).max(0.2);
+                if h < h_floor {
+                    return Err(OdeError::StepSizeUnderflow);
+                }
+                continue;
+            }
+
+            // Accepted. `y_next`/`k[6]` hold the new state and its
+            // derivative (FSAL).
+            outcome.steps += 1;
+            let t_new = if last { t1 } else { t + h };
+            if g(t_new, &self.y_next) >= 0.0 {
+                let h_star = self.locate_event(&mut f, &mut g, t, y, h);
+                y.copy_from_slice(&self.y_next);
+                outcome.t = t + h_star;
+                outcome.event = true;
+                return Ok(outcome);
+            }
+            y.copy_from_slice(&self.y_next);
+            self.k.swap(0, 6);
+            t = t_new;
+            if t >= t1 {
+                outcome.t = t1;
+                return Ok(outcome);
+            }
+            h *= (0.9 * err.powf(-0.2)).clamp(0.2, 5.0);
+            h = h.max(h_floor);
+        }
+    }
+
+    /// One embedded Dormand–Prince step of width `h` from `(t, y)`, with
+    /// `k[0]` already holding `f(t, y)`. Writes the 5th-order solution into
+    /// `self.y_next`, its derivative into `self.k[6]`, and returns the
+    /// scaled error norm (accept iff ≤ 1).
+    fn attempt<F>(&mut self, f: &mut F, t: f64, y: &[f64], h: f64) -> f64
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+    {
+        let n = y.len();
+        for stage in 1..7 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, k_j) in self.k.iter().enumerate().take(stage) {
+                    let a = A[stage][j];
+                    if a != 0.0 {
+                        acc += a * k_j[i];
+                    }
+                }
+                self.y_stage[i] = y[i] + h * acc;
+            }
+            if stage == 6 {
+                // The 6th stage argument *is* the 5th-order solution (FSAL).
+                self.y_next.copy_from_slice(&self.y_stage);
+            }
+            let (before, rest) = self.k.split_at_mut(stage);
+            let _ = before;
+            f(t + C[stage] * h, &self.y_stage, &mut rest[0]);
+        }
+
+        let mut err_sq = 0.0;
+        for i in 0..n {
+            let mut e = 0.0;
+            for (j, k_j) in self.k.iter().enumerate() {
+                let d = B5[j] - B4[j];
+                if d != 0.0 {
+                    e += d * k_j[i];
+                }
+            }
+            e *= h;
+            let scale = self.abs_tol + self.rel_tol * y[i].abs().max(self.y_next[i].abs());
+            err_sq += (e / scale) * (e / scale);
+        }
+        (err_sq / n as f64).sqrt()
+    }
+
+    /// Narrows in on the smallest step width `h* ∈ (0, h]` whose single raw
+    /// RK step from `(t, y)` makes the event function non-negative; leaves
+    /// the state at `h*` in `self.y_next` and returns `h*`. On entry
+    /// `self.k[0]` holds `f(t, y)`, `self.y_next` the full-width step's
+    /// state, and the full step is known to cross.
+    ///
+    /// Uses Illinois false-position rather than plain bisection: each probe
+    /// of the bracket costs a full six-stage RK attempt, and on the smooth,
+    /// near-linear event functions of hazard-budget integration the secant
+    /// guess lands within [`EVENT_LOCATION_REL_TOL`]`·h` in a handful of
+    /// iterations where bisection burns its whole budget.
+    fn locate_event<F, G>(&mut self, f: &mut F, g: &mut G, t: f64, y: &[f64], h: f64) -> f64
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+        G: FnMut(f64, &[f64]) -> f64,
+    {
+        self.y_base.copy_from_slice(y);
+        let y_base = std::mem::take(&mut self.y_base);
+        let mut lo = 0.0f64;
+        let mut glo = g(t, &y_base); // < 0: checked before every step
+        let mut hi = h;
+        let mut ghi = g(t + h, &self.y_next); // >= 0: the step crossed
+        let tol = h * EVENT_LOCATION_REL_TOL;
+        let mut side = 0i8; // which endpoint the last probe replaced
+        for _ in 0..EVENT_BISECTIONS {
+            if hi - lo <= tol {
+                break;
+            }
+            let denom = ghi - glo;
+            let mut mid = if denom > 0.0 {
+                (lo * ghi - hi * glo) / denom
+            } else {
+                0.5 * (lo + hi)
+            };
+            if !(mid > lo && mid < hi) {
+                mid = 0.5 * (lo + hi);
+            }
+            if mid <= lo || mid >= hi {
+                break; // interval no longer resolvable in f64
+            }
+            // `attempt` reads k[0] (unchanged) and overwrites stages 1..7;
+            // the error estimate is irrelevant here — the full-width step
+            // already passed error control, so any sub-width is at least as
+            // accurate.
+            let _ = self.attempt(f, t, &y_base, mid);
+            let gm = g(t + mid, &self.y_next);
+            if gm >= 0.0 {
+                hi = mid;
+                ghi = gm;
+                if side == 1 {
+                    glo *= 0.5; // Illinois: stop the stagnant end pinning
+                }
+                side = 1;
+            } else {
+                lo = mid;
+                glo = gm;
+                if side == -1 {
+                    ghi *= 0.5;
+                }
+                side = -1;
+            }
+        }
+        // Recompute the state at `hi`, the smallest width known to cross.
+        let _ = self.attempt(f, t, &y_base, hi);
+        self.y_base = y_base;
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_matches_closed_form() {
+        let mut solver = Rk45::new();
+        let mut y = vec![1.0, 2.0];
+        let out = solver
+            .integrate(
+                |_t, y, dy| {
+                    dy[0] = -y[0];
+                    dy[1] = -3.0 * y[1];
+                },
+                0.0,
+                1.5,
+                &mut y,
+            )
+            .unwrap();
+        assert!((y[0] - (-1.5f64).exp()).abs() < 1e-7, "y0 = {}", y[0]);
+        assert!((y[1] - 2.0 * (-4.5f64).exp()).abs() < 1e-7, "y1 = {}", y[1]);
+        assert!(!out.event);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        let mut solver = Rk45::with_tolerances(1e-9, 1e-12);
+        let mut y = vec![1.0, 0.0];
+        solver
+            .integrate(
+                |_t, y, dy| {
+                    dy[0] = y[1];
+                    dy[1] = -y[0];
+                },
+                0.0,
+                2.0 * std::f64::consts::PI,
+                &mut y,
+            )
+            .unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-7, "cos(2π) = {}", y[0]);
+        assert!(y[1].abs() < 1e-7, "-sin(2π) = {}", y[1]);
+    }
+
+    #[test]
+    fn event_location_finds_the_crossing() {
+        // y' = 1, y(0) = 0, event at y = 0.3: crossing is exactly t = 0.3.
+        let mut solver = Rk45::new();
+        let mut y = vec![0.0];
+        let out = solver
+            .integrate_until(
+                |_t, _y, dy| dy[0] = 1.0,
+                |_t, y| y[0] - 0.3,
+                0.0,
+                1.0,
+                &mut y,
+            )
+            .unwrap();
+        assert!(out.event);
+        assert!((out.t - 0.3).abs() < 1e-10, "t = {}", out.t);
+        assert!((y[0] - 0.3).abs() < 1e-10, "y = {}", y[0]);
+    }
+
+    #[test]
+    fn event_already_crossed_returns_immediately() {
+        let mut solver = Rk45::new();
+        let mut y = vec![1.0];
+        let out = solver
+            .integrate_until(|_t, _y, dy| dy[0] = 1.0, |_t, y| y[0], 0.0, 1.0, &mut y)
+            .unwrap();
+        assert!(out.event);
+        assert_eq!(out.t, 0.0);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn nonlinear_event_matches_closed_form() {
+        // y' = y from y(0)=1 crosses y = e^{0.5} at t = 0.5.
+        let mut solver = Rk45::with_tolerances(1e-10, 1e-12);
+        let mut y = vec![1.0];
+        let out = solver
+            .integrate_until(
+                |_t, y, dy| dy[0] = y[0],
+                |_t, y| y[0] - 0.5f64.exp(),
+                0.0,
+                2.0,
+                &mut y,
+            )
+            .unwrap();
+        assert!(out.event);
+        assert!((out.t - 0.5).abs() < 1e-8, "t = {}", out.t);
+    }
+
+    #[test]
+    fn integration_is_deterministic() {
+        let run = || {
+            let mut solver = Rk45::new();
+            let mut y = vec![10.0, 0.1];
+            solver
+                .integrate(
+                    |_t, y, dy| {
+                        dy[0] = -0.3 * y[0] * y[1];
+                        dy[1] = 0.3 * y[0] * y[1] - y[1];
+                    },
+                    0.0,
+                    5.0,
+                    &mut y,
+                )
+                .unwrap();
+            y
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "bitwise reproducible");
+    }
+
+    #[test]
+    fn zero_span_is_a_no_op() {
+        let mut solver = Rk45::new();
+        let mut y = vec![4.0];
+        let out = solver
+            .integrate(|_t, _y, dy| dy[0] = 100.0, 2.0, 2.0, &mut y)
+            .unwrap();
+        assert_eq!(y[0], 4.0);
+        assert_eq!(out.t, 2.0);
+    }
+
+    #[test]
+    fn non_finite_rhs_is_an_error() {
+        let mut solver = Rk45::new();
+        let mut y = vec![1.0];
+        let err = solver
+            .integrate(|_t, _y, dy| dy[0] = f64::NAN, 0.0, 1.0, &mut y)
+            .unwrap_err();
+        assert_eq!(err, OdeError::NonFiniteDerivative);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerances must be finite and positive")]
+    fn rejects_bad_tolerances() {
+        let _ = Rk45::with_tolerances(0.0, 1e-9);
+    }
+}

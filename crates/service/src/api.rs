@@ -1432,6 +1432,10 @@ fn render_classifier(report: &ClassifierReport) -> Json {
                 .pilot_active_channels
                 .map_or(Json::Null, |n| Json::count(n as u64)),
         ),
+        (
+            "timescale_separation",
+            report.timescale_separation.map_or(Json::Null, Json::num),
+        ),
         ("resolved", Json::str(report.resolved.name())),
         ("reason", Json::str(report.reason)),
     ])

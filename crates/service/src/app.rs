@@ -268,6 +268,10 @@ impl App {
                         "tau_leaping",
                         Json::count(Metrics::read(&self.metrics.auto_resolved_tau_leaping)),
                     ),
+                    (
+                        "hybrid",
+                        Json::count(Metrics::read(&self.metrics.auto_resolved_hybrid)),
+                    ),
                 ]),
             ),
             (

@@ -36,6 +36,8 @@ pub struct Metrics {
     pub auto_resolved_composition_rejection: AtomicU64,
     /// `method: auto` simulate requests resolved to tau-leaping.
     pub auto_resolved_tau_leaping: AtomicU64,
+    /// `method: auto` simulate requests resolved to the hybrid stepper.
+    pub auto_resolved_hybrid: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -61,6 +63,7 @@ impl Metrics {
             auto_resolved_next_reaction: AtomicU64::new(0),
             auto_resolved_composition_rejection: AtomicU64::new(0),
             auto_resolved_tau_leaping: AtomicU64::new(0),
+            auto_resolved_hybrid: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +82,7 @@ impl Metrics {
             StepperKind::NextReaction => &self.auto_resolved_next_reaction,
             StepperKind::CompositionRejection => &self.auto_resolved_composition_rejection,
             StepperKind::TauLeaping => &self.auto_resolved_tau_leaping,
+            StepperKind::Hybrid => &self.auto_resolved_hybrid,
             StepperKind::Auto => unreachable!("auto always resolves to a concrete kind"),
         }
     }

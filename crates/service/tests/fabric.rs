@@ -239,6 +239,51 @@ fn worker_caches_answer_resharded_replays() {
     shutdown_all(workers);
 }
 
+/// The hybrid multiscale stepper through the wire: a fast birth–death pool
+/// with slow production, explicitly requested with `"method": "hybrid"`,
+/// sharded across a fabric — the bytes must match the single-process run
+/// exactly, leaps, ODE segments, slow-hazard budgets and all.
+#[test]
+fn hybrid_shards_are_byte_identical_through_the_fabric() {
+    let request =
+        "{\"network\":\"0 -> x @ 2000\\nx -> 0 @ 0.2\\nx -> x + p @ 0.0002\\np -> 0 @ 0.5\",\
+         \"initial\":{},\"method\":\"hybrid\",\"trials\":400,\"seed\":9,\"wait\":true,\
+         \"stop\":{\"type\":\"time\",\"t\":0.25},\
+         \"classifier\":[{\"species\":\"p\",\"at_least\":1,\"outcome\":\"produced\"}]}";
+
+    let single = serve(worker_config()).expect("bind");
+    let reference = Client::new(single.addr())
+        .expect("client")
+        .post("/simulate", request)
+        .expect("single-process run");
+    assert_eq!(reference.status, 200, "body: {}", reference.body);
+    assert!(
+        reference.body.contains("\"method\":\"hybrid\""),
+        "response must echo the hybrid method: {}",
+        reference.body
+    );
+    shutdown_all([single]);
+
+    let (workers, addrs) = boot_workers(2);
+    let coordinator = boot_coordinator(addrs, 100);
+    let reply = Client::new(coordinator.addr())
+        .expect("client")
+        .post("/simulate", request)
+        .expect("fabric run");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert_eq!(
+        reply.body, reference.body,
+        "hybrid fabric run diverged from the single-process bytes"
+    );
+    let fabric = Client::new(coordinator.addr())
+        .expect("client")
+        .get("/fabric")
+        .expect("fabric state");
+    assert_eq!(json_number(&fabric.body, &["shards_completed"]), 4.0);
+    shutdown_all([coordinator]);
+    shutdown_all(workers);
+}
+
 /// A `/check` parameter sweep over the biased-coin race: `P(h before t)`
 /// with the heads rate swept through the grid, each point exactly
 /// `k / (k + 1)`.

@@ -17,7 +17,44 @@ DAEMON="$TARGET_DIR/stochsynthd"
 CLI="$TARGET_DIR/stochsynth-cli"
 WORK="$(mktemp -d)"
 PIDS=()
-trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Tears down every daemon this script booted, whatever state the run died
+# in. `${PIDS[@]+...}` keeps `set -u` happy when no daemon was booted yet
+# (bash < 4.4 treats expanding an empty array as an unset-variable error).
+# Graceful TERM first; anything still alive after the grace window gets
+# KILLed, and the final `wait` reaps the zombies so no orphaned daemon can
+# outlive a failed CI job and wedge the runner.
+cleanup() {
+    local alive=()
+    for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            alive+=("$pid")
+        fi
+    done
+    if [ "${#alive[@]}" -gt 0 ]; then
+        for _ in $(seq 1 50); do
+            local still=0
+            for pid in "${alive[@]}"; do
+                kill -0 "$pid" 2>/dev/null && still=1
+            done
+            [ "$still" -eq 0 ] && break
+            sleep 0.1
+        done
+        for pid in "${alive[@]}"; do
+            kill -9 "$pid" 2>/dev/null || true
+        done
+        wait ${alive[@]+"${alive[@]}"} 2>/dev/null || true
+    fi
+    # CI sets SMOKE_LOG_DIR to preserve the daemons' logs and the compared
+    # response bodies as a failure artifact before the workdir vanishes.
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR"
+        cp "$WORK"/*.log "$WORK"/*.body "$WORK"/*.meta "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 # Boots a daemon with the given log/addr basename; extra flags pass through.
 # Sets BOOTED_ADDR and appends the PID to PIDS.

@@ -9,7 +9,8 @@
 //!   states, parsing, structural analysis);
 //! * [`gillespie`] — stochastic simulation: the exact direct, first-reaction
 //!   and next-reaction methods, approximate tau-leaping
-//!   ([`TauLeaping`](gillespie::TauLeaping)) and the parallel Monte-Carlo
+//!   ([`TauLeaping`](gillespie::TauLeaping)), the hybrid multiscale stepper
+//!   ([`Hybrid`](gillespie::Hybrid)) and the parallel Monte-Carlo
 //!   [`Ensemble`](gillespie::Ensemble) engine;
 //! * [`synthesis`] — the paper's stochastic and deterministic function
 //!   modules and their composition;
@@ -60,8 +61,9 @@ pub use cme::{CmeError, FirstPassage, OutcomeDistribution, PopulationBounds, Sta
 pub use crn::{Crn, CrnBuilder, CrnError, Reaction, Species, SpeciesId, State};
 pub use gillespie::{
     CompositionRejection, DirectMethod, Ensemble, EnsembleOptions, EnsemblePartial, EnsembleReport,
-    FirstReactionMethod, NextReactionMethod, Simulation, SimulationError, SimulationOptions,
-    SimulationResult, SsaMethod, SsaStepper, StepperKind, StopCondition, TauLeaping,
+    FirstReactionMethod, Hybrid, NextReactionMethod, Simulation, SimulationError,
+    SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepperKind, StopCondition,
+    TauLeaping,
 };
 pub use service::{Client, Router, Scheduler, Server, ServiceConfig, ServiceHandle};
 pub use synthesis::{StochasticModule, TargetDistribution};
