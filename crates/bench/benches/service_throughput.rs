@@ -1,6 +1,6 @@
 //! Service-layer throughput: HTTP round trips against an in-process server.
 //!
-//! Three paths, from cheapest to dearest:
+//! Five paths, from cheapest to dearest:
 //!
 //! * `healthz` — pure transport + routing cost (connect, parse, dispatch,
 //!   respond);
@@ -14,11 +14,16 @@
 //!   the coordinator plans shards, dispatches each over HTTP to a worker
 //!   daemon, parses the partial wire documents and merges them — the
 //!   full distributed hop, on loopback.
+//! * `metrics_overhead` — the cache-hit round trip again, but with
+//!   debug-level structured JSON logging enabled (into a null writer) on
+//!   top of the always-on histograms and trace recording: the measured
+//!   price of the telemetry subsystem on the hottest path.
 //!
 //! The gap between `cache_hit` and `cold` is the argument for the cache,
 //! and `sharded` minus `cold` prices the fabric's per-shard HTTP hop; the
-//! regression gate (`bench_compare`, CI's bench-smoke job) watches all
-//! four against `BENCH_service_throughput.json`.
+//! regression gate (`bench_compare`, CI's bench-smoke job) watches every
+//! row against `BENCH_service_throughput.json` and additionally holds
+//! `metrics_overhead` within 5% of `simulate_cache_hit` in the fresh run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -70,6 +75,30 @@ fn bench_service(c: &mut Criterion) {
             assert_eq!(reply.header("cache"), Some("hit"), "{}", reply.body);
         })
     });
+
+    // The same cache-hit round trip with the full telemetry surface on:
+    // debug-level structured JSON logging (into a null writer, so the
+    // serialisation cost is measured but no I/O lands anywhere) on top of
+    // the always-on histograms and trace ring. `bench_compare` holds this
+    // within 5% of `simulate_cache_hit` — telemetry must stay off the
+    // hot path's back.
+    obs::logger().set_writer(Box::new(std::io::sink()));
+    obs::logger().set_json(true);
+    obs::logger()
+        .set_level_spec("debug")
+        .expect("valid level spec");
+    group.bench_function("metrics_overhead", |b| {
+        b.iter(|| {
+            let reply = client.post("/simulate", &warmed).expect("cached simulate");
+            assert_eq!(reply.header("cache"), Some("hit"), "{}", reply.body);
+        })
+    });
+    // Back to silence so the cold and sharded rows measure the default
+    // configuration.
+    obs::logger()
+        .set_level_spec("off")
+        .expect("valid level spec");
+    obs::logger().set_json(false);
 
     // Unique seed per iteration: every request is a full scheduler round
     // trip (500-trial ensemble, chunked fan-out, deterministic merge).

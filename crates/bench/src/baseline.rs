@@ -284,6 +284,48 @@ pub fn hybrid_showcase_violations(fresh: &Baseline) -> Vec<String> {
     violations
 }
 
+/// Checks the telemetry-overhead contract on a fresh run: wherever a group
+/// carries both a `metrics_overhead` and a `simulate_cache_hit` column, the
+/// instrumented median must land within `slack` (0.05 = 5%) of the plain
+/// cache-hit median — observability is contractually free on the hot path.
+///
+/// Both rows come from the *same* fresh run on the same machine, so no
+/// normalization is needed; groups without the pair (other suites,
+/// pre-telemetry baselines) are skipped. Returns one message per violated
+/// group, empty when the contract holds.
+pub fn telemetry_overhead_violations(fresh: &Baseline, slack: f64) -> Vec<String> {
+    let mut groups: BTreeMap<&str, Vec<&BenchmarkStats>> = BTreeMap::new();
+    for bench in &fresh.benchmarks {
+        if let Some((group, _bench)) = bench.id.rsplit_once('/') {
+            groups.entry(group).or_default().push(bench);
+        }
+    }
+    let mut violations = Vec::new();
+    for (group, members) in groups {
+        let find = |name: &str| {
+            members
+                .iter()
+                .find(|b| b.id.rsplit_once('/').is_some_and(|(_, m)| m == name))
+        };
+        let (Some(instrumented), Some(plain)) =
+            (find("metrics_overhead"), find("simulate_cache_hit"))
+        else {
+            continue;
+        };
+        if instrumented.median_ns > plain.median_ns * (1.0 + slack) {
+            violations.push(format!(
+                "{group}: metrics_overhead median {:.0} ns exceeds simulate_cache_hit \
+                 {:.0} ns by {:.1}% (allowed {:.0}%) — telemetry is on the hot path",
+                instrumented.median_ns,
+                plain.median_ns,
+                (instrumented.median_ns / plain.median_ns - 1.0) * 100.0,
+                slack * 100.0
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +484,31 @@ mod tests {
         // Pre-hybrid baselines (no hybrid column) are skipped.
         let legacy = baseline_of(&[("ssa_methods/multiscale_switch/direct", 100.0)]);
         assert!(hybrid_showcase_violations(&legacy).is_empty());
+    }
+
+    #[test]
+    fn telemetry_gate_bounds_instrumented_against_plain_cache_hit() {
+        // Within 5%: passes.
+        let fresh = baseline_of(&[
+            ("service_throughput/simulate_cache_hit", 75_000.0),
+            ("service_throughput/metrics_overhead", 77_000.0),
+            ("service_throughput/simulate_cold", 280_000.0),
+        ]);
+        assert!(telemetry_overhead_violations(&fresh, 0.05).is_empty());
+        // 10% over: the one group is reported.
+        let slow = baseline_of(&[
+            ("service_throughput/simulate_cache_hit", 75_000.0),
+            ("service_throughput/metrics_overhead", 82_500.0),
+        ]);
+        let violations = telemetry_overhead_violations(&slow, 0.05);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].starts_with("service_throughput:"));
+        // Suites without the pair are not the telemetry gate's problem.
+        let other = baseline_of(&[
+            ("ssa_methods/chain_10/direct", 100.0),
+            ("service_throughput/healthz", 60_000.0),
+        ]);
+        assert!(telemetry_overhead_violations(&other, 0.05).is_empty());
     }
 
     #[test]

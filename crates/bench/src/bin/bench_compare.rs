@@ -28,12 +28,14 @@
 //!   `0` (default) compares raw medians — use it when both runs come from
 //!   the same machine.
 //!
-//! Besides the baseline diff, the gate enforces two structural contracts
+//! Besides the baseline diff, the gate enforces three structural contracts
 //! on the fresh run: the adaptive-portfolio contract (in every scenario
 //! group that carries an `auto` column, the `auto` median must be within
-//! 10% of the best concrete stepper) and the hybrid-showcase contract
+//! 10% of the best concrete stepper), the hybrid-showcase contract
 //! (in every `multiscale_switch` group, `hybrid` must post the lowest
-//! median of all concrete steppers).
+//! median of all concrete steppers), and the telemetry-overhead contract
+//! (a `metrics_overhead` row must land within 5% of its group's
+//! `simulate_cache_hit` row — observability stays off the hot path).
 //!
 //! Exit codes: `0` gate passed, `1` regression (or vanished benchmark, or
 //! portfolio violation), `2` usage or I/O error. See the README's
@@ -44,7 +46,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bench::baseline::{
-    hybrid_showcase_violations, parse_baseline, portfolio_violations, Baseline, Comparison,
+    hybrid_showcase_violations, parse_baseline, portfolio_violations,
+    telemetry_overhead_violations, Baseline, Comparison,
 };
 use bench::{Args, Table};
 
@@ -167,6 +170,14 @@ fn run() -> Result<bool, String> {
         // there means the partition heuristics rotted — fail the gate.
         for violation in hybrid_showcase_violations(&fresh) {
             println!("SHOWCASE: {violation}");
+            all_pass = false;
+        }
+        // Telemetry contract: the instrumented cache-hit row must stay
+        // within 5% of the plain one in the fresh run — observability that
+        // taxes the hot path is a regression even with no baselined id
+        // moving.
+        for violation in telemetry_overhead_violations(&fresh, 0.05) {
+            println!("TELEMETRY: {violation}");
             all_pass = false;
         }
     }

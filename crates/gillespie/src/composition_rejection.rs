@@ -399,6 +399,13 @@ impl SsaStepper for CompositionRejection {
         StepOutcome::Fired { reaction: chosen }
     }
 
+    fn profile(&self) -> crate::SimProfile {
+        crate::SimProfile {
+            propensity_evals: self.propensities.evals(),
+            ..crate::SimProfile::default()
+        }
+    }
+
     fn name(&self) -> &'static str {
         "composition-rejection"
     }

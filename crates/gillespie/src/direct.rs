@@ -83,6 +83,13 @@ impl SsaStepper for DirectMethod {
         StepOutcome::Fired { reaction: chosen }
     }
 
+    fn profile(&self) -> crate::SimProfile {
+        crate::SimProfile {
+            propensity_evals: self.propensities.evals(),
+            ..crate::SimProfile::default()
+        }
+    }
+
     fn name(&self) -> &'static str {
         "direct"
     }

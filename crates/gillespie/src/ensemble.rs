@@ -30,7 +30,8 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{run_chunked_cancellable, CancelToken};
 use crate::error::SimulationError;
 use crate::outcome::{Outcome, OutcomeClassifier};
-use crate::simulator::{run_trial, SimulationOptions, StepperKind};
+use crate::profile::SimProfile;
+use crate::simulator::{run_trial_profiled, SimulationOptions, StepperKind};
 use crate::stats::Moments;
 
 /// Options controlling an ensemble run.
@@ -434,7 +435,8 @@ where
         let threads = self.options.effective_threads();
         let trials = self.options.trials;
         let partials = run_chunked_cancellable(threads, trials, cancel, |range, token| {
-            self.run_range_on(range.start, range.end, method, token)
+            let mut profile = SimProfile::default();
+            self.run_range_on(range.start, range.end, method, token, &mut profile)
         })?;
         if cancel.is_cancelled() {
             return Err(SimulationError::Cancelled);
@@ -462,6 +464,29 @@ where
         end: u64,
         cancel: &CancelToken,
     ) -> Result<EnsemblePartial, SimulationError> {
+        let mut profile = SimProfile::default();
+        self.run_range_profiled(start, end, cancel, &mut profile)
+    }
+
+    /// [`Ensemble::run_range`] with work counters accumulated into
+    /// `profile` (summed across the range's trials).
+    ///
+    /// The profile is an out-parameter rather than a field of
+    /// [`EnsemblePartial`] deliberately: partials are a wire format whose
+    /// bytes are pinned by the determinism tests, and profiling must never
+    /// alter result bytes. The returned partial is bit-identical to the
+    /// unprofiled path's.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Ensemble::run_range`].
+    pub fn run_range_profiled(
+        &self,
+        start: u64,
+        end: u64,
+        cancel: &CancelToken,
+        profile: &mut SimProfile,
+    ) -> Result<EnsemblePartial, SimulationError> {
         self.validate()?;
         if start >= end || end > self.options.trials {
             return Err(SimulationError::InvalidEnsembleConfig {
@@ -471,7 +496,7 @@ where
                 ),
             });
         }
-        self.run_range_on(start, end, self.resolved_method(), cancel)
+        self.run_range_on(start, end, self.resolved_method(), cancel, profile)
     }
 
     /// Merges range partials back into the full-ensemble report.
@@ -611,6 +636,7 @@ where
         end: u64,
         method: StepperKind,
         cancel: &CancelToken,
+        profile: &mut SimProfile,
     ) -> Result<EnsemblePartial, SimulationError> {
         let mut stepper = method.stepper();
         // One state buffer per range, re-primed from the initial state each
@@ -637,12 +663,13 @@ where
             }
             let mut rng = StdRng::seed_from_u64(self.options.master_seed.wrapping_add(trial));
             scratch.clone_from(&self.initial);
-            let result = run_trial(
+            let result = run_trial_profiled(
                 self.crn,
                 stepper.as_mut(),
                 &self.options.simulation,
                 scratch,
                 &mut rng,
+                profile,
             )?;
             partial.total_events += result.events;
             partial.events_squared += u128::from(result.events) * u128::from(result.events);
@@ -770,6 +797,30 @@ mod tests {
         let merged = ensemble.merge(partials).unwrap();
         assert_eq!(merged, reference);
         assert_eq!(merged.master_seed, 9);
+    }
+
+    #[test]
+    fn profiled_range_is_bit_identical_and_accumulates_work() {
+        let crn = coin_crn();
+        let initial = crn.state_from_counts([("x", 1)]).unwrap();
+        let ensemble = Ensemble::new(&crn, initial, coin_classifier(&crn))
+            .options(EnsembleOptions::new().trials(50).master_seed(23));
+        let token = CancelToken::new();
+        let plain = ensemble.run_range(0, 50, &token).unwrap();
+        let mut profile = SimProfile::default();
+        let profiled = ensemble
+            .run_range_profiled(0, 50, &token, &mut profile)
+            .unwrap();
+        // Profiling is pure observation: the partial (the wire payload the
+        // fabric ships around) is identical byte for byte.
+        assert_eq!(profiled, plain);
+        // The coin fires exactly one event per trial.
+        assert_eq!(profile.steps, 50);
+        assert!(
+            profile.propensity_evals >= 50,
+            "priming alone evaluates every channel each trial: {profile:?}"
+        );
+        assert_eq!(profile.leaps_accepted, 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::simulator::{SsaStepper, StepOutcome};
 #[derive(Debug, Default, Clone)]
 pub struct FirstReactionMethod {
     propensities: Vec<f64>,
+    evals: u64,
 }
 
 impl FirstReactionMethod {
@@ -32,6 +33,7 @@ impl SsaStepper for FirstReactionMethod {
     fn initialize(&mut self, crn: &Crn, _state: &State, _rng: &mut StdRng) {
         self.propensities.clear();
         self.propensities.reserve(crn.reactions().len());
+        self.evals = 0;
     }
 
     fn step(
@@ -42,6 +44,7 @@ impl SsaStepper for FirstReactionMethod {
         rng: &mut StdRng,
     ) -> StepOutcome {
         let total = propensities(crn, state, &mut self.propensities);
+        self.evals += self.propensities.len() as u64;
         if total <= 0.0 {
             return StepOutcome::Exhausted;
         }
@@ -62,6 +65,13 @@ impl SsaStepper for FirstReactionMethod {
             .apply(&crn.reactions()[chosen])
             .expect("selected reaction must be fireable: propensity was positive");
         StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn profile(&self) -> crate::SimProfile {
+        crate::SimProfile {
+            propensity_evals: self.evals,
+            ..crate::SimProfile::default()
+        }
     }
 
     fn name(&self) -> &'static str {

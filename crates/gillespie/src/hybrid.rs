@@ -901,6 +901,19 @@ impl SsaStepper for Hybrid {
         self.exact_burst(crn, state, time, rng)
     }
 
+    fn profile(&self) -> crate::SimProfile {
+        // Mapping: fast-partition tau segments are committed leaps, and the
+        // RK45 mean-field counters translate directly. The hybrid guard
+        // rejects whole segments rather than individual leaps, so
+        // `leaps_rejected` stays zero here.
+        crate::SimProfile {
+            leaps_accepted: self.diagnostics.tau_segments,
+            rk45_accepted: self.diagnostics.ode_steps,
+            rk45_rejected: self.diagnostics.ode_rejected,
+            ..crate::SimProfile::default()
+        }
+    }
+
     fn name(&self) -> &'static str {
         "hybrid"
     }

@@ -66,6 +66,7 @@ mod first_reaction;
 mod hybrid;
 mod next_reaction;
 mod outcome;
+mod profile;
 mod propensity;
 mod simulator;
 mod stats;
@@ -85,6 +86,7 @@ pub use first_reaction::FirstReactionMethod;
 pub use hybrid::{Hybrid, HybridDiagnostics};
 pub use next_reaction::NextReactionMethod;
 pub use outcome::{Outcome, OutcomeClassifier, SpeciesThresholdClassifier, ThresholdRule};
+pub use profile::SimProfile;
 pub use propensity::{propensities, propensity, total_propensity, PropensitySet};
 pub use simulator::{
     Simulation, SimulationOptions, SimulationResult, SsaMethod, SsaStepper, StepOutcome,

@@ -28,6 +28,7 @@ pub struct NextReactionMethod {
     propensities: Vec<f64>,
     heap: IndexedMinHeap,
     deps: ReactionDependencyGraph,
+    evals: u64,
 }
 
 impl NextReactionMethod {
@@ -53,6 +54,7 @@ impl SsaStepper for NextReactionMethod {
         self.propensities.resize(n, 0.0);
         self.heap.reset(n);
         self.deps.rebuild(crn);
+        self.evals = n as u64;
         for (idx, reaction) in crn.reactions().iter().enumerate() {
             let a = propensity(reaction, state);
             self.propensities[idx] = a;
@@ -80,6 +82,7 @@ impl SsaStepper for NextReactionMethod {
             .expect("reaction with finite putative time must be fireable");
 
         for &alpha in self.deps.dependents(chosen) {
+            self.evals += 1;
             let a_new = propensity(&crn.reactions()[alpha], state);
             let a_old = self.propensities[alpha];
             let t_alpha = self.heap.time(alpha);
@@ -95,6 +98,13 @@ impl SsaStepper for NextReactionMethod {
             self.heap.set(alpha, t_new);
         }
         StepOutcome::Fired { reaction: chosen }
+    }
+
+    fn profile(&self) -> crate::SimProfile {
+        crate::SimProfile {
+            propensity_evals: self.evals,
+            ..crate::SimProfile::default()
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,99 @@
+//! Lightweight per-trajectory work counters.
+//!
+//! A [`SimProfile`] accumulates how much work a trajectory (or a whole
+//! trial range) actually did: driver-level steps, propensity evaluations,
+//! tau-leap accept/reject decisions and RK45 accept/reject decisions from
+//! the hybrid stepper's mean-field segments. The counters feed the
+//! service's metrics and trace spans; they are **observational only** —
+//! nothing reads them back into the simulation, so profiled and unprofiled
+//! runs produce bit-identical results.
+//!
+//! Counting conventions:
+//!
+//! * `steps` is incremented by the driver, once per
+//!   [`SsaStepper::step`](crate::SsaStepper::step) call that advanced the
+//!   trajectory (a fired reaction or a leap — exhaustion is not a step).
+//! * The remaining counters come from [`SsaStepper::profile`]
+//!   (crate::SsaStepper::profile), which reports totals since the last
+//!   `initialize`; steppers without instrumentation report zeros.
+
+/// Work counters for one trajectory or an accumulated range of trials;
+/// see the [module docs](self).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Stepper calls that advanced the trajectory (events or leaps).
+    pub steps: u64,
+    /// Individual propensity evaluations (initial priming included).
+    pub propensity_evals: u64,
+    /// Committed tau-leaps (including the hybrid stepper's fast segments).
+    pub leaps_accepted: u64,
+    /// Tau-leaps rejected by the negative-population guard and retried.
+    pub leaps_rejected: u64,
+    /// Accepted RK45 steps in the hybrid stepper's mean-field segments.
+    pub rk45_accepted: u64,
+    /// Error-rejected RK45 steps in the hybrid stepper's segments.
+    pub rk45_rejected: u64,
+}
+
+impl SimProfile {
+    /// An all-zero profile.
+    pub fn new() -> SimProfile {
+        SimProfile::default()
+    }
+
+    /// Folds `other` into `self` (field-wise saturating adds), so per-trial
+    /// profiles accumulate into per-range and per-job totals.
+    pub fn merge(&mut self, other: &SimProfile) {
+        self.steps = self.steps.saturating_add(other.steps);
+        self.propensity_evals = self.propensity_evals.saturating_add(other.propensity_evals);
+        self.leaps_accepted = self.leaps_accepted.saturating_add(other.leaps_accepted);
+        self.leaps_rejected = self.leaps_rejected.saturating_add(other.leaps_rejected);
+        self.rk45_accepted = self.rk45_accepted.saturating_add(other.rk45_accepted);
+        self.rk45_rejected = self.rk45_rejected.saturating_add(other.rk45_rejected);
+    }
+
+    /// Whether every counter is zero (nothing was profiled).
+    pub fn is_empty(&self) -> bool {
+        *self == SimProfile::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise_and_saturates() {
+        let mut total = SimProfile {
+            steps: 10,
+            propensity_evals: 100,
+            ..SimProfile::default()
+        };
+        total.merge(&SimProfile {
+            steps: 5,
+            propensity_evals: 50,
+            leaps_accepted: 3,
+            leaps_rejected: 1,
+            rk45_accepted: 7,
+            rk45_rejected: 2,
+        });
+        assert_eq!(total.steps, 15);
+        assert_eq!(total.propensity_evals, 150);
+        assert_eq!(total.leaps_accepted, 3);
+        assert_eq!(total.leaps_rejected, 1);
+        assert_eq!(total.rk45_accepted, 7);
+        assert_eq!(total.rk45_rejected, 2);
+        assert!(!total.is_empty());
+        assert!(SimProfile::new().is_empty());
+
+        let mut near_max = SimProfile {
+            steps: u64::MAX - 1,
+            ..SimProfile::default()
+        };
+        near_max.merge(&SimProfile {
+            steps: 5,
+            ..SimProfile::default()
+        });
+        assert_eq!(near_max.steps, u64::MAX);
+    }
+}

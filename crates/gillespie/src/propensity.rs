@@ -12,6 +12,8 @@
 //! and in general `a = k · Π_s C(X_s, ν_s)` where `ν_s` is the reactant
 //! stoichiometry of species `s` and `C` is the binomial coefficient.
 
+use std::cell::Cell;
+
 use crn::{Crn, Reaction, State};
 
 /// Computes the propensity of a single reaction in the given state.
@@ -95,6 +97,10 @@ pub struct PropensitySet {
     facts: Vec<f64>,
     /// Current propensity of every reaction.
     values: Vec<f64>,
+    /// Evaluations performed since the last [`PropensitySet::prime`] — a
+    /// profiling observable (`Cell` because [`PropensitySet::eval`] takes
+    /// `&self`); never read by the evaluation logic itself.
+    evals: Cell<u64>,
 }
 
 impl PropensitySet {
@@ -117,6 +123,7 @@ impl PropensitySet {
         self.rates.reserve(reactions.len());
         self.offsets.reserve(reactions.len() + 1);
         self.offsets.push(0);
+        self.evals.set(0);
         for reaction in reactions {
             self.rates.push(reaction.rate());
             for term in reaction.reactants() {
@@ -141,6 +148,7 @@ impl PropensitySet {
     /// bitwise identical to `propensity(&crn.reactions()[r], state)`.
     #[inline]
     pub fn eval(&self, r: usize, state: &State) -> f64 {
+        self.evals.set(self.evals.get().wrapping_add(1));
         let counts = state.counts();
         let start = self.offsets[r] as usize;
         let end = self.offsets[r + 1] as usize;
@@ -193,6 +201,12 @@ impl PropensitySet {
     /// Whether the set is empty (unprimed or a reaction-free network).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Evaluations performed since the last [`PropensitySet::prime`]
+    /// (the priming pass itself included).
+    pub fn evals(&self) -> u64 {
+        self.evals.get()
     }
 }
 

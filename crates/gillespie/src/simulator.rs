@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimulationError;
+use crate::profile::SimProfile;
 use crate::stop::StopCondition;
 use crate::trajectory::{Recorder, RecordingMode, Trajectory};
 
@@ -64,6 +65,16 @@ pub trait SsaStepper {
     /// the stop condition implies a time bound.
     fn set_time_limit(&mut self, _t_stop: f64) {}
 
+    /// Work counters accumulated since the last [`SsaStepper::initialize`]
+    /// (propensity evaluations, leap and RK45 accept/reject decisions).
+    /// Purely observational — implementations must not let the counters
+    /// influence stepping. The default reports zeros for uninstrumented
+    /// steppers; driver-level `steps` are counted by the trial runner, not
+    /// here.
+    fn profile(&self) -> SimProfile {
+        SimProfile::default()
+    }
+
     /// A short human-readable name for reports and benchmarks.
     fn name(&self) -> &'static str;
 }
@@ -87,6 +98,10 @@ impl SsaStepper for Box<dyn SsaStepper + Send> {
 
     fn set_time_limit(&mut self, t_stop: f64) {
         self.as_mut().set_time_limit(t_stop);
+    }
+
+    fn profile(&self) -> SimProfile {
+        self.as_ref().profile()
     }
 
     fn name(&self) -> &'static str {
@@ -394,6 +409,35 @@ impl<'a, S: SsaStepper> Simulation<'a, S> {
     pub fn run(&mut self, initial: &State) -> Result<SimulationResult, SimulationError> {
         run_with(self.crn, &mut self.stepper, &self.options, initial)
     }
+
+    /// Runs one trajectory from `initial`, accumulating work counters into
+    /// `profile`. The result is bit-identical to [`Simulation::run`] —
+    /// profiling observes the run without touching the RNG or the dynamics.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Simulation::run`].
+    pub fn run_profiled(
+        &mut self,
+        initial: &State,
+        profile: &mut SimProfile,
+    ) -> Result<SimulationResult, SimulationError> {
+        if initial.species_len() != self.crn.species_len() {
+            return Err(SimulationError::StateSizeMismatch {
+                network: self.crn.species_len(),
+                state: initial.species_len(),
+            });
+        }
+        let mut rng = self.options.make_rng();
+        run_trial_profiled(
+            self.crn,
+            &mut self.stepper,
+            &self.options,
+            initial.clone(),
+            &mut rng,
+            profile,
+        )
+    }
 }
 
 /// Runs one trajectory with an explicit stepper; this is the function both
@@ -427,6 +471,23 @@ pub(crate) fn run_trial(
     state: State,
     rng: &mut StdRng,
 ) -> Result<SimulationResult, SimulationError> {
+    let mut profile = SimProfile::default();
+    run_trial_profiled(crn, stepper, options, state, rng, &mut profile)
+}
+
+/// [`run_trial`] with work counters folded into `profile`: driver steps are
+/// counted here, the stepper's own counters (propensity evaluations, leap
+/// and RK45 accept/reject) are collected once after the trajectory ends.
+/// Profiling is pure observation — the control flow, RNG consumption and
+/// result are identical to the unprofiled path.
+pub(crate) fn run_trial_profiled(
+    crn: &Crn,
+    stepper: &mut dyn SsaStepper,
+    options: &SimulationOptions,
+    state: State,
+    rng: &mut StdRng,
+    profile: &mut SimProfile,
+) -> Result<SimulationResult, SimulationError> {
     debug_assert_eq!(state.species_len(), crn.species_len());
     let mut state = state;
     let mut time = 0.0f64;
@@ -449,16 +510,19 @@ pub(crate) fn run_trial(
         }
         match stepper.step(crn, &mut state, &mut time, rng) {
             StepOutcome::Fired { .. } => {
+                profile.steps += 1;
                 events += 1;
                 recorder.record(time, &state);
             }
             StepOutcome::Leaped { firings } => {
+                profile.steps += 1;
                 events += firings;
                 recorder.record(time, &state);
             }
             StepOutcome::Exhausted => break StopReason::Exhausted,
         }
     };
+    profile.merge(&stepper.profile());
 
     Ok(SimulationResult {
         final_state: state,
@@ -565,6 +629,56 @@ mod tests {
             .unwrap();
         // initial snapshot + one per event
         assert_eq!(result.trajectory.len() as u64, result.events + 1);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_counts_work() {
+        let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
+        let initial = crn.state_from_counts([("a", 100)]).unwrap();
+        let opts = SimulationOptions::new()
+            .seed(7)
+            .stop(StopCondition::events(500));
+        let plain = Simulation::new(&crn, DirectMethod::new())
+            .options(opts.clone())
+            .run(&initial)
+            .unwrap();
+        let mut profile = SimProfile::default();
+        let profiled = Simulation::new(&crn, DirectMethod::new())
+            .options(opts)
+            .run_profiled(&initial, &mut profile)
+            .unwrap();
+        assert_eq!(profiled, plain, "profiling must not perturb the run");
+        assert_eq!(profile.steps, 500);
+        assert!(
+            // Priming evaluates both channels; each event refreshes its
+            // dependents.
+            profile.propensity_evals > 500,
+            "direct method re-evaluates dependents per event: {profile:?}"
+        );
+        assert_eq!(profile.rk45_accepted, 0);
+    }
+
+    #[test]
+    fn profiled_tau_leaping_counts_leaps() {
+        let crn: Crn = "a -> b @ 1\nb -> a @ 1".parse().unwrap();
+        let initial = crn
+            .state_from_counts([("a", 10_000), ("b", 10_000)])
+            .unwrap();
+        let mut profile = SimProfile::default();
+        let result = Simulation::new(&crn, crate::TauLeaping::new())
+            .options(
+                SimulationOptions::new()
+                    .seed(5)
+                    .stop(StopCondition::time(1.0)),
+            )
+            .run_profiled(&initial, &mut profile)
+            .unwrap();
+        assert!(result.events > 1_000);
+        assert!(
+            profile.leaps_accepted > 0,
+            "high-population run must commit leaps: {profile:?}"
+        );
+        assert!(profile.steps >= profile.leaps_accepted);
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct TauLeaping {
     // --- per-trajectory state ---
     time_limit: f64,
     exact_steps_left: u32,
+    // --- profiling counters (observational only; reset per trajectory) ---
+    leaps_accepted: u64,
+    leaps_rejected: u64,
+    prop_evals: u64,
     propensities: Vec<f64>,
     deps: ReactionDependencyGraph,
     /// Per species: highest order of any reaction consuming it, and the
@@ -110,6 +114,9 @@ impl Default for TauLeaping {
             ssa_burst: 20,
             time_limit: f64::INFINITY,
             exact_steps_left: 0,
+            leaps_accepted: 0,
+            leaps_rejected: 0,
+            prop_evals: 0,
             propensities: Vec::new(),
             deps: ReactionDependencyGraph::new(),
             hor: Vec::new(),
@@ -183,6 +190,9 @@ impl TauLeaping {
     /// Rebuilds every per-trajectory cache for `crn`/`state`.
     fn prepare(&mut self, crn: &Crn, state: &State) {
         propensities(crn, state, &mut self.propensities);
+        self.leaps_accepted = 0;
+        self.leaps_rejected = 0;
+        self.prop_evals = self.propensities.len() as u64;
         self.deps.rebuild(crn);
         let species_len = crn.species_len();
         let reactions_len = crn.reactions().len();
@@ -329,6 +339,7 @@ impl TauLeaping {
             .apply(&crn.reactions()[chosen])
             .expect("selected reaction must be fireable: propensity was positive");
         for &dep in self.deps.dependents(chosen) {
+            self.prop_evals += 1;
             self.propensities[dep] = propensity(&crn.reactions()[dep], state);
         }
         StepOutcome::Fired { reaction: chosen }
@@ -479,6 +490,7 @@ impl SsaStepper for TauLeaping {
                 // Reject the whole leap and retry with half the step. The
                 // critical clock is redrawn on the next step call, which the
                 // exponential's memorylessness makes harmless.
+                self.leaps_rejected += 1;
                 tau1 = tau * 0.5;
                 tau2 = f64::INFINITY;
                 if tau1 <= fallback_threshold {
@@ -515,10 +527,12 @@ impl SsaStepper for TauLeaping {
                 }
                 for (r, &dirty) in self.dirty.iter().enumerate() {
                     if dirty {
+                        self.prop_evals += 1;
                         self.propensities[r] = propensity(&crn.reactions()[r], state);
                     }
                 }
             }
+            self.leaps_accepted += 1;
             return StepOutcome::Leaped {
                 firings: total_firings,
             };
@@ -528,6 +542,15 @@ impl SsaStepper for TauLeaping {
         // leaping keeps failing — resolve exactly.
         self.exact_steps_left = self.ssa_burst.saturating_sub(1);
         self.exact_step(crn, state, time, rng)
+    }
+
+    fn profile(&self) -> crate::SimProfile {
+        crate::SimProfile {
+            propensity_evals: self.prop_evals,
+            leaps_accepted: self.leaps_accepted,
+            leaps_rejected: self.leaps_rejected,
+            ..crate::SimProfile::default()
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,271 @@
+//! Lock-free log₂-bucketed latency histograms.
+//!
+//! A [`Histogram`] is 64 atomic buckets — bucket `i ≥ 1` counts values in
+//! `[2^(i-1), 2^i)`, bucket 0 counts zeros, bucket 63 also absorbs the
+//! unbounded tail — plus exact `count`/`sum`/`max` atomics. Recording is a
+//! handful of relaxed atomic adds: safe to call from every worker thread on
+//! the hot path, no locks, no allocation.
+//!
+//! Reading goes through [`HistogramSnapshot`]: a plain-integer copy that
+//! [merges](HistogramSnapshot::merge) associatively and commutatively
+//! (element-wise adds and a max), so per-shard histograms combine into
+//! fleet-wide ones in any order. Quantiles come from the bucket boundaries:
+//! [`quantile`](HistogramSnapshot::quantile) returns the upper bound of the
+//! bucket holding the requested rank — within one power of two of the true
+//! value by construction, and exact for `max`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The number of log₂ buckets (one per `u64` bit position, plus zero).
+pub const BUCKETS: usize = 64;
+
+/// A lock-free log₂ histogram; see the [module docs](self).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`,
+/// capped at 63 so the top bucket absorbs the tail.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (`u64::MAX` for the tail bucket).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        u64::MAX
+    } else if index == 0 {
+        0
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (typically a duration in microseconds).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Copies the current state out.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken while writers are
+    /// active is not a single point in time — fine for monitoring, which is
+    /// the only consumer.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-integer copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`BUCKETS`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`. Element-wise saturating adds and a max:
+    /// associative and commutative, so any merge tree over any partition of
+    /// the recordings yields the same snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th smallest recording (clamped to the
+    /// exact `max`), or 0 when empty. Within one log₂ bucket of the true
+    /// order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*bucket);
+            if cumulative >= rank {
+                return bucket_upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every bucket's upper bound lands back in that bucket.
+        for index in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(index)), index, "{index}");
+        }
+    }
+
+    #[test]
+    fn records_and_estimates_quantiles_within_a_bucket() {
+        let hist = Histogram::new();
+        for value in [10u64, 20, 30, 40, 50, 1000, 2000, 4000, 8000, 100_000] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.max, 100_000);
+        assert_eq!(snap.sum, 115_150);
+        // p50: the 5th smallest value is 50 (bucket [32,64) → bound 63).
+        assert_eq!(snap.p50(), 63);
+        // p99 → rank 10 → the max's bucket, clamped to the exact max.
+        assert_eq!(snap.p99(), 100_000);
+        assert!((snap.mean() - 11_515.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|part| {
+                let hist = Histogram::new();
+                for i in 0..50u64 {
+                    hist.record(i * 37 + part * 1000);
+                }
+                hist.snapshot()
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == c ⊕ a ⊕ b
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        let mut shuffled = parts[2].clone();
+        shuffled.merge(&parts[0]);
+        shuffled.merge(&parts[1]);
+        assert_eq!(left, shuffled);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        hist.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(snap.max, 39_999);
+    }
+}

@@ -1,0 +1,465 @@
+//! Structured JSON-lines logging with per-target level filtering.
+//!
+//! One [`Logger`] (usually the process-wide [`logger()`]) owns a severity
+//! floor, an ordered list of per-target overrides, an output format and a
+//! writer. Events are emitted through [`Logger::log`] as either a
+//! single-line JSON object (`--log-json` mode; every line parses as JSON
+//! with `ts_us`/`level`/`target`/`event` keys) or a human-readable line.
+//! Timestamps are **monotonic** microseconds since the logger was created —
+//! wall clocks jump, monotonic clocks don't, and correlating log lines with
+//! the latency histograms needs the same clock family.
+//!
+//! The logger is deliberately disabled (`Level::Off`) until configured, so
+//! library users and the test suites pay one relaxed atomic load per call
+//! site and produce no output unless a binary (or test) opts in.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Event severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained tracing (per-shard, per-chunk events).
+    Trace = 0,
+    /// Debug detail (per-request events).
+    Debug = 1,
+    /// Normal operational events.
+    Info = 2,
+    /// Unexpected but handled conditions.
+    Warn = 3,
+    /// Failures.
+    Error = 4,
+    /// Logging disabled.
+    Off = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            "off" | "none" => Some(Level::Off),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+            Level::Off => "off",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Level {
+        match raw {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            4 => Level::Error,
+            _ => Level::Off,
+        }
+    }
+}
+
+/// A typed field value attached to a log event.
+///
+/// Rendering is deterministic (Rust's shortest-round-trip float formatting,
+/// the same JSON string escaping as the service's writer), so captured log
+/// output is stable enough to assert on in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field (ids, counts, microseconds).
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A float field. Non-finite values render as `null`.
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl Value {
+    /// Builds a string field.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    fn render_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => escape_json(s, out),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(n) if n.is_finite() => out.push_str(&format!("{n}")),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+
+    fn render_human(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => out.push_str(s),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(n) => out.push_str(&format!("{n}")),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (including the quotes) onto `out`.
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct LoggerState {
+    /// The default severity floor.
+    global: Level,
+    /// Per-target overrides, most specific (longest) prefix first.
+    overrides: Vec<(String, Level)>,
+    /// Emit JSON lines instead of human-readable text.
+    json: bool,
+    /// Where lines go (stderr unless a test injected a buffer).
+    writer: Box<dyn Write + Send>,
+}
+
+/// A structured logger; see the [module docs](self).
+pub struct Logger {
+    start: Instant,
+    /// The lowest enabled level across the global floor and every override
+    /// — the one relaxed load that makes disabled call sites nearly free.
+    floor: AtomicU8,
+    state: Mutex<LoggerState>,
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::new()
+    }
+}
+
+impl Logger {
+    /// Creates a disabled logger writing to stderr.
+    pub fn new() -> Logger {
+        Logger {
+            start: Instant::now(),
+            floor: AtomicU8::new(Level::Off as u8),
+            state: Mutex::new(LoggerState {
+                global: Level::Off,
+                overrides: Vec::new(),
+                json: false,
+                writer: Box::new(std::io::stderr()),
+            }),
+        }
+    }
+
+    /// Applies a level spec: a default level optionally followed by
+    /// per-target overrides, e.g. `info` or `info,service::fabric=trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed clause.
+    pub fn set_level_spec(&self, spec: &str) -> Result<(), String> {
+        let mut global = None;
+        let mut overrides = Vec::new();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            match clause.split_once('=') {
+                Some((target, level)) => {
+                    let level = Level::parse(level)
+                        .ok_or_else(|| format!("unknown log level `{level}` in `{clause}`"))?;
+                    overrides.push((target.trim().to_string(), level));
+                }
+                None => {
+                    let level = Level::parse(clause)
+                        .ok_or_else(|| format!("unknown log level `{clause}`"))?;
+                    if global.replace(level).is_some() {
+                        return Err(format!("duplicate default level in `{spec}`"));
+                    }
+                }
+            }
+        }
+        // Longest prefix first, so the most specific override wins.
+        overrides.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        let mut state = self.state.lock().expect("logger state");
+        state.global = global.unwrap_or(state.global);
+        state.overrides = overrides;
+        let floor = state
+            .overrides
+            .iter()
+            .map(|(_, level)| *level)
+            .chain([state.global])
+            .min()
+            .unwrap_or(Level::Off);
+        self.floor.store(floor as u8, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Switches between JSON-lines and human-readable output.
+    pub fn set_json(&self, json: bool) {
+        self.state.lock().expect("logger state").json = json;
+    }
+
+    /// Replaces the writer (tests inject a buffer to capture output).
+    pub fn set_writer(&self, writer: Box<dyn Write + Send>) {
+        self.state.lock().expect("logger state").writer = writer;
+    }
+
+    /// The effective level for `target` (most specific prefix override,
+    /// else the global floor).
+    fn effective_level(state: &LoggerState, target: &str) -> Level {
+        state
+            .overrides
+            .iter()
+            .find(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .map(|(_, level)| *level)
+            .unwrap_or(state.global)
+    }
+
+    /// Whether an event at `level` for `target` would be emitted.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        if level < Level::from_u8(self.floor.load(Ordering::Relaxed)) {
+            return false;
+        }
+        let state = self.state.lock().expect("logger state");
+        level >= Self::effective_level(&state, target)
+    }
+
+    /// Monotonic microseconds since the logger was created.
+    pub fn uptime_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Emits one structured event.
+    ///
+    /// `target` names the subsystem (`service::scheduler`), `event` the
+    /// occurrence (`job_completed`), and `fields` carry the payload; by
+    /// convention a correlation id travels in a `corr` field so every line
+    /// of one job can be grepped out of interleaved output.
+    pub fn log(&self, level: Level, target: &str, event: &str, fields: &[(&str, Value)]) {
+        if level == Level::Off || level < Level::from_u8(self.floor.load(Ordering::Relaxed)) {
+            return;
+        }
+        let ts_us = self.uptime_us();
+        let mut state = self.state.lock().expect("logger state");
+        if level < Self::effective_level(&state, target) {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        if state.json {
+            line.push_str(&format!(
+                "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"target\":",
+                level.as_str()
+            ));
+            escape_json(target, &mut line);
+            line.push_str(",\"event\":");
+            escape_json(event, &mut line);
+            for (key, value) in fields {
+                line.push(',');
+                escape_json(key, &mut line);
+                line.push(':');
+                value.render_json(&mut line);
+            }
+            line.push('}');
+        } else {
+            line.push_str(&format!(
+                "{ts_us:>10}us {:<5} {target} {event}",
+                level.as_str()
+            ));
+            for (key, value) in fields {
+                line.push(' ');
+                line.push_str(key);
+                line.push('=');
+                value.render_human(&mut line);
+            }
+        }
+        line.push('\n');
+        // A broken pipe on stderr must not take the service down.
+        let _ = state.writer.write_all(line.as_bytes());
+        let _ = state.writer.flush();
+    }
+}
+
+/// The process-wide logger, disabled until a binary or test configures it.
+pub fn logger() -> &'static Logger {
+    static GLOBAL: OnceLock<Logger> = OnceLock::new();
+    GLOBAL.get_or_init(Logger::new)
+}
+
+/// Emits an event on the [global logger](logger).
+pub fn event(level: Level, target: &str, event: &str, fields: &[(&str, Value)]) {
+    logger().log(level, target, event, fields);
+}
+
+/// A `Write` implementation appending to a shared buffer; tests install it
+/// via [`Logger::set_writer`] to capture output.
+#[derive(Clone, Default)]
+pub struct BufferWriter {
+    buffer: std::sync::Arc<Mutex<Vec<u8>>>,
+}
+
+impl BufferWriter {
+    /// Creates an empty capture buffer.
+    pub fn new() -> BufferWriter {
+        BufferWriter::default()
+    }
+
+    /// The captured bytes so far, as UTF-8 text.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buffer.lock().expect("log buffer")).into_owned()
+    }
+}
+
+impl Write for BufferWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buffer
+            .lock()
+            .expect("log buffer")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(logger: &Logger) -> BufferWriter {
+        let buffer = BufferWriter::new();
+        logger.set_writer(Box::new(buffer.clone()));
+        buffer
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let logger = Logger::new();
+        let buffer = capture(&logger);
+        logger.log(Level::Error, "t", "boom", &[]);
+        assert!(!logger.enabled(Level::Error, "t"));
+        assert_eq!(buffer.contents(), "");
+    }
+
+    #[test]
+    fn level_spec_filters_per_target() {
+        let logger = Logger::new();
+        let buffer = capture(&logger);
+        logger
+            .set_level_spec("warn,service::fabric=trace,service=info")
+            .unwrap();
+        assert!(logger.enabled(Level::Trace, "service::fabric::dispatch"));
+        assert!(logger.enabled(Level::Info, "service::scheduler"));
+        assert!(!logger.enabled(Level::Debug, "service::scheduler"));
+        assert!(!logger.enabled(Level::Info, "gillespie"));
+        assert!(logger.enabled(Level::Warn, "gillespie"));
+
+        logger.log(Level::Trace, "service::fabric", "dispatch", &[]);
+        logger.log(Level::Trace, "gillespie", "ignored", &[]);
+        let text = buffer.contents();
+        assert!(text.contains("dispatch"), "{text}");
+        assert!(!text.contains("ignored"), "{text}");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        let logger = Logger::new();
+        assert!(logger.set_level_spec("nope").is_err());
+        assert!(logger.set_level_spec("info,x=nope").is_err());
+        assert!(logger.set_level_spec("info,debug").is_err());
+        assert!(logger.set_level_spec("info, service=trace ").is_ok());
+    }
+
+    #[test]
+    fn json_lines_parse_and_carry_required_keys() {
+        let logger = Logger::new();
+        let buffer = capture(&logger);
+        logger.set_level_spec("info").unwrap();
+        logger.set_json(true);
+        logger.log(
+            Level::Info,
+            "service::app",
+            "request \"quoted\"",
+            &[
+                ("corr", Value::U64(17)),
+                ("path", Value::str("/simulate")),
+                ("ok", Value::Bool(true)),
+                ("ratio", Value::F64(0.5)),
+                ("bad", Value::F64(f64::NAN)),
+            ],
+        );
+        let text = buffer.contents();
+        let line = text.lines().next().expect("one line");
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"target\":\"service::app\""), "{line}");
+        assert!(
+            line.contains("\"event\":\"request \\\"quoted\\\"\""),
+            "{line}"
+        );
+        assert!(line.contains("\"corr\":17"), "{line}");
+        assert!(line.contains("\"ratio\":0.5"), "{line}");
+        assert!(line.contains("\"bad\":null"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn human_format_is_one_line_per_event() {
+        let logger = Logger::new();
+        let buffer = capture(&logger);
+        logger.set_level_spec("debug").unwrap();
+        logger.log(
+            Level::Debug,
+            "t",
+            "evt",
+            &[("n", Value::I64(-3)), ("s", Value::str("x"))],
+        );
+        let text = buffer.contents();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("debug"), "{text}");
+        assert!(text.contains("n=-3"), "{text}");
+        assert!(text.contains("s=x"), "{text}");
+    }
+
+    #[test]
+    fn level_parsing_round_trips() {
+        for level in [
+            Level::Trace,
+            Level::Debug,
+            Level::Info,
+            Level::Warn,
+            Level::Error,
+            Level::Off,
+        ] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}

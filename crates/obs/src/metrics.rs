@@ -1,0 +1,319 @@
+//! A typed registry of named counters, gauges and histograms.
+//!
+//! Series are registered by full name — optionally with embedded
+//! Prometheus-style labels, e.g.
+//! `http_requests_total{endpoint="simulate"}` — and handed out as `Arc`
+//! handles, so hot paths bump plain atomics with no lookup. Registration is
+//! idempotent: asking for an existing name returns the same handle, which
+//! is what lets per-endpoint series be created lazily from request
+//! handlers.
+//!
+//! [`MetricsRegistry::render_text`] emits a deterministic Prometheus-style
+//! text exposition (`# TYPE` comments, series sorted by name, histograms as
+//! summaries with `quantile` labels plus `_count`/`_sum`/`_max` lines).
+//! Deterministic output keeps the endpoint testable; it is **not** part of
+//! the byte-determinism contract — only result bodies are.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that is *set* to the current level rather than
+/// accumulated (queue depth, in-flight jobs).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the current level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A registry of named metrics; see the [module docs](self).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("metrics registry");
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &state.counters.len())
+            .field("gauges", &state.gauges.len())
+            .field("histograms", &state.histograms.len())
+            .finish()
+    }
+}
+
+/// Splits `series` into its base name and the `{...}` label block, if any.
+fn split_labels(series: &str) -> (&str, Option<&str>) {
+    match series.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (series, None),
+    }
+}
+
+/// Re-assembles a series name with one extra label appended.
+fn with_label(series: &str, key: &str, value: &str) -> String {
+    let (base, labels) = split_labels(series);
+    match labels {
+        Some(labels) if !labels.is_empty() => format!("{base}{{{labels},{key}=\"{value}\"}}"),
+        _ => format!("{base}{{{key}=\"{value}\"}}"),
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `series`, registering it on first use.
+    pub fn counter(&self, series: &str) -> Arc<Counter> {
+        let mut state = self.state.lock().expect("metrics registry");
+        state
+            .counters
+            .entry(series.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    /// Returns the gauge named `series`, registering it on first use.
+    pub fn gauge(&self, series: &str) -> Arc<Gauge> {
+        let mut state = self.state.lock().expect("metrics registry");
+        state
+            .gauges
+            .entry(series.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
+    /// Returns the histogram named `series`, registering it on first use.
+    pub fn histogram(&self, series: &str) -> Arc<Histogram> {
+        let mut state = self.state.lock().expect("metrics registry");
+        state
+            .histograms
+            .entry(series.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Every counter series and its value, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("metrics registry");
+        state
+            .counters
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect()
+    }
+
+    /// Every gauge series and its level, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("metrics registry");
+        state
+            .gauges
+            .iter()
+            .map(|(name, gauge)| (name.clone(), gauge.get()))
+            .collect()
+    }
+
+    /// Every histogram series and a snapshot, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let state = self.state.lock().expect("metrics registry");
+        state
+            .histograms
+            .iter()
+            .map(|(name, hist)| (name.clone(), hist.snapshot()))
+            .collect()
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    ///
+    /// `extra` appends pre-formatted gauge lines (for stats that live in
+    /// other subsystems' snapshots rather than this registry); each entry
+    /// is a `(series, value)` pair.
+    pub fn render_text(&self, extra: &[(String, f64)]) -> String {
+        let state = self.state.lock().expect("metrics registry");
+        let mut out = String::new();
+        let mut typed: BTreeMap<&str, &str> = BTreeMap::new();
+        for name in state.counters.keys() {
+            typed.entry(split_labels(name).0).or_insert("counter");
+        }
+        for name in state.gauges.keys() {
+            typed.entry(split_labels(name).0).or_insert("gauge");
+        }
+        for name in state.histograms.keys() {
+            typed.entry(split_labels(name).0).or_insert("summary");
+        }
+        for (name, value) in extra {
+            typed.entry(split_labels(name).0).or_insert("gauge");
+            let _ = value;
+        }
+        for (base, kind) in &typed {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+            for (name, counter) in &state.counters {
+                if split_labels(name).0 == *base {
+                    out.push_str(&format!("{name} {}\n", counter.get()));
+                }
+            }
+            for (name, gauge) in &state.gauges {
+                if split_labels(name).0 == *base {
+                    out.push_str(&format!("{name} {}\n", gauge.get()));
+                }
+            }
+            for (name, value) in extra {
+                if split_labels(name).0 == *base {
+                    out.push_str(&format!("{name} {value}\n"));
+                }
+            }
+            for (name, hist) in &state.histograms {
+                if split_labels(name).0 != *base {
+                    continue;
+                }
+                let snap = hist.snapshot();
+                for (q, value) in [
+                    ("0.5", snap.p50()),
+                    ("0.9", snap.p90()),
+                    ("0.99", snap.p99()),
+                ] {
+                    out.push_str(&format!("{} {value}\n", with_label(name, "quantile", q)));
+                }
+                let (hist_base, labels) = split_labels(name);
+                let suffix = |stat: &str| match labels {
+                    Some(labels) if !labels.is_empty() => format!("{hist_base}_{stat}{{{labels}}}"),
+                    _ => format!("{hist_base}_{stat}"),
+                };
+                out.push_str(&format!("{} {}\n", suffix("count"), snap.count));
+                out.push_str(&format!("{} {}\n", suffix("sum"), snap.sum));
+                out.push_str(&format!("{} {}\n", suffix("max"), snap.max));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("requests_total");
+        let b = registry.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("requests_total").get(), 3);
+        assert_eq!(registry.counters(), vec![("requests_total".to_string(), 3)]);
+
+        let gauge = registry.gauge("queue_depth");
+        gauge.set(7);
+        assert_eq!(registry.gauge("queue_depth").get(), 7);
+    }
+
+    #[test]
+    fn text_exposition_is_deterministic_and_typed() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("http_requests_total{endpoint=\"simulate\"}")
+            .add(4);
+        registry
+            .counter("http_requests_total{endpoint=\"check\"}")
+            .inc();
+        registry.gauge("scheduler_queue_depth").set(2);
+        let hist = registry.histogram("request_duration_us{endpoint=\"simulate\"}");
+        for v in [100u64, 200, 400] {
+            hist.record(v);
+        }
+        let text = registry.render_text(&[("cache_entries".to_string(), 5.0)]);
+        assert_eq!(
+            text,
+            registry.render_text(&[("cache_entries".to_string(), 5.0)])
+        );
+        assert!(
+            text.contains("# TYPE http_requests_total counter\n"),
+            "{text}"
+        );
+        // Sorted: check before simulate.
+        let check = text.find("endpoint=\"check\"").unwrap();
+        let simulate = text.find("endpoint=\"simulate\"").unwrap();
+        assert!(check < simulate, "{text}");
+        assert!(
+            text.contains("http_requests_total{endpoint=\"simulate\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE scheduler_queue_depth gauge\n"),
+            "{text}"
+        );
+        assert!(text.contains("scheduler_queue_depth 2\n"), "{text}");
+        assert!(text.contains("# TYPE cache_entries gauge\n"), "{text}");
+        assert!(text.contains("cache_entries 5\n"), "{text}");
+        assert!(
+            text.contains("# TYPE request_duration_us summary\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("request_duration_us{endpoint=\"simulate\",quantile=\"0.5\"} 255\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("request_duration_us_count{endpoint=\"simulate\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("request_duration_us_max{endpoint=\"simulate\"} 400\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labels_compose() {
+        assert_eq!(
+            with_label("d_us{endpoint=\"x\"}", "quantile", "0.5"),
+            "d_us{endpoint=\"x\",quantile=\"0.5\"}"
+        );
+        assert_eq!(
+            with_label("d_us", "quantile", "0.9"),
+            "d_us{quantile=\"0.9\"}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the histogram algebra: `merge` must be associative
+//! and commutative (fabric shards fold per-worker histograms in arbitrary
+//! order), and quantile estimates must stay within one log₂ bucket of the
+//! true order statistic.
+
+use obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let hist = Histogram::new();
+    for &value in values {
+        hist.record(value);
+    }
+    hist.snapshot()
+}
+
+/// The log₂ bucket bounds `[lower, upper]` the value `v` falls in.
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    if v == 0 {
+        (0, 0)
+    } else {
+        let index = (64 - v.leading_zeros()).min(63);
+        let lower = 1u64 << (index - 1);
+        let upper = if index >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        };
+        (lower, upper)
+    }
+}
+
+proptest! {
+    /// Any parenthesisation and any order of merging shard snapshots
+    /// yields the same combined snapshot.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000, 0..40),
+        c in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // ((a ⊕ b) ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // (a ⊕ (b ⊕ c))
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // (c ⊕ b ⊕ a): full reorder.
+        let mut reordered = sc.clone();
+        reordered.merge(&sb);
+        reordered.merge(&sa);
+        prop_assert_eq!(&left, &reordered);
+
+        // Merging equals recording everything into one histogram.
+        let mut all: Vec<u64> = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// Quantile estimates land inside the bucket of the true order
+    /// statistic — i.e. within one power of two — and `quantile(1.0)`
+    /// is the exact max.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_the_truth(
+        values in prop::collection::vec(0u64..10_000_000, 1..80),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let estimate = snap.quantile(q);
+        let (lower, upper) = bucket_bounds(truth);
+        prop_assert!(
+            estimate >= lower && estimate <= upper.min(snap.max),
+            "estimate {estimate} outside bucket [{lower}, {upper}] of true value {truth}"
+        );
+        prop_assert_eq!(snap.quantile(1.0), *sorted.last().unwrap());
+    }
+}

@@ -32,26 +32,33 @@
 
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use gillespie::{Ensemble, EnsemblePartial};
+use gillespie::{Ensemble, EnsemblePartial, SimProfile};
+use obs::log::{event, Level, Value};
+use obs::trace::{span_id, Span, TraceContext, TraceSink};
 
 use crate::api::{CheckRequest, ExactRequest, SimulateRequest, SynthesizeRequest};
 use crate::cache::ResultCache;
 use crate::error::ServiceError;
-use crate::fabric::{Fabric, FabricConfig};
+use crate::fabric::{Fabric, FabricConfig, ShardTrace, TRACE_HEADER};
 use crate::http::{Method, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::router::{RouteContext, Router};
 use crate::scheduler::{
-    ChunkOutput, JobId, JobSnapshot, JobState, JobWork, Scheduler, SubmitError,
+    ChunkOutput, JobId, JobSnapshot, JobState, JobWork, Scheduler, SchedulerTelemetry, SubmitError,
 };
 use crate::server::{Server, ServerHandle};
 
 /// How long a `wait: true` submission blocks before degrading to a `202`
 /// status response the client can poll.
 const WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Bounded capacity of the in-memory trace ring: old spans are dropped
+/// once this many are held, so tracing every job forever cannot grow
+/// memory.
+const TRACE_CAPACITY: usize = 4096;
 
 /// Configuration of one service instance.
 #[derive(Debug, Clone)]
@@ -70,6 +77,9 @@ pub struct ServiceConfig {
     /// ensembles shard across the configured pool instead of running on
     /// the local scheduler threads.
     pub fabric: Option<FabricConfig>,
+    /// Requests whose handler takes at least this many milliseconds emit a
+    /// `slow_request` warning event. `0` disables the check.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +91,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             max_body_bytes: 1 << 20,
             fabric: None,
+            slow_request_ms: 10_000,
         }
     }
 }
@@ -90,6 +101,8 @@ pub struct App {
     scheduler: Scheduler,
     cache: ResultCache,
     metrics: Metrics,
+    /// Bounded ring of trace spans; `GET /trace/:job_id` reads it.
+    trace: Arc<TraceSink>,
     fabric: Option<Arc<Fabric>>,
     config: ServiceConfig,
     /// Set once the listener is bound; `/shutdown` self-connects through it
@@ -108,11 +121,45 @@ impl std::fmt::Debug for App {
 impl App {
     /// Creates the service state (scheduler workers start immediately).
     pub fn new(config: ServiceConfig) -> Arc<App> {
-        let fabric = config.fabric.clone().map(|f| Arc::new(Fabric::new(f)));
+        let metrics = Metrics::new();
+        let trace = Arc::new(TraceSink::new(TRACE_CAPACITY));
+        // The scheduler reports queue waits into the shared histogram and
+        // gauges, and the dequeue hook turns each wait into a
+        // `schedule-wait` span under the job's root span. None of this
+        // influences scheduling order — see the telemetry docs.
+        let dequeue_sink = Arc::clone(&trace);
+        let telemetry = SchedulerTelemetry {
+            queue_wait_us: Arc::clone(&metrics.queue_wait_us),
+            queue_depth: metrics.registry().gauge("scheduler_queue_depth"),
+            running_jobs: metrics.registry().gauge("scheduler_running_jobs"),
+            on_dequeue: Box::new(move |id, _label, wait| {
+                let trace_id = id.to_string();
+                let end_us = dequeue_sink.now_us();
+                let wait_us = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+                dequeue_sink.record(Span {
+                    id: span_id(&trace_id, "schedule-wait", 0),
+                    parent: Some(span_id(&trace_id, "job", 0)),
+                    trace_id,
+                    name: "schedule-wait".to_string(),
+                    start_us: end_us.saturating_sub(wait_us),
+                    end_us,
+                    attrs: Vec::new(),
+                });
+            }),
+        };
+        let fabric = config
+            .fabric
+            .clone()
+            .map(|f| Arc::new(Fabric::new(f).with_metrics(Arc::clone(metrics.registry()))));
         Arc::new(App {
-            scheduler: Scheduler::new(config.workers, config.queue_capacity),
+            scheduler: Scheduler::with_telemetry(
+                config.workers,
+                config.queue_capacity,
+                Some(telemetry),
+            ),
             cache: ResultCache::new(config.cache_capacity),
-            metrics: Metrics::new(),
+            metrics,
+            trace,
             fabric,
             config,
             local_addr: OnceLock::new(),
@@ -130,66 +177,118 @@ impl App {
         &self.cache
     }
 
+    /// The typed metrics handles, for embedders and tests.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The trace-span ring, for embedders and tests.
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.trace
+    }
+
     /// The fabric coordinator, when this daemon was configured with one.
     pub fn fabric(&self) -> Option<&Arc<Fabric>> {
         self.fabric.as_ref()
     }
 
-    /// Builds the route table for this app.
+    /// Builds the route table for this app. Every handler is wrapped in
+    /// [`instrumented`], which times it, maintains the per-endpoint
+    /// request/status/latency series and emits the request log events.
     pub fn router(self: &Arc<App>) -> Router {
         let mut router = Router::new();
         let app = Arc::clone(self);
-        router.route(Method::Post, "/simulate", move |ctx| {
-            Metrics::bump(&app.metrics.simulate_requests);
-            submit_simulate(&app, ctx)
-        });
+        router.route(
+            Method::Post,
+            "/simulate",
+            instrumented(self, "simulate", move |ctx| submit_simulate(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Post, "/exact", move |ctx| {
-            Metrics::bump(&app.metrics.exact_requests);
-            submit_exact(&app, ctx)
-        });
+        router.route(
+            Method::Post,
+            "/exact",
+            instrumented(self, "exact", move |ctx| submit_exact(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Post, "/synthesize", move |ctx| {
-            Metrics::bump(&app.metrics.synthesize_requests);
-            submit_synthesize(&app, ctx)
-        });
+        router.route(
+            Method::Post,
+            "/synthesize",
+            instrumented(self, "synthesize", move |ctx| submit_synthesize(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Post, "/check", move |ctx| {
-            Metrics::bump(&app.metrics.check_requests);
-            submit_check(&app, ctx)
-        });
+        router.route(
+            Method::Post,
+            "/check",
+            instrumented(self, "check", move |ctx| submit_check(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Get, "/jobs/:id", move |ctx| job_status(&app, ctx));
+        router.route(
+            Method::Get,
+            "/jobs/:id",
+            instrumented(self, "job_status", move |ctx| job_status(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Delete, "/jobs/:id", move |ctx| {
-            job_cancel(&app, ctx)
-        });
+        router.route(
+            Method::Delete,
+            "/jobs/:id",
+            instrumented(self, "job_cancel", move |ctx| job_cancel(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Get, "/healthz", move |_| {
-            let body = Json::object([
-                ("status", Json::str("ok")),
-                ("workers", Json::count(app.scheduler.stats().workers as u64)),
-                ("uptime_ms", Json::count(app.metrics.uptime_ms())),
-            ]);
-            Response::json(200, body.render())
-        });
+        router.route(
+            Method::Get,
+            "/healthz",
+            instrumented(self, "healthz", move |_| {
+                let body = Json::object([
+                    ("status", Json::str("ok")),
+                    ("workers", Json::count(app.scheduler.stats().workers as u64)),
+                    ("uptime_ms", Json::count(app.metrics.uptime_ms())),
+                ]);
+                Response::json(200, body.render())
+            }),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Get, "/metrics", move |_| {
-            Response::json(200, app.render_metrics())
-        });
+        router.route(
+            Method::Get,
+            "/metrics",
+            instrumented(self, "metrics", move |ctx| {
+                if ctx.query_param("format") == Some("text") {
+                    Response::text(200, app.render_metrics_text())
+                } else {
+                    Response::json(200, app.render_metrics())
+                }
+            }),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Get, "/fabric", move |_| match &app.fabric {
-            Some(fabric) => Response::json(200, fabric.render().render()),
-            None => error_response(&ServiceError::bad_request(
-                "this daemon is not a fabric coordinator",
-            )),
-        });
+        router.route(
+            Method::Get,
+            "/trace/:id",
+            instrumented(self, "trace", move |ctx| trace_query(&app, ctx)),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Post, "/fabric/workers", move |ctx| {
-            register_worker(&app, ctx)
-        });
+        router.route(
+            Method::Get,
+            "/fabric",
+            instrumented(self, "fabric", move |_| match &app.fabric {
+                Some(fabric) => Response::json(200, fabric.render().render()),
+                None => error_response(&ServiceError::bad_request(
+                    "this daemon is not a fabric coordinator",
+                )),
+            }),
+        );
         let app = Arc::clone(self);
-        router.route(Method::Post, "/shutdown", move |ctx| shutdown(&app, ctx));
+        router.route(
+            Method::Post,
+            "/fabric/workers",
+            instrumented(self, "fabric_workers", move |ctx| {
+                register_worker(&app, ctx)
+            }),
+        );
+        let app = Arc::clone(self);
+        router.route(
+            Method::Post,
+            "/shutdown",
+            instrumented(self, "shutdown", move |ctx| shutdown(&app, ctx)),
+        );
         router
     }
 
@@ -197,80 +296,104 @@ impl App {
     /// rejections and router-level 404/405s — wired in as the server's
     /// [`ResponseObserver`](crate::ResponseObserver) by [`serve`]).
     pub fn count_response(&self, response: &Response) {
-        Metrics::bump(&self.metrics.requests);
+        self.metrics.requests.inc();
         if (400..500).contains(&response.status) {
-            Metrics::bump(&self.metrics.responses_4xx);
+            self.metrics.responses_4xx.inc();
         } else if response.status >= 500 {
-            Metrics::bump(&self.metrics.responses_5xx);
+            self.metrics.responses_5xx.inc();
         }
     }
 
     fn render_metrics(&self) -> String {
         let cache = self.cache.stats();
         let scheduler = self.scheduler.stats();
+        // Per-endpoint breakdown for the four submission endpoints: request
+        // count, status classes and service-time quantiles. Additive — the
+        // legacy sections keep their exact shape.
+        let endpoints: Vec<(&str, Json)> = ["simulate", "exact", "synthesize", "check"]
+            .iter()
+            .map(|name| {
+                let series = self.metrics.endpoint(name);
+                let latency = series.latency_us.snapshot();
+                (
+                    *name,
+                    Json::object([
+                        ("requests", Json::count(series.requests.get())),
+                        ("responses_4xx", Json::count(series.responses_4xx.get())),
+                        ("responses_5xx", Json::count(series.responses_5xx.get())),
+                        (
+                            "latency_us",
+                            Json::object([
+                                ("count", Json::count(latency.count)),
+                                ("p50", Json::count(latency.p50())),
+                                ("p90", Json::count(latency.p90())),
+                                ("p99", Json::count(latency.p99())),
+                                ("max", Json::count(latency.max)),
+                            ]),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
         let mut members = Json::object([
             ("uptime_ms", Json::count(self.metrics.uptime_ms())),
             (
                 "http",
                 Json::object([
-                    (
-                        "requests",
-                        Json::count(Metrics::read(&self.metrics.requests)),
-                    ),
+                    ("requests", Json::count(self.metrics.requests.get())),
                     (
                         "responses_4xx",
-                        Json::count(Metrics::read(&self.metrics.responses_4xx)),
+                        Json::count(self.metrics.responses_4xx.get()),
                     ),
                     (
                         "responses_5xx",
-                        Json::count(Metrics::read(&self.metrics.responses_5xx)),
+                        Json::count(self.metrics.responses_5xx.get()),
                     ),
                     (
                         "simulate_requests",
-                        Json::count(Metrics::read(&self.metrics.simulate_requests)),
+                        Json::count(self.metrics.simulate_requests.get()),
                     ),
                     (
                         "exact_requests",
-                        Json::count(Metrics::read(&self.metrics.exact_requests)),
+                        Json::count(self.metrics.exact_requests.get()),
                     ),
                     (
                         "synthesize_requests",
-                        Json::count(Metrics::read(&self.metrics.synthesize_requests)),
+                        Json::count(self.metrics.synthesize_requests.get()),
                     ),
                     (
                         "check_requests",
-                        Json::count(Metrics::read(&self.metrics.check_requests)),
+                        Json::count(self.metrics.check_requests.get()),
                     ),
                 ]),
             ),
+            ("endpoints", Json::object(endpoints)),
             (
                 "auto_resolutions",
                 Json::object([
                     (
                         "direct",
-                        Json::count(Metrics::read(&self.metrics.auto_resolved_direct)),
+                        Json::count(self.metrics.auto_resolved_direct.get()),
                     ),
                     (
                         "first_reaction",
-                        Json::count(Metrics::read(&self.metrics.auto_resolved_first_reaction)),
+                        Json::count(self.metrics.auto_resolved_first_reaction.get()),
                     ),
                     (
                         "next_reaction",
-                        Json::count(Metrics::read(&self.metrics.auto_resolved_next_reaction)),
+                        Json::count(self.metrics.auto_resolved_next_reaction.get()),
                     ),
                     (
                         "composition_rejection",
-                        Json::count(Metrics::read(
-                            &self.metrics.auto_resolved_composition_rejection,
-                        )),
+                        Json::count(self.metrics.auto_resolved_composition_rejection.get()),
                     ),
                     (
                         "tau_leaping",
-                        Json::count(Metrics::read(&self.metrics.auto_resolved_tau_leaping)),
+                        Json::count(self.metrics.auto_resolved_tau_leaping.get()),
                     ),
                     (
                         "hybrid",
-                        Json::count(Metrics::read(&self.metrics.auto_resolved_hybrid)),
+                        Json::count(self.metrics.auto_resolved_hybrid.get()),
                     ),
                 ]),
             ),
@@ -305,6 +428,174 @@ impl App {
         }
         members.render()
     }
+
+    /// The Prometheus-style text exposition (`GET /metrics?format=text`):
+    /// every registry series, plus the cache, scheduler and fabric counters
+    /// (owned by their subsystems, not the registry) appended as gauges.
+    fn render_metrics_text(&self) -> String {
+        let cache = self.cache.stats();
+        let scheduler = self.scheduler.stats();
+        let mut extra: Vec<(String, f64)> = vec![
+            (
+                "service_uptime_ms".to_string(),
+                self.metrics.uptime_ms() as f64,
+            ),
+            ("cache_entries".to_string(), cache.entries as f64),
+            ("cache_capacity".to_string(), cache.capacity as f64),
+            ("cache_hits_total".to_string(), cache.hits as f64),
+            ("cache_misses_total".to_string(), cache.misses as f64),
+            ("cache_evictions_total".to_string(), cache.evictions as f64),
+            ("scheduler_workers".to_string(), scheduler.workers as f64),
+            (
+                "scheduler_jobs_completed_total".to_string(),
+                scheduler.completed as f64,
+            ),
+            (
+                "scheduler_jobs_failed_total".to_string(),
+                scheduler.failed as f64,
+            ),
+            (
+                "scheduler_jobs_cancelled_total".to_string(),
+                scheduler.cancelled as f64,
+            ),
+            (
+                "scheduler_jobs_rejected_total".to_string(),
+                scheduler.rejected as f64,
+            ),
+            (
+                "scheduler_steals_total".to_string(),
+                scheduler.steals as f64,
+            ),
+        ];
+        if let Some(fabric) = &self.fabric {
+            let stats = fabric.stats();
+            extra.extend([
+                (
+                    "fabric_shards_dispatched_total".to_string(),
+                    stats.shards_dispatched as f64,
+                ),
+                (
+                    "fabric_shards_completed_total".to_string(),
+                    stats.shards_completed as f64,
+                ),
+                (
+                    "fabric_shard_retries_total".to_string(),
+                    stats.shard_retries as f64,
+                ),
+                (
+                    "fabric_worker_failures_total".to_string(),
+                    stats.worker_failures as f64,
+                ),
+                (
+                    "fabric_remote_cache_hits_total".to_string(),
+                    stats.remote_cache_hits as f64,
+                ),
+                (
+                    "fabric_remote_cache_misses_total".to_string(),
+                    stats.remote_cache_misses as f64,
+                ),
+            ]);
+        }
+        self.metrics.registry().render_text(&extra)
+    }
+}
+
+/// Wraps a route handler with the per-endpoint telemetry: service-time
+/// histogram, request/status counters, a debug-level `request` event, and
+/// a warn-level `slow_request` event when the handler ran longer than
+/// [`ServiceConfig::slow_request_ms`]. Purely observational — the wrapped
+/// handler's response passes through untouched.
+fn instrumented(
+    app: &Arc<App>,
+    endpoint: &'static str,
+    handler: impl Fn(&RouteContext<'_>) -> Response + Send + Sync + 'static,
+) -> impl Fn(&RouteContext<'_>) -> Response + Send + Sync + 'static {
+    let app = Arc::clone(app);
+    let series = app.metrics.endpoint(endpoint);
+    move |ctx| {
+        let started = Instant::now();
+        let response = handler(ctx);
+        let elapsed = started.elapsed();
+        series.observe(response.status, elapsed);
+        let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        event(
+            Level::Debug,
+            "service::http",
+            "request",
+            &[
+                ("endpoint", Value::str(endpoint)),
+                ("status", Value::U64(u64::from(response.status))),
+                ("elapsed_us", Value::U64(elapsed_us)),
+            ],
+        );
+        let threshold_ms = app.config.slow_request_ms;
+        if threshold_ms > 0 && elapsed >= Duration::from_millis(threshold_ms) {
+            event(
+                Level::Warn,
+                "service::http",
+                "slow_request",
+                &[
+                    ("endpoint", Value::str(endpoint)),
+                    ("status", Value::U64(u64::from(response.status))),
+                    ("elapsed_ms", Value::U64(elapsed_us / 1_000)),
+                    ("threshold_ms", Value::U64(threshold_ms)),
+                ],
+            );
+        }
+        response
+    }
+}
+
+/// `GET /trace/:id` — the recorded span tree of one job, ordered by start
+/// time. Span ids render as 16-hex-digit strings (they are 64-bit hashes,
+/// too wide for JSON's f64 numbers).
+fn trace_query(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
+    let id = match parse_job_id(ctx) {
+        Ok(id) => id,
+        Err(error) => return error_response(&error),
+    };
+    let trace_id = id.to_string();
+    let spans = app.trace.spans(&trace_id);
+    if spans.is_empty() {
+        return error_response(&ServiceError::UnknownJob { id });
+    }
+    let rendered: Vec<Json> = spans
+        .iter()
+        .map(|span| {
+            let attrs: Vec<Json> = span
+                .attrs
+                .iter()
+                .map(|(k, v)| {
+                    Json::object([
+                        ("key", Json::str(k.clone())),
+                        ("value", Json::str(v.clone())),
+                    ])
+                })
+                .collect();
+            Json::object([
+                ("id", Json::str(format!("{:016x}", span.id))),
+                (
+                    "parent",
+                    match span.parent {
+                        Some(parent) => Json::str(format!("{parent:016x}")),
+                        None => Json::Null,
+                    },
+                ),
+                ("name", Json::str(span.name.clone())),
+                ("start_us", Json::count(span.start_us)),
+                ("end_us", Json::count(span.end_us)),
+                ("attrs", Json::Array(attrs)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::object([
+            ("trace", Json::str(trace_id)),
+            ("spans", Json::Array(rendered)),
+        ])
+        .render(),
+    )
 }
 
 /// Renders a [`ServiceError`] as its HTTP response.
@@ -360,22 +651,61 @@ fn snapshot_response(snapshot: &JobSnapshot) -> Response {
     }
 }
 
-/// Shared submit flow: consult the cache, otherwise schedule `work` and
-/// either wait for it (`wait: true`) or hand back a `202`.
+/// Shared submit flow: consult the cache (timing the lookup), otherwise
+/// schedule the work `build` constructs for the allocated job id and either
+/// wait for it (`wait: true`) or hand back a `202`.
+///
+/// `build` receives the job id so chunk closures can carry the trace id
+/// (the id, as text); the built work's `finish` is wrapped to record the
+/// trace's root `job` span when the job settles. Cache hits schedule
+/// nothing and record no spans: the replayed bytes never went near the
+/// scheduler.
 fn submit_cached_job(
     app: &Arc<App>,
     label: &'static str,
     key: String,
     priority: u8,
     wait: bool,
-    work: JobWork,
+    build: impl FnOnce(JobId) -> JobWork,
 ) -> Response {
-    if let Some(body) = app.cache.lookup(&key) {
+    let lookup_started = Instant::now();
+    let cached = app.cache.lookup(&key);
+    app.metrics
+        .cache_lookup_us
+        .record(u64::try_from(lookup_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    if let Some(body) = cached {
         return Response::json(200, body)
             .header("cache", "hit")
             .header("x-job-state", "completed");
     }
-    let id = match app.scheduler.submit(priority, label, work) {
+    let submitted_us = app.trace.now_us();
+    let root_app = Arc::clone(app);
+    let id = match app.scheduler.submit_with(priority, label, |id| {
+        let mut work = build(id);
+        let sink = Arc::clone(&root_app.trace);
+        let trace_id = id.to_string();
+        let inner = work.finish;
+        work.finish = Box::new(move |outputs| {
+            let result = inner(outputs);
+            sink.record(Span {
+                id: span_id(&trace_id, "job", 0),
+                parent: None,
+                trace_id: trace_id.clone(),
+                name: "job".to_string(),
+                start_us: submitted_us,
+                end_us: sink.now_us(),
+                attrs: vec![
+                    ("label".to_string(), label.to_string()),
+                    (
+                        "outcome".to_string(),
+                        if result.is_ok() { "ok" } else { "error" }.to_string(),
+                    ),
+                ],
+            });
+            result
+        });
+        work
+    }) {
         Ok(id) => id,
         Err(SubmitError::QueueFull { capacity }) => {
             return error_response(&ServiceError::Busy { capacity })
@@ -441,15 +771,22 @@ fn register_worker(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
 }
 
 fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
-    let request = match parse_body(ctx).and_then(|body| SimulateRequest::parse(&body)) {
+    // Timestamps for the `parse` and `classify` trace spans are captured
+    // here, but the spans are recorded later, inside the submit `build`
+    // callback — the trace id is the job id, which does not exist yet.
+    let parse_started_us = app.trace.now_us();
+    let body = parse_body(ctx);
+    let parse_done_us = app.trace.now_us();
+    let request = match body.and_then(|body| SimulateRequest::parse(&body)) {
         Ok(request) => Arc::new(request),
         Err(error) => return error_response(&error),
     };
+    let classify_done_us = app.trace.now_us();
     // Count what the portfolio decided (even when the cache answers the
     // request): the per-kind histogram in `/metrics` is how operators see
     // which regimes their workloads land in.
     if request.method == gillespie::StepperKind::Auto {
-        Metrics::bump(app.metrics.auto_resolution_counter(request.resolved));
+        app.metrics.auto_resolution_counter(request.resolved).inc();
     }
     let key = request.cache_key();
 
@@ -457,16 +794,46 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     // one chunk and answers with a partial wire document — the worker side
     // of the fabric. The partial is cached under the range-suffixed key,
     // so a coordinator retrying or re-dispatching a shard replays it
-    // byte-for-byte.
+    // byte-for-byte. When the coordinator stamped a trace header, the
+    // execution is recorded as a `shard-exec` span under the
+    // *coordinator's* trace id (in this worker's own sink).
     if let Some((start, end)) = request.range {
+        let context = ctx
+            .request
+            .header(TRACE_HEADER)
+            .and_then(TraceContext::parse);
         let run_request = Arc::clone(&request);
+        let run_app = Arc::clone(app);
         let run_chunk = move |_: usize, cancel: &gillespie::engine::CancelToken| {
+            let started_us = run_app.trace.now_us();
             let classifier = run_request.classifier().map_err(|e| e.to_string())?;
             let ensemble = Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
                 .options(run_request.ensemble_options());
+            let mut profile = SimProfile::default();
             let partial = ensemble
-                .run_range(start, end, cancel)
+                .run_range_profiled(start, end, cancel, &mut profile)
                 .map_err(|e| e.to_string())?;
+            run_app
+                .metrics
+                .record_profile(run_request.resolved.name(), &profile);
+            if let Some(context) = &context {
+                run_app.trace.record(Span {
+                    trace_id: context.trace_id.clone(),
+                    id: span_id(&context.trace_id, "shard-exec", start),
+                    parent: Some(context.parent),
+                    name: "shard-exec".to_string(),
+                    start_us: started_us,
+                    end_us: run_app.trace.now_us(),
+                    attrs: vec![
+                        ("range".to_string(), format!("[{start}, {end})")),
+                        ("steps".to_string(), profile.steps.to_string()),
+                        (
+                            "propensity_evals".to_string(),
+                            profile.propensity_evals.to_string(),
+                        ),
+                    ],
+                });
+            }
             Ok(ChunkOutput::Body(SimulateRequest::render_partial(&partial)))
         };
         let finish_key = key.clone();
@@ -478,18 +845,14 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
             finish_app.cache.insert(&finish_key, &body);
             Ok(body)
         };
-        return submit_cached_job(
-            app,
-            "simulate-shard",
-            key,
-            request.priority,
-            request.wait,
+        let (priority, wait) = (request.priority, request.wait);
+        return submit_cached_job(app, "simulate-shard", key, priority, wait, move |_| {
             JobWork {
                 chunks: 1,
                 run_chunk: Box::new(run_chunk),
                 finish: Box::new(finish),
-            },
-        );
+            }
+        });
     }
 
     // Chunk the ensemble. On a coordinator the chunks are fabric shards
@@ -501,79 +864,172 @@ fn submit_simulate(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
         .as_ref()
         .filter(|f| !f.registry().is_empty())
         .cloned();
-    type ChunkRunner = Box<
-        dyn Fn(usize, &gillespie::engine::CancelToken) -> Result<ChunkOutput, String> + Send + Sync,
-    >;
-    let (chunks, run_chunk): (usize, ChunkRunner) = match fabric {
-        Some(fabric) => {
-            let plan = fabric.plan(request.trials);
-            let run_request = Arc::clone(&request);
-            let chunks = plan.len();
-            let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
-                let partial = fabric.run_shard(&run_request, plan[index], cancel)?;
-                Ok(ChunkOutput::Partial(Box::new(partial)))
-            };
-            (chunks, Box::new(run_chunk) as _)
-        }
-        None => {
-            let workers = app.scheduler.stats().workers as u64;
-            let target_chunks = (workers * 4).clamp(1, request.trials);
-            let chunk_size = request.trials.div_ceil(target_chunks);
-            let chunks = request.trials.div_ceil(chunk_size) as usize;
-            let run_request = Arc::clone(&request);
-            let trials = request.trials;
-            let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
-                let start = index as u64 * chunk_size;
-                let end = (start + chunk_size).min(trials);
-                let classifier = run_request.classifier().map_err(|e| e.to_string())?;
-                let ensemble =
-                    Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
-                        .options(run_request.ensemble_options());
-                let partial = ensemble
-                    .run_range(start, end, cancel)
-                    .map_err(|e| e.to_string())?;
-                Ok(ChunkOutput::Partial(Box::new(partial)))
-            };
-            (chunks, Box::new(run_chunk) as _)
-        }
-    };
-
-    let finish_request = Arc::clone(&request);
+    let (priority, wait) = (request.priority, request.wait);
+    // Read the worker count up front: the build callback below runs under
+    // the scheduler lock, where calling back into `scheduler.stats()`
+    // would deadlock.
+    let scheduler_workers = app.scheduler.stats().workers as u64;
+    let build_app = Arc::clone(app);
     let finish_key = key.clone();
-    let finish_app = Arc::clone(app);
-    let finish = move |outputs: Vec<ChunkOutput>| {
-        let partials: Vec<EnsemblePartial> = outputs
-            .into_iter()
-            .map(|output| match output {
-                ChunkOutput::Partial(partial) => *partial,
-                ChunkOutput::Body(_) => unreachable!("simulate chunks produce partials"),
-            })
-            .collect();
-        let classifier = finish_request.classifier().map_err(|e| e.to_string())?;
-        let ensemble = Ensemble::new(
-            &finish_request.crn,
-            finish_request.initial.clone(),
-            classifier,
-        )
-        .options(finish_request.ensemble_options());
-        let report = ensemble.merge(partials).map_err(|e| e.to_string())?;
-        let body = finish_request.render_report(&report);
-        finish_app.cache.insert(&finish_key, &body);
-        Ok(body)
-    };
+    submit_cached_job(app, "simulate", key, priority, wait, move |id| {
+        let app = build_app;
+        let sink = Arc::clone(app.trace());
+        let trace_id = id.to_string();
+        let root = span_id(&trace_id, "job", 0);
+        sink.record(Span {
+            trace_id: trace_id.clone(),
+            id: span_id(&trace_id, "parse", 0),
+            parent: Some(root),
+            name: "parse".to_string(),
+            start_us: parse_started_us,
+            end_us: parse_done_us,
+            attrs: Vec::new(),
+        });
+        sink.record(Span {
+            trace_id: trace_id.clone(),
+            id: span_id(&trace_id, "classify", 0),
+            parent: Some(root),
+            name: "classify".to_string(),
+            start_us: parse_done_us,
+            end_us: classify_done_us,
+            attrs: vec![
+                ("method".to_string(), request.method.name().to_string()),
+                ("resolved".to_string(), request.resolved.name().to_string()),
+            ],
+        });
 
-    submit_cached_job(
-        app,
-        "simulate",
-        key,
-        request.priority,
-        request.wait,
+        type ChunkRunner = Box<
+            dyn Fn(usize, &gillespie::engine::CancelToken) -> Result<ChunkOutput, String>
+                + Send
+                + Sync,
+        >;
+        let (chunks, run_chunk): (usize, ChunkRunner) = match fabric {
+            Some(fabric) => {
+                let plan = fabric.plan(request.trials);
+                let run_request = Arc::clone(&request);
+                let chunks = plan.len();
+                let run_sink = Arc::clone(&sink);
+                let run_trace_id = trace_id.clone();
+                let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+                    let shard_span = span_id(&run_trace_id, "shard", index as u64);
+                    let shard_trace = ShardTrace {
+                        sink: Arc::clone(&run_sink),
+                        trace_id: run_trace_id.clone(),
+                        parent: shard_span,
+                        index: index as u64,
+                    };
+                    let started_us = run_sink.now_us();
+                    let result =
+                        fabric.run_shard(&run_request, plan[index], cancel, Some(&shard_trace));
+                    run_sink.record(Span {
+                        trace_id: run_trace_id.clone(),
+                        id: shard_span,
+                        parent: Some(span_id(&run_trace_id, "job", 0)),
+                        name: "shard".to_string(),
+                        start_us: started_us,
+                        end_us: run_sink.now_us(),
+                        attrs: vec![
+                            (
+                                "range".to_string(),
+                                format!("[{}, {})", plan[index].0, plan[index].1),
+                            ),
+                            (
+                                "outcome".to_string(),
+                                if result.is_ok() { "ok" } else { "error" }.to_string(),
+                            ),
+                        ],
+                    });
+                    Ok(ChunkOutput::Partial(Box::new(result?)))
+                };
+                (chunks, Box::new(run_chunk) as _)
+            }
+            None => {
+                let target_chunks = (scheduler_workers * 4).clamp(1, request.trials);
+                let chunk_size = request.trials.div_ceil(target_chunks);
+                let chunks = request.trials.div_ceil(chunk_size) as usize;
+                let run_request = Arc::clone(&request);
+                let trials = request.trials;
+                let run_app = Arc::clone(&app);
+                let run_sink = Arc::clone(&sink);
+                let run_trace_id = trace_id.clone();
+                let run_chunk = move |index: usize, cancel: &gillespie::engine::CancelToken| {
+                    let start = index as u64 * chunk_size;
+                    let end = (start + chunk_size).min(trials);
+                    let started_us = run_sink.now_us();
+                    let classifier = run_request.classifier().map_err(|e| e.to_string())?;
+                    let ensemble =
+                        Ensemble::new(&run_request.crn, run_request.initial.clone(), classifier)
+                            .options(run_request.ensemble_options());
+                    let mut profile = SimProfile::default();
+                    let partial = ensemble
+                        .run_range_profiled(start, end, cancel, &mut profile)
+                        .map_err(|e| e.to_string())?;
+                    run_app
+                        .metrics
+                        .record_profile(run_request.resolved.name(), &profile);
+                    run_sink.record(Span {
+                        trace_id: run_trace_id.clone(),
+                        id: span_id(&run_trace_id, "shard", index as u64),
+                        parent: Some(span_id(&run_trace_id, "job", 0)),
+                        name: "shard".to_string(),
+                        start_us: started_us,
+                        end_us: run_sink.now_us(),
+                        attrs: vec![
+                            ("range".to_string(), format!("[{start}, {end})")),
+                            ("steps".to_string(), profile.steps.to_string()),
+                            (
+                                "propensity_evals".to_string(),
+                                profile.propensity_evals.to_string(),
+                            ),
+                        ],
+                    });
+                    Ok(ChunkOutput::Partial(Box::new(partial)))
+                };
+                (chunks, Box::new(run_chunk) as _)
+            }
+        };
+
+        let finish_request = Arc::clone(&request);
+        let finish_app = Arc::clone(&app);
+        let finish_trace_id = trace_id;
+        let finish = move |outputs: Vec<ChunkOutput>| {
+            let merge_started_us = finish_app.trace.now_us();
+            let partials: Vec<EnsemblePartial> = outputs
+                .into_iter()
+                .map(|output| match output {
+                    ChunkOutput::Partial(partial) => *partial,
+                    ChunkOutput::Body(_) => unreachable!("simulate chunks produce partials"),
+                })
+                .collect();
+            let merged = partials.len();
+            let classifier = finish_request.classifier().map_err(|e| e.to_string())?;
+            let ensemble = Ensemble::new(
+                &finish_request.crn,
+                finish_request.initial.clone(),
+                classifier,
+            )
+            .options(finish_request.ensemble_options());
+            let report = ensemble.merge(partials).map_err(|e| e.to_string())?;
+            let body = finish_request.render_report(&report);
+            finish_app.cache.insert(&finish_key, &body);
+            finish_app.trace.record(Span {
+                trace_id: finish_trace_id.clone(),
+                id: span_id(&finish_trace_id, "merge", 0),
+                parent: Some(span_id(&finish_trace_id, "job", 0)),
+                name: "merge".to_string(),
+                start_us: merge_started_us,
+                end_us: finish_app.trace.now_us(),
+                attrs: vec![("partials".to_string(), merged.to_string())],
+            });
+            Ok(body)
+        };
+
         JobWork {
             chunks,
             run_chunk,
             finish: Box::new(finish),
-        },
-    )
+        }
+    })
 }
 
 /// Builds the single-chunk job for an analysis endpoint whose work is one
@@ -607,7 +1063,7 @@ fn submit_exact(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     let key = request.cache_key();
     let (priority, wait) = (request.priority, request.wait);
     let work = analysis_job(app, key.clone(), move || request.execute());
-    submit_cached_job(app, "exact", key, priority, wait, work)
+    submit_cached_job(app, "exact", key, priority, wait, move |_| work)
 }
 
 fn submit_synthesize(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
@@ -618,7 +1074,7 @@ fn submit_synthesize(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
     let key = request.cache_key();
     let (priority, wait) = (request.priority, request.wait);
     let work = analysis_job(app, key.clone(), move || request.execute());
-    submit_cached_job(app, "synthesize", key, priority, wait, work)
+    submit_cached_job(app, "synthesize", key, priority, wait, move |_| work)
 }
 
 fn submit_check(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
@@ -635,7 +1091,7 @@ fn submit_check(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
             .next()
             .expect("a sweepless request has exactly one point");
         let work = analysis_job(app, key.clone(), move || point.execute());
-        return submit_cached_job(app, "check", key, priority, wait, work);
+        return submit_cached_job(app, "check", key, priority, wait, move |_| work);
     }
 
     // A sweep runs each grid point as its own chunk — locally on the
@@ -685,18 +1141,11 @@ fn submit_check(app: &Arc<App>, ctx: &RouteContext<'_>) -> Response {
         Ok(body)
     };
 
-    submit_cached_job(
-        app,
-        "check-sweep",
-        key,
-        priority,
-        wait,
-        JobWork {
-            chunks,
-            run_chunk: Box::new(run_chunk),
-            finish: Box::new(finish),
-        },
-    )
+    submit_cached_job(app, "check-sweep", key, priority, wait, move |_| JobWork {
+        chunks,
+        run_chunk: Box::new(run_chunk),
+        finish: Box::new(finish),
+    })
 }
 
 fn parse_job_id(ctx: &RouteContext<'_>) -> Result<JobId, ServiceError> {

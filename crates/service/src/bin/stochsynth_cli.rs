@@ -47,10 +47,15 @@ commands:
   fetch     --job ID          print the job's current status/result
   cancel    --job ID
   health
-  metrics
+  metrics   [--format text]   JSON by default; text exposition with --format
+  trace     --job ID          the job's recorded trace-span tree
   fabric    [--register HOST:PORT]   show coordinator fabric state, or
                                      register a worker first
-  shutdown  [--deadline-ms N]";
+  shutdown  [--deadline-ms N]
+
+global options:
+  --log-level SPEC   log floor, e.g. `debug` or `info,service::http=trace`
+  --log-json         emit structured JSON log lines on stderr";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -59,8 +64,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let flag = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{}`\n{USAGE}", args[i]))?;
-        // `--wait` is boolean; everything else takes a value.
-        if flag == "wait" {
+        // `--wait` and `--log-json` are boolean; everything else takes a
+        // value.
+        if flag == "wait" || flag == "log-json" {
             flags.insert(flag.to_string(), "1".to_string());
             i += 1;
         } else {
@@ -113,6 +119,14 @@ fn run() -> Result<ExitCode, String> {
         return Err(USAGE.to_string());
     }
     let flags = parse_flags(rest)?;
+    if let Some(spec) = flags.get("log-level") {
+        obs::logger()
+            .set_level_spec(spec)
+            .map_err(|e| format!("--log-level: {e}"))?;
+    }
+    if flags.contains_key("log-json") {
+        obs::logger().set_json(true);
+    }
     let server = flags
         .get("server")
         .ok_or_else(|| format!("--server is required\n{USAGE}"))?;
@@ -323,7 +337,17 @@ fn run() -> Result<ExitCode, String> {
         "fetch" => client.get(&job_path()?)?,
         "cancel" => client.delete(&job_path()?)?,
         "health" => client.get("/healthz")?,
-        "metrics" => client.get("/metrics")?,
+        "metrics" => match flags.get("format").map(String::as_str) {
+            Some("text") => client.get("/metrics?format=text")?,
+            Some(other) => return Err(format!("unknown metrics format `{other}`\n{USAGE}")),
+            None => client.get("/metrics")?,
+        },
+        "trace" => {
+            let id = flags
+                .get("job")
+                .ok_or_else(|| format!("--job is required\n{USAGE}"))?;
+            client.get(&format!("/trace/{id}"))?
+        }
         "fabric" => match flags.get("register") {
             Some(worker) => client.post(
                 "/fabric/workers",

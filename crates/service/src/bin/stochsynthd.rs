@@ -22,7 +22,8 @@ use service::{serve, FabricConfig, ServiceConfig};
 const USAGE: &str = "usage: stochsynthd [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--max-body BYTES] [--port-file PATH] \
                      [--fabric-worker HOST:PORT]... [--shard-trials N] \
-                     [--shard-attempts N] [--shard-backoff-ms MS] [--shard-timeout-s S]";
+                     [--shard-attempts N] [--shard-backoff-ms MS] [--shard-timeout-s S] \
+                     [--log-level SPEC] [--log-json] [--slow-request-ms MS]";
 
 struct Args {
     config: ServiceConfig,
@@ -38,11 +39,25 @@ fn parse_args() -> Result<Args, String> {
         if flag == "--help" || flag == "-h" {
             return Err(USAGE.to_string());
         }
+        // `--log-json` is the one boolean flag; everything else takes a
+        // value.
+        if flag == "--log-json" {
+            obs::logger().set_json(true);
+            continue;
+        }
         let value = args
             .next()
             .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
         match flag.as_str() {
             "--addr" => config.addr = value,
+            "--log-level" => obs::logger()
+                .set_level_spec(&value)
+                .map_err(|e| format!("--log-level: {e}"))?,
+            "--slow-request-ms" => {
+                config.slow_request_ms = value
+                    .parse()
+                    .map_err(|_| format!("--slow-request-ms: invalid threshold `{value}`"))?
+            }
             "--fabric-worker" => fabric.workers.push(value),
             "--shard-trials" => {
                 fabric.shard_trials = value

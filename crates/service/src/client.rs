@@ -123,7 +123,7 @@ impl Client {
     /// Returns a transport-level message; HTTP error statuses are returned
     /// as replies, not errors.
     pub fn get(&self, path: &str) -> Result<HttpReply, String> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// Sends `POST path` with a JSON body.
@@ -132,7 +132,23 @@ impl Client {
     ///
     /// See [`Client::get`].
     pub fn post(&self, path: &str, body: &str) -> Result<HttpReply, String> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// Sends `POST path` with a JSON body plus extra request headers (the
+    /// fabric coordinator stamps `X-Stochsynth-Trace` on shard dispatches
+    /// this way). Header names and values must not contain CR/LF.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::get`].
+    pub fn post_with_headers(
+        &self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<HttpReply, String> {
+        self.request("POST", path, Some(body), headers)
     }
 
     /// Sends `DELETE path`.
@@ -141,10 +157,16 @@ impl Client {
     ///
     /// See [`Client::get`].
     pub fn delete(&self, path: &str) -> Result<HttpReply, String> {
-        self.request("DELETE", path, None)
+        self.request("DELETE", path, None, &[])
     }
 
-    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<HttpReply, String> {
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<HttpReply, String> {
         let stream = self.connect()?;
         stream
             .set_read_timeout(Some(self.timeout))
@@ -154,12 +176,23 @@ impl Client {
             .map_err(|e| e.to_string())?;
         let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
         let body = body.unwrap_or("");
-        let request = format!(
+        let mut request = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
-             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+             content-length: {}\r\nconnection: close\r\n",
             self.addrs[0],
             body.len()
         );
+        for (name, value) in extra_headers {
+            if name.contains(['\r', '\n']) || value.contains(['\r', '\n']) {
+                return Err(format!("header `{name}` contains CR/LF"));
+            }
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
         write_half
             .write_all(request.as_bytes())
             .map_err(|e| format!("send failed: {e}"))?;

@@ -35,16 +35,40 @@
 //! verdict cached worker-side under the point's canonical key.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use gillespie::engine::CancelToken;
 use gillespie::{EnsemblePartial, Moments};
+use obs::log::{event, Level, Value};
+use obs::trace::{span_id, Span, TraceContext, TraceSink};
+use obs::MetricsRegistry;
 
 use crate::api::{CheckPoint, SimulateRequest};
 use crate::client::Client;
 use crate::json::Json;
 use crate::registry::{WorkerRegistry, WorkerSnapshot};
+
+/// The request header a coordinator stamps on every shard dispatch so the
+/// worker's spans attach to the coordinator's trace tree.
+pub const TRACE_HEADER: &str = "x-stochsynth-trace";
+
+/// Trace coordinates for one shard's dispatches: the sink spans are
+/// recorded into, the owning trace, and the shard span every dispatch
+/// attempt nests under. Purely observational — dispatch order, retries and
+/// merges are identical with or without it.
+#[derive(Clone)]
+pub struct ShardTrace {
+    /// Where dispatch spans are recorded.
+    pub sink: Arc<TraceSink>,
+    /// The coordinator's trace id (its job id, as text).
+    pub trace_id: String,
+    /// The shard span's id — the parent of every dispatch attempt span.
+    pub parent: u64,
+    /// The shard's chunk index, folded into dispatch span ids so attempts
+    /// of different shards never collide.
+    pub index: u64,
+}
 
 /// Configuration of a fabric coordinator.
 #[derive(Debug, Clone)]
@@ -117,6 +141,9 @@ pub struct Fabric {
     /// by shard moments as they land — the streaming monitoring surface of
     /// long jobs (`GET /fabric` exposes it mid-flight).
     streamed: Mutex<Moments>,
+    /// When set, per-worker round-trip histograms
+    /// (`fabric_shard_rtt_us{worker="…"}`) are recorded here.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Fabric {
@@ -136,7 +163,16 @@ impl Fabric {
             remote_cache_hits: AtomicU64::new(0),
             remote_cache_misses: AtomicU64::new(0),
             streamed: Mutex::new(Moments::new()),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry; dispatches then record per-worker
+    /// round-trip histograms into it.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Fabric {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The worker registry (for `/fabric/workers` registration and tests).
@@ -181,10 +217,11 @@ impl Fabric {
         request: &SimulateRequest,
         range: (u64, u64),
         cancel: &CancelToken,
+        trace: Option<&ShardTrace>,
     ) -> Result<EnsemblePartial, String> {
         let body = request.to_wire(range);
         let what = format!("shard [{}, {})", range.0, range.1);
-        let partial = self.post_with_retry("/simulate", &body, &what, cancel, |body| {
+        let partial = self.post_with_retry("/simulate", &body, &what, cancel, trace, |body| {
             let json = crate::json::parse(body)?;
             SimulateRequest::parse_partial(&json).map_err(|e| e.to_string())
         })?;
@@ -214,7 +251,7 @@ impl Fabric {
     ) -> Result<String, String> {
         let body = point.to_wire();
         let what = format!("check point {index}");
-        self.post_with_retry("/check", &body, &what, cancel, |body| {
+        self.post_with_retry("/check", &body, &what, cancel, None, |body| {
             // A worker that hit its wait timeout answers 200 with a job
             // *status* document; treat anything but a verdict as a failed
             // dispatch so the point retries rather than polluting the sweep.
@@ -236,6 +273,7 @@ impl Fabric {
         body: &str,
         what: &str,
         cancel: &CancelToken,
+        trace: Option<&ShardTrace>,
         parse: impl Fn(&str) -> Result<T, String>,
     ) -> Result<T, String> {
         let mut backoff = self.config.backoff;
@@ -246,6 +284,17 @@ impl Fabric {
             }
             if attempt > 0 {
                 self.shard_retries.fetch_add(1, Ordering::Relaxed);
+                event(
+                    Level::Debug,
+                    "service::fabric",
+                    "retry",
+                    &[
+                        ("what", Value::str(what)),
+                        ("attempt", Value::U64(u64::from(attempt))),
+                        ("backoff_ms", Value::U64(backoff.as_millis() as u64)),
+                        ("last_error", Value::str(&last_error)),
+                    ],
+                );
                 sleep_cancellable(backoff, cancel);
                 backoff = (backoff * 2).min(self.config.backoff_cap);
             }
@@ -253,10 +302,56 @@ impl Fabric {
                 return Err("no workers registered".to_string());
             };
             self.shards_dispatched.fetch_add(1, Ordering::Relaxed);
-            match self
-                .dispatch(&addr, path, body)
-                .and_then(|(body, hit)| parse(&body).map(|parsed| (parsed, hit)))
-            {
+            // The dispatch span id is computed *before* the call so the
+            // worker can be told its parent through the trace header.
+            let dispatch_span = trace.map(|t| {
+                (
+                    span_id(&t.trace_id, "dispatch", t.index * 1000 + u64::from(attempt)),
+                    t.sink.now_us(),
+                )
+            });
+            let started = Instant::now();
+            let outcome = self
+                .dispatch(&addr, path, body, trace.zip(dispatch_span))
+                .and_then(|(body, hit)| parse(&body).map(|parsed| (parsed, hit)));
+            let rtt = started.elapsed();
+            let rtt_us = u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX);
+            if let Some(registry) = &self.metrics {
+                registry
+                    .histogram(&format!("fabric_shard_rtt_us{{worker=\"{addr}\"}}"))
+                    .record(rtt_us);
+            }
+            if let (Some(t), Some((id, start_us))) = (trace, dispatch_span) {
+                t.sink.record(Span {
+                    trace_id: t.trace_id.clone(),
+                    id,
+                    parent: Some(t.parent),
+                    name: "dispatch".to_string(),
+                    start_us,
+                    end_us: t.sink.now_us(),
+                    attrs: vec![
+                        ("worker".to_string(), addr.clone()),
+                        ("attempt".to_string(), attempt.to_string()),
+                        (
+                            "outcome".to_string(),
+                            if outcome.is_ok() { "ok" } else { "error" }.to_string(),
+                        ),
+                    ],
+                });
+            }
+            event(
+                Level::Trace,
+                "service::fabric",
+                "dispatch",
+                &[
+                    ("what", Value::str(what)),
+                    ("worker", Value::str(&addr)),
+                    ("attempt", Value::U64(u64::from(attempt))),
+                    ("rtt_us", Value::U64(rtt_us)),
+                    ("ok", Value::Bool(outcome.is_ok())),
+                ],
+            );
+            match outcome {
                 Ok((parsed, cache_hit)) => {
                     self.registry.record_success(&addr, cache_hit);
                     if cache_hit {
@@ -274,19 +369,49 @@ impl Fabric {
                 }
             }
         }
+        event(
+            Level::Warn,
+            "service::fabric",
+            "dispatch_exhausted",
+            &[
+                ("what", Value::str(what)),
+                ("attempts", Value::U64(u64::from(self.config.max_attempts))),
+                ("last_error", Value::str(&last_error)),
+            ],
+        );
         Err(format!(
             "{what} failed after {} attempts: {last_error}",
             self.config.max_attempts
         ))
     }
 
-    /// One dispatch: post the request, check the status, report the body
-    /// and whether the worker's cache answered it.
-    fn dispatch(&self, addr: &str, path: &str, body: &str) -> Result<(String, bool), String> {
+    /// One dispatch: post the request (stamping the trace header when this
+    /// hop is traced), check the status, report the body and whether the
+    /// worker's cache answered it.
+    fn dispatch(
+        &self,
+        addr: &str,
+        path: &str,
+        body: &str,
+        hop: Option<(&ShardTrace, (u64, u64))>,
+    ) -> Result<(String, bool), String> {
         let client = Client::new(addr)?
             .timeout(self.config.request_timeout)
             .connect_timeout(self.config.connect_timeout);
-        let reply = client.post(path, body)?;
+        let reply = match hop {
+            Some((t, (dispatch_span, _))) => {
+                let context = TraceContext {
+                    trace_id: t.trace_id.clone(),
+                    parent: dispatch_span,
+                };
+                client.post_with_headers(
+                    path,
+                    body,
+                    &[(TRACE_HEADER, context.header_value().as_str())],
+                )?
+            }
+            None => client.post(path, body)?,
+        };
         if !reply.is_success() {
             return Err(format!("status {}: {}", reply.status, reply.body));
         }
@@ -405,7 +530,7 @@ mod tests {
                 .unwrap();
         let request = SimulateRequest::parse(&body).unwrap();
         let err = fabric
-            .run_shard(&request, (0, 10), &CancelToken::new())
+            .run_shard(&request, (0, 10), &CancelToken::new(), None)
             .unwrap_err();
         assert!(err.contains("no workers"), "err: {err}");
     }
@@ -422,7 +547,9 @@ mod tests {
         let request = SimulateRequest::parse(&body).unwrap();
         let token = CancelToken::new();
         token.cancel();
-        let err = fabric.run_shard(&request, (0, 10), &token).unwrap_err();
+        let err = fabric
+            .run_shard(&request, (0, 10), &token, None)
+            .unwrap_err();
         assert!(err.contains("cancelled"), "err: {err}");
     }
 }

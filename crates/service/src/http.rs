@@ -238,6 +238,19 @@ impl Response {
         }
     }
 
+    /// Builds a plain-text response with the given status (used by the
+    /// Prometheus-style `/metrics?format=text` exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![(
+                "content-type".to_string(),
+                "text/plain; charset=utf-8".to_string(),
+            )],
+            body: body.into(),
+        }
+    }
+
     /// Adds a header.
     pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
         self.headers.push((name.into(), value.into()));
@@ -258,12 +271,18 @@ impl Response {
     ///
     /// Propagates socket write errors.
     pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> std::io::Result<()> {
+        // `application/json` is the protocol default; a response that set
+        // its own `content-type` header (the text metrics exposition)
+        // overrides it instead of sending two.
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\n",
             self.status,
             status_text(self.status),
             self.body.len()
         );
+        if self.header_value("content-type").is_none() {
+            out.push_str("content-type: application/json\r\n");
+        }
         for (name, value) in &self.headers {
             out.push_str(name);
             out.push_str(": ");
@@ -413,6 +432,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("cache: hit\r\n"));
         assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn explicit_content_type_overrides_the_json_default() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::text(200, "a 1\n")
+                .write_to(&mut stream, true)
+                .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.contains("content-type: text/plain; charset=utf-8\r\n"));
+        assert!(!text.contains("application/json"), "{text}");
+        assert!(text.ends_with("a 1\n"));
     }
 }

@@ -81,13 +81,13 @@ pub use app::{serve, App, ServiceConfig, ServiceHandle};
 pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, HttpReply};
 pub use error::ServiceError;
-pub use fabric::{Fabric, FabricConfig, FabricStats};
+pub use fabric::{Fabric, FabricConfig, FabricStats, ShardTrace, TRACE_HEADER};
 pub use http::{Method, Request, Response};
-pub use metrics::Metrics;
+pub use metrics::{EndpointMetrics, Metrics};
 pub use registry::{WorkerRegistry, WorkerSnapshot};
 pub use router::{Handler, RouteContext, Router};
 pub use scheduler::{
     ChunkOutput, DrainReport, JobId, JobSnapshot, JobState, JobWork, Scheduler, SchedulerStats,
-    SubmitError,
+    SchedulerTelemetry, SubmitError,
 };
 pub use server::{ResponseObserver, Server, ServerHandle};

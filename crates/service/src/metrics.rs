@@ -1,43 +1,90 @@
-//! Service-wide counters surfaced through `GET /metrics`.
+//! Service-wide telemetry surfaced through `GET /metrics`.
+//!
+//! Counters, gauges and latency histograms live in one
+//! [`obs::MetricsRegistry`]; the legacy JSON body of `GET /metrics` reads
+//! the same handles (so its shape is unchanged), and
+//! `GET /metrics?format=text` renders the whole registry as a
+//! Prometheus-style text exposition. Cache and scheduler counters live with
+//! their owners ([`ResultCache`](crate::ResultCache),
+//! [`Scheduler`](crate::Scheduler)) and are merged into both bodies by the
+//! app layer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Lock-free request/response counters. Cache and scheduler counters live
-/// with their owners ([`ResultCache`](crate::ResultCache),
-/// [`Scheduler`](crate::Scheduler)) and are merged into the `/metrics` body
-/// by the app layer.
+use gillespie::SimProfile;
+use obs::{Counter, Histogram, MetricsRegistry};
+
+/// The per-endpoint telemetry handles the request wrapper bumps: request
+/// count, 4xx/5xx breakdown and a service-time histogram. Handles are
+/// shared `Arc`s from the registry, so asking twice for the same endpoint
+/// returns the same series.
+#[derive(Debug, Clone)]
+pub struct EndpointMetrics {
+    /// Requests dispatched to this endpoint's handler.
+    pub requests: Arc<Counter>,
+    /// 4xx responses from this endpoint.
+    pub responses_4xx: Arc<Counter>,
+    /// 5xx responses from this endpoint.
+    pub responses_5xx: Arc<Counter>,
+    /// Handler service time, microseconds.
+    pub latency_us: Arc<Histogram>,
+}
+
+impl EndpointMetrics {
+    /// Records one handled response: the request count, the status class
+    /// and the service time.
+    pub fn observe(&self, status: u16, elapsed: Duration) {
+        self.requests.inc();
+        if (400..500).contains(&status) {
+            self.responses_4xx.inc();
+        } else if status >= 500 {
+            self.responses_5xx.inc();
+        }
+        self.latency_us
+            .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+}
+
+/// The service's typed metrics: a registry plus named handles for the
+/// series the JSON body of `GET /metrics` reads directly.
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
+    registry: Arc<MetricsRegistry>,
     /// Total HTTP responses written — one per request the server answered,
     /// including framing-level `400`/`413` rejections and router-level
     /// `404`/`405`s that never reach a handler.
-    pub requests: AtomicU64,
-    /// Responses with a 4xx status.
-    pub responses_4xx: AtomicU64,
-    /// Responses with a 5xx status.
-    pub responses_5xx: AtomicU64,
+    pub requests: Arc<Counter>,
+    /// Responses with a 4xx status (all endpoints).
+    pub responses_4xx: Arc<Counter>,
+    /// Responses with a 5xx status (all endpoints).
+    pub responses_5xx: Arc<Counter>,
     /// `POST /simulate` requests.
-    pub simulate_requests: AtomicU64,
+    pub simulate_requests: Arc<Counter>,
     /// `POST /exact` requests.
-    pub exact_requests: AtomicU64,
+    pub exact_requests: Arc<Counter>,
     /// `POST /synthesize` requests.
-    pub synthesize_requests: AtomicU64,
+    pub synthesize_requests: Arc<Counter>,
     /// `POST /check` requests.
-    pub check_requests: AtomicU64,
+    pub check_requests: Arc<Counter>,
     /// `method: auto` simulate requests resolved to the direct method.
-    pub auto_resolved_direct: AtomicU64,
+    pub auto_resolved_direct: Arc<Counter>,
     /// `method: auto` simulate requests resolved to first-reaction.
-    pub auto_resolved_first_reaction: AtomicU64,
+    pub auto_resolved_first_reaction: Arc<Counter>,
     /// `method: auto` simulate requests resolved to next-reaction.
-    pub auto_resolved_next_reaction: AtomicU64,
+    pub auto_resolved_next_reaction: Arc<Counter>,
     /// `method: auto` simulate requests resolved to composition–rejection.
-    pub auto_resolved_composition_rejection: AtomicU64,
+    pub auto_resolved_composition_rejection: Arc<Counter>,
     /// `method: auto` simulate requests resolved to tau-leaping.
-    pub auto_resolved_tau_leaping: AtomicU64,
+    pub auto_resolved_tau_leaping: Arc<Counter>,
     /// `method: auto` simulate requests resolved to the hybrid stepper.
-    pub auto_resolved_hybrid: AtomicU64,
+    pub auto_resolved_hybrid: Arc<Counter>,
+    /// Result-cache lookup latency, microseconds.
+    pub cache_lookup_us: Arc<Histogram>,
+    /// Scheduler queue wait (submission → first chunk dispatched),
+    /// microseconds. The handle is shared with the scheduler's telemetry.
+    pub queue_wait_us: Arc<Histogram>,
 }
 
 impl Default for Metrics {
@@ -47,23 +94,55 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Creates zeroed counters with the clock started now.
+    /// Creates zeroed series with the clock started now.
     pub fn new() -> Metrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        let auto = |stepper: &str| {
+            registry.counter(&format!("auto_resolutions_total{{stepper=\"{stepper}\"}}"))
+        };
         Metrics {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            responses_4xx: AtomicU64::new(0),
-            responses_5xx: AtomicU64::new(0),
-            simulate_requests: AtomicU64::new(0),
-            exact_requests: AtomicU64::new(0),
-            synthesize_requests: AtomicU64::new(0),
-            check_requests: AtomicU64::new(0),
-            auto_resolved_direct: AtomicU64::new(0),
-            auto_resolved_first_reaction: AtomicU64::new(0),
-            auto_resolved_next_reaction: AtomicU64::new(0),
-            auto_resolved_composition_rejection: AtomicU64::new(0),
-            auto_resolved_tau_leaping: AtomicU64::new(0),
-            auto_resolved_hybrid: AtomicU64::new(0),
+            requests: registry.counter("http_requests_total"),
+            responses_4xx: registry.counter("http_responses_total{class=\"4xx\"}"),
+            responses_5xx: registry.counter("http_responses_total{class=\"5xx\"}"),
+            simulate_requests: registry.counter("http_requests_total{endpoint=\"simulate\"}"),
+            exact_requests: registry.counter("http_requests_total{endpoint=\"exact\"}"),
+            synthesize_requests: registry.counter("http_requests_total{endpoint=\"synthesize\"}"),
+            check_requests: registry.counter("http_requests_total{endpoint=\"check\"}"),
+            auto_resolved_direct: auto("direct"),
+            auto_resolved_first_reaction: auto("first-reaction"),
+            auto_resolved_next_reaction: auto("next-reaction"),
+            auto_resolved_composition_rejection: auto("composition-rejection"),
+            auto_resolved_tau_leaping: auto("tau-leaping"),
+            auto_resolved_hybrid: auto("hybrid"),
+            cache_lookup_us: registry.histogram("cache_lookup_duration_us"),
+            queue_wait_us: registry.histogram("scheduler_queue_wait_us"),
+            registry,
+        }
+    }
+
+    /// The registry behind every handle (for the text exposition and for
+    /// subsystems that register their own series — the fabric's per-worker
+    /// round-trip histograms).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The per-endpoint handles for `endpoint`, registered on first use.
+    pub fn endpoint(&self, endpoint: &str) -> EndpointMetrics {
+        EndpointMetrics {
+            requests: self
+                .registry
+                .counter(&format!("http_requests_total{{endpoint=\"{endpoint}\"}}")),
+            responses_4xx: self.registry.counter(&format!(
+                "http_responses_total{{endpoint=\"{endpoint}\",class=\"4xx\"}}"
+            )),
+            responses_5xx: self.registry.counter(&format!(
+                "http_responses_total{{endpoint=\"{endpoint}\",class=\"5xx\"}}"
+            )),
+            latency_us: self.registry.histogram(&format!(
+                "http_request_duration_us{{endpoint=\"{endpoint}\"}}"
+            )),
         }
     }
 
@@ -74,7 +153,7 @@ impl Metrics {
     ///
     /// Panics if `kind` is `Auto` itself — resolution always produces a
     /// concrete kind.
-    pub fn auto_resolution_counter(&self, kind: gillespie::StepperKind) -> &AtomicU64 {
+    pub fn auto_resolution_counter(&self, kind: gillespie::StepperKind) -> &Arc<Counter> {
         use gillespie::StepperKind;
         match kind {
             StepperKind::Direct => &self.auto_resolved_direct,
@@ -87,19 +166,30 @@ impl Metrics {
         }
     }
 
-    /// Milliseconds since the service started.
+    /// Adds one chunk's engine work counters to the per-stepper sums
+    /// (`sim_steps_total{stepper="direct"}`, …). Observational only — the
+    /// profile is collected out-of-band and never alters result bytes.
+    pub fn record_profile(&self, stepper: &str, profile: &SimProfile) {
+        let add = |series: &str, value: u64| {
+            if value > 0 {
+                self.registry
+                    .counter(&format!("{series}{{stepper=\"{stepper}\"}}"))
+                    .add(value);
+            }
+        };
+        add("sim_steps_total", profile.steps);
+        add("sim_propensity_evals_total", profile.propensity_evals);
+        add("sim_leaps_accepted_total", profile.leaps_accepted);
+        add("sim_leaps_rejected_total", profile.leaps_rejected);
+        add("sim_rk45_accepted_total", profile.rk45_accepted);
+        add("sim_rk45_rejected_total", profile.rk45_rejected);
+    }
+
+    /// Milliseconds since the service started. Saturates instead of
+    /// truncating: the old `as u64` cast would silently wrap a (very) long
+    /// uptime's u128 millisecond count.
     pub fn uptime_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
-    }
-
-    /// Bumps a counter by one.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Reads a counter.
-    pub fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 }
 
@@ -108,13 +198,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_accumulate() {
+    fn counters_accumulate_through_shared_handles() {
         let metrics = Metrics::new();
-        Metrics::bump(&metrics.requests);
-        Metrics::bump(&metrics.requests);
-        Metrics::bump(&metrics.responses_4xx);
-        assert_eq!(Metrics::read(&metrics.requests), 2);
-        assert_eq!(Metrics::read(&metrics.responses_4xx), 1);
-        assert_eq!(Metrics::read(&metrics.responses_5xx), 0);
+        metrics.requests.inc();
+        metrics.requests.inc();
+        metrics.responses_4xx.inc();
+        assert_eq!(metrics.requests.get(), 2);
+        assert_eq!(metrics.responses_4xx.get(), 1);
+        assert_eq!(metrics.responses_5xx.get(), 0);
+        // The named field and the registry series are the same handle.
+        assert_eq!(metrics.registry().counter("http_requests_total").get(), 2);
+    }
+
+    #[test]
+    fn endpoint_observation_classifies_statuses() {
+        let metrics = Metrics::new();
+        let simulate = metrics.endpoint("simulate");
+        simulate.observe(200, Duration::from_micros(150));
+        simulate.observe(400, Duration::from_micros(50));
+        simulate.observe(500, Duration::from_micros(50));
+        assert_eq!(simulate.requests.get(), 3);
+        assert_eq!(simulate.responses_4xx.get(), 1);
+        assert_eq!(simulate.responses_5xx.get(), 1);
+        assert_eq!(simulate.latency_us.snapshot().count, 3);
+        // The explicit named handle sees the wrapper's counts: same series.
+        assert_eq!(metrics.simulate_requests.get(), 3);
+    }
+
+    #[test]
+    fn profiles_sum_per_stepper() {
+        let metrics = Metrics::new();
+        let profile = SimProfile {
+            steps: 10,
+            propensity_evals: 25,
+            ..SimProfile::default()
+        };
+        metrics.record_profile("direct", &profile);
+        metrics.record_profile("direct", &profile);
+        let text = metrics.registry().render_text(&[]);
+        assert!(
+            text.contains("sim_steps_total{stepper=\"direct\"} 20\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sim_propensity_evals_total{stepper=\"direct\"} 50\n"),
+            "{text}"
+        );
+        // Zero-valued series are not registered at all.
+        assert!(!text.contains("sim_rk45_accepted_total"), "{text}");
     }
 }

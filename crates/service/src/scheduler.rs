@@ -39,6 +39,8 @@ use std::time::{Duration, Instant};
 
 use gillespie::engine::CancelToken;
 use gillespie::EnsemblePartial;
+use obs::log::{event, Level, Value};
+use obs::{Gauge, Histogram};
 
 /// Identifies one submitted job.
 pub type JobId = u64;
@@ -115,6 +117,32 @@ pub struct JobWork {
     /// Merges the chunk outputs into the final body.
     #[allow(clippy::type_complexity)]
     pub finish: Box<dyn Fn(Vec<ChunkOutput>) -> Result<String, String> + Send + Sync>,
+}
+
+/// Observability handles the scheduler updates as jobs move through the
+/// queue. All of it is strictly read-only with respect to scheduling
+/// decisions: the histogram, gauges and hook observe transitions, they
+/// never reorder or delay them — which is what keeps result bytes
+/// independent of whether telemetry is wired up.
+pub struct SchedulerTelemetry {
+    /// Queue wait (submission → first chunk dispatched), microseconds.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Jobs currently waiting in the injector queue.
+    pub queue_depth: Arc<Gauge>,
+    /// Jobs with at least one chunk started and not yet settled.
+    pub running_jobs: Arc<Gauge>,
+    /// Called (under the scheduler lock) when a job leaves the queue and
+    /// starts running: `(id, label, wait)`. The app records the
+    /// `schedule-wait` trace span here. Must not call back into the
+    /// scheduler.
+    #[allow(clippy::type_complexity)]
+    pub on_dequeue: Box<dyn Fn(JobId, &str, Duration) + Send + Sync>,
+}
+
+impl std::fmt::Debug for SchedulerTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedulerTelemetry")
+    }
 }
 
 /// Why a submission was rejected.
@@ -204,6 +232,9 @@ struct JobEntry {
     priority: u8,
     label: String,
     state: JobState,
+    /// When the job entered the queue; the queue-wait histogram measures
+    /// from here to the first chunk expansion.
+    queued_at: Instant,
     cancel: Arc<CancelToken>,
     work: Option<Arc<JobWork>>,
     outputs: Vec<Option<ChunkOutput>>,
@@ -259,8 +290,22 @@ struct SchedState {
     cancelled: u64,
     rejected: u64,
     steals: u64,
+    /// Jobs in `Running` state, maintained incrementally so telemetry
+    /// gauges never need an O(jobs) scan.
+    running_count: usize,
     draining: bool,
     shutdown: bool,
+    telemetry: Option<SchedulerTelemetry>,
+}
+
+impl SchedState {
+    /// Pushes the current queue depth / running count into the gauges.
+    fn publish_gauges(&self) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.queue_depth.set(self.queue.len() as u64);
+            telemetry.running_jobs.set(self.running_count as u64);
+        }
+    }
 }
 
 struct SchedulerInner {
@@ -288,6 +333,16 @@ impl Scheduler {
     /// Starts `workers` threads (0 = one per available CPU) with a bounded
     /// injector queue of `queue_capacity` jobs.
     pub fn new(workers: usize, queue_capacity: usize) -> Scheduler {
+        Scheduler::with_telemetry(workers, queue_capacity, None)
+    }
+
+    /// Like [`Scheduler::new`], with observability handles the scheduler
+    /// updates as jobs move through the queue.
+    pub fn with_telemetry(
+        workers: usize,
+        queue_capacity: usize,
+        telemetry: Option<SchedulerTelemetry>,
+    ) -> Scheduler {
         let workers = if workers > 0 {
             workers
         } else {
@@ -310,8 +365,10 @@ impl Scheduler {
                 cancelled: 0,
                 rejected: 0,
                 steals: 0,
+                running_count: 0,
                 draining: false,
                 shutdown: false,
+                telemetry,
             }),
             cv: Condvar::new(),
             queue_capacity: queue_capacity.max(1),
@@ -342,13 +399,44 @@ impl Scheduler {
         label: impl Into<String>,
         work: JobWork,
     ) -> Result<JobId, SubmitError> {
-        assert!(work.chunks >= 1, "jobs have at least one chunk");
+        self.submit_with(priority, label, move |_| work)
+    }
+
+    /// Submits a job whose work is built *after* the job id is allocated:
+    /// `build` receives the id and returns the [`JobWork`]. This is how the
+    /// app bakes the trace id (the job id, as text) into chunk closures —
+    /// the id does not exist before admission, and recording spans under a
+    /// provisional id would orphan them.
+    ///
+    /// `build` runs under the scheduler lock and must not call back into
+    /// the scheduler; it should only construct closures.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit`]. When the submission is rejected, `build`
+    /// is never called.
+    pub fn submit_with(
+        &self,
+        priority: u8,
+        label: impl Into<String>,
+        build: impl FnOnce(JobId) -> JobWork,
+    ) -> Result<JobId, SubmitError> {
+        let label = label.into();
         let mut state = self.inner.state.lock().expect("scheduler lock");
         if state.draining || state.shutdown {
             return Err(SubmitError::Draining);
         }
         if state.queue.len() >= self.inner.queue_capacity {
             state.rejected += 1;
+            event(
+                Level::Warn,
+                "service::scheduler",
+                "job_rejected",
+                &[
+                    ("label", Value::str(label)),
+                    ("capacity", Value::U64(self.inner.queue_capacity as u64)),
+                ],
+            );
             return Err(SubmitError::QueueFull {
                 capacity: self.inner.queue_capacity,
             });
@@ -357,13 +445,16 @@ impl Scheduler {
         state.next_id += 1;
         let seq = state.next_seq;
         state.next_seq += 1;
+        let work = build(id);
+        assert!(work.chunks >= 1, "jobs have at least one chunk");
         let total_chunks = work.chunks;
         state.jobs.insert(
             id,
             JobEntry {
                 priority: priority.min(9),
-                label: label.into(),
+                label: label.clone(),
                 state: JobState::Queued,
+                queued_at: Instant::now(),
                 cancel: Arc::new(CancelToken::new()),
                 work: Some(Arc::new(work)),
                 outputs: Vec::new(),
@@ -381,6 +472,19 @@ impl Scheduler {
             priority: priority.min(9),
             seq,
         });
+        state.publish_gauges();
+        event(
+            Level::Debug,
+            "service::scheduler",
+            "job_queued",
+            &[
+                ("corr", Value::U64(id)),
+                ("label", Value::str(label)),
+                ("priority", Value::U64(u64::from(priority.min(9)))),
+                ("chunks", Value::U64(total_chunks as u64)),
+                ("queue_depth", Value::U64(state.queue.len() as u64)),
+            ],
+        );
         drop(state);
         self.inner.cv.notify_all();
         Ok(id)
@@ -458,11 +562,7 @@ impl Scheduler {
         SchedulerStats {
             workers: self.inner.workers,
             queued: state.queue.len(),
-            running: state
-                .jobs
-                .values()
-                .filter(|e| e.state == JobState::Running)
-                .count(),
+            running: state.running_count,
             completed: state.completed,
             failed: state.failed,
             cancelled: state.cancelled,
@@ -575,16 +675,38 @@ fn finish_job(state: &mut SchedState, id: JobId, terminal: JobState) {
     };
     let entry = state.jobs.get_mut(&id).expect("job exists");
     debug_assert!(!entry.state.is_terminal());
+    let was_running = entry.state == JobState::Running;
+    let label = entry.label.clone();
+    let error = entry.first_error.clone();
     entry.state = terminal;
     entry.completion_index = Some(counter);
     entry.work = None;
     entry.outputs.clear();
+    if was_running {
+        state.running_count = state.running_count.saturating_sub(1);
+    }
     match terminal {
         JobState::Completed => state.completed += 1,
         JobState::Failed => state.failed += 1,
         JobState::Cancelled => state.cancelled += 1,
         _ => unreachable!("finish_job only sets terminal states"),
     }
+    state.publish_gauges();
+    let mut fields = vec![
+        ("corr", Value::U64(id)),
+        ("label", Value::str(label)),
+        ("state", Value::str(terminal.as_str())),
+        ("completion_index", Value::U64(counter)),
+    ];
+    if let Some(message) = error {
+        fields.push(("error", Value::Str(message)));
+    }
+    let level = if terminal == JobState::Failed {
+        Level::Warn
+    } else {
+        Level::Debug
+    };
+    event(level, "service::scheduler", "job_finished", &fields);
     // Bounded retention: forget the oldest settled jobs (and their result
     // bodies) once more than TERMINAL_RETENTION have accumulated.
     state.terminal_order.push_back(id);
@@ -651,6 +773,8 @@ fn worker_loop(inner: &SchedulerInner, worker: usize) {
                         None
                     } else {
                         entry.state = JobState::Running;
+                        let wait = entry.queued_at.elapsed();
+                        let label = entry.label.clone();
                         let chunks = entry.total_chunks;
                         entry.outputs = (0..chunks).map(|_| None).collect();
                         entry.pending_chunks = chunks;
@@ -660,6 +784,24 @@ fn worker_loop(inner: &SchedulerInner, worker: usize) {
                                 chunk,
                             });
                         }
+                        state.running_count += 1;
+                        let wait_us = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+                        if let Some(telemetry) = &state.telemetry {
+                            telemetry.queue_wait_us.record(wait_us);
+                            (telemetry.on_dequeue)(queued.id, &label, wait);
+                        }
+                        state.publish_gauges();
+                        event(
+                            Level::Debug,
+                            "service::scheduler",
+                            "job_started",
+                            &[
+                                ("corr", Value::U64(queued.id)),
+                                ("label", Value::str(label)),
+                                ("queue_wait_us", Value::U64(wait_us)),
+                                ("chunks", Value::U64(chunks as u64)),
+                            ],
+                        );
                         // Wake siblings so they can steal our fresh chunks.
                         inner.cv.notify_all();
                         state.deques[worker].pop_back()
@@ -1087,6 +1229,48 @@ mod tests {
         assert!(scheduler.status(*ids.last().unwrap()).is_some());
         // Counters survive eviction.
         assert_eq!(scheduler.stats().completed, total as u64);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn submit_with_sees_the_job_id_and_telemetry_observes_the_wait() {
+        let seen = Arc::new(Mutex::new(Vec::<(JobId, String)>::new()));
+        let telemetry = SchedulerTelemetry {
+            queue_wait_us: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(Gauge::default()),
+            running_jobs: Arc::new(Gauge::default()),
+            on_dequeue: {
+                let seen = Arc::clone(&seen);
+                Box::new(move |id, label, _wait| {
+                    seen.lock().unwrap().push((id, label.to_string()));
+                })
+            },
+        };
+        let wait_hist = Arc::clone(&telemetry.queue_wait_us);
+        let scheduler = Scheduler::with_telemetry(2, 16, Some(telemetry));
+        let id = scheduler
+            .submit_with(5, "traced", |id| JobWork {
+                chunks: 1,
+                run_chunk: Box::new(move |_, _| Ok(ChunkOutput::Body(format!("job={id}")))),
+                finish: Box::new(|mut outputs| match outputs.remove(0) {
+                    ChunkOutput::Body(s) => Ok(s),
+                    ChunkOutput::Partial(_) => unreachable!(),
+                }),
+            })
+            .unwrap();
+        let snapshot = scheduler
+            .wait_terminal(id, Duration::from_secs(10))
+            .expect("job finishes");
+        // The build closure captured the real job id before any chunk ran.
+        assert_eq!(
+            snapshot.result.as_deref(),
+            Some(format!("job={id}").as_str())
+        );
+        assert_eq!(wait_hist.snapshot().count, 1);
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[(id, "traced".to_string())]
+        );
         scheduler.shutdown();
     }
 

@@ -15,6 +15,7 @@ fn worker_config() -> ServiceConfig {
         cache_capacity: 256,
         max_body_bytes: 1 << 20,
         fabric: None,
+        slow_request_ms: 10_000,
     }
 }
 

@@ -15,6 +15,7 @@ fn test_config() -> ServiceConfig {
         cache_capacity: 64,
         max_body_bytes: 1 << 20,
         fabric: None,
+        slow_request_ms: 10_000,
     }
 }
 

@@ -3,9 +3,10 @@
 # through simulate/exact/synthesize/check round trips with `stochsynth-cli`,
 # and assert that a repeated request is a cache hit with a byte-identical
 # body.
-# Then boot a three-worker fabric, kill a worker mid-pool, and assert the
-# sharded report is byte-identical to the single-node bytes with the
-# failure visible in the federated cache metrics.
+# Then exercise the telemetry surface (JSON logs, text metrics exposition,
+# trace-span trees), boot a three-worker fabric, kill a worker mid-pool,
+# and assert the sharded report is byte-identical to the single-node bytes
+# with the failure visible in the federated cache metrics.
 #
 # Run from the workspace root (CI runs it after `cargo build --release`):
 #
@@ -174,6 +175,41 @@ grep -q '^cache: hit$' "$WORK/sweep2.meta" || { echo "repeated sweep was not a c
 cmp "$WORK/sweep.body" "$WORK/sweep2.body" || { echo "cached sweep differs from fresh sweep"; exit 1; }
 echo "check: swept P(h before t) over k, replay byte-identical"
 
+# --- telemetry: JSON logs, text metrics exposition, trace spans ----------
+# A daemon with the full telemetry surface on: structured JSON logs at
+# debug, a 1 ms slow-request threshold (every ensemble job trips it), and
+# the Prometheus-style text exposition.
+boot_daemon telemetry --log-json --log-level debug --slow-request-ms 1
+TELEM="$BOOTED_ADDR"
+"$CLI" submit --server "$TELEM" --endpoint simulate --file "$WORK/simulate.json" --wait \
+    >"$WORK/telemetry_run.body"
+cmp "$WORK/fresh.body" "$WORK/telemetry_run.body" || { echo "telemetry daemon changed result bytes"; exit 1; }
+
+"$CLI" metrics --server "$TELEM" --format text >"$WORK/telemetry_metrics.body"
+grep -q '^http_requests_total{endpoint="simulate"} 1$' "$WORK/telemetry_metrics.body" \
+    || { echo "text exposition missing request counter:"; cat "$WORK/telemetry_metrics.body"; exit 1; }
+grep -q '^service_uptime_ms ' "$WORK/telemetry_metrics.body" \
+    || { echo "text exposition missing uptime:"; cat "$WORK/telemetry_metrics.body"; exit 1; }
+
+# The first submission is job 1; its trace tree must be queryable.
+"$CLI" trace --server "$TELEM" --job 1 >"$WORK/trace.body"
+for span in job parse classify schedule-wait shard merge; do
+    grep -q "\"name\":\"$span\"" "$WORK/trace.body" \
+        || { echo "trace missing $span span:"; cat "$WORK/trace.body"; exit 1; }
+done
+
+# Every log line (past the boot banner on stdout) is a JSON record with
+# the standard envelope, and the 1 ms threshold fired a slow_request.
+if grep -v '^stochsynthd' "$WORK/telemetry.log" | grep -qv '^{"ts_us":'; then
+    echo "non-JSON telemetry log line:"; cat "$WORK/telemetry.log"; exit 1
+fi
+grep -q '"event":"request"' "$WORK/telemetry.log" \
+    || { echo "no request events logged:"; cat "$WORK/telemetry.log"; exit 1; }
+grep -q '"event":"slow_request"' "$WORK/telemetry.log" \
+    || { echo "slow_request threshold never fired:"; cat "$WORK/telemetry.log"; exit 1; }
+"$CLI" shutdown --server "$TELEM" --deadline-ms 10000 >/dev/null
+echo "telemetry: JSON logs, text metrics and trace tree all check out"
+
 # --- fabric: three workers, byte-identical sharded reports ---------------
 boot_daemon worker1; W1="$BOOTED_ADDR"; W1_PID="$BOOTED_PID"
 boot_daemon worker2; W2="$BOOTED_ADDR"
@@ -191,6 +227,15 @@ cmp "$WORK/fresh.body" "$WORK/sharded.body" || { echo "sharded body differs from
 "$CLI" fabric --server "$COORD" >"$WORK/fabric.body"
 grep -q '"shards_completed":8' "$WORK/fabric.body" || { echo "expected 8 shards:"; cat "$WORK/fabric.body"; exit 1; }
 echo "fabric: 3-worker sharded report byte-identical to single-node"
+
+# The coordinator's first job must carry the distributed trace: shard spans
+# with their dispatch attempts alongside the merge.
+"$CLI" trace --server "$COORD" --job 1 >"$WORK/trace_fabric.body"
+for span in job shard dispatch merge; do
+    grep -q "\"name\":\"$span\"" "$WORK/trace_fabric.body" \
+        || { echo "fabric trace missing $span span:"; cat "$WORK/trace_fabric.body"; exit 1; }
+done
+echo "fabric: trace tree covers shard dispatch and merge"
 
 # Kill a worker; the next job's shards must rebalance onto the survivors
 # and still reproduce the single-node bytes exactly.
